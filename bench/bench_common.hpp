@@ -1,0 +1,114 @@
+// Shared setup for the table/figure reproduction benches: the four case-study
+// descriptors of the paper's evaluation (Sec. V) and the measurement loop
+// around them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cnn2fpga.hpp"
+
+namespace cnn2fpga::bench {
+
+inline core::NetworkDescriptor usps_test1_descriptor(bool optimize) {
+  core::NetworkDescriptor d;
+  d.name = optimize ? "usps_test2" : "usps_test1";
+  d.board = "zedboard";
+  d.input_channels = 1;
+  d.input_height = 16;
+  d.input_width = 16;
+  d.optimize = optimize;
+  core::LayerSpec conv;
+  conv.type = core::LayerSpec::Type::kConv;
+  conv.conv.feature_maps_out = 6;
+  conv.conv.kernel_h = conv.conv.kernel_w = 5;
+  conv.conv.pool = core::PoolSpec{nn::PoolKind::kMax, 2, 2};
+  core::LayerSpec lin;
+  lin.type = core::LayerSpec::Type::kLinear;
+  lin.linear.neurons = 10;
+  d.layers = {conv, lin};
+  return d;
+}
+
+inline core::NetworkDescriptor usps_test3_descriptor() {
+  core::NetworkDescriptor d = usps_test1_descriptor(true);
+  d.name = "usps_test3";
+  core::LayerSpec conv2;
+  conv2.type = core::LayerSpec::Type::kConv;
+  conv2.conv.feature_maps_out = 16;
+  conv2.conv.kernel_h = conv2.conv.kernel_w = 5;
+  d.layers.insert(d.layers.begin() + 1, conv2);
+  return d;
+}
+
+inline core::NetworkDescriptor cifar_test4_descriptor() {
+  core::NetworkDescriptor d;
+  d.name = "cifar10_test4";
+  d.board = "zedboard";
+  d.input_channels = 3;
+  d.input_height = 32;
+  d.input_width = 32;
+  d.optimize = true;
+  core::LayerSpec conv1;
+  conv1.type = core::LayerSpec::Type::kConv;
+  conv1.conv.feature_maps_out = 12;
+  conv1.conv.kernel_h = conv1.conv.kernel_w = 5;
+  conv1.conv.pool = core::PoolSpec{nn::PoolKind::kMax, 2, 2};
+  core::LayerSpec conv2;
+  conv2.type = core::LayerSpec::Type::kConv;
+  conv2.conv.feature_maps_out = 36;
+  conv2.conv.kernel_h = conv2.conv.kernel_w = 5;
+  conv2.conv.pool = core::PoolSpec{nn::PoolKind::kMax, 2, 2};
+  core::LayerSpec lin1;
+  lin1.type = core::LayerSpec::Type::kLinear;
+  lin1.linear.neurons = 36;
+  lin1.linear.activation = nn::ActKind::kTanh;
+  core::LayerSpec lin2;
+  lin2.type = core::LayerSpec::Type::kLinear;
+  lin2.linear.neurons = 10;
+  d.layers = {conv1, conv2, lin1, lin2};
+  return d;
+}
+
+/// Train the Test-1/2/3 networks on the synthetic USPS corpus (the paper uses
+/// Torch offline; the budget here is sized so a bench run stays in seconds).
+inline nn::Network train_usps_network(const core::NetworkDescriptor& descriptor,
+                                      std::uint64_t seed, std::size_t epochs = 6,
+                                      float learning_rate = 0.005f) {
+  data::UspsConfig train_config;
+  train_config.samples_per_class = 20;
+  train_config.seed = 100 + seed;
+  const auto train_set = data::generate_usps(train_config).samples;
+
+  nn::Network net = descriptor.build_network();
+  util::Rng rng(seed);
+  net.init_weights(rng);
+
+  nn::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.learning_rate = learning_rate;
+  nn::SgdTrainer(tc).train(net, train_set, {});
+  return net;
+}
+
+inline std::vector<nn::Sample> usps_test_set(std::size_t count, std::uint64_t seed = 777) {
+  data::UspsConfig config;
+  config.samples_per_class = (count + 9) / 10;
+  config.seed = seed;
+  auto samples = data::generate_usps(config).samples;
+  samples.resize(count);
+  return samples;
+}
+
+inline std::vector<nn::Sample> cifar_test_set(std::size_t count, std::uint64_t seed = 888) {
+  data::CifarConfig config;
+  config.samples_per_class = (count + 9) / 10;
+  config.seed = seed;
+  auto samples = data::generate_cifar(config).samples;
+  samples.resize(count);
+  return samples;
+}
+
+inline std::string pct(double fraction) { return util::format("%.2f%%", fraction * 100.0); }
+
+}  // namespace cnn2fpga::bench

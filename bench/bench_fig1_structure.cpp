@@ -1,0 +1,56 @@
+// Reproduces the paper's Fig. 1: the canonical CNN structure (alternating
+// convolutional and sub-sampling layers followed by an MLP), as the textual
+// layer-by-layer shape trace of the framework's shape inference, for the
+// canonical example and for the four evaluation networks.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace cnn2fpga;
+using namespace cnn2fpga::bench;
+
+int main() {
+  std::puts("== Fig. 1 reproduction: CNN structure traces ==\n");
+
+  // The figure's example: two conv+subsampling stages, then the MLP.
+  nn::Network fig1(nn::Shape{1, 28, 28}, "fig1_example");
+  fig1.add_conv(4, 5, 5);
+  fig1.add_max_pool(2, 2);
+  fig1.add_conv(8, 3, 3);
+  fig1.add_max_pool(2, 2);
+  fig1.add_linear(32);
+  fig1.add_activation(nn::ActKind::kTanh);
+  fig1.add_linear(10);
+  fig1.add_logsoftmax();
+  std::fputs(fig1.structure().c_str(), stdout);
+  std::printf("  parameters: %zu, MACs/forward: %zu\n\n", fig1.parameter_count(),
+              fig1.total_macs());
+
+  for (const auto& [label, descriptor] :
+       std::vector<std::pair<std::string, core::NetworkDescriptor>>{
+           {"Test 1/2", usps_test1_descriptor(false)},
+           {"Test 3", usps_test3_descriptor()},
+           {"Test 4", cifar_test4_descriptor()}}) {
+    std::printf("-- %s --\n", label.c_str());
+    const nn::Network net = descriptor.build_network();
+    std::fputs(net.structure().c_str(), stdout);
+    std::printf("  parameters: %zu, MACs/forward: %zu\n\n", net.parameter_count(),
+                net.total_macs());
+  }
+
+  // Structural invariant of the figure: feature maps shrink monotonically
+  // through the convolutional part.
+  const nn::Network net = cifar_test4_descriptor().build_network();
+  bool ok = true;
+  std::size_t prev = net.input_shape().height();
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    const nn::Shape& s = net.shape_after(i);
+    if (s.rank() == 3) {
+      ok &= s.height() <= prev;
+      prev = s.height();
+    }
+  }
+  std::printf("shape check (feature maps shrink through the conv part): %s\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// Reproduces the paper's Fig. 4: the convolutional-layer configuration
+// options of the GUI ("Feature maps out", kernel dimensions, integrated
+// max-pooling). The bench sweeps those options on the Test-1 input and shows
+// how each choice propagates to output shapes, latency and resources — the
+// design-space view a user of the web application navigates.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace cnn2fpga;
+using namespace cnn2fpga::bench;
+
+int main() {
+  std::puts("== Fig. 4 reproduction: convolutional layer option sweep (16x16 input) ==\n");
+
+  util::Table table({"feature maps out", "kernel", "max-pool", "conv out", "latency (cyc)",
+                     "DSP%", "BRAM%", "valid"});
+
+  bool ok = true;
+  std::size_t rows_valid = 0;
+  for (std::size_t maps : {2u, 6u, 12u, 24u}) {
+    for (std::size_t kernel : {3u, 5u, 7u, 17u}) {  // 17 exceeds the input: invalid
+      for (bool pool : {false, true}) {
+        core::NetworkDescriptor d = usps_test1_descriptor(true);
+        d.name = "sweep";
+        d.layers[0].conv.feature_maps_out = maps;
+        d.layers[0].conv.kernel_h = d.layers[0].conv.kernel_w = kernel;
+        if (!pool) d.layers[0].conv.pool.reset();
+
+        std::string conv_out = "-", latency = "-", dsp = "-", bram = "-";
+        bool valid = true;
+        try {
+          nn::Network net = d.build_network();
+          util::Rng rng(1);
+          net.init_weights(rng);
+          conv_out = net.shape_after(0).to_string();
+          const hls::HlsReport report =
+              hls::estimate(net, hls::DirectiveSet::optimized(), hls::zedboard());
+          latency = util::format("%llu", (unsigned long long)report.latency_cycles);
+          dsp = pct(report.util.dsp);
+          bram = pct(report.util.bram);
+          ++rows_valid;
+        } catch (const core::DescriptorError&) {
+          valid = false;
+        }
+        // A 17x17 kernel on 16x16 must be rejected; everything else accepted.
+        ok &= valid == (kernel <= 16);
+        table.add_row({util::format("%zu", maps), util::format("%zux%zu", kernel, kernel),
+                       pool ? "2x2 step 2" : "off", conv_out, latency, dsp, bram,
+                       valid ? "yes" : "REJECTED"});
+      }
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\n%zu valid configurations explored\n", rows_valid);
+  std::printf("shape check (infeasible kernels rejected, the rest synthesize): %s\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,88 @@
+// Roofline placement of the generated designs (the analysis methodology of
+// the paper's main related-work baseline, Zhang et al. [9]).
+//
+// For every evaluation network x directive set (and the fixed-point
+// extension), this bench reports computation-to-communication ratio,
+// attainable performance (min of computational roof and bandwidth roof) and
+// the achieved GFLOP/s of the synthesized design — showing how the paper's
+// directive flow climbs toward the roof, and how much headroom the platform
+// still has (the "room for bigger networks" of Sec. V-B).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hls/roofline.hpp"
+
+using namespace cnn2fpga;
+using namespace cnn2fpga::bench;
+
+int main() {
+  std::puts("== Roofline analysis (Zhang et al. [9] methodology, Zedboard) ==\n");
+
+  const auto float_platform =
+      hls::RooflinePlatform::for_device(hls::zedboard(), nn::NumericFormat::float32());
+  std::printf("float32 computational roof: %.2f GFLOP/s (%g DSP-limited MAC/cycle @ %.0f MHz)\n",
+              float_platform.computational_roof_gflops(), float_platform.peak_macs_per_cycle,
+              float_platform.clock_mhz);
+  const auto fixed_platform = hls::RooflinePlatform::for_device(
+      hls::zedboard(), nn::NumericFormat::fixed_point(16, 8));
+  std::printf("Q8.8 computational roof:    %.2f GFLOP/s\n",
+              fixed_platform.computational_roof_gflops());
+  std::printf("bandwidth roof slope:       %.2f GB/s (HP-port stream)\n\n",
+              float_platform.dram_bandwidth_bytes_per_s / 1e9);
+
+  util::Table table({"network", "directives/format", "CTC (FLOP/B)", "attainable GF/s",
+                     "achieved GF/s", "% of roof", "bound"});
+
+  bool ok = true;
+  double naive_fraction = 0, opt_fraction = 0;
+  for (const auto& [label, descriptor] :
+       std::vector<std::pair<std::string, core::NetworkDescriptor>>{
+           {"usps_test1", usps_test1_descriptor(false)},
+           {"usps_test3", usps_test3_descriptor()},
+           {"cifar10_test4", cifar_test4_descriptor()}}) {
+    nn::Network net = descriptor.build_network();
+    util::Rng rng(1);
+    net.init_weights(rng);
+
+    struct Config {
+      std::string name;
+      hls::DirectiveSet directives;
+      nn::NumericFormat format;
+    };
+    const std::vector<Config> configs = {
+        {"naive / float32", hls::DirectiveSet::naive(), nn::NumericFormat::float32()},
+        {"DF+PIPE / float32", hls::DirectiveSet::optimized(), nn::NumericFormat::float32()},
+        {"DF+PIPE / Q8.8", hls::DirectiveSet::optimized(),
+         nn::NumericFormat::fixed_point(16, 8)},
+    };
+    for (const Config& config : configs) {
+      const hls::RooflinePoint point =
+          hls::roofline_analysis(net, config.directives, hls::zedboard(), config.format);
+      table.add_row({label, config.name, util::format("%.0f", point.ctc_ratio),
+                     util::format("%.2f", point.attainable_gflops),
+                     util::format("%.3f", point.achieved_gflops),
+                     util::format("%.1f%%", point.roof_fraction * 100.0),
+                     point.compute_bound ? "compute" : "bandwidth"});
+      ok &= point.achieved_gflops <= point.attainable_gflops * 1.0001;
+      // On-chip weights make every float32 design compute-bound; Q8.8 raises
+      // the compute roof 5x, which can tip the smallest network over to the
+      // bandwidth side — itself a roofline insight worth surfacing.
+      if (!config.format.is_fixed) ok &= point.compute_bound;
+      if (label == "cifar10_test4" && config.name == "naive / float32") {
+        naive_fraction = point.roof_fraction;
+      }
+      if (label == "cifar10_test4" && config.name == "DF+PIPE / float32") {
+        opt_fraction = point.roof_fraction;
+      }
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  ok &= opt_fraction > 3.0 * naive_fraction;  // directives climb the roofline
+  std::printf("\nshape check (designs below roof, compute-bound, directives climb %.1fx): %s\n",
+              naive_fraction > 0 ? opt_fraction / naive_fraction : 0.0, ok ? "PASS" : "FAIL");
+  std::puts("note: Zhang et al. reach 61.62 GFLOPS on a VX485T (2800 DSPs, 4.5 GB/s);\n"
+            "the Zedboard's 220 DSPs cap the float roof at 8.8 GFLOP/s, which is why the\n"
+            "paper's absolute numbers are in a different league than [9] by construction.");
+  return ok ? 0 : 1;
+}

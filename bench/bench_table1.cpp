@@ -1,0 +1,133 @@
+// Reproduces the paper's Table I: "Hardware implementation vs. software one".
+//
+// For each of the four case studies the harness:
+//   1. obtains the trained network (T1-T3: short SGD on synthetic USPS;
+//      T4: random weights, exactly as the paper does);
+//   2. evaluates the prediction error of the software implementation and of
+//      the simulated hardware (Fig. 5 block design) on the test set
+//      (1000 USPS / 10000 CIFAR images, the paper's test-set sizes);
+//   3. takes the software execution time from the Cortex-A9 model and the
+//      hardware execution time from the HLS latency report plus the blocking
+//      DMA driver overhead (the paper's measurement loop);
+//   4. derives power from the power model and energy = P * t.
+//
+// Paper reference rows are printed next to the measured ones; shapes (who
+// wins, crossovers) are what is reproduced — see EXPERIMENTS.md.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace cnn2fpga;
+using namespace cnn2fpga::bench;
+
+namespace {
+
+struct Row {
+  std::string test, dataset;
+  float sw_error, hw_error;
+  double sw_time, hw_time, speedup;
+  double cpu_power, hw_power;
+  double sw_energy, hw_energy;
+};
+
+Row run_case(const std::string& label, const std::string& dataset,
+             const core::NetworkDescriptor& descriptor, nn::Network& net,
+             const std::vector<nn::Sample>& test_set) {
+  Row row;
+  row.test = label;
+  row.dataset = dataset;
+
+  // Prediction error: software reference and simulated hardware.
+  const hls::DirectiveSet directives =
+      descriptor.optimize ? hls::DirectiveSet::optimized() : hls::DirectiveSet::naive();
+  axi::BlockDesign bd(net, directives, hls::zedboard());
+  std::size_t sw_wrong = 0, hw_wrong = 0;
+  for (const nn::Sample& sample : test_set) {
+    if (net.predict(sample.image) != sample.label) ++sw_wrong;
+    const axi::ClassifyResult hw = bd.classify(sample.image);
+    if (!hw.ok || hw.predicted != sample.label) ++hw_wrong;
+  }
+  row.sw_error = static_cast<float>(sw_wrong) / static_cast<float>(test_set.size());
+  row.hw_error = static_cast<float>(hw_wrong) / static_cast<float>(test_set.size());
+
+  // Timing at the paper's test-set sizes.
+  const std::size_t paper_count = dataset == "CIFAR-10" ? 10000 : 1000;
+  row.sw_time = cpu::batch_seconds(net, paper_count);
+  const hls::HlsReport& report = bd.ip_core().report();
+  row.hw_time =
+      static_cast<double>(paper_count) * (report.latency_seconds() + axi::kBlockingDriverSeconds);
+  row.speedup = row.sw_time / row.hw_time;
+
+  // Power and energy.
+  row.cpu_power = power::software_power_w();
+  row.hw_power = power::hardware_power_w(report.usage);
+  power::EnergyLogger sw_logger, hw_logger;
+  sw_logger.add_segment(row.cpu_power, row.sw_time);
+  hw_logger.add_segment(row.hw_power, row.hw_time);
+  row.sw_energy = sw_logger.joules();
+  row.hw_energy = hw_logger.joules();
+  return row;
+}
+
+void print_rows(const std::vector<Row>& rows) {
+  util::Table table({"Test", "Dataset", "Err SW", "Err HW", "Time SW", "Time HW", "Speedup",
+                     "P CPU", "P CPU+FPGA", "E SW", "E HW"});
+  for (const Row& row : rows) {
+    table.add_row({row.test, row.dataset, pct(row.sw_error), pct(row.hw_error),
+                   util::format("%.2fs", row.sw_time), util::format("%.2fs", row.hw_time),
+                   util::format("%.2fX", row.speedup), util::format("%.2fW", row.cpu_power),
+                   util::format("%.2fW", row.hw_power), util::format("%.2fJ", row.sw_energy),
+                   util::format("%.2fJ", row.hw_energy)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== Table I reproduction: hardware implementation vs. software one ==");
+  std::puts("(test sets: 1000 synthetic USPS / 10000 synthetic CIFAR images)\n");
+
+  std::vector<Row> rows;
+
+  // Tests 1 & 2 share one trained network (same net, naive vs optimized HLS).
+  const core::NetworkDescriptor d1 = usps_test1_descriptor(false);
+  nn::Network net12 = train_usps_network(d1, /*seed=*/1);
+  const auto usps = usps_test_set(1000);
+  rows.push_back(run_case("Test 1", "USPS", d1, net12, usps));
+  rows.push_back(run_case("Test 2", "USPS", usps_test1_descriptor(true), net12, usps));
+
+  // Test 3: the larger USPS network (deeper: smaller stable learning rate).
+  const core::NetworkDescriptor d3 = usps_test3_descriptor();
+  nn::Network net3 = train_usps_network(d3, /*seed=*/2, /*epochs=*/8, /*learning_rate=*/0.002f);
+  rows.push_back(run_case("Test 3", "USPS", d3, net3, usps));
+
+  // Test 4: CIFAR-10 network with random weights (paper Sec. V-D).
+  const core::NetworkDescriptor d4 = cifar_test4_descriptor();
+  nn::Network net4 = d4.build_network();
+  util::Rng rng(4);
+  net4.init_weights(rng);
+  rows.push_back(run_case("Test 4", "CIFAR-10", d4, net4, cifar_test_set(10000)));
+
+  print_rows(rows);
+
+  std::puts("\npaper Table I reference:");
+  std::puts("  Test 1  USPS      3.9%/3.9%   3.3s/2.8s    1.18X  2.2W/4.19W   7.26J/11.73J");
+  std::puts("  Test 2  USPS      3.9%/3.9%   3.3s/0.53s   6.23X  2.2W/4.21W   7.26J/2.23J");
+  std::puts("  Test 3  USPS      7.1%/7.1%   4.3s/0.48s   9.0X   2.2W/4.24W   9.46J/2.04J");
+  std::puts("  Test 4  CIFAR-10  89.4%/89.4% 2565s/223s   11.5X  2.2W/4.37W   5643J/975J");
+
+  // Shape checks mirrored from the paper (exit non-zero if violated so the
+  // bench doubles as a regression gate).
+  bool ok = true;
+  for (const Row& row : rows) ok &= (row.sw_error == row.hw_error);
+  ok &= rows[0].speedup < rows[1].speedup;            // directives help
+  ok &= rows[1].speedup < rows[3].speedup + 1e-9;     // speedup grows with size
+  ok &= rows[0].hw_energy > rows[0].sw_energy;        // naive hw wastes energy
+  ok &= rows[1].hw_energy < rows[1].sw_energy;        // optimized hw saves it
+  ok &= rows[2].hw_energy < rows[2].sw_energy;
+  ok &= rows[3].hw_energy < rows[3].sw_energy;
+  std::printf("\nshape checks (identical errors, speedup ordering, energy crossover): %s\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+// Reproduces the paper's Table II: FPGA resource usage of the four designs on
+// the Zedboard's XC7Z020 (FF 106400, LUT 53200, Memory LUT 17400, BRAM 140,
+// DSP 220). Utilization comes from the HLS simulator's resource binder.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace cnn2fpga;
+using namespace cnn2fpga::bench;
+
+namespace {
+hls::HlsReport report_for(const core::NetworkDescriptor& descriptor, std::uint64_t seed) {
+  nn::Network net = descriptor.build_network();
+  util::Rng rng(seed);
+  net.init_weights(rng);  // resources are weight-value independent (paper Sec. IV)
+  const hls::DirectiveSet directives =
+      descriptor.optimize ? hls::DirectiveSet::optimized() : hls::DirectiveSet::naive();
+  return hls::estimate(net, directives, hls::zedboard());
+}
+}  // namespace
+
+int main() {
+  std::puts("== Table II reproduction: FPGA resources usage (Zedboard XC7Z020) ==\n");
+
+  const std::vector<std::pair<std::string, core::NetworkDescriptor>> cases = {
+      {"Test 1", usps_test1_descriptor(false)},
+      {"Test 2", usps_test1_descriptor(true)},
+      {"Test 3", usps_test3_descriptor()},
+      {"Test 4", cifar_test4_descriptor()},
+  };
+
+  util::Table table({"Test", "Flip-Flops (106400)", "LUT (53200)", "Memory LUT (17400)",
+                     "BRAM (140)", "DSP Slices (220)"});
+  std::vector<hls::HlsReport> reports;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const hls::HlsReport report = report_for(cases[i].second, i + 1);
+    reports.push_back(report);
+    table.add_row({cases[i].first, pct(report.util.ff), pct(report.util.lut),
+                   pct(report.util.lutram), pct(report.util.bram), pct(report.util.dsp)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::puts("\npaper Table II reference:");
+  std::puts("  Test 1  15.86%   2.56%   2.56%   6.43%  41.82%");
+  std::puts("  Test 2   8.86%  17.18%   3.38%   7.14%  44.09%");
+  std::puts("  Test 3   9.32%  18.10%   3.06%   9.29%  46.36%");
+  std::puts("  Test 4  10.39%  20.25%   3.13%  76.07%  48.64%");
+
+  std::puts("\nabsolute usage (binder output):");
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const hls::ResourceUsage& u = reports[i].usage;
+    std::printf("  %s: FF %llu, LUT %llu, MemLUT %llu, BRAM18K %llu, DSP %llu, fits=%s\n",
+                cases[i].first.c_str(), (unsigned long long)u.ff, (unsigned long long)u.lut,
+                (unsigned long long)u.lutram, (unsigned long long)u.bram18,
+                (unsigned long long)u.dsp, reports[i].fits() ? "yes" : "NO");
+  }
+
+  // Shape checks from the paper's discussion:
+  bool ok = true;
+  // DSP is the dominant resource for the small USPS networks...
+  for (int i = 0; i < 3; ++i) {
+    ok &= reports[i].util.dsp > reports[i].util.lut;
+    ok &= reports[i].util.dsp > reports[i].util.bram;
+  }
+  // ...optimization raises LUT usage markedly (Test 1 -> Test 2)...
+  ok &= reports[1].util.lut > 2.0 * reports[0].util.lut;
+  // ...and the CIFAR network saturates BRAM (76% in the paper).
+  ok &= reports[3].util.bram > reports[3].util.dsp;
+  ok &= reports[3].util.bram > 0.4 && reports[3].util.bram <= 1.0;
+  // Everything still fits the Zedboard, leaving "room for bigger networks".
+  for (const auto& report : reports) ok &= report.fits();
+  std::printf("\nshape checks (DSP-dominant small nets, LUT jump with directives, "
+              "BRAM saturation on CIFAR): %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,104 @@
+// CIFAR-10 pipeline: the paper's Test 4 methodology.
+//
+// The network (conv12 -> pool -> conv36 -> pool -> linear36+tanh -> linear10)
+// is generated with *random weights* -- the paper's point is that hardware
+// cost and performance are independent of the weight values, so a designer
+// can evaluate an architecture before training it. The example:
+//   - generates the design and prints the resource picture (the BRAM
+//     saturation of Table II's Test 4 row),
+//   - streams a batch of synthetic CIFAR images through the simulated block
+//     design in both blocking and streaming driver modes,
+//   - prints the projected Table-I-style performance row.
+//
+// Run:  ./cifar10_pipeline [--images N] [--seed S] [--board zybo|zedboard|virtex7]
+#include <cstdio>
+
+#include "cnn2fpga.hpp"
+
+using namespace cnn2fpga;
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const std::size_t image_count = static_cast<std::size_t>(args.get_int("images", 200));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 4));
+  const std::string board = args.get_string("board", "zedboard");
+
+  core::NetworkDescriptor descriptor;
+  descriptor.name = "cifar10_test4";
+  descriptor.board = board;
+  descriptor.optimize = true;
+  descriptor.input_channels = 3;
+  descriptor.input_height = 32;
+  descriptor.input_width = 32;
+  core::LayerSpec conv1;
+  conv1.type = core::LayerSpec::Type::kConv;
+  conv1.conv.feature_maps_out = 12;
+  conv1.conv.kernel_h = conv1.conv.kernel_w = 5;
+  conv1.conv.pool = core::PoolSpec{nn::PoolKind::kMax, 2, 2};
+  core::LayerSpec conv2;
+  conv2.type = core::LayerSpec::Type::kConv;
+  conv2.conv.feature_maps_out = 36;
+  conv2.conv.kernel_h = conv2.conv.kernel_w = 5;
+  conv2.conv.pool = core::PoolSpec{nn::PoolKind::kMax, 2, 2};
+  core::LayerSpec lin1;
+  lin1.type = core::LayerSpec::Type::kLinear;
+  lin1.linear.neurons = 36;
+  lin1.linear.activation = nn::ActKind::kTanh;
+  core::LayerSpec lin2;
+  lin2.type = core::LayerSpec::Type::kLinear;
+  lin2.linear.neurons = 10;
+  descriptor.layers = {conv1, conv2, lin1, lin2};
+
+  std::printf("generating '%s' for board '%s' with random weights (seed %llu)...\n",
+              descriptor.name.c_str(), board.c_str(), (unsigned long long)seed);
+  const core::GeneratedDesign design =
+      core::Framework::generate_with_random_weights(descriptor, seed);
+  std::fputs(design.hls_report.to_string().c_str(), stdout);
+  for (const std::string& warning : design.warnings) {
+    std::printf("WARNING: %s\n", warning.c_str());
+  }
+  if (!design.hls_report.fits()) {
+    std::puts("design does not fit the selected board; stopping before simulation");
+    return 2;
+  }
+
+  // Functional + timing run through the Fig. 5 fabric.
+  nn::Network net = descriptor.build_network();
+  util::Rng rng(seed);
+  net.init_weights(rng);
+
+  data::CifarConfig data_config;
+  data_config.samples_per_class = (image_count + 9) / 10;
+  auto samples = data::generate_cifar(data_config).samples;
+  samples.resize(image_count);
+  std::vector<nn::Tensor> images;
+  std::size_t sw_wrong = 0;
+  for (const nn::Sample& sample : samples) {
+    images.push_back(sample.image);
+    if (net.predict(sample.image) != sample.label) ++sw_wrong;
+  }
+
+  axi::BlockDesign bd(net, hls::DirectiveSet::optimized(), *hls::find_device(board));
+  const axi::BatchResult blocking = bd.classify_batch(images, /*streaming=*/false);
+  axi::BlockDesign bd2(net, hls::DirectiveSet::optimized(), *hls::find_device(board));
+  const axi::BatchResult streaming = bd2.classify_batch(images, /*streaming=*/true);
+
+  std::size_t hw_wrong = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (blocking.predictions.at(i) != samples[i].label) ++hw_wrong;
+  }
+
+  const double sw_time = cpu::batch_seconds(net, image_count);
+  std::printf("\nprediction error: software %.1f%%, hardware %.1f%% (random weights -> "
+              "chance level, as in the paper's Test 4)\n",
+              100.0 * sw_wrong / image_count, 100.0 * hw_wrong / image_count);
+  std::printf("software (A9 model): %s for %zu images\n",
+              util::human_seconds(sw_time).c_str(), image_count);
+  std::printf("hardware blocking  : %s  (%.2fX speedup)\n",
+              util::human_seconds(blocking.seconds).c_str(), sw_time / blocking.seconds);
+  std::printf("hardware streaming : %s  (%.2fX speedup)\n",
+              util::human_seconds(streaming.seconds).c_str(), sw_time / streaming.seconds);
+  std::puts("\nfabric occupancy:");
+  std::fputs(bd.occupancy_report().c_str(), stdout);
+  return sw_wrong == hw_wrong ? 0 : 1;
+}

@@ -1,0 +1,170 @@
+// cnn2fpga_tool: command-line front-end to the framework (for users who
+// script the flow instead of using the web GUI).
+//
+// Subcommands:
+//   boards
+//       List supported platforms and their resource budgets.
+//   estimate --descriptor FILE [--seed N]
+//       Print the HLS latency/utilization report for a descriptor.
+//   train --descriptor FILE --out WEIGHTS [--dataset usps|cifar10]
+//         [--epochs N] [--samples-per-class N] [--lr F] [--seed N]
+//       Train on the synthetic corpus, write a CNN2FPGAW1 weight file.
+//   generate --descriptor FILE --out DIR [--weights WEIGHTS | --seed N]
+//       Emit the synthesizable C++, the tcl scripts and the HLS report.
+//   explore --descriptor FILE [--objective throughput|energy|latency]
+//       Automated design-space exploration over boards x directives x
+//       precision; prints the candidate table, the Pareto front and a
+//       recommendation.
+#include <cstdio>
+
+#include "cnn2fpga.hpp"
+#include "core/dse.hpp"
+
+using namespace cnn2fpga;
+
+namespace {
+
+int usage() {
+  std::puts("usage: cnn2fpga_tool <boards|estimate|train|generate> [options]");
+  std::puts("  boards");
+  std::puts("  estimate --descriptor FILE [--seed N]");
+  std::puts("  train    --descriptor FILE --out WEIGHTS [--dataset usps|cifar10]");
+  std::puts("           [--epochs N] [--samples-per-class N] [--lr F] [--seed N]");
+  std::puts("  generate --descriptor FILE --out DIR [--weights WEIGHTS | --seed N]");
+  std::puts("  explore  --descriptor FILE [--objective throughput|energy|latency]");
+  return 2;
+}
+
+core::NetworkDescriptor load_descriptor(const util::CliArgs& args) {
+  const auto path = args.get("descriptor");
+  if (!path || path->empty()) throw std::runtime_error("--descriptor FILE is required");
+  return core::NetworkDescriptor::from_json_text(util::read_file(*path));
+}
+
+int cmd_boards() {
+  util::Table table({"board", "part", "FF", "LUT", "MemLUT", "BRAM36", "DSP", "clock"});
+  for (const hls::FpgaDevice& device : hls::device_catalog()) {
+    table.add_row({device.board, device.part, util::format("%llu", (unsigned long long)device.ff),
+                   util::format("%llu", (unsigned long long)device.lut),
+                   util::format("%llu", (unsigned long long)device.lutram),
+                   util::format("%llu", (unsigned long long)device.bram36),
+                   util::format("%llu", (unsigned long long)device.dsp),
+                   util::format("%.0f MHz", device.clock_mhz)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_estimate(const util::CliArgs& args) {
+  const core::NetworkDescriptor descriptor = load_descriptor(args);
+  const core::GeneratedDesign design = core::Framework::generate_with_random_weights(
+      descriptor, static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  std::fputs(design.hls_report.to_string().c_str(), stdout);
+  for (const std::string& warning : design.warnings) {
+    std::printf("WARNING: %s\n", warning.c_str());
+  }
+  return design.hls_report.fits() ? 0 : 1;
+}
+
+int cmd_train(const util::CliArgs& args) {
+  const core::NetworkDescriptor descriptor = load_descriptor(args);
+  const auto out = args.get("out");
+  if (!out || out->empty()) throw std::runtime_error("--out WEIGHTS is required");
+
+  const std::string dataset = args.get_string("dataset", "usps");
+  const std::size_t per_class = static_cast<std::size_t>(args.get_int("samples-per-class", 20));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  std::vector<nn::Sample> train_set, test_set;
+  if (dataset == "usps") {
+    data::UspsConfig config;
+    config.samples_per_class = per_class;
+    config.seed = seed;
+    train_set = data::generate_usps(config).samples;
+    config.seed = seed + 1000;
+    test_set = data::generate_usps(config).samples;
+  } else if (dataset == "cifar10") {
+    data::CifarConfig config;
+    config.samples_per_class = per_class;
+    config.seed = seed;
+    train_set = data::generate_cifar(config).samples;
+    config.seed = seed + 1000;
+    test_set = data::generate_cifar(config).samples;
+  } else {
+    throw std::runtime_error("--dataset must be usps or cifar10");
+  }
+
+  nn::Network net = descriptor.build_network();
+  util::Rng rng(seed);
+  net.init_weights(rng);
+
+  nn::TrainConfig tc;
+  tc.epochs = static_cast<std::size_t>(args.get_int("epochs", 6));
+  tc.learning_rate = static_cast<float>(args.get_double("lr", 0.005));
+  tc.on_epoch = [](std::size_t epoch, float loss, float) {
+    std::printf("epoch %zu: mean NLL %.4f\n", epoch, loss);
+  };
+  const nn::TrainResult result = nn::SgdTrainer(tc).train(net, train_set, test_set);
+  std::printf("train error %.2f%%, test error %.2f%%\n", result.final_train_error * 100.0,
+              result.final_test_error * 100.0);
+
+  nn::save_weights(net, *out);
+  std::printf("weights written to %s\n", out->c_str());
+  return 0;
+}
+
+int cmd_generate(const util::CliArgs& args) {
+  const core::NetworkDescriptor descriptor = load_descriptor(args);
+  const auto out = args.get("out");
+  if (!out || out->empty()) throw std::runtime_error("--out DIR is required");
+
+  core::GeneratedDesign design;
+  if (const auto weights = args.get("weights"); weights && !weights->empty()) {
+    design = core::Framework::generate_from_weights(descriptor,
+                                                    util::read_file_bytes(*weights));
+  } else {
+    design = core::Framework::generate_with_random_weights(
+        descriptor, static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  }
+
+  design.write_to(*out);
+  std::printf("wrote %s, 3 tcl scripts, hls_report.txt and descriptor.json to %s/\n",
+              design.cpp_file_name.c_str(), out->c_str());
+  std::printf("latency: %llu cycles/image (%s), fits %s: %s\n",
+              (unsigned long long)design.hls_report.latency_cycles,
+              util::human_seconds(design.hls_report.latency_seconds()).c_str(),
+              descriptor.board.c_str(), design.hls_report.fits() ? "yes" : "NO");
+  for (const std::string& warning : design.warnings) {
+    std::printf("WARNING: %s\n", warning.c_str());
+  }
+  return design.hls_report.fits() ? 0 : 1;
+}
+
+int cmd_explore(const util::CliArgs& args) {
+  const core::NetworkDescriptor descriptor = load_descriptor(args);
+  core::DseOptions options;
+  options.objective = core::parse_objective(args.get_string("objective", "throughput"));
+  const core::DseResult result = core::explore_design_space(descriptor, options);
+  std::printf("objective: %s\n", core::objective_name(options.objective));
+  std::fputs(result.to_string().c_str(), stdout);
+  return result.best ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const util::CliArgs args(argc - 1, argv + 1);
+  try {
+    if (command == "boards") return cmd_boards();
+    if (command == "estimate") return cmd_estimate(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "generate") return cmd_generate(args);
+    if (command == "explore") return cmd_explore(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,76 @@
+// The web-application face of the framework (paper Sec. IV-A: "developed as a
+// web-application to be easily accessible").
+//
+// Serves the JSON API:
+//   GET  /healthz
+//   GET  /api/boards
+//   POST /api/generate     (body: network descriptor JSON)
+//
+// Run:  ./codegen_server [--port P]        serve until interrupted
+//       ./codegen_server --demo            self-demo: start, POST a
+//                                          descriptor to itself, print the
+//                                          response summary, exit
+#include <csignal>
+#include <cstdio>
+#include <semaphore>
+
+#include "cnn2fpga.hpp"
+
+using namespace cnn2fpga;
+
+namespace {
+std::binary_semaphore g_shutdown{0};
+void handle_signal(int) { g_shutdown.release(); }
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  util::set_log_level(util::LogLevel::kInfo);
+
+  web::HttpServer server;
+  web::install_api(server);
+  const int port = server.start(static_cast<int>(args.get_int("port", 0)));
+  std::printf("cnn2fpga server listening on http://127.0.0.1:%d\n", port);
+  std::puts("routes: GET /healthz, GET /api/boards, POST /api/generate");
+
+  if (args.has("demo")) {
+    const char* descriptor = R"({
+      "name": "demo_net", "board": "zybo", "optimize": true, "seed": 3,
+      "input": {"channels": 1, "height": 12, "width": 12},
+      "layers": [
+        {"type": "conv", "feature_maps_out": 4, "kernel": 3,
+         "pool": {"type": "max", "kernel": 2, "step": 2}},
+        {"type": "linear", "neurons": 5}
+      ]})";
+    std::puts("\n--demo: posting a descriptor to ourselves...");
+    const auto response =
+        web::http_request("127.0.0.1", port, "POST", "/api/generate", descriptor);
+    if (!response || response->status != 200) {
+      std::printf("demo request failed (status %d)\n", response ? response->status : -1);
+      server.stop();
+      return 1;
+    }
+    const auto body = json::parse(response->body);
+    std::printf("generated '%s': %zu bytes of C++, %zu tcl scripts\n",
+                body.at("name").as_string().c_str(),
+                body.at("cpp_source").as_string().size(),
+                body.at("tcl_files").as_object().size());
+    const auto& report = body.at("hls_report");
+    std::printf("HLS: %ld cycles/image on %s, fits=%s, DSP %.1f%%, BRAM %.1f%%\n",
+                report.at("latency_cycles").as_int(), report.at("board").as_string().c_str(),
+                report.at("fits").as_bool() ? "yes" : "no",
+                report.at("utilization").at("dsp").as_double() * 100.0,
+                report.at("utilization").at("bram").as_double() * 100.0);
+    server.stop();
+    std::puts("demo complete");
+    return 0;
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  std::puts("press Ctrl-C to stop");
+  g_shutdown.acquire();
+  server.stop();
+  std::puts("\nserver stopped");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Design-space exploration (paper Sec. V-E: "Vivado HLS ... allows to explore
+// faster the design space and analyze different solutions ... and finally
+// converge to the most suitable implementation").
+//
+// For a parametric family of USPS-style networks this example sweeps
+//   boards x directive sets x feature-map counts
+// and prints, for each point, latency, throughput, resources, power and an
+// efficiency figure (classifications per joule); it then recommends the
+// fastest configuration that fits each board.
+//
+// Run:  ./design_space [--kernel K] [--neurons N]
+#include <cstdio>
+
+#include "cnn2fpga.hpp"
+
+using namespace cnn2fpga;
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const std::size_t kernel = static_cast<std::size_t>(args.get_int("kernel", 5));
+  const std::size_t neurons = static_cast<std::size_t>(args.get_int("neurons", 10));
+
+  const std::vector<std::pair<std::string, hls::DirectiveSet>> combos = {
+      {"none", hls::DirectiveSet::naive()},
+      {"PIPELINE", {true, false}},
+      {"DATAFLOW+PIPELINE", hls::DirectiveSet::optimized()},
+  };
+
+  for (const hls::FpgaDevice& device : hls::device_catalog()) {
+    std::printf("== board %s (%s) ==\n", device.board.c_str(), device.part.c_str());
+    util::Table table({"feature maps", "directives", "latency", "imgs/s", "DSP%", "BRAM%",
+                       "fits", "imgs/J"});
+
+    struct Best {
+      double images_per_second = 0.0;
+      std::string label;
+    } best;
+
+    for (std::size_t maps : {4u, 8u, 16u, 32u}) {
+      core::NetworkDescriptor d;
+      d.name = "dse";
+      d.board = device.board;
+      d.input_channels = 1;
+      d.input_height = 16;
+      d.input_width = 16;
+      core::LayerSpec conv;
+      conv.type = core::LayerSpec::Type::kConv;
+      conv.conv.feature_maps_out = maps;
+      conv.conv.kernel_h = conv.conv.kernel_w = kernel;
+      conv.conv.pool = core::PoolSpec{nn::PoolKind::kMax, 2, 2};
+      core::LayerSpec lin;
+      lin.type = core::LayerSpec::Type::kLinear;
+      lin.linear.neurons = neurons;
+      d.layers = {conv, lin};
+
+      nn::Network net = d.build_network();
+      util::Rng rng(1);
+      net.init_weights(rng);
+
+      for (const auto& [label, directives] : combos) {
+        const hls::HlsReport report = hls::estimate(net, directives, device);
+        const double per_image = report.interval_seconds() + axi::kStreamingDriverSeconds;
+        const double images_per_second = 1.0 / per_image;
+        const double watts = power::hardware_power_w(report.usage);
+        const double images_per_joule = images_per_second / watts;
+        table.add_row({util::format("%zu", maps), label,
+                       util::human_seconds(report.latency_seconds()),
+                       util::format("%.0f", images_per_second),
+                       util::format("%.1f%%", report.util.dsp * 100),
+                       util::format("%.1f%%", report.util.bram * 100),
+                       report.fits() ? "yes" : "NO",
+                       util::format("%.0f", images_per_joule)});
+        if (report.fits() && images_per_second > best.images_per_second) {
+          best.images_per_second = images_per_second;
+          best.label = util::format("%zu maps, %s", maps, label.c_str());
+        }
+      }
+    }
+    std::fputs(table.render().c_str(), stdout);
+    if (best.images_per_second > 0) {
+      std::printf("recommended: %s (%.0f imgs/s)\n\n", best.label.c_str(),
+                  best.images_per_second);
+    } else {
+      std::puts("no configuration fits this board\n");
+    }
+  }
+  return 0;
+}

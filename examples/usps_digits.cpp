@@ -1,0 +1,118 @@
+// USPS digit recognition: the paper's Tests 1-3 end to end.
+//
+//   1. generate a synthetic USPS corpus and train the Test-1 network offline
+//      (the paper uses Torch; this library's SGD trainer stands in);
+//   2. export the weight file and feed it to the framework with the
+//      descriptor -- receiving the synthesizable C++ and tcl scripts;
+//   3. execute the design inside the simulated Zynq block design (Fig. 5)
+//      and compare against the software baseline: prediction error,
+//      execution time, speedup, power and energy -- one Table I row.
+//
+// Run:  ./usps_digits [--epochs N] [--train-per-class N] [--test-images N]
+//                     [--naive] [--out DIR]
+#include <cstdio>
+
+#include "cnn2fpga.hpp"
+
+using namespace cnn2fpga;
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const std::size_t epochs = static_cast<std::size_t>(args.get_int("epochs", 6));
+  const std::size_t per_class = static_cast<std::size_t>(args.get_int("train-per-class", 20));
+  const std::size_t test_images = static_cast<std::size_t>(args.get_int("test-images", 500));
+  const bool naive = args.has("naive");
+
+  // -- the descriptor of the paper's Test 1 network -------------------------
+  core::NetworkDescriptor descriptor;
+  descriptor.name = "usps_digits";
+  descriptor.board = "zedboard";
+  descriptor.optimize = !naive;
+  descriptor.input_channels = 1;
+  descriptor.input_height = 16;
+  descriptor.input_width = 16;
+  core::LayerSpec conv;
+  conv.type = core::LayerSpec::Type::kConv;
+  conv.conv.feature_maps_out = 6;
+  conv.conv.kernel_h = conv.conv.kernel_w = 5;
+  conv.conv.pool = core::PoolSpec{nn::PoolKind::kMax, 2, 2};
+  core::LayerSpec lin;
+  lin.type = core::LayerSpec::Type::kLinear;
+  lin.linear.neurons = 10;
+  descriptor.layers = {conv, lin};
+
+  // -- offline training ------------------------------------------------------
+  data::UspsConfig train_config;
+  train_config.samples_per_class = per_class;
+  train_config.seed = 1;
+  const auto train_set = data::generate_usps(train_config).samples;
+  data::UspsConfig test_config;
+  test_config.samples_per_class = (test_images + 9) / 10;
+  test_config.seed = 999;
+  auto test_set = data::generate_usps(test_config).samples;
+  test_set.resize(test_images);
+
+  nn::Network net = descriptor.build_network();
+  util::Rng rng(7);
+  net.init_weights(rng);
+
+  nn::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.learning_rate = 0.005f;
+  tc.on_epoch = [](std::size_t epoch, float loss, float) {
+    std::printf("  epoch %zu: mean NLL %.4f\n", epoch, loss);
+  };
+  std::printf("training on %zu synthetic USPS digits (%zu epochs)...\n", train_set.size(),
+              epochs);
+  const nn::TrainResult result = nn::SgdTrainer(tc).train(net, train_set, test_set);
+  std::printf("offline training done: train error %.2f%%, test error %.2f%%\n\n",
+              result.final_train_error * 100.0, result.final_test_error * 100.0);
+
+  // -- weight export + generation (the framework's input contract) ----------
+  const auto weight_file = nn::serialize_weights(net);
+  const core::GeneratedDesign design =
+      core::Framework::generate_from_weights(descriptor, weight_file);
+  std::printf("generated %s (%zu bytes) + %zu tcl scripts, directives: %s\n",
+              design.cpp_file_name.c_str(), design.cpp_source.size(),
+              design.tcl_files.size(), design.hls_report.directives.to_string().c_str());
+
+  // -- hardware vs software comparison (one Table I row) --------------------
+  const hls::DirectiveSet directives =
+      naive ? hls::DirectiveSet::naive() : hls::DirectiveSet::optimized();
+  axi::BlockDesign bd(net, directives, hls::zedboard());
+  std::size_t sw_wrong = 0, hw_wrong = 0;
+  for (const nn::Sample& sample : test_set) {
+    if (net.predict(sample.image) != sample.label) ++sw_wrong;
+    const axi::ClassifyResult hw = bd.classify(sample.image);
+    if (!hw.ok || hw.predicted != sample.label) ++hw_wrong;
+  }
+
+  const double sw_time = cpu::batch_seconds(net, test_set.size());
+  const double hw_time =
+      static_cast<double>(test_set.size()) *
+      (bd.ip_core().report().latency_seconds() + axi::kBlockingDriverSeconds);
+  const double sw_power = power::software_power_w();
+  const double hw_power = power::hardware_power_w(bd.ip_core().report().usage);
+
+  power::EnergyLogger sw_energy, hw_energy;
+  sw_energy.add_segment(sw_power, sw_time);
+  hw_energy.add_segment(hw_power, hw_time);
+
+  util::Table table({"", "error", "time", "power", "energy"});
+  table.add_row({"software (ARM A9)", util::format("%.2f%%", 100.0 * sw_wrong / test_set.size()),
+                 util::human_seconds(sw_time), util::format("%.2fW", sw_power),
+                 util::format("%.2fJ", sw_energy.joules())});
+  table.add_row({"hardware (FPGA)", util::format("%.2f%%", 100.0 * hw_wrong / test_set.size()),
+                 util::human_seconds(hw_time), util::format("%.2fW", hw_power),
+                 util::format("%.2fJ", hw_energy.joules())});
+  std::puts("");
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("speedup: %.2fX over %zu test images\n", sw_time / hw_time, test_set.size());
+
+  if (const auto out = args.get("out")) {
+    design.write_to(*out);
+    nn::save_weights(net, *out + "/usps_digits.weights");
+    std::printf("artifacts + weight file written to %s/\n", out->c_str());
+  }
+  return sw_wrong == hw_wrong ? 0 : 1;
+}

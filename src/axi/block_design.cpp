@@ -1,0 +1,148 @@
+#include "axi/block_design.hpp"
+
+#include <algorithm>
+
+#include "hls/schedule.hpp"
+#include "util/strings.hpp"
+
+namespace cnn2fpga::axi {
+
+using cnn2fpga::util::format;
+
+BlockDesign::BlockDesign(nn::Network& net, const hls::DirectiveSet& directives,
+                         const hls::FpgaDevice& device, const nn::NumericFormat& format,
+                         bool streamed_weights)
+    : net_(net),
+      to_ip_(512),
+      from_ip_(64),
+      dma_(to_ip_, from_ip_),
+      ic_control_("axi_interconnect_ctrl"),
+      ic_data_("axi_interconnect_data"),
+      ip_(net, directives, device, format, streamed_weights) {}
+
+bool BlockDesign::upload_weights() {
+  if (!ip_.streamed_weights()) return false;
+  // Serialize the parameters in params() order into one DMA transfer.
+  std::vector<float> payload;
+  for (const nn::Param& p : net_.params()) {
+    payload.insert(payload.end(), p.value->data(), p.value->data() + p.value->size());
+  }
+  ic_control_.record_burst(16);
+  ic_data_.record_burst(payload.size() * 4);
+  dma_.mm2s(payload);
+  ps_driver_seconds_ += kBlockingDriverSeconds;
+  return ip_.load_weights(to_ip_);
+}
+
+void BlockDesign::reset() {
+  to_ip_.clear();
+  from_ip_.clear();
+}
+
+ClassifyResult BlockDesign::classify(const nn::Tensor& image) {
+  ClassifyResult result;
+
+  // Control-path register writes to start the two DMA channels.
+  std::uint64_t cycles = ic_control_.record_burst(2 * 16);
+
+  // MM2S: PS memory -> stream (data interconnect carries the image bytes).
+  cycles += ic_data_.record_burst(image.size() * 4);
+  const std::uint64_t mm2s_cycles = dma_.mm2s({image.data(), image.size()});
+
+  // IP core consumes the packet and classifies. Its stream_in block runs
+  // concurrently with the DMA's beat stream, so only the setup portion of
+  // the MM2S transfer adds to the critical path.
+  const IpRunResult ip_result = ip_.run(to_ip_, from_ip_);
+  cycles += AxiDma::kSetupCycles + std::max(mm2s_cycles, ip_result.cycles);
+  if (!ip_result.ok) {
+    result.seconds = kBlockingDriverSeconds;
+    return result;
+  }
+
+  // S2MM: stream -> PS memory (scores + predicted index).
+  std::vector<float> out(ip_result.scores.size() + 1);
+  bool s2mm_ok = false;
+  cycles += dma_.s2mm(out, &s2mm_ok);
+  cycles += ic_data_.record_burst(out.size() * 4);
+  if (!s2mm_ok) {
+    result.seconds = kBlockingDriverSeconds;
+    return result;
+  }
+
+  ++ps_transfers_;
+  ps_driver_seconds_ += kBlockingDriverSeconds;
+
+  result.ok = true;
+  result.predicted = ip_result.predicted;
+  result.scores = ip_result.scores;
+  result.fabric_cycles = cycles;
+  result.seconds = hls::cycles_to_seconds(cycles, ip_.report().device.clock_mhz) +
+                   kBlockingDriverSeconds;
+  return result;
+}
+
+BatchResult BlockDesign::classify_batch(const std::vector<nn::Tensor>& images, bool streaming) {
+  BatchResult batch;
+  batch.images = images.size();
+
+  if (!streaming) {
+    for (const nn::Tensor& image : images) {
+      const ClassifyResult r = classify(image);
+      if (!r.ok) {
+        ++batch.failures;
+        continue;
+      }
+      batch.predictions.push_back(r.predicted);
+      batch.fabric_cycles += r.fabric_cycles;
+      batch.seconds += r.seconds;
+    }
+    return batch;
+  }
+
+  // Streaming (scatter-gather) mode: functional results computed per image,
+  // timing from the pipelined batch latency of the HLS report.
+  for (const nn::Tensor& image : images) {
+    const ClassifyResult r = classify(image);
+    if (!r.ok) {
+      ++batch.failures;
+      continue;
+    }
+    batch.predictions.push_back(r.predicted);
+  }
+  const hls::HlsReport& report = ip_.report();
+  const std::uint64_t cycles =
+      report.latency_cycles +
+      (images.empty() ? 0 : (images.size() - 1) * report.interval_cycles);
+  batch.fabric_cycles = cycles;
+  batch.seconds = hls::cycles_to_seconds(cycles, report.device.clock_mhz) +
+                  static_cast<double>(images.size()) * kStreamingDriverSeconds;
+  return batch;
+}
+
+std::string BlockDesign::occupancy_report() const {
+  std::string out;
+  out += format("ZYNQ7 PS          : %llu blocking transfers, %.3f ms driver time\n",
+                (unsigned long long)ps_transfers_, ps_driver_seconds_ * 1e3);
+  out += format("AXI DMA   MM2S    : %llu transfers, %llu words, %llu errors\n",
+                (unsigned long long)dma_.mm2s_stats().transfers,
+                (unsigned long long)dma_.mm2s_stats().words,
+                (unsigned long long)dma_.mm2s_stats().errors);
+  out += format("AXI DMA   S2MM    : %llu transfers, %llu words, %llu errors\n",
+                (unsigned long long)dma_.s2mm_stats().transfers,
+                (unsigned long long)dma_.s2mm_stats().words,
+                (unsigned long long)dma_.s2mm_stats().errors);
+  out += format("Interconnect ctrl : %llu bursts, %llu bytes\n",
+                (unsigned long long)ic_control_.bursts(), (unsigned long long)ic_control_.bytes());
+  out += format("Interconnect data : %llu bursts, %llu bytes\n",
+                (unsigned long long)ic_data_.bursts(), (unsigned long long)ic_data_.bytes());
+  out += format("CNN IP core       : %llu invocations, %llu busy cycles\n",
+                (unsigned long long)ip_.invocations(), (unsigned long long)ip_.busy_cycles());
+  out += format("stream to IP      : high water %zu/%zu beats, %llu backpressure events\n",
+                to_ip_.high_water(), to_ip_.depth(),
+                (unsigned long long)to_ip_.backpressure_events());
+  out += format("stream from IP    : high water %zu/%zu beats\n", from_ip_.high_water(),
+                from_ip_.depth());
+  return out;
+}
+
+}  // namespace cnn2fpga::axi

@@ -1,0 +1,92 @@
+// The complete Fig. 5 block design:
+//
+//   ZYNQ7 Processing System --(AXI Interconnect, control)--> AXI DMA
+//   ZYNQ7 HP slave <--(AXI Interconnect, data)-- AXI DMA <--> CNN IP core
+//   (+ Processor System Reset, modeled as the explicit reset() entry point)
+//
+// `classify` reproduces the paper's measurement loop: the ARM core sends one
+// image through the DMA, blocks until the classification returns, and
+// repeats. `classify_batch(..., streaming=true)` models a scatter-gather
+// driver that keeps the DATAFLOW-pipelined IP core fed back-to-back.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "axi/dma.hpp"
+#include "axi/interconnect.hpp"
+#include "axi/ip_core.hpp"
+#include "axi/stream.hpp"
+
+namespace cnn2fpga::axi {
+
+/// Software cost on the ARM side of one blocking DMA round trip: ioctl into
+/// the Linux DMA driver (ref. [21] of the paper), cache flush/invalidate of
+/// the image buffer, interrupt wake-up. Dominates small-network round trips.
+constexpr double kBlockingDriverSeconds = 50e-6;
+/// Per-descriptor cost when transfers are queued scatter-gather style.
+constexpr double kStreamingDriverSeconds = 5e-6;
+
+struct ClassifyResult {
+  bool ok = false;
+  std::size_t predicted = 0;
+  std::vector<float> scores;
+  std::uint64_t fabric_cycles = 0;  ///< cycles spent in the PL
+  double seconds = 0.0;             ///< wall time incl. driver overhead
+};
+
+struct BatchResult {
+  std::size_t images = 0;
+  std::size_t failures = 0;
+  std::vector<std::size_t> predictions;
+  std::uint64_t fabric_cycles = 0;
+  double seconds = 0.0;
+};
+
+class BlockDesign {
+ public:
+  BlockDesign(nn::Network& net, const hls::DirectiveSet& directives,
+              const hls::FpgaDevice& device,
+              const nn::NumericFormat& format = nn::NumericFormat::float32(),
+              bool streamed_weights = false);
+
+  /// Streamed-weights designs: DMA the network's parameters into the IP core
+  /// (one-time start-up transaction). Returns false on hard-coded designs or
+  /// transfer failure. Classification on a streamed design fails until this
+  /// succeeds — the real core would hang waiting for parameters.
+  bool upload_weights();
+
+  /// Processor System Reset: clears streams and statistics.
+  void reset();
+
+  /// One blocking round trip (image -> prediction).
+  ClassifyResult classify(const nn::Tensor& image);
+
+  /// Classify a set of images; `streaming` enables back-to-back task-level
+  /// pipelining (only effective when the design was built with DATAFLOW).
+  BatchResult classify_batch(const std::vector<nn::Tensor>& images, bool streaming = false);
+
+  const CnnIpCore& ip_core() const { return ip_; }
+  const AxiDma& dma() const { return dma_; }
+  const AxiInterconnect& control_interconnect() const { return ic_control_; }
+  const AxiInterconnect& data_interconnect() const { return ic_data_; }
+  std::uint64_t ps_transfers() const { return ps_transfers_; }
+  double ps_driver_seconds() const { return ps_driver_seconds_; }
+
+  /// Per-block occupancy summary (Fig. 5 bench).
+  std::string occupancy_report() const;
+
+ private:
+  nn::Network& net_;
+  AxiStreamChannel to_ip_;
+  AxiStreamChannel from_ip_;
+  AxiDma dma_;
+  AxiInterconnect ic_control_;
+  AxiInterconnect ic_data_;
+  CnnIpCore ip_;
+  std::uint64_t ps_transfers_ = 0;
+  double ps_driver_seconds_ = 0.0;
+};
+
+}  // namespace cnn2fpga::axi

@@ -1,0 +1,42 @@
+#include "axi/dma.hpp"
+
+namespace cnn2fpga::axi {
+
+std::uint64_t AxiDma::mm2s(std::span<const float> data) {
+  std::uint64_t cycles = kSetupCycles;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    to_ip_.push_float(data[i], /*last=*/i + 1 == data.size());
+    ++cycles;
+  }
+  ++mm2s_stats_.transfers;
+  mm2s_stats_.words += data.size();
+  mm2s_stats_.cycles += cycles;
+  return cycles;
+}
+
+std::uint64_t AxiDma::s2mm(std::span<float> out, bool* ok) {
+  std::uint64_t cycles = kSetupCycles;
+  bool success = true;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const auto beat = from_ip_.pop();
+    if (!beat) {
+      success = false;  // stream underflow: IP produced fewer words than expected
+      break;
+    }
+    out[i] = bits_to_float(beat->data);
+    ++cycles;
+    const bool expect_last = (i + 1 == out.size());
+    if (beat->last != expect_last) {
+      success = false;  // packet framing error
+      break;
+    }
+  }
+  ++s2mm_stats_.transfers;
+  s2mm_stats_.words += out.size();
+  s2mm_stats_.cycles += cycles;
+  if (!success) ++s2mm_stats_.errors;
+  if (ok != nullptr) *ok = success;
+  return cycles;
+}
+
+}  // namespace cnn2fpga::axi

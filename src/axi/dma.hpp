@@ -1,0 +1,54 @@
+// AXI DMA engine model (the "AXI DMA" block of Fig. 5).
+//
+// Two independent channels, as in the Xilinx AXI DMA IP:
+//   MM2S (memory-mapped to stream): reads a buffer from PS memory through the
+//        HP port and pushes it onto the IP core's input stream;
+//   S2MM (stream to memory-mapped): drains the IP core's output stream back
+//        into PS memory.
+// Transaction-level timing: a fixed descriptor-setup cost plus one beat per
+// 32-bit word at the fabric clock.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "axi/stream.hpp"
+
+namespace cnn2fpga::axi {
+
+struct DmaChannelStats {
+  std::uint64_t transfers = 0;
+  std::uint64_t words = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t errors = 0;  ///< underflow / missing-TLAST events
+};
+
+class AxiDma {
+ public:
+  /// Cycles to program one descriptor and raise the start bit.
+  static constexpr std::uint64_t kSetupCycles = 30;
+
+  AxiDma(AxiStreamChannel& to_ip, AxiStreamChannel& from_ip)
+      : to_ip_(to_ip), from_ip_(from_ip) {}
+
+  /// Push `data` to the IP core, TLAST on the final word. Returns cycles.
+  std::uint64_t mm2s(std::span<const float> data);
+
+  /// Pop exactly `out.size()` words from the IP core into `out`. Expects the
+  /// final popped beat to carry TLAST. Returns cycles; on stream underflow or
+  /// a misplaced TLAST the transfer aborts, the error counter increments and
+  /// `ok` (if given) is set false.
+  std::uint64_t s2mm(std::span<float> out, bool* ok = nullptr);
+
+  const DmaChannelStats& mm2s_stats() const { return mm2s_stats_; }
+  const DmaChannelStats& s2mm_stats() const { return s2mm_stats_; }
+
+ private:
+  AxiStreamChannel& to_ip_;
+  AxiStreamChannel& from_ip_;
+  DmaChannelStats mm2s_stats_;
+  DmaChannelStats s2mm_stats_;
+};
+
+}  // namespace cnn2fpga::axi

@@ -1,0 +1,35 @@
+// AXI Interconnect accounting (the two "AXI Interconnect" blocks of Fig. 5).
+//
+// One instance sits on the control path (GP port: register reads/writes to
+// the DMA and IP core), one on the data path (HP slave port: the DMA's memory
+// traffic). At this abstraction level the interconnect adds a fixed
+// arbitration latency per burst and tracks byte/burst counters for the
+// block-design occupancy report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cnn2fpga::axi {
+
+class AxiInterconnect {
+ public:
+  static constexpr std::uint64_t kArbitrationCycles = 4;
+
+  explicit AxiInterconnect(std::string name) : name_(std::move(name)) {}
+
+  /// Record one burst of `bytes` through the interconnect; returns the
+  /// arbitration latency the initiator observes.
+  std::uint64_t record_burst(std::uint64_t bytes);
+
+  const std::string& name() const { return name_; }
+  std::uint64_t bursts() const { return bursts_; }
+  std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  std::string name_;
+  std::uint64_t bursts_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace cnn2fpga::axi

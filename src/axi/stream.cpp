@@ -1,0 +1,47 @@
+#include "axi/stream.hpp"
+
+#include <cstring>
+
+namespace cnn2fpga::axi {
+
+std::uint32_t float_to_bits(float value) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+float bits_to_float(std::uint32_t bits) {
+  float value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+AxiStreamChannel::AxiStreamChannel(std::size_t depth) : depth_(depth) {}
+
+void AxiStreamChannel::push(StreamBeat beat) {
+  if (fifo_.size() >= depth_) ++backpressure_events_;
+  fifo_.push_back(beat);
+  ++total_beats_;
+  if (fifo_.size() > high_water_) high_water_ = fifo_.size();
+}
+
+void AxiStreamChannel::push_float(float value, bool last) {
+  push({float_to_bits(value), last});
+}
+
+std::optional<StreamBeat> AxiStreamChannel::pop() {
+  if (fifo_.empty()) return std::nullopt;
+  StreamBeat beat = fifo_.front();
+  fifo_.pop_front();
+  return beat;
+}
+
+std::optional<float> AxiStreamChannel::pop_float() {
+  const auto beat = pop();
+  if (!beat) return std::nullopt;
+  return bits_to_float(beat->data);
+}
+
+void AxiStreamChannel::clear() { fifo_.clear(); }
+
+}  // namespace cnn2fpga::axi

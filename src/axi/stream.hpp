@@ -1,0 +1,61 @@
+// AXI4-Stream channel model.
+//
+// Transaction-level: beats are 32-bit words (the generated IP core streams
+// float32 pixels in and float32 scores + the predicted class index out), with
+// a TLAST marker on the final beat of a packet, as on the real AXI DMA <->
+// IP core link of the paper's block design (Fig. 5).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+namespace cnn2fpga::axi {
+
+struct StreamBeat {
+  std::uint32_t data = 0;
+  bool last = false;
+};
+
+/// Bit-cast helpers for the float payload.
+std::uint32_t float_to_bits(float value);
+float bits_to_float(std::uint32_t bits);
+
+class AxiStreamChannel {
+ public:
+  /// `depth` bounds the in-flight occupancy statistics; the channel stores
+  /// beats without loss (backpressure is implicit at this abstraction level)
+  /// but records every high-water mark so over-depth episodes are observable.
+  explicit AxiStreamChannel(std::size_t depth = 512);
+
+  void push(StreamBeat beat);
+  void push_float(float value, bool last = false);
+
+  /// Pops the oldest beat; empty channel yields nullopt (stream underflow,
+  /// which the DMA reports as an error).
+  std::optional<StreamBeat> pop();
+  std::optional<float> pop_float();
+
+  std::size_t size() const { return fifo_.size(); }
+  bool empty() const { return fifo_.empty(); }
+  std::size_t depth() const { return depth_; }
+
+  /// Lifetime beat counter (for throughput accounting).
+  std::uint64_t total_beats() const { return total_beats_; }
+  /// Highest simultaneous occupancy observed.
+  std::size_t high_water() const { return high_water_; }
+  /// Number of pushes that found the FIFO at or above its nominal depth
+  /// (i.e. would have stalled the producer on real hardware).
+  std::uint64_t backpressure_events() const { return backpressure_events_; }
+
+  void clear();
+
+ private:
+  std::size_t depth_;
+  std::deque<StreamBeat> fifo_;
+  std::uint64_t total_beats_ = 0;
+  std::size_t high_water_ = 0;
+  std::uint64_t backpressure_events_ = 0;
+};
+
+}  // namespace cnn2fpga::axi

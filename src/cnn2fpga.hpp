@@ -1,0 +1,34 @@
+// cnn2fpga -- automated High Level Synthesis of Convolutional Neural Networks.
+//
+// Umbrella header: include this to get the full public API.
+//
+//   core/   descriptor -> synthesizable C++ + tcl scripts (the framework)
+//   nn/     reference CNN library (forward/backward, trainer, weight files)
+//   hls/    Vivado-HLS scheduler/binder simulator (latency + utilization)
+//   axi/    Fig. 5 block-design simulation (PS, DMA, interconnect, IP core)
+//   cpu/    ARM Cortex-A9 software baseline model
+//   power/  board/PL power and energy model
+//   data/   synthetic USPS / CIFAR-10 dataset generators
+//   web/    HTTP JSON API exposing the generator
+#pragma once
+
+#include "axi/block_design.hpp"
+#include "core/framework.hpp"
+#include "cpu/a9_model.hpp"
+#include "data/synth_cifar.hpp"
+#include "data/synth_usps.hpp"
+#include "hls/estimator.hpp"
+#include "json/json.hpp"
+#include "nn/network.hpp"
+#include "nn/serialize.hpp"
+#include "nn/trainer.hpp"
+#include "power/energy_logger.hpp"
+#include "power/power_model.hpp"
+#include "tensor/tensor.hpp"
+#include "util/cli.hpp"
+#include "util/fileio.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "web/api.hpp"

@@ -1,0 +1,36 @@
+// Tcl script generator (the paper's "second wrapper", Sec. IV-A/B).
+//
+// Emits the three scripts the framework returns to the user:
+//   cnn_vivado_hls.tcl  -- drives Vivado HLS: project setup, top function,
+//                          target part and clock, sources directives.tcl,
+//                          C synthesis and IP export;
+//   directives.tcl      -- interface and optimization directives (AXI4-Stream
+//                          ports, and in optimized mode DATAFLOW + PIPELINE
+//                          on the convolutional/linear reduction loops);
+//   cnn_vivado.tcl      -- drives Vivado Design Suite: builds the Fig. 5
+//                          block design (ZYNQ7 PS, AXI DMA, two AXI
+//                          interconnects, Processor System Reset, the CNN IP
+//                          core), validates it, wraps it and launches the
+//                          synthesis flow through bitstream generation.
+//
+// These scripts are faithful to the Vivado 2015.2 tcl API so a user with a
+// license can run them unmodified; in this repository their content is
+// validated structurally by the test suite.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/descriptor.hpp"
+
+namespace cnn2fpga::core {
+
+std::string generate_vivado_hls_tcl(const NetworkDescriptor& descriptor);
+std::string generate_directives_tcl(const NetworkDescriptor& descriptor, const nn::Network& net);
+std::string generate_vivado_tcl(const NetworkDescriptor& descriptor);
+
+/// All three, keyed by file name.
+std::map<std::string, std::string> generate_tcl_files(const NetworkDescriptor& descriptor,
+                                                      const nn::Network& net);
+
+}  // namespace cnn2fpga::core

@@ -1,0 +1,123 @@
+// The network descriptor: the JSON document the web GUI produces and the
+// generator back-end consumes (paper Sec. IV-A, Fig. 3/4).
+//
+// The GUI collects: the input dimensions, the number and configuration of
+// convolutional layers (kernel count/size + optional integrated max-pooling,
+// Fig. 4), the linear layers (neuron count + optional tanh), and the target
+// board. A LogSoftMax block is appended by default. This module parses,
+// validates and serializes that document and builds the equivalent reference
+// network.
+//
+// Example:
+//   {
+//     "name": "usps_test1",
+//     "board": "zedboard",
+//     "input": {"channels": 1, "height": 16, "width": 16},
+//     "optimize": true,
+//     "layers": [
+//       {"type": "conv", "feature_maps_out": 6, "kernel": 5,
+//        "pool": {"type": "max", "kernel": 2, "step": 2}},
+//       {"type": "linear", "neurons": 10, "tanh": false}
+//     ]
+//   }
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "nn/network.hpp"
+#include "nn/quantize.hpp"
+
+namespace cnn2fpga::core {
+
+/// Thrown on structurally/semantically invalid descriptors.
+class DescriptorError : public std::runtime_error {
+ public:
+  explicit DescriptorError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct PoolSpec {
+  nn::PoolKind kind = nn::PoolKind::kMax;
+  std::size_t kernel = 2;
+  std::size_t step = 2;
+};
+
+struct ConvLayerSpec {
+  std::size_t feature_maps_out = 1;  ///< number of kernels (Fig. 4 "Feature maps out")
+  std::size_t kernel_h = 5;
+  std::size_t kernel_w = 5;
+  /// Optional non-linearity applied before the sub-sampling stage (paper
+  /// Sec. III-A: ReLU/tanh/sigmoid "to emphasize relevant features").
+  /// JSON: "activation": "none" | "tanh" | "relu" | "sigmoid".
+  std::optional<nn::ActKind> activation;
+  std::optional<PoolSpec> pool;      ///< integrated sub-sampling stage
+};
+
+struct LinearLayerSpec {
+  std::size_t neurons = 1;
+  /// Optional non-linearity at the end of the layer. The paper's GUI offers
+  /// tanh (JSON "tanh": true, still accepted); "activation" generalizes it.
+  std::optional<nn::ActKind> activation;
+};
+
+struct LayerSpec {
+  enum class Type { kConv, kLinear } type = Type::kConv;
+  ConvLayerSpec conv;
+  LinearLayerSpec linear;
+};
+
+struct NetworkDescriptor {
+  std::string name = "cnn";
+  std::string board = "zedboard";
+  std::size_t input_channels = 1;
+  std::size_t input_height = 16;
+  std::size_t input_width = 16;
+  bool optimize = false;     ///< apply HLS DATAFLOW + PIPELINE directives
+  bool logsoftmax = true;    ///< appended by default (paper Sec. IV-A)
+  /// Numeric format of the generated design. The paper uses float32
+  /// throughout (Sec. V); fixed-point is this library's extension, cutting
+  /// DSP/BRAM pressure at a small accuracy cost. JSON forms:
+  ///   "precision": "float32"
+  ///   "precision": {"type": "fixed", "total_bits": 16, "frac_bits": 8}
+  nn::NumericFormat precision;
+  /// Where the parameters live. The paper hard-codes them into the source
+  /// ("included the hard-coded weights", Sec. IV-A); "streamed" instead loads
+  /// them over the AXI stream at start-up (the off-chip-weight style of the
+  /// related-work accelerators [7][8]) — same BRAM, RAM instead of ROM, a new
+  /// network without re-synthesis, at the cost of a one-time upload.
+  /// JSON: "weights_mode": "hardcoded" (default) | "streamed".
+  bool streamed_weights = false;
+  /// Target fabric clock in MHz; 0 = the board default (100 MHz, the paper's
+  /// operating point). Feeds the HLS `create_clock` period and every
+  /// cycles-to-seconds conversion. JSON: "clock_mhz": 125.
+  double clock_mhz = 0.0;
+  std::vector<LayerSpec> layers;
+
+  /// Parse and fully validate a JSON document. All errors raise
+  /// DescriptorError with a message naming the offending field.
+  static NetworkDescriptor from_json(const json::Value& doc);
+  static NetworkDescriptor from_json_text(const std::string& text);
+
+  json::Value to_json() const;
+
+  /// Semantic validation: positive dimensions, known board, convolutional
+  /// layers before linear ones (the paper's CNN structure), and shape
+  /// feasibility (kernels fit their inputs all the way through the network).
+  /// Called by from_json; call again after programmatic mutation.
+  void validate() const;
+
+  /// Build the equivalent reference network (weights uninitialized).
+  nn::Network build_network() const;
+
+  /// Output class count (neurons of the last linear layer).
+  std::size_t num_classes() const;
+
+ private:
+  /// Builds without re-running validate() (validate() itself uses this to
+  /// check shape feasibility; layer constructors do their own shape checks).
+  nn::Network build_network_unchecked_() const;
+};
+
+}  // namespace cnn2fpga::core

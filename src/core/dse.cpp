@@ -1,0 +1,158 @@
+#include "core/dse.hpp"
+
+#include <algorithm>
+
+#include "axi/block_design.hpp"  // kBlockingDriverSeconds, kStreamingDriverSeconds
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace cnn2fpga::core {
+
+using cnn2fpga::util::format;
+
+std::string DsePoint::label() const {
+  return format("%s / %s / %s", board.c_str(), optimize ? "DATAFLOW+PIPELINE" : "naive",
+                precision.name().c_str());
+}
+
+DseObjective parse_objective(const std::string& name) {
+  const std::string lower = util::to_lower(name);
+  if (lower == "throughput") return DseObjective::kThroughput;
+  if (lower == "energy") return DseObjective::kEnergy;
+  if (lower == "latency") return DseObjective::kLatency;
+  throw DescriptorError(format(
+      "objective '%s' unknown (throughput, energy, latency)", name.c_str()));
+}
+
+const char* objective_name(DseObjective objective) {
+  switch (objective) {
+    case DseObjective::kThroughput: return "throughput";
+    case DseObjective::kEnergy: return "energy";
+    case DseObjective::kLatency: return "latency";
+  }
+  return "?";
+}
+
+namespace {
+
+DsePoint evaluate(const nn::Network& net, const std::string& board, bool optimize,
+                  const nn::NumericFormat& precision, const hls::FpgaDevice& device) {
+  DsePoint point;
+  point.board = board;
+  point.optimize = optimize;
+  point.precision = precision;
+
+  const hls::DirectiveSet directives =
+      optimize ? hls::DirectiveSet::optimized() : hls::DirectiveSet::naive();
+  const hls::HlsReport report = hls::estimate(net, directives, device, precision);
+
+  point.fits = report.fits();
+  point.latency_cycles = report.latency_cycles;
+  point.interval_cycles = report.interval_cycles;
+  point.latency_seconds = report.latency_seconds() + axi::kBlockingDriverSeconds;
+  point.images_per_second =
+      1.0 / (report.interval_seconds() + axi::kStreamingDriverSeconds);
+  point.power_w = power::hardware_power_w(report.usage);
+  point.joules_per_image = point.power_w * point.latency_seconds;
+  point.util = report.util;
+  return point;
+}
+
+double score(const DsePoint& point, DseObjective objective) {
+  // Lower is better.
+  switch (objective) {
+    case DseObjective::kThroughput: return -point.images_per_second;
+    case DseObjective::kEnergy: return point.joules_per_image;
+    case DseObjective::kLatency: return point.latency_seconds;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+DseResult explore_design_space(const NetworkDescriptor& base, const DseOptions& options) {
+  std::vector<std::string> boards = options.boards;
+  if (boards.empty()) {
+    for (const hls::FpgaDevice& device : hls::device_catalog()) boards.push_back(device.board);
+  }
+  std::vector<nn::NumericFormat> precisions = options.precisions;
+  if (precisions.empty()) {
+    precisions = {nn::NumericFormat::float32(), nn::NumericFormat::fixed_point(16, 8)};
+  }
+  const std::vector<bool> directive_choices =
+      options.explore_directives ? std::vector<bool>{false, true} : std::vector<bool>{true};
+
+  // The architecture is fixed; only the implementation axes vary.
+  NetworkDescriptor architecture = base;
+  architecture.board = "zedboard";  // any valid board; build_network ignores it
+  const nn::Network net = architecture.build_network();
+
+  DseResult result;
+  for (const std::string& board : boards) {
+    const auto device = hls::find_device(board);
+    if (!device) {
+      throw DescriptorError(format("explore_design_space: unknown board '%s'", board.c_str()));
+    }
+    for (const bool optimize : directive_choices) {
+      for (const nn::NumericFormat& precision : precisions) {
+        result.points.push_back(evaluate(net, board, optimize, precision, *device));
+      }
+    }
+  }
+
+  // Feasible Pareto front over (images_per_second maximize, power minimize).
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    const DsePoint& a = result.points[i];
+    if (!a.fits) continue;
+    bool dominated = false;
+    for (std::size_t j = 0; j < result.points.size() && !dominated; ++j) {
+      if (i == j) continue;
+      const DsePoint& b = result.points[j];
+      if (!b.fits) continue;
+      const bool no_worse =
+          b.images_per_second >= a.images_per_second && b.power_w <= a.power_w;
+      const bool strictly_better =
+          b.images_per_second > a.images_per_second || b.power_w < a.power_w;
+      dominated = no_worse && strictly_better;
+    }
+    if (!dominated) result.pareto.push_back(i);
+  }
+  std::sort(result.pareto.begin(), result.pareto.end(), [&](std::size_t a, std::size_t b) {
+    return result.points[a].images_per_second > result.points[b].images_per_second;
+  });
+
+  // Objective-optimal feasible point.
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    if (!result.points[i].fits) continue;
+    if (!result.best ||
+        score(result.points[i], options.objective) <
+            score(result.points[*result.best], options.objective)) {
+      result.best = i;
+    }
+  }
+  return result;
+}
+
+std::string DseResult::to_string() const {
+  util::Table table({"configuration", "fits", "latency", "imgs/s", "power", "mJ/img",
+                     "DSP%", "BRAM%", "pareto"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const DsePoint& p = points[i];
+    const bool on_front = std::find(pareto.begin(), pareto.end(), i) != pareto.end();
+    table.add_row({p.label(), p.fits ? "yes" : "NO",
+                   util::human_seconds(p.latency_seconds),
+                   format("%.0f", p.images_per_second), format("%.2fW", p.power_w),
+                   format("%.3f", p.joules_per_image * 1e3),
+                   format("%.1f%%", p.util.dsp * 100), format("%.1f%%", p.util.bram * 100),
+                   on_front ? "*" : ""});
+  }
+  std::string out = table.render();
+  if (best) {
+    out += format("recommended: %s\n", points[*best].label().c_str());
+  } else {
+    out += "no feasible configuration for this architecture\n";
+  }
+  return out;
+}
+
+}  // namespace cnn2fpga::core

@@ -1,0 +1,69 @@
+// Automated design-space exploration.
+//
+// The paper's authors explored the directive space by hand ("we followed this
+// approach in order to come up with the Vivado optimization directives we
+// applied", Sec. V-E). This module automates that exploration across every
+// axis the framework controls — target board, optimization directives and
+// numeric precision — evaluating each candidate with the HLS and power models
+// and returning the feasible Pareto front plus a recommendation for a chosen
+// objective.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/descriptor.hpp"
+#include "hls/estimator.hpp"
+#include "power/power_model.hpp"
+
+namespace cnn2fpga::core {
+
+struct DsePoint {
+  std::string board;
+  bool optimize = false;
+  nn::NumericFormat precision;
+
+  bool fits = false;
+  std::uint64_t latency_cycles = 0;
+  std::uint64_t interval_cycles = 0;
+  double latency_seconds = 0.0;      ///< per-image, incl. blocking driver overhead
+  double images_per_second = 0.0;    ///< steady-state streaming throughput
+  double power_w = 0.0;
+  double joules_per_image = 0.0;
+  hls::Utilization util;
+
+  std::string label() const;  ///< e.g. "zedboard / DATAFLOW+PIPELINE / Q8.8"
+};
+
+enum class DseObjective { kThroughput, kEnergy, kLatency };
+
+DseObjective parse_objective(const std::string& name);  ///< throws DescriptorError
+const char* objective_name(DseObjective objective);
+
+struct DseOptions {
+  /// Boards to consider; empty = the full device catalog.
+  std::vector<std::string> boards;
+  /// Precisions to consider; empty = {float32, Q8.8}.
+  std::vector<nn::NumericFormat> precisions;
+  /// Explore naive as well as optimized directive sets.
+  bool explore_directives = true;
+  DseObjective objective = DseObjective::kThroughput;
+};
+
+struct DseResult {
+  std::vector<DsePoint> points;        ///< every evaluated candidate
+  /// Indices into `points`: the feasible Pareto front over (throughput up,
+  /// power down), sorted by descending throughput.
+  std::vector<std::size_t> pareto;
+  /// Index of the objective-optimal feasible point; nullopt if nothing fits.
+  std::optional<std::size_t> best;
+
+  std::string to_string() const;  ///< rendered table + recommendation
+};
+
+/// Evaluate the whole space for the architecture described by `base` (its
+/// own board/optimize/precision fields are ignored; the sweep covers them).
+DseResult explore_design_space(const NetworkDescriptor& base, const DseOptions& options = {});
+
+}  // namespace cnn2fpga::core

@@ -1,0 +1,55 @@
+// The cnn2fpga framework facade (paper Sec. IV, Fig. 3).
+//
+// Input:  a network descriptor (the GUI's JSON) and the trained weights
+//         (a CNN2FPGAW1 weight file, or "random weights for the sake of
+//         simplicity" as in the paper's Test 4).
+// Output: the synthesizable C++ source, the three tcl scripts, and — our
+//         substitute for running Vivado — the HLS simulator's latency and
+//         utilization report, with warnings when the design does not fit
+//         the selected board.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/codegen_cpp.hpp"
+#include "core/codegen_tcl.hpp"
+#include "core/descriptor.hpp"
+#include "hls/estimator.hpp"
+#include "nn/serialize.hpp"
+
+namespace cnn2fpga::core {
+
+struct GeneratedDesign {
+  NetworkDescriptor descriptor;
+  std::string cpp_file_name;   ///< "<name>.cpp"
+  std::string cpp_source;
+  std::map<std::string, std::string> tcl_files;
+  hls::HlsReport hls_report;
+  std::vector<std::string> warnings;
+
+  /// Write every artifact (C++ + tcl + report.txt) into a directory.
+  void write_to(const std::string& directory) const;
+};
+
+class Framework {
+ public:
+  /// Generate from a descriptor and an already-trained network. The network
+  /// must structurally match the descriptor.
+  static GeneratedDesign generate(const NetworkDescriptor& descriptor,
+                                  const nn::Network& trained);
+
+  /// Generate from a descriptor and a serialized weight file (the canonical
+  /// web-API path: JSON + weight blob in, artifacts out).
+  static GeneratedDesign generate_from_weights(const NetworkDescriptor& descriptor,
+                                               const std::vector<std::uint8_t>& weight_file);
+
+  /// Paper Sec. IV: "the user ... can also directly use the proposed
+  /// automation framework ... by specifying random weights for the sake of
+  /// simplicity". Deterministic per seed.
+  static GeneratedDesign generate_with_random_weights(const NetworkDescriptor& descriptor,
+                                                      std::uint64_t seed);
+};
+
+}  // namespace cnn2fpga::core

@@ -1,0 +1,42 @@
+#include "cpu/a9_model.hpp"
+
+#include <cmath>
+
+namespace cnn2fpga::cpu {
+
+std::uint64_t forward_cycles(const nn::Network& net, const A9Model& model) {
+  double cycles = 0.0;
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    const nn::Layer& layer = net.layer(i);
+    const nn::Shape& in_shape = i == 0 ? net.input_shape() : net.shape_after(i - 1);
+    const nn::Shape& out_shape = net.shape_after(i);
+    const std::string kind = layer.kind();
+
+    cycles += model.cycles_per_layer_call;
+    if (kind == "conv" || kind == "linear") {
+      cycles += static_cast<double>(layer.mac_count(in_shape)) * model.cycles_per_mac;
+    } else if (kind == "maxpool" || kind == "meanpool") {
+      cycles += static_cast<double>(layer.mac_count(in_shape)) * model.cycles_per_pool_elem;
+    } else if (kind == "tanh" || kind == "sigmoid") {
+      cycles += static_cast<double>(out_shape.elements()) * model.cycles_per_transcendental;
+    } else if (kind == "relu") {
+      cycles += static_cast<double>(out_shape.elements()) * 4.0;
+    } else if (kind == "logsoftmax") {
+      // exp per class, one log, plus the max/argmax scans.
+      cycles += static_cast<double>(out_shape.elements()) * model.cycles_per_transcendental +
+                model.cycles_per_transcendental +
+                static_cast<double>(out_shape.elements()) * 8.0;
+    }
+  }
+  return static_cast<std::uint64_t>(std::llround(cycles));
+}
+
+double forward_seconds(const nn::Network& net, const A9Model& model) {
+  return static_cast<double>(forward_cycles(net, model)) / (model.clock_mhz * 1e6);
+}
+
+double batch_seconds(const nn::Network& net, std::uint64_t count, const A9Model& model) {
+  return forward_seconds(net, model) * static_cast<double>(count);
+}
+
+}  // namespace cnn2fpga::cpu

@@ -1,0 +1,37 @@
+// Execution-time model of the CNN software baseline on the Zynq's ARM
+// Cortex-A9 (667 MHz on the Zedboard's XC7Z020-1).
+//
+// Calibration (DESIGN.md Sec. 5): the paper's Table I implies a scalar,
+// cache-naive baseline of ~90 cycles per multiply-accumulate:
+//   Test 4: 2565 s / 10^4 images / 1.82 M MACs/image = 94 cycles/MAC
+//   Test 1: 3.3 s  / 10^3 images / 23.8 k MACs/image = 92 cycles/MAC
+// i.e. a straightforward single-thread float implementation without NEON,
+// dominated by load/store and loop overhead, as produced by Torch's default
+// CPU path of the era on ARM. Transcendentals (exp/log/tanh) go through
+// soft libm at a few hundred cycles each.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/network.hpp"
+
+namespace cnn2fpga::cpu {
+
+struct A9Model {
+  double clock_mhz = 666.7;          ///< Zynq-7020 APU clock
+  double cycles_per_mac = 90.0;      ///< conv/linear inner-loop cost
+  double cycles_per_pool_elem = 30.0;///< compare/accumulate per window element
+  double cycles_per_transcendental = 350.0;  ///< exp/log/tanh/sigmoid via libm
+  double cycles_per_layer_call = 200.0;      ///< function-call + setup overhead
+};
+
+/// Cycles for one forward pass (classification of one image).
+std::uint64_t forward_cycles(const nn::Network& net, const A9Model& model = {});
+
+/// Seconds for one forward pass.
+double forward_seconds(const nn::Network& net, const A9Model& model = {});
+
+/// Seconds to classify a test set of `count` images.
+double batch_seconds(const nn::Network& net, std::uint64_t count, const A9Model& model = {});
+
+}  // namespace cnn2fpga::cpu

@@ -1,0 +1,136 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/fileio.hpp"
+#include "util/strings.hpp"
+
+namespace cnn2fpga::data {
+
+using cnn2fpga::util::format;
+
+std::pair<std::vector<Sample>, std::vector<Sample>> Dataset::split(std::size_t train_count) const {
+  if (train_count > samples.size()) {
+    throw std::invalid_argument(format("Dataset::split: train_count %zu > size %zu", train_count,
+                                       samples.size()));
+  }
+  std::vector<Sample> train(samples.begin(), samples.begin() + static_cast<long>(train_count));
+  std::vector<Sample> test(samples.begin() + static_cast<long>(train_count), samples.end());
+  return {std::move(train), std::move(test)};
+}
+
+std::vector<std::size_t> Dataset::class_histogram() const {
+  std::vector<std::size_t> hist(num_classes, 0);
+  for (const Sample& s : samples) {
+    if (s.label < num_classes) ++hist[s.label];
+  }
+  return hist;
+}
+
+std::pair<float, float> Dataset::pixel_stats() const {
+  double sum = 0.0, sum_sq = 0.0;
+  std::size_t count = 0;
+  for (const Sample& s : samples) {
+    for (std::size_t i = 0; i < s.image.size(); ++i) {
+      sum += s.image[i];
+      sum_sq += static_cast<double>(s.image[i]) * s.image[i];
+      ++count;
+    }
+  }
+  if (count == 0) return {0.0f, 0.0f};
+  const double mean = sum / static_cast<double>(count);
+  const double var = std::max(0.0, sum_sq / static_cast<double>(count) - mean * mean);
+  return {static_cast<float>(mean), static_cast<float>(std::sqrt(var))};
+}
+
+namespace {
+constexpr char kMagic[] = "CNN2FPGAD1\n";
+constexpr std::size_t kMagicLen = sizeof(kMagic) - 1;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& bytes, std::size_t& pos) {
+  if (pos + 4 > bytes.size()) throw std::runtime_error("dataset file truncated");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bytes[pos + i]) << (8 * i);
+  pos += 4;
+  return v;
+}
+}  // namespace
+
+void save_dataset(const Dataset& ds, const std::string& path) {
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), kMagic, kMagic + kMagicLen);
+  put_u32(out, static_cast<std::uint32_t>(ds.num_classes));
+  put_u32(out, static_cast<std::uint32_t>(ds.image_shape.rank()));
+  for (std::size_t d = 0; d < ds.image_shape.rank(); ++d) {
+    put_u32(out, static_cast<std::uint32_t>(ds.image_shape[d]));
+  }
+  put_u32(out, static_cast<std::uint32_t>(ds.samples.size()));
+  for (const Sample& s : ds.samples) {
+    if (s.image.shape() != ds.image_shape) {
+      throw std::runtime_error("save_dataset: sample shape differs from dataset shape");
+    }
+    put_u32(out, static_cast<std::uint32_t>(s.label));
+    const std::size_t offset = out.size();
+    out.resize(offset + s.image.size() * 4);
+    std::memcpy(out.data() + offset, s.image.data(), s.image.size() * 4);
+  }
+  util::write_file_bytes(path, out);
+}
+
+Dataset load_dataset(const std::string& path) {
+  const std::vector<std::uint8_t> bytes = util::read_file_bytes(path);
+  if (bytes.size() < kMagicLen || std::memcmp(bytes.data(), kMagic, kMagicLen) != 0) {
+    throw std::runtime_error("dataset file: bad magic");
+  }
+  std::size_t pos = kMagicLen;
+  Dataset ds;
+  ds.name = path;
+  ds.num_classes = get_u32(bytes, pos);
+  const std::uint32_t rank = get_u32(bytes, pos);
+  if (rank > 4) throw std::runtime_error("dataset file: rank > 4");
+  std::vector<std::size_t> dims(rank);
+  for (std::uint32_t d = 0; d < rank; ++d) dims[d] = get_u32(bytes, pos);
+  ds.image_shape = tensor::Shape{std::span<const std::size_t>(dims)};
+  const std::uint32_t count = get_u32(bytes, pos);
+  ds.samples.reserve(count);
+  const std::size_t pixels = ds.image_shape.elements();
+  for (std::uint32_t s = 0; s < count; ++s) {
+    Sample sample;
+    sample.label = get_u32(bytes, pos);
+    sample.image = tensor::Tensor(ds.image_shape);
+    if (pos + pixels * 4 > bytes.size()) throw std::runtime_error("dataset file truncated");
+    std::memcpy(sample.image.data(), bytes.data() + pos, pixels * 4);
+    pos += pixels * 4;
+    ds.samples.push_back(std::move(sample));
+  }
+  if (pos != bytes.size()) throw std::runtime_error("dataset file: trailing bytes");
+  return ds;
+}
+
+std::string ascii_render(const tensor::Tensor& image) {
+  static const char ramp[] = " .:-=+*#%@";
+  const std::size_t channels = image.shape().channels();
+  const std::size_t h = image.shape().height(), w = image.shape().width();
+  std::string out;
+  out.reserve((w + 1) * h);
+  for (std::size_t i = 0; i < h; ++i) {
+    for (std::size_t j = 0; j < w; ++j) {
+      float v = 0.0f;
+      for (std::size_t c = 0; c < channels; ++c) v += image.at(c, i, j);
+      v /= static_cast<float>(channels);
+      const float clamped = std::clamp(v, 0.0f, 1.0f);
+      out.push_back(ramp[static_cast<std::size_t>(clamped * 9.999f)]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace cnn2fpga::data

@@ -1,0 +1,50 @@
+// Dataset containers and binary persistence.
+//
+// The paper evaluates on USPS (16x16 grayscale digits) and CIFAR-10 (32x32
+// RGB). Neither corpus ships with this repository, so `synth_usps`/`synth_cifar`
+// generate statistically similar synthetic stand-ins (see DESIGN.md for why
+// this preserves the relevant behaviour). This header holds the shared
+// container, split helpers, per-class statistics and a binary file format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/trainer.hpp"  // for nn::Sample
+
+namespace cnn2fpga::data {
+
+using nn::Sample;
+
+struct Dataset {
+  std::string name;
+  std::size_t num_classes = 0;
+  tensor::Shape image_shape;
+  std::vector<Sample> samples;
+
+  std::size_t size() const { return samples.size(); }
+
+  /// Split off the first `train_count` samples as the training set and the
+  /// rest as the test set. Generators already interleave classes uniformly,
+  /// so a prefix split is class-balanced.
+  std::pair<std::vector<Sample>, std::vector<Sample>> split(std::size_t train_count) const;
+
+  /// Per-class sample counts (index = label).
+  std::vector<std::size_t> class_histogram() const;
+
+  /// Global mean / stddev of pixel values (Fig. 6 statistics).
+  std::pair<float, float> pixel_stats() const;
+};
+
+/// Binary persistence:
+///   magic "CNN2FPGAD1\n", u32 num_classes, u32 rank, u32 dims[rank],
+///   u32 sample count, then per sample: u32 label + f32 pixels.
+void save_dataset(const Dataset& ds, const std::string& path);
+Dataset load_dataset(const std::string& path);
+
+/// Render one CHW image as ASCII art (one line per row, ' .:-=+*#%@' ramp);
+/// multi-channel images are rendered channel-averaged. Used by the Fig. 6 bench.
+std::string ascii_render(const tensor::Tensor& image);
+
+}  // namespace cnn2fpga::data

@@ -1,0 +1,81 @@
+#include "data/synth_cifar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cnn2fpga::data {
+
+namespace {
+// Per-class base hue (RGB triple) — classes are visually separable in the mean.
+constexpr float kClassHue[10][3] = {
+    {0.8f, 0.2f, 0.2f}, {0.2f, 0.8f, 0.2f}, {0.2f, 0.2f, 0.8f}, {0.8f, 0.8f, 0.2f},
+    {0.8f, 0.2f, 0.8f}, {0.2f, 0.8f, 0.8f}, {0.6f, 0.4f, 0.2f}, {0.4f, 0.6f, 0.8f},
+    {0.7f, 0.7f, 0.7f}, {0.3f, 0.3f, 0.3f},
+};
+}  // namespace
+
+tensor::Tensor render_cifar_image(std::size_t cls, util::Rng& rng, const CifarConfig& config) {
+  if (cls > 9) throw std::invalid_argument("render_cifar_image: class must be 0..9");
+  tensor::Tensor image(tensor::Shape{3, 32, 32});
+
+  // Class-dependent gradient orientation and spatial frequency.
+  const float angle = static_cast<float>(cls) * 0.62832f +
+                      static_cast<float>(rng.uniform(-0.15, 0.15));
+  const float freq = 0.08f + 0.015f * static_cast<float>(cls % 5);
+  const float cos_a = std::cos(angle), sin_a = std::sin(angle);
+
+  // Class-dependent blob count: 1 + cls % 3 bright blobs.
+  const std::size_t blob_count = 1 + cls % 3;
+  struct Blob {
+    float row, col, radius;
+  };
+  std::vector<Blob> blobs(blob_count);
+  for (Blob& b : blobs) {
+    b.row = static_cast<float>(rng.uniform(6.0, 26.0));
+    b.col = static_cast<float>(rng.uniform(6.0, 26.0));
+    b.radius = static_cast<float>(rng.uniform(3.0, 6.0));
+  }
+
+  for (std::size_t i = 0; i < 32; ++i) {
+    for (std::size_t j = 0; j < 32; ++j) {
+      const float fi = static_cast<float>(i), fj = static_cast<float>(j);
+      // Oriented sinusoidal texture.
+      const float phase = freq * (cos_a * fi + sin_a * fj) * 6.28318f;
+      const float texture = 0.5f + 0.25f * std::sin(phase);
+      // Blob mask.
+      float blob = 0.0f;
+      for (const Blob& b : blobs) {
+        const float d2 = (fi - b.row) * (fi - b.row) + (fj - b.col) * (fj - b.col);
+        blob = std::max(blob, std::exp(-d2 / (2.0f * b.radius * b.radius)));
+      }
+      for (std::size_t c = 0; c < 3; ++c) {
+        float v = kClassHue[cls][c] * texture + 0.35f * blob;
+        v += static_cast<float>(rng.normal(0.0, config.noise_stddev));
+        image.at(c, i, j) = std::clamp(v, 0.0f, 1.0f);
+      }
+    }
+  }
+  return image;
+}
+
+Dataset generate_cifar(const CifarConfig& config) {
+  Dataset ds;
+  ds.name = "synthetic-cifar10";
+  ds.num_classes = 10;
+  ds.image_shape = tensor::Shape{3, 32, 32};
+  ds.samples.reserve(10 * config.samples_per_class);
+
+  util::Rng rng(config.seed);
+  for (std::size_t i = 0; i < config.samples_per_class; ++i) {
+    for (std::size_t cls = 0; cls < 10; ++cls) {
+      Sample sample;
+      sample.label = cls;
+      sample.image = render_cifar_image(cls, rng, config);
+      ds.samples.push_back(std::move(sample));
+    }
+  }
+  return ds;
+}
+
+}  // namespace cnn2fpga::data

@@ -1,0 +1,112 @@
+#include "data/synth_usps.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace cnn2fpga::data {
+
+namespace {
+
+// Seven-segment layout on a 16x16 canvas (segments A-G):
+//
+//    AAAA
+//   F    B
+//   F    B
+//    GGGG
+//   E    C
+//   E    C
+//    DDDD
+//
+// Each segment is an axis-aligned bar; per-digit membership follows the
+// classic seven-segment encoding.
+struct Segment {
+  int row0, col0, row1, col1;  // inclusive pixel rectangle
+};
+
+constexpr std::array<Segment, 7> kSegments = {{
+    {2, 4, 3, 11},    // A (top)
+    {2, 10, 7, 11},   // B (top right)
+    {8, 10, 13, 11},  // C (bottom right)
+    {12, 4, 13, 11},  // D (bottom)
+    {8, 4, 13, 5},    // E (bottom left)
+    {2, 4, 7, 5},     // F (top left)
+    {7, 4, 8, 11},    // G (middle)
+}};
+
+// Bit i set => segment i (A..G) lit, for digits 0..9.
+constexpr std::array<unsigned, 10> kDigitSegments = {
+    0b0111111,  // 0: ABCDEF
+    0b0000110,  // 1: BC
+    0b1011011,  // 2: ABDEG
+    0b1001111,  // 3: ABCDG
+    0b1100110,  // 4: BCFG
+    0b1101101,  // 5: ACDFG
+    0b1111101,  // 6: ACDEFG
+    0b0000111,  // 7: ABC
+    0b1111111,  // 8: all
+    0b1101111,  // 9: ABCDFG
+};
+
+}  // namespace
+
+tensor::Tensor render_usps_digit(std::size_t digit, util::Rng& rng, const UspsConfig& config) {
+  if (digit > 9) throw std::invalid_argument("render_usps_digit: digit must be 0..9");
+
+  tensor::Tensor image(tensor::Shape{1, 16, 16});
+  const int dx = config.max_translation == 0
+                     ? 0
+                     : static_cast<int>(rng.next_below(2 * config.max_translation + 1)) -
+                           config.max_translation;
+  const int dy = config.max_translation == 0
+                     ? 0
+                     : static_cast<int>(rng.next_below(2 * config.max_translation + 1)) -
+                           config.max_translation;
+
+  const unsigned lit = kDigitSegments[digit];
+  for (std::size_t s = 0; s < kSegments.size(); ++s) {
+    if ((lit & (1u << s)) == 0) continue;
+    const Segment& seg = kSegments[s];
+    const float intensity =
+        static_cast<float>(rng.uniform(config.min_intensity, 1.0));
+    // Thickness jitter: occasionally widen the bar by one pixel on one side.
+    const int widen = rng.next_below(4) == 0 ? 1 : 0;
+    for (int r = seg.row0; r <= seg.row1 + widen; ++r) {
+      for (int c = seg.col0; c <= seg.col1 + widen; ++c) {
+        const int rr = r + dy, cc = c + dx;
+        if (rr < 0 || rr >= 16 || cc < 0 || cc >= 16) continue;
+        float& px = image.at(0, static_cast<std::size_t>(rr), static_cast<std::size_t>(cc));
+        px = std::max(px, intensity);
+      }
+    }
+  }
+
+  if (config.noise_stddev > 0.0f) {
+    for (std::size_t i = 0; i < image.size(); ++i) {
+      image[i] = std::clamp(
+          image[i] + static_cast<float>(rng.normal(0.0, config.noise_stddev)), 0.0f, 1.0f);
+    }
+  }
+  return image;
+}
+
+Dataset generate_usps(const UspsConfig& config) {
+  Dataset ds;
+  ds.name = "synthetic-usps";
+  ds.num_classes = 10;
+  ds.image_shape = tensor::Shape{1, 16, 16};
+  ds.samples.reserve(10 * config.samples_per_class);
+
+  util::Rng rng(config.seed);
+  for (std::size_t i = 0; i < config.samples_per_class; ++i) {
+    for (std::size_t digit = 0; digit < 10; ++digit) {
+      Sample sample;
+      sample.label = digit;
+      sample.image = render_usps_digit(digit, rng, config);
+      ds.samples.push_back(std::move(sample));
+    }
+  }
+  return ds;
+}
+
+}  // namespace cnn2fpga::data

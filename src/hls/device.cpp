@@ -1,0 +1,30 @@
+#include "hls/device.hpp"
+
+#include "util/strings.hpp"
+
+namespace cnn2fpga::hls {
+
+const std::vector<FpgaDevice>& device_catalog() {
+  static const std::vector<FpgaDevice> catalog = {
+      // Zybo: Zynq XC7Z010 (paper Sec. IV: first supported platform).
+      {"zybo", "xc7z010clg400-1", 35200, 17600, 6000, 60, 80, 100.0},
+      // Zedboard: Zynq XC7Z020 (paper Sec. V evaluation board; Table II totals).
+      {"zedboard", "xc7z020clg484-1", 106400, 53200, 17400, 140, 220, 100.0},
+      // Virtex-7 (paper Sec. VI future work): XC7VX485T as on the VC707.
+      {"virtex7", "xc7vx485tffg1761-2", 607200, 303600, 130800, 1030, 2800, 100.0},
+  };
+  return catalog;
+}
+
+std::optional<FpgaDevice> find_device(const std::string& board) {
+  const std::string lower = util::to_lower(board);
+  for (const FpgaDevice& d : device_catalog()) {
+    if (d.board == lower) return d;
+  }
+  return std::nullopt;
+}
+
+const FpgaDevice& zedboard() { return device_catalog()[1]; }
+const FpgaDevice& zybo() { return device_catalog()[0]; }
+
+}  // namespace cnn2fpga::hls

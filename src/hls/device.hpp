@@ -1,0 +1,40 @@
+// FPGA device catalog.
+//
+// The paper targets the Xilinx Zynq-7000 APSoC family: Zybo (XC7Z010) and
+// Zedboard (XC7Z020); Virtex-7 is named as a future-work target. Resource
+// totals below are the official 7-series datasheet numbers — note they match
+// the denominators printed in the paper's Table II header for the Zedboard
+// (FF 106400, LUT 53200, Memory LUT 17400, BRAM 140, DSP 220).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cnn2fpga::hls {
+
+struct FpgaDevice {
+  std::string board;        ///< e.g. "zedboard"
+  std::string part;         ///< e.g. "xc7z020clg484-1"
+  std::uint64_t ff = 0;     ///< flip-flops
+  std::uint64_t lut = 0;    ///< logic LUTs
+  std::uint64_t lutram = 0; ///< LUTs usable as distributed RAM ("Memory LUT")
+  std::uint64_t bram36 = 0; ///< 36-Kbit block RAMs
+  std::uint64_t dsp = 0;    ///< DSP48E1 slices
+  double clock_mhz = 100.0; ///< target clock of the generated IP core
+
+  double clock_period_ns() const { return 1000.0 / clock_mhz; }
+};
+
+/// All boards the framework knows how to target.
+const std::vector<FpgaDevice>& device_catalog();
+
+/// Look up by board name (case-insensitive): "zybo", "zedboard", "virtex7".
+std::optional<FpgaDevice> find_device(const std::string& board);
+
+/// The paper's evaluation board.
+const FpgaDevice& zedboard();
+const FpgaDevice& zybo();
+
+}  // namespace cnn2fpga::hls

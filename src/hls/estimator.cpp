@@ -1,0 +1,41 @@
+#include "hls/estimator.hpp"
+
+#include "hls/schedule.hpp"
+
+namespace cnn2fpga::hls {
+
+HlsReport estimate_design(const HlsDesign& design, const FpgaDevice& device) {
+  HlsReport report;
+  report.design_name = design.name;
+  report.device = device;
+  report.directives = design.directives;
+
+  for (const TaskBlock& block : design.blocks) {
+    BlockReport br;
+    br.name = block.name;
+    br.latency_cycles = block_latency(block);
+    br.usage = bind_block(block, design.directives.dataflow);
+    report.blocks.push_back(br);
+  }
+
+  report.latency_cycles = design_latency(design);
+  report.interval_cycles = design_interval(design);
+  report.usage = bind_design(design);
+  report.util = utilization(report.usage, device);
+  return report;
+}
+
+HlsReport estimate(const nn::Network& net, const DirectiveSet& directives,
+                   const FpgaDevice& device, const nn::NumericFormat& format,
+                   bool streamed_weights) {
+  HlsReport report =
+      estimate_design(lower_network(net, directives, format, streamed_weights), device);
+  if (streamed_weights) {
+    // One stream beat per parameter word plus the control overhead of the
+    // load branch.
+    report.weight_load_cycles = net.parameter_count() + schedule_constants().region_overhead;
+  }
+  return report;
+}
+
+}  // namespace cnn2fpga::hls

@@ -1,0 +1,25 @@
+// Facade of the HLS simulator: network + directives + device -> HlsReport.
+//
+// This is what replaces the `vivado_hls -f cnn_vivado_hls.tcl` invocation of
+// the paper's flow (see DESIGN.md substitution table).
+#pragma once
+
+#include "hls/device.hpp"
+#include "hls/lowering.hpp"
+#include "hls/report.hpp"
+#include "nn/network.hpp"
+
+namespace cnn2fpga::hls {
+
+/// Synthesize (estimate) a network for a device in the given numeric format.
+/// `streamed_weights` additionally reports the one-time parameter upload cost.
+HlsReport estimate(const nn::Network& net, const DirectiveSet& directives,
+                   const FpgaDevice& device,
+                   const nn::NumericFormat& format = nn::NumericFormat::float32(),
+                   bool streamed_weights = false);
+
+/// Synthesize a pre-lowered design (used by the ablation bench to explore
+/// hand-modified IR).
+HlsReport estimate_design(const HlsDesign& design, const FpgaDevice& device);
+
+}  // namespace cnn2fpga::hls

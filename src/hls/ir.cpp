@@ -1,0 +1,22 @@
+#include "hls/ir.hpp"
+
+namespace cnn2fpga::hls {
+
+std::string DirectiveSet::to_string() const {
+  if (pipeline && dataflow) return "DATAFLOW+PIPELINE";
+  if (pipeline) return "PIPELINE";
+  if (dataflow) return "DATAFLOW";
+  return "none";
+}
+
+std::uint64_t HlsDesign::total_array_bits() const {
+  std::uint64_t bits = 0;
+  for (const TaskBlock& block : blocks) {
+    for (const ArrayDecl& array : block.arrays) {
+      bits += array.bits() * (array.ping_pong ? 2 : 1);
+    }
+  }
+  return bits;
+}
+
+}  // namespace cnn2fpga::hls

@@ -1,0 +1,85 @@
+// Intermediate representation the HLS simulator schedules and binds.
+//
+// A generated network is a *sequence of task blocks* (the paper Sec. IV-A:
+// "a sequence of blocks of instructions corresponding to the layers"), each a
+// perfect loop nest with a fixed body. The innermost `reduction_levels` loops
+// form the accumulation (kernel window and input channels for a convolution);
+// under the HLS PIPELINE directive those loops are flattened and initiate one
+// body per II cycles — exactly Vivado HLS's behaviour when the paper applies
+// "HLS PIPELINE ... to the inner loop of convolutional layer".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hls/op_costs.hpp"
+
+namespace cnn2fpga::hls {
+
+/// A statically-sized on-chip array (weights, biases, inter-layer buffer).
+struct ArrayDecl {
+  std::string name;
+  std::uint64_t depth = 0;  ///< elements
+  int width_bits = 32;      ///< float32 throughout (paper Sec. V)
+  bool ping_pong = false;   ///< doubled under DATAFLOW (channel between tasks)
+  bool is_rom = false;      ///< weights/biases: initialized, read-only
+
+  std::uint64_t bits() const { return depth * static_cast<std::uint64_t>(width_bits); }
+};
+
+/// One loop nest. trips[0] is the outermost loop.
+struct LoopNest {
+  std::vector<std::uint64_t> trips;
+  std::size_t reduction_levels = 0;  ///< innermost loops flattened by PIPELINE
+
+  std::uint64_t total_iterations() const {
+    std::uint64_t n = 1;
+    for (std::uint64_t t : trips) n *= t;
+    return trips.empty() ? 0 : n;
+  }
+  /// Iterations of the non-reduction (outer) part; 1 if everything is reduction.
+  std::uint64_t outer_iterations() const {
+    std::uint64_t n = 1;
+    for (std::size_t i = 0; i + reduction_levels < trips.size(); ++i) n *= trips[i];
+    return n;
+  }
+  /// Iterations of the flattened reduction part.
+  std::uint64_t reduction_iterations() const {
+    std::uint64_t n = 1;
+    for (std::size_t i = trips.size() - reduction_levels; i < trips.size(); ++i) n *= trips[i];
+    return n;
+  }
+};
+
+/// One layer's hardware block.
+struct TaskBlock {
+  std::string name;       ///< e.g. "conv0", "stream_in"
+  LoopNest loops;
+  OpCounts body;          ///< ops per innermost iteration
+  OpCounts per_output;    ///< ops once per outer (non-reduction) iteration
+  std::vector<ArrayDecl> arrays;  ///< arrays owned by this block (weights + output buffer)
+  bool pipelined = false; ///< HLS PIPELINE applied to the reduction loops
+};
+
+/// Directive configuration (paper Sec. V-B: HLS DATAFLOW + HLS PIPELINE).
+struct DirectiveSet {
+  bool pipeline = false;  ///< pipeline the inner (reduction) loops of every block
+  bool dataflow = false;  ///< task-level pipelining: blocks overlap across inputs
+
+  static DirectiveSet naive() { return {false, false}; }
+  static DirectiveSet optimized() { return {true, true}; }
+
+  std::string to_string() const;
+};
+
+/// A whole design: the CNN IP core as a list of task blocks.
+struct HlsDesign {
+  std::string name;
+  DirectiveSet directives;
+  std::vector<TaskBlock> blocks;
+
+  std::uint64_t total_array_bits() const;
+};
+
+}  // namespace cnn2fpga::hls

@@ -1,0 +1,225 @@
+#include "hls/lowering.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace cnn2fpga::hls {
+
+using cnn2fpga::util::format;
+using nn::NumericFormat;
+using nn::Shape;
+
+namespace {
+
+int value_bits(const NumericFormat& numeric) {
+  return numeric.is_fixed ? numeric.fixed.total_bits : 32;
+}
+
+TaskBlock lower_stream_in(const Shape& input, const NumericFormat& numeric) {
+  TaskBlock block;
+  block.name = "stream_in";
+  block.loops.trips = {input.elements()};
+  block.loops.reduction_levels = 0;
+  block.body = {{OpKind::kStream, 1}, {OpKind::kStore, 1}};
+  if (numeric.is_fixed) block.body[OpKind::kIntOp] = 1;  // input quantizer
+  block.arrays.push_back(
+      {"buf_input", input.elements(), value_bits(numeric), /*ping_pong=*/true, false});
+  // The AXI4-Stream reader runs at one beat per cycle with or without
+  // directives; it is never the bottleneck and is left unpipelined in the IR
+  // (its naive chain is already stream-limited).
+  block.pipelined = false;
+  return block;
+}
+
+OpCounts mac_body(const NumericFormat& numeric) {
+  if (numeric.is_fixed) {
+    return {{OpKind::kIMul, 1}, {OpKind::kIntOp, 1}, {OpKind::kLoad, 2}};
+  }
+  return {{OpKind::kFMul, 1}, {OpKind::kFAdd, 1}, {OpKind::kLoad, 2}};
+}
+
+OpCounts mac_per_output(const NumericFormat& numeric) {
+  if (numeric.is_fixed) {
+    // Bias read, renormalizing shift + saturation, result write.
+    return {{OpKind::kLoad, 1}, {OpKind::kIntOp, 1}, {OpKind::kStore, 1}};
+  }
+  return {{OpKind::kLoad, 1}, {OpKind::kStore, 1}};
+}
+
+TaskBlock lower_conv(const nn::Conv2D& conv, const Shape& output, std::size_t index,
+                     bool pipeline, const NumericFormat& numeric) {
+  TaskBlock block;
+  block.name = format("conv%zu", index);
+  block.loops.trips = {conv.out_channels(), output.height(), output.width(),
+                       conv.in_channels(), conv.kernel_h(), conv.kernel_w()};
+  block.loops.reduction_levels = 3;  // channels x kernel rows x kernel cols
+  block.body = mac_body(numeric);
+  block.per_output = mac_per_output(numeric);
+  block.pipelined = pipeline;
+  const int bits = value_bits(numeric);
+  block.arrays.push_back({format("w_conv%zu", index),
+                          conv.out_channels() * conv.in_channels() * conv.kernel_h() *
+                              conv.kernel_w(),
+                          bits, false, /*is_rom=*/true});
+  block.arrays.push_back({format("b_conv%zu", index), conv.out_channels(), bits, false, true});
+  block.arrays.push_back({format("buf_conv%zu", index), output.elements(), bits, true, false});
+  return block;
+}
+
+TaskBlock lower_pool(const nn::Pool2D& pool, const Shape& output, std::size_t index,
+                     const NumericFormat& numeric) {
+  TaskBlock block;
+  block.name = format("%s%zu", pool.kind().c_str(), index);
+  block.loops.trips = {output.channels(), output.height(), output.width(), pool.kernel_h(),
+                       pool.kernel_w()};
+  block.loops.reduction_levels = 2;
+  const OpKind cmp = numeric.is_fixed ? OpKind::kIntOp : OpKind::kFCmp;
+  if (pool.pool_kind() == nn::PoolKind::kMax) {
+    block.body = {{cmp, 1}, {OpKind::kLoad, 1}};
+    block.per_output = {{OpKind::kStore, 1}};
+  } else {
+    const OpKind add = numeric.is_fixed ? OpKind::kIntOp : OpKind::kFAdd;
+    block.body = {{add, 1}, {OpKind::kLoad, 1}};
+    // Mean pooling scales by 1/(kh*kw) once per window.
+    const OpKind scale = numeric.is_fixed ? OpKind::kIntOp : OpKind::kFMul;
+    block.per_output = {{scale, 1}, {OpKind::kStore, 1}};
+  }
+  block.pipelined = false;
+  block.arrays.push_back(
+      {format("buf_pool%zu", index), output.elements(), value_bits(numeric), true, false});
+  return block;
+}
+
+TaskBlock lower_linear(const nn::Linear& linear, std::size_t index, bool pipeline,
+                       const NumericFormat& numeric) {
+  TaskBlock block;
+  block.name = format("linear%zu", index);
+  block.loops.trips = {linear.out_features(), linear.in_features()};
+  block.loops.reduction_levels = 1;
+  block.body = mac_body(numeric);
+  block.per_output = mac_per_output(numeric);
+  block.pipelined = pipeline;
+  const int bits = value_bits(numeric);
+  block.arrays.push_back({format("w_linear%zu", index),
+                          linear.out_features() * linear.in_features(), bits, false, true});
+  block.arrays.push_back({format("b_linear%zu", index), linear.out_features(), bits, false,
+                          true});
+  block.arrays.push_back({format("buf_linear%zu", index), linear.out_features(), bits, true,
+                          false});
+  return block;
+}
+
+TaskBlock lower_activation(const nn::Activation& act, const Shape& shape, std::size_t index,
+                           const NumericFormat& numeric) {
+  TaskBlock block;
+  block.name = format("%s%zu", act.kind().c_str(), index);
+  block.loops.trips = {shape.elements()};
+  block.loops.reduction_levels = 0;
+  switch (act.act()) {
+    case nn::ActKind::kTanh:
+      // tanh(x) = 1 - 2/(exp(2x)+1): exp core + divide + adds. Fixed designs
+      // still evaluate the transcendental in a float datapath (plus the
+      // (de)quantizer conversions).
+      block.body = {{OpKind::kFExp, 1}, {OpKind::kFDiv, 1}, {OpKind::kFAdd, 2},
+                    {OpKind::kLoad, 1}, {OpKind::kStore, 1}};
+      if (numeric.is_fixed) block.body[OpKind::kIntOp] = 2;
+      break;
+    case nn::ActKind::kSigmoid:
+      block.body = {{OpKind::kFExp, 1}, {OpKind::kFDiv, 1}, {OpKind::kFAdd, 1},
+                    {OpKind::kLoad, 1}, {OpKind::kStore, 1}};
+      if (numeric.is_fixed) block.body[OpKind::kIntOp] = 2;
+      break;
+    case nn::ActKind::kReLU:
+      block.body = {{numeric.is_fixed ? OpKind::kIntOp : OpKind::kFCmp, 1},
+                    {OpKind::kLoad, 1}, {OpKind::kStore, 1}};
+      break;
+  }
+  block.pipelined = false;
+  block.arrays.push_back(
+      {format("buf_act%zu", index), shape.elements(), value_bits(numeric), true, false});
+  return block;
+}
+
+TaskBlock lower_logsoftmax(std::size_t classes, std::size_t index,
+                           const NumericFormat& numeric) {
+  // Per class: max compare, exp, accumulate, subtract (log-domain), plus the
+  // final argmax compare. Fixed designs dequantize each logit first.
+  TaskBlock block;
+  block.name = format("logsoftmax%zu", index);
+  block.loops.trips = {classes};
+  block.loops.reduction_levels = 0;
+  block.body = {{OpKind::kFCmp, 2}, {OpKind::kFExp, 1}, {OpKind::kFAdd, 3},
+                {OpKind::kLoad, 2}, {OpKind::kStore, 1}};
+  if (numeric.is_fixed) block.body[OpKind::kIntOp] = 1;
+  block.pipelined = false;
+  block.arrays.push_back({format("buf_scores%zu", index), classes, 32, true, false});
+  return block;
+}
+
+TaskBlock lower_softmax_norm(std::size_t index) {
+  TaskBlock block;
+  block.name = format("softmax_norm%zu", index);
+  block.loops.trips = {1};
+  block.loops.reduction_levels = 0;
+  block.body = {{OpKind::kFLog, 1}, {OpKind::kFAdd, 1}};
+  block.pipelined = false;
+  return block;
+}
+
+TaskBlock lower_stream_out(std::size_t classes) {
+  TaskBlock block;
+  block.name = "stream_out";
+  // Class scores plus the predicted index.
+  block.loops.trips = {classes + 1};
+  block.loops.reduction_levels = 0;
+  block.body = {{OpKind::kStream, 1}, {OpKind::kLoad, 1}};
+  block.pipelined = false;
+  return block;
+}
+
+}  // namespace
+
+HlsDesign lower_network(const nn::Network& net, const DirectiveSet& directives,
+                        const NumericFormat& numeric, bool streamed_weights) {
+  HlsDesign design;
+  design.name = net.name();
+  design.directives = directives;
+
+  design.blocks.push_back(lower_stream_in(net.input_shape(), numeric));
+
+  std::size_t classes = 0;
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    const nn::Layer& layer = net.layer(i);
+    const Shape& out_shape = net.shape_after(i);
+    classes = out_shape.elements();
+
+    if (const auto* conv = dynamic_cast<const nn::Conv2D*>(&layer)) {
+      design.blocks.push_back(lower_conv(*conv, out_shape, i, directives.pipeline, numeric));
+    } else if (const auto* pool = dynamic_cast<const nn::Pool2D*>(&layer)) {
+      design.blocks.push_back(lower_pool(*pool, out_shape, i, numeric));
+    } else if (const auto* linear = dynamic_cast<const nn::Linear*>(&layer)) {
+      design.blocks.push_back(lower_linear(*linear, i, directives.pipeline, numeric));
+    } else if (const auto* act = dynamic_cast<const nn::Activation*>(&layer)) {
+      design.blocks.push_back(lower_activation(*act, out_shape, i, numeric));
+    } else if (dynamic_cast<const nn::LogSoftMax*>(&layer) != nullptr) {
+      design.blocks.push_back(lower_logsoftmax(out_shape.elements(), i, numeric));
+      design.blocks.push_back(lower_softmax_norm(i));
+    } else {
+      throw std::logic_error(format("lower_network: unsupported layer kind '%s'",
+                                    layer.kind().c_str()));
+    }
+  }
+
+  design.blocks.push_back(lower_stream_out(classes));
+
+  if (streamed_weights) {
+    // Parameter arrays become writable RAM; same BRAM tiles, no initializer.
+    for (TaskBlock& block : design.blocks) {
+      for (ArrayDecl& array : block.arrays) array.is_rom = false;
+    }
+  }
+  return design;
+}
+
+}  // namespace cnn2fpga::hls

@@ -1,0 +1,30 @@
+// Lowering from the reference network to the HLS simulator's IR.
+//
+// Mirrors the structure of the C++ the generator emits (one task block per
+// layer plus the AXI4-Stream reader/writer and the trailing LogSoftMax
+// blocks), so the latency/resource estimates correspond to the actual
+// generated code, not an abstract model of the network.
+#pragma once
+
+#include "hls/ir.hpp"
+#include "nn/network.hpp"
+#include "nn/quantize.hpp"
+
+namespace cnn2fpga::hls {
+
+/// Build the IP core IR for a network under the given directives and numeric
+/// format. Only convolutional and linear layers are PIPELINEd (the paper
+/// applies "HLS PIPELINE ... to the inner loop of convolutional layer"; the
+/// generator treats the fully-connected reduction the same way).
+///
+/// For fixed-point formats the MAC datapath lowers to one DSP48 multiply plus
+/// an integer add, and every weight/activation array narrows to the format's
+/// total_bits — the resource savings quantization buys on the FPGA.
+/// `streamed_weights` marks the parameter arrays as writable RAM (uploaded at
+/// start-up over the AXI stream) instead of initialized ROM; the BRAM
+/// footprint is unchanged but the HlsReport carries the one-time upload cost.
+HlsDesign lower_network(const nn::Network& net, const DirectiveSet& directives,
+                        const nn::NumericFormat& format = nn::NumericFormat::float32(),
+                        bool streamed_weights = false);
+
+}  // namespace cnn2fpga::hls

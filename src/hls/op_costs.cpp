@@ -1,0 +1,80 @@
+#include "hls/op_costs.hpp"
+
+#include <stdexcept>
+
+namespace cnn2fpga::hls {
+
+const OpCost& op_cost(OpKind kind) {
+  // latency, dsp, lut, ff, lutram
+  // "full DSP usage" configurations of the 7-series floating-point operator
+  // IPs: arithmetic is pushed into DSP48 slices, keeping LUT counts low --
+  // this is what Vivado HLS 2015.2 instantiates by default and what makes
+  // DSP the dominant resource in the paper's Table II.
+  static const OpCost kFAddCost{5, 2, 120, 120, 32};
+  static const OpCost kFMulCost{4, 3, 80, 80, 24};
+  static const OpCost kFDivCost{16, 0, 700, 740, 64};
+  static const OpCost kFCmpCost{1, 0, 40, 33, 0};
+  static const OpCost kFExpCost{20, 26, 480, 380, 96};
+  static const OpCost kFLogCost{22, 20, 480, 380, 96};
+  static const OpCost kLoadCost{2, 0, 8, 6, 0};
+  static const OpCost kStoreCost{1, 0, 8, 6, 0};
+  static const OpCost kStreamCost{1, 0, 48, 40, 16};
+  static const OpCost kIntOpCost{1, 0, 16, 16, 0};
+  static const OpCost kIMulCost{3, 1, 40, 60, 8};
+  switch (kind) {
+    case OpKind::kFAdd: return kFAddCost;
+    case OpKind::kFMul: return kFMulCost;
+    case OpKind::kFDiv: return kFDivCost;
+    case OpKind::kFCmp: return kFCmpCost;
+    case OpKind::kFExp: return kFExpCost;
+    case OpKind::kFLog: return kFLogCost;
+    case OpKind::kLoad: return kLoadCost;
+    case OpKind::kStore: return kStoreCost;
+    case OpKind::kStream: return kStreamCost;
+    case OpKind::kIntOp: return kIntOpCost;
+    case OpKind::kIMul: return kIMulCost;
+  }
+  throw std::logic_error("op_cost: unknown OpKind");
+}
+
+const char* op_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kFAdd: return "fadd";
+    case OpKind::kFMul: return "fmul";
+    case OpKind::kFDiv: return "fdiv";
+    case OpKind::kFCmp: return "fcmp";
+    case OpKind::kFExp: return "fexp";
+    case OpKind::kFLog: return "flog";
+    case OpKind::kLoad: return "load";
+    case OpKind::kStore: return "store";
+    case OpKind::kStream: return "stream";
+    case OpKind::kIntOp: return "intop";
+    case OpKind::kIMul: return "imul";
+  }
+  return "?";
+}
+
+int chain_latency(const OpCounts& ops) {
+  // BRAM loads/stores are excluded from the chain: Vivado HLS schedules the
+  // next iteration's operand fetch (dual-port BRAM) in parallel with the
+  // current iteration's arithmetic even without directives, so memory access
+  // does not extend the recurrence. Stream pops/pushes DO serialize (one beat
+  // per cycle on the AXI4-Stream handshake). Arithmetic ops of the same kind
+  // serialize on a single shared instance, which is what Vivado HLS binds
+  // without directives.
+  int total = 0;
+  for (const auto& [kind, count] : ops) {
+    if (count <= 0) continue;
+    if (kind == OpKind::kLoad || kind == OpKind::kStore) continue;
+    const OpCost& cost = op_cost(kind);
+    total += cost.latency * count;
+  }
+  return total;
+}
+
+const ScheduleConstants& schedule_constants() {
+  static const ScheduleConstants constants{};
+  return constants;
+}
+
+}  // namespace cnn2fpga::hls

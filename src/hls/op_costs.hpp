@@ -1,0 +1,61 @@
+// Operator cost table of the HLS simulator.
+//
+// Latencies and resource footprints model the Xilinx LogiCORE Floating-Point
+// Operator (v7.x) single-precision cores as configured by Vivado HLS 2015.2
+// for a 7-series device at a 10 ns clock — the toolchain the paper used.
+// The exact figures vary with the core's "DSP usage" knob; the values below
+// are the medium/full-usage points and are the single calibration surface of
+// the latency/resource model (see DESIGN.md Sec. 5).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace cnn2fpga::hls {
+
+enum class OpKind {
+  kFAdd,   ///< float add/sub
+  kFMul,   ///< float multiply
+  kFDiv,   ///< float divide
+  kFCmp,   ///< float compare (max-pool, argmax)
+  kFExp,   ///< float exponential (LogSoftMax, sigmoid/tanh cores)
+  kFLog,   ///< float natural log (LogSoftMax)
+  kLoad,   ///< BRAM read
+  kStore,  ///< BRAM write
+  kStream, ///< AXI4-Stream push/pop
+  kIntOp,  ///< integer add/compare (loop bookkeeping beyond the base overhead)
+  kIMul,   ///< fixed-point multiply (one DSP48 for <=18x25-bit operands)
+};
+
+struct OpCost {
+  int latency;  ///< pipeline depth in cycles at 100 MHz
+  int dsp;      ///< DSP48E1 slices per instance
+  int lut;      ///< logic LUTs per instance
+  int ff;       ///< flip-flops per instance
+  int lutram;   ///< SRL/distributed-RAM LUTs per instance (pipeline balancing)
+};
+
+/// Cost of one operator instance.
+const OpCost& op_cost(OpKind kind);
+
+const char* op_name(OpKind kind);
+
+/// Multiset of operation counts (ops per loop-body iteration).
+using OpCounts = std::map<OpKind, int>;
+
+/// Latency of executing the counted ops as a dependence chain (the naive,
+/// unpipelined schedule Vivado HLS produces without directives): operators
+/// of the same kind execute back-to-back, different kinds chain.
+int chain_latency(const OpCounts& ops);
+
+/// Scheduling constants (see DESIGN.md Sec. 5 for the derivation).
+struct ScheduleConstants {
+  int loop_overhead = 2;       ///< enter/exit + index increment per naive iteration
+  int pipeline_overhead = 3;   ///< per-invocation control overhead of a pipelined region
+  int region_overhead = 4;     ///< FSM transition between task blocks
+  int pipeline_ii = 1;         ///< achieved initiation interval of pipelined loops
+};
+const ScheduleConstants& schedule_constants();
+
+}  // namespace cnn2fpga::hls

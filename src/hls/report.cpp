@@ -1,0 +1,67 @@
+#include "hls/report.hpp"
+
+#include "hls/schedule.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace cnn2fpga::hls {
+
+using cnn2fpga::util::format;
+
+double HlsReport::latency_seconds() const {
+  return cycles_to_seconds(latency_cycles, device.clock_mhz);
+}
+
+double HlsReport::interval_seconds() const {
+  return cycles_to_seconds(interval_cycles, device.clock_mhz);
+}
+
+std::vector<std::string> HlsReport::overflowing_resources() const {
+  std::vector<std::string> over;
+  if (util.ff > 1.0) over.push_back("FF");
+  if (util.lut > 1.0) over.push_back("LUT");
+  if (util.lutram > 1.0) over.push_back("MemLUT");
+  if (util.bram > 1.0) over.push_back("BRAM");
+  if (util.dsp > 1.0) over.push_back("DSP");
+  return over;
+}
+
+std::string HlsReport::to_string() const {
+  std::string out = format("== HLS report: %s on %s (%s), directives: %s ==\n",
+                           design_name.c_str(), device.board.c_str(), device.part.c_str(),
+                           directives.to_string().c_str());
+
+  util::Table table({"block", "latency (cycles)", "DSP", "BRAM18K", "LUT", "FF", "MemLUT"});
+  for (const BlockReport& block : blocks) {
+    table.add_row({block.name, format("%llu", (unsigned long long)block.latency_cycles),
+                   format("%llu", (unsigned long long)block.usage.dsp),
+                   format("%llu", (unsigned long long)block.usage.bram18),
+                   format("%llu", (unsigned long long)block.usage.lut),
+                   format("%llu", (unsigned long long)block.usage.ff),
+                   format("%llu", (unsigned long long)block.usage.lutram)});
+  }
+  out += table.render();
+
+  out += format("single-image latency: %llu cycles (%s @ %.0f MHz)\n",
+                (unsigned long long)latency_cycles,
+                util::human_seconds(latency_seconds()).c_str(), device.clock_mhz);
+  out += format("steady-state interval: %llu cycles (%s)\n",
+                (unsigned long long)interval_cycles,
+                util::human_seconds(interval_seconds()).c_str());
+  if (weight_load_cycles > 0) {
+    out += format("one-time weight upload: %llu cycles (%s)\n",
+                  (unsigned long long)weight_load_cycles,
+                  util::human_seconds(cycles_to_seconds(weight_load_cycles,
+                                                        device.clock_mhz)).c_str());
+  }
+  out += format("utilization: FF %.2f%%  LUT %.2f%%  MemLUT %.2f%%  BRAM %.2f%%  DSP %.2f%%\n",
+                util.ff * 100, util.lut * 100, util.lutram * 100, util.bram * 100,
+                util.dsp * 100);
+  if (!fits()) {
+    out += "WARNING: design exceeds device budget on: " +
+           util::join(overflowing_resources(), ", ") + "\n";
+  }
+  return out;
+}
+
+}  // namespace cnn2fpga::hls

@@ -1,0 +1,47 @@
+// HLS synthesis report: the simulator's equivalent of Vivado HLS's
+// post-synthesis latency and utilization summary.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/device.hpp"
+#include "hls/ir.hpp"
+#include "hls/resources.hpp"
+
+namespace cnn2fpga::hls {
+
+struct BlockReport {
+  std::string name;
+  std::uint64_t latency_cycles = 0;
+  ResourceUsage usage;
+};
+
+struct HlsReport {
+  std::string design_name;
+  FpgaDevice device;
+  DirectiveSet directives;
+
+  std::vector<BlockReport> blocks;
+  std::uint64_t latency_cycles = 0;   ///< single-image latency
+  std::uint64_t interval_cycles = 0;  ///< steady-state initiation interval
+  /// One-time parameter upload cost (streamed-weights designs only; 0 for
+  /// the paper's hard-coded mode).
+  std::uint64_t weight_load_cycles = 0;
+  ResourceUsage usage;
+  Utilization util;
+
+  /// Single-image latency in seconds at the device clock.
+  double latency_seconds() const;
+  /// Steady-state per-image interval in seconds.
+  double interval_seconds() const;
+  /// True iff the design fits the device.
+  bool fits() const { return util.fits(); }
+  /// Names of resources that exceed the device budget (empty if fits).
+  std::vector<std::string> overflowing_resources() const;
+
+  /// Multi-line human-readable report (per-block table + utilization).
+  std::string to_string() const;
+};
+
+}  // namespace cnn2fpga::hls

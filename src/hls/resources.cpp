@@ -1,0 +1,115 @@
+#include "hls/resources.hpp"
+
+#include <algorithm>
+
+namespace cnn2fpga::hls {
+
+namespace {
+// Control logic of one task block's FSM.
+constexpr std::uint64_t kBlockControlLut = 150;
+constexpr std::uint64_t kBlockControlFf = 250;
+// Extra control/mux logic when a block's reduction loops are pipelined
+// (loop flattening counters, operand registers, forwarding muxes).
+constexpr std::uint64_t kPipelineControlLut = 3000;
+constexpr std::uint64_t kPipelineControlFf = 900;
+// Top-level AXI4-Stream adapters + protocol handshake of the IP core.
+constexpr std::uint64_t kInterfaceLut = 600;
+constexpr std::uint64_t kInterfaceFf = 800;
+constexpr std::uint64_t kInterfaceLutram = 64;
+// A BRAM18K holds 512 32-bit words (18 Kbit with parity used as data).
+constexpr std::uint64_t kBram18Words32 = 512;
+}  // namespace
+
+ResourceUsage& ResourceUsage::operator+=(const ResourceUsage& other) {
+  ff += other.ff;
+  lut += other.lut;
+  lutram += other.lutram;
+  bram18 += other.bram18;
+  dsp += other.dsp;
+  return *this;
+}
+
+double Utilization::worst() const {
+  return std::max({ff, lut, lutram, bram, dsp});
+}
+
+Utilization utilization(const ResourceUsage& usage, const FpgaDevice& device) {
+  Utilization u;
+  u.ff = device.ff ? static_cast<double>(usage.ff) / static_cast<double>(device.ff) : 0.0;
+  u.lut = device.lut ? static_cast<double>(usage.lut) / static_cast<double>(device.lut) : 0.0;
+  u.lutram =
+      device.lutram ? static_cast<double>(usage.lutram) / static_cast<double>(device.lutram) : 0.0;
+  // Table II counts BRAM36 tiles; the binder counts BRAM18K halves.
+  u.bram = device.bram36
+               ? static_cast<double>(usage.bram18) / static_cast<double>(2 * device.bram36)
+               : 0.0;
+  u.dsp = device.dsp ? static_cast<double>(usage.dsp) / static_cast<double>(device.dsp) : 0.0;
+  return u;
+}
+
+std::uint64_t array_bram18(const ArrayDecl& array, bool dataflow) {
+  if (array.bits() <= kLutramThresholdBits) return 0;
+  const std::uint64_t words_per_bram =
+      kBram18Words32 * 32 / static_cast<std::uint64_t>(array.width_bits);
+  const std::uint64_t per_copy = (array.depth + words_per_bram - 1) / words_per_bram;
+  const bool doubled = dataflow && array.ping_pong;
+  return per_copy * (doubled ? 2 : 1);
+}
+
+std::uint64_t array_lutram(const ArrayDecl& array, bool dataflow) {
+  if (array.bits() > kLutramThresholdBits) return 0;
+  // Distributed RAM: a LUT6 implements a 64x1 RAM, so a depth-D width-W array
+  // needs W * ceil(D/64) LUTs (minimum one slice-worth of 4).
+  const std::uint64_t per_copy = std::max<std::uint64_t>(
+      4, static_cast<std::uint64_t>(array.width_bits) * ((array.depth + 63) / 64));
+  const bool doubled = dataflow && array.ping_pong;
+  return per_copy * (doubled ? 2 : 1);
+}
+
+ResourceUsage bind_block(const TaskBlock& block, bool dataflow) {
+  ResourceUsage usage;
+  usage.lut += kBlockControlLut;
+  usage.ff += kBlockControlFf;
+
+  // Operator instances: one per occurrence in the body plus one per occurrence
+  // in the epilogue. Vivado HLS 2015.2 does not share floating-point cores
+  // across different loops/blocks by default.
+  const auto bind_ops = [&usage](const OpCounts& ops) {
+    for (const auto& [kind, count] : ops) {
+      if (count <= 0) continue;
+      if (kind == OpKind::kLoad || kind == OpKind::kStore) continue;  // BRAM ports
+      const OpCost& cost = op_cost(kind);
+      usage.dsp += static_cast<std::uint64_t>(cost.dsp) * static_cast<std::uint64_t>(count);
+      usage.lut += static_cast<std::uint64_t>(cost.lut) * static_cast<std::uint64_t>(count);
+      usage.ff += static_cast<std::uint64_t>(cost.ff) * static_cast<std::uint64_t>(count);
+      usage.lutram +=
+          static_cast<std::uint64_t>(cost.lutram) * static_cast<std::uint64_t>(count);
+    }
+  };
+  bind_ops(block.body);
+  bind_ops(block.per_output);
+
+  if (block.pipelined) {
+    usage.lut += kPipelineControlLut;
+    usage.ff += kPipelineControlFf;
+  }
+
+  for (const ArrayDecl& array : block.arrays) {
+    usage.bram18 += array_bram18(array, dataflow);
+    usage.lutram += array_lutram(array, dataflow);
+  }
+  return usage;
+}
+
+ResourceUsage bind_design(const HlsDesign& design) {
+  ResourceUsage usage;
+  usage.lut += kInterfaceLut;
+  usage.ff += kInterfaceFf;
+  usage.lutram += kInterfaceLutram;
+  for (const TaskBlock& block : design.blocks) {
+    usage += bind_block(block, design.directives.dataflow);
+  }
+  return usage;
+}
+
+}  // namespace cnn2fpga::hls

@@ -1,0 +1,58 @@
+// Resource binder of the HLS simulator.
+//
+// Produces the utilization figures of the paper's Table II: flip-flops, logic
+// LUTs, memory LUTs (distributed RAM / SRL), BRAM and DSP slices. The binding
+// rules mirror Vivado HLS 2015.2 defaults:
+//   - one operator instance per op kind per occurrence in a block's body
+//     (no sharing across task blocks — each layer is its own code block);
+//   - arrays below a size threshold implement in distributed RAM (memory
+//     LUTs), larger ones in BRAM18K units (512 x 32-bit words each);
+//   - DATAFLOW doubles inter-task channel buffers (ping-pong);
+//   - PIPELINE adds flattened-loop control and operand-mux logic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hls/device.hpp"
+#include "hls/ir.hpp"
+
+namespace cnn2fpga::hls {
+
+struct ResourceUsage {
+  std::uint64_t ff = 0;
+  std::uint64_t lut = 0;
+  std::uint64_t lutram = 0;  ///< "Memory LUT" column of Table II
+  std::uint64_t bram18 = 0;  ///< BRAM18K units (2 per BRAM36)
+  std::uint64_t dsp = 0;
+
+  ResourceUsage& operator+=(const ResourceUsage& other);
+  friend ResourceUsage operator+(ResourceUsage a, const ResourceUsage& b) { return a += b; }
+  bool operator==(const ResourceUsage&) const = default;
+};
+
+/// Utilization fractions (0..1) of a usage against a device's budget.
+struct Utilization {
+  double ff = 0, lut = 0, lutram = 0, bram = 0, dsp = 0;
+
+  /// Highest utilization across the five resources.
+  double worst() const;
+  /// True iff every resource fits (utilization <= 1).
+  bool fits() const { return worst() <= 1.0; }
+};
+
+Utilization utilization(const ResourceUsage& usage, const FpgaDevice& device);
+
+/// Resources consumed by one task block (operators + control + its arrays).
+ResourceUsage bind_block(const TaskBlock& block, bool dataflow);
+
+/// Whole-design binding: all blocks plus the AXI4-Stream interface adapters.
+ResourceUsage bind_design(const HlsDesign& design);
+
+/// Memory footprint helpers (exposed for tests).
+std::uint64_t array_bram18(const ArrayDecl& array, bool dataflow);
+std::uint64_t array_lutram(const ArrayDecl& array, bool dataflow);
+/// Arrays at or below this bit count implement in distributed RAM.
+constexpr std::uint64_t kLutramThresholdBits = 2048;
+
+}  // namespace cnn2fpga::hls

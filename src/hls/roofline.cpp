@@ -1,0 +1,57 @@
+#include "hls/roofline.hpp"
+
+#include <algorithm>
+
+#include "hls/estimator.hpp"
+#include "hls/schedule.hpp"
+
+namespace cnn2fpga::hls {
+
+double RooflinePlatform::computational_roof_gflops() const {
+  return 2.0 * peak_macs_per_cycle * clock_mhz * 1e6 / 1e9;
+}
+
+RooflinePlatform RooflinePlatform::for_device(const FpgaDevice& device,
+                                              const nn::NumericFormat& format) {
+  RooflinePlatform platform;
+  platform.clock_mhz = device.clock_mhz;
+  // DSPs per MAC: float = fmul(3) + fadd(2); fixed <=18-bit = 1 DSP multiply
+  // with the add absorbed into fabric logic.
+  const double dsp_per_mac = format.is_fixed ? 1.0 : 5.0;
+  platform.peak_macs_per_cycle = static_cast<double>(device.dsp) / dsp_per_mac;
+  return platform;
+}
+
+RooflinePoint roofline_analysis(const nn::Network& net, const HlsReport& report,
+                                const RooflinePlatform& platform) {
+  RooflinePoint point;
+  point.flops_per_image = 2.0 * static_cast<double>(net.total_macs());
+  // Weights are hard-coded on-chip (the framework's design decision), so the
+  // only off-chip traffic is the streamed image and the score packet.
+  const double input_bytes = static_cast<double>(net.input_shape().elements()) * 4.0;
+  const double output_bytes = static_cast<double>(net.output_shape().elements() + 1) * 4.0;
+  point.offchip_bytes_per_image = input_bytes + output_bytes;
+  point.ctc_ratio = point.flops_per_image / point.offchip_bytes_per_image;
+
+  const double bandwidth_roof_gflops =
+      point.ctc_ratio * platform.dram_bandwidth_bytes_per_s / 1e9;
+  const double comp_roof = platform.computational_roof_gflops();
+  point.attainable_gflops = std::min(comp_roof, bandwidth_roof_gflops);
+  point.compute_bound = comp_roof <= bandwidth_roof_gflops;
+
+  const double interval_seconds =
+      cycles_to_seconds(report.interval_cycles, platform.clock_mhz);
+  point.achieved_gflops =
+      interval_seconds > 0.0 ? point.flops_per_image / interval_seconds / 1e9 : 0.0;
+  point.roof_fraction =
+      point.attainable_gflops > 0.0 ? point.achieved_gflops / point.attainable_gflops : 0.0;
+  return point;
+}
+
+RooflinePoint roofline_analysis(const nn::Network& net, const DirectiveSet& directives,
+                                const FpgaDevice& device, const nn::NumericFormat& format) {
+  const HlsReport report = estimate(net, directives, device, format);
+  return roofline_analysis(net, report, RooflinePlatform::for_device(device, format));
+}
+
+}  // namespace cnn2fpga::hls

@@ -1,0 +1,58 @@
+// Roofline analysis of generated designs.
+//
+// The paper's main analytical baseline (Zhang et al. [9], "Optimizing
+// FPGA-based accelerator design for deep convolutional neural networks")
+// explores the accelerator design space with the roofline model [20]:
+// attainable performance = min(computational roof, CTC ratio x bandwidth).
+// This module implements that methodology for cnn2fpga designs so users can
+// see where a generated accelerator sits relative to the platform's rooflines
+// — and how far the paper's directive-based flow is from the
+// compute/bandwidth bound, which is exactly the comparison the related-work
+// section draws.
+#pragma once
+
+#include "hls/device.hpp"
+#include "hls/ir.hpp"
+#include "hls/report.hpp"
+#include "nn/network.hpp"
+#include "nn/quantize.hpp"
+
+namespace cnn2fpga::hls {
+
+struct RooflinePlatform {
+  /// Peak MACs the fabric could issue per cycle if every DSP pair formed a
+  /// pipelined multiply-accumulate (float MAC = fmul 3 DSP + fadd 2 DSP).
+  double peak_macs_per_cycle = 0.0;
+  double clock_mhz = 100.0;
+  /// Off-chip bandwidth of the PS HP port path (bytes/s). The Zedboard's
+  /// single 64-bit HP port at 100 MHz sustains ~0.8 GB/s in practice.
+  double dram_bandwidth_bytes_per_s = 800e6;
+
+  /// Computational roof in GFLOP/s (2 FLOPs per MAC).
+  double computational_roof_gflops() const;
+
+  static RooflinePlatform for_device(const FpgaDevice& device,
+                                     const nn::NumericFormat& format);
+};
+
+struct RooflinePoint {
+  double flops_per_image = 0.0;          ///< 2 * MACs
+  double offchip_bytes_per_image = 0.0;  ///< streamed input + output (weights on-chip)
+  double ctc_ratio = 0.0;                ///< computation-to-communication, FLOP/byte
+  double attainable_gflops = 0.0;        ///< min(comp roof, ctc * bandwidth)
+  double achieved_gflops = 0.0;          ///< from the design's HLS interval
+  double roof_fraction = 0.0;            ///< achieved / attainable
+  bool compute_bound = false;            ///< attainable limited by the comp roof
+};
+
+/// Place a synthesized design on the platform's roofline. `report` must come
+/// from the same network/directives/device.
+RooflinePoint roofline_analysis(const nn::Network& net, const HlsReport& report,
+                                const RooflinePlatform& platform);
+
+/// Convenience: estimate + analyze in one step.
+RooflinePoint roofline_analysis(const nn::Network& net, const DirectiveSet& directives,
+                                const FpgaDevice& device,
+                                const nn::NumericFormat& format = nn::NumericFormat::float32());
+
+}  // namespace cnn2fpga::hls

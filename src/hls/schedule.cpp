@@ -1,0 +1,65 @@
+#include "hls/schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cnn2fpga::hls {
+
+std::uint64_t block_latency(const TaskBlock& block) {
+  const ScheduleConstants& k = schedule_constants();
+  const std::uint64_t inner = block.loops.total_iterations();
+  const std::uint64_t outer = block.loops.outer_iterations();
+  if (inner == 0) return k.region_overhead;
+
+  const int body_chain = chain_latency(block.body);
+  const int output_chain = chain_latency(block.per_output);
+
+  if (!block.pipelined) {
+    // Sequential schedule: every innermost iteration pays the full dependence
+    // chain plus loop bookkeeping; every outer iteration additionally pays the
+    // per-output epilogue (bias set-up, store, ...).
+    return inner * static_cast<std::uint64_t>(body_chain + k.loop_overhead) +
+           outer * static_cast<std::uint64_t>(output_chain + 1) + k.region_overhead;
+  }
+
+  // PIPELINE applied to the (flattened) reduction loops. If the nest has no
+  // reduction levels the whole nest is flattened (Vivado HLS loop_flatten),
+  // matching e.g. the AXI-Stream reader running at II=1.
+  std::uint64_t reduction = block.loops.reduction_iterations();
+  std::uint64_t effective_outer = outer;
+  if (block.loops.reduction_levels == 0) {
+    reduction = inner;
+    effective_outer = 1;
+  }
+  const std::uint64_t per_invocation =
+      reduction * static_cast<std::uint64_t>(k.pipeline_ii) +
+      static_cast<std::uint64_t>(body_chain) +  // pipeline fill/drain
+      static_cast<std::uint64_t>(output_chain) +
+      static_cast<std::uint64_t>(k.pipeline_overhead);
+  return effective_outer * per_invocation + k.region_overhead;
+}
+
+std::uint64_t design_latency(const HlsDesign& design) {
+  std::uint64_t total = 0;
+  for (const TaskBlock& block : design.blocks) total += block_latency(block);
+  return total;
+}
+
+std::uint64_t design_interval(const HlsDesign& design) {
+  if (!design.directives.dataflow) return design_latency(design);
+  std::uint64_t worst = 0;
+  for (const TaskBlock& block : design.blocks) worst = std::max(worst, block_latency(block));
+  return worst;
+}
+
+std::uint64_t batch_latency(const HlsDesign& design, std::uint64_t count) {
+  if (count == 0) return 0;
+  return design_latency(design) + (count - 1) * design_interval(design);
+}
+
+double cycles_to_seconds(std::uint64_t cycles, double clock_mhz) {
+  if (clock_mhz <= 0.0) throw std::invalid_argument("cycles_to_seconds: clock must be positive");
+  return static_cast<double>(cycles) / (clock_mhz * 1e6);
+}
+
+}  // namespace cnn2fpga::hls

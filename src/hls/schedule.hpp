@@ -1,0 +1,37 @@
+// Latency scheduler of the HLS simulator.
+//
+// Computes, per task block and for the whole design, the cycle counts Vivado
+// HLS would report:
+//   - naive blocks execute the body as a dependence chain once per innermost
+//     iteration plus per-iteration loop overhead;
+//   - PIPELINEd blocks flatten the reduction loops and initiate one body
+//     every II cycles, paying the pipeline depth once per outer iteration;
+//   - without DATAFLOW the design processes one input in sum(block latencies)
+//     cycles and cannot overlap consecutive inputs;
+//   - with DATAFLOW consecutive inputs overlap at an interval of
+//     max(block latency) (ping-pong channel buffers between tasks).
+#pragma once
+
+#include <cstdint>
+
+#include "hls/ir.hpp"
+
+namespace cnn2fpga::hls {
+
+/// Cycles for one invocation of a block.
+std::uint64_t block_latency(const TaskBlock& block);
+
+/// Cycles from input arrival to classification for a single image.
+std::uint64_t design_latency(const HlsDesign& design);
+
+/// Steady-state cycles between consecutive classifications when inputs are
+/// streamed back-to-back. Equals design_latency without DATAFLOW.
+std::uint64_t design_interval(const HlsDesign& design);
+
+/// Total cycles to classify `count` back-to-back images.
+std::uint64_t batch_latency(const HlsDesign& design, std::uint64_t count);
+
+/// Cycle count converted to seconds at the given clock.
+double cycles_to_seconds(std::uint64_t cycles, double clock_mhz);
+
+}  // namespace cnn2fpga::hls

@@ -1,0 +1,183 @@
+#include "nn/fixed_inference.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cnn2fpga::nn {
+
+namespace {
+
+using Raw = std::int32_t;
+
+std::vector<Raw> quantize_tensor(const Tensor& t, const FixedPointFormat& format) {
+  std::vector<Raw> out(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) out[i] = fixed_quantize(t[i], format);
+  return out;
+}
+
+std::vector<Raw> run_conv(const Conv2D& conv, const std::vector<Raw>& x, const Shape& in_shape,
+                          const Shape& out_shape, const FixedPointFormat& format) {
+  const std::vector<Raw> w = quantize_tensor(conv.weights(), format);
+  const std::vector<Raw> b = quantize_tensor(conv.bias(), format);
+  const std::size_t C = conv.in_channels(), KH = conv.kernel_h(), KW = conv.kernel_w();
+  const std::size_t IH = in_shape.height(), IW = in_shape.width();
+  const std::size_t OH = out_shape.height(), OW = out_shape.width();
+
+  std::vector<Raw> out(out_shape.elements());
+  for (std::size_t k = 0; k < conv.out_channels(); ++k) {
+    for (std::size_t i = 0; i < OH; ++i) {
+      for (std::size_t j = 0; j < OW; ++j) {
+        // Bias is frac-scaled; products are 2*frac-scaled: align the bias up.
+        std::int64_t acc = static_cast<std::int64_t>(b[k]) << format.frac_bits;
+        for (std::size_t c = 0; c < C; ++c) {
+          for (std::size_t m = 0; m < KH; ++m) {
+            for (std::size_t n = 0; n < KW; ++n) {
+              const std::int64_t wv = w[((k * C + c) * KH + m) * KW + n];
+              const std::int64_t xv = x[(c * IH + (i + m)) * IW + (j + n)];
+              acc += wv * xv;
+            }
+          }
+        }
+        out[(k * OH + i) * OW + j] = fixed_renormalize(acc, format);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Raw> run_pool(const Pool2D& pool, const std::vector<Raw>& x, const Shape& in_shape,
+                          const Shape& out_shape, const FixedPointFormat& format) {
+  const std::size_t C = out_shape.channels(), OH = out_shape.height(), OW = out_shape.width();
+  const std::size_t IH = in_shape.height(), IW = in_shape.width();
+  const std::size_t KH = pool.kernel_h(), KW = pool.kernel_w(), S = pool.step();
+
+  std::vector<Raw> out(out_shape.elements());
+  for (std::size_t c = 0; c < C; ++c) {
+    for (std::size_t i = 0; i < OH; ++i) {
+      for (std::size_t j = 0; j < OW; ++j) {
+        if (pool.pool_kind() == PoolKind::kMax) {
+          Raw best = x[(c * IH + i * S) * IW + j * S];
+          for (std::size_t m = 0; m < KH; ++m) {
+            for (std::size_t n = 0; n < KW; ++n) {
+              best = std::max(best, x[(c * IH + (i * S + m)) * IW + (j * S + n)]);
+            }
+          }
+          out[(c * OH + i) * OW + j] = best;
+        } else {
+          std::int64_t acc = 0;
+          for (std::size_t m = 0; m < KH; ++m) {
+            for (std::size_t n = 0; n < KW; ++n) {
+              acc += x[(c * IH + (i * S + m)) * IW + (j * S + n)];
+            }
+          }
+          // Symmetric round-half-away integer mean; the generated fixed C++
+          // emits this exact expression so both sides agree bit-for-bit.
+          const std::int64_t window = static_cast<std::int64_t>(KH * KW);
+          const std::int64_t mean = acc >= 0 ? (acc + window / 2) / window
+                                             : -((-acc + window / 2) / window);
+          out[(c * OH + i) * OW + j] = fixed_saturate(mean, format);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Raw> run_linear(const Linear& linear, const std::vector<Raw>& x,
+                            const FixedPointFormat& format) {
+  const std::vector<Raw> w = quantize_tensor(linear.weights(), format);
+  const std::vector<Raw> b = quantize_tensor(linear.bias(), format);
+  const std::size_t I = linear.in_features(), J = linear.out_features();
+
+  std::vector<Raw> out(J);
+  for (std::size_t j = 0; j < J; ++j) {
+    std::int64_t acc = static_cast<std::int64_t>(b[j]) << format.frac_bits;
+    for (std::size_t i = 0; i < I; ++i) {
+      acc += static_cast<std::int64_t>(w[j * I + i]) * static_cast<std::int64_t>(x[i]);
+    }
+    out[j] = fixed_renormalize(acc, format);
+  }
+  return out;
+}
+
+std::vector<Raw> run_activation(const Activation& act, const std::vector<Raw>& x,
+                                const FixedPointFormat& format) {
+  std::vector<Raw> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (act.act() == ActKind::kReLU) {
+      out[i] = x[i] > 0 ? x[i] : 0;  // exact in fixed point
+    } else {
+      const float y = Activation::apply(act.act(), fixed_dequantize(x[i], format));
+      out[i] = fixed_quantize(y, format);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FixedForwardResult forward_fixed(const Network& net, const Tensor& input,
+                                 const FixedPointFormat& format) {
+  format.validate();
+  if (input.shape() != net.input_shape()) {
+    throw std::invalid_argument("forward_fixed: input shape mismatch");
+  }
+
+  std::vector<Raw> acts = quantize_tensor(input, format);
+  Shape shape = net.input_shape();
+
+  FixedForwardResult result;
+  for (std::size_t l = 0; l < net.layer_count(); ++l) {
+    const Layer& layer = net.layer(l);
+    const Shape& out_shape = net.shape_after(l);
+    if (const auto* conv = dynamic_cast<const Conv2D*>(&layer)) {
+      acts = run_conv(*conv, acts, shape, out_shape, format);
+    } else if (const auto* pool = dynamic_cast<const Pool2D*>(&layer)) {
+      acts = run_pool(*pool, acts, shape, out_shape, format);
+    } else if (const auto* linear = dynamic_cast<const Linear*>(&layer)) {
+      acts = run_linear(*linear, acts, format);
+    } else if (const auto* act = dynamic_cast<const Activation*>(&layer)) {
+      acts = run_activation(*act, acts, format);
+    } else if (dynamic_cast<const LogSoftMax*>(&layer) != nullptr) {
+      // Dequantize and evaluate the output normalizer in float, exactly as
+      // the generated fixed design does.
+      Tensor logits(Shape{acts.size()});
+      for (std::size_t i = 0; i < acts.size(); ++i) {
+        logits[i] = fixed_dequantize(acts[i], format);
+      }
+      LogSoftMax lsm;
+      result.scores = lsm.forward(logits, false);
+      result.predicted = result.scores.argmax();
+
+      // Quantization-quality signal: compare pre-softmax logits to float.
+      Network& mutable_net = const_cast<Network&>(net);
+      Tensor ref = input;
+      for (std::size_t r = 0; r < l; ++r) ref = mutable_net.layer(r).forward(ref, false);
+      for (std::size_t i = 0; i < acts.size(); ++i) {
+        result.output_error = std::max(result.output_error, std::fabs(ref[i] - logits[i]));
+      }
+      return result;
+    }
+    shape = out_shape;
+  }
+
+  // Network without a LogSoftMax tail: return dequantized raw scores.
+  result.scores = Tensor(Shape{acts.size()});
+  for (std::size_t i = 0; i < acts.size(); ++i) {
+    result.scores[i] = fixed_dequantize(acts[i], format);
+  }
+  result.predicted = result.scores.argmax();
+  return result;
+}
+
+float evaluate_error_fixed(const Network& net, const std::vector<Sample>& samples,
+                           const FixedPointFormat& format) {
+  if (samples.empty()) return 1.0f;
+  std::size_t wrong = 0;
+  for (const Sample& sample : samples) {
+    if (forward_fixed(net, sample.image, format).predicted != sample.label) ++wrong;
+  }
+  return static_cast<float>(wrong) / static_cast<float>(samples.size());
+}
+
+}  // namespace cnn2fpga::nn

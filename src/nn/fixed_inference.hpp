@@ -1,0 +1,39 @@
+// Fixed-point inference over a float-trained network.
+//
+// Executes the network's feed-forward pass in Q(m,n) integer arithmetic:
+// weights, biases and activations are quantized, multiply-accumulates run in
+// a 64-bit accumulator at 2*frac_bits scale and are renormalized with
+// round-half-up + saturation after each dot product — precisely the
+// arithmetic the code generator's fixed mode emits, so the two agree
+// bit-for-bit (tested in test_fixed.cpp).
+//
+// Transcendental stages (tanh/sigmoid, the trailing LogSoftMax) dequantize,
+// evaluate in float and (for mid-network activations) requantize, mirroring
+// the LUT-backed float cores the generated design would instantiate.
+#pragma once
+
+#include <vector>
+
+#include "nn/network.hpp"
+#include "nn/quantize.hpp"
+#include "nn/trainer.hpp"  // Sample
+
+namespace cnn2fpga::nn {
+
+struct FixedForwardResult {
+  Tensor scores;              ///< final (float) log-probabilities
+  std::size_t predicted = 0;
+  /// Largest |float - fixed| activation discrepancy observed at the network
+  /// output *before* LogSoftMax (a quantization-quality signal).
+  float output_error = 0.0f;
+};
+
+/// Run one image through the network in fixed-point arithmetic.
+FixedForwardResult forward_fixed(const Network& net, const Tensor& input,
+                                 const FixedPointFormat& format);
+
+/// Misclassification rate of the fixed-point execution over a sample set.
+float evaluate_error_fixed(const Network& net, const std::vector<Sample>& samples,
+                           const FixedPointFormat& format);
+
+}  // namespace cnn2fpga::nn

@@ -1,0 +1,155 @@
+#include "nn/network.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace cnn2fpga::nn {
+
+using cnn2fpga::util::format;
+
+Network::Network(Shape input_shape, std::string name)
+    : name_(std::move(name)), input_shape_(input_shape) {
+  if (input_shape.rank() != 3) {
+    throw std::invalid_argument(format("Network: input must be CHW, got %s",
+                                       input_shape.to_string().c_str()));
+  }
+  shapes_.push_back(input_shape);
+}
+
+template <typename L>
+L& Network::add_layer(std::unique_ptr<L> layer) {
+  // output_shape() throws if the layer is incompatible with the current shape,
+  // so an invalid architecture never becomes part of the network.
+  const Shape out = layer->output_shape(shapes_.back());
+  L& ref = *layer;
+  layers_.push_back(std::move(layer));
+  shapes_.push_back(out);
+  return ref;
+}
+
+Conv2D& Network::add_conv(std::size_t out_channels, std::size_t kernel_h, std::size_t kernel_w) {
+  return add_layer(std::make_unique<Conv2D>(shapes_.back().channels(), out_channels, kernel_h,
+                                            kernel_w));
+}
+
+Pool2D& Network::add_max_pool(std::size_t kernel, std::size_t step) {
+  return add_layer(std::make_unique<Pool2D>(PoolKind::kMax, kernel, kernel, step));
+}
+
+Pool2D& Network::add_mean_pool(std::size_t kernel, std::size_t step) {
+  return add_layer(std::make_unique<Pool2D>(PoolKind::kMean, kernel, kernel, step));
+}
+
+Linear& Network::add_linear(std::size_t out_features) {
+  return add_layer(std::make_unique<Linear>(shapes_.back().elements(), out_features));
+}
+
+Activation& Network::add_activation(ActKind act) {
+  return add_layer(std::make_unique<Activation>(act));
+}
+
+LogSoftMax& Network::add_logsoftmax() { return add_layer(std::make_unique<LogSoftMax>()); }
+
+Tensor Network::forward(const Tensor& input, bool train) {
+  if (input.shape() != input_shape_) {
+    throw std::invalid_argument(format("Network::forward: expected input %s, got %s",
+                                       input_shape_.to_string().c_str(),
+                                       input.shape().to_string().c_str()));
+  }
+  Tensor current = input;
+  for (const LayerPtr& layer : layers_) current = layer->forward(current, train);
+  return current;
+}
+
+std::size_t Network::predict(const Tensor& input) { return forward(input, false).argmax(); }
+
+void Network::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) grad = (*it)->backward(grad);
+}
+
+std::vector<Param> Network::params() {
+  std::vector<Param> all;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    for (Param p : layers_[i]->params()) {
+      p.name = format("layer%zu.%s", i, p.name.c_str());
+      all.push_back(p);
+    }
+  }
+  return all;
+}
+
+void Network::zero_grad() {
+  for (const LayerPtr& layer : layers_) layer->zero_grad();
+}
+
+std::size_t Network::parameter_count() const {
+  std::size_t total = 0;
+  for (const LayerPtr& layer : layers_) {
+    for (const Param& p : const_cast<Layer&>(*layer).params()) total += p.value->size();
+  }
+  return total;
+}
+
+std::size_t Network::total_macs() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < layers_.size(); ++i) total += layers_[i]->mac_count(shapes_[i]);
+  return total;
+}
+
+void Network::init_weights(util::Rng& rng) {
+  for (const LayerPtr& layer : layers_) {
+    if (auto* conv = dynamic_cast<Conv2D*>(layer.get())) conv->init_weights(rng);
+    if (auto* linear = dynamic_cast<Linear*>(layer.get())) linear->init_weights(rng);
+  }
+}
+
+std::string Network::structure() const {
+  std::string out = format("network '%s' input %s\n", name_.c_str(),
+                           input_shape_.to_string().c_str());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    out += format("  [%zu] %-55s -> %s\n", i, layers_[i]->describe().c_str(),
+                  shapes_[i + 1].to_string().c_str());
+  }
+  return out;
+}
+
+Network make_test1_network() {
+  // Sec. V-A: 16x16 grayscale input, six 5x5 filters, 2x2 max-pool, 10 neurons.
+  Network net(Shape{1, 16, 16}, "usps_test1");
+  net.add_conv(6, 5, 5);        // -> (6, 12, 12)
+  net.add_max_pool(2, 2);       // -> (6, 6, 6)
+  net.add_linear(10);           // -> (10)
+  net.add_logsoftmax();
+  return net;
+}
+
+Network make_test3_network() {
+  // Sec. V-C: first conv stage as Test 1, then sixteen 5x5 kernels on the six
+  // 6x6 pooled maps -> sixteen 2x2 maps, then the 10-neuron linear layer.
+  Network net(Shape{1, 16, 16}, "usps_test3");
+  net.add_conv(6, 5, 5);        // -> (6, 12, 12)
+  net.add_max_pool(2, 2);       // -> (6, 6, 6)
+  net.add_conv(16, 5, 5);       // -> (16, 2, 2)
+  net.add_linear(10);           // -> (10)
+  net.add_logsoftmax();
+  return net;
+}
+
+Network make_test4_network() {
+  // Sec. V-D: 32x32 RGB input, twelve 5x5 filters + 2x2 max-pool, thirty-six
+  // 5x5 kernels + 2x2 max-pool, linear 36, linear 10.
+  Network net(Shape{3, 32, 32}, "cifar10_test4");
+  net.add_conv(12, 5, 5);       // -> (12, 28, 28)
+  net.add_max_pool(2, 2);       // -> (12, 14, 14)
+  net.add_conv(36, 5, 5);       // -> (36, 10, 10)
+  net.add_max_pool(2, 2);       // -> (36, 5, 5)
+  net.add_linear(36);           // -> (36)
+  net.add_activation(ActKind::kTanh);
+  net.add_linear(10);           // -> (10)
+  net.add_logsoftmax();
+  return net;
+}
+
+}  // namespace cnn2fpga::nn

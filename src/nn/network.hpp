@@ -1,0 +1,87 @@
+// Sequential CNN container: the in-memory form of the network the framework's
+// descriptor describes (Fig. 1 structure: conv/pool stages followed by an MLP
+// and a LogSoftMax output).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/activation.hpp"
+#include "nn/conv.hpp"
+#include "nn/layer.hpp"
+#include "nn/linear.hpp"
+#include "nn/logsoftmax.hpp"
+#include "nn/pool.hpp"
+
+namespace cnn2fpga::nn {
+
+class Network {
+ public:
+  /// A network for CHW inputs of the given shape.
+  explicit Network(Shape input_shape, std::string name = "cnn");
+
+  const std::string& name() const { return name_; }
+  const Shape& input_shape() const { return input_shape_; }
+
+  /// Builder API. Each call validates shape compatibility eagerly so a broken
+  /// architecture fails at construction, not at the first forward pass.
+  Conv2D& add_conv(std::size_t out_channels, std::size_t kernel_h, std::size_t kernel_w);
+  Pool2D& add_max_pool(std::size_t kernel, std::size_t step);
+  Pool2D& add_mean_pool(std::size_t kernel, std::size_t step);
+  Linear& add_linear(std::size_t out_features);
+  Activation& add_activation(ActKind act);
+  LogSoftMax& add_logsoftmax();
+
+  std::size_t layer_count() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+  const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+  /// Shape flowing out of layer i (and into layer i+1).
+  const Shape& shape_after(std::size_t i) const { return shapes_.at(i + 1); }
+  /// Final output shape.
+  const Shape& output_shape() const { return shapes_.back(); }
+
+  /// Full forward pass.
+  Tensor forward(const Tensor& input, bool train = false);
+
+  /// Forward + argmax: the class index the generated hardware returns.
+  std::size_t predict(const Tensor& input);
+
+  /// Backward from the output gradient; requires forward(..., true) first.
+  void backward(const Tensor& grad_output);
+
+  /// All learnable parameters across layers (named layer<i>.<param>).
+  std::vector<Param> params();
+  void zero_grad();
+
+  /// Total parameter scalars (weights + biases).
+  std::size_t parameter_count() const;
+
+  /// Total multiply-accumulates for one forward pass.
+  std::size_t total_macs() const;
+
+  /// Initialize all conv/linear weights (LeCun uniform) from one RNG.
+  void init_weights(util::Rng& rng);
+
+  /// Multi-line structure trace (layer kind, config, output shape) — the
+  /// textual equivalent of the paper's Fig. 1.
+  std::string structure() const;
+
+ private:
+  template <typename L>
+  L& add_layer(std::unique_ptr<L> layer);
+
+  std::string name_;
+  Shape input_shape_;
+  std::vector<LayerPtr> layers_;
+  std::vector<Shape> shapes_;  // shapes_[0] = input, shapes_[i+1] = after layer i
+};
+
+/// The four case-study networks of the paper's evaluation (Sec. V).
+/// Weight values are *not* initialized; train or load them.
+Network make_test1_network();  // USPS: conv 6x5x5 + maxpool 2x2 + linear 10 (Tests 1 & 2)
+Network make_test3_network();  // USPS: + conv 16x5x5 -> 2x2 maps, linear 10
+Network make_test4_network();  // CIFAR-10: conv12/pool/conv36/pool/linear36/linear10
+
+}  // namespace cnn2fpga::nn

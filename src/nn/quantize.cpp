@@ -1,0 +1,56 @@
+#include "nn/quantize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace cnn2fpga::nn {
+
+std::string FixedPointFormat::name() const {
+  return util::format("Q%d.%d", integer_bits(), frac_bits);
+}
+
+void FixedPointFormat::validate() const {
+  if (total_bits < 2 || total_bits > 32) {
+    throw std::invalid_argument(util::format("FixedPointFormat: total_bits %d out of [2,32]",
+                                             total_bits));
+  }
+  if (frac_bits < 1 || frac_bits >= total_bits) {
+    throw std::invalid_argument(util::format(
+        "FixedPointFormat: frac_bits %d must be in [1, total_bits)", frac_bits));
+  }
+}
+
+std::int32_t fixed_quantize(float value, const FixedPointFormat& format) {
+  // lrintf rounds to nearest (ties to even under the default FP environment);
+  // the generated C++ emits the same call so both sides agree bit-for-bit.
+  const float scaled = value * static_cast<float>(format.scale());
+  if (!(scaled < static_cast<float>(format.max_raw()))) {
+    return static_cast<std::int32_t>(format.max_raw());  // also catches NaN/inf upward
+  }
+  if (scaled < static_cast<float>(format.min_raw())) {
+    return static_cast<std::int32_t>(format.min_raw());
+  }
+  return static_cast<std::int32_t>(std::lrintf(scaled));
+}
+
+float fixed_dequantize(std::int64_t raw, const FixedPointFormat& format) {
+  return static_cast<float>(static_cast<double>(raw) / static_cast<double>(format.scale()));
+}
+
+std::int32_t fixed_saturate(std::int64_t raw, const FixedPointFormat& format) {
+  if (raw > format.max_raw()) return static_cast<std::int32_t>(format.max_raw());
+  if (raw < format.min_raw()) return static_cast<std::int32_t>(format.min_raw());
+  return static_cast<std::int32_t>(raw);
+}
+
+std::int32_t fixed_renormalize(std::int64_t accumulator, const FixedPointFormat& format) {
+  // Round half up: add 2^(frac-1) before the arithmetic shift. frac_bits >= 1
+  // is guaranteed by validate().
+  const std::int64_t half = std::int64_t{1} << (format.frac_bits - 1);
+  const std::int64_t shifted = (accumulator + half) >> format.frac_bits;
+  return fixed_saturate(shifted, format);
+}
+
+}  // namespace cnn2fpga::nn

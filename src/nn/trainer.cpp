@@ -1,0 +1,101 @@
+#include "nn/trainer.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace cnn2fpga::nn {
+
+using cnn2fpga::util::format;
+
+TrainResult SgdTrainer::train(Network& net, const std::vector<Sample>& train_set,
+                              const std::vector<Sample>& test_set) const {
+  if (train_set.empty()) throw std::invalid_argument("SgdTrainer: empty training set");
+  if (net.layer_count() == 0 || net.layer(net.layer_count() - 1).kind() != "logsoftmax") {
+    throw std::invalid_argument("SgdTrainer: network must end in a LogSoftMax layer");
+  }
+
+  // Momentum buffers, one per parameter tensor.
+  std::vector<Param> params = net.params();
+  std::vector<Tensor> velocity;
+  velocity.reserve(params.size());
+  for (const Param& p : params) velocity.emplace_back(p.value->shape());
+
+  util::Rng shuffle_rng(config_.shuffle_seed);
+  std::vector<std::size_t> order(train_set.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainResult result;
+  float lr = config_.learning_rate;
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    // Fisher-Yates shuffle with the deterministic RNG.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[shuffle_rng.next_below(i)]);
+    }
+
+    double loss_sum = 0.0;
+    for (const std::size_t idx : order) {
+      const Sample& sample = train_set[idx];
+      net.zero_grad();
+      const Tensor log_probs = net.forward(sample.image, /*train=*/true);
+      loss_sum += nll_loss(log_probs, sample.label);
+      net.backward(nll_loss_grad(log_probs, sample.label));
+
+      if (config_.clip_grad_norm > 0.0f) {
+        double norm_sq = 0.0;
+        for (const Param& p : params) {
+          for (std::size_t i = 0; i < p.grad->size(); ++i) {
+            norm_sq += static_cast<double>((*p.grad)[i]) * (*p.grad)[i];
+          }
+        }
+        const double norm = std::sqrt(norm_sq);
+        if (norm > config_.clip_grad_norm) {
+          const float scale = config_.clip_grad_norm / static_cast<float>(norm);
+          for (const Param& p : params) {
+            for (std::size_t i = 0; i < p.grad->size(); ++i) (*p.grad)[i] *= scale;
+          }
+        }
+      }
+
+      for (std::size_t p = 0; p < params.size(); ++p) {
+        Tensor& v = velocity[p];
+        Tensor& value = *params[p].value;
+        const Tensor& grad = *params[p].grad;
+        for (std::size_t i = 0; i < value.size(); ++i) {
+          v[i] = config_.momentum * v[i] - lr * grad[i];
+          value[i] += v[i];
+        }
+      }
+    }
+
+    const float mean_loss = static_cast<float>(loss_sum / static_cast<double>(train_set.size()));
+    result.epoch_loss.push_back(mean_loss);
+    float test_error = std::numeric_limits<float>::quiet_NaN();
+    if (config_.on_epoch) {
+      if (!test_set.empty()) test_error = evaluate_error(net, test_set);
+      config_.on_epoch(epoch, mean_loss, test_error);
+    }
+    LOG_DEBUG("trainer") << format("epoch %zu: loss %.4f lr %.4f", epoch, mean_loss, lr);
+    lr *= config_.lr_decay;
+  }
+
+  result.final_train_error = evaluate_error(net, train_set);
+  result.final_test_error = test_set.empty() ? 1.0f : evaluate_error(net, test_set);
+  return result;
+}
+
+float SgdTrainer::evaluate_error(Network& net, const std::vector<Sample>& samples) {
+  if (samples.empty()) return 1.0f;
+  std::size_t wrong = 0;
+  for (const Sample& sample : samples) {
+    if (net.predict(sample.image) != sample.label) ++wrong;
+  }
+  return static_cast<float>(wrong) / static_cast<float>(samples.size());
+}
+
+}  // namespace cnn2fpga::nn

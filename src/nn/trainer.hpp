@@ -1,0 +1,61 @@
+// SGD trainer.
+//
+// The paper trains its case-study networks offline with Torch and feeds the
+// exported weights to the framework. This module is our Torch substitute: it
+// trains the reference network with plain stochastic gradient descent (with
+// optional momentum and learning-rate decay) on the synthetic datasets and
+// reports the prediction error used in Table I.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nn/network.hpp"
+#include "util/rng.hpp"
+
+namespace cnn2fpga::nn {
+
+/// One labelled sample.
+struct Sample {
+  Tensor image;
+  std::size_t label = 0;
+};
+
+struct TrainConfig {
+  std::size_t epochs = 10;
+  float learning_rate = 0.005f;
+  float momentum = 0.9f;
+  float lr_decay = 1.0f;       ///< per-epoch multiplicative decay
+  /// Global-norm gradient clipping threshold; <= 0 disables. Deeper networks
+  /// (e.g. the paper's Test 3 architecture) diverge under plain SGD at
+  /// learning rates the shallow nets tolerate; clipping stabilizes them.
+  float clip_grad_norm = 5.0f;
+  std::uint64_t shuffle_seed = 1;
+  /// Invoked after each epoch with (epoch, mean training loss, test error);
+  /// test error is NaN when no test set was supplied.
+  std::function<void(std::size_t, float, float)> on_epoch;
+};
+
+struct TrainResult {
+  std::vector<float> epoch_loss;   ///< mean NLL per epoch
+  float final_train_error = 1.0f;  ///< misclassification rate on train set
+  float final_test_error = 1.0f;   ///< misclassification rate on test set (1.0 if none)
+};
+
+class SgdTrainer {
+ public:
+  explicit SgdTrainer(TrainConfig config) : config_(config) {}
+
+  /// Trains `net` in place. The network must end in a LogSoftMax layer.
+  TrainResult train(Network& net, const std::vector<Sample>& train_set,
+                    const std::vector<Sample>& test_set) const;
+
+  /// Misclassification rate of the network on a sample set (paper's
+  /// "predicted error" column).
+  static float evaluate_error(Network& net, const std::vector<Sample>& samples);
+
+ private:
+  TrainConfig config_;
+};
+
+}  // namespace cnn2fpga::nn

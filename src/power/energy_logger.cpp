@@ -1,0 +1,26 @@
+#include "power/energy_logger.hpp"
+
+#include <stdexcept>
+
+namespace cnn2fpga::power {
+
+void EnergyLogger::add_segment(double watts, double seconds) {
+  if (watts < 0.0 || seconds < 0.0) {
+    throw std::invalid_argument("EnergyLogger: negative power or duration");
+  }
+  segments_.push_back({watts, seconds});
+  seconds_ += seconds;
+  joules_ += watts * seconds;
+}
+
+double EnergyLogger::mean_power_w() const {
+  return seconds_ > 0.0 ? joules_ / seconds_ : 0.0;
+}
+
+void EnergyLogger::reset() {
+  segments_.clear();
+  seconds_ = 0.0;
+  joules_ = 0.0;
+}
+
+}  // namespace cnn2fpga::power

@@ -1,0 +1,33 @@
+// Energy integration: the software model of the Voltcraft Energy Logger 4000
+// the paper plugs between the wall and the board. Energy is the integral of
+// the (piecewise-constant) power trace over time.
+#pragma once
+
+#include <vector>
+
+namespace cnn2fpga::power {
+
+class EnergyLogger {
+ public:
+  /// Record a phase of constant power `watts` lasting `seconds`.
+  void add_segment(double watts, double seconds);
+
+  double total_seconds() const { return seconds_; }
+  double joules() const { return joules_; }
+  /// Time-weighted mean power; 0 for an empty trace.
+  double mean_power_w() const;
+
+  std::size_t segment_count() const { return segments_.size(); }
+
+  void reset();
+
+ private:
+  struct Segment {
+    double watts, seconds;
+  };
+  std::vector<Segment> segments_;
+  double seconds_ = 0.0;
+  double joules_ = 0.0;
+};
+
+}  // namespace cnn2fpga::power

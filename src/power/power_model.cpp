@@ -1,0 +1,19 @@
+#include "power/power_model.hpp"
+
+namespace cnn2fpga::power {
+
+double software_power_w(const PowerModel& model) { return model.cpu_active_w; }
+
+double pl_power_w(const hls::ResourceUsage& usage, const PowerModel& model) {
+  return model.pl_static_w + model.clock_tree_w +
+         model.dsp_w * static_cast<double>(usage.dsp) +
+         model.bram18_w * static_cast<double>(usage.bram18) +
+         model.lut_w * static_cast<double>(usage.lut) +
+         model.ff_w * static_cast<double>(usage.ff);
+}
+
+double hardware_power_w(const hls::ResourceUsage& usage, const PowerModel& model) {
+  return model.cpu_active_w + model.board_overhead_w + pl_power_w(usage, model);
+}
+
+}  // namespace cnn2fpga::power

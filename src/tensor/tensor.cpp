@@ -1,0 +1,146 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace cnn2fpga::tensor {
+
+using cnn2fpga::util::format;
+
+Shape::Shape(std::initializer_list<std::size_t> dims) : dims_{1, 1, 1, 1}, rank_(dims.size()) {
+  if (dims.size() > 4) throw std::invalid_argument("Shape: rank > 4 unsupported");
+  std::size_t i = 0;
+  for (std::size_t d : dims) dims_[i++] = d;
+}
+
+Shape::Shape(std::span<const std::size_t> dims) : dims_{1, 1, 1, 1}, rank_(dims.size()) {
+  if (dims.size() > 4) throw std::invalid_argument("Shape: rank > 4 unsupported");
+  std::copy(dims.begin(), dims.end(), dims_.begin());
+}
+
+std::size_t Shape::elements() const {
+  std::size_t n = 1;
+  for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+  return rank_ == 0 ? 0 : n;
+}
+
+bool Shape::operator==(const Shape& other) const {
+  if (rank_ != other.rank_) return false;
+  for (std::size_t i = 0; i < rank_; ++i) {
+    if (dims_[i] != other.dims_[i]) return false;
+  }
+  return true;
+}
+
+std::string Shape::to_string() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < rank_; ++i) {
+    if (i) out += ", ";
+    out += format("%zu", dims_[i]);
+  }
+  return out + ")";
+}
+
+Tensor::Tensor(Shape shape, float fill_value)
+    : shape_(shape), data_(shape.elements(), fill_value) {}
+
+void Tensor::check_index(std::size_t flat) const {
+  if (flat >= data_.size()) {
+    throw std::out_of_range(
+        format("tensor index %zu out of range for shape %s", flat, shape_.to_string().c_str()));
+  }
+}
+
+float& Tensor::at(std::size_t i0) {
+  check_index(i0);
+  return data_[i0];
+}
+
+float& Tensor::at(std::size_t i0, std::size_t i1) {
+  const std::size_t flat = i0 * shape_[1] + i1;
+  check_index(flat);
+  return data_[flat];
+}
+
+float& Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2) {
+  const std::size_t flat = (i0 * shape_[1] + i1) * shape_[2] + i2;
+  check_index(flat);
+  return data_[flat];
+}
+
+float& Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3) {
+  const std::size_t flat = ((i0 * shape_[1] + i1) * shape_[2] + i2) * shape_[3] + i3;
+  check_index(flat);
+  return data_[flat];
+}
+
+float Tensor::at(std::size_t i0) const { return const_cast<Tensor*>(this)->at(i0); }
+float Tensor::at(std::size_t i0, std::size_t i1) const {
+  return const_cast<Tensor*>(this)->at(i0, i1);
+}
+float Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2) const {
+  return const_cast<Tensor*>(this)->at(i0, i1, i2);
+}
+float Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3) const {
+  return const_cast<Tensor*>(this)->at(i0, i1, i2, i3);
+}
+
+void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Tensor::fill_uniform(util::Rng& rng, float lo, float hi) {
+  for (float& v : data_) v = static_cast<float>(rng.uniform(lo, hi));
+}
+
+void Tensor::fill_normal(util::Rng& rng, float mean, float stddev) {
+  for (float& v : data_) v = static_cast<float>(rng.normal(mean, stddev));
+}
+
+float Tensor::max_abs_diff(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(format("max_abs_diff: shape mismatch %s vs %s",
+                                       a.shape().to_string().c_str(),
+                                       b.shape().to_string().c_str()));
+  }
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+bool Tensor::all_close(const Tensor& a, const Tensor& b, float tol) {
+  return a.shape() == b.shape() && max_abs_diff(a, b) <= tol;
+}
+
+std::size_t Tensor::argmax() const {
+  if (data_.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::distance(data_.begin(), std::max_element(data_.begin(), data_.end())));
+}
+
+float Tensor::sum() const {
+  // Kahan summation: deterministic and accurate regardless of tensor size.
+  float sum = 0.0f, carry = 0.0f;
+  for (float v : data_) {
+    const float y = v - carry;
+    const float t = sum + y;
+    carry = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+float Tensor::min() const {
+  if (data_.empty()) throw std::logic_error("min() of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  if (data_.empty()) throw std::logic_error("max() of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+}  // namespace cnn2fpga::tensor

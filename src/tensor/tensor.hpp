@@ -1,0 +1,101 @@
+// Dense row-major float tensor (rank 1..4).
+//
+// The reference CNN library (`src/nn`), the dataset generators (`src/data`)
+// and the functional model of the generated hardware (`src/axi`) all exchange
+// data through this type. Feature maps use CHW layout: (channels, height,
+// width), matching the memory layout the generated HLS C++ uses on the FPGA
+// so equivalence tests can compare buffers element-by-element.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cnn2fpga::tensor {
+
+/// Shape of a tensor; unused trailing dimensions are 1.
+class Shape {
+ public:
+  Shape() : dims_{1, 1, 1, 1}, rank_(0) {}
+  Shape(std::initializer_list<std::size_t> dims);
+  explicit Shape(std::span<const std::size_t> dims);
+
+  std::size_t rank() const { return rank_; }
+  std::size_t operator[](std::size_t i) const { return dims_[i]; }
+  std::size_t elements() const;
+
+  /// CHW accessors for the common feature-map case (rank 3).
+  std::size_t channels() const { return dims_[0]; }
+  std::size_t height() const { return rank_ >= 2 ? dims_[1] : 1; }
+  std::size_t width() const { return rank_ >= 3 ? dims_[2] : 1; }
+
+  bool operator==(const Shape& other) const;
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  std::string to_string() const;  // e.g. "(6, 12, 12)"
+
+ private:
+  std::array<std::size_t, 4> dims_;
+  std::size_t rank_;
+};
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape, float fill = 0.0f);
+
+  const Shape& shape() const { return shape_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return data_; }
+  std::span<const float> span() const { return data_; }
+
+  /// Flat element access (bounds-checked in debug builds via vector::operator[]
+  /// semantics; at() variants are always checked).
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// Multi-dimensional access; index count must match rank usage by caller.
+  float& at(std::size_t i0);
+  float& at(std::size_t i0, std::size_t i1);
+  float& at(std::size_t i0, std::size_t i1, std::size_t i2);
+  float& at(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3);
+  float at(std::size_t i0) const;
+  float at(std::size_t i0, std::size_t i1) const;
+  float at(std::size_t i0, std::size_t i1, std::size_t i2) const;
+  float at(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3) const;
+
+  void fill(float value);
+  /// Uniform in [lo, hi).
+  void fill_uniform(util::Rng& rng, float lo, float hi);
+  /// Gaussian.
+  void fill_normal(util::Rng& rng, float mean, float stddev);
+
+  /// Element-wise maximum absolute difference; shapes must match.
+  static float max_abs_diff(const Tensor& a, const Tensor& b);
+  /// True if every element differs by at most `tol`.
+  static bool all_close(const Tensor& a, const Tensor& b, float tol);
+
+  /// Index of the maximum element (ties: first). Empty tensor returns 0.
+  std::size_t argmax() const;
+
+  /// Sum / min / max over all elements.
+  float sum() const;
+  float min() const;
+  float max() const;
+
+ private:
+  void check_index(std::size_t flat) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace cnn2fpga::tensor

@@ -1,0 +1,80 @@
+#include "util/base64.hpp"
+
+#include <array>
+
+namespace cnn2fpga::util {
+
+namespace {
+constexpr char kAlphabet[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<std::int8_t, 256> build_reverse_table() {
+  std::array<std::int8_t, 256> table{};
+  table.fill(-1);
+  for (int i = 0; i < 64; ++i) table[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  return table;
+}
+}  // namespace
+
+std::string base64_encode(const std::vector<std::uint8_t>& bytes) {
+  std::string out;
+  out.reserve((bytes.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= bytes.size()) {
+    const std::uint32_t triple = (static_cast<std::uint32_t>(bytes[i]) << 16) |
+                                 (static_cast<std::uint32_t>(bytes[i + 1]) << 8) |
+                                 bytes[i + 2];
+    out.push_back(kAlphabet[(triple >> 18) & 0x3F]);
+    out.push_back(kAlphabet[(triple >> 12) & 0x3F]);
+    out.push_back(kAlphabet[(triple >> 6) & 0x3F]);
+    out.push_back(kAlphabet[triple & 0x3F]);
+    i += 3;
+  }
+  const std::size_t rest = bytes.size() - i;
+  if (rest == 1) {
+    const std::uint32_t triple = static_cast<std::uint32_t>(bytes[i]) << 16;
+    out.push_back(kAlphabet[(triple >> 18) & 0x3F]);
+    out.push_back(kAlphabet[(triple >> 12) & 0x3F]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rest == 2) {
+    const std::uint32_t triple = (static_cast<std::uint32_t>(bytes[i]) << 16) |
+                                 (static_cast<std::uint32_t>(bytes[i + 1]) << 8);
+    out.push_back(kAlphabet[(triple >> 18) & 0x3F]);
+    out.push_back(kAlphabet[(triple >> 12) & 0x3F]);
+    out.push_back(kAlphabet[(triple >> 6) & 0x3F]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> base64_decode(std::string_view text) {
+  static const std::array<std::int8_t, 256> reverse = build_reverse_table();
+  if (text.size() % 4 != 0) return std::nullopt;
+
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int padding = 0;
+    std::uint32_t triple = 0;
+    for (int j = 0; j < 4; ++j) {
+      const char c = text[i + j];
+      if (c == '=') {
+        // Padding is only legal in the last two positions of the last group.
+        if (i + 4 != text.size() || j < 2) return std::nullopt;
+        ++padding;
+        triple <<= 6;
+        continue;
+      }
+      if (padding > 0) return std::nullopt;  // data after '='
+      const std::int8_t value = reverse[static_cast<unsigned char>(c)];
+      if (value < 0) return std::nullopt;
+      triple = (triple << 6) | static_cast<std::uint32_t>(value);
+    }
+    out.push_back(static_cast<std::uint8_t>((triple >> 16) & 0xFF));
+    if (padding < 2) out.push_back(static_cast<std::uint8_t>((triple >> 8) & 0xFF));
+    if (padding < 1) out.push_back(static_cast<std::uint8_t>(triple & 0xFF));
+  }
+  return out;
+}
+
+}  // namespace cnn2fpga::util

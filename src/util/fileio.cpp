@@ -1,0 +1,65 @@
+#include "util/fileio.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace cnn2fpga::util {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error(format("cannot open '%s' for reading", path.c_str()));
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) throw std::runtime_error(format("I/O error while reading '%s'", path.c_str()));
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error(format("cannot open '%s' for writing", path.c_str()));
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  if (!out) throw std::runtime_error(format("I/O error while writing '%s'", path.c_str()));
+}
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  const std::string text = read_file(path);
+  return {text.begin(), text.end()};
+}
+
+void write_file_bytes(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::string text(bytes.begin(), bytes.end());
+  write_file(path, text);
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(path, ec);
+}
+
+void make_dirs(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) throw std::runtime_error(format("cannot create directory '%s': %s", path.c_str(),
+                                          ec.message().c_str()));
+}
+
+std::string make_temp_dir(const std::string& prefix) {
+  static std::atomic<unsigned> counter{0};
+  const auto base = std::filesystem::temp_directory_path();
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const unsigned id = counter.fetch_add(1);
+    const auto candidate =
+        base / format("%s-%u-%d", prefix.c_str(), id, attempt);
+    std::error_code ec;
+    if (std::filesystem::create_directories(candidate, ec)) return candidate.string();
+  }
+  throw std::runtime_error("make_temp_dir: exhausted attempts");
+}
+
+}  // namespace cnn2fpga::util

@@ -1,0 +1,29 @@
+// Whole-file read/write helpers with error reporting via exceptions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cnn2fpga::util {
+
+/// Read an entire file into a string. Throws std::runtime_error on failure.
+std::string read_file(const std::string& path);
+
+/// Write (truncate) a file. Throws std::runtime_error on failure.
+void write_file(const std::string& path, const std::string& contents);
+
+/// Binary variants.
+std::vector<std::uint8_t> read_file_bytes(const std::string& path);
+void write_file_bytes(const std::string& path, const std::vector<std::uint8_t>& bytes);
+
+/// True if the path exists and is a regular file.
+bool file_exists(const std::string& path);
+
+/// Create a directory (and parents). No-op if it already exists.
+void make_dirs(const std::string& path);
+
+/// A unique scratch directory under the system temp dir; caller owns cleanup.
+std::string make_temp_dir(const std::string& prefix);
+
+}  // namespace cnn2fpga::util

@@ -1,0 +1,59 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+namespace cnn2fpga::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+LogLevel parse_log_level(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void log_line(LogLevel level, std::string_view component, std::string_view msg) {
+  if (log_level() > level) return;
+  const auto now = std::chrono::system_clock::now();
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(now.time_since_epoch()).count();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lld.%06lld", static_cast<long long>(us / 1000000),
+                static_cast<long long>(us % 1000000));
+  std::string line;
+  line.reserve(msg.size() + component.size() + 32);
+  line.append("[").append(buf).append("] ");
+  line.append(log_level_name(level)).append(" ");
+  line.append(component).append(": ").append(msg).append("\n");
+  std::cerr << line;
+}
+
+}  // namespace cnn2fpga::util

@@ -1,0 +1,61 @@
+// Lightweight leveled logger for the cnn2fpga framework.
+//
+// Not thread-hostile: each log call formats into a local buffer and performs a
+// single stream insertion, so interleaving from concurrent components (e.g.
+// the AXI fabric simulator and the HTTP server) stays line-atomic in practice.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace cnn2fpga::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parse "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+/// Returns kInfo for unrecognized names.
+LogLevel parse_log_level(std::string_view name);
+
+const char* log_level_name(LogLevel level);
+
+/// Emit one formatted line (timestamped, level-tagged) to stderr.
+void log_line(LogLevel level, std::string_view component, std::string_view msg);
+
+namespace detail {
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogMessage() { log_line(level_, component_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace cnn2fpga::util
+
+#define CNN2FPGA_LOG(level, component)                                   \
+  if (::cnn2fpga::util::log_level() <= (level))                          \
+  ::cnn2fpga::util::detail::LogMessage((level), (component))
+
+#define LOG_TRACE(component) CNN2FPGA_LOG(::cnn2fpga::util::LogLevel::kTrace, component)
+#define LOG_DEBUG(component) CNN2FPGA_LOG(::cnn2fpga::util::LogLevel::kDebug, component)
+#define LOG_INFO(component) CNN2FPGA_LOG(::cnn2fpga::util::LogLevel::kInfo, component)
+#define LOG_WARN(component) CNN2FPGA_LOG(::cnn2fpga::util::LogLevel::kWarn, component)
+#define LOG_ERROR(component) CNN2FPGA_LOG(::cnn2fpga::util::LogLevel::kError, component)

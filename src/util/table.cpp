@@ -1,0 +1,54 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+namespace cnn2fpga::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : header_[c];
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string rule = "+";
+  for (std::size_t c = 0; c < header_.size(); ++c) rule += std::string(widths[c] + 2, '-') + "+";
+  rule += "\n";
+
+  std::string out = rule + render_row(header_) + rule;
+  for (const auto& row : rows_) out += render_row(row);
+  out += rule;
+  return out;
+}
+
+std::string Table::render_tsv() const {
+  std::string out;
+  const auto append_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      if (c) out += "\t";
+      if (c < row.size()) out += row[c];
+    }
+    out += "\n";
+  };
+  append_row(header_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+}  // namespace cnn2fpga::util

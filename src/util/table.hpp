@@ -1,0 +1,33 @@
+// ASCII table renderer.
+//
+// The benchmark harnesses reproduce the paper's Tables I and II; this class
+// renders them in a fixed-width layout close to the published formatting so
+// paper-vs-measured comparisons in EXPERIMENTS.md are easy to eyeball.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cnn2fpga::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; it may have fewer cells than the header (padded empty).
+  void add_row(std::vector<std::string> row);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with column alignment, `|` separators and a header rule.
+  std::string render() const;
+
+  /// Render as tab-separated values (machine-readable dump for EXPERIMENTS.md).
+  std::string render_tsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cnn2fpga::util

@@ -1,0 +1,367 @@
+#include "web/api.hpp"
+
+#include <algorithm>
+
+#include "core/dse.hpp"
+#include "core/framework.hpp"
+#include "data/synth_cifar.hpp"
+#include "data/synth_usps.hpp"
+#include "hls/device.hpp"
+#include "json/json.hpp"
+#include "nn/trainer.hpp"
+#include "util/base64.hpp"
+#include "util/strings.hpp"
+
+namespace cnn2fpga::web {
+
+using cnn2fpga::util::format;
+
+namespace {
+HttpResponse json_error(int status, const std::string& message) {
+  json::Object body;
+  body["error"] = message;
+  return {status, "application/json", json::Value(std::move(body)).dump()};
+}
+}  // namespace
+
+HttpResponse handle_healthz(const HttpRequest&) {
+  return {200, "application/json", "{\"status\":\"ok\"}"};
+}
+
+HttpResponse handle_index(const HttpRequest&) {
+  // The GUI of the paper's Sec. IV-A / Fig. 4, reduced to one embedded page:
+  // network-level fields, per-layer configuration rows, board selection, and
+  // a generate button that posts the assembled JSON descriptor.
+  static const char* kPage = R"HTML(<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>cnn2fpga - CNN to FPGA generator</title>
+<style>
+  body { font-family: sans-serif; max-width: 64em; margin: 2em auto; }
+  fieldset { margin-bottom: 1em; }
+  label { display: inline-block; min-width: 11em; }
+  .layer { border: 1px solid #999; padding: .5em; margin: .5em 0; }
+  pre { background: #f4f4f4; padding: 1em; overflow-x: auto; max-height: 24em; }
+</style>
+</head>
+<body>
+<h1>cnn2fpga</h1>
+<p>Describe an offline-trained CNN; receive synthesizable C++ and the Vivado
+tcl scripts. (Framework of Del Sozzo et al., IPPS 2016.)</p>
+
+<fieldset><legend>Network</legend>
+  <label>Name</label><input id="name" value="my_cnn"><br>
+  <label>Board</label>
+  <select id="board"><option>zedboard</option><option>zybo</option><option>virtex7</option></select><br>
+  <label>Input (C x H x W)</label>
+  <input id="ic" size="2" value="1"> x <input id="ih" size="2" value="16"> x
+  <input id="iw" size="2" value="16"><br>
+  <label>Optimize (DATAFLOW+PIPELINE)</label><input id="optimize" type="checkbox" checked><br>
+  <label>Weights</label>
+  <select id="wmode"><option value="hardcoded">hard-coded</option>
+  <option value="streamed">streamed at start-up</option></select>
+</fieldset>
+
+<fieldset><legend>Layers</legend>
+  <div id="layers"></div>
+  <button type="button" onclick="addConv()">+ convolutional layer</button>
+  <button type="button" onclick="addLinear()">+ linear layer</button>
+</fieldset>
+
+<button type="button" onclick="generate()">Generate</button>
+<pre id="result">descriptor and artifacts will appear here</pre>
+
+<script>
+const layers = [];
+function render() {
+  const div = document.getElementById('layers');
+  div.innerHTML = '';
+  layers.forEach((l, i) => {
+    const row = document.createElement('div');
+    row.className = 'layer';
+    if (l.type === 'conv') {
+      row.innerHTML = `conv: feature maps out <input size=3 value="${l.feature_maps_out}"
+        onchange="layers[${i}].feature_maps_out=+this.value"> kernel
+        <input size=2 value="${l.kernel}" onchange="layers[${i}].kernel=+this.value">
+        max-pool <input type=checkbox ${l.pool ? 'checked' : ''}
+        onchange="layers[${i}].pool=this.checked?{type:'max',kernel:2,step:2}:null">`;
+    } else {
+      row.innerHTML = `linear: neurons <input size=3 value="${l.neurons}"
+        onchange="layers[${i}].neurons=+this.value"> tanh
+        <input type=checkbox ${l.tanh ? 'checked' : ''}
+        onchange="layers[${i}].tanh=this.checked">`;
+    }
+    row.innerHTML += ` <button onclick="layers.splice(${i},1);render()">remove</button>`;
+    div.appendChild(row);
+  });
+}
+function addConv() {
+  layers.push({type: 'conv', feature_maps_out: 6, kernel: 5,
+               pool: {type: 'max', kernel: 2, step: 2}});
+  render();
+}
+function addLinear() { layers.push({type: 'linear', neurons: 10, tanh: false}); render(); }
+addConv(); addLinear();
+
+async function generate() {
+  const descriptor = {
+    name: document.getElementById('name').value,
+    board: document.getElementById('board').value,
+    optimize: document.getElementById('optimize').checked,
+    weights_mode: document.getElementById('wmode').value,
+    input: {channels: +document.getElementById('ic').value,
+            height: +document.getElementById('ih').value,
+            width: +document.getElementById('iw').value},
+    layers: layers.map(l => l.pool === null ? {...l, pool: undefined} : l)
+  };
+  const out = document.getElementById('result');
+  out.textContent = 'generating...';
+  try {
+    const response = await fetch('/api/generate', {
+      method: 'POST', headers: {'Content-Type': 'application/json'},
+      body: JSON.stringify(descriptor)});
+    const body = await response.json();
+    if (!response.ok) { out.textContent = 'error: ' + body.error; return; }
+    out.textContent =
+      'latency: ' + body.hls_report.latency_cycles + ' cycles/image\n' +
+      'fits ' + body.hls_report.board + ': ' + body.hls_report.fits + '\n' +
+      'DSP ' + (100 * body.hls_report.utilization.dsp).toFixed(1) + '%  ' +
+      'BRAM ' + (100 * body.hls_report.utilization.bram).toFixed(1) + '%\n' +
+      (body.warnings.length ? 'warnings: ' + body.warnings.join('; ') + '\n' : '') +
+      '\n----- ' + body.cpp_file + ' -----\n' + body.cpp_source;
+  } catch (e) { out.textContent = 'request failed: ' + e; }
+}
+</script>
+</body>
+</html>
+)HTML";
+  return {200, "text/html; charset=utf-8", kPage};
+}
+
+HttpResponse handle_boards(const HttpRequest&) {
+  json::Array boards;
+  for (const hls::FpgaDevice& device : hls::device_catalog()) {
+    json::Object entry;
+    entry["board"] = device.board;
+    entry["part"] = device.part;
+    entry["ff"] = device.ff;
+    entry["lut"] = device.lut;
+    entry["lutram"] = device.lutram;
+    entry["bram36"] = device.bram36;
+    entry["dsp"] = device.dsp;
+    entry["clock_mhz"] = device.clock_mhz;
+    boards.push_back(std::move(entry));
+  }
+  json::Object body;
+  body["boards"] = std::move(boards);
+  return {200, "application/json", json::Value(std::move(body)).dump()};
+}
+
+HttpResponse handle_generate(const HttpRequest& request) {
+  json::Value doc;
+  try {
+    doc = json::parse(request.body);
+  } catch (const json::JsonError& e) {
+    return json_error(400, e.what());
+  }
+
+  core::NetworkDescriptor descriptor;
+  try {
+    descriptor = core::NetworkDescriptor::from_json(doc);
+  } catch (const core::DescriptorError& e) {
+    return json_error(400, e.what());
+  }
+
+  core::GeneratedDesign design;
+  try {
+    if (const json::Value* weights = doc.find("weights_base64"); weights != nullptr) {
+      const auto bytes = util::base64_decode(weights->as_string());
+      if (!bytes) return json_error(400, "weights_base64 is not valid base64");
+      design = core::Framework::generate_from_weights(descriptor, *bytes);
+    } else {
+      const std::uint64_t seed = static_cast<std::uint64_t>(doc.get_int("seed", 1));
+      design = core::Framework::generate_with_random_weights(descriptor, seed);
+    }
+  } catch (const std::runtime_error& e) {
+    // Weight-file/architecture mismatches are client errors.
+    return json_error(400, e.what());
+  } catch (const std::exception& e) {
+    return json_error(500, e.what());
+  }
+
+  json::Object body;
+  body["name"] = descriptor.name;
+  body["cpp_file"] = design.cpp_file_name;
+  body["cpp_source"] = design.cpp_source;
+  json::Object tcl;
+  for (const auto& [name, contents] : design.tcl_files) tcl[name] = contents;
+  body["tcl_files"] = std::move(tcl);
+
+  json::Object report;
+  report["board"] = design.hls_report.device.board;
+  report["directives"] = design.hls_report.directives.to_string();
+  report["latency_cycles"] = design.hls_report.latency_cycles;
+  report["interval_cycles"] = design.hls_report.interval_cycles;
+  report["fits"] = design.hls_report.fits();
+  json::Object util_obj;
+  util_obj["ff"] = design.hls_report.util.ff;
+  util_obj["lut"] = design.hls_report.util.lut;
+  util_obj["lutram"] = design.hls_report.util.lutram;
+  util_obj["bram"] = design.hls_report.util.bram;
+  util_obj["dsp"] = design.hls_report.util.dsp;
+  report["utilization"] = std::move(util_obj);
+  body["hls_report"] = std::move(report);
+
+  json::Array warnings;
+  for (const std::string& warning : design.warnings) warnings.push_back(warning);
+  body["warnings"] = std::move(warnings);
+
+  return {200, "application/json", json::Value(std::move(body)).dump()};
+}
+
+HttpResponse handle_train(const HttpRequest& request) {
+  json::Value doc;
+  try {
+    doc = json::parse(request.body);
+  } catch (const json::JsonError& e) {
+    return json_error(400, e.what());
+  }
+
+  core::NetworkDescriptor descriptor;
+  try {
+    descriptor = core::NetworkDescriptor::from_json(doc);
+  } catch (const core::DescriptorError& e) {
+    return json_error(400, e.what());
+  }
+
+  // Training options.
+  const json::Value* train_opts = doc.find("train");
+  const json::Value defaults{json::Object{}};
+  if (train_opts == nullptr) train_opts = &defaults;
+  const std::string dataset = train_opts->get_string("dataset", "usps");
+  const std::size_t per_class =
+      static_cast<std::size_t>(train_opts->get_int("samples_per_class", 20));
+  const std::uint64_t seed = static_cast<std::uint64_t>(train_opts->get_int("seed", 1));
+
+  nn::TrainConfig tc;
+  tc.epochs = static_cast<std::size_t>(train_opts->get_int("epochs", 6));
+  tc.learning_rate = static_cast<float>(train_opts->get_double("learning_rate", 0.005));
+  if (tc.epochs == 0 || tc.epochs > 200 || per_class == 0 || per_class > 1000) {
+    return json_error(400, "train: epochs must be 1..200, samples_per_class 1..1000");
+  }
+
+  // Synthetic corpus selection (Fig. 6 datasets).
+  std::vector<nn::Sample> train_set, test_set;
+  nn::Shape expected_input;
+  if (dataset == "usps") {
+    data::UspsConfig config;
+    config.samples_per_class = per_class;
+    config.seed = seed;
+    train_set = data::generate_usps(config).samples;
+    config.seed = seed + 1000;
+    config.samples_per_class = std::max<std::size_t>(per_class / 2, 1);
+    test_set = data::generate_usps(config).samples;
+    expected_input = nn::Shape{1, 16, 16};
+  } else if (dataset == "cifar10") {
+    data::CifarConfig config;
+    config.samples_per_class = per_class;
+    config.seed = seed;
+    train_set = data::generate_cifar(config).samples;
+    config.seed = seed + 1000;
+    config.samples_per_class = std::max<std::size_t>(per_class / 2, 1);
+    test_set = data::generate_cifar(config).samples;
+    expected_input = nn::Shape{3, 32, 32};
+  } else {
+    return json_error(400, format("train: dataset '%s' unknown (usps, cifar10)",
+                                  dataset.c_str()));
+  }
+
+  nn::Network net = descriptor.build_network();
+  if (net.input_shape() != expected_input) {
+    return json_error(400, format("train: network input %s does not match dataset '%s' (%s)",
+                                  net.input_shape().to_string().c_str(), dataset.c_str(),
+                                  expected_input.to_string().c_str()));
+  }
+  if (descriptor.num_classes() != 10) {
+    return json_error(400, "train: the synthetic datasets have 10 classes");
+  }
+
+  util::Rng rng(seed);
+  net.init_weights(rng);
+  nn::TrainResult result;
+  try {
+    result = nn::SgdTrainer(tc).train(net, train_set, test_set);
+  } catch (const std::exception& e) {
+    return json_error(500, e.what());
+  }
+
+  json::Object body;
+  body["name"] = descriptor.name;
+  body["dataset"] = dataset;
+  body["epochs"] = tc.epochs;
+  body["train_error"] = result.final_train_error;
+  body["test_error"] = result.final_test_error;
+  json::Array losses;
+  for (float loss : result.epoch_loss) losses.push_back(loss);
+  body["epoch_loss"] = std::move(losses);
+  body["weights_base64"] = util::base64_encode(nn::serialize_weights(net));
+  return {200, "application/json", json::Value(std::move(body)).dump()};
+}
+
+HttpResponse handle_explore(const HttpRequest& request) {
+  json::Value doc;
+  try {
+    doc = json::parse(request.body);
+  } catch (const json::JsonError& e) {
+    return json_error(400, e.what());
+  }
+
+  core::NetworkDescriptor descriptor;
+  core::DseOptions options;
+  try {
+    descriptor = core::NetworkDescriptor::from_json(doc);
+    options.objective = core::parse_objective(doc.get_string("objective", "throughput"));
+  } catch (const core::DescriptorError& e) {
+    return json_error(400, e.what());
+  }
+
+  const core::DseResult result = core::explore_design_space(descriptor, options);
+
+  json::Object body;
+  body["objective"] = core::objective_name(options.objective);
+  json::Array points;
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    const core::DsePoint& p = result.points[i];
+    json::Object entry;
+    entry["board"] = p.board;
+    entry["optimize"] = p.optimize;
+    entry["precision"] = p.precision.name();
+    entry["fits"] = p.fits;
+    entry["latency_cycles"] = p.latency_cycles;
+    entry["images_per_second"] = p.images_per_second;
+    entry["power_w"] = p.power_w;
+    entry["joules_per_image"] = p.joules_per_image;
+    entry["pareto"] = std::find(result.pareto.begin(), result.pareto.end(), i) !=
+                      result.pareto.end();
+    points.push_back(std::move(entry));
+  }
+  body["points"] = std::move(points);
+  if (result.best) {
+    body["recommended"] = result.points[*result.best].label();
+  } else {
+    body["recommended"] = nullptr;
+  }
+  return {200, "application/json", json::Value(std::move(body)).dump()};
+}
+
+void install_api(HttpServer& server) {
+  server.route("GET", "/", handle_index);
+  server.route("GET", "/healthz", handle_healthz);
+  server.route("GET", "/api/boards", handle_boards);
+  server.route("POST", "/api/generate", handle_generate);
+  server.route("POST", "/api/train", handle_train);
+  server.route("POST", "/api/explore", handle_explore);
+}
+
+}  // namespace cnn2fpga::web

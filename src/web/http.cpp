@@ -1,0 +1,246 @@
+#include "web/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace cnn2fpga::web {
+
+using cnn2fpga::util::format;
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    default: return "Unknown";
+  }
+}
+
+/// Read until the full header block (and Content-Length body) has arrived.
+std::optional<HttpRequest> read_request(int fd) {
+  std::string data;
+  char buf[4096];
+  std::size_t header_end = std::string::npos;
+  while (header_end == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return std::nullopt;
+    data.append(buf, static_cast<std::size_t>(n));
+    header_end = data.find("\r\n\r\n");
+    if (data.size() > (1u << 20)) return std::nullopt;  // oversized headers
+  }
+
+  HttpRequest request;
+  const std::string head = data.substr(0, header_end);
+  const auto lines = util::split(head, '\n');
+  if (lines.empty()) return std::nullopt;
+  {
+    const auto parts = util::split(std::string(util::trim(lines[0])), ' ');
+    if (parts.size() < 2) return std::nullopt;
+    request.method = parts[0];
+    request.path = parts[1];
+  }
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string line(util::trim(lines[i]));
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    request.headers[util::to_lower(line.substr(0, colon))] =
+        std::string(util::trim(line.substr(colon + 1)));
+  }
+
+  std::size_t content_length = 0;
+  if (const auto it = request.headers.find("content-length"); it != request.headers.end()) {
+    content_length = static_cast<std::size_t>(std::strtoul(it->second.c_str(), nullptr, 10));
+    if (content_length > (16u << 20)) return std::nullopt;  // 16 MiB cap
+  }
+
+  std::string body = data.substr(header_end + 4);
+  while (body.size() < content_length) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return std::nullopt;
+    body.append(buf, static_cast<std::size_t>(n));
+  }
+  request.body = body.substr(0, content_length);
+  return request;
+}
+
+void write_response(int fd, const HttpResponse& response) {
+  std::string out = format("HTTP/1.1 %d %s\r\n", response.status, status_text(response.status));
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += format("Content-Length: %zu\r\n", response.body.size());
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n = ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::route(const std::string& method, const std::string& path, Handler handler) {
+  routes_[{method, path}] = std::move(handler);
+}
+
+int HttpServer::start(int port) {
+  if (running_.load()) throw std::runtime_error("HttpServer already running");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("HttpServer: socket() failed");
+
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(format("HttpServer: bind to port %d failed", port));
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("HttpServer: listen() failed");
+  }
+
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true);
+  worker_ = std::thread([this] { serve_loop(); });
+  LOG_INFO("http") << format("serving on 127.0.0.1:%d", port_);
+  return port_;
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false)) return;
+  // Shutting the listening socket unblocks accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (worker_.joinable()) worker_.join();
+}
+
+void HttpServer::serve_loop() {
+  while (running_.load()) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (!running_.load()) break;
+      continue;
+    }
+    const auto request = read_request(client);
+    if (request) {
+      HttpResponse response;
+      try {
+        response = dispatch(*request);
+      } catch (const std::exception& e) {
+        response.status = 500;
+        response.body = format("{\"error\": \"%s\"}", e.what());
+      }
+      write_response(client, response);
+    }
+    ::close(client);
+  }
+}
+
+HttpResponse HttpServer::dispatch(const HttpRequest& request) const {
+  const auto it = routes_.find({request.method, request.path});
+  if (it != routes_.end()) return it->second(request);
+
+  // Distinguish 405 from 404 for a known path with the wrong method.
+  for (const auto& [key, handler] : routes_) {
+    if (key.second == request.path) {
+      return {405, "application/json", "{\"error\": \"method not allowed\"}"};
+    }
+  }
+  return {404, "application/json", "{\"error\": \"not found\"}"};
+}
+
+std::optional<HttpResponse> http_request(const std::string& host, int port,
+                                         const std::string& method, const std::string& path,
+                                         const std::string& body,
+                                         const std::string& content_type) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+
+  std::string out = format("%s %s HTTP/1.1\r\n", method.c_str(), path.c_str());
+  out += format("Host: %s\r\n", host.c_str());
+  out += "Connection: close\r\n";
+  if (!body.empty()) {
+    out += "Content-Type: " + content_type + "\r\n";
+    out += format("Content-Length: %zu\r\n", body.size());
+  }
+  out += "\r\n" + body;
+
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n = ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string data;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    data.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t header_end = data.find("\r\n\r\n");
+  if (header_end == std::string::npos) return std::nullopt;
+
+  HttpResponse response;
+  const auto lines = util::split(data.substr(0, header_end), '\n');
+  if (lines.empty()) return std::nullopt;
+  {
+    const auto parts = util::split(std::string(util::trim(lines[0])), ' ');
+    if (parts.size() < 2) return std::nullopt;
+    response.status = static_cast<int>(std::strtol(parts[1].c_str(), nullptr, 10));
+  }
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string line(util::trim(lines[i]));
+    if (util::starts_with(util::to_lower(line), "content-type:")) {
+      response.content_type = std::string(util::trim(line.substr(13)));
+    }
+  }
+  response.body = data.substr(header_end + 4);
+  return response;
+}
+
+}  // namespace cnn2fpga::web

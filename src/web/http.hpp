@@ -1,0 +1,73 @@
+// Minimal HTTP/1.1 server and client.
+//
+// The paper's framework is "a web-application to be easily accessible"
+// (Sec. IV-A): an HTML5/JS front-end posting a JSON descriptor to a back-end
+// that returns the generated artifacts. This module provides the transport:
+// a small blocking HTTP server (one worker thread, connection-per-request)
+// and a matching client used by the test suite. Only the subset of HTTP
+// needed for the JSON API is implemented: request line, headers,
+// Content-Length bodies.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+
+namespace cnn2fpga::web {
+
+struct HttpRequest {
+  std::string method;   ///< "GET", "POST", ...
+  std::string path;     ///< "/api/generate"
+  std::map<std::string, std::string> headers;  ///< lower-cased keys
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Route an exact (method, path) pair.
+  void route(const std::string& method, const std::string& path, Handler handler);
+
+  /// Bind to 127.0.0.1:`port` (0 = ephemeral) and serve on a background
+  /// thread. Returns the bound port. Throws std::runtime_error on failure.
+  int start(int port = 0);
+
+  /// Stop serving and join the worker thread. Idempotent.
+  void stop();
+
+  int port() const { return port_; }
+  bool running() const { return running_.load(); }
+
+ private:
+  void serve_loop();
+  HttpResponse dispatch(const HttpRequest& request) const;
+
+  std::map<std::pair<std::string, std::string>, Handler> routes_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread worker_;
+};
+
+/// Blocking single-request client (test utility).
+std::optional<HttpResponse> http_request(const std::string& host, int port,
+                                         const std::string& method, const std::string& path,
+                                         const std::string& body = "",
+                                         const std::string& content_type = "application/json");
+
+}  // namespace cnn2fpga::web

@@ -1,0 +1,245 @@
+// Tests for the Fig. 5 block-design simulation: streams, DMA, interconnect,
+// IP core and the assembled design.
+#include <gtest/gtest.h>
+
+#include "axi/block_design.hpp"
+#include "data/synth_usps.hpp"
+
+using namespace cnn2fpga::axi;
+using cnn2fpga::nn::Network;
+using cnn2fpga::nn::Shape;
+using cnn2fpga::nn::Tensor;
+
+// ---------------------------------------------------------------- stream
+
+TEST(Stream, FloatBitsRoundTrip) {
+  for (float v : {0.0f, -1.5f, 3.14159f, 1e-30f, -1e30f}) {
+    EXPECT_EQ(bits_to_float(float_to_bits(v)), v);
+  }
+}
+
+TEST(Stream, FifoOrderAndLastFlag) {
+  AxiStreamChannel ch(4);
+  ch.push_float(1.0f, false);
+  ch.push_float(2.0f, true);
+  const auto a = ch.pop();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(bits_to_float(a->data), 1.0f);
+  EXPECT_FALSE(a->last);
+  const auto b = ch.pop();
+  EXPECT_TRUE(b->last);
+  EXPECT_FALSE(ch.pop().has_value());  // underflow -> nullopt
+}
+
+TEST(Stream, StatisticsTrackOccupancy) {
+  AxiStreamChannel ch(2);
+  ch.push_float(1.0f);
+  ch.push_float(2.0f);
+  ch.push_float(3.0f);  // beyond nominal depth
+  EXPECT_EQ(ch.total_beats(), 3u);
+  EXPECT_EQ(ch.high_water(), 3u);
+  EXPECT_EQ(ch.backpressure_events(), 1u);
+  ch.clear();
+  EXPECT_TRUE(ch.empty());
+  EXPECT_EQ(ch.total_beats(), 3u);  // lifetime counter survives clear
+}
+
+// ---------------------------------------------------------------- dma
+
+TEST(Dma, Mm2sPushesPacketWithTlast) {
+  AxiStreamChannel to_ip(64), from_ip(64);
+  AxiDma dma(to_ip, from_ip);
+  const std::vector<float> data = {1, 2, 3};
+  const std::uint64_t cycles = dma.mm2s(data);
+  EXPECT_EQ(cycles, AxiDma::kSetupCycles + 3);
+  EXPECT_EQ(to_ip.size(), 3u);
+  (void)to_ip.pop();
+  (void)to_ip.pop();
+  EXPECT_TRUE(to_ip.pop()->last);
+  EXPECT_EQ(dma.mm2s_stats().transfers, 1u);
+  EXPECT_EQ(dma.mm2s_stats().words, 3u);
+}
+
+TEST(Dma, S2mmDrainsAndChecksFraming) {
+  AxiStreamChannel to_ip(64), from_ip(64);
+  AxiDma dma(to_ip, from_ip);
+  from_ip.push_float(5.0f, false);
+  from_ip.push_float(6.0f, true);
+  std::vector<float> out(2);
+  bool ok = false;
+  dma.s2mm(out, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(out[0], 5.0f);
+  EXPECT_EQ(out[1], 6.0f);
+  EXPECT_EQ(dma.s2mm_stats().errors, 0u);
+}
+
+TEST(Dma, S2mmUnderflowReportsError) {
+  AxiStreamChannel to_ip(64), from_ip(64);
+  AxiDma dma(to_ip, from_ip);
+  from_ip.push_float(5.0f, true);
+  std::vector<float> out(3);  // expects more words than available
+  bool ok = true;
+  dma.s2mm(out, &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(dma.s2mm_stats().errors, 1u);
+}
+
+TEST(Dma, S2mmEarlyTlastReportsError) {
+  AxiStreamChannel to_ip(64), from_ip(64);
+  AxiDma dma(to_ip, from_ip);
+  from_ip.push_float(1.0f, true);  // TLAST on first of two expected beats
+  from_ip.push_float(2.0f, false);
+  std::vector<float> out(2);
+  bool ok = true;
+  dma.s2mm(out, &ok);
+  EXPECT_FALSE(ok);
+}
+
+// ---------------------------------------------------------------- ip core
+
+namespace {
+Network tiny_net() {
+  Network net(Shape{1, 6, 6}, "tiny");
+  net.add_conv(2, 3, 3);
+  net.add_max_pool(2, 2);
+  net.add_linear(3);
+  net.add_logsoftmax();
+  cnn2fpga::util::Rng rng(17);
+  net.init_weights(rng);
+  return net;
+}
+}  // namespace
+
+TEST(IpCore, ClassifiesPacketAndEchoesScores) {
+  Network net = tiny_net();
+  CnnIpCore core(net, cnn2fpga::hls::DirectiveSet::optimized(), cnn2fpga::hls::zedboard());
+
+  AxiStreamChannel in(64), out(64);
+  Tensor image(Shape{1, 6, 6});
+  cnn2fpga::util::Rng rng(18);
+  image.fill_uniform(rng, 0.0f, 1.0f);
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    in.push_float(image[i], i + 1 == image.size());
+  }
+
+  const IpRunResult result = core.run(in, out);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.predicted, net.predict(image));
+  EXPECT_EQ(result.cycles, core.report().latency_cycles);
+  // Output packet: 3 scores + predicted index, TLAST on the index.
+  EXPECT_EQ(out.size(), 4u);
+  const Tensor expected = net.forward(image);
+  for (std::size_t k = 0; k < 3; ++k) EXPECT_EQ(*out.pop_float(), expected[k]);
+  const auto last = out.pop();
+  EXPECT_TRUE(last->last);
+  EXPECT_EQ(bits_to_float(last->data), static_cast<float>(result.predicted));
+  EXPECT_EQ(core.invocations(), 1u);
+}
+
+TEST(IpCore, ShortPacketFailsCleanly) {
+  Network net = tiny_net();
+  CnnIpCore core(net, cnn2fpga::hls::DirectiveSet::naive(), cnn2fpga::hls::zedboard());
+  AxiStreamChannel in(64), out(64);
+  in.push_float(1.0f, true);  // 1 beat instead of 36
+  const IpRunResult result = core.run(in, out);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(core.invocations(), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IpCore, MisplacedTlastFailsCleanly) {
+  Network net = tiny_net();
+  CnnIpCore core(net, cnn2fpga::hls::DirectiveSet::naive(), cnn2fpga::hls::zedboard());
+  AxiStreamChannel in(64), out(64);
+  for (std::size_t i = 0; i < 36; ++i) in.push_float(0.5f, i == 10);  // early TLAST
+  EXPECT_FALSE(core.run(in, out).ok);
+}
+
+// ---------------------------------------------------------------- block design
+
+TEST(BlockDesign, ClassifyMatchesSoftwarePrediction) {
+  Network net = tiny_net();
+  BlockDesign bd(net, cnn2fpga::hls::DirectiveSet::optimized(), cnn2fpga::hls::zedboard());
+
+  cnn2fpga::util::Rng rng(19);
+  for (int trial = 0; trial < 10; ++trial) {
+    Tensor image(Shape{1, 6, 6});
+    image.fill_uniform(rng, 0.0f, 1.0f);
+    const ClassifyResult result = bd.classify(image);
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.predicted, net.predict(image));
+    EXPECT_GT(result.fabric_cycles, 0u);
+    EXPECT_GT(result.seconds, kBlockingDriverSeconds);
+  }
+  EXPECT_EQ(bd.ps_transfers(), 10u);
+  EXPECT_EQ(bd.dma().mm2s_stats().transfers, 10u);
+  EXPECT_EQ(bd.dma().s2mm_stats().errors, 0u);
+}
+
+TEST(BlockDesign, BatchAccumulates) {
+  Network net = tiny_net();
+  BlockDesign bd(net, cnn2fpga::hls::DirectiveSet::optimized(), cnn2fpga::hls::zedboard());
+  cnn2fpga::util::Rng rng(20);
+  std::vector<Tensor> images;
+  for (int i = 0; i < 5; ++i) {
+    Tensor image(Shape{1, 6, 6});
+    image.fill_uniform(rng, 0.0f, 1.0f);
+    images.push_back(image);
+  }
+  const BatchResult batch = bd.classify_batch(images);
+  EXPECT_EQ(batch.images, 5u);
+  EXPECT_EQ(batch.failures, 0u);
+  EXPECT_EQ(batch.predictions.size(), 5u);
+  EXPECT_GT(batch.seconds, 5 * kBlockingDriverSeconds);
+}
+
+TEST(BlockDesign, StreamingBatchIsFasterWithDataflow) {
+  Network net = tiny_net();
+  BlockDesign blocking(net, cnn2fpga::hls::DirectiveSet::optimized(), cnn2fpga::hls::zedboard());
+  cnn2fpga::util::Rng rng(21);
+  std::vector<Tensor> images;
+  for (int i = 0; i < 20; ++i) {
+    Tensor image(Shape{1, 6, 6});
+    image.fill_uniform(rng, 0.0f, 1.0f);
+    images.push_back(image);
+  }
+  const BatchResult slow = blocking.classify_batch(images, /*streaming=*/false);
+  Network net2 = tiny_net();
+  BlockDesign streaming(net2, cnn2fpga::hls::DirectiveSet::optimized(),
+                        cnn2fpga::hls::zedboard());
+  const BatchResult fast = streaming.classify_batch(images, /*streaming=*/true);
+  EXPECT_LT(fast.seconds, slow.seconds);
+  EXPECT_EQ(fast.predictions, slow.predictions);  // timing mode never changes results
+}
+
+TEST(BlockDesign, OccupancyReportNamesEveryFig5Block) {
+  Network net = tiny_net();
+  BlockDesign bd(net, cnn2fpga::hls::DirectiveSet::naive(), cnn2fpga::hls::zedboard());
+  Tensor image(Shape{1, 6, 6});
+  (void)bd.classify(image);
+  const std::string report = bd.occupancy_report();
+  EXPECT_NE(report.find("ZYNQ7 PS"), std::string::npos);
+  EXPECT_NE(report.find("AXI DMA"), std::string::npos);
+  EXPECT_NE(report.find("Interconnect ctrl"), std::string::npos);
+  EXPECT_NE(report.find("Interconnect data"), std::string::npos);
+  EXPECT_NE(report.find("CNN IP core"), std::string::npos);
+}
+
+TEST(BlockDesign, ResetClearsStreams) {
+  Network net = tiny_net();
+  BlockDesign bd(net, cnn2fpga::hls::DirectiveSet::naive(), cnn2fpga::hls::zedboard());
+  bd.reset();  // must be safe on a fresh design
+  Tensor image(Shape{1, 6, 6});
+  EXPECT_TRUE(bd.classify(image).ok);
+  bd.reset();
+  EXPECT_TRUE(bd.classify(image).ok);
+}
+
+TEST(Interconnect, CountsBurstsAndBytes) {
+  AxiInterconnect ic("test");
+  EXPECT_EQ(ic.record_burst(64), AxiInterconnect::kArbitrationCycles);
+  ic.record_burst(128);
+  EXPECT_EQ(ic.bursts(), 2u);
+  EXPECT_EQ(ic.bytes(), 192u);
+}

@@ -1,0 +1,244 @@
+// Tests for the synthesizable C++ emitter, including the central equivalence
+// property of the paper's evaluation: the generated design produces the exact
+// outputs of the reference software (Sec. V-A: "hardware implementation is as
+// accurate as software one").
+//
+// The equivalence test compiles the generated file with the host compiler
+// (-DCNN2FPGA_TESTBENCH) and pipes random images through it as hex floats,
+// comparing scores and prediction bit-for-bit against src/nn.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/codegen_cpp.hpp"
+#include "core/framework.hpp"
+#include "util/fileio.hpp"
+#include "util/strings.hpp"
+
+using namespace cnn2fpga::core;
+using cnn2fpga::nn::Network;
+using cnn2fpga::nn::Shape;
+using cnn2fpga::nn::Tensor;
+using cnn2fpga::util::format;
+
+namespace {
+
+NetworkDescriptor small_descriptor(bool optimize) {
+  NetworkDescriptor d;
+  d.name = "codegen_test";
+  d.board = "zedboard";
+  d.input_channels = 1;
+  d.input_height = 8;
+  d.input_width = 8;
+  d.optimize = optimize;
+  LayerSpec conv;
+  conv.type = LayerSpec::Type::kConv;
+  conv.conv.feature_maps_out = 3;
+  conv.conv.kernel_h = conv.conv.kernel_w = 3;
+  conv.conv.pool = PoolSpec{cnn2fpga::nn::PoolKind::kMax, 2, 2};
+  LayerSpec lin;
+  lin.type = LayerSpec::Type::kLinear;
+  lin.linear.neurons = 4;
+  d.layers = {conv, lin};
+  return d;
+}
+
+/// Runs a shell command; returns exit status.
+int run(const std::string& command) { return std::system(command.c_str()); }
+
+/// Compile generated source as a testbench binary. Returns binary path.
+std::string compile_testbench(const std::string& dir, const std::string& source) {
+  const std::string src_path = dir + "/gen.cpp";
+  const std::string bin_path = dir + "/gen_tb";
+  cnn2fpga::util::write_file(src_path, source);
+  const char* cxx = std::getenv("CXX");
+  const std::string compiler = cxx != nullptr && *cxx != '\0' ? cxx : "c++";
+  const std::string cmd = format(
+      "%s -O1 -std=c++17 -DCNN2FPGA_TESTBENCH -Wno-unknown-pragmas -o %s %s 2> %s/cc.log",
+      compiler.c_str(), bin_path.c_str(), src_path.c_str(), dir.c_str());
+  EXPECT_EQ(run(cmd), 0) << "compiler output:\n"
+                         << cnn2fpga::util::read_file(dir + "/cc.log");
+  return bin_path;
+}
+
+struct TestbenchResult {
+  std::vector<float> scores;
+  int predicted = -1;
+};
+
+/// Feed one image to the compiled testbench, parse its hex-float output.
+TestbenchResult run_testbench(const std::string& dir, const std::string& bin,
+                              const Tensor& image, std::size_t classes) {
+  const std::string in_path = dir + "/input.txt";
+  const std::string out_path = dir + "/output.txt";
+  std::string input;
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    input += format("%a\n", static_cast<double>(image[i]));
+  }
+  cnn2fpga::util::write_file(in_path, input);
+  EXPECT_EQ(run(format("%s < %s > %s", bin.c_str(), in_path.c_str(), out_path.c_str())), 0);
+
+  TestbenchResult result;
+  const auto lines = cnn2fpga::util::split(cnn2fpga::util::read_file(out_path), '\n');
+  for (std::size_t k = 0; k < classes; ++k) {
+    result.scores.push_back(std::strtof(lines.at(k).c_str(), nullptr));
+  }
+  result.predicted = static_cast<int>(std::strtol(lines.at(classes).c_str(), nullptr, 10));
+  return result;
+}
+
+}  // namespace
+
+TEST(Codegen, FloatLiteralRoundTripsExactly) {
+  cnn2fpga::util::Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const float v = static_cast<float>(rng.normal(0.0, 100.0));
+    const std::string lit = float_literal(v);
+    const float parsed = std::strtof(lit.c_str(), nullptr);
+    EXPECT_EQ(parsed, v) << lit;
+  }
+  EXPECT_EQ(std::strtof(float_literal(0.0f).c_str(), nullptr), 0.0f);
+  EXPECT_EQ(std::strtof(float_literal(-1.0f).c_str(), nullptr), -1.0f);
+  EXPECT_NE(float_literal(std::nanf("")).find("non-finite"), std::string::npos);
+}
+
+TEST(Codegen, EmitsAllStructuralSections) {
+  const NetworkDescriptor d = small_descriptor(false);
+  Network net = d.build_network();
+  cnn2fpga::util::Rng rng(2);
+  net.init_weights(rng);
+  const std::string src = generate_cpp(d, net);
+
+  EXPECT_NE(src.find("static const float w_conv0["), std::string::npos);
+  EXPECT_NE(src.find("static const float b_conv0["), std::string::npos);
+  EXPECT_NE(src.find("static const float w_linear2["), std::string::npos);
+  EXPECT_NE(src.find("int cnn_core(const float in[64], float scores[4])"), std::string::npos);
+  EXPECT_NE(src.find("LogSoftMax"), std::string::npos);
+  EXPECT_NE(src.find("ARGMAX:"), std::string::npos);
+  EXPECT_NE(src.find("int cnn_xtop(float_stream &in_stream"), std::string::npos);
+  EXPECT_NE(src.find("#pragma HLS INTERFACE axis port=in_stream"), std::string::npos);
+  EXPECT_NE(src.find("CNN2FPGA_TESTBENCH"), std::string::npos);
+}
+
+TEST(Codegen, NaiveModeHasNoOptimizationPragmas) {
+  const NetworkDescriptor d = small_descriptor(false);
+  Network net = d.build_network();
+  const std::string src = generate_cpp(d, net);
+  EXPECT_EQ(src.find("#pragma HLS PIPELINE"), std::string::npos);
+  EXPECT_EQ(src.find("#pragma HLS DATAFLOW"), std::string::npos);
+}
+
+TEST(Codegen, OptimizedModeCarriesDirectives) {
+  const NetworkDescriptor d = small_descriptor(true);
+  Network net = d.build_network();
+  const std::string src = generate_cpp(d, net);
+  EXPECT_NE(src.find("#pragma HLS DATAFLOW"), std::string::npos);
+  EXPECT_NE(src.find("#pragma HLS PIPELINE II=1"), std::string::npos);
+}
+
+TEST(Codegen, StructureMismatchRejected) {
+  const NetworkDescriptor d = small_descriptor(false);
+  Network wrong(Shape{1, 8, 8});
+  wrong.add_linear(4);
+  wrong.add_logsoftmax();
+  EXPECT_THROW(generate_cpp(d, wrong), DescriptorError);
+}
+
+TEST(Codegen, WeightCountMatchesNetwork) {
+  const NetworkDescriptor d = small_descriptor(false);
+  Network net = d.build_network();
+  cnn2fpga::util::Rng rng(3);
+  net.init_weights(rng);
+  const std::string src = generate_cpp(d, net);
+  // conv weights: 3*1*3*3 = 27 floats.
+  EXPECT_NE(src.find("w_conv0[27]"), std::string::npos);
+  // linear: input 3*3*3=27 -> 4 neurons = 108 weights.
+  EXPECT_NE(src.find("w_linear2[108]"), std::string::npos);
+}
+
+TEST(Codegen, GeneratedCodeMatchesReferenceBitForBit) {
+  const NetworkDescriptor d = small_descriptor(true);
+  Network net = d.build_network();
+  cnn2fpga::util::Rng rng(4);
+  net.init_weights(rng);
+
+  const std::string dir = cnn2fpga::util::make_temp_dir("cnn2fpga-codegen");
+  const std::string bin = compile_testbench(dir, generate_cpp(d, net));
+
+  for (int trial = 0; trial < 5; ++trial) {
+    Tensor image(Shape{1, 8, 8});
+    image.fill_uniform(rng, 0.0f, 1.0f);
+    const Tensor expected = net.forward(image);
+    const TestbenchResult actual = run_testbench(dir, bin, image, 4);
+
+    ASSERT_EQ(actual.scores.size(), expected.size());
+    for (std::size_t k = 0; k < expected.size(); ++k) {
+      EXPECT_EQ(actual.scores[k], expected[k])
+          << "score " << k << " differs (trial " << trial << ")";
+    }
+    EXPECT_EQ(static_cast<std::size_t>(actual.predicted), expected.argmax());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Codegen, NaiveAndOptimizedAreFunctionallyIdentical) {
+  // Directives change timing/resources, never results (paper: both variants
+  // report the same predicted error).
+  NetworkDescriptor d = small_descriptor(false);
+  Network net = d.build_network();
+  cnn2fpga::util::Rng rng(5);
+  net.init_weights(rng);
+
+  const std::string dir = cnn2fpga::util::make_temp_dir("cnn2fpga-codegen");
+  const std::string bin_naive = compile_testbench(dir + std::string(), generate_cpp(d, net));
+  d.optimize = true;
+  const std::string dir2 = cnn2fpga::util::make_temp_dir("cnn2fpga-codegen");
+  const std::string bin_opt = compile_testbench(dir2, generate_cpp(d, net));
+
+  Tensor image(Shape{1, 8, 8});
+  image.fill_uniform(rng, 0.0f, 1.0f);
+  const TestbenchResult a = run_testbench(dir, bin_naive, image, 4);
+  const TestbenchResult b = run_testbench(dir2, bin_opt, image, 4);
+  ASSERT_EQ(a.scores.size(), b.scores.size());
+  for (std::size_t k = 0; k < a.scores.size(); ++k) EXPECT_EQ(a.scores[k], b.scores[k]);
+  EXPECT_EQ(a.predicted, b.predicted);
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(dir2);
+}
+
+TEST(Codegen, MultiLayerNetworkWithTanhCompilesAndMatches) {
+  NetworkDescriptor d;
+  d.name = "deep";
+  d.input_channels = 2;
+  d.input_height = 10;
+  d.input_width = 10;
+  d.optimize = true;
+  LayerSpec conv1;
+  conv1.type = LayerSpec::Type::kConv;
+  conv1.conv.feature_maps_out = 4;
+  conv1.conv.kernel_h = conv1.conv.kernel_w = 3;
+  conv1.conv.pool = PoolSpec{cnn2fpga::nn::PoolKind::kMean, 2, 2};
+  LayerSpec lin1;
+  lin1.type = LayerSpec::Type::kLinear;
+  lin1.linear.neurons = 8;
+  lin1.linear.activation = cnn2fpga::nn::ActKind::kTanh;
+  LayerSpec lin2;
+  lin2.type = LayerSpec::Type::kLinear;
+  lin2.linear.neurons = 3;
+  d.layers = {conv1, lin1, lin2};
+
+  Network net = d.build_network();
+  cnn2fpga::util::Rng rng(6);
+  net.init_weights(rng);
+
+  const std::string dir = cnn2fpga::util::make_temp_dir("cnn2fpga-codegen");
+  const std::string bin = compile_testbench(dir, generate_cpp(d, net));
+  Tensor image(Shape{2, 10, 10});
+  image.fill_uniform(rng, -1.0f, 1.0f);
+  const Tensor expected = net.forward(image);
+  const TestbenchResult actual = run_testbench(dir, bin, image, 3);
+  for (std::size_t k = 0; k < 3; ++k) EXPECT_EQ(actual.scores[k], expected[k]);
+  std::filesystem::remove_all(dir);
+}

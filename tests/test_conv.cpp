@@ -1,0 +1,206 @@
+// Tests for the convolutional layer (paper Eq. 1-3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "nn/conv.hpp"
+#include "util/rng.hpp"
+
+using cnn2fpga::nn::Conv2D;
+using cnn2fpga::nn::Shape;
+using cnn2fpga::nn::Tensor;
+
+TEST(Conv, OutputShapeFollowsEq2And3) {
+  Conv2D conv(1, 6, 5, 5);
+  const Shape out = conv.output_shape(Shape{1, 16, 16});
+  // Paper Test 1: 16x16 input, 5x5 kernels -> 12x12 feature maps.
+  EXPECT_EQ(out, (Shape{6, 12, 12}));
+}
+
+TEST(Conv, IdentityKernelPassesThrough) {
+  // A 1x1 kernel with weight 1, bias 0 copies the input.
+  Conv2D conv(1, 1, 1, 1);
+  conv.weights()[0] = 1.0f;
+  Tensor x(Shape{1, 3, 3});
+  for (std::size_t i = 0; i < 9; ++i) x[i] = static_cast<float>(i);
+  const Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), x.shape());
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv, HandComputedValue) {
+  // 2x2 kernel [[1,2],[3,4]], bias 10, on a 3x3 ramp image.
+  Conv2D conv(1, 1, 2, 2);
+  conv.weights()[0] = 1.0f;
+  conv.weights()[1] = 2.0f;
+  conv.weights()[2] = 3.0f;
+  conv.weights()[3] = 4.0f;
+  conv.bias()[0] = 10.0f;
+  Tensor x(Shape{1, 3, 3});
+  for (std::size_t i = 0; i < 9; ++i) x[i] = static_cast<float>(i);  // 0..8 row-major
+  const Tensor y = conv.forward(x, false);
+  ASSERT_EQ(y.shape(), (Shape{1, 2, 2}));
+  // o(0,0) = 0*1 + 1*2 + 3*3 + 4*4 + 10 = 37
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0), 37.0f);
+  // o(0,1) = 1 + 2*2 + 4*3 + 5*4 + 10 = 47
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1), 47.0f);
+  // o(1,0) = 3 + 4*2 + 6*3 + 7*4 + 10 = 67
+  EXPECT_FLOAT_EQ(y.at(0, 1, 0), 67.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 1), 77.0f);
+}
+
+TEST(Conv, MultiChannelSumsAcrossInputs) {
+  // Two input channels, kernel weight 1 everywhere: output = sum over window
+  // of both channels.
+  Conv2D conv(2, 1, 2, 2);
+  conv.weights().fill(1.0f);
+  Tensor x(Shape{2, 2, 2});
+  x.fill(1.0f);
+  const Tensor y = conv.forward(x, false);
+  ASSERT_EQ(y.shape(), (Shape{1, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 8.0f);  // 2 channels * 4 window elements
+}
+
+TEST(Conv, BiasPerOutputChannel) {
+  Conv2D conv(1, 3, 1, 1);
+  conv.bias()[0] = 1.0f;
+  conv.bias()[1] = 2.0f;
+  conv.bias()[2] = 3.0f;
+  Tensor x(Shape{1, 1, 1});
+  const Tensor y = conv.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 1.0f);
+  EXPECT_FLOAT_EQ(y[1], 2.0f);
+  EXPECT_FLOAT_EQ(y[2], 3.0f);
+}
+
+TEST(Conv, LinearityInInput) {
+  cnn2fpga::util::Rng rng(11);
+  Conv2D conv(2, 3, 3, 3);
+  conv.init_weights(rng);
+  conv.bias().fill(0.0f);  // linearity holds only without bias
+
+  Tensor a(Shape{2, 6, 6}), b(Shape{2, 6, 6});
+  a.fill_uniform(rng, -1.0f, 1.0f);
+  b.fill_uniform(rng, -1.0f, 1.0f);
+  Tensor sum(Shape{2, 6, 6});
+  for (std::size_t i = 0; i < sum.size(); ++i) sum[i] = a[i] + b[i];
+
+  const Tensor ya = conv.forward(a, false);
+  const Tensor yb = conv.forward(b, false);
+  const Tensor ysum = conv.forward(sum, false);
+  for (std::size_t i = 0; i < ysum.size(); ++i) {
+    EXPECT_NEAR(ysum[i], ya[i] + yb[i], 1e-4f);
+  }
+}
+
+TEST(Conv, MacCountMatchesPaperTest1) {
+  // Paper Test 1 conv layer: 6 kernels 5x5 on 16x16 -> 12x12: 6*144*25 MACs.
+  Conv2D conv(1, 6, 5, 5);
+  EXPECT_EQ(conv.mac_count(Shape{1, 16, 16}), 21600u);
+}
+
+TEST(Conv, RejectsBadInputs) {
+  Conv2D conv(3, 4, 5, 5);
+  EXPECT_THROW(conv.output_shape(Shape{1, 16, 16}), std::invalid_argument);  // channels
+  EXPECT_THROW(conv.output_shape(Shape{3, 4, 16}), std::invalid_argument);   // too small
+  EXPECT_THROW(conv.output_shape(Shape{3, 16}), std::invalid_argument);      // rank
+  EXPECT_THROW(Conv2D(0, 1, 1, 1), std::invalid_argument);
+  EXPECT_THROW(Conv2D(1, 1, 0, 1), std::invalid_argument);
+}
+
+TEST(Conv, BackwardBeforeForwardThrows) {
+  Conv2D conv(1, 1, 2, 2);
+  EXPECT_THROW(conv.backward(Tensor(Shape{1, 1, 1})), std::logic_error);
+}
+
+TEST(Conv, GradientCheck) {
+  // Finite-difference check of weight, bias and input gradients.
+  cnn2fpga::util::Rng rng(3);
+  Conv2D conv(2, 2, 2, 2);
+  conv.init_weights(rng);
+  Tensor x(Shape{2, 4, 4});
+  x.fill_uniform(rng, -1.0f, 1.0f);
+
+  // Scalar objective: sum of outputs.
+  const auto objective = [&](Conv2D& c, const Tensor& input) {
+    const Tensor y = c.forward(input, false);
+    double s = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) s += y[i];
+    return s;
+  };
+
+  conv.zero_grad();
+  const Tensor y = conv.forward(x, true);
+  Tensor ones(y.shape());
+  ones.fill(1.0f);
+  const Tensor grad_input = conv.backward(ones);
+
+  const double eps = 1e-2;
+  // Weights.
+  for (std::size_t w = 0; w < conv.weights().size(); w += 7) {
+    const float saved = conv.weights()[w];
+    conv.weights()[w] = saved + static_cast<float>(eps);
+    const double plus = objective(conv, x);
+    conv.weights()[w] = saved - static_cast<float>(eps);
+    const double minus = objective(conv, x);
+    conv.weights()[w] = saved;
+    const double numeric = (plus - minus) / (2 * eps);
+    const auto params = conv.params();
+    EXPECT_NEAR((*params[0].grad)[w], numeric, 5e-2) << "weight " << w;
+  }
+  // Bias: each bias feeds every output pixel of its map.
+  {
+    const auto params = conv.params();
+    for (std::size_t b = 0; b < conv.bias().size(); ++b) {
+      const float saved = conv.bias()[b];
+      conv.bias()[b] = saved + static_cast<float>(eps);
+      const double plus = objective(conv, x);
+      conv.bias()[b] = saved - static_cast<float>(eps);
+      const double minus = objective(conv, x);
+      conv.bias()[b] = saved;
+      EXPECT_NEAR((*params[1].grad)[b], (plus - minus) / (2 * eps), 5e-2);
+    }
+  }
+  // Input.
+  for (std::size_t i = 0; i < x.size(); i += 5) {
+    const float saved = x[i];
+    Tensor xp = x, xm = x;
+    xp[i] = saved + static_cast<float>(eps);
+    xm[i] = saved - static_cast<float>(eps);
+    const double numeric = (objective(conv, xp) - objective(conv, xm)) / (2 * eps);
+    EXPECT_NEAR(grad_input[i], numeric, 5e-2) << "input " << i;
+  }
+}
+
+// ------------------------------------------------------------------------
+// Property sweep: Eq. 2/3 over a grid of (input, kernel) sizes.
+// ------------------------------------------------------------------------
+
+class ConvShapeSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(ConvShapeSweep, DimensionsFollowEq2And3) {
+  const auto [size, kernel, channels] = GetParam();
+  if (kernel > size) GTEST_SKIP() << "kernel larger than input";
+  Conv2D conv(channels, 4, kernel, kernel);
+  const Shape out = conv.output_shape(Shape{channels, size, size});
+  EXPECT_EQ(out.channels(), 4u);
+  EXPECT_EQ(out.height(), size - kernel + 1);
+  EXPECT_EQ(out.width(), size - kernel + 1);
+  EXPECT_EQ(conv.mac_count(Shape{channels, size, size}),
+            4u * (size - kernel + 1) * (size - kernel + 1) * channels * kernel * kernel);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConvShapeSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(5, 8, 16, 28, 32),
+                       ::testing::Values<std::size_t>(1, 2, 3, 5, 7),
+                       ::testing::Values<std::size_t>(1, 3)));
+
+// Non-square kernels also follow the formulas independently per axis.
+TEST(Conv, NonSquareKernel) {
+  Conv2D conv(1, 2, 3, 5);
+  const Shape out = conv.output_shape(Shape{1, 10, 12});
+  EXPECT_EQ(out, (Shape{2, 8, 8}));
+}

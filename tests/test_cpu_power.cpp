@@ -1,0 +1,144 @@
+// Tests for the Cortex-A9 baseline model and the power/energy models,
+// checked against the regimes implied by the paper's Table I.
+#include <gtest/gtest.h>
+
+#include "cpu/a9_model.hpp"
+#include "hls/estimator.hpp"
+#include "power/energy_logger.hpp"
+#include "power/power_model.hpp"
+
+using namespace cnn2fpga;
+
+TEST(A9Model, Test1TimeMatchesPaperRegime) {
+  // Paper: 3.3 s for 1000 images -> 3.3 ms/image. Accept 2.5..4.5 ms.
+  const nn::Network net = nn::make_test1_network();
+  const double seconds = cpu::forward_seconds(net);
+  EXPECT_GT(seconds, 2.5e-3);
+  EXPECT_LT(seconds, 4.5e-3);
+}
+
+TEST(A9Model, Test3TimeMatchesPaperRegime) {
+  // Paper: 4.3 s for 1000 images.
+  const nn::Network net = nn::make_test3_network();
+  const double seconds = cpu::batch_seconds(net, 1000);
+  EXPECT_GT(seconds, 3.4);
+  EXPECT_LT(seconds, 5.5);
+}
+
+TEST(A9Model, Test4TimeMatchesPaperRegime) {
+  // Paper: 2565 s for 10000 images -> 256.5 ms/image. Accept 200..320 ms.
+  const nn::Network net = nn::make_test4_network();
+  const double seconds = cpu::forward_seconds(net);
+  EXPECT_GT(seconds, 0.200);
+  EXPECT_LT(seconds, 0.320);
+}
+
+TEST(A9Model, ScalesLinearlyWithBatch) {
+  const nn::Network net = nn::make_test1_network();
+  EXPECT_DOUBLE_EQ(cpu::batch_seconds(net, 1000), 1000.0 * cpu::forward_seconds(net));
+}
+
+TEST(A9Model, CyclesDominatedByMacs) {
+  const nn::Network net = nn::make_test1_network();
+  const cpu::A9Model model;
+  const std::uint64_t cycles = cpu::forward_cycles(net, model);
+  const double mac_cycles =
+      static_cast<double>(21600 + 2160) * model.cycles_per_mac;  // conv + linear
+  EXPECT_GT(static_cast<double>(cycles), mac_cycles);
+  EXPECT_LT(static_cast<double>(cycles), mac_cycles * 1.2);
+}
+
+TEST(A9Model, CustomModelParametersRespected) {
+  const nn::Network net = nn::make_test1_network();
+  cpu::A9Model fast;
+  fast.cycles_per_mac = 9.0;  // e.g. a NEON-optimized baseline
+  EXPECT_LT(cpu::forward_seconds(net, fast), cpu::forward_seconds(net) / 5.0);
+}
+
+// ---------------------------------------------------------------- power
+
+TEST(Power, SoftwarePowerIsPaperCpuFigure) {
+  EXPECT_DOUBLE_EQ(power::software_power_w(), 2.2);
+}
+
+TEST(Power, HardwarePowerInPaperRange) {
+  // Paper: 4.19..4.37 W across the four tests. Accept 3.8..4.8 W.
+  for (const auto* net_name : {"t1", "t3", "t4"}) {
+    nn::Network net = std::string(net_name) == "t1"   ? nn::make_test1_network()
+                      : std::string(net_name) == "t3" ? nn::make_test3_network()
+                                                      : nn::make_test4_network();
+    const hls::HlsReport report =
+        hls::estimate(net, hls::DirectiveSet::optimized(), hls::zedboard());
+    const double watts = power::hardware_power_w(report.usage);
+    EXPECT_GT(watts, 3.8) << net_name;
+    EXPECT_LT(watts, 4.8) << net_name;
+  }
+}
+
+TEST(Power, MoreResourcesMorePower) {
+  const hls::HlsReport t1 = hls::estimate(cnn2fpga::nn::make_test1_network(),
+                                          hls::DirectiveSet::optimized(), hls::zedboard());
+  const hls::HlsReport t4 = hls::estimate(cnn2fpga::nn::make_test4_network(),
+                                          hls::DirectiveSet::optimized(), hls::zedboard());
+  EXPECT_GT(power::hardware_power_w(t4.usage), power::hardware_power_w(t1.usage));
+}
+
+TEST(Power, PlShareIsSmallAgainstBoard) {
+  const hls::HlsReport t1 = hls::estimate(cnn2fpga::nn::make_test1_network(),
+                                          hls::DirectiveSet::naive(), hls::zedboard());
+  const double pl = power::pl_power_w(t1.usage);
+  EXPECT_GT(pl, 0.1);
+  EXPECT_LT(pl, 1.0);
+  EXPECT_LT(pl, power::hardware_power_w(t1.usage));
+}
+
+// ---------------------------------------------------------------- energy
+
+TEST(Energy, IntegratesPowerOverTime) {
+  power::EnergyLogger logger;
+  logger.add_segment(2.2, 3.3);   // software run of Test 1
+  EXPECT_DOUBLE_EQ(logger.joules(), 7.26);  // paper Table I software energy
+  logger.add_segment(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(logger.joules(), 7.26);
+  EXPECT_DOUBLE_EQ(logger.total_seconds(), 4.3);
+  EXPECT_NEAR(logger.mean_power_w(), 7.26 / 4.3, 1e-12);
+  EXPECT_EQ(logger.segment_count(), 2u);
+}
+
+TEST(Energy, ResetClears) {
+  power::EnergyLogger logger;
+  logger.add_segment(1.0, 1.0);
+  logger.reset();
+  EXPECT_DOUBLE_EQ(logger.joules(), 0.0);
+  EXPECT_DOUBLE_EQ(logger.mean_power_w(), 0.0);
+}
+
+TEST(Energy, RejectsNegativeInputs) {
+  power::EnergyLogger logger;
+  EXPECT_THROW(logger.add_segment(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(logger.add_segment(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Energy, NaiveHardwareCostsMoreEnergyThanSoftware) {
+  // The paper's key Test 1 observation: 1.18x speedup does not pay for the
+  // extra board power (11.73 J vs 7.26 J).
+  nn::Network net = nn::make_test1_network();
+  const double sw_time = cpu::batch_seconds(net, 1000);
+  const hls::HlsReport naive = hls::estimate(net, hls::DirectiveSet::naive(), hls::zedboard());
+  const double hw_time = 1000.0 * naive.latency_seconds();
+  const double sw_energy = power::software_power_w() * sw_time;
+  const double hw_energy = power::hardware_power_w(naive.usage) * hw_time;
+  EXPECT_GT(hw_energy, sw_energy);
+}
+
+TEST(Energy, OptimizedHardwareIsMoreEnergyEfficient) {
+  // Paper Test 2: 2.23 J (hw) vs 7.26 J (sw).
+  nn::Network net = nn::make_test1_network();
+  const double sw_time = cpu::batch_seconds(net, 1000);
+  const hls::HlsReport opt =
+      hls::estimate(net, hls::DirectiveSet::optimized(), hls::zedboard());
+  const double hw_time = 1000.0 * opt.latency_seconds();
+  const double sw_energy = power::software_power_w() * sw_time;
+  const double hw_energy = power::hardware_power_w(opt.usage) * hw_time;
+  EXPECT_LT(hw_energy, sw_energy);
+}

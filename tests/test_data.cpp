@@ -1,0 +1,181 @@
+// Tests for the synthetic dataset substrates (USPS / CIFAR-10 stand-ins).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "data/synth_cifar.hpp"
+#include "data/synth_usps.hpp"
+#include "util/fileio.hpp"
+
+using namespace cnn2fpga::data;
+using cnn2fpga::tensor::Shape;
+using cnn2fpga::tensor::Tensor;
+
+TEST(Usps, ShapesAndRanges) {
+  UspsConfig config;
+  config.samples_per_class = 5;
+  const Dataset ds = generate_usps(config);
+  EXPECT_EQ(ds.num_classes, 10u);
+  EXPECT_EQ(ds.size(), 50u);
+  EXPECT_EQ(ds.image_shape, (Shape{1, 16, 16}));
+  for (const Sample& s : ds.samples) {
+    EXPECT_LT(s.label, 10u);
+    EXPECT_GE(s.image.min(), 0.0f);
+    EXPECT_LE(s.image.max(), 1.0f);
+    EXPECT_GT(s.image.sum(), 0.0f);  // something was drawn
+  }
+}
+
+TEST(Usps, ClassesInterleavedSoPrefixSplitIsBalanced) {
+  UspsConfig config;
+  config.samples_per_class = 3;
+  const Dataset ds = generate_usps(config);
+  for (std::size_t i = 0; i < ds.size(); ++i) EXPECT_EQ(ds.samples[i].label, i % 10);
+  const auto hist = ds.class_histogram();
+  for (std::size_t c = 0; c < 10; ++c) EXPECT_EQ(hist[c], 3u);
+}
+
+TEST(Usps, DeterministicPerSeed) {
+  UspsConfig config;
+  config.samples_per_class = 2;
+  const Dataset a = generate_usps(config);
+  const Dataset b = generate_usps(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(Tensor::max_abs_diff(a.samples[i].image, b.samples[i].image), 0.0f);
+  }
+  config.seed = 43;
+  const Dataset c = generate_usps(config);
+  EXPECT_NE(Tensor::max_abs_diff(a.samples[0].image, c.samples[0].image), 0.0f);
+}
+
+TEST(Usps, DigitsAreVisuallyDistinct) {
+  // Noise-free renderings of different digits must differ substantially.
+  UspsConfig config;
+  config.noise_stddev = 0.0f;
+  config.max_translation = 0;
+  config.min_intensity = 1.0f;
+  cnn2fpga::util::Rng rng(1);
+  const Tensor one = render_usps_digit(1, rng, config);
+  const Tensor eight = render_usps_digit(8, rng, config);
+  EXPECT_GT(Tensor::max_abs_diff(one, eight), 0.5f);
+  // An 8 lights strictly more pixels than a 1.
+  EXPECT_GT(eight.sum(), one.sum());
+}
+
+TEST(Usps, RejectsInvalidDigit) {
+  cnn2fpga::util::Rng rng(1);
+  EXPECT_THROW(render_usps_digit(10, rng, UspsConfig{}), std::invalid_argument);
+}
+
+TEST(Cifar, ShapesAndRanges) {
+  CifarConfig config;
+  config.samples_per_class = 3;
+  const Dataset ds = generate_cifar(config);
+  EXPECT_EQ(ds.num_classes, 10u);
+  EXPECT_EQ(ds.size(), 30u);
+  EXPECT_EQ(ds.image_shape, (Shape{3, 32, 32}));
+  for (const Sample& s : ds.samples) {
+    EXPECT_GE(s.image.min(), 0.0f);
+    EXPECT_LE(s.image.max(), 1.0f);
+  }
+}
+
+TEST(Cifar, ClassesDifferInMeanColor) {
+  CifarConfig config;
+  config.samples_per_class = 4;
+  config.noise_stddev = 0.0f;
+  const Dataset ds = generate_cifar(config);
+  // Mean red-channel value of class 0 (red hue) exceeds class 2 (blue hue).
+  double red_class0 = 0.0, red_class2 = 0.0;
+  int n0 = 0, n2 = 0;
+  for (const Sample& s : ds.samples) {
+    double red = 0.0;
+    for (std::size_t i = 0; i < 32 * 32; ++i) red += s.image[i];
+    if (s.label == 0) {
+      red_class0 += red;
+      ++n0;
+    }
+    if (s.label == 2) {
+      red_class2 += red;
+      ++n2;
+    }
+  }
+  EXPECT_GT(red_class0 / n0, red_class2 / n2);
+}
+
+TEST(Cifar, DeterministicPerSeed) {
+  CifarConfig config;
+  config.samples_per_class = 1;
+  const Dataset a = generate_cifar(config);
+  const Dataset b = generate_cifar(config);
+  EXPECT_EQ(Tensor::max_abs_diff(a.samples[5].image, b.samples[5].image), 0.0f);
+}
+
+TEST(Dataset, SplitSeparatesPrefixAndSuffix) {
+  UspsConfig config;
+  config.samples_per_class = 4;
+  const Dataset ds = generate_usps(config);
+  const auto [train, test] = ds.split(30);
+  EXPECT_EQ(train.size(), 30u);
+  EXPECT_EQ(test.size(), 10u);
+  EXPECT_THROW(ds.split(100), std::invalid_argument);
+}
+
+TEST(Dataset, PixelStats) {
+  UspsConfig config;
+  config.samples_per_class = 2;
+  const Dataset ds = generate_usps(config);
+  const auto [mean, stddev] = ds.pixel_stats();
+  EXPECT_GT(mean, 0.0f);
+  EXPECT_LT(mean, 1.0f);
+  EXPECT_GT(stddev, 0.0f);
+}
+
+TEST(Dataset, SaveLoadRoundTrip) {
+  UspsConfig config;
+  config.samples_per_class = 2;
+  const Dataset ds = generate_usps(config);
+
+  const std::string dir = cnn2fpga::util::make_temp_dir("cnn2fpga-data");
+  const std::string path = dir + "/usps.bin";
+  save_dataset(ds, path);
+  const Dataset loaded = load_dataset(path);
+
+  EXPECT_EQ(loaded.num_classes, ds.num_classes);
+  EXPECT_EQ(loaded.image_shape, ds.image_shape);
+  ASSERT_EQ(loaded.size(), ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(loaded.samples[i].label, ds.samples[i].label);
+    EXPECT_EQ(Tensor::max_abs_diff(loaded.samples[i].image, ds.samples[i].image), 0.0f);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Dataset, LoadRejectsCorruptFiles) {
+  const std::string dir = cnn2fpga::util::make_temp_dir("cnn2fpga-data");
+  const std::string path = dir + "/bad.bin";
+  cnn2fpga::util::write_file(path, "definitely not a dataset");
+  EXPECT_THROW(load_dataset(path), std::runtime_error);
+
+  // Truncated valid file.
+  UspsConfig config;
+  config.samples_per_class = 1;
+  save_dataset(generate_usps(config), path);
+  auto bytes = cnn2fpga::util::read_file_bytes(path);
+  bytes.resize(bytes.size() - 100);
+  cnn2fpga::util::write_file_bytes(path, bytes);
+  EXPECT_THROW(load_dataset(path), std::runtime_error);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Dataset, AsciiRenderHasRowsAndInk) {
+  UspsConfig config;
+  config.samples_per_class = 1;
+  const Dataset ds = generate_usps(config);
+  const std::string art = ascii_render(ds.samples[8].image);  // digit 8
+  // 16 lines of 16 chars.
+  EXPECT_EQ(art.size(), 17u * 16u);
+  EXPECT_NE(art.find('@'), std::string::npos);  // bright stroke pixels
+  EXPECT_NE(art.find(' '), std::string::npos);  // background
+}

@@ -1,0 +1,269 @@
+// Tests for the network descriptor (the GUI's JSON contract, Sec. IV-A).
+#include <gtest/gtest.h>
+
+#include "core/descriptor.hpp"
+#include "core/framework.hpp"
+
+using namespace cnn2fpga::core;
+using cnn2fpga::nn::Shape;
+
+namespace {
+const char* kTest1Json = R"({
+  "name": "usps_test1",
+  "board": "zedboard",
+  "input": {"channels": 1, "height": 16, "width": 16},
+  "optimize": false,
+  "layers": [
+    {"type": "conv", "feature_maps_out": 6, "kernel": 5,
+     "pool": {"type": "max", "kernel": 2, "step": 2}},
+    {"type": "linear", "neurons": 10}
+  ]
+})";
+}  // namespace
+
+TEST(Descriptor, ParsesTest1Document) {
+  const NetworkDescriptor d = NetworkDescriptor::from_json_text(kTest1Json);
+  EXPECT_EQ(d.name, "usps_test1");
+  EXPECT_EQ(d.board, "zedboard");
+  EXPECT_EQ(d.input_channels, 1u);
+  EXPECT_EQ(d.input_height, 16u);
+  EXPECT_FALSE(d.optimize);
+  EXPECT_TRUE(d.logsoftmax);  // appended by default
+  ASSERT_EQ(d.layers.size(), 2u);
+  EXPECT_EQ(d.layers[0].type, LayerSpec::Type::kConv);
+  EXPECT_EQ(d.layers[0].conv.feature_maps_out, 6u);
+  EXPECT_EQ(d.layers[0].conv.kernel_h, 5u);
+  ASSERT_TRUE(d.layers[0].conv.pool.has_value());
+  EXPECT_EQ(d.layers[0].conv.pool->kernel, 2u);
+  EXPECT_EQ(d.layers[1].linear.neurons, 10u);
+  EXPECT_EQ(d.num_classes(), 10u);
+}
+
+TEST(Descriptor, BuildsTheEquivalentNetwork) {
+  const NetworkDescriptor d = NetworkDescriptor::from_json_text(kTest1Json);
+  const cnn2fpga::nn::Network net = d.build_network();
+  EXPECT_EQ(net.layer_count(), 4u);  // conv, maxpool, linear, logsoftmax
+  EXPECT_EQ(net.shape_after(0), (Shape{6, 12, 12}));
+  EXPECT_EQ(net.shape_after(1), (Shape{6, 6, 6}));
+  EXPECT_EQ(net.output_shape(), (Shape{10}));
+}
+
+TEST(Descriptor, JsonRoundTrip) {
+  const NetworkDescriptor d = NetworkDescriptor::from_json_text(kTest1Json);
+  const NetworkDescriptor d2 = NetworkDescriptor::from_json(d.to_json());
+  EXPECT_EQ(d2.name, d.name);
+  EXPECT_EQ(d2.layers.size(), d.layers.size());
+  EXPECT_EQ(d2.to_json().dump(), d.to_json().dump());
+}
+
+TEST(Descriptor, PoolStepDefaultsToKernel) {
+  const auto d = NetworkDescriptor::from_json_text(R"({
+    "input": {"channels": 1, "height": 16, "width": 16},
+    "layers": [
+      {"type": "conv", "feature_maps_out": 2, "kernel": 3,
+       "pool": {"type": "max", "kernel": 2}},
+      {"type": "linear", "neurons": 4}
+    ]})");
+  EXPECT_EQ(d.layers[0].conv.pool->step, 2u);
+}
+
+TEST(Descriptor, MeanPoolSupported) {
+  const auto d = NetworkDescriptor::from_json_text(R"({
+    "input": {"channels": 1, "height": 16, "width": 16},
+    "layers": [
+      {"type": "conv", "feature_maps_out": 2, "kernel": 3,
+       "pool": {"type": "mean", "kernel": 2}},
+      {"type": "linear", "neurons": 4}
+    ]})");
+  EXPECT_EQ(d.layers[0].conv.pool->kind, cnn2fpga::nn::PoolKind::kMean);
+  const auto net = d.build_network();
+  EXPECT_EQ(net.layer(1).kind(), "meanpool");
+}
+
+TEST(Descriptor, LinearTanhOption) {
+  const auto d = NetworkDescriptor::from_json_text(R"({
+    "input": {"channels": 1, "height": 8, "width": 8},
+    "layers": [
+      {"type": "linear", "neurons": 16, "tanh": true},
+      {"type": "linear", "neurons": 4}
+    ]})");
+  const auto net = d.build_network();
+  EXPECT_EQ(net.layer(1).kind(), "tanh");
+}
+
+TEST(Descriptor, NonSquareKernels) {
+  const auto d = NetworkDescriptor::from_json_text(R"({
+    "input": {"channels": 1, "height": 16, "width": 16},
+    "layers": [
+      {"type": "conv", "feature_maps_out": 2, "kernel_h": 3, "kernel_w": 5},
+      {"type": "linear", "neurons": 4}
+    ]})");
+  const auto net = d.build_network();
+  EXPECT_EQ(net.shape_after(0), (Shape{2, 14, 12}));
+}
+
+// ----------------------------------------------------------- error handling
+
+TEST(DescriptorErrors, MalformedJson) {
+  EXPECT_THROW(NetworkDescriptor::from_json_text("{ not json"), DescriptorError);
+}
+
+TEST(DescriptorErrors, MissingInput) {
+  EXPECT_THROW(NetworkDescriptor::from_json_text(R"({"layers": []})"), DescriptorError);
+}
+
+TEST(DescriptorErrors, MissingRequiredLayerFields) {
+  EXPECT_THROW(NetworkDescriptor::from_json_text(R"({
+    "input": {"channels": 1, "height": 16, "width": 16},
+    "layers": [{"type": "conv"}]})"),
+               DescriptorError);
+  EXPECT_THROW(NetworkDescriptor::from_json_text(R"({
+    "input": {"channels": 1, "height": 16, "width": 16},
+    "layers": [{"type": "linear"}]})"),
+               DescriptorError);
+}
+
+TEST(DescriptorErrors, NonPositiveDimensions) {
+  EXPECT_THROW(NetworkDescriptor::from_json_text(R"({
+    "input": {"channels": 0, "height": 16, "width": 16},
+    "layers": [{"type": "linear", "neurons": 4}]})"),
+               DescriptorError);
+  EXPECT_THROW(NetworkDescriptor::from_json_text(R"({
+    "input": {"channels": 1, "height": 16, "width": 16},
+    "layers": [{"type": "linear", "neurons": -3}]})"),
+               DescriptorError);
+}
+
+TEST(DescriptorErrors, UnknownLayerTypeOrPoolType) {
+  EXPECT_THROW(NetworkDescriptor::from_json_text(R"({
+    "input": {"channels": 1, "height": 16, "width": 16},
+    "layers": [{"type": "dropout", "rate": 0.5}]})"),
+               DescriptorError);
+  EXPECT_THROW(NetworkDescriptor::from_json_text(R"({
+    "input": {"channels": 1, "height": 16, "width": 16},
+    "layers": [
+      {"type": "conv", "feature_maps_out": 2, "kernel": 3,
+       "pool": {"type": "median", "kernel": 2}},
+      {"type": "linear", "neurons": 4}
+    ]})"),
+               DescriptorError);
+}
+
+TEST(DescriptorErrors, UnknownBoardListsAlternatives) {
+  try {
+    NetworkDescriptor::from_json_text(R"({
+      "board": "de10",
+      "input": {"channels": 1, "height": 16, "width": 16},
+      "layers": [{"type": "linear", "neurons": 4}]})");
+    FAIL() << "expected DescriptorError";
+  } catch (const DescriptorError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("zybo"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("zedboard"), std::string::npos) << msg;
+  }
+}
+
+TEST(DescriptorErrors, ConvAfterLinearRejected) {
+  EXPECT_THROW(NetworkDescriptor::from_json_text(R"({
+    "input": {"channels": 1, "height": 16, "width": 16},
+    "layers": [
+      {"type": "linear", "neurons": 10},
+      {"type": "conv", "feature_maps_out": 2, "kernel": 3}
+    ]})"),
+               DescriptorError);
+}
+
+TEST(DescriptorErrors, MustEndInLinear) {
+  EXPECT_THROW(NetworkDescriptor::from_json_text(R"({
+    "input": {"channels": 1, "height": 16, "width": 16},
+    "layers": [{"type": "conv", "feature_maps_out": 2, "kernel": 3}]})"),
+               DescriptorError);
+}
+
+TEST(DescriptorErrors, InfeasibleShapesCaughtAtValidation) {
+  // 9x9 kernel on a 8x8 input.
+  try {
+    NetworkDescriptor::from_json_text(R"({
+      "input": {"channels": 1, "height": 8, "width": 8},
+      "layers": [
+        {"type": "conv", "feature_maps_out": 2, "kernel": 9},
+        {"type": "linear", "neurons": 4}
+      ]})");
+    FAIL() << "expected DescriptorError";
+  } catch (const DescriptorError& e) {
+    EXPECT_NE(std::string(e.what()).find("infeasible"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Descriptor, ClockOverride) {
+  const auto d = NetworkDescriptor::from_json_text(R"({
+    "clock_mhz": 125,
+    "input": {"channels": 1, "height": 16, "width": 16},
+    "layers": [{"type": "linear", "neurons": 4}]})");
+  EXPECT_DOUBLE_EQ(d.clock_mhz, 125.0);
+  // Round-trips.
+  EXPECT_DOUBLE_EQ(NetworkDescriptor::from_json(d.to_json()).clock_mhz, 125.0);
+
+  // The generated HLS report and tcl reflect the faster clock.
+  const auto design = cnn2fpga::core::Framework::generate_with_random_weights(d, 1);
+  EXPECT_DOUBLE_EQ(design.hls_report.device.clock_mhz, 125.0);
+  EXPECT_NE(design.tcl_files.at("cnn_vivado_hls.tcl").find("create_clock -period 8"),
+            std::string::npos);
+
+  // Same cycles as at 100 MHz, fewer seconds.
+  auto base = d;
+  base.clock_mhz = 0.0;
+  const auto reference = cnn2fpga::core::Framework::generate_with_random_weights(base, 1);
+  EXPECT_EQ(design.hls_report.latency_cycles, reference.hls_report.latency_cycles);
+  EXPECT_LT(design.hls_report.latency_seconds(), reference.hls_report.latency_seconds());
+}
+
+TEST(DescriptorErrors, ClockOutOfRange) {
+  EXPECT_THROW(NetworkDescriptor::from_json_text(R"({
+    "clock_mhz": 10,
+    "input": {"channels": 1, "height": 16, "width": 16},
+    "layers": [{"type": "linear", "neurons": 4}]})"),
+               DescriptorError);
+  EXPECT_THROW(NetworkDescriptor::from_json_text(R"({
+    "clock_mhz": 1000,
+    "input": {"channels": 1, "height": 16, "width": 16},
+    "layers": [{"type": "linear", "neurons": 4}]})"),
+               DescriptorError);
+}
+
+TEST(Descriptor, ActivationOptions) {
+  const auto d = NetworkDescriptor::from_json_text(R"({
+    "input": {"channels": 1, "height": 16, "width": 16},
+    "layers": [
+      {"type": "conv", "feature_maps_out": 2, "kernel": 3, "activation": "relu",
+       "pool": {"type": "max", "kernel": 2}},
+      {"type": "linear", "neurons": 8, "activation": "sigmoid"},
+      {"type": "linear", "neurons": 4}
+    ]})");
+  const auto net = d.build_network();
+  EXPECT_EQ(net.layer(1).kind(), "relu");     // after conv, before pool
+  EXPECT_EQ(net.layer(2).kind(), "maxpool");
+  EXPECT_EQ(net.layer(4).kind(), "sigmoid");
+  // Round-trips.
+  const auto d2 = NetworkDescriptor::from_json(d.to_json());
+  EXPECT_EQ(d2.build_network().layer(1).kind(), "relu");
+
+  // Legacy "tanh": true still works.
+  const auto legacy = NetworkDescriptor::from_json_text(R"({
+    "input": {"channels": 1, "height": 16, "width": 16},
+    "layers": [{"type": "linear", "neurons": 8, "tanh": true},
+               {"type": "linear", "neurons": 4}]})");
+  EXPECT_EQ(legacy.build_network().layer(1).kind(), "tanh");
+
+  EXPECT_THROW(NetworkDescriptor::from_json_text(R"({
+    "input": {"channels": 1, "height": 16, "width": 16},
+    "layers": [{"type": "linear", "neurons": 4, "activation": "softplus"}]})"),
+               DescriptorError);
+}
+
+TEST(DescriptorErrors, EmptyLayerList) {
+  EXPECT_THROW(NetworkDescriptor::from_json_text(R"({
+    "input": {"channels": 1, "height": 16, "width": 16},
+    "layers": []})"),
+               DescriptorError);
+}

@@ -1,0 +1,188 @@
+// Tests for the automated design-space exploration engine.
+#include <gtest/gtest.h>
+
+#include "core/dse.hpp"
+#include "json/json.hpp"
+#include "web/api.hpp"
+
+using namespace cnn2fpga;
+using core::DseObjective;
+using core::DseOptions;
+using core::DseResult;
+
+namespace {
+core::NetworkDescriptor small_architecture() {
+  core::NetworkDescriptor d;
+  d.name = "dse_net";
+  d.input_channels = 1;
+  d.input_height = 16;
+  d.input_width = 16;
+  core::LayerSpec conv;
+  conv.type = core::LayerSpec::Type::kConv;
+  conv.conv.feature_maps_out = 6;
+  conv.conv.kernel_h = conv.conv.kernel_w = 5;
+  conv.conv.pool = core::PoolSpec{nn::PoolKind::kMax, 2, 2};
+  core::LayerSpec lin;
+  lin.type = core::LayerSpec::Type::kLinear;
+  lin.linear.neurons = 10;
+  d.layers = {conv, lin};
+  return d;
+}
+
+core::NetworkDescriptor cifar_architecture() {
+  core::NetworkDescriptor d;
+  d.name = "dse_cifar";
+  d.input_channels = 3;
+  d.input_height = 32;
+  d.input_width = 32;
+  core::LayerSpec conv1;
+  conv1.type = core::LayerSpec::Type::kConv;
+  conv1.conv.feature_maps_out = 12;
+  conv1.conv.kernel_h = conv1.conv.kernel_w = 5;
+  conv1.conv.pool = core::PoolSpec{nn::PoolKind::kMax, 2, 2};
+  core::LayerSpec conv2;
+  conv2.type = core::LayerSpec::Type::kConv;
+  conv2.conv.feature_maps_out = 36;
+  conv2.conv.kernel_h = conv2.conv.kernel_w = 5;
+  conv2.conv.pool = core::PoolSpec{nn::PoolKind::kMax, 2, 2};
+  core::LayerSpec lin1;
+  lin1.type = core::LayerSpec::Type::kLinear;
+  lin1.linear.neurons = 36;
+  core::LayerSpec lin2;
+  lin2.type = core::LayerSpec::Type::kLinear;
+  lin2.linear.neurons = 10;
+  d.layers = {conv1, conv2, lin1, lin2};
+  return d;
+}
+}  // namespace
+
+TEST(Dse, EnumeratesTheFullSpace) {
+  const DseResult result = core::explore_design_space(small_architecture());
+  // 3 boards x 2 directive sets x 2 precisions.
+  EXPECT_EQ(result.points.size(), 12u);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_TRUE(result.points[*result.best].fits);
+  EXPECT_FALSE(result.pareto.empty());
+}
+
+TEST(Dse, ParetoFrontIsNonDominatedAndSorted) {
+  const DseResult result = core::explore_design_space(small_architecture());
+  for (std::size_t i = 0; i < result.pareto.size(); ++i) {
+    const core::DsePoint& a = result.points[result.pareto[i]];
+    EXPECT_TRUE(a.fits);
+    if (i > 0) {
+      EXPECT_LE(a.images_per_second,
+                result.points[result.pareto[i - 1]].images_per_second);
+    }
+    for (const core::DsePoint& b : result.points) {
+      if (!b.fits) continue;
+      const bool dominates = b.images_per_second >= a.images_per_second &&
+                             b.power_w <= a.power_w &&
+                             (b.images_per_second > a.images_per_second ||
+                              b.power_w < a.power_w);
+      EXPECT_FALSE(dominates) << a.label() << " dominated by " << b.label();
+    }
+  }
+}
+
+TEST(Dse, ObjectivesPickAccordingly) {
+  DseOptions options;
+  options.objective = DseObjective::kThroughput;
+  const DseResult by_throughput = core::explore_design_space(small_architecture(), options);
+  options.objective = DseObjective::kEnergy;
+  const DseResult by_energy = core::explore_design_space(small_architecture(), options);
+  options.objective = DseObjective::kLatency;
+  const DseResult by_latency = core::explore_design_space(small_architecture(), options);
+
+  ASSERT_TRUE(by_throughput.best && by_energy.best && by_latency.best);
+  const auto& t = by_throughput.points[*by_throughput.best];
+  const auto& e = by_energy.points[*by_energy.best];
+  const auto& l = by_latency.points[*by_latency.best];
+  // Each winner is optimal in its own metric over every feasible point.
+  for (const core::DsePoint& p : by_throughput.points) {
+    if (!p.fits) continue;
+    EXPECT_GE(t.images_per_second, p.images_per_second);
+    EXPECT_LE(e.joules_per_image, p.joules_per_image);
+    EXPECT_LE(l.latency_seconds, p.latency_seconds);
+  }
+  // And every winner uses the optimized directive set (dominant on all axes).
+  EXPECT_TRUE(t.optimize);
+  EXPECT_TRUE(e.optimize);
+  EXPECT_TRUE(l.optimize);
+}
+
+TEST(Dse, InfeasiblePointsNeverRecommended) {
+  // The CIFAR architecture in float32 does not fit the Zybo, but fixed Q8.8
+  // or a bigger board does; the recommendation must be a fitting point.
+  DseOptions options;
+  const DseResult result = core::explore_design_space(cifar_architecture(), options);
+  bool some_infeasible = false;
+  for (const core::DsePoint& p : result.points) some_infeasible |= !p.fits;
+  EXPECT_TRUE(some_infeasible);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_TRUE(result.points[*result.best].fits);
+}
+
+TEST(Dse, RestrictedBoardList) {
+  DseOptions options;
+  options.boards = {"zybo"};
+  options.explore_directives = false;
+  options.precisions = {nn::NumericFormat::float32()};
+  const DseResult result = core::explore_design_space(small_architecture(), options);
+  ASSERT_EQ(result.points.size(), 1u);
+  EXPECT_EQ(result.points[0].board, "zybo");
+  EXPECT_TRUE(result.points[0].optimize);
+
+  options.boards = {"nonexistent"};
+  EXPECT_THROW(core::explore_design_space(small_architecture(), options),
+               core::DescriptorError);
+}
+
+TEST(Dse, ObjectiveParsing) {
+  EXPECT_EQ(core::parse_objective("throughput"), DseObjective::kThroughput);
+  EXPECT_EQ(core::parse_objective("ENERGY"), DseObjective::kEnergy);
+  EXPECT_EQ(core::parse_objective("latency"), DseObjective::kLatency);
+  EXPECT_THROW(core::parse_objective("area"), core::DescriptorError);
+}
+
+TEST(Dse, RenderedReportNamesWinner) {
+  const DseResult result = core::explore_design_space(small_architecture());
+  const std::string text = result.to_string();
+  EXPECT_NE(text.find("recommended:"), std::string::npos);
+  EXPECT_NE(text.find("zedboard"), std::string::npos);
+  EXPECT_NE(text.find("Q8.8"), std::string::npos);
+}
+
+TEST(DseApi, ExploreEndpoint) {
+  web::HttpRequest request;
+  request.body = R"({
+    "name": "api_dse", "objective": "energy",
+    "input": {"channels": 1, "height": 16, "width": 16},
+    "layers": [
+      {"type": "conv", "feature_maps_out": 6, "kernel": 5,
+       "pool": {"type": "max", "kernel": 2, "step": 2}},
+      {"type": "linear", "neurons": 10}
+    ]})";
+  const web::HttpResponse response = web::handle_explore(request);
+  ASSERT_EQ(response.status, 200) << response.body;
+  const auto body = json::parse(response.body);
+  EXPECT_EQ(body.at("objective").as_string(), "energy");
+  EXPECT_EQ(body.at("points").as_array().size(), 12u);
+  EXPECT_FALSE(body.at("recommended").is_null());
+
+  // Exactly the Pareto-marked points are flagged.
+  std::size_t flagged = 0;
+  for (const auto& p : body.at("points").as_array()) {
+    if (p.at("pareto").as_bool()) ++flagged;
+  }
+  EXPECT_GE(flagged, 1u);
+}
+
+TEST(DseApi, RejectsBadObjective) {
+  web::HttpRequest request;
+  request.body = R"({
+    "objective": "vibes",
+    "input": {"channels": 1, "height": 8, "width": 8},
+    "layers": [{"type": "linear", "neurons": 4}]})";
+  EXPECT_EQ(web::handle_explore(request).status, 400);
+}

@@ -1,0 +1,197 @@
+// Failure-injection tests: corrupted transport, degenerate designs and
+// resource exhaustion must produce diagnostics and leave the system usable —
+// never crashes or silent wrong answers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "axi/block_design.hpp"
+#include "core/dse.hpp"
+#include "core/framework.hpp"
+#include "data/synth_usps.hpp"
+#include "hls/schedule.hpp"
+#include "nn/trainer.hpp"
+
+using namespace cnn2fpga;
+using nn::Shape;
+using nn::Tensor;
+
+namespace {
+nn::Network tiny_net() {
+  nn::Network net(Shape{1, 6, 6}, "fi");
+  net.add_conv(2, 3, 3);
+  net.add_linear(3);
+  net.add_logsoftmax();
+  util::Rng rng(1);
+  net.init_weights(rng);
+  return net;
+}
+}  // namespace
+
+// ---------------------------------------------------------------- fabric
+
+TEST(FailureInjection, CorruptedPacketThenRecovery) {
+  nn::Network net = tiny_net();
+  axi::BlockDesign bd(net, hls::DirectiveSet::optimized(), hls::zedboard());
+
+  Tensor image(Shape{1, 6, 6});
+  util::Rng rng(2);
+  image.fill_uniform(rng, 0.0f, 1.0f);
+
+  // A good classification first.
+  ASSERT_TRUE(bd.classify(image).ok);
+
+  // Inject a short image: wrong-rank tensor has fewer elements than the IP
+  // expects, so the stream underflows and the run fails cleanly.
+  Tensor short_image(Shape{1, 2, 2});
+  const axi::ClassifyResult bad = bd.classify(short_image);
+  EXPECT_FALSE(bad.ok);
+
+  // Reset (the Processor System Reset of Fig. 5) and recover.
+  bd.reset();
+  const axi::ClassifyResult good = bd.classify(image);
+  ASSERT_TRUE(good.ok);
+  EXPECT_EQ(good.predicted, net.predict(image));
+}
+
+TEST(FailureInjection, BatchCountsFailuresWithoutAborting) {
+  nn::Network net = tiny_net();
+  axi::BlockDesign bd(net, hls::DirectiveSet::optimized(), hls::zedboard());
+  util::Rng rng(3);
+
+  std::vector<Tensor> images;
+  for (int i = 0; i < 3; ++i) {
+    Tensor image(Shape{1, 6, 6});
+    image.fill_uniform(rng, 0.0f, 1.0f);
+    images.push_back(image);
+  }
+  images.insert(images.begin() + 1, Tensor(Shape{1, 2, 2}));  // poison pill
+
+  // The bad image leaves a stalled partial packet in the stream; each
+  // classify() call in the batch resets nothing itself, so the design's
+  // behaviour must still be: one failure counted, and after reset the
+  // remaining traffic is clean.
+  const axi::BatchResult result = bd.classify_batch(images);
+  EXPECT_EQ(result.images, 4u);
+  EXPECT_GE(result.failures, 1u);
+  EXPECT_EQ(result.predictions.size() + result.failures, 4u);
+}
+
+TEST(FailureInjection, StreamedDesignDoubleUploadIsSafe) {
+  core::NetworkDescriptor d;
+  d.name = "fi_streamed";
+  d.input_channels = 1;
+  d.input_height = 6;
+  d.input_width = 6;
+  d.streamed_weights = true;
+  core::LayerSpec conv;
+  conv.type = core::LayerSpec::Type::kConv;
+  conv.conv.feature_maps_out = 2;
+  conv.conv.kernel_h = conv.conv.kernel_w = 3;
+  core::LayerSpec lin;
+  lin.type = core::LayerSpec::Type::kLinear;
+  lin.linear.neurons = 3;
+  d.layers = {conv, lin};
+
+  nn::Network net = d.build_network();
+  util::Rng rng(4);
+  net.init_weights(rng);
+  axi::BlockDesign bd(net, hls::DirectiveSet::optimized(), hls::zedboard(),
+                      nn::NumericFormat::float32(), true);
+  EXPECT_TRUE(bd.upload_weights());
+  EXPECT_TRUE(bd.upload_weights());  // idempotent
+  Tensor image(Shape{1, 6, 6});
+  image.fill_uniform(rng, 0.0f, 1.0f);
+  EXPECT_TRUE(bd.classify(image).ok);
+}
+
+// ---------------------------------------------------------------- HLS edge
+
+TEST(FailureInjection, DegenerateBlocksScheduleSanely) {
+  hls::TaskBlock empty;
+  empty.name = "empty";
+  // No loops at all: only the region overhead remains.
+  EXPECT_EQ(hls::block_latency(empty), hls::schedule_constants().region_overhead);
+
+  hls::TaskBlock zero_trip;
+  zero_trip.name = "zero";
+  zero_trip.loops.trips = {0, 5};
+  zero_trip.body = {{hls::OpKind::kFAdd, 1}};
+  EXPECT_EQ(hls::block_latency(zero_trip), hls::schedule_constants().region_overhead);
+
+  hls::HlsDesign design;
+  EXPECT_EQ(hls::design_latency(design), 0u);
+  EXPECT_EQ(hls::batch_latency(design, 100), 0u);
+}
+
+TEST(FailureInjection, MassivelyOversizedDesignReportsDontLie) {
+  // A network far beyond any catalog device: generation must succeed, fits()
+  // must be false on every board, and the DSE must find nothing.
+  core::NetworkDescriptor d;
+  d.name = "monster";
+  d.input_channels = 3;
+  d.input_height = 32;
+  d.input_width = 32;
+  d.optimize = true;
+  core::LayerSpec conv;
+  conv.type = core::LayerSpec::Type::kConv;
+  conv.conv.feature_maps_out = 8;
+  conv.conv.kernel_h = conv.conv.kernel_w = 5;
+  conv.conv.pool = core::PoolSpec{nn::PoolKind::kMax, 2, 2};
+  core::LayerSpec lin;
+  lin.type = core::LayerSpec::Type::kLinear;
+  lin.linear.neurons = 160;  // 8*14*14 -> 160: ~251k weights, > Zybo's BRAM
+  core::LayerSpec lin2;
+  lin2.type = core::LayerSpec::Type::kLinear;
+  lin2.linear.neurons = 10;
+  d.layers = {conv, lin, lin2};
+
+  // Zybo and Zedboard must both refuse; even a Virtex-7 may, but if it fits
+  // there the DSE recommendation must be the Virtex-7.
+  d.board = "zybo";
+  const core::GeneratedDesign on_zybo = core::Framework::generate_with_random_weights(d, 1);
+  EXPECT_FALSE(on_zybo.hls_report.fits());
+  EXPECT_FALSE(on_zybo.warnings.empty());
+
+  core::DseOptions options;
+  options.boards = {"zybo", "zedboard"};
+  const core::DseResult result = core::explore_design_space(d, options);
+  for (const core::DsePoint& p : result.points) {
+    if (!p.precision.is_fixed) EXPECT_FALSE(p.fits) << p.label();
+  }
+}
+
+TEST(FailureInjection, UtilizationNeverSilentlyWraps) {
+  // Astronomic resource counts stay finite and compare correctly.
+  hls::ResourceUsage usage;
+  usage.dsp = 1'000'000;
+  usage.bram18 = 1'000'000;
+  const hls::Utilization u = hls::utilization(usage, hls::zedboard());
+  EXPECT_GT(u.dsp, 1000.0);
+  EXPECT_FALSE(u.fits());
+  EXPECT_EQ(u.worst(), std::max(u.dsp, u.bram));
+}
+
+// ---------------------------------------------------------------- trainer
+
+TEST(FailureInjection, GradientClippingContainsExplosiveRates) {
+  // At a learning rate that diverges without clipping (see the Test-3
+  // calibration in DESIGN.md), clipping keeps the loss finite.
+  nn::Network net = nn::make_test3_network();
+  util::Rng rng(5);
+  net.init_weights(rng);
+
+  data::UspsConfig config;
+  config.samples_per_class = 6;
+  const auto train_set = cnn2fpga::data::generate_usps(config).samples;
+
+  nn::TrainConfig tc;
+  tc.epochs = 3;
+  tc.learning_rate = 0.01f;  // diverges unclipped
+  tc.clip_grad_norm = 1.0f;
+  const nn::TrainResult result = nn::SgdTrainer(tc).train(net, train_set, {});
+  for (float loss : result.epoch_loss) {
+    EXPECT_TRUE(std::isfinite(loss));
+    EXPECT_LT(loss, 100.0f);
+  }
+}

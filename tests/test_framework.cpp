@@ -1,0 +1,152 @@
+// Tests for the Framework facade: descriptor + weights -> generated design.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/framework.hpp"
+#include "util/fileio.hpp"
+
+using namespace cnn2fpga::core;
+using cnn2fpga::nn::Network;
+
+namespace {
+NetworkDescriptor test1_descriptor(bool optimize) {
+  NetworkDescriptor d;
+  d.name = "usps_test1";
+  d.board = "zedboard";
+  d.input_channels = 1;
+  d.input_height = 16;
+  d.input_width = 16;
+  d.optimize = optimize;
+  LayerSpec conv;
+  conv.type = LayerSpec::Type::kConv;
+  conv.conv.feature_maps_out = 6;
+  conv.conv.kernel_h = conv.conv.kernel_w = 5;
+  conv.conv.pool = PoolSpec{cnn2fpga::nn::PoolKind::kMax, 2, 2};
+  LayerSpec lin;
+  lin.type = LayerSpec::Type::kLinear;
+  lin.linear.neurons = 10;
+  d.layers = {conv, lin};
+  return d;
+}
+}  // namespace
+
+TEST(Framework, GenerateProducesAllArtifacts) {
+  const GeneratedDesign design =
+      Framework::generate_with_random_weights(test1_descriptor(true), 1);
+  EXPECT_EQ(design.cpp_file_name, "usps_test1.cpp");
+  EXPECT_FALSE(design.cpp_source.empty());
+  EXPECT_EQ(design.tcl_files.size(), 3u);
+  EXPECT_GT(design.hls_report.latency_cycles, 0u);
+  EXPECT_TRUE(design.hls_report.fits());
+  EXPECT_TRUE(design.warnings.empty());
+}
+
+TEST(Framework, GenerateFromTrainedNetwork) {
+  const NetworkDescriptor d = test1_descriptor(false);
+  Network net = d.build_network();
+  cnn2fpga::util::Rng rng(2);
+  net.init_weights(rng);
+  const GeneratedDesign design = Framework::generate(d, net);
+  // The hard-coded weights of the generated file are the network's weights.
+  const float probe = net.layer(0).params()[0].value->at(0);
+  EXPECT_NE(design.cpp_source.find(float_literal(probe)), std::string::npos);
+}
+
+TEST(Framework, GenerateFromWeightFile) {
+  const NetworkDescriptor d = test1_descriptor(false);
+  Network net = d.build_network();
+  cnn2fpga::util::Rng rng(3);
+  net.init_weights(rng);
+  const auto weight_file = cnn2fpga::nn::serialize_weights(net);
+
+  const GeneratedDesign design = Framework::generate_from_weights(d, weight_file);
+  const GeneratedDesign direct = Framework::generate(d, net);
+  EXPECT_EQ(design.cpp_source, direct.cpp_source);
+}
+
+TEST(Framework, WeightFileForWrongArchitectureRejected) {
+  // Weights trained for Test 1 fed with a Test-3-like descriptor.
+  NetworkDescriptor d1 = test1_descriptor(false);
+  Network net1 = d1.build_network();
+  const auto weight_file = cnn2fpga::nn::serialize_weights(net1);
+
+  NetworkDescriptor d3 = d1;
+  LayerSpec conv2;
+  conv2.type = LayerSpec::Type::kConv;
+  conv2.conv.feature_maps_out = 16;
+  conv2.conv.kernel_h = conv2.conv.kernel_w = 5;
+  d3.layers.insert(d3.layers.begin() + 1, conv2);
+  EXPECT_THROW(Framework::generate_from_weights(d3, weight_file), std::runtime_error);
+}
+
+TEST(Framework, RandomWeightsDeterministicPerSeed) {
+  const NetworkDescriptor d = test1_descriptor(true);
+  const GeneratedDesign a = Framework::generate_with_random_weights(d, 42);
+  const GeneratedDesign b = Framework::generate_with_random_weights(d, 42);
+  const GeneratedDesign c = Framework::generate_with_random_weights(d, 43);
+  EXPECT_EQ(a.cpp_source, b.cpp_source);
+  EXPECT_NE(a.cpp_source, c.cpp_source);
+}
+
+TEST(Framework, OversizedDesignCarriesWarnings) {
+  // The CIFAR network on the Zybo overflows; generation must succeed and warn.
+  NetworkDescriptor d;
+  d.name = "cifar_on_zybo";
+  d.board = "zybo";
+  d.optimize = true;
+  d.input_channels = 3;
+  d.input_height = 32;
+  d.input_width = 32;
+  LayerSpec conv1;
+  conv1.type = LayerSpec::Type::kConv;
+  conv1.conv.feature_maps_out = 12;
+  conv1.conv.kernel_h = conv1.conv.kernel_w = 5;
+  conv1.conv.pool = PoolSpec{cnn2fpga::nn::PoolKind::kMax, 2, 2};
+  LayerSpec conv2;
+  conv2.type = LayerSpec::Type::kConv;
+  conv2.conv.feature_maps_out = 36;
+  conv2.conv.kernel_h = conv2.conv.kernel_w = 5;
+  conv2.conv.pool = PoolSpec{cnn2fpga::nn::PoolKind::kMax, 2, 2};
+  LayerSpec lin1;
+  lin1.type = LayerSpec::Type::kLinear;
+  lin1.linear.neurons = 36;
+  LayerSpec lin2;
+  lin2.type = LayerSpec::Type::kLinear;
+  lin2.linear.neurons = 10;
+  d.layers = {conv1, conv2, lin1, lin2};
+
+  const GeneratedDesign design = Framework::generate_with_random_weights(d, 1);
+  EXPECT_FALSE(design.hls_report.fits());
+  ASSERT_FALSE(design.warnings.empty());
+  EXPECT_NE(design.warnings[0].find("zybo"), std::string::npos);
+}
+
+TEST(Framework, WriteToDirectoryDumpsEverything) {
+  const GeneratedDesign design =
+      Framework::generate_with_random_weights(test1_descriptor(true), 4);
+  const std::string dir = cnn2fpga::util::make_temp_dir("cnn2fpga-framework");
+  design.write_to(dir + "/out");
+
+  EXPECT_TRUE(cnn2fpga::util::file_exists(dir + "/out/usps_test1.cpp"));
+  EXPECT_TRUE(cnn2fpga::util::file_exists(dir + "/out/cnn_vivado_hls.tcl"));
+  EXPECT_TRUE(cnn2fpga::util::file_exists(dir + "/out/directives.tcl"));
+  EXPECT_TRUE(cnn2fpga::util::file_exists(dir + "/out/cnn_vivado.tcl"));
+  EXPECT_TRUE(cnn2fpga::util::file_exists(dir + "/out/hls_report.txt"));
+  EXPECT_TRUE(cnn2fpga::util::file_exists(dir + "/out/descriptor.json"));
+
+  // The dumped descriptor round-trips.
+  const auto text = cnn2fpga::util::read_file(dir + "/out/descriptor.json");
+  const NetworkDescriptor reparsed = NetworkDescriptor::from_json_text(text);
+  EXPECT_EQ(reparsed.name, "usps_test1");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Framework, NaiveVsOptimizedReportsDiffer) {
+  const GeneratedDesign naive =
+      Framework::generate_with_random_weights(test1_descriptor(false), 5);
+  const GeneratedDesign optimized =
+      Framework::generate_with_random_weights(test1_descriptor(true), 5);
+  EXPECT_GT(naive.hls_report.latency_cycles, optimized.hls_report.latency_cycles);
+  EXPECT_GE(optimized.hls_report.usage.lut, naive.hls_report.usage.lut);
+}

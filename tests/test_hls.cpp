@@ -1,0 +1,342 @@
+// Tests for the HLS simulator: device catalog, operator costs, scheduler,
+// resource binder, lowering and the estimator facade.
+#include <gtest/gtest.h>
+
+#include "hls/estimator.hpp"
+#include "hls/schedule.hpp"
+
+using namespace cnn2fpga::hls;
+using cnn2fpga::nn::Network;
+using cnn2fpga::nn::Shape;
+
+// ---------------------------------------------------------------- devices
+
+TEST(Device, CatalogMatchesTableIIDenominators) {
+  // The paper's Table II header: FF 106400, LUT 53200, Memory LUT 17400,
+  // BRAM 140, DSP 220 for the Zedboard's XC7Z020.
+  const FpgaDevice& z = zedboard();
+  EXPECT_EQ(z.ff, 106400u);
+  EXPECT_EQ(z.lut, 53200u);
+  EXPECT_EQ(z.lutram, 17400u);
+  EXPECT_EQ(z.bram36, 140u);
+  EXPECT_EQ(z.dsp, 220u);
+  EXPECT_DOUBLE_EQ(z.clock_mhz, 100.0);
+}
+
+TEST(Device, LookupIsCaseInsensitiveAndRejectsUnknown) {
+  EXPECT_TRUE(find_device("ZedBoard").has_value());
+  EXPECT_TRUE(find_device("zybo").has_value());
+  EXPECT_TRUE(find_device("virtex7").has_value());  // paper's future-work target
+  EXPECT_FALSE(find_device("de10").has_value());
+}
+
+TEST(Device, ZyboIsSmallerThanZedboard) {
+  EXPECT_LT(zybo().dsp, zedboard().dsp);
+  EXPECT_LT(zybo().bram36, zedboard().bram36);
+}
+
+// ---------------------------------------------------------------- op costs
+
+TEST(OpCosts, ChainExcludesMemoryIncludesArithmetic) {
+  OpCounts mac = {{OpKind::kFMul, 1}, {OpKind::kFAdd, 1}, {OpKind::kLoad, 2}};
+  // fmul(4) + fadd(5); loads overlap.
+  EXPECT_EQ(chain_latency(mac), 9);
+
+  OpCounts stream = {{OpKind::kStream, 1}, {OpKind::kStore, 1}};
+  EXPECT_EQ(chain_latency(stream), 1);  // the stream beat serializes
+
+  OpCounts two_adds = {{OpKind::kFAdd, 2}};
+  EXPECT_EQ(chain_latency(two_adds), 10);  // same-kind ops serialize
+}
+
+TEST(OpCosts, EveryOpHasPositiveLatency) {
+  for (OpKind kind : {OpKind::kFAdd, OpKind::kFMul, OpKind::kFDiv, OpKind::kFCmp,
+                      OpKind::kFExp, OpKind::kFLog, OpKind::kLoad, OpKind::kStore,
+                      OpKind::kStream, OpKind::kIntOp}) {
+    EXPECT_GT(op_cost(kind).latency, 0) << op_name(kind);
+  }
+}
+
+TEST(OpCosts, TranscendentalsDominateDsp) {
+  EXPECT_GT(op_cost(OpKind::kFExp).dsp, op_cost(OpKind::kFMul).dsp);
+  EXPECT_GT(op_cost(OpKind::kFLog).dsp, op_cost(OpKind::kFAdd).dsp);
+  EXPECT_EQ(op_cost(OpKind::kFCmp).dsp, 0);
+}
+
+// ---------------------------------------------------------------- loop nests
+
+TEST(LoopNest, IterationArithmetic) {
+  LoopNest nest;
+  nest.trips = {6, 12, 12, 1, 5, 5};
+  nest.reduction_levels = 3;
+  EXPECT_EQ(nest.total_iterations(), 21600u);
+  EXPECT_EQ(nest.outer_iterations(), 864u);
+  EXPECT_EQ(nest.reduction_iterations(), 25u);
+}
+
+TEST(LoopNest, NoReductionLevels) {
+  LoopNest nest;
+  nest.trips = {256};
+  EXPECT_EQ(nest.outer_iterations(), 256u);
+  EXPECT_EQ(nest.reduction_iterations(), 1u);
+}
+
+// ---------------------------------------------------------------- scheduler
+
+namespace {
+TaskBlock mac_block(bool pipelined) {
+  TaskBlock block;
+  block.name = "conv";
+  block.loops.trips = {4, 3, 1, 5};  // 12 outputs x 5 reduction steps
+  block.loops.reduction_levels = 2;
+  block.body = {{OpKind::kFMul, 1}, {OpKind::kFAdd, 1}, {OpKind::kLoad, 2}};
+  block.per_output = {{OpKind::kStore, 1}};
+  block.pipelined = pipelined;
+  return block;
+}
+}  // namespace
+
+TEST(Schedule, NaiveLatencyFormula) {
+  const TaskBlock block = mac_block(false);
+  const ScheduleConstants& k = schedule_constants();
+  // 60 inner iterations * (chain 9 + overhead) + 12 outputs * (0 + 1) + region.
+  const std::uint64_t expected =
+      60u * (9 + k.loop_overhead) + 12u * 1 + k.region_overhead;
+  EXPECT_EQ(block_latency(block), expected);
+}
+
+TEST(Schedule, PipelinedLatencyFormula) {
+  const TaskBlock block = mac_block(true);
+  const ScheduleConstants& k = schedule_constants();
+  // 12 outer invocations of a 5-deep pipelined region at II=1.
+  const std::uint64_t expected =
+      12u * (5u * k.pipeline_ii + 9 + 0 + k.pipeline_overhead) + k.region_overhead;
+  EXPECT_EQ(block_latency(block), expected);
+}
+
+TEST(Schedule, PipeliningNeverSlowsABlockDown) {
+  EXPECT_LT(block_latency(mac_block(true)), block_latency(mac_block(false)));
+}
+
+TEST(Schedule, FullyFlattenedWhenNoReductionLevels) {
+  TaskBlock block;
+  block.name = "stream_in";
+  block.loops.trips = {256};
+  block.loops.reduction_levels = 0;
+  block.body = {{OpKind::kStream, 1}, {OpKind::kStore, 1}};
+  block.pipelined = true;
+  const ScheduleConstants& k = schedule_constants();
+  EXPECT_EQ(block_latency(block),
+            256u * k.pipeline_ii + 1 + 0 + k.pipeline_overhead + k.region_overhead);
+}
+
+TEST(Schedule, DesignLatencyIsSumOfBlocks) {
+  HlsDesign design;
+  design.blocks = {mac_block(false), mac_block(false)};
+  EXPECT_EQ(design_latency(design), 2 * block_latency(mac_block(false)));
+}
+
+TEST(Schedule, DataflowIntervalIsWorstBlock) {
+  HlsDesign design;
+  design.directives.dataflow = true;
+  TaskBlock slow = mac_block(false);
+  TaskBlock fast = mac_block(true);
+  design.blocks = {fast, slow};
+  EXPECT_EQ(design_interval(design), block_latency(slow));
+
+  design.directives.dataflow = false;
+  EXPECT_EQ(design_interval(design), design_latency(design));
+}
+
+TEST(Schedule, BatchLatencyPipelines) {
+  HlsDesign design;
+  design.directives.dataflow = true;
+  design.blocks = {mac_block(true), mac_block(false)};
+  const std::uint64_t l = design_latency(design);
+  const std::uint64_t i = design_interval(design);
+  EXPECT_EQ(batch_latency(design, 1), l);
+  EXPECT_EQ(batch_latency(design, 10), l + 9 * i);
+  EXPECT_EQ(batch_latency(design, 0), 0u);
+}
+
+TEST(Schedule, CyclesToSeconds) {
+  EXPECT_DOUBLE_EQ(cycles_to_seconds(100'000'000, 100.0), 1.0);
+  EXPECT_THROW(cycles_to_seconds(1, 0.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- resources
+
+TEST(Resources, SmallArraysGoToLutram) {
+  ArrayDecl bias{"b", 10, 32, false, true};  // 320 bits <= threshold
+  EXPECT_EQ(array_bram18(bias, false), 0u);
+  EXPECT_GT(array_lutram(bias, false), 0u);
+}
+
+TEST(Resources, LargeArraysGoToBram) {
+  ArrayDecl weights{"w", 2160, 32, false, true};  // 69 Kbit
+  EXPECT_EQ(array_lutram(weights, false), 0u);
+  // 2160 words / 512 words-per-BRAM18 -> 5.
+  EXPECT_EQ(array_bram18(weights, false), 5u);
+}
+
+TEST(Resources, PingPongDoublesOnlyUnderDataflow) {
+  ArrayDecl buffer{"buf", 864, 32, /*ping_pong=*/true, false};
+  EXPECT_EQ(array_bram18(buffer, false), 2u);
+  EXPECT_EQ(array_bram18(buffer, true), 4u);
+  ArrayDecl rom{"w", 864, 32, /*ping_pong=*/false, true};
+  EXPECT_EQ(array_bram18(rom, true), 2u);  // ROMs are not doubled
+}
+
+TEST(Resources, UtilizationAndOverflowDetection) {
+  ResourceUsage usage;
+  usage.dsp = 110;
+  usage.bram18 = 560;  // 2 * 140 BRAM36 = 280 -> 200%
+  const Utilization u = utilization(usage, zedboard());
+  EXPECT_DOUBLE_EQ(u.dsp, 0.5);
+  EXPECT_DOUBLE_EQ(u.bram, 2.0);
+  EXPECT_FALSE(u.fits());
+  EXPECT_DOUBLE_EQ(u.worst(), 2.0);
+}
+
+TEST(Resources, BindBlockCountsOperatorInstances) {
+  const TaskBlock block = mac_block(false);
+  const ResourceUsage usage = bind_block(block, false);
+  // fmul (3 DSP) + fadd (2 DSP).
+  EXPECT_EQ(usage.dsp, 5u);
+  EXPECT_GT(usage.lut, 0u);
+  EXPECT_GT(usage.ff, 0u);
+}
+
+TEST(Resources, PipeliningAddsControlLogicNotDsp) {
+  const ResourceUsage naive = bind_block(mac_block(false), false);
+  const ResourceUsage piped = bind_block(mac_block(true), false);
+  EXPECT_EQ(piped.dsp, naive.dsp);
+  EXPECT_GT(piped.lut, naive.lut);
+}
+
+// ---------------------------------------------------------------- lowering
+
+TEST(Lowering, Test1BlockStructure) {
+  const Network net = cnn2fpga::nn::make_test1_network();
+  const HlsDesign design = lower_network(net, DirectiveSet::naive());
+  // stream_in, conv0, maxpool1, linear2, logsoftmax3, softmax_norm3, stream_out.
+  ASSERT_EQ(design.blocks.size(), 7u);
+  EXPECT_EQ(design.blocks[0].name, "stream_in");
+  EXPECT_EQ(design.blocks[1].name, "conv0");
+  EXPECT_EQ(design.blocks[2].name, "maxpool1");
+  EXPECT_EQ(design.blocks[3].name, "linear2");
+  EXPECT_EQ(design.blocks.back().name, "stream_out");
+
+  // Conv loop nest: 6 x 12 x 12 outer, 1 x 5 x 5 reduction.
+  const TaskBlock& conv = design.blocks[1];
+  EXPECT_EQ(conv.loops.outer_iterations(), 864u);
+  EXPECT_EQ(conv.loops.reduction_iterations(), 25u);
+  EXPECT_FALSE(conv.pipelined);
+}
+
+TEST(Lowering, OptimizedPipelinesConvAndLinearOnly) {
+  const Network net = cnn2fpga::nn::make_test1_network();
+  const HlsDesign design = lower_network(net, DirectiveSet::optimized());
+  for (const TaskBlock& block : design.blocks) {
+    const bool expect_pipelined =
+        block.name.rfind("conv", 0) == 0 || block.name.rfind("linear", 0) == 0;
+    EXPECT_EQ(block.pipelined, expect_pipelined) << block.name;
+  }
+}
+
+TEST(Lowering, WeightArraysAreRomsBuffersPingPong) {
+  const Network net = cnn2fpga::nn::make_test1_network();
+  const HlsDesign design = lower_network(net, DirectiveSet::optimized());
+  const TaskBlock& conv = design.blocks[1];
+  ASSERT_EQ(conv.arrays.size(), 3u);
+  EXPECT_TRUE(conv.arrays[0].is_rom);   // weights
+  EXPECT_EQ(conv.arrays[0].depth, 150u);
+  EXPECT_TRUE(conv.arrays[1].is_rom);   // bias
+  EXPECT_FALSE(conv.arrays[2].is_rom);  // output buffer
+  EXPECT_TRUE(conv.arrays[2].ping_pong);
+  EXPECT_EQ(conv.arrays[2].depth, 864u);
+}
+
+// ---------------------------------------------------------------- estimator
+
+TEST(Estimator, OptimizationGivesLargeSpeedupOnTest1) {
+  // Paper Tests 1 vs 2: same network, naive vs DATAFLOW+PIPELINE, 6.23/1.18 =
+  // ~5.3x latency improvement from the directives. Accept 3x..12x.
+  const Network net = cnn2fpga::nn::make_test1_network();
+  const HlsReport naive = estimate(net, DirectiveSet::naive(), zedboard());
+  const HlsReport optimized = estimate(net, DirectiveSet::optimized(), zedboard());
+  const double gain = static_cast<double>(naive.latency_cycles) /
+                      static_cast<double>(optimized.latency_cycles);
+  EXPECT_GT(gain, 3.0);
+  EXPECT_LT(gain, 12.0);
+}
+
+TEST(Estimator, Test1LatencyInPaperRegime) {
+  // Paper Test 1 (naive): 2.8 ms/image -> 280k cycles at 100 MHz. Accept
+  // 150k..500k; Test 2 (optimized): 0.53 ms -> 53k. Accept 25k..90k.
+  const Network net = cnn2fpga::nn::make_test1_network();
+  const HlsReport naive = estimate(net, DirectiveSet::naive(), zedboard());
+  EXPECT_GT(naive.latency_cycles, 150'000u);
+  EXPECT_LT(naive.latency_cycles, 500'000u);
+  const HlsReport optimized = estimate(net, DirectiveSet::optimized(), zedboard());
+  EXPECT_GT(optimized.latency_cycles, 25'000u);
+  EXPECT_LT(optimized.latency_cycles, 90'000u);
+}
+
+TEST(Estimator, DspIsDominantResourceForSmallNets) {
+  // Paper Table II, Tests 1-3: "DSP slices are the most used resources".
+  const Network net = cnn2fpga::nn::make_test1_network();
+  const HlsReport report = estimate(net, DirectiveSet::naive(), zedboard());
+  EXPECT_GT(report.util.dsp, report.util.lut);
+  EXPECT_GT(report.util.dsp, report.util.ff);
+  EXPECT_GT(report.util.dsp, report.util.bram);
+  EXPECT_GT(report.util.dsp, report.util.lutram);
+}
+
+TEST(Estimator, BramDominatesForCifarNet) {
+  // Paper Table II, Test 4: BRAM jumps to 76% and becomes the top resource.
+  const Network net = cnn2fpga::nn::make_test4_network();
+  const HlsReport report = estimate(net, DirectiveSet::optimized(), zedboard());
+  EXPECT_GT(report.util.bram, 0.4);
+  EXPECT_LT(report.util.bram, 1.0);
+  EXPECT_GT(report.util.bram, report.util.dsp);
+  EXPECT_TRUE(report.fits());
+}
+
+TEST(Estimator, BiggerNetworksUseMoreResources) {
+  const HlsReport t1 =
+      estimate(cnn2fpga::nn::make_test1_network(), DirectiveSet::optimized(), zedboard());
+  const HlsReport t3 =
+      estimate(cnn2fpga::nn::make_test3_network(), DirectiveSet::optimized(), zedboard());
+  const HlsReport t4 =
+      estimate(cnn2fpga::nn::make_test4_network(), DirectiveSet::optimized(), zedboard());
+  EXPECT_GE(t3.usage.dsp, t1.usage.dsp);
+  EXPECT_GT(t3.usage.bram18, t1.usage.bram18);
+  EXPECT_GT(t4.usage.bram18, t3.usage.bram18);
+  EXPECT_GT(t4.latency_cycles, t3.latency_cycles);
+}
+
+TEST(Estimator, Test4DoesNotFitZybo) {
+  // 178 KiB of weights cannot fit the Zybo's 60 BRAM36 (270 KiB) alongside
+  // the buffers? It nearly can -- but the Zybo's 80 DSPs are also tight.
+  // The report must at least flag *some* overflow or near-saturation.
+  const Network net = cnn2fpga::nn::make_test4_network();
+  const HlsReport report = estimate(net, DirectiveSet::optimized(), zybo());
+  EXPECT_GT(report.util.worst(), 0.9);
+}
+
+TEST(Estimator, ReportStringContainsBlocksAndUtilization) {
+  const Network net = cnn2fpga::nn::make_test1_network();
+  const HlsReport report = estimate(net, DirectiveSet::optimized(), zedboard());
+  const std::string s = report.to_string();
+  EXPECT_NE(s.find("conv0"), std::string::npos);
+  EXPECT_NE(s.find("utilization"), std::string::npos);
+  EXPECT_NE(s.find("DATAFLOW+PIPELINE"), std::string::npos);
+}
+
+TEST(Estimator, DirectiveSetToString) {
+  EXPECT_EQ(DirectiveSet::naive().to_string(), "none");
+  EXPECT_EQ(DirectiveSet::optimized().to_string(), "DATAFLOW+PIPELINE");
+  EXPECT_EQ((DirectiveSet{true, false}).to_string(), "PIPELINE");
+  EXPECT_EQ((DirectiveSet{false, true}).to_string(), "DATAFLOW");
+}

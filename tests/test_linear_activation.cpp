@@ -1,0 +1,221 @@
+// Tests for the linear layer (Eq. 6), activations, and LogSoftMax (Eq. 7).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activation.hpp"
+#include "nn/linear.hpp"
+#include "nn/logsoftmax.hpp"
+#include "util/rng.hpp"
+
+using namespace cnn2fpga::nn;
+
+// ---------------------------------------------------------------- linear
+
+TEST(Linear, HandComputedValue) {
+  Linear lin(3, 2);
+  // w = [[1,2,3],[4,5,6]], b = [0.5, -1]
+  for (int i = 0; i < 6; ++i) lin.weights()[i] = static_cast<float>(i + 1);
+  lin.bias()[0] = 0.5f;
+  lin.bias()[1] = -1.0f;
+  Tensor x(Shape{3});
+  x[0] = 1.0f;
+  x[1] = 0.0f;
+  x[2] = -1.0f;
+  const Tensor y = lin.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 1.0f - 3.0f + 0.5f);   // -1.5
+  EXPECT_FLOAT_EQ(y[1], 4.0f - 6.0f - 1.0f);   // -3
+}
+
+TEST(Linear, AcceptsFlattenedFeatureMaps) {
+  // Paper Test 1: the 10-neuron linear layer reads the 6x6x6 pooled maps.
+  Linear lin(216, 10);
+  Tensor x(Shape{6, 6, 6});
+  EXPECT_EQ(lin.output_shape(x.shape()), (Shape{10}));
+  EXPECT_NO_THROW(lin.forward(x, false));
+  EXPECT_EQ(lin.mac_count(x.shape()), 2160u);
+}
+
+TEST(Linear, SizeMismatchThrows) {
+  Linear lin(4, 2);
+  EXPECT_THROW(lin.forward(Tensor(Shape{5}), false), std::invalid_argument);
+  EXPECT_THROW(Linear(0, 1), std::invalid_argument);
+}
+
+TEST(Linear, GradientCheck) {
+  cnn2fpga::util::Rng rng(7);
+  Linear lin(6, 4);
+  lin.init_weights(rng);
+  Tensor x(Shape{6});
+  x.fill_uniform(rng, -1.0f, 1.0f);
+
+  lin.zero_grad();
+  const Tensor y = lin.forward(x, true);
+  Tensor ones(y.shape());
+  ones.fill(1.0f);
+  const Tensor gx = lin.backward(ones);
+
+  const auto objective = [&](const Tensor& input) {
+    const Tensor out = lin.forward(input, false);
+    double s = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) s += out[i];
+    return s;
+  };
+  const double eps = 1e-2;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    Tensor xp = x, xm = x;
+    xp[i] += static_cast<float>(eps);
+    xm[i] -= static_cast<float>(eps);
+    EXPECT_NEAR(gx[i], (objective(xp) - objective(xm)) / (2 * eps), 1e-2);
+  }
+  // d(sum y)/d w[j,i] = x[i]; d/d b[j] = 1.
+  const auto params = lin.params();
+  for (std::size_t j = 0; j < 4; ++j) {
+    for (std::size_t i = 0; i < 6; ++i) {
+      EXPECT_NEAR((*params[0].grad)[j * 6 + i], x[i], 1e-5);
+    }
+    EXPECT_NEAR((*params[1].grad)[j], 1.0f, 1e-6);
+  }
+}
+
+// ------------------------------------------------------------- activations
+
+TEST(Activation, TanhValues) {
+  Activation act(ActKind::kTanh);
+  Tensor x(Shape{3});
+  x[0] = 0.0f;
+  x[1] = 1.0f;
+  x[2] = -20.0f;
+  const Tensor y = act.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_NEAR(y[1], std::tanh(1.0f), 1e-6f);
+  EXPECT_NEAR(y[2], -1.0f, 1e-6f);
+}
+
+TEST(Activation, SigmoidValues) {
+  Activation act(ActKind::kSigmoid);
+  Tensor x(Shape{2});
+  x[0] = 0.0f;
+  x[1] = 100.0f;
+  const Tensor y = act.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.5f);
+  EXPECT_NEAR(y[1], 1.0f, 1e-6f);
+}
+
+TEST(Activation, ReluClampsNegatives) {
+  Activation act(ActKind::kReLU);
+  Tensor x(Shape{3});
+  x[0] = -2.0f;
+  x[1] = 0.0f;
+  x[2] = 3.0f;
+  const Tensor y = act.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 3.0f);
+}
+
+TEST(Activation, BackwardUsesDerivative) {
+  Activation act(ActKind::kTanh);
+  Tensor x(Shape{1});
+  x[0] = 0.5f;
+  const Tensor y = act.forward(x, true);
+  Tensor g(Shape{1});
+  g[0] = 2.0f;
+  const Tensor gx = act.backward(g);
+  EXPECT_NEAR(gx[0], 2.0f * (1.0f - y[0] * y[0]), 1e-6f);
+}
+
+TEST(Activation, ShapePreserved) {
+  Activation act(ActKind::kReLU);
+  EXPECT_EQ(act.output_shape(Shape{6, 6, 6}), (Shape{6, 6, 6}));
+}
+
+// ------------------------------------------------------------- logsoftmax
+
+TEST(LogSoftMax, ProbabilitiesSumToOne) {
+  // Eq. 7: exp of the outputs must be a probability distribution.
+  LogSoftMax lsm;
+  Tensor x(Shape{10});
+  cnn2fpga::util::Rng rng(5);
+  x.fill_uniform(rng, -4.0f, 4.0f);
+  const Tensor y = lsm.forward(x, false);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    sum += std::exp(y[i]);
+    EXPECT_LE(y[i], 0.0f);  // log-probabilities are non-positive
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+TEST(LogSoftMax, ShiftInvariant) {
+  LogSoftMax lsm;
+  Tensor a(Shape{5}), b(Shape{5});
+  for (std::size_t i = 0; i < 5; ++i) {
+    a[i] = static_cast<float>(i) * 0.3f;
+    b[i] = a[i] + 100.0f;
+  }
+  const Tensor ya = lsm.forward(a, false);
+  const Tensor yb = lsm.forward(b, false);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(ya[i], yb[i], 1e-4f);
+}
+
+TEST(LogSoftMax, StableForLargeInputs) {
+  LogSoftMax lsm;
+  Tensor x(Shape{3});
+  x[0] = 1000.0f;
+  x[1] = 999.0f;
+  x[2] = -1000.0f;
+  const Tensor y = lsm.forward(x, false);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_TRUE(std::isfinite(y[i]));
+  EXPECT_GT(y[0], y[1]);
+  EXPECT_GT(y[1], y[2]);
+}
+
+TEST(LogSoftMax, PreservesArgmax) {
+  LogSoftMax lsm;
+  cnn2fpga::util::Rng rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    Tensor x(Shape{10});
+    x.fill_uniform(rng, -5.0f, 5.0f);
+    EXPECT_EQ(lsm.forward(x, false).argmax(), x.argmax());
+  }
+}
+
+TEST(LogSoftMax, NllLoss) {
+  Tensor logp(Shape{3});
+  logp[0] = -0.5f;
+  logp[1] = -2.0f;
+  logp[2] = -3.0f;
+  EXPECT_FLOAT_EQ(nll_loss(logp, 1), 2.0f);
+  EXPECT_THROW(nll_loss(logp, 3), std::out_of_range);
+  const Tensor g = nll_loss_grad(logp, 1);
+  EXPECT_FLOAT_EQ(g[0], 0.0f);
+  EXPECT_FLOAT_EQ(g[1], -1.0f);
+}
+
+TEST(LogSoftMax, BackwardGradientCheck) {
+  LogSoftMax lsm;
+  cnn2fpga::util::Rng rng(8);
+  Tensor x(Shape{6});
+  x.fill_uniform(rng, -2.0f, 2.0f);
+  const std::size_t target = 2;
+
+  const Tensor logp = lsm.forward(x, true);
+  const Tensor gx = lsm.backward(nll_loss_grad(logp, target));
+
+  const double eps = 1e-3;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    Tensor xp = x, xm = x;
+    xp[i] += static_cast<float>(eps);
+    xm[i] -= static_cast<float>(eps);
+    LogSoftMax fresh;
+    const double plus = nll_loss(fresh.forward(xp, false), target);
+    const double minus = nll_loss(fresh.forward(xm, false), target);
+    EXPECT_NEAR(gx[i], (plus - minus) / (2 * eps), 1e-2) << i;
+  }
+}
+
+TEST(LogSoftMax, EmptyInputThrows) {
+  LogSoftMax lsm;
+  EXPECT_THROW(lsm.forward(Tensor(), false), std::invalid_argument);
+}

@@ -1,0 +1,173 @@
+// Tests for the Network container and weight serialization, including the
+// four case-study architectures of the paper's evaluation.
+#include <gtest/gtest.h>
+
+#include "nn/network.hpp"
+#include "nn/serialize.hpp"
+#include "util/rng.hpp"
+
+using namespace cnn2fpga::nn;
+
+TEST(Network, Test1ArchitectureShapes) {
+  // Paper Sec. V-A.
+  const Network net = make_test1_network();
+  EXPECT_EQ(net.input_shape(), (Shape{1, 16, 16}));
+  EXPECT_EQ(net.layer_count(), 4u);
+  EXPECT_EQ(net.shape_after(0), (Shape{6, 12, 12}));  // conv
+  EXPECT_EQ(net.shape_after(1), (Shape{6, 6, 6}));    // max-pool
+  EXPECT_EQ(net.shape_after(2), (Shape{10}));         // linear
+  EXPECT_EQ(net.output_shape(), (Shape{10}));         // logsoftmax
+}
+
+TEST(Network, Test3ArchitectureShapes) {
+  // Paper Sec. V-C: "six 6x6 feature maps and applies sixteen 5x5 kernels.
+  // The result are sixteen 2x2 feature maps."
+  const Network net = make_test3_network();
+  EXPECT_EQ(net.shape_after(1), (Shape{6, 6, 6}));
+  EXPECT_EQ(net.shape_after(2), (Shape{16, 2, 2}));
+  EXPECT_EQ(net.output_shape(), (Shape{10}));
+}
+
+TEST(Network, Test4ArchitectureShapes) {
+  // Paper Sec. V-D: 32x32 RGB -> 12@28x28 -> 12@14x14 -> 36@10x10 -> 36@5x5
+  // -> 36 -> 10.
+  const Network net = make_test4_network();
+  EXPECT_EQ(net.input_shape(), (Shape{3, 32, 32}));
+  EXPECT_EQ(net.shape_after(0), (Shape{12, 28, 28}));
+  EXPECT_EQ(net.shape_after(1), (Shape{12, 14, 14}));
+  EXPECT_EQ(net.shape_after(2), (Shape{36, 10, 10}));
+  EXPECT_EQ(net.shape_after(3), (Shape{36, 5, 5}));
+  EXPECT_EQ(net.shape_after(4), (Shape{36}));
+  EXPECT_EQ(net.output_shape(), (Shape{10}));
+}
+
+TEST(Network, MacCountsMatchManualArithmetic) {
+  // Used to calibrate the A9 and HLS models; see DESIGN.md Sec. 5.
+  const Network t1 = make_test1_network();
+  // conv 21600 + pool 864 + linear 2160 + logsoftmax 20.
+  EXPECT_EQ(t1.total_macs(), 21600u + 864u + 2160u + 20u);
+
+  const Network t4 = make_test4_network();
+  // conv1 705600 + pool1 9408 + conv2 1080000 + pool2 3600 + lin1 32400
+  // + tanh 36 + lin2 360 + logsoftmax 20.
+  EXPECT_EQ(t4.total_macs(), 705600u + 9408u + 1080000u + 3600u + 32400u + 36u + 360u + 20u);
+}
+
+TEST(Network, ParameterCounts) {
+  const Network t1 = make_test1_network();
+  // conv: 6*1*5*5 + 6 = 156; linear: 216*10 + 10 = 2170.
+  EXPECT_EQ(t1.parameter_count(), 156u + 2170u);
+}
+
+TEST(Network, BuilderRejectsInfeasibleLayers) {
+  Network net(Shape{1, 8, 8});
+  net.add_conv(2, 5, 5);  // -> (2, 4, 4)
+  EXPECT_THROW(net.add_conv(2, 5, 5), std::invalid_argument);  // 5x5 on 4x4
+  EXPECT_EQ(net.layer_count(), 1u);  // failed add leaves network unchanged
+}
+
+TEST(Network, NonChwInputRejected) {
+  EXPECT_THROW(Network(Shape{16, 16}), std::invalid_argument);
+}
+
+TEST(Network, ForwardValidatesInputShape) {
+  Network net = make_test1_network();
+  EXPECT_THROW(net.forward(Tensor(Shape{1, 8, 8})), std::invalid_argument);
+}
+
+TEST(Network, PredictReturnsArgmax) {
+  Network net = make_test1_network();
+  cnn2fpga::util::Rng rng(1);
+  net.init_weights(rng);
+  Tensor image(Shape{1, 16, 16});
+  image.fill_uniform(rng, 0.0f, 1.0f);
+  const Tensor out = net.forward(image);
+  EXPECT_EQ(net.predict(image), out.argmax());
+}
+
+TEST(Network, ForwardIsDeterministic) {
+  Network net = make_test1_network();
+  cnn2fpga::util::Rng rng(2);
+  net.init_weights(rng);
+  Tensor image(Shape{1, 16, 16});
+  image.fill_uniform(rng, 0.0f, 1.0f);
+  const Tensor a = net.forward(image);
+  const Tensor b = net.forward(image);
+  EXPECT_EQ(Tensor::max_abs_diff(a, b), 0.0f);
+}
+
+TEST(Network, ParamNamesAreLayerQualified) {
+  Network net = make_test1_network();
+  const auto params = net.params();
+  ASSERT_EQ(params.size(), 4u);  // conv w/b + linear w/b
+  EXPECT_EQ(params[0].name, "layer0.weights");
+  EXPECT_EQ(params[1].name, "layer0.bias");
+  EXPECT_EQ(params[2].name, "layer2.weights");
+  EXPECT_EQ(params[3].name, "layer2.bias");
+}
+
+TEST(Network, StructureTraceMentionsEveryLayer) {
+  const Network net = make_test4_network();
+  const std::string s = net.structure();
+  EXPECT_NE(s.find("conv"), std::string::npos);
+  EXPECT_NE(s.find("maxpool"), std::string::npos);
+  EXPECT_NE(s.find("linear"), std::string::npos);
+  EXPECT_NE(s.find("tanh"), std::string::npos);
+  EXPECT_NE(s.find("logsoftmax"), std::string::npos);
+  EXPECT_NE(s.find("(36, 5, 5)"), std::string::npos);
+}
+
+// ------------------------------------------------------------- serialization
+
+TEST(Serialize, RoundTripPreservesWeightsExactly) {
+  Network a = make_test1_network();
+  cnn2fpga::util::Rng rng(3);
+  a.init_weights(rng);
+
+  const auto bytes = serialize_weights(a);
+  Network b = make_test1_network();
+  deserialize_weights(b, bytes);
+
+  Tensor image(Shape{1, 16, 16});
+  image.fill_uniform(rng, 0.0f, 1.0f);
+  EXPECT_EQ(Tensor::max_abs_diff(a.forward(image), b.forward(image)), 0.0f);
+}
+
+TEST(Serialize, BadMagicRejected) {
+  Network net = make_test1_network();
+  std::vector<std::uint8_t> bytes = {'n', 'o', 't', 'a', 'f', 'i', 'l', 'e', '!', '!', '!', '!'};
+  EXPECT_THROW(deserialize_weights(net, bytes), std::runtime_error);
+}
+
+TEST(Serialize, TruncationDetected) {
+  Network a = make_test1_network();
+  cnn2fpga::util::Rng rng(4);
+  a.init_weights(rng);
+  auto bytes = serialize_weights(a);
+  bytes.resize(bytes.size() / 2);
+  Network b = make_test1_network();
+  EXPECT_THROW(deserialize_weights(b, bytes), std::runtime_error);
+}
+
+TEST(Serialize, ArchitectureMismatchDetected) {
+  Network a = make_test1_network();
+  cnn2fpga::util::Rng rng(5);
+  a.init_weights(rng);
+  const auto bytes = serialize_weights(a);
+  // Test 3 has a different layer list: loading must fail with a clear error.
+  Network b = make_test3_network();
+  try {
+    deserialize_weights(b, bytes);
+    FAIL() << "expected mismatch error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("tensors"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Serialize, TrailingBytesRejected) {
+  Network a = make_test1_network();
+  auto bytes = serialize_weights(a);
+  bytes.push_back(0);
+  Network b = make_test1_network();
+  EXPECT_THROW(deserialize_weights(b, bytes), std::runtime_error);
+}

@@ -1,0 +1,152 @@
+// Tests for the sub-sampling layers (paper Eq. 4-5).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "nn/pool.hpp"
+#include "util/rng.hpp"
+
+using cnn2fpga::nn::Pool2D;
+using cnn2fpga::nn::PoolKind;
+using cnn2fpga::nn::Shape;
+using cnn2fpga::nn::Tensor;
+
+TEST(Pool, OutputShapeFollowsEq4And5) {
+  // Paper Test 1: 12x12 maps, 2x2 max-pool, step 2 -> 6x6.
+  Pool2D pool = Pool2D::max_pool(2);
+  EXPECT_EQ(pool.output_shape(Shape{6, 12, 12}), (Shape{6, 6, 6}));
+}
+
+TEST(Pool, OddSizesFloorPerEq4) {
+  // floor((7-2)/2)+1 = 3
+  Pool2D pool = Pool2D::max_pool(2);
+  EXPECT_EQ(pool.output_shape(Shape{1, 7, 7}), (Shape{1, 3, 3}));
+}
+
+TEST(Pool, MaxPoolingPicksWindowMaximum) {
+  Pool2D pool = Pool2D::max_pool(2);
+  Tensor x(Shape{1, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  const Tensor y = pool.forward(x, false);
+  ASSERT_EQ(y.shape(), (Shape{1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0), 5.0f);   // max of {0,1,4,5}
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1), 7.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 0), 13.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 1), 15.0f);
+}
+
+TEST(Pool, MaxPoolingHandlesNegatives) {
+  Pool2D pool = Pool2D::max_pool(2);
+  Tensor x(Shape{1, 2, 2});
+  x[0] = -4.0f;
+  x[1] = -1.0f;
+  x[2] = -3.0f;
+  x[3] = -2.0f;
+  EXPECT_FLOAT_EQ(pool.forward(x, false)[0], -1.0f);
+}
+
+TEST(Pool, MeanPoolingAverages) {
+  Pool2D pool = Pool2D::mean_pool(2);
+  Tensor x(Shape{1, 2, 2});
+  x[0] = 1.0f;
+  x[1] = 2.0f;
+  x[2] = 3.0f;
+  x[3] = 6.0f;
+  EXPECT_FLOAT_EQ(pool.forward(x, false)[0], 3.0f);
+}
+
+TEST(Pool, ChannelsAreIndependent) {
+  Pool2D pool = Pool2D::max_pool(2);
+  Tensor x(Shape{2, 2, 2});
+  for (std::size_t i = 0; i < 4; ++i) x[i] = 1.0f;       // channel 0
+  for (std::size_t i = 4; i < 8; ++i) x[i] = 100.0f;     // channel 1
+  const Tensor y = pool.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 1.0f);
+  EXPECT_FLOAT_EQ(y[1], 100.0f);
+}
+
+TEST(Pool, OverlappingWindowsWithStrideOne) {
+  Pool2D pool(PoolKind::kMax, 2, 2, 1);
+  Tensor x(Shape{1, 3, 3});
+  for (std::size_t i = 0; i < 9; ++i) x[i] = static_cast<float>(i);
+  const Tensor y = pool.forward(x, false);
+  ASSERT_EQ(y.shape(), (Shape{1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 1), 8.0f);
+}
+
+TEST(Pool, MaxBackwardRoutesToWinner) {
+  Pool2D pool = Pool2D::max_pool(2);
+  Tensor x(Shape{1, 2, 2});
+  x[0] = 1.0f;
+  x[1] = 9.0f;  // winner
+  x[2] = 2.0f;
+  x[3] = 3.0f;
+  (void)pool.forward(x, true);
+  Tensor g(Shape{1, 1, 1});
+  g[0] = 5.0f;
+  const Tensor gx = pool.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 5.0f);
+  EXPECT_FLOAT_EQ(gx[2], 0.0f);
+  EXPECT_FLOAT_EQ(gx[3], 0.0f);
+}
+
+TEST(Pool, MeanBackwardSpreadsEvenly) {
+  Pool2D pool = Pool2D::mean_pool(2);
+  Tensor x(Shape{1, 2, 2});
+  (void)pool.forward(x, true);
+  Tensor g(Shape{1, 1, 1});
+  g[0] = 8.0f;
+  const Tensor gx = pool.backward(g);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(gx[i], 2.0f);
+}
+
+TEST(Pool, Validation) {
+  EXPECT_THROW(Pool2D(PoolKind::kMax, 0, 2, 2), std::invalid_argument);
+  EXPECT_THROW(Pool2D(PoolKind::kMax, 2, 2, 0), std::invalid_argument);
+  Pool2D pool = Pool2D::max_pool(4);
+  EXPECT_THROW(pool.output_shape(Shape{1, 3, 3}), std::invalid_argument);
+  EXPECT_THROW(pool.output_shape(Shape{3, 3}), std::invalid_argument);
+  EXPECT_THROW(pool.backward(Tensor(Shape{1, 1, 1})), std::logic_error);
+}
+
+// ------------------------------------------------------------------------
+// Property sweep: Eq. 4/5 over (size, kernel, step) grid, both pool kinds.
+// ------------------------------------------------------------------------
+
+class PoolShapeSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::size_t, PoolKind>> {};
+
+TEST_P(PoolShapeSweep, DimensionsFollowEq4And5) {
+  const auto [size, kernel, step, kind] = GetParam();
+  if (kernel > size) GTEST_SKIP();
+  Pool2D pool(kind, kernel, kernel, step);
+  const Shape out = pool.output_shape(Shape{3, size, size});
+  EXPECT_EQ(out.channels(), 3u);
+  EXPECT_EQ(out.height(), (size - kernel) / step + 1);
+  EXPECT_EQ(out.width(), (size - kernel) / step + 1);
+
+  // Forward output must have exactly that shape, and for max-pooling every
+  // output must be present in the input (a selection, not an arithmetic mix).
+  cnn2fpga::util::Rng rng(99);
+  Tensor x(Shape{3, size, size});
+  x.fill_uniform(rng, -1.0f, 1.0f);
+  const Tensor y = pool.forward(x, false);
+  EXPECT_EQ(y.shape(), out);
+  if (kind == PoolKind::kMax) {
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      bool found = false;
+      for (std::size_t j = 0; j < x.size() && !found; ++j) found = (x[j] == y[i]);
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PoolShapeSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(4, 7, 12, 14),
+                       ::testing::Values<std::size_t>(2, 3),
+                       ::testing::Values<std::size_t>(1, 2, 3),
+                       ::testing::Values(PoolKind::kMax, PoolKind::kMean)));

@@ -1,0 +1,164 @@
+// Cross-module property tests (parameterized sweeps over architectures and
+// directive settings).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/framework.hpp"
+#include "cpu/a9_model.hpp"
+#include "hls/estimator.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+using namespace cnn2fpga;
+using core::LayerSpec;
+using core::NetworkDescriptor;
+using core::PoolSpec;
+
+namespace {
+
+/// A parametric family of valid descriptors: (feature maps, kernel, neurons,
+/// pooling on/off) on a 16x16 grayscale input.
+NetworkDescriptor make_descriptor(std::size_t maps, std::size_t kernel, std::size_t neurons,
+                                  bool pool, bool optimize) {
+  NetworkDescriptor d;
+  d.name = "prop_net";
+  d.board = "zedboard";
+  d.input_channels = 1;
+  d.input_height = 16;
+  d.input_width = 16;
+  d.optimize = optimize;
+  LayerSpec conv;
+  conv.type = LayerSpec::Type::kConv;
+  conv.conv.feature_maps_out = maps;
+  conv.conv.kernel_h = conv.conv.kernel_w = kernel;
+  if (pool) conv.conv.pool = PoolSpec{nn::PoolKind::kMax, 2, 2};
+  LayerSpec lin;
+  lin.type = LayerSpec::Type::kLinear;
+  lin.linear.neurons = neurons;
+  d.layers = {conv, lin};
+  return d;
+}
+
+}  // namespace
+
+class ArchitectureSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::size_t, bool>> {};
+
+TEST_P(ArchitectureSweep, GenerationAndEstimationAreConsistent) {
+  const auto [maps, kernel, neurons, pool] = GetParam();
+  const NetworkDescriptor d = make_descriptor(maps, kernel, neurons, pool, true);
+
+  // 1. The descriptor validates and builds a network whose output size is the
+  //    neuron count.
+  nn::Network net = d.build_network();
+  EXPECT_EQ(net.output_shape().elements(), neurons);
+
+  // 2. Generation succeeds and the artifacts reference the right sizes.
+  const core::GeneratedDesign design = core::Framework::generate_with_random_weights(d, 1);
+  EXPECT_NE(design.cpp_source.find(util::format("float scores[%zu]", neurons)),
+            std::string::npos);
+
+  // 3. Pipelining always helps latency, never hurts DSP-dominance ordering.
+  const hls::HlsReport naive = hls::estimate(net, hls::DirectiveSet::naive(), hls::zedboard());
+  const hls::HlsReport opt = hls::estimate(net, hls::DirectiveSet::optimized(), hls::zedboard());
+  EXPECT_LT(opt.latency_cycles, naive.latency_cycles);
+  EXPECT_LE(opt.interval_cycles, opt.latency_cycles);
+
+  // 4. The A9 baseline time grows with MAC count.
+  EXPECT_GT(cpu::forward_cycles(net), net.total_macs() * 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ArchitectureSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 6, 12),
+                       ::testing::Values<std::size_t>(3, 5),
+                       ::testing::Values<std::size_t>(4, 10),
+                       ::testing::Bool()));
+
+// -------------------------------------------------------------------------
+
+class DirectiveSweep : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(DirectiveSweep, IntervalNeverExceedsLatency) {
+  const auto [pipeline, dataflow] = GetParam();
+  const hls::DirectiveSet directives{pipeline, dataflow};
+  const nn::Network net = nn::make_test1_network();
+  const hls::HlsReport report = hls::estimate(net, directives, hls::zedboard());
+  EXPECT_LE(report.interval_cycles, report.latency_cycles);
+  if (!dataflow) EXPECT_EQ(report.interval_cycles, report.latency_cycles);
+  EXPECT_GT(report.usage.dsp, 0u);
+  EXPECT_TRUE(report.fits());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DirectiveSweep,
+                         ::testing::Combine(::testing::Bool(), ::testing::Bool()));
+
+// -------------------------------------------------------------------------
+
+TEST(Monotonicity, MoreFeatureMapsNeverReduceLatencyOrBram) {
+  std::uint64_t prev_latency = 0, prev_bram = 0;
+  for (std::size_t maps : {2u, 4u, 8u, 16u}) {
+    const NetworkDescriptor d = make_descriptor(maps, 5, 10, true, true);
+    nn::Network net = d.build_network();
+    const hls::HlsReport report =
+        hls::estimate(net, hls::DirectiveSet::optimized(), hls::zedboard());
+    EXPECT_GE(report.latency_cycles, prev_latency);
+    EXPECT_GE(report.usage.bram18, prev_bram);
+    prev_latency = report.latency_cycles;
+    prev_bram = report.usage.bram18;
+  }
+}
+
+TEST(Monotonicity, A9TimeGrowsWithNetworkSize) {
+  double prev = 0.0;
+  for (std::size_t maps : {2u, 6u, 12u, 24u}) {
+    const NetworkDescriptor d = make_descriptor(maps, 5, 10, true, false);
+    nn::Network net = d.build_network();
+    const double seconds = cpu::forward_seconds(net);
+    EXPECT_GT(seconds, prev);
+    prev = seconds;
+  }
+}
+
+TEST(Monotonicity, LargerBoardsFitMore) {
+  // Each catalog entry, ordered zybo < zedboard < virtex7, fits at least as
+  // much as the previous one for the same design.
+  const nn::Network net = nn::make_test4_network();
+  const hls::HlsReport zybo_report =
+      hls::estimate(net, hls::DirectiveSet::optimized(), hls::zybo());
+  const hls::HlsReport zed_report =
+      hls::estimate(net, hls::DirectiveSet::optimized(), hls::zedboard());
+  const hls::HlsReport v7_report = hls::estimate(net, hls::DirectiveSet::optimized(),
+                                                 *hls::find_device("virtex7"));
+  EXPECT_GE(zybo_report.util.worst(), zed_report.util.worst());
+  EXPECT_GE(zed_report.util.worst(), v7_report.util.worst());
+  EXPECT_TRUE(v7_report.fits());
+}
+
+TEST(Equivalence, DescriptorNetworkAndLoweredDesignAgreeOnStructure) {
+  // The number of conv/linear blocks in the lowered IR equals the conv/linear
+  // layers of the descriptor, for a family of architectures.
+  util::Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t maps = 1 + rng.next_below(8);
+    const std::size_t kernel = 2 + rng.next_below(4);
+    const std::size_t neurons = 2 + rng.next_below(12);
+    const bool pool = rng.next_below(2) == 0;
+    // Pooling 2x2 requires conv output >= 2.
+    const NetworkDescriptor d = make_descriptor(maps, kernel, neurons, pool, true);
+    nn::Network net = d.build_network();
+    const hls::HlsDesign design = hls::lower_network(net, hls::DirectiveSet::optimized());
+
+    std::size_t conv_blocks = 0, linear_blocks = 0;
+    for (const auto& block : design.blocks) {
+      if (block.name.rfind("conv", 0) == 0) ++conv_blocks;
+      if (block.name.rfind("linear", 0) == 0) ++linear_blocks;
+    }
+    EXPECT_EQ(conv_blocks, 1u);
+    EXPECT_EQ(linear_blocks, 1u);
+    // stream_in + layers (+pool) + logsoftmax + norm + stream_out.
+    EXPECT_EQ(design.blocks.size(), pool ? 7u : 6u);
+  }
+}

@@ -1,0 +1,113 @@
+// Tests for the tcl script generator (Vivado HLS + Vivado Design Suite flow).
+#include <gtest/gtest.h>
+
+#include "core/codegen_tcl.hpp"
+
+using namespace cnn2fpga::core;
+
+namespace {
+NetworkDescriptor descriptor(bool optimize, const std::string& board = "zedboard") {
+  NetworkDescriptor d;
+  d.name = "usps_test1";
+  d.board = board;
+  d.input_channels = 1;
+  d.input_height = 16;
+  d.input_width = 16;
+  d.optimize = optimize;
+  LayerSpec conv;
+  conv.type = LayerSpec::Type::kConv;
+  conv.conv.feature_maps_out = 6;
+  conv.conv.kernel_h = conv.conv.kernel_w = 5;
+  conv.conv.pool = PoolSpec{cnn2fpga::nn::PoolKind::kMax, 2, 2};
+  LayerSpec lin;
+  lin.type = LayerSpec::Type::kLinear;
+  lin.linear.neurons = 10;
+  d.layers = {conv, lin};
+  return d;
+}
+}  // namespace
+
+TEST(Tcl, ThreeFilesGenerated) {
+  const NetworkDescriptor d = descriptor(true);
+  const auto files = generate_tcl_files(d, d.build_network());
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_TRUE(files.count("cnn_vivado_hls.tcl"));
+  EXPECT_TRUE(files.count("directives.tcl"));
+  EXPECT_TRUE(files.count("cnn_vivado.tcl"));
+}
+
+TEST(Tcl, HlsScriptTargetsRightPartAndClock) {
+  const NetworkDescriptor d = descriptor(false);
+  const std::string tcl = generate_vivado_hls_tcl(d);
+  EXPECT_NE(tcl.find("set_top cnn_xtop"), std::string::npos);
+  EXPECT_NE(tcl.find("set_part {xc7z020clg484-1}"), std::string::npos);
+  EXPECT_NE(tcl.find("create_clock -period 10"), std::string::npos);
+  EXPECT_NE(tcl.find("source directives.tcl"), std::string::npos);
+  EXPECT_NE(tcl.find("csynth_design"), std::string::npos);
+  EXPECT_NE(tcl.find("export_design -format ip_catalog"), std::string::npos);
+  EXPECT_NE(tcl.find("add_files usps_test1.cpp"), std::string::npos);
+}
+
+TEST(Tcl, ZyboSelectsZynq010Part) {
+  const NetworkDescriptor d = descriptor(false, "zybo");
+  EXPECT_NE(generate_vivado_hls_tcl(d).find("xc7z010clg400-1"), std::string::npos);
+  EXPECT_NE(generate_vivado_tcl(d).find("xc7z010clg400-1"), std::string::npos);
+}
+
+TEST(Tcl, DirectivesAlwaysDeclareStreamInterfaces) {
+  const NetworkDescriptor d = descriptor(false);
+  const std::string tcl = generate_directives_tcl(d, d.build_network());
+  EXPECT_NE(tcl.find("set_directive_interface -mode axis \"cnn_xtop\" in_stream"),
+            std::string::npos);
+  EXPECT_NE(tcl.find("set_directive_interface -mode axis \"cnn_xtop\" out_stream"),
+            std::string::npos);
+  EXPECT_NE(tcl.find("set_directive_interface -mode s_axilite \"cnn_xtop\" return"),
+            std::string::npos);
+}
+
+TEST(Tcl, NaiveDirectivesContainNoOptimizations) {
+  const NetworkDescriptor d = descriptor(false);
+  const std::string tcl = generate_directives_tcl(d, d.build_network());
+  EXPECT_EQ(tcl.find("set_directive_dataflow"), std::string::npos);
+  EXPECT_EQ(tcl.find("set_directive_pipeline"), std::string::npos);
+}
+
+TEST(Tcl, OptimizedDirectivesPipelineEveryReductionLoop) {
+  const NetworkDescriptor d = descriptor(true);
+  const std::string tcl = generate_directives_tcl(d, d.build_network());
+  EXPECT_NE(tcl.find("set_directive_dataflow \"cnn_core\""), std::string::npos);
+  // Layer 0 is the conv (reduction loop L0_c), layer 2 the linear (L2_i).
+  EXPECT_NE(tcl.find("set_directive_pipeline -II 1 \"cnn_core/L0_c\""), std::string::npos);
+  EXPECT_NE(tcl.find("set_directive_pipeline -II 1 \"cnn_core/L2_i\""), std::string::npos);
+}
+
+TEST(Tcl, BlockDesignInstantiatesAllFig5Blocks) {
+  const NetworkDescriptor d = descriptor(true);
+  const std::string tcl = generate_vivado_tcl(d);
+  // The five blocks of Fig. 5.
+  EXPECT_NE(tcl.find("processing_system7"), std::string::npos);
+  EXPECT_NE(tcl.find("axi_dma"), std::string::npos);
+  EXPECT_NE(tcl.find("axi_interconnect_ctrl"), std::string::npos);
+  EXPECT_NE(tcl.find("axi_interconnect_data"), std::string::npos);
+  EXPECT_NE(tcl.find("proc_sys_reset"), std::string::npos);
+  EXPECT_NE(tcl.find("xilinx.com:hls:cnn_xtop:1.0"), std::string::npos);
+}
+
+TEST(Tcl, BlockDesignWiresStreamsAndFinishesWithBitstream) {
+  const NetworkDescriptor d = descriptor(true);
+  const std::string tcl = generate_vivado_tcl(d);
+  EXPECT_NE(tcl.find("M_AXIS_MM2S"), std::string::npos);
+  EXPECT_NE(tcl.find("S_AXIS_S2MM"), std::string::npos);
+  EXPECT_NE(tcl.find("S_AXI_HP0"), std::string::npos);
+  EXPECT_NE(tcl.find("validate_bd_design"), std::string::npos);
+  EXPECT_NE(tcl.find("make_wrapper"), std::string::npos);
+  EXPECT_NE(tcl.find("write_bitstream"), std::string::npos);
+}
+
+TEST(Tcl, NamesAreSanitizedForTclAndFiles) {
+  NetworkDescriptor d = descriptor(false);
+  d.name = "my net-1";
+  const std::string tcl = generate_vivado_hls_tcl(d);
+  EXPECT_NE(tcl.find("add_files my_net_1.cpp"), std::string::npos);
+  EXPECT_EQ(tcl.find("my net-1.cpp"), std::string::npos);
+}

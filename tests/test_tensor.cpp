@@ -1,0 +1,123 @@
+// Unit tests for the tensor substrate.
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+using cnn2fpga::tensor::Shape;
+using cnn2fpga::tensor::Tensor;
+
+TEST(Shape, BasicProperties) {
+  const Shape s{6, 12, 12};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.elements(), 864u);
+  EXPECT_EQ(s.channels(), 6u);
+  EXPECT_EQ(s.height(), 12u);
+  EXPECT_EQ(s.width(), 12u);
+  EXPECT_EQ(s.to_string(), "(6, 12, 12)");
+}
+
+TEST(Shape, DefaultIsEmpty) {
+  const Shape s;
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.elements(), 0u);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ((Shape{2, 3}), (Shape{2, 3}));
+  EXPECT_NE((Shape{2, 3}), (Shape{3, 2}));
+  EXPECT_NE((Shape{2, 3}), (Shape{2, 3, 1}));  // rank matters
+}
+
+TEST(Shape, FromSpan) {
+  const std::vector<std::size_t> dims = {4, 5};
+  const Shape s{std::span<const std::size_t>(dims)};
+  EXPECT_EQ(s.rank(), 2u);
+  EXPECT_EQ(s.elements(), 20u);
+}
+
+TEST(Shape, RankLimit) {
+  EXPECT_THROW((Shape{1, 2, 3, 4, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, ConstructAndFill) {
+  Tensor t(Shape{2, 3}, 1.5f);
+  EXPECT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_FLOAT_EQ(t[i], 1.5f);
+  t.fill(0.0f);
+  EXPECT_FLOAT_EQ(t.sum(), 0.0f);
+}
+
+TEST(Tensor, MultiDimIndexingIsRowMajor) {
+  Tensor t(Shape{2, 3, 4});
+  t.at(1, 2, 3) = 42.0f;
+  EXPECT_FLOAT_EQ(t[1 * 12 + 2 * 4 + 3], 42.0f);
+  t.at(0, 0, 0) = 7.0f;
+  EXPECT_FLOAT_EQ(t[0], 7.0f);
+}
+
+TEST(Tensor, FourDimIndexing) {
+  Tensor t(Shape{2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 9.0f;
+  EXPECT_FLOAT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+}
+
+TEST(Tensor, AtIsBoundsChecked) {
+  Tensor t(Shape{2, 2});
+  EXPECT_THROW(t.at(2, 0), std::out_of_range);
+  EXPECT_THROW(t.at(1, 2), std::out_of_range);
+  EXPECT_NO_THROW(t.at(1, 1));
+}
+
+TEST(Tensor, FillUniformRange) {
+  cnn2fpga::util::Rng rng(1);
+  Tensor t(Shape{1000});
+  t.fill_uniform(rng, -0.25f, 0.25f);
+  EXPECT_GE(t.min(), -0.25f);
+  EXPECT_LT(t.max(), 0.25f);
+  EXPECT_NE(t.min(), t.max());
+}
+
+TEST(Tensor, FillNormalStats) {
+  cnn2fpga::util::Rng rng(2);
+  Tensor t(Shape{4, 50, 50});
+  t.fill_normal(rng, 3.0f, 0.5f);
+  EXPECT_NEAR(t.sum() / static_cast<float>(t.size()), 3.0f, 0.05f);
+}
+
+TEST(Tensor, MaxAbsDiffAndAllClose) {
+  Tensor a(Shape{4}), b(Shape{4});
+  a[2] = 1.0f;
+  b[2] = 1.25f;
+  EXPECT_FLOAT_EQ(Tensor::max_abs_diff(a, b), 0.25f);
+  EXPECT_TRUE(Tensor::all_close(a, b, 0.25f));
+  EXPECT_FALSE(Tensor::all_close(a, b, 0.1f));
+}
+
+TEST(Tensor, MaxAbsDiffShapeMismatchThrows) {
+  Tensor a(Shape{4}), b(Shape{5});
+  EXPECT_THROW(Tensor::max_abs_diff(a, b), std::invalid_argument);
+}
+
+TEST(Tensor, ArgmaxFirstOnTies) {
+  Tensor t(Shape{5});
+  t[1] = 3.0f;
+  t[3] = 3.0f;
+  EXPECT_EQ(t.argmax(), 1u);
+  t[4] = 4.0f;
+  EXPECT_EQ(t.argmax(), 4u);
+}
+
+TEST(Tensor, SumIsAccurate) {
+  // Kahan summation keeps the error tiny even with magnitude disparity.
+  Tensor t(Shape{10001});
+  t[0] = 1e7f;
+  for (std::size_t i = 1; i < t.size(); ++i) t[i] = 0.1f;
+  EXPECT_NEAR(t.sum(), 1e7f + 1000.0f, 1.0f);
+}
+
+TEST(Tensor, MinMaxEmptyThrows) {
+  Tensor t;
+  EXPECT_THROW(t.min(), std::logic_error);
+  EXPECT_THROW(t.max(), std::logic_error);
+}

@@ -1,0 +1,134 @@
+// Tests for the SGD trainer (the Torch substitute producing the offline-
+// trained weights the framework consumes).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synth_usps.hpp"
+#include "nn/trainer.hpp"
+
+using namespace cnn2fpga::nn;
+namespace data = cnn2fpga::data;
+
+namespace {
+std::vector<Sample> tiny_usps(std::size_t per_class, std::uint64_t seed) {
+  data::UspsConfig config;
+  config.samples_per_class = per_class;
+  config.seed = seed;
+  return data::generate_usps(config).samples;
+}
+}  // namespace
+
+TEST(Trainer, LossDecreasesOverEpochs) {
+  Network net = make_test1_network();
+  cnn2fpga::util::Rng rng(10);
+  net.init_weights(rng);
+
+  TrainConfig config;
+  config.epochs = 4;
+  config.learning_rate = 0.005f;
+  const auto train_set = tiny_usps(8, 1);
+
+  const TrainResult result = SgdTrainer(config).train(net, train_set, {});
+  ASSERT_EQ(result.epoch_loss.size(), 4u);
+  EXPECT_LT(result.epoch_loss.back(), result.epoch_loss.front());
+}
+
+TEST(Trainer, ReachesLowTrainErrorOnSyntheticDigits) {
+  Network net = make_test1_network();
+  cnn2fpga::util::Rng rng(11);
+  net.init_weights(rng);
+
+  TrainConfig config;
+  config.epochs = 6;
+  config.learning_rate = 0.005f;
+  const auto train_set = tiny_usps(10, 2);
+
+  const TrainResult result = SgdTrainer(config).train(net, train_set, {});
+  EXPECT_LT(result.final_train_error, 0.15f) << "synthetic digits should be learnable";
+}
+
+TEST(Trainer, GeneralizesToHeldOutDigits) {
+  Network net = make_test1_network();
+  cnn2fpga::util::Rng rng(12);
+  net.init_weights(rng);
+
+  TrainConfig config;
+  config.epochs = 6;
+  config.learning_rate = 0.005f;
+  const auto train_set = tiny_usps(12, 3);
+  const auto test_set = tiny_usps(5, 777);  // different seed: unseen renderings
+
+  const TrainResult result = SgdTrainer(config).train(net, train_set, test_set);
+  EXPECT_LT(result.final_test_error, 0.25f);
+}
+
+TEST(Trainer, EpochCallbackFires) {
+  Network net = make_test1_network();
+  cnn2fpga::util::Rng rng(13);
+  net.init_weights(rng);
+
+  std::size_t calls = 0;
+  TrainConfig config;
+  config.epochs = 3;
+  config.on_epoch = [&calls](std::size_t epoch, float loss, float) {
+    EXPECT_EQ(epoch, calls);
+    EXPECT_TRUE(std::isfinite(loss));
+    ++calls;
+  };
+  SgdTrainer(config).train(net, tiny_usps(2, 4), {});
+  EXPECT_EQ(calls, 3u);
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+  const auto train_once = [] {
+    Network net = make_test1_network();
+    cnn2fpga::util::Rng rng(14);
+    net.init_weights(rng);
+    TrainConfig config;
+    config.epochs = 2;
+    config.shuffle_seed = 5;
+    return SgdTrainer(config).train(net, tiny_usps(4, 5), {}).epoch_loss;
+  };
+  const auto a = train_once();
+  const auto b = train_once();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(Trainer, RejectsBadConfigurations) {
+  Network net = make_test1_network();
+  EXPECT_THROW(SgdTrainer(TrainConfig{}).train(net, {}, {}), std::invalid_argument);
+
+  // Network without a trailing LogSoftMax is rejected.
+  Network bare(Shape{1, 16, 16});
+  bare.add_conv(2, 5, 5);
+  bare.add_linear(10);
+  EXPECT_THROW(SgdTrainer(TrainConfig{}).train(bare, tiny_usps(1, 6), {}),
+               std::invalid_argument);
+}
+
+TEST(Trainer, EvaluateErrorCountsMisclassifications) {
+  Network net = make_test1_network();
+  cnn2fpga::util::Rng rng(15);
+  net.init_weights(rng);  // untrained: error should be near chance (~0.9)
+  const float err = SgdTrainer::evaluate_error(net, tiny_usps(10, 7));
+  EXPECT_GE(err, 0.5f);
+  EXPECT_LE(err, 1.0f);
+  EXPECT_FLOAT_EQ(SgdTrainer::evaluate_error(net, {}), 1.0f);
+}
+
+TEST(Trainer, MomentumAcceleratesDescent) {
+  const auto loss_after = [](float momentum) {
+    Network net = make_test1_network();
+    cnn2fpga::util::Rng rng(16);
+    net.init_weights(rng);
+    TrainConfig config;
+    config.epochs = 3;
+    config.learning_rate = 0.005f;
+    config.momentum = momentum;
+    return SgdTrainer(config).train(net, tiny_usps(6, 8), {}).epoch_loss.back();
+  };
+  // With a deliberately small learning rate, momentum must not be slower.
+  EXPECT_LE(loss_after(0.9f), loss_after(0.0f) + 0.05f);
+}

@@ -1,0 +1,239 @@
+// Tests for the web-application face of the framework (HTTP JSON API).
+#include <gtest/gtest.h>
+
+#include "json/json.hpp"
+#include "web/api.hpp"
+
+using namespace cnn2fpga::web;
+namespace json = cnn2fpga::json;
+
+namespace {
+const char* kDescriptorJson = R"({
+  "name": "api_net",
+  "board": "zedboard",
+  "optimize": true,
+  "seed": 7,
+  "input": {"channels": 1, "height": 8, "width": 8},
+  "layers": [
+    {"type": "conv", "feature_maps_out": 2, "kernel": 3,
+     "pool": {"type": "max", "kernel": 2, "step": 2}},
+    {"type": "linear", "neurons": 4}
+  ]
+})";
+}  // namespace
+
+// ------------------------------------------------------- handlers (direct)
+
+TEST(Api, Healthz) {
+  const HttpResponse r = handle_healthz(HttpRequest{});
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(json::parse(r.body).at("status").as_string(), "ok");
+}
+
+TEST(Api, BoardsListsAllPlatforms) {
+  const HttpResponse r = handle_boards(HttpRequest{});
+  ASSERT_EQ(r.status, 200);
+  const auto body = json::parse(r.body);
+  const auto& boards = body.at("boards").as_array();
+  ASSERT_EQ(boards.size(), 3u);
+  EXPECT_EQ(boards[0].at("board").as_string(), "zybo");
+  EXPECT_EQ(boards[1].at("board").as_string(), "zedboard");
+  EXPECT_EQ(boards[1].at("dsp").as_int(), 220);
+}
+
+TEST(Api, GenerateReturnsArtifactsAndReport) {
+  HttpRequest request;
+  request.method = "POST";
+  request.path = "/api/generate";
+  request.body = kDescriptorJson;
+  const HttpResponse r = handle_generate(request);
+  ASSERT_EQ(r.status, 200) << r.body;
+
+  const auto body = json::parse(r.body);
+  EXPECT_EQ(body.at("name").as_string(), "api_net");
+  EXPECT_EQ(body.at("cpp_file").as_string(), "api_net.cpp");
+  EXPECT_NE(body.at("cpp_source").as_string().find("int cnn_core"), std::string::npos);
+  EXPECT_EQ(body.at("tcl_files").as_object().size(), 3u);
+  EXPECT_TRUE(body.at("hls_report").at("fits").as_bool());
+  EXPECT_GT(body.at("hls_report").at("latency_cycles").as_double(), 0.0);
+  EXPECT_EQ(body.at("hls_report").at("directives").as_string(), "DATAFLOW+PIPELINE");
+  EXPECT_TRUE(body.at("warnings").as_array().empty());
+}
+
+TEST(Api, GenerateIsDeterministicPerSeed) {
+  HttpRequest request;
+  request.body = kDescriptorJson;
+  const auto a = json::parse(handle_generate(request).body);
+  const auto b = json::parse(handle_generate(request).body);
+  EXPECT_EQ(a.at("cpp_source").as_string(), b.at("cpp_source").as_string());
+}
+
+TEST(Api, GenerateRejectsMalformedJson) {
+  HttpRequest request;
+  request.body = "{ nope";
+  const HttpResponse r = handle_generate(request);
+  EXPECT_EQ(r.status, 400);
+  EXPECT_NE(json::parse(r.body).at("error").as_string().size(), 0u);
+}
+
+TEST(Api, GenerateRejectsInvalidDescriptor) {
+  HttpRequest request;
+  request.body = R"({"input": {"channels": 1, "height": 8, "width": 8}, "layers": []})";
+  const HttpResponse r = handle_generate(request);
+  EXPECT_EQ(r.status, 400);
+}
+
+TEST(Api, GenerateWarnsWhenDesignDoesNotFit) {
+  // A CIFAR-sized network on the little Zybo: must still answer 200 but with
+  // a non-empty warning list (the framework reports instead of crashing).
+  HttpRequest request;
+  request.body = R"({
+    "name": "too_big", "board": "zybo", "optimize": true,
+    "input": {"channels": 3, "height": 32, "width": 32},
+    "layers": [
+      {"type": "conv", "feature_maps_out": 12, "kernel": 5,
+       "pool": {"type": "max", "kernel": 2, "step": 2}},
+      {"type": "conv", "feature_maps_out": 36, "kernel": 5,
+       "pool": {"type": "max", "kernel": 2, "step": 2}},
+      {"type": "linear", "neurons": 36},
+      {"type": "linear", "neurons": 10}
+    ]})";
+  const HttpResponse r = handle_generate(request);
+  ASSERT_EQ(r.status, 200) << r.body;
+  const auto body = json::parse(r.body);
+  EXPECT_FALSE(body.at("hls_report").at("fits").as_bool());
+  EXPECT_FALSE(body.at("warnings").as_array().empty());
+}
+
+// -------------------------------------------------------- full HTTP server
+
+TEST(HttpServer, EndToEndRoundTrip) {
+  HttpServer server;
+  install_api(server);
+  const int port = server.start(0);
+  ASSERT_GT(port, 0);
+
+  const auto health = http_request("127.0.0.1", port, "GET", "/healthz");
+  ASSERT_TRUE(health.has_value());
+  EXPECT_EQ(health->status, 200);
+
+  const auto generate =
+      http_request("127.0.0.1", port, "POST", "/api/generate", kDescriptorJson);
+  ASSERT_TRUE(generate.has_value());
+  EXPECT_EQ(generate->status, 200);
+  EXPECT_EQ(json::parse(generate->body).at("name").as_string(), "api_net");
+
+  server.stop();
+}
+
+TEST(HttpServer, NotFoundAndMethodNotAllowed) {
+  HttpServer server;
+  install_api(server);
+  const int port = server.start(0);
+
+  const auto missing = http_request("127.0.0.1", port, "GET", "/nope");
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(missing->status, 404);
+
+  const auto wrong_method = http_request("127.0.0.1", port, "GET", "/api/generate");
+  ASSERT_TRUE(wrong_method.has_value());
+  EXPECT_EQ(wrong_method->status, 405);
+
+  server.stop();
+}
+
+TEST(HttpServer, StopIsIdempotentAndRestartable) {
+  HttpServer server;
+  install_api(server);
+  const int port1 = server.start(0);
+  EXPECT_TRUE(server.running());
+  server.stop();
+  server.stop();  // no-op
+  EXPECT_FALSE(server.running());
+  const int port2 = server.start(0);
+  EXPECT_TRUE(server.running());
+  (void)port1;
+  const auto health = http_request("127.0.0.1", port2, "GET", "/healthz");
+  ASSERT_TRUE(health.has_value());
+  EXPECT_EQ(health->status, 200);
+  server.stop();
+}
+
+TEST(Api, IndexServesTheGui) {
+  const HttpResponse r = handle_index(HttpRequest{});
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.content_type.find("text/html"), std::string::npos);
+  // The Fig. 4 options must be present: feature maps out, kernel, pooling,
+  // board selection, and the generate action posting to the API.
+  EXPECT_NE(r.body.find("feature maps out"), std::string::npos);
+  EXPECT_NE(r.body.find("max-pool"), std::string::npos);
+  EXPECT_NE(r.body.find("zedboard"), std::string::npos);
+  EXPECT_NE(r.body.find("/api/generate"), std::string::npos);
+  EXPECT_NE(r.body.find("weights_mode"), std::string::npos);
+}
+
+TEST(HttpServer, ServesIndexOverHttp) {
+  HttpServer server;
+  install_api(server);
+  const int port = server.start(0);
+  const auto r = http_request("127.0.0.1", port, "GET", "/");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, 200);
+  EXPECT_NE(r->body.find("<html"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServer, SurvivesGarbageRequests) {
+  HttpServer server;
+  install_api(server);
+  const int port = server.start(0);
+
+  // A raw socket sending garbage must not kill the server.
+  {
+    const auto r = http_request("127.0.0.1", port, "GARBAGE !!", "///");
+    (void)r;  // whatever the response, the server must keep serving
+  }
+  const auto health = http_request("127.0.0.1", port, "GET", "/healthz");
+  ASSERT_TRUE(health.has_value());
+  EXPECT_EQ(health->status, 200);
+  server.stop();
+}
+
+TEST(HttpServer, HandlerExceptionsBecome500) {
+  HttpServer server;
+  server.route("GET", "/boom", [](const HttpRequest&) -> HttpResponse {
+    throw std::runtime_error("handler exploded");
+  });
+  const int port = server.start(0);
+  const auto r = http_request("127.0.0.1", port, "GET", "/boom");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, 500);
+  EXPECT_NE(r->body.find("handler exploded"), std::string::npos);
+  // And the server is still alive.
+  server.route("GET", "/ok", [](const HttpRequest&) -> HttpResponse {
+    return {200, "text/plain", "fine"};
+  });
+  server.stop();
+}
+
+TEST(HttpServer, EmptyBodyPostIsBadRequestNotCrash) {
+  HttpServer server;
+  install_api(server);
+  const int port = server.start(0);
+  const auto r = http_request("127.0.0.1", port, "POST", "/api/generate", "");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, 400);
+  server.stop();
+}
+
+TEST(HttpServer, ServesSequentialClients) {
+  HttpServer server;
+  install_api(server);
+  const int port = server.start(0);
+  for (int i = 0; i < 5; ++i) {
+    const auto r = http_request("127.0.0.1", port, "GET", "/api/boards");
+    ASSERT_TRUE(r.has_value()) << "request " << i;
+    EXPECT_EQ(r->status, 200);
+  }
+  server.stop();
+}
