@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_directives.dir/bench_ablation_directives.cpp.o"
+  "CMakeFiles/bench_ablation_directives.dir/bench_ablation_directives.cpp.o.d"
+  "bench_ablation_directives"
+  "bench_ablation_directives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_directives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

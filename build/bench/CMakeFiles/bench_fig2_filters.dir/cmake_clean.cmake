@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_filters.dir/bench_fig2_filters.cpp.o"
+  "CMakeFiles/bench_fig2_filters.dir/bench_fig2_filters.cpp.o.d"
+  "bench_fig2_filters"
+  "bench_fig2_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

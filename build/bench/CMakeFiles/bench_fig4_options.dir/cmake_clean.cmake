@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_options.dir/bench_fig4_options.cpp.o"
+  "CMakeFiles/bench_fig4_options.dir/bench_fig4_options.cpp.o.d"
+  "bench_fig4_options"
+  "bench_fig4_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_blockdesign.dir/bench_fig5_blockdesign.cpp.o"
+  "CMakeFiles/bench_fig5_blockdesign.dir/bench_fig5_blockdesign.cpp.o.d"
+  "bench_fig5_blockdesign"
+  "bench_fig5_blockdesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_blockdesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cifar10_pipeline.dir/cifar10_pipeline.cpp.o"
+  "CMakeFiles/cifar10_pipeline.dir/cifar10_pipeline.cpp.o.d"
+  "cifar10_pipeline"
+  "cifar10_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cifar10_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn2fpga_tool.dir/cnn2fpga_tool.cpp.o"
+  "CMakeFiles/cnn2fpga_tool.dir/cnn2fpga_tool.cpp.o.d"
+  "cnn2fpga_tool"
+  "cnn2fpga_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn2fpga_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

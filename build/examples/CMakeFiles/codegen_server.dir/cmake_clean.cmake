@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_server.dir/codegen_server.cpp.o"
+  "CMakeFiles/codegen_server.dir/codegen_server.cpp.o.d"
+  "codegen_server"
+  "codegen_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usps_digits.dir/usps_digits.cpp.o"
+  "CMakeFiles/usps_digits.dir/usps_digits.cpp.o.d"
+  "usps_digits"
+  "usps_digits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usps_digits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

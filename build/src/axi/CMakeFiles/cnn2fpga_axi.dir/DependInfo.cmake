@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/axi/block_design.cpp" "src/axi/CMakeFiles/cnn2fpga_axi.dir/block_design.cpp.o" "gcc" "src/axi/CMakeFiles/cnn2fpga_axi.dir/block_design.cpp.o.d"
+  "/root/repo/src/axi/dma.cpp" "src/axi/CMakeFiles/cnn2fpga_axi.dir/dma.cpp.o" "gcc" "src/axi/CMakeFiles/cnn2fpga_axi.dir/dma.cpp.o.d"
+  "/root/repo/src/axi/interconnect.cpp" "src/axi/CMakeFiles/cnn2fpga_axi.dir/interconnect.cpp.o" "gcc" "src/axi/CMakeFiles/cnn2fpga_axi.dir/interconnect.cpp.o.d"
+  "/root/repo/src/axi/ip_core.cpp" "src/axi/CMakeFiles/cnn2fpga_axi.dir/ip_core.cpp.o" "gcc" "src/axi/CMakeFiles/cnn2fpga_axi.dir/ip_core.cpp.o.d"
+  "/root/repo/src/axi/stream.cpp" "src/axi/CMakeFiles/cnn2fpga_axi.dir/stream.cpp.o" "gcc" "src/axi/CMakeFiles/cnn2fpga_axi.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/cnn2fpga_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/cnn2fpga_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cnn2fpga_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cnn2fpga_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn2fpga_axi.dir/block_design.cpp.o"
+  "CMakeFiles/cnn2fpga_axi.dir/block_design.cpp.o.d"
+  "CMakeFiles/cnn2fpga_axi.dir/dma.cpp.o"
+  "CMakeFiles/cnn2fpga_axi.dir/dma.cpp.o.d"
+  "CMakeFiles/cnn2fpga_axi.dir/interconnect.cpp.o"
+  "CMakeFiles/cnn2fpga_axi.dir/interconnect.cpp.o.d"
+  "CMakeFiles/cnn2fpga_axi.dir/ip_core.cpp.o"
+  "CMakeFiles/cnn2fpga_axi.dir/ip_core.cpp.o.d"
+  "CMakeFiles/cnn2fpga_axi.dir/stream.cpp.o"
+  "CMakeFiles/cnn2fpga_axi.dir/stream.cpp.o.d"
+  "libcnn2fpga_axi.a"
+  "libcnn2fpga_axi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn2fpga_axi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn2fpga_core.dir/codegen_cpp.cpp.o"
+  "CMakeFiles/cnn2fpga_core.dir/codegen_cpp.cpp.o.d"
+  "CMakeFiles/cnn2fpga_core.dir/codegen_tcl.cpp.o"
+  "CMakeFiles/cnn2fpga_core.dir/codegen_tcl.cpp.o.d"
+  "CMakeFiles/cnn2fpga_core.dir/descriptor.cpp.o"
+  "CMakeFiles/cnn2fpga_core.dir/descriptor.cpp.o.d"
+  "CMakeFiles/cnn2fpga_core.dir/dse.cpp.o"
+  "CMakeFiles/cnn2fpga_core.dir/dse.cpp.o.d"
+  "CMakeFiles/cnn2fpga_core.dir/framework.cpp.o"
+  "CMakeFiles/cnn2fpga_core.dir/framework.cpp.o.d"
+  "libcnn2fpga_core.a"
+  "libcnn2fpga_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn2fpga_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn2fpga_cpu.dir/a9_model.cpp.o"
+  "CMakeFiles/cnn2fpga_cpu.dir/a9_model.cpp.o.d"
+  "libcnn2fpga_cpu.a"
+  "libcnn2fpga_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn2fpga_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

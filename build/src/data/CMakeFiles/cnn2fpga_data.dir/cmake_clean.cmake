@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn2fpga_data.dir/dataset.cpp.o"
+  "CMakeFiles/cnn2fpga_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/cnn2fpga_data.dir/synth_cifar.cpp.o"
+  "CMakeFiles/cnn2fpga_data.dir/synth_cifar.cpp.o.d"
+  "CMakeFiles/cnn2fpga_data.dir/synth_usps.cpp.o"
+  "CMakeFiles/cnn2fpga_data.dir/synth_usps.cpp.o.d"
+  "libcnn2fpga_data.a"
+  "libcnn2fpga_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn2fpga_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcnn2fpga_data.a"
+)

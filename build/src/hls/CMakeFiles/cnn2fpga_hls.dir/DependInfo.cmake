@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hls/device.cpp" "src/hls/CMakeFiles/cnn2fpga_hls.dir/device.cpp.o" "gcc" "src/hls/CMakeFiles/cnn2fpga_hls.dir/device.cpp.o.d"
+  "/root/repo/src/hls/estimator.cpp" "src/hls/CMakeFiles/cnn2fpga_hls.dir/estimator.cpp.o" "gcc" "src/hls/CMakeFiles/cnn2fpga_hls.dir/estimator.cpp.o.d"
+  "/root/repo/src/hls/ir.cpp" "src/hls/CMakeFiles/cnn2fpga_hls.dir/ir.cpp.o" "gcc" "src/hls/CMakeFiles/cnn2fpga_hls.dir/ir.cpp.o.d"
+  "/root/repo/src/hls/lowering.cpp" "src/hls/CMakeFiles/cnn2fpga_hls.dir/lowering.cpp.o" "gcc" "src/hls/CMakeFiles/cnn2fpga_hls.dir/lowering.cpp.o.d"
+  "/root/repo/src/hls/op_costs.cpp" "src/hls/CMakeFiles/cnn2fpga_hls.dir/op_costs.cpp.o" "gcc" "src/hls/CMakeFiles/cnn2fpga_hls.dir/op_costs.cpp.o.d"
+  "/root/repo/src/hls/report.cpp" "src/hls/CMakeFiles/cnn2fpga_hls.dir/report.cpp.o" "gcc" "src/hls/CMakeFiles/cnn2fpga_hls.dir/report.cpp.o.d"
+  "/root/repo/src/hls/resources.cpp" "src/hls/CMakeFiles/cnn2fpga_hls.dir/resources.cpp.o" "gcc" "src/hls/CMakeFiles/cnn2fpga_hls.dir/resources.cpp.o.d"
+  "/root/repo/src/hls/roofline.cpp" "src/hls/CMakeFiles/cnn2fpga_hls.dir/roofline.cpp.o" "gcc" "src/hls/CMakeFiles/cnn2fpga_hls.dir/roofline.cpp.o.d"
+  "/root/repo/src/hls/schedule.cpp" "src/hls/CMakeFiles/cnn2fpga_hls.dir/schedule.cpp.o" "gcc" "src/hls/CMakeFiles/cnn2fpga_hls.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/cnn2fpga_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cnn2fpga_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cnn2fpga_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn2fpga_hls.dir/device.cpp.o"
+  "CMakeFiles/cnn2fpga_hls.dir/device.cpp.o.d"
+  "CMakeFiles/cnn2fpga_hls.dir/estimator.cpp.o"
+  "CMakeFiles/cnn2fpga_hls.dir/estimator.cpp.o.d"
+  "CMakeFiles/cnn2fpga_hls.dir/ir.cpp.o"
+  "CMakeFiles/cnn2fpga_hls.dir/ir.cpp.o.d"
+  "CMakeFiles/cnn2fpga_hls.dir/lowering.cpp.o"
+  "CMakeFiles/cnn2fpga_hls.dir/lowering.cpp.o.d"
+  "CMakeFiles/cnn2fpga_hls.dir/op_costs.cpp.o"
+  "CMakeFiles/cnn2fpga_hls.dir/op_costs.cpp.o.d"
+  "CMakeFiles/cnn2fpga_hls.dir/report.cpp.o"
+  "CMakeFiles/cnn2fpga_hls.dir/report.cpp.o.d"
+  "CMakeFiles/cnn2fpga_hls.dir/resources.cpp.o"
+  "CMakeFiles/cnn2fpga_hls.dir/resources.cpp.o.d"
+  "CMakeFiles/cnn2fpga_hls.dir/roofline.cpp.o"
+  "CMakeFiles/cnn2fpga_hls.dir/roofline.cpp.o.d"
+  "CMakeFiles/cnn2fpga_hls.dir/schedule.cpp.o"
+  "CMakeFiles/cnn2fpga_hls.dir/schedule.cpp.o.d"
+  "libcnn2fpga_hls.a"
+  "libcnn2fpga_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn2fpga_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

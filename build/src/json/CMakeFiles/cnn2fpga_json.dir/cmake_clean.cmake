@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn2fpga_json.dir/json.cpp.o"
+  "CMakeFiles/cnn2fpga_json.dir/json.cpp.o.d"
+  "libcnn2fpga_json.a"
+  "libcnn2fpga_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn2fpga_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/nn/CMakeFiles/cnn2fpga_nn.dir/activation.cpp.o" "gcc" "src/nn/CMakeFiles/cnn2fpga_nn.dir/activation.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/cnn2fpga_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/cnn2fpga_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/fixed_inference.cpp" "src/nn/CMakeFiles/cnn2fpga_nn.dir/fixed_inference.cpp.o" "gcc" "src/nn/CMakeFiles/cnn2fpga_nn.dir/fixed_inference.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/cnn2fpga_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/cnn2fpga_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/logsoftmax.cpp" "src/nn/CMakeFiles/cnn2fpga_nn.dir/logsoftmax.cpp.o" "gcc" "src/nn/CMakeFiles/cnn2fpga_nn.dir/logsoftmax.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/cnn2fpga_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/cnn2fpga_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/nn/CMakeFiles/cnn2fpga_nn.dir/pool.cpp.o" "gcc" "src/nn/CMakeFiles/cnn2fpga_nn.dir/pool.cpp.o.d"
+  "/root/repo/src/nn/quantize.cpp" "src/nn/CMakeFiles/cnn2fpga_nn.dir/quantize.cpp.o" "gcc" "src/nn/CMakeFiles/cnn2fpga_nn.dir/quantize.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/cnn2fpga_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/cnn2fpga_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/cnn2fpga_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/cnn2fpga_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/cnn2fpga_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cnn2fpga_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn2fpga_nn.dir/activation.cpp.o"
+  "CMakeFiles/cnn2fpga_nn.dir/activation.cpp.o.d"
+  "CMakeFiles/cnn2fpga_nn.dir/conv.cpp.o"
+  "CMakeFiles/cnn2fpga_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/cnn2fpga_nn.dir/fixed_inference.cpp.o"
+  "CMakeFiles/cnn2fpga_nn.dir/fixed_inference.cpp.o.d"
+  "CMakeFiles/cnn2fpga_nn.dir/linear.cpp.o"
+  "CMakeFiles/cnn2fpga_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/cnn2fpga_nn.dir/logsoftmax.cpp.o"
+  "CMakeFiles/cnn2fpga_nn.dir/logsoftmax.cpp.o.d"
+  "CMakeFiles/cnn2fpga_nn.dir/network.cpp.o"
+  "CMakeFiles/cnn2fpga_nn.dir/network.cpp.o.d"
+  "CMakeFiles/cnn2fpga_nn.dir/pool.cpp.o"
+  "CMakeFiles/cnn2fpga_nn.dir/pool.cpp.o.d"
+  "CMakeFiles/cnn2fpga_nn.dir/quantize.cpp.o"
+  "CMakeFiles/cnn2fpga_nn.dir/quantize.cpp.o.d"
+  "CMakeFiles/cnn2fpga_nn.dir/serialize.cpp.o"
+  "CMakeFiles/cnn2fpga_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/cnn2fpga_nn.dir/trainer.cpp.o"
+  "CMakeFiles/cnn2fpga_nn.dir/trainer.cpp.o.d"
+  "libcnn2fpga_nn.a"
+  "libcnn2fpga_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn2fpga_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

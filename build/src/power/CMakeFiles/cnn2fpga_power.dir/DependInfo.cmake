@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/energy_logger.cpp" "src/power/CMakeFiles/cnn2fpga_power.dir/energy_logger.cpp.o" "gcc" "src/power/CMakeFiles/cnn2fpga_power.dir/energy_logger.cpp.o.d"
+  "/root/repo/src/power/power_model.cpp" "src/power/CMakeFiles/cnn2fpga_power.dir/power_model.cpp.o" "gcc" "src/power/CMakeFiles/cnn2fpga_power.dir/power_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hls/CMakeFiles/cnn2fpga_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cnn2fpga_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cnn2fpga_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cnn2fpga_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn2fpga_power.dir/energy_logger.cpp.o"
+  "CMakeFiles/cnn2fpga_power.dir/energy_logger.cpp.o.d"
+  "CMakeFiles/cnn2fpga_power.dir/power_model.cpp.o"
+  "CMakeFiles/cnn2fpga_power.dir/power_model.cpp.o.d"
+  "libcnn2fpga_power.a"
+  "libcnn2fpga_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn2fpga_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

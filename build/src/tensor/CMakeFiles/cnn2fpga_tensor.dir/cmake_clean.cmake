@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn2fpga_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/cnn2fpga_tensor.dir/tensor.cpp.o.d"
+  "libcnn2fpga_tensor.a"
+  "libcnn2fpga_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn2fpga_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

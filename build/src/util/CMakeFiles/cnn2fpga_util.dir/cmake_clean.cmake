@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn2fpga_util.dir/base64.cpp.o"
+  "CMakeFiles/cnn2fpga_util.dir/base64.cpp.o.d"
+  "CMakeFiles/cnn2fpga_util.dir/cli.cpp.o"
+  "CMakeFiles/cnn2fpga_util.dir/cli.cpp.o.d"
+  "CMakeFiles/cnn2fpga_util.dir/fileio.cpp.o"
+  "CMakeFiles/cnn2fpga_util.dir/fileio.cpp.o.d"
+  "CMakeFiles/cnn2fpga_util.dir/logging.cpp.o"
+  "CMakeFiles/cnn2fpga_util.dir/logging.cpp.o.d"
+  "CMakeFiles/cnn2fpga_util.dir/strings.cpp.o"
+  "CMakeFiles/cnn2fpga_util.dir/strings.cpp.o.d"
+  "CMakeFiles/cnn2fpga_util.dir/table.cpp.o"
+  "CMakeFiles/cnn2fpga_util.dir/table.cpp.o.d"
+  "libcnn2fpga_util.a"
+  "libcnn2fpga_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn2fpga_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

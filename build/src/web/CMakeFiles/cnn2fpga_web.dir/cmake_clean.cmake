@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn2fpga_web.dir/api.cpp.o"
+  "CMakeFiles/cnn2fpga_web.dir/api.cpp.o.d"
+  "CMakeFiles/cnn2fpga_web.dir/http.cpp.o"
+  "CMakeFiles/cnn2fpga_web.dir/http.cpp.o.d"
+  "libcnn2fpga_web.a"
+  "libcnn2fpga_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn2fpga_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

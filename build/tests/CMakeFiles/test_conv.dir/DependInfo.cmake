@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_conv.cpp" "tests/CMakeFiles/test_conv.dir/test_conv.cpp.o" "gcc" "tests/CMakeFiles/test_conv.dir/test_conv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/cnn2fpga_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/cnn2fpga_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/cnn2fpga_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cnn2fpga_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/cnn2fpga_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/cnn2fpga_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/axi/CMakeFiles/cnn2fpga_axi.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/cnn2fpga_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cnn2fpga_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cnn2fpga_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cnn2fpga_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_power.dir/test_cpu_power.cpp.o"
+  "CMakeFiles/test_cpu_power.dir/test_cpu_power.cpp.o.d"
+  "test_cpu_power"
+  "test_cpu_power.pdb"
+  "test_cpu_power[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

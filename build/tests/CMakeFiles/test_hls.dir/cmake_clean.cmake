@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hls.dir/test_hls.cpp.o"
+  "CMakeFiles/test_hls.dir/test_hls.cpp.o.d"
+  "test_hls"
+  "test_hls.pdb"
+  "test_hls[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linear_activation.dir/test_linear_activation.cpp.o"
+  "CMakeFiles/test_linear_activation.dir/test_linear_activation.cpp.o.d"
+  "test_linear_activation"
+  "test_linear_activation.pdb"
+  "test_linear_activation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linear_activation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

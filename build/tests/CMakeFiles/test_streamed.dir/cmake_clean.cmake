@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_streamed.dir/test_streamed.cpp.o"
+  "CMakeFiles/test_streamed.dir/test_streamed.cpp.o.d"
+  "test_streamed"
+  "test_streamed.pdb"
+  "test_streamed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_streamed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

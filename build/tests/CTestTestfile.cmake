@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_json[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_conv[1]_include.cmake")
+include("/root/repo/build/tests/test_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_linear_activation[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_trainer[1]_include.cmake")
+include("/root/repo/build/tests/test_data[1]_include.cmake")
+include("/root/repo/build/tests/test_descriptor[1]_include.cmake")
+include("/root/repo/build/tests/test_codegen[1]_include.cmake")
+include("/root/repo/build/tests/test_tcl[1]_include.cmake")
+include("/root/repo/build/tests/test_hls[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu_power[1]_include.cmake")
+include("/root/repo/build/tests/test_axi[1]_include.cmake")
+include("/root/repo/build/tests/test_web[1]_include.cmake")
+include("/root/repo/build/tests/test_framework[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_fixed[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_streamed[1]_include.cmake")
+include("/root/repo/build/tests/test_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/test_dse[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_injection[1]_include.cmake")
