@@ -1,0 +1,189 @@
+// Serving-runtime benchmark: what batching and the deployed-design registry
+// buy under load.
+//
+//   1. Predict throughput, batched vs. unbatched. C concurrent clients each
+//      keep a pipeline of requests in flight against one deployed design
+//      (open loop — the regime a loaded server sees). Unbatched:
+//      max_batch = 1, so every image is its own accelerator invocation — a
+//      blocking DMA driver round trip on the deployment hardware — and pays
+//      the full queue/wake/dispatch chain on the host. Batched: max_batch = 8,
+//      so concurrent requests coalesce into one scatter-gather invocation
+//      that pipelines through the DATAFLOW core at the initiation interval
+//      and amortizes both driver and dispatch overhead across the batch.
+//      Two throughputs are reported per mode: the modeled deployed
+//      accelerator (axi::BlockDesign timing, deterministic) and the host
+//      functional pipeline (wall clock, scheduling-noise sensitive).
+//   2. Deploy latency, registry miss vs. hit. A miss runs the entire
+//      generator pipeline (validate, codegen, tcl, HLS estimate); a hit
+//      returns the resident instance.
+//
+// Emits a human-readable table plus one machine-readable line:
+//   SERVING_JSON {...}
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace cnn2fpga;
+using namespace cnn2fpga::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+core::NetworkDescriptor serving_descriptor(const std::string& name) {
+  // Small USPS-style network: per-image execution is a few microseconds, the
+  // regime where dispatch overhead — the thing batching amortizes — matters.
+  core::NetworkDescriptor d;
+  d.name = name;
+  d.board = "zedboard";
+  d.optimize = true;
+  d.input_channels = 1;
+  d.input_height = 8;
+  d.input_width = 8;
+  core::LayerSpec conv;
+  conv.type = core::LayerSpec::Type::kConv;
+  conv.conv.feature_maps_out = 2;
+  conv.conv.kernel_h = conv.conv.kernel_w = 3;
+  conv.conv.pool = core::PoolSpec{nn::PoolKind::kMax, 2, 2};
+  core::LayerSpec lin;
+  lin.type = core::LayerSpec::Type::kLinear;
+  lin.linear.neurons = 4;
+  d.layers = {conv, lin};
+  return d;
+}
+
+struct Throughput {
+  double host_ips = 0.0;   ///< wall-clock images/s through the host pipeline
+  double accel_ips = 0.0;  ///< images/s of the modeled deployed accelerator
+};
+
+/// Throughput of `clients` concurrent open-loop request streams.
+Throughput measure_throughput(std::size_t max_batch, std::size_t clients,
+                              std::size_t per_client) {
+  serve::ServeMetrics metrics;
+  serve::DesignRegistry registry(4, &metrics);
+  serve::Executor executor(4);
+  serve::Batcher batcher(executor, {max_batch, /*max_wait_us=*/200}, &metrics);
+  const auto design = registry.deploy_random(serving_descriptor("bench_serve"), 1).design;
+
+  std::vector<tensor::Tensor> images;
+  for (std::size_t i = 0; i < clients; ++i) {
+    tensor::Tensor image{design->net.input_shape()};
+    util::Rng rng(100 + i);
+    image.fill_uniform(rng, -1.0f, 1.0f);
+    images.push_back(std::move(image));
+  }
+
+  // Warm-up: touch every code path once.
+  batcher.predict(design, images[0]).get();
+
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      // Open loop: submit the full stream, then drain. The batcher sees
+      // sustained load instead of lock-step waves, and fulfilled futures
+      // with no blocked waiter cost no wake-up.
+      std::vector<std::future<serve::Prediction>> stream;
+      stream.reserve(per_client);
+      for (std::size_t i = 0; i < per_client; ++i) {
+        stream.push_back(batcher.predict(design, images[c]));
+      }
+      for (auto& future : stream) future.get();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double elapsed = seconds_since(start);
+  batcher.shutdown();
+  executor.shutdown();
+
+  Throughput out;
+  out.host_ips = static_cast<double>(clients * per_client) / elapsed;
+  // Modeled accelerator throughput: every image the batcher served (including
+  // warm-up) over the summed per-invocation model times it recorded.
+  const double accel_busy_s = static_cast<double>(metrics.accel_us.sum()) * 1e-6;
+  const auto total_images = static_cast<double>(metrics.predictions.value());
+  out.accel_ips = total_images / accel_busy_s;
+  return out;
+}
+
+struct DeployLatency {
+  double miss_us = 0.0;
+  double hit_us = 0.0;
+};
+
+DeployLatency measure_deploy(std::size_t rounds) {
+  serve::DesignRegistry registry(rounds + 1);
+  DeployLatency out;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    // Unique name => unique descriptor JSON => registry miss.
+    const core::NetworkDescriptor descriptor =
+        serving_descriptor(util::format("bench_deploy_%zu", i));
+    auto start = Clock::now();
+    const auto miss = registry.deploy_random(descriptor, 1);
+    out.miss_us += seconds_since(start) * 1e6;
+    if (miss.cache_hit) std::fprintf(stderr, "unexpected cache hit on fresh deploy\n");
+
+    start = Clock::now();
+    const auto hit = registry.deploy_random(descriptor, 1);
+    out.hit_us += seconds_since(start) * 1e6;
+    if (!hit.cache_hit) std::fprintf(stderr, "unexpected miss on repeat deploy\n");
+  }
+  out.miss_us /= static_cast<double>(rounds);
+  out.hit_us /= static_cast<double>(rounds);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kClients = 8;
+  constexpr std::size_t kPerClient = 400;
+  constexpr std::size_t kBatch = 8;
+  constexpr std::size_t kDeployRounds = 20;
+
+  std::puts("serving runtime benchmark (4 worker threads, 8 concurrent clients)");
+  std::puts("------------------------------------------------------------------");
+
+  const Throughput unbatched = measure_throughput(1, kClients, kPerClient);
+  const Throughput batched = measure_throughput(kBatch, kClients, kPerClient);
+  const double accel_speedup = batched.accel_ips / unbatched.accel_ips;
+  const double host_speedup = batched.host_ips / unbatched.host_ips;
+  std::puts("deployed accelerator (modeled, axi::BlockDesign timing):");
+  std::printf("  unbatched: %9.0f images/s  (blocking DMA round trip per image)\n",
+              unbatched.accel_ips);
+  std::printf("  batch=%zu:  %9.0f images/s  (%.2fx, scatter-gather + DATAFLOW)\n", kBatch,
+              batched.accel_ips, accel_speedup);
+  std::puts("host functional pipeline (wall clock):");
+  std::printf("  unbatched: %9.0f images/s\n", unbatched.host_ips);
+  std::printf("  batch=%zu:  %9.0f images/s  (%.2fx)\n", kBatch, batched.host_ips,
+              host_speedup);
+
+  const DeployLatency deploy = measure_deploy(kDeployRounds);
+  const double deploy_speedup = deploy.miss_us / deploy.hit_us;
+  std::printf("deploy latency      miss: %9.1f us  (full generator pipeline)\n",
+              deploy.miss_us);
+  std::printf("deploy latency      hit:  %9.1f us  (%.0fx faster)\n", deploy.hit_us,
+              deploy_speedup);
+
+  std::printf(
+      "SERVING_JSON {\"bench\": \"serving\", \"clients\": %zu, \"workers\": 4, "
+      "\"batch\": %zu, \"unbatched_images_per_s\": %.1f, \"batched_images_per_s\": %.1f, "
+      "\"batching_speedup\": %.3f, \"host_unbatched_images_per_s\": %.1f, "
+      "\"host_batched_images_per_s\": %.1f, \"host_speedup\": %.3f, "
+      "\"deploy_miss_us\": %.1f, \"deploy_hit_us\": %.1f, \"registry_speedup\": %.1f}\n",
+      kClients, kBatch, unbatched.accel_ips, batched.accel_ips, accel_speedup,
+      unbatched.host_ips, batched.host_ips, host_speedup, deploy.miss_us, deploy.hit_us,
+      deploy_speedup);
+  // The modeled-accelerator speedup is deterministic; the host ratio depends
+  // on core count and scheduling, so only sanity-check it.
+  return accel_speedup >= 2.0 && host_speedup >= 0.5 ? 0 : 1;
+}

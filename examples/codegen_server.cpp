@@ -5,6 +5,9 @@
 //   GET  /healthz
 //   GET  /api/boards
 //   POST /api/generate     (body: network descriptor JSON)
+// plus the serving runtime (deploy designs, predict against them):
+//   POST /api/deploy       POST /api/predict
+//   GET  /api/designs      GET  /api/metrics
 //
 // Run:  ./codegen_server [--port P]        serve until interrupted
 //       ./codegen_server --demo            self-demo: start, POST a
@@ -29,9 +32,15 @@ int main(int argc, char** argv) {
 
   web::HttpServer server;
   web::install_api(server);
+  serve::ServingConfig serving_config;
+  serving_config.worker_threads = static_cast<std::size_t>(args.get_int("workers", 4));
+  serving_config.batcher.max_batch = static_cast<std::size_t>(args.get_int("max-batch", 8));
+  serve::ServingRuntime runtime(serving_config);
+  serve::install_serve_api(server, runtime);
   const int port = server.start(static_cast<int>(args.get_int("port", 0)));
   std::printf("cnn2fpga server listening on http://127.0.0.1:%d\n", port);
-  std::puts("routes: GET /healthz, GET /api/boards, POST /api/generate");
+  std::puts("routes: GET /healthz, GET /api/boards, POST /api/generate,");
+  std::puts("        POST /api/deploy, POST /api/predict, GET /api/designs, GET /api/metrics");
 
   if (args.has("demo")) {
     const char* descriptor = R"({

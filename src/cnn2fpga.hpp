@@ -10,6 +10,7 @@
 //   power/  board/PL power and energy model
 //   data/   synthetic USPS / CIFAR-10 dataset generators
 //   web/    HTTP JSON API exposing the generator
+//   serve/  inference-serving runtime (registry, micro-batching, metrics)
 #pragma once
 
 #include "axi/block_design.hpp"
@@ -24,6 +25,7 @@
 #include "nn/trainer.hpp"
 #include "power/energy_logger.hpp"
 #include "power/power_model.hpp"
+#include "serve/server.hpp"
 #include "tensor/tensor.hpp"
 #include "util/cli.hpp"
 #include "util/fileio.hpp"

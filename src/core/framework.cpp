@@ -1,6 +1,7 @@
 #include "core/framework.hpp"
 
 #include "util/fileio.hpp"
+#include "util/hash.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
@@ -66,6 +67,14 @@ GeneratedDesign Framework::generate_with_random_weights(const NetworkDescriptor&
   util::Rng rng(seed);
   net.init_weights(rng);
   return generate(descriptor, net);
+}
+
+std::string Framework::cache_key(const NetworkDescriptor& descriptor,
+                                 const std::vector<std::uint8_t>& weight_file) {
+  util::Fnv1a hash;
+  hash.update(descriptor.to_json().dump());
+  hash.update(std::span<const std::uint8_t>(weight_file));
+  return hash.hex();
 }
 
 }  // namespace cnn2fpga::core

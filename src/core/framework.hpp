@@ -50,6 +50,12 @@ class Framework {
   /// simplicity". Deterministic per seed.
   static GeneratedDesign generate_with_random_weights(const NetworkDescriptor& descriptor,
                                                       std::uint64_t seed);
+
+  /// Content hash of (canonical descriptor JSON, weight blob): the serving
+  /// registry's cache key. generate() is a pure function of these two inputs,
+  /// so equal keys imply identical artifacts and an identical HLS report.
+  static std::string cache_key(const NetworkDescriptor& descriptor,
+                               const std::vector<std::uint8_t>& weight_file);
 };
 
 }  // namespace cnn2fpga::core

@@ -1,0 +1,223 @@
+#include "serve/batcher.hpp"
+
+#include <stdexcept>
+
+#include "nn/fixed_inference.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace cnn2fpga::serve {
+
+using cnn2fpga::util::format;
+
+namespace {
+std::uint64_t elapsed_us(Batcher::Clock::time_point from, Batcher::Clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from).count());
+}
+}  // namespace
+
+Batcher::Batcher(Executor& executor, BatcherConfig config, ServeMetrics* metrics)
+    : executor_(executor),
+      config_{config.max_batch == 0 ? 1 : config.max_batch, config.max_wait_us},
+      metrics_(metrics),
+      deadline_thread_([this] { deadline_loop(); }) {}
+
+Batcher::~Batcher() { shutdown(); }
+
+std::future<Prediction> Batcher::predict(std::shared_ptr<DeployedDesign> design,
+                                         tensor::Tensor input) {
+  if (!design) throw std::invalid_argument("Batcher::predict: null design");
+  if (input.shape() != design->net.input_shape()) {
+    throw std::invalid_argument(format(
+        "Batcher::predict: design '%s' expects input %s, got %s",
+        design->descriptor().name.c_str(), design->net.input_shape().to_string().c_str(),
+        input.shape().to_string().c_str()));
+  }
+
+  Request request;
+  request.input = std::move(input);
+  request.enqueued = Clock::now();
+  std::future<Prediction> future = request.promise.get_future();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_) throw std::runtime_error("Batcher: predict after shutdown");
+  Lane& lane = lanes_[design->id];
+  if (lane.requests.empty()) {
+    lane.design = design;
+    lane.deadline = request.enqueued + std::chrono::microseconds(config_.max_wait_us);
+  }
+  lane.requests.push_back(std::move(request));
+  const bool design_idle = busy_.find(design->id) == busy_.end();
+  if (design_idle || lane.requests.size() >= config_.max_batch) {
+    // Idle design or full batch: dispatch from the submitting thread. Only
+    // requests arriving while a batch is in flight wait to coalesce.
+    Lane ready = std::move(lane);
+    lanes_.erase(design->id);
+    flush_locked(std::move(ready));
+  } else {
+    lane_cv_.notify_one();  // deadline thread re-arms for the new lane
+  }
+  return future;
+}
+
+void Batcher::shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    // Drain: everything already accepted still executes.
+    while (!lanes_.empty()) {
+      Lane lane = std::move(lanes_.begin()->second);
+      lanes_.erase(lanes_.begin());
+      flush_locked(std::move(lane));
+    }
+  }
+  lane_cv_.notify_all();
+  if (deadline_thread_.joinable()) deadline_thread_.join();
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+std::size_t Batcher::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [id, lane] : lanes_) total += lane.requests.size();
+  return total;
+}
+
+void Batcher::deadline_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    if (lanes_.empty()) {
+      lane_cv_.wait(lock, [this] { return stopping_ || !lanes_.empty(); });
+      continue;
+    }
+    auto earliest = Clock::time_point::max();
+    for (const auto& [id, lane] : lanes_) {
+      if (lane.deadline < earliest) earliest = lane.deadline;
+    }
+    if (Clock::now() < earliest) {
+      lane_cv_.wait_until(lock, earliest);
+      continue;  // re-evaluate: lanes may have been flushed or added
+    }
+    const auto now = Clock::now();
+    for (auto it = lanes_.begin(); it != lanes_.end();) {
+      if (it->second.deadline <= now) {
+        Lane expired = std::move(it->second);
+        it = lanes_.erase(it);
+        flush_locked(std::move(expired));
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void Batcher::flush_locked(Lane lane) {
+  if (lane.requests.empty()) return;
+  const std::string design_id = lane.design->id;
+  ++in_flight_;
+  ++busy_[design_id];
+  auto design = std::move(lane.design);
+  // The task owns the batch; requests are fulfilled even if the lane's design
+  // was evicted from the registry meanwhile (shared_ptr keeps it alive).
+  auto batch = std::make_shared<std::vector<Request>>(std::move(lane.requests));
+  try {
+    executor_.submit([this, design = std::move(design), batch] {
+      execute_batch(design, std::move(*batch));
+    });
+  } catch (...) {
+    --in_flight_;
+    if (const auto it = busy_.find(design_id); it != busy_.end() && --it->second == 0) {
+      busy_.erase(it);
+    }
+    for (Request& request : *batch) {
+      request.promise.set_exception(std::current_exception());
+      if (metrics_) metrics_->predict_errors.add();
+    }
+  }
+}
+
+void Batcher::execute_batch(std::shared_ptr<DeployedDesign> design,
+                            std::vector<Request> batch) {
+  std::vector<Prediction> results(batch.size());
+  std::vector<std::exception_ptr> errors(batch.size());
+  Clock::time_point start;
+  std::uint64_t exec_us = 0;
+  {
+    std::lock_guard<std::mutex> exec_lock(design->exec_mutex);
+    start = Clock::now();
+    const core::NetworkDescriptor& descriptor = design->descriptor();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      try {
+        Prediction& out = results[i];
+        if (descriptor.precision.is_fixed) {
+          const nn::FixedForwardResult fixed =
+              nn::forward_fixed(design->net, batch[i].input, descriptor.precision.fixed);
+          out.predicted = fixed.predicted;
+          out.logits.assign(fixed.scores.span().begin(), fixed.scores.span().end());
+        } else {
+          const tensor::Tensor scores = design->net.forward(batch[i].input, /*train=*/false);
+          out.predicted = scores.argmax();
+          out.logits.assign(scores.span().begin(), scores.span().end());
+        }
+        design->served.fetch_add(1, std::memory_order_relaxed);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+    exec_us = elapsed_us(start, Clock::now());
+  }
+
+  {
+    // Free the design and launch any coalesced batch BEFORE fulfilling
+    // promises: the next batch executes on another worker while this thread
+    // does completion work, keeping the per-design pipeline full.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = busy_.find(design->id); it != busy_.end() && --it->second == 0) {
+      busy_.erase(it);
+    }
+    if (const auto lane_it = lanes_.find(design->id); lane_it != lanes_.end()) {
+      Lane next = std::move(lane_it->second);
+      lanes_.erase(lane_it);
+      flush_locked(std::move(next));
+    }
+  }
+
+  // Modeled deployment cost of this invocation: one scatter-gather pass
+  // through the accelerator for the whole batch (what batching buys on the
+  // FPGA, independent of host scheduling noise).
+  const double accel_seconds = design->invocation_seconds(batch.size());
+  const auto accel_invocation_us = static_cast<std::uint64_t>(accel_seconds * 1e6);
+  const auto accel_share_us =
+      static_cast<std::uint64_t>(accel_seconds * 1e6 / static_cast<double>(batch.size()));
+
+  if (metrics_) {
+    metrics_->batches.add();
+    metrics_->batch_size.record(batch.size());
+    metrics_->exec_us.record(exec_us);
+    metrics_->accel_us.record(accel_invocation_us);
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (errors[i]) {
+      if (metrics_) metrics_->predict_errors.add();
+      batch[i].promise.set_exception(errors[i]);
+      continue;
+    }
+    results[i].queue_us = elapsed_us(batch[i].enqueued, start);
+    results[i].exec_us = exec_us;
+    results[i].accel_us = accel_share_us;
+    results[i].batch_size = batch.size();
+    if (metrics_) {
+      metrics_->predictions.add();
+      metrics_->queue_us.record(results[i].queue_us);
+    }
+    batch[i].promise.set_value(std::move(results[i]));
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (--in_flight_ == 0) drained_cv_.notify_all();
+}
+
+}  // namespace cnn2fpga::serve

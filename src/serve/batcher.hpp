@@ -1,0 +1,113 @@
+// Dynamic (continuous) micro-batching of predict requests.
+//
+// Requests for the same deployed design coalesce in a per-design lane. A lane
+// flushes — becoming one Executor task that takes the design's exec_mutex
+// once, runs every image, and fulfills the per-request futures — on the first
+// of three triggers:
+//   1. the design is idle (no batch in flight): flush immediately, so an
+//      unloaded server adds zero batching latency;
+//   2. `max_batch` requests are waiting: flush from the submitting thread;
+//   3. the oldest request has waited `max_wait_us`: deadline flush for
+//      partial batches stuck behind a long-running batch.
+// While a batch executes, concurrent requests accumulate and flush the moment
+// it completes — under load the batch size converges on the number of
+// concurrent clients (capped at max_batch) with no timer on the hot path.
+// Batching amortizes the queue/wake/dispatch overhead of a request across
+// the whole batch, which is where the throughput of small per-image kernels
+// goes. Shutdown drains: pending lanes are flushed and in-flight batches
+// complete before shutdown() returns.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/executor.hpp"
+#include "serve/metrics.hpp"
+#include "serve/registry.hpp"
+#include "tensor/tensor.hpp"
+
+namespace cnn2fpga::serve {
+
+/// Result of one served image.
+struct Prediction {
+  std::size_t predicted = 0;       ///< argmax class (what the FPGA returns)
+  std::vector<float> logits;       ///< final scores (log-probabilities)
+  std::uint64_t queue_us = 0;      ///< time spent waiting in the batcher lane
+  std::uint64_t exec_us = 0;       ///< execution time of the containing batch
+  std::uint64_t accel_us = 0;      ///< this image's share of the modeled
+                                   ///< accelerator invocation (see
+                                   ///< DeployedDesign::invocation_seconds)
+  std::size_t batch_size = 0;      ///< images in the containing batch
+};
+
+struct BatcherConfig {
+  std::size_t max_batch = 8;        ///< flush as soon as this many requests wait
+  std::uint64_t max_wait_us = 1000; ///< deadline flush for partial batches
+};
+
+class Batcher {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `executor` must outlive the batcher. `metrics` may be null.
+  Batcher(Executor& executor, BatcherConfig config, ServeMetrics* metrics = nullptr);
+  ~Batcher();
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  /// Enqueue one image. The future resolves when its batch has executed;
+  /// it carries an exception for per-request failures. Throws
+  /// std::invalid_argument immediately on an input-shape mismatch and
+  /// std::runtime_error after shutdown().
+  std::future<Prediction> predict(std::shared_ptr<DeployedDesign> design,
+                                  tensor::Tensor input);
+
+  /// Flush every pending lane, wait for all in-flight batches, stop the
+  /// deadline thread. Idempotent.
+  void shutdown();
+
+  const BatcherConfig& config() const { return config_; }
+
+  /// Requests waiting in lanes (not yet flushed).
+  std::size_t pending() const;
+
+ private:
+  struct Request {
+    std::promise<Prediction> promise;
+    tensor::Tensor input;
+    Clock::time_point enqueued;
+  };
+
+  struct Lane {
+    std::shared_ptr<DeployedDesign> design;
+    std::vector<Request> requests;
+    Clock::time_point deadline;  ///< enqueue time of the oldest + max_wait
+  };
+
+  void deadline_loop();
+  /// Submit a full lane to the executor. Caller holds mutex_.
+  void flush_locked(Lane lane);
+  void execute_batch(std::shared_ptr<DeployedDesign> design, std::vector<Request> batch);
+
+  Executor& executor_;
+  const BatcherConfig config_;
+  ServeMetrics* metrics_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable lane_cv_;     ///< wakes the deadline thread
+  std::condition_variable drained_cv_;  ///< signals in-flight batches done
+  std::map<std::string, Lane> lanes_;   ///< keyed by design id
+  std::map<std::string, std::size_t> busy_;  ///< in-flight batches per design
+  std::size_t in_flight_ = 0;           ///< batches submitted, not yet finished
+  bool stopping_ = false;
+  std::thread deadline_thread_;
+};
+
+}  // namespace cnn2fpga::serve

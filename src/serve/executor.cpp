@@ -1,0 +1,62 @@
+#include "serve/executor.hpp"
+
+#include <stdexcept>
+
+namespace cnn2fpga::serve {
+
+Executor::Executor(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  threads_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Executor::~Executor() { shutdown(); }
+
+void Executor::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw std::runtime_error("Executor: submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void Executor::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::size_t Executor::backlog() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + active_;
+}
+
+void Executor::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+    }
+  }
+}
+
+}  // namespace cnn2fpga::serve

@@ -1,0 +1,51 @@
+// Fixed-size worker pool executing opaque tasks FIFO.
+//
+// The serving runtime submits one task per micro-batch; the pool bounds the
+// number of concurrently executing batches to the hardware the host actually
+// has, independent of how many HTTP handler threads are blocked on futures.
+// Shutdown is graceful: every task already submitted runs to completion
+// before the workers join.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cnn2fpga::serve {
+
+class Executor {
+ public:
+  /// Spawns `threads` workers immediately (at least 1).
+  explicit Executor(std::size_t threads);
+  ~Executor();
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Enqueue a task. Throws std::runtime_error after shutdown().
+  void submit(std::function<void()> task);
+
+  /// Drain the queue, run everything already submitted, join the workers.
+  /// Idempotent; further submit() calls fail.
+  void shutdown();
+
+  std::size_t thread_count() const { return threads_.size(); }
+
+  /// Tasks submitted but not yet finished (approximate; for tests/metrics).
+  std::size_t backlog() const;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t active_ = 0;   ///< tasks currently executing
+  bool stopping_ = false;
+};
+
+}  // namespace cnn2fpga::serve

@@ -1,0 +1,92 @@
+#include "serve/metrics.hpp"
+
+#include <bit>
+
+namespace cnn2fpga::serve {
+
+namespace {
+std::size_t bucket_index(std::uint64_t value) {
+  const std::size_t width = static_cast<std::size_t>(std::bit_width(value));
+  return width < Histogram::kBuckets ? width : Histogram::kBuckets - 1;
+}
+
+/// Largest value the bucket can hold: 2^index - 1 (bucket 0 holds only 0).
+std::uint64_t bucket_upper_bound(std::size_t index) {
+  return index == 0 ? 0 : (std::uint64_t{1} << index) - 1;
+}
+}  // namespace
+
+void Histogram::record(std::uint64_t value) {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const double target = p * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (static_cast<double>(cumulative) >= target) {
+      // Never report beyond the observed maximum (tightens the top bucket).
+      const std::uint64_t bound = bucket_upper_bound(i);
+      const std::uint64_t observed_max = max();
+      return bound < observed_max ? bound : observed_max;
+    }
+  }
+  return max();
+}
+
+json::Value Histogram::to_json() const {
+  json::Object out;
+  out["count"] = count();
+  out["mean"] = mean();
+  out["max"] = max();
+  out["p50"] = percentile(0.50);
+  out["p95"] = percentile(0.95);
+  out["p99"] = percentile(0.99);
+  return json::Value(std::move(out));
+}
+
+double ServeMetrics::cache_hit_rate() const {
+  const std::uint64_t total = deploys.value();
+  return total == 0 ? 0.0
+                    : static_cast<double>(deploy_cache_hits.value()) /
+                          static_cast<double>(total);
+}
+
+json::Value ServeMetrics::to_json() const {
+  json::Object out;
+  json::Object deploy;
+  deploy["total"] = deploys.value();
+  deploy["cache_hits"] = deploy_cache_hits.value();
+  deploy["cache_hit_rate"] = cache_hit_rate();
+  deploy["evictions"] = deploy_evictions.value();
+  out["deploy"] = std::move(deploy);
+
+  json::Object predict;
+  predict["total"] = predictions.value();
+  predict["errors"] = predict_errors.value();
+  predict["batches"] = batches.value();
+  predict["batch_size"] = batch_size.to_json();
+  predict["queue_us"] = queue_us.to_json();
+  predict["exec_us"] = exec_us.to_json();
+  predict["accel_us"] = accel_us.to_json();
+  out["predict"] = std::move(predict);
+  return json::Value(std::move(out));
+}
+
+}  // namespace cnn2fpga::serve

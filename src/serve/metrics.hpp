@@ -1,0 +1,80 @@
+// Serving metrics: lock-cheap counters and latency histograms.
+//
+// Every hot-path touch is a relaxed atomic increment — no mutex is taken
+// while a prediction is in flight. Snapshots (`to_json`) read the atomics
+// without stopping writers, so a scrape sees a consistent-enough view for
+// monitoring (individual counters are exact; cross-counter skew is bounded
+// by whatever landed between two loads).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "json/json.hpp"
+
+namespace cnn2fpga::serve {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Log2-bucketed histogram of non-negative integer samples (microseconds,
+/// batch sizes). Recording is a pair of relaxed atomic adds; percentiles are
+/// estimated as the upper bound of the containing power-of-two bucket, so
+/// p50/p95/p99 are exact to within a factor of two — plenty for spotting a
+/// queueing regression, at zero locking cost.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;  ///< covers values up to ~2^39
+
+  void record(std::uint64_t value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const;
+
+  /// Value below which fraction `p` (0..1) of the samples fall. 0 if empty.
+  std::uint64_t percentile(double p) const;
+
+  /// {"count": n, "mean": m, "max": x, "p50": ..., "p95": ..., "p99": ...}
+  json::Value to_json() const;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// All counters of the serving runtime, in one scrape-friendly bundle.
+struct ServeMetrics {
+  // Deploy path.
+  Counter deploys;            ///< total deploy requests that reached the registry
+  Counter deploy_cache_hits;  ///< deploys satisfied without regeneration
+  Counter deploy_evictions;   ///< designs dropped by the LRU bound
+
+  // Predict path.
+  Counter predictions;        ///< individual images served
+  Counter predict_errors;     ///< requests failed (bad input, shutdown, ...)
+  Counter batches;            ///< micro-batches executed
+
+  Histogram batch_size;       ///< images per executed batch
+  Histogram queue_us;         ///< request wait in the batcher queue
+  Histogram exec_us;          ///< batch execution time (host functional model)
+  Histogram accel_us;         ///< modeled accelerator invocation time per batch
+
+  double cache_hit_rate() const;
+
+  json::Value to_json() const;
+  std::string to_json_text() const { return to_json().dump(); }
+};
+
+}  // namespace cnn2fpga::serve

@@ -1,0 +1,115 @@
+#include "serve/registry.hpp"
+
+#include <stdexcept>
+
+#include "axi/block_design.hpp"
+#include "hls/schedule.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace cnn2fpga::serve {
+
+using cnn2fpga::util::format;
+
+double DeployedDesign::invocation_seconds(std::size_t images) const {
+  if (images == 0) return 0.0;
+  const hls::HlsReport& report = design.hls_report;
+  if (images == 1) {
+    // One blocking round trip: ioctl into the DMA driver, cache flush and
+    // invalidate, interrupt wake-up (axi::kBlockingDriverSeconds).
+    return report.latency_seconds() + axi::kBlockingDriverSeconds;
+  }
+  // Scatter-gather batch: the DATAFLOW core accepts a new image every
+  // initiation interval, and each queued descriptor costs the cheap
+  // streaming-driver path instead of a blocking round trip.
+  const std::uint64_t cycles =
+      report.latency_cycles + (images - 1) * report.interval_cycles;
+  return hls::cycles_to_seconds(cycles, report.device.clock_mhz) +
+         static_cast<double>(images) * axi::kStreamingDriverSeconds;
+}
+
+DesignRegistry::DesignRegistry(std::size_t capacity, ServeMetrics* metrics)
+    : capacity_(capacity == 0 ? 1 : capacity), metrics_(metrics) {}
+
+DeployOutcome DesignRegistry::deploy(const core::NetworkDescriptor& descriptor,
+                                     std::vector<std::uint8_t> weights) {
+  const std::string key = core::Framework::cache_key(descriptor, weights);
+  if (metrics_) metrics_->deploys.add();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = entries_.find(key); it != entries_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      ++stats_.hits;
+      if (metrics_) metrics_->deploy_cache_hits.add();
+      return {it->second.design, /*cache_hit=*/true};
+    }
+    ++stats_.misses;
+  }
+
+  // Generate outside the lock: the pipeline (codegen + HLS estimate) is the
+  // expensive part, and concurrent deploys of *different* designs should not
+  // serialize on it. A racing deploy of the same key is resolved below.
+  nn::Network net = descriptor.build_network();
+  nn::deserialize_weights(net, weights);
+  core::GeneratedDesign generated = core::Framework::generate(descriptor, net);
+  auto fresh = std::make_shared<DeployedDesign>(key, std::move(generated), std::move(net),
+                                                std::move(weights));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    // Lost a deploy race: keep the incumbent (in-flight predictions may
+    // already hold it) and drop our duplicate.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return {it->second.design, /*cache_hit=*/false};
+  }
+
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{fresh, lru_.begin()});
+  while (entries_.size() > capacity_) {
+    const std::string& victim = lru_.back();
+    LOG_DEBUG("serve") << format("registry evicting design %s", victim.c_str());
+    entries_.erase(victim);
+    lru_.pop_back();
+    ++stats_.evictions;
+    if (metrics_) metrics_->deploy_evictions.add();
+  }
+  LOG_INFO("serve") << format("deployed '%s' as %s (%zu/%zu designs resident)",
+                              fresh->descriptor().name.c_str(), key.c_str(), entries_.size(),
+                              capacity_);
+  return {fresh, /*cache_hit=*/false};
+}
+
+DeployOutcome DesignRegistry::deploy_random(const core::NetworkDescriptor& descriptor,
+                                            std::uint64_t seed) {
+  nn::Network net = descriptor.build_network();
+  util::Rng rng(seed);
+  net.init_weights(rng);
+  return deploy(descriptor, nn::serialize_weights(net));
+}
+
+std::shared_ptr<DeployedDesign> DesignRegistry::find(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : it->second.design;
+}
+
+std::vector<std::shared_ptr<DeployedDesign>> DesignRegistry::list() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<DeployedDesign>> out;
+  out.reserve(entries_.size());
+  for (const std::string& id : lru_) out.push_back(entries_.at(id).design);
+  return out;
+}
+
+std::size_t DesignRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+RegistryStats DesignRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace cnn2fpga::serve

@@ -1,0 +1,234 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#include "util/base64.hpp"
+#include "util/strings.hpp"
+
+namespace cnn2fpga::serve {
+
+using cnn2fpga::util::format;
+
+namespace {
+
+web::HttpResponse json_error(int status, const std::string& message) {
+  json::Object body;
+  body["error"] = message;
+  return {status, "application/json", json::Value(std::move(body)).dump()};
+}
+
+web::HttpResponse json_ok(json::Object body) {
+  return {200, "application/json", json::Value(std::move(body)).dump()};
+}
+
+/// Decode the request's image payload into the design's input tensor.
+/// Accepts "image_base64" (raw float32 little-endian CHW) or "image" (a JSON
+/// array of numbers). Throws std::invalid_argument with a client-facing
+/// message on bad payloads.
+tensor::Tensor decode_image(const json::Value& doc, const nn::Shape& shape) {
+  const std::size_t expected = shape.elements();
+  tensor::Tensor image{shape};
+  if (const json::Value* encoded = doc.find("image_base64"); encoded != nullptr) {
+    const auto bytes = util::base64_decode(encoded->as_string());
+    if (!bytes) throw std::invalid_argument("image_base64 is not valid base64");
+    if (bytes->size() != expected * sizeof(float)) {
+      throw std::invalid_argument(format(
+          "image_base64 decodes to %zu bytes; input %s needs %zu (float32 CHW)",
+          bytes->size(), shape.to_string().c_str(), expected * sizeof(float)));
+    }
+    std::memcpy(image.data(), bytes->data(), bytes->size());
+    return image;
+  }
+  if (const json::Value* array = doc.find("image"); array != nullptr) {
+    const json::Array& values = array->as_array();
+    if (values.size() != expected) {
+      throw std::invalid_argument(format("image has %zu values; input %s needs %zu",
+                                         values.size(), shape.to_string().c_str(), expected));
+    }
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      image[i] = static_cast<float>(values[i].as_double());
+    }
+    return image;
+  }
+  throw std::invalid_argument("predict: provide image_base64 or image");
+}
+
+json::Object design_summary(const DeployedDesign& deployed) {
+  const core::NetworkDescriptor& descriptor = deployed.descriptor();
+  json::Object out;
+  out["design_id"] = deployed.id;
+  out["name"] = descriptor.name;
+  out["board"] = descriptor.board;
+  out["precision"] = descriptor.precision.is_fixed ? descriptor.precision.fixed.name()
+                                                   : std::string("float32");
+  out["input"] = deployed.net.input_shape().to_string();
+  out["classes"] = descriptor.num_classes();
+  out["latency_cycles"] = deployed.design.hls_report.latency_cycles;
+  out["latency_seconds"] = deployed.hls_latency_seconds();
+  out["fits"] = deployed.design.hls_report.fits();
+  out["served"] = deployed.served.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace
+
+ServingRuntime::ServingRuntime(ServingConfig config)
+    : config_(config),
+      registry_(config.registry_capacity, &metrics_),
+      executor_(config.worker_threads),
+      batcher_(executor_, config.batcher, &metrics_) {}
+
+ServingRuntime::~ServingRuntime() { shutdown(); }
+
+void ServingRuntime::shutdown() {
+  if (stopped_.exchange(true)) return;
+  batcher_.shutdown();
+  executor_.shutdown();
+}
+
+web::HttpResponse ServingRuntime::handle_deploy(const web::HttpRequest& request) {
+  if (stopped_.load()) return json_error(503, "serving runtime is shut down");
+
+  json::Value doc;
+  try {
+    doc = json::parse(request.body);
+  } catch (const json::JsonError& e) {
+    return json_error(400, e.what());
+  }
+
+  core::NetworkDescriptor descriptor;
+  try {
+    descriptor = core::NetworkDescriptor::from_json(doc);
+  } catch (const core::DescriptorError& e) {
+    return json_error(400, e.what());
+  }
+
+  DeployOutcome outcome;
+  try {
+    if (const json::Value* weights = doc.find("weights_base64"); weights != nullptr) {
+      const auto bytes = util::base64_decode(weights->as_string());
+      if (!bytes) return json_error(400, "weights_base64 is not valid base64");
+      outcome = registry_.deploy(descriptor, *bytes);
+    } else {
+      const std::uint64_t seed = static_cast<std::uint64_t>(doc.get_int("seed", 1));
+      outcome = registry_.deploy_random(descriptor, seed);
+    }
+  } catch (const std::runtime_error& e) {
+    return json_error(400, e.what());  // weight/architecture mismatch
+  } catch (const std::exception& e) {
+    return json_error(500, e.what());
+  }
+
+  json::Object body = design_summary(*outcome.design);
+  body["cache_hit"] = outcome.cache_hit;
+  json::Array warnings;
+  for (const std::string& warning : outcome.design->design.warnings) {
+    warnings.push_back(warning);
+  }
+  body["warnings"] = std::move(warnings);
+  const RegistryStats stats = registry_.stats();
+  json::Object reg;
+  reg["resident"] = registry_.size();
+  reg["capacity"] = registry_.capacity();
+  reg["hit_rate"] = stats.hit_rate();
+  body["registry"] = std::move(reg);
+  return json_ok(std::move(body));
+}
+
+web::HttpResponse ServingRuntime::handle_predict(const web::HttpRequest& request) {
+  if (stopped_.load()) return json_error(503, "serving runtime is shut down");
+  const auto arrival = std::chrono::steady_clock::now();
+
+  json::Value doc;
+  try {
+    doc = json::parse(request.body);
+  } catch (const json::JsonError& e) {
+    return json_error(400, e.what());
+  }
+
+  const json::Value* id = doc.find("design_id");
+  if (id == nullptr || !id->is_string()) {
+    return json_error(400, "predict: design_id is required (deploy first)");
+  }
+  std::shared_ptr<DeployedDesign> design = registry_.find(id->as_string());
+  if (!design) {
+    return json_error(404, format("design %s is not deployed", id->as_string().c_str()));
+  }
+
+  Prediction prediction;
+  try {
+    tensor::Tensor image = decode_image(doc, design->net.input_shape());
+    prediction = batcher_.predict(design, std::move(image)).get();
+  } catch (const std::invalid_argument& e) {
+    metrics_.predict_errors.add();
+    return json_error(400, e.what());
+  } catch (const std::runtime_error& e) {
+    return json_error(503, e.what());
+  } catch (const std::exception& e) {
+    return json_error(500, e.what());
+  }
+
+  json::Object body;
+  body["design_id"] = design->id;
+  body["predicted"] = prediction.predicted;
+  json::Array logits;
+  for (float logit : prediction.logits) logits.push_back(logit);
+  body["logits"] = std::move(logits);
+  body["batch_size"] = prediction.batch_size;
+  body["queue_us"] = prediction.queue_us;
+  body["exec_us"] = prediction.exec_us;
+  body["accel_us"] = prediction.accel_us;
+  body["total_us"] = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                            arrival)
+          .count());
+  return json_ok(std::move(body));
+}
+
+web::HttpResponse ServingRuntime::handle_designs(const web::HttpRequest&) {
+  json::Array designs;
+  for (const auto& deployed : registry_.list()) {
+    designs.push_back(design_summary(*deployed));
+  }
+  const RegistryStats stats = registry_.stats();
+  json::Object body;
+  body["designs"] = std::move(designs);
+  body["resident"] = registry_.size();
+  body["capacity"] = registry_.capacity();
+  body["hits"] = stats.hits;
+  body["misses"] = stats.misses;
+  body["evictions"] = stats.evictions;
+  body["hit_rate"] = stats.hit_rate();
+  return json_ok(std::move(body));
+}
+
+web::HttpResponse ServingRuntime::handle_metrics(const web::HttpRequest&) {
+  json::Value metrics = metrics_.to_json();
+  json::Object& body = metrics.as_object();
+  json::Object reg;
+  reg["resident"] = registry_.size();
+  reg["capacity"] = registry_.capacity();
+  body["registry"] = std::move(reg);
+  json::Object pool;
+  pool["worker_threads"] = executor_.thread_count();
+  pool["backlog"] = executor_.backlog();
+  pool["max_batch"] = batcher_.config().max_batch;
+  pool["max_wait_us"] = batcher_.config().max_wait_us;
+  pool["pending"] = batcher_.pending();
+  body["pool"] = std::move(pool);
+  return {200, "application/json", metrics.dump()};
+}
+
+void install_serve_api(web::HttpServer& server, ServingRuntime& runtime) {
+  server.route("POST", "/api/deploy",
+               [&runtime](const web::HttpRequest& r) { return runtime.handle_deploy(r); });
+  server.route("POST", "/api/predict",
+               [&runtime](const web::HttpRequest& r) { return runtime.handle_predict(r); });
+  server.route("GET", "/api/designs",
+               [&runtime](const web::HttpRequest& r) { return runtime.handle_designs(r); });
+  server.route("GET", "/api/metrics",
+               [&runtime](const web::HttpRequest& r) { return runtime.handle_metrics(r); });
+}
+
+}  // namespace cnn2fpga::serve

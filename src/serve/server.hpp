@@ -1,0 +1,73 @@
+// The serving runtime: registry + executor + batcher + metrics behind the
+// web API.
+//
+// The paper's framework stops when the artifacts are generated; this layer is
+// the deployment half: POST /api/deploy runs the generator (or hits the
+// content-addressed cache) and keeps a ready-to-run instance resident, and
+// POST /api/predict pushes images through the micro-batching pipeline against
+// a deployed design. Handlers follow the same transport-free convention as
+// web::handle_* so the test suite can exercise them without sockets.
+//
+// Routes:
+//   POST /api/deploy    -> body: descriptor JSON (+ "weights_base64" or
+//                          "seed"); response: design_id, cache_hit, HLS
+//                          summary, registry occupancy.
+//   POST /api/predict   -> body: {"design_id": ..., "image_base64": raw
+//                          float32 little-endian CHW pixels} (or "image":
+//                          [numbers]); response: predicted class, logits,
+//                          queue/exec timing, batch size.
+//   GET  /api/designs   -> resident designs, most recently used first.
+//   GET  /api/metrics   -> counters + latency histograms as JSON.
+#pragma once
+
+#include <cstddef>
+
+#include "serve/batcher.hpp"
+#include "serve/executor.hpp"
+#include "serve/metrics.hpp"
+#include "serve/registry.hpp"
+#include "web/http.hpp"
+
+namespace cnn2fpga::serve {
+
+struct ServingConfig {
+  std::size_t registry_capacity = 16;  ///< LRU bound on resident designs
+  std::size_t worker_threads = 4;      ///< executor pool size
+  BatcherConfig batcher;
+};
+
+class ServingRuntime {
+ public:
+  explicit ServingRuntime(ServingConfig config = {});
+  ~ServingRuntime();
+  ServingRuntime(const ServingRuntime&) = delete;
+  ServingRuntime& operator=(const ServingRuntime&) = delete;
+
+  /// Drain the batcher and stop the worker pool. Idempotent; predict
+  /// requests after this fail with 503.
+  void shutdown();
+
+  DesignRegistry& registry() { return registry_; }
+  Batcher& batcher() { return batcher_; }
+  ServeMetrics& metrics() { return metrics_; }
+  const ServingConfig& config() const { return config_; }
+
+  /// Transport-free handler entry points (exercised directly by tests).
+  web::HttpResponse handle_deploy(const web::HttpRequest& request);
+  web::HttpResponse handle_predict(const web::HttpRequest& request);
+  web::HttpResponse handle_designs(const web::HttpRequest& request);
+  web::HttpResponse handle_metrics(const web::HttpRequest& request);
+
+ private:
+  ServingConfig config_;
+  ServeMetrics metrics_;
+  DesignRegistry registry_;
+  Executor executor_;
+  Batcher batcher_;
+  std::atomic<bool> stopped_{false};
+};
+
+/// Install the serving routes on a server. `runtime` must outlive it.
+void install_serve_api(web::HttpServer& server, ServingRuntime& runtime);
+
+}  // namespace cnn2fpga::serve

@@ -1,0 +1,47 @@
+// Incremental FNV-1a (64-bit) content hashing.
+//
+// The serving registry addresses deployed designs by the hash of their inputs
+// (descriptor JSON + weight blob), so identical deploy requests collapse onto
+// one cached artifact set. FNV-1a is not cryptographic; it is a fast,
+// dependency-free fingerprint with a stable value across platforms, which is
+// all a same-process dedup key needs.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace cnn2fpga::util {
+
+class Fnv1a {
+ public:
+  Fnv1a& update(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      state_ ^= bytes[i];
+      state_ *= kPrime;
+    }
+    return *this;
+  }
+  Fnv1a& update(std::string_view text) { return update(text.data(), text.size()); }
+  Fnv1a& update(std::span<const std::uint8_t> bytes) {
+    return update(bytes.data(), bytes.size());
+  }
+
+  std::uint64_t digest() const { return state_; }
+
+  /// 16 lowercase hex characters.
+  std::string hex() const {
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(state_));
+    return std::string(buf);
+  }
+
+ private:
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t state_ = 14695981039346656037ull;
+};
+
+}  // namespace cnn2fpga::util

@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <stdexcept>
 
@@ -23,31 +24,53 @@ const char* status_text(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Content Too Large";
     case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
     default: return "Unknown";
   }
 }
 
+/// What reading one request produced: either a parsed request, or the error
+/// status the connection is owed (0 = the peer vanished before sending
+/// anything; no response can be delivered).
+struct ReadOutcome {
+  std::optional<HttpRequest> request;
+  int error_status = 0;
+};
+
+ReadOutcome error_outcome(int status) { return {std::nullopt, status}; }
+
 /// Read until the full header block (and Content-Length body) has arrived.
-std::optional<HttpRequest> read_request(int fd) {
+/// The socket carries SO_RCVTIMEO, so a stalled client surfaces as
+/// EAGAIN/EWOULDBLOCK and is answered with 408 instead of pinning a handler.
+ReadOutcome read_request(int fd, const ServerConfig& config) {
   std::string data;
   char buf[4096];
   std::size_t header_end = std::string::npos;
   while (header_end == std::string::npos) {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) return std::nullopt;
+    if (n < 0) {
+      return error_outcome(errno == EAGAIN || errno == EWOULDBLOCK ? 408 : 0);
+    }
+    if (n == 0) return error_outcome(data.empty() ? 0 : 400);  // truncated request
     data.append(buf, static_cast<std::size_t>(n));
     header_end = data.find("\r\n\r\n");
-    if (data.size() > (1u << 20)) return std::nullopt;  // oversized headers
+    if (data.size() > (1u << 20)) return error_outcome(413);  // oversized headers
   }
 
   HttpRequest request;
   const std::string head = data.substr(0, header_end);
   const auto lines = util::split(head, '\n');
-  if (lines.empty()) return std::nullopt;
+  if (lines.empty()) return error_outcome(400);
   {
+    // Request line: METHOD SP TARGET SP HTTP-VERSION.
     const auto parts = util::split(std::string(util::trim(lines[0])), ' ');
-    if (parts.size() < 2) return std::nullopt;
+    if (parts.size() != 3 || parts[0].empty() || parts[1].empty() ||
+        !util::starts_with(parts[2], "HTTP/")) {
+      return error_outcome(400);
+    }
     request.method = parts[0];
     request.path = parts[1];
   }
@@ -61,18 +84,25 @@ std::optional<HttpRequest> read_request(int fd) {
 
   std::size_t content_length = 0;
   if (const auto it = request.headers.find("content-length"); it != request.headers.end()) {
-    content_length = static_cast<std::size_t>(std::strtoul(it->second.c_str(), nullptr, 10));
-    if (content_length > (16u << 20)) return std::nullopt;  // 16 MiB cap
+    char* end = nullptr;
+    content_length = static_cast<std::size_t>(std::strtoul(it->second.c_str(), &end, 10));
+    if (end == it->second.c_str()) return error_outcome(400);
+    if (content_length > config.max_body_bytes) return error_outcome(413);
   }
 
   std::string body = data.substr(header_end + 4);
+  if (body.size() > config.max_body_bytes) return error_outcome(413);
   while (body.size() < content_length) {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) return std::nullopt;
+    if (n < 0) {
+      return error_outcome(errno == EAGAIN || errno == EWOULDBLOCK ? 408 : 400);
+    }
+    if (n == 0) return error_outcome(400);  // body truncated by the peer
     body.append(buf, static_cast<std::size_t>(n));
+    if (body.size() > config.max_body_bytes) return error_outcome(413);
   }
   request.body = body.substr(0, content_length);
-  return request;
+  return {std::move(request), 0};
 }
 
 void write_response(int fd, const HttpResponse& response) {
@@ -115,7 +145,7 @@ int HttpServer::start(int port) {
     listen_fd_ = -1;
     throw std::runtime_error(format("HttpServer: bind to port %d failed", port));
   }
-  if (::listen(listen_fd_, 16) != 0) {
+  if (::listen(listen_fd_, config_.backlog) != 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
     throw std::runtime_error("HttpServer: listen() failed");
@@ -125,9 +155,18 @@ int HttpServer::start(int port) {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
 
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    draining_ = false;
+  }
   running_.store(true);
-  worker_ = std::thread([this] { serve_loop(); });
-  LOG_INFO("http") << format("serving on 127.0.0.1:%d", port_);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  const std::size_t pool = config_.handler_threads == 0 ? 1 : config_.handler_threads;
+  handlers_.reserve(pool);
+  for (std::size_t i = 0; i < pool; ++i) {
+    handlers_.emplace_back([this] { handler_loop(); });
+  }
+  LOG_INFO("http") << format("serving on 127.0.0.1:%d (%zu handler threads)", port_, pool);
   return port_;
 }
 
@@ -137,28 +176,69 @@ void HttpServer::stop() {
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
   listen_fd_ = -1;
-  if (worker_.joinable()) worker_.join();
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    draining_ = true;  // handlers finish the queued connections, then exit
+  }
+  conn_cv_.notify_all();
+  for (std::thread& handler : handlers_) {
+    if (handler.joinable()) handler.join();
+  }
+  handlers_.clear();
 }
 
-void HttpServer::serve_loop() {
+void HttpServer::accept_loop() {
   while (running_.load()) {
     const int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) {
       if (!running_.load()) break;
       continue;
     }
-    const auto request = read_request(client);
-    if (request) {
-      HttpResponse response;
-      try {
-        response = dispatch(*request);
-      } catch (const std::exception& e) {
-        response.status = 500;
-        response.body = format("{\"error\": \"%s\"}", e.what());
-      }
-      write_response(client, response);
+    if (config_.read_timeout_ms > 0) {
+      timeval tv{};
+      tv.tv_sec = config_.read_timeout_ms / 1000;
+      tv.tv_usec = (config_.read_timeout_ms % 1000) * 1000;
+      ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
     }
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      conn_queue_.push_back(client);
+    }
+    conn_cv_.notify_one();
+  }
+}
+
+void HttpServer::handler_loop() {
+  while (true) {
+    int client = -1;
+    {
+      std::unique_lock<std::mutex> lock(conn_mutex_);
+      conn_cv_.wait(lock, [this] { return draining_ || !conn_queue_.empty(); });
+      if (conn_queue_.empty()) return;  // draining and nothing left
+      client = conn_queue_.front();
+      conn_queue_.pop_front();
+    }
+    handle_connection(client);
     ::close(client);
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  const ReadOutcome outcome = read_request(fd, config_);
+  if (outcome.request) {
+    HttpResponse response;
+    try {
+      response = dispatch(*outcome.request);
+    } catch (const std::exception& e) {
+      response.status = 500;
+      response.body = format("{\"error\": \"%s\"}", e.what());
+    }
+    write_response(fd, response);
+  } else if (outcome.error_status != 0) {
+    write_response(fd, {outcome.error_status, "application/json",
+                        format("{\"error\": \"%s\"}", status_text(outcome.error_status))});
   }
 }
 

@@ -3,18 +3,27 @@
 // The paper's framework is "a web-application to be easily accessible"
 // (Sec. IV-A): an HTML5/JS front-end posting a JSON descriptor to a back-end
 // that returns the generated artifacts. This module provides the transport:
-// a small blocking HTTP server (one worker thread, connection-per-request)
-// and a matching client used by the test suite. Only the subset of HTTP
-// needed for the JSON API is implemented: request line, headers,
-// Content-Length bodies.
+// an accept thread feeding a fixed pool of handler threads (so a slow or
+// blocking request — e.g. a predict waiting on the batcher — does not stall
+// the rest of the traffic) and a matching client used by the test suite.
+// Only the subset of HTTP needed for the JSON API is implemented: request
+// line, headers, Content-Length bodies.
+//
+// Robustness: malformed request lines answer 400 instead of silently closing
+// the connection, bodies over `max_body_bytes` answer 413, and a client that
+// stalls mid-request is cut off by a per-connection read timeout (408).
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 namespace cnn2fpga::web {
 
@@ -33,35 +42,55 @@ struct HttpResponse {
 
 using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
+struct ServerConfig {
+  std::size_t handler_threads = 4;          ///< concurrent request handlers
+  std::size_t max_body_bytes = 16u << 20;   ///< larger bodies answer 413
+  int read_timeout_ms = 5000;               ///< per-connection recv timeout (408)
+  int backlog = 64;                         ///< listen(2) backlog
+};
+
 class HttpServer {
  public:
   HttpServer() = default;
+  explicit HttpServer(ServerConfig config) : config_(config) {}
   ~HttpServer();
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Route an exact (method, path) pair.
+  /// Route an exact (method, path) pair. Not safe to call while running.
   void route(const std::string& method, const std::string& path, Handler handler);
 
-  /// Bind to 127.0.0.1:`port` (0 = ephemeral) and serve on a background
-  /// thread. Returns the bound port. Throws std::runtime_error on failure.
+  /// Bind to 127.0.0.1:`port` (0 = ephemeral) and serve on background
+  /// threads (one acceptor + `handler_threads` handlers). Returns the bound
+  /// port. Throws std::runtime_error on failure.
   int start(int port = 0);
 
-  /// Stop serving and join the worker thread. Idempotent.
+  /// Stop accepting, serve the already-accepted connections, join all
+  /// threads. Idempotent; the server can be start()ed again afterwards.
   void stop();
 
   int port() const { return port_; }
   bool running() const { return running_.load(); }
+  const ServerConfig& config() const { return config_; }
 
  private:
-  void serve_loop();
+  void accept_loop();
+  void handler_loop();
+  void handle_connection(int fd);
   HttpResponse dispatch(const HttpRequest& request) const;
 
+  ServerConfig config_;
   std::map<std::pair<std::string, std::string>, Handler> routes_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> running_{false};
-  std::thread worker_;
+  std::thread acceptor_;
+  std::vector<std::thread> handlers_;
+
+  std::mutex conn_mutex_;
+  std::condition_variable conn_cv_;
+  std::deque<int> conn_queue_;  ///< accepted fds awaiting a handler
+  bool draining_ = false;       ///< stop requested; finish queued connections
 };
 
 /// Blocking single-request client (test utility).

@@ -1,0 +1,620 @@
+// Tests for the inference-serving runtime: registry LRU + hit/miss
+// accounting, micro-batching flush behavior, deterministic predictions under
+// concurrent clients, metrics consistency, and the hardened HTTP transport.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "json/json.hpp"
+#include "serve/server.hpp"
+#include "util/base64.hpp"
+#include "util/strings.hpp"
+#include "web/api.hpp"
+
+using namespace cnn2fpga;
+using namespace cnn2fpga::serve;
+namespace json = cnn2fpga::json;
+
+namespace {
+
+core::NetworkDescriptor small_descriptor(const std::string& name) {
+  core::NetworkDescriptor d;
+  d.name = name;
+  d.board = "zedboard";
+  d.optimize = true;
+  d.input_channels = 1;
+  d.input_height = 8;
+  d.input_width = 8;
+  core::LayerSpec conv;
+  conv.type = core::LayerSpec::Type::kConv;
+  conv.conv.feature_maps_out = 2;
+  conv.conv.kernel_h = conv.conv.kernel_w = 3;
+  conv.conv.pool = core::PoolSpec{nn::PoolKind::kMax, 2, 2};
+  core::LayerSpec lin;
+  lin.type = core::LayerSpec::Type::kLinear;
+  lin.linear.neurons = 4;
+  d.layers = {conv, lin};
+  return d;
+}
+
+tensor::Tensor test_image(std::uint64_t seed, const nn::Shape& shape) {
+  tensor::Tensor image{shape};
+  util::Rng rng(seed);
+  image.fill_uniform(rng, -1.0f, 1.0f);
+  return image;
+}
+
+std::string deploy_body(const std::string& name, int seed = 7) {
+  return util::format(
+      R"({"name": "%s", "board": "zedboard", "optimize": true, "seed": %d,
+          "input": {"channels": 1, "height": 8, "width": 8},
+          "layers": [
+            {"type": "conv", "feature_maps_out": 2, "kernel": 3,
+             "pool": {"type": "max", "kernel": 2, "step": 2}},
+            {"type": "linear", "neurons": 4}
+          ]})",
+      name.c_str(), seed);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ registry
+
+TEST(Registry, DeployMissThenHit) {
+  DesignRegistry registry(4);
+  const auto first = registry.deploy_random(small_descriptor("net_a"), 1);
+  EXPECT_FALSE(first.cache_hit);
+  ASSERT_NE(first.design, nullptr);
+  EXPECT_EQ(first.design->id.size(), 16u);
+
+  const auto second = registry.deploy_random(small_descriptor("net_a"), 1);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.design.get(), first.design.get());  // same warm instance
+
+  // Different seed => different weights => different content hash.
+  const auto third = registry.deploy_random(small_descriptor("net_a"), 2);
+  EXPECT_FALSE(third.cache_hit);
+  EXPECT_NE(third.design->id, first.design->id);
+
+  const RegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 1.0 / 3.0);
+}
+
+TEST(Registry, ExplicitWeightsContentAddressing) {
+  DesignRegistry registry(4);
+  const core::NetworkDescriptor descriptor = small_descriptor("net_w");
+  nn::Network net = descriptor.build_network();
+  util::Rng rng(5);
+  net.init_weights(rng);
+  const auto blob = nn::serialize_weights(net);
+
+  const auto first = registry.deploy(descriptor, blob);
+  EXPECT_FALSE(first.cache_hit);
+  // Seed 5 expands to the identical blob: content-addressing collapses the
+  // random-weights deploy onto the explicit-weights one.
+  const auto second = registry.deploy_random(descriptor, 5);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.design.get(), first.design.get());
+}
+
+TEST(Registry, LruEvictionDropsLeastRecentlyUsed) {
+  DesignRegistry registry(2);
+  const auto a = registry.deploy_random(small_descriptor("net_a"), 1);
+  const auto b = registry.deploy_random(small_descriptor("net_b"), 1);
+  EXPECT_EQ(registry.size(), 2u);
+
+  // Touch A so B becomes the LRU victim.
+  EXPECT_TRUE(registry.deploy_random(small_descriptor("net_a"), 1).cache_hit);
+  const auto c = registry.deploy_random(small_descriptor("net_c"), 1);
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_NE(registry.find(a.design->id), nullptr);
+  EXPECT_EQ(registry.find(b.design->id), nullptr);  // evicted
+  EXPECT_NE(registry.find(c.design->id), nullptr);
+  EXPECT_EQ(registry.stats().evictions, 1u);
+
+  // Redeploying the evicted design is a miss again (it was regenerated).
+  EXPECT_FALSE(registry.deploy_random(small_descriptor("net_b"), 1).cache_hit);
+}
+
+TEST(Registry, ListIsMostRecentlyUsedFirst) {
+  DesignRegistry registry(4);
+  registry.deploy_random(small_descriptor("net_a"), 1);
+  const auto b = registry.deploy_random(small_descriptor("net_b"), 1);
+  registry.deploy_random(small_descriptor("net_a"), 1);  // touch A
+  const auto designs = registry.list();
+  ASSERT_EQ(designs.size(), 2u);
+  EXPECT_EQ(designs[0]->descriptor().name, "net_a");
+  EXPECT_EQ(designs[1]->descriptor().name, "net_b");
+  EXPECT_EQ(designs[1].get(), b.design.get());
+}
+
+// ------------------------------------------------------------------- batcher
+
+TEST(Batcher, FlushesImmediatelyWhenDesignIdle) {
+  ServeMetrics metrics;
+  DesignRegistry registry(4, &metrics);
+  Executor executor(2);
+  // Huge batch and deadline: only the idle-design trigger can flush.
+  Batcher batcher(executor, {/*max_batch=*/64, /*max_wait_us=*/60'000'000}, &metrics);
+  const auto design = registry.deploy_random(small_descriptor("net_a"), 1).design;
+
+  auto future = batcher.predict(design, test_image(0, design->net.input_shape()));
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  EXPECT_EQ(future.get().batch_size, 1u);  // no batching latency when unloaded
+  batcher.shutdown();
+}
+
+TEST(Batcher, FlushesWhenMaxBatchReached) {
+  ServeMetrics metrics;
+  DesignRegistry registry(4, &metrics);
+  Executor executor(2);
+  // Deadline far away: only idle-flush and the max_batch trigger can flush.
+  Batcher batcher(executor, {/*max_batch=*/4, /*max_wait_us=*/60'000'000}, &metrics);
+  const auto design = registry.deploy_random(small_descriptor("net_a"), 1).design;
+
+  // Hold the design's execution lock: the first request flushes immediately
+  // (idle design) and its batch blocks; the next 4 coalesce until max_batch.
+  std::unique_lock<std::mutex> block(design->exec_mutex);
+  auto first = batcher.predict(design, test_image(0, design->net.input_shape()));
+  std::vector<std::future<Prediction>> coalesced;
+  for (int i = 1; i <= 4; ++i) {
+    coalesced.push_back(batcher.predict(design, test_image(i, design->net.input_shape())));
+  }
+  EXPECT_EQ(batcher.pending(), 0u);  // 4th request hit max_batch and flushed
+  block.unlock();
+
+  ASSERT_EQ(first.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  EXPECT_EQ(first.get().batch_size, 1u);
+  for (auto& future : coalesced) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+    EXPECT_EQ(future.get().batch_size, 4u);
+  }
+  EXPECT_EQ(metrics.batches.value(), 2u);
+  EXPECT_EQ(metrics.predictions.value(), 5u);
+  batcher.shutdown();
+}
+
+TEST(Batcher, ModeledAcceleratorTimeAmortizesAcrossBatch) {
+  ServeMetrics metrics;
+  DesignRegistry registry(4, &metrics);
+  Executor executor(2);
+  Batcher batcher(executor, {/*max_batch=*/4, /*max_wait_us=*/60'000'000}, &metrics);
+  const auto design = registry.deploy_random(small_descriptor("net_a"), 1).design;
+
+  // A lone image pays a blocking DMA round trip; a coalesced batch of 4 is one
+  // scatter-gather invocation whose cost splits across the batch.
+  std::unique_lock<std::mutex> block(design->exec_mutex);
+  auto first = batcher.predict(design, test_image(0, design->net.input_shape()));
+  std::vector<std::future<Prediction>> coalesced;
+  for (int i = 1; i <= 4; ++i) {
+    coalesced.push_back(batcher.predict(design, test_image(i, design->net.input_shape())));
+  }
+  block.unlock();
+
+  const auto single_us = static_cast<std::uint64_t>(design->invocation_seconds(1) * 1e6);
+  const auto share_us =
+      static_cast<std::uint64_t>(design->invocation_seconds(4) * 1e6 / 4.0);
+  ASSERT_EQ(first.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  EXPECT_EQ(first.get().accel_us, single_us);
+  for (auto& future : coalesced) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+    EXPECT_EQ(future.get().accel_us, share_us);
+  }
+  EXPECT_LT(share_us, single_us);  // batching must win on the modeled hardware
+  EXPECT_EQ(design->invocation_seconds(0), 0.0);
+  batcher.shutdown();
+}
+
+TEST(Batcher, FlushesPartialBatchOnDeadline) {
+  ServeMetrics metrics;
+  DesignRegistry registry(4, &metrics);
+  Executor executor(2);
+  Batcher batcher(executor, {/*max_batch=*/64, /*max_wait_us=*/2000}, &metrics);
+  const auto design = registry.deploy_random(small_descriptor("net_a"), 1).design;
+
+  // Keep the design busy so the two coalescing requests can only leave the
+  // lane via the 2 ms deadline (they never reach max_batch = 64).
+  std::unique_lock<std::mutex> block(design->exec_mutex);
+  auto first = batcher.predict(design, test_image(0, design->net.input_shape()));
+  auto second = batcher.predict(design, test_image(1, design->net.input_shape()));
+  auto third = batcher.predict(design, test_image(2, design->net.input_shape()));
+  const auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (batcher.pending() != 0 && std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(batcher.pending(), 0u);  // deadline thread flushed the partial lane
+  block.unlock();
+
+  ASSERT_EQ(first.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  EXPECT_EQ(first.get().batch_size, 1u);
+  for (auto* future : {&second, &third}) {
+    ASSERT_EQ(future->wait_for(std::chrono::seconds(30)), std::future_status::ready);
+    const Prediction prediction = future->get();
+    EXPECT_EQ(prediction.batch_size, 2u);
+    EXPECT_LT(prediction.predicted, 4u);
+  }
+  EXPECT_EQ(metrics.batches.value(), 2u);
+  batcher.shutdown();
+}
+
+TEST(Batcher, ShutdownDrainsPendingRequests) {
+  DesignRegistry registry(4);
+  Executor executor(2);
+  Batcher batcher(executor, {/*max_batch=*/64, /*max_wait_us=*/60'000'000});
+  const auto design = registry.deploy_random(small_descriptor("net_a"), 1).design;
+
+  auto future = batcher.predict(design, test_image(0, design->net.input_shape()));
+  batcher.shutdown();  // must flush the half-full lane, not abandon it
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(future.get().batch_size, 1u);
+  EXPECT_THROW(batcher.predict(design, test_image(0, design->net.input_shape())),
+               std::runtime_error);
+}
+
+TEST(Batcher, RejectsWrongInputShape) {
+  DesignRegistry registry(4);
+  Executor executor(1);
+  Batcher batcher(executor, {4, 1000});
+  const auto design = registry.deploy_random(small_descriptor("net_a"), 1).design;
+  EXPECT_THROW(batcher.predict(design, tensor::Tensor{nn::Shape{1, 4, 4}}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------- concurrent client determinism
+
+TEST(Serving, ConcurrentPredictionsMatchSequentialInference) {
+  constexpr std::size_t kClients = 8;
+  constexpr std::size_t kPerClient = 12;
+
+  ServingConfig config;
+  config.worker_threads = 4;
+  config.batcher.max_batch = 8;
+  config.batcher.max_wait_us = 500;
+  ServingRuntime runtime(config);
+
+  const core::NetworkDescriptor descriptor = small_descriptor("net_det");
+  const auto design = runtime.registry().deploy_random(descriptor, 3).design;
+
+  // Reference: the same weights run sequentially through a private network.
+  nn::Network reference = descriptor.build_network();
+  nn::deserialize_weights(reference, design->weights);
+  std::vector<tensor::Tensor> images;
+  std::vector<std::size_t> expected_class;
+  std::vector<tensor::Tensor> expected_scores;
+  for (std::size_t i = 0; i < kClients * kPerClient; ++i) {
+    images.push_back(test_image(i, reference.input_shape()));
+    tensor::Tensor scores = reference.forward(images.back(), /*train=*/false);
+    expected_class.push_back(scores.argmax());
+    expected_scores.push_back(std::move(scores));
+  }
+
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t i = 0; i < kPerClient; ++i) {
+        const std::size_t index = c * kPerClient + i;
+        const Prediction prediction =
+            runtime.batcher().predict(design, images[index]).get();
+        if (prediction.predicted != expected_class[index]) mismatches.fetch_add(1);
+        const auto& scores = expected_scores[index];
+        for (std::size_t k = 0; k < prediction.logits.size(); ++k) {
+          if (prediction.logits[k] != scores[k]) mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+
+  // Metrics must account for exactly the traffic sent.
+  const ServeMetrics& metrics = runtime.metrics();
+  EXPECT_EQ(metrics.predictions.value(), kClients * kPerClient);
+  EXPECT_EQ(metrics.predict_errors.value(), 0u);
+  EXPECT_GE(metrics.batches.value(), (kClients * kPerClient + 7) / 8);
+  EXPECT_EQ(metrics.batch_size.sum(), kClients * kPerClient);
+  EXPECT_EQ(metrics.queue_us.count(), kClients * kPerClient);
+  EXPECT_EQ(design->served.load(), kClients * kPerClient);
+  runtime.shutdown();
+}
+
+// ------------------------------------------------------------------ metrics
+
+TEST(Metrics, HistogramPercentilesAndCounters) {
+  Histogram h;
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 5050u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_EQ(h.max(), 100u);
+  // Log2 buckets: percentiles are upper bounds of the containing bucket.
+  EXPECT_LE(h.percentile(0.5), 63u);
+  EXPECT_GE(h.percentile(0.5), 50u);
+  EXPECT_EQ(h.percentile(0.99), 100u);  // clamped to the observed max
+  const auto snapshot = h.to_json();
+  EXPECT_EQ(snapshot.at("count").as_int(), 100);
+  EXPECT_EQ(snapshot.at("max").as_int(), 100);
+}
+
+TEST(Metrics, ServeMetricsJsonShape) {
+  ServeMetrics metrics;
+  metrics.deploys.add(4);
+  metrics.deploy_cache_hits.add(3);
+  metrics.predictions.add(10);
+  metrics.batches.add(2);
+  metrics.batch_size.record(5);
+  metrics.batch_size.record(5);
+  const auto doc = json::parse(metrics.to_json_text());
+  EXPECT_EQ(doc.at("deploy").at("total").as_int(), 4);
+  EXPECT_EQ(doc.at("deploy").at("cache_hits").as_int(), 3);
+  EXPECT_DOUBLE_EQ(doc.at("deploy").at("cache_hit_rate").as_double(), 0.75);
+  EXPECT_EQ(doc.at("predict").at("total").as_int(), 10);
+  EXPECT_EQ(doc.at("predict").at("batch_size").at("count").as_int(), 2);
+}
+
+// ------------------------------------------------------- HTTP API handlers
+
+TEST(ServeApi, DeployPredictRoundTripMatchesDirectInference) {
+  ServingRuntime runtime;
+
+  web::HttpRequest deploy;
+  deploy.body = deploy_body("api_serve");
+  const web::HttpResponse deployed = runtime.handle_deploy(deploy);
+  ASSERT_EQ(deployed.status, 200) << deployed.body;
+  const auto deploy_doc = json::parse(deployed.body);
+  const std::string design_id = deploy_doc.at("design_id").as_string();
+  EXPECT_FALSE(deploy_doc.at("cache_hit").as_bool());
+  EXPECT_TRUE(deploy_doc.at("fits").as_bool());
+
+  // Second deploy of the same body: cache hit, same id.
+  const auto redeploy_doc = json::parse(runtime.handle_deploy(deploy).body);
+  EXPECT_TRUE(redeploy_doc.at("cache_hit").as_bool());
+  EXPECT_EQ(redeploy_doc.at("design_id").as_string(), design_id);
+
+  // Direct reference inference with the deployed weights.
+  const auto design = runtime.registry().find(design_id);
+  ASSERT_NE(design, nullptr);
+  nn::Network reference = design->descriptor().build_network();
+  nn::deserialize_weights(reference, design->weights);
+  const tensor::Tensor image = test_image(42, reference.input_shape());
+  const tensor::Tensor expected = reference.forward(image, /*train=*/false);
+
+  // Served prediction via the JSON API (base64 float32 CHW payload).
+  std::vector<std::uint8_t> raw(image.size() * sizeof(float));
+  std::memcpy(raw.data(), image.data(), raw.size());
+  json::Object predict_body;
+  predict_body["design_id"] = design_id;
+  predict_body["image_base64"] = util::base64_encode(raw);
+  web::HttpRequest predict;
+  predict.body = json::Value(std::move(predict_body)).dump();
+  const web::HttpResponse served = runtime.handle_predict(predict);
+  ASSERT_EQ(served.status, 200) << served.body;
+  const auto result = json::parse(served.body);
+  EXPECT_EQ(static_cast<std::size_t>(result.at("predicted").as_int()), expected.argmax());
+  const auto& logits = result.at("logits").as_array();
+  ASSERT_EQ(logits.size(), expected.size());
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    EXPECT_FLOAT_EQ(static_cast<float>(logits[i].as_double()), expected[i]);
+  }
+  EXPECT_GE(result.at("batch_size").as_int(), 1);
+
+  // Metrics reflect the traffic.
+  const auto metrics = json::parse(runtime.handle_metrics(web::HttpRequest{}).body);
+  EXPECT_EQ(metrics.at("deploy").at("total").as_int(), 2);
+  EXPECT_EQ(metrics.at("deploy").at("cache_hits").as_int(), 1);
+  EXPECT_EQ(metrics.at("predict").at("total").as_int(), 1);
+
+  // Designs listing includes the deployed design.
+  const auto designs = json::parse(runtime.handle_designs(web::HttpRequest{}).body);
+  ASSERT_EQ(designs.at("designs").as_array().size(), 1u);
+  EXPECT_EQ(designs.at("designs").as_array()[0].at("design_id").as_string(), design_id);
+  EXPECT_EQ(designs.at("designs").as_array()[0].at("served").as_int(), 1);
+}
+
+TEST(ServeApi, PredictErrors) {
+  ServingRuntime runtime;
+
+  web::HttpRequest bad_json;
+  bad_json.body = "{ nope";
+  EXPECT_EQ(runtime.handle_predict(bad_json).status, 400);
+
+  web::HttpRequest no_design;
+  no_design.body = R"({"design_id": "0123456789abcdef", "image": [0.0]})";
+  EXPECT_EQ(runtime.handle_predict(no_design).status, 404);
+
+  const auto deployed =
+      json::parse(runtime.handle_deploy([]{ web::HttpRequest r; r.body = deploy_body("err_net"); return r; }()).body);
+  const std::string design_id = deployed.at("design_id").as_string();
+
+  web::HttpRequest wrong_size;
+  wrong_size.body = util::format(R"({"design_id": "%s", "image": [0.5, 0.5]})",
+                                 design_id.c_str());
+  EXPECT_EQ(runtime.handle_predict(wrong_size).status, 400);
+
+  web::HttpRequest bad_b64;
+  bad_b64.body = util::format(R"({"design_id": "%s", "image_base64": "!!!"})",
+                              design_id.c_str());
+  EXPECT_EQ(runtime.handle_predict(bad_b64).status, 400);
+  EXPECT_GE(runtime.metrics().predict_errors.value(), 2u);
+}
+
+TEST(ServeApi, DeployRejectsMismatchedWeights) {
+  ServingRuntime runtime;
+  // Weights serialized for a different architecture must be a 400.
+  core::NetworkDescriptor other = small_descriptor("other");
+  other.layers[1].linear.neurons = 3;
+  nn::Network net = other.build_network();
+  util::Rng rng(1);
+  net.init_weights(rng);
+  const auto blob = nn::serialize_weights(net);
+
+  json::Value doc = json::parse(deploy_body("mismatch"));
+  doc.as_object()["weights_base64"] = util::base64_encode(blob);
+  web::HttpRequest request;
+  request.body = doc.dump();
+  EXPECT_EQ(runtime.handle_deploy(request).status, 400);
+}
+
+TEST(ServeApi, ShutdownAnswers503) {
+  ServingRuntime runtime;
+  runtime.shutdown();
+  web::HttpRequest request;
+  request.body = deploy_body("late");
+  EXPECT_EQ(runtime.handle_deploy(request).status, 503);
+  EXPECT_EQ(runtime.handle_predict(request).status, 503);
+}
+
+// ------------------------------------------------- full HTTP server serving
+
+TEST(ServeHttp, EndToEndConcurrentClients) {
+  ServingConfig config;
+  config.batcher.max_wait_us = 500;
+  ServingRuntime runtime(config);
+  web::HttpServer server;
+  web::install_api(server);
+  install_serve_api(server, runtime);
+  const int port = server.start(0);
+
+  const auto deployed =
+      web::http_request("127.0.0.1", port, "POST", "/api/deploy", deploy_body("e2e"));
+  ASSERT_TRUE(deployed.has_value());
+  ASSERT_EQ(deployed->status, 200) << deployed->body;
+  const std::string design_id = json::parse(deployed->body).at("design_id").as_string();
+
+  const auto design = runtime.registry().find(design_id);
+  ASSERT_NE(design, nullptr);
+  const std::size_t pixels = design->net.input_shape().elements();
+
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < 3; ++i) {
+        const tensor::Tensor image =
+            test_image(static_cast<std::uint64_t>(c * 3 + i), design->net.input_shape());
+        std::vector<std::uint8_t> raw(pixels * sizeof(float));
+        std::memcpy(raw.data(), image.data(), raw.size());
+        json::Object body;
+        body["design_id"] = design_id;
+        body["image_base64"] = util::base64_encode(raw);
+        const auto response = web::http_request("127.0.0.1", port, "POST", "/api/predict",
+                                                json::Value(std::move(body)).dump());
+        if (!response || response->status != 200) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(runtime.metrics().predictions.value(), 12u);
+
+  const auto metrics = web::http_request("127.0.0.1", port, "GET", "/api/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_EQ(metrics->status, 200);
+  EXPECT_EQ(json::parse(metrics->body).at("predict").at("total").as_int(), 12);
+  server.stop();
+  runtime.shutdown();
+}
+
+// --------------------------------------------------- HTTP server hardening
+
+TEST(HttpHardening, OversizedBodyAnswers413) {
+  web::ServerConfig config;
+  config.max_body_bytes = 1024;
+  web::HttpServer server(config);
+  web::install_api(server);
+  const int port = server.start(0);
+
+  const std::string big(4096, 'x');
+  const auto response = web::http_request("127.0.0.1", port, "POST", "/api/generate", big);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 413);
+
+  // Server still serves normal traffic afterwards.
+  const auto health = web::http_request("127.0.0.1", port, "GET", "/healthz");
+  ASSERT_TRUE(health.has_value());
+  EXPECT_EQ(health->status, 200);
+  server.stop();
+}
+
+TEST(HttpHardening, MalformedRequestLineAnswers400) {
+  web::HttpServer server;
+  web::install_api(server);
+  const int port = server.start(0);
+
+  // Raw socket: a request line without an HTTP version token.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const char* garbage = "TOTAL GARBAGE\r\n\r\n";
+  ASSERT_GT(::send(fd, garbage, std::strlen(garbage), MSG_NOSIGNAL), 0);
+  std::string reply;
+  char buf[512];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) reply.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  EXPECT_NE(reply.find("400"), std::string::npos) << reply;
+  server.stop();
+}
+
+TEST(HttpHardening, StalledClientIsTimedOut) {
+  web::ServerConfig config;
+  config.read_timeout_ms = 150;
+  web::HttpServer server(config);
+  web::install_api(server);
+  const int port = server.start(0);
+
+  // Connect and send nothing: the read timeout must answer 408 (rather than
+  // pinning a handler thread forever).
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  std::string reply;
+  char buf[512];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) reply.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  EXPECT_NE(reply.find("408"), std::string::npos) << reply;
+
+  const auto health = web::http_request("127.0.0.1", port, "GET", "/healthz");
+  ASSERT_TRUE(health.has_value());
+  EXPECT_EQ(health->status, 200);
+  server.stop();
+}
+
+TEST(HttpHardening, ParallelHandlersServeConcurrently) {
+  web::HttpServer server;
+  web::install_api(server);
+  const int port = server.start(0);
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 8; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 4; ++i) {
+        const auto response = web::http_request("127.0.0.1", port, "GET", "/api/boards");
+        if (!response || response->status != 200) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(failures.load(), 0u);
+  server.stop();
+}
