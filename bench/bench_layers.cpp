@@ -33,6 +33,27 @@ static void BM_Conv2D(benchmark::State& state) {
 }
 BENCHMARK(BM_Conv2D)->Args({16, 6})->Args({32, 12})->Args({32, 36});
 
+static void BM_Conv2DInfer(benchmark::State& state) {
+  // Same workload as BM_Conv2D through the im2col + blocked-GEMM fast path
+  // (caller-owned scratch, fused bias). The ratio of the two is the fast
+  // path's win; their outputs are bit-identical (tests/test_execution.cpp).
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  const std::size_t maps = static_cast<std::size_t>(state.range(1));
+  nn::Conv2D conv(1, maps, 5, 5);
+  util::Rng rng(1);
+  conv.init_weights(rng);
+  const nn::Tensor x = random_tensor(nn::Shape{1, size, size}, 2);
+  nn::Tensor out{conv.output_shape(x.shape())};
+  std::vector<float> col(conv.col_scratch_size(x.shape()));
+  for (auto _ : state) {
+    conv.infer_into(x, out, col.data(), /*fused=*/nullptr);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(conv.mac_count(x.shape())));
+}
+BENCHMARK(BM_Conv2DInfer)->Args({16, 6})->Args({32, 12})->Args({32, 36});
+
 static void BM_MaxPool(benchmark::State& state) {
   const std::size_t size = static_cast<std::size_t>(state.range(0));
   nn::Pool2D pool = nn::Pool2D::max_pool(2);
@@ -94,6 +115,36 @@ static void BM_FullForwardTest4(benchmark::State& state) {
                           static_cast<std::int64_t>(net.total_macs()));
 }
 BENCHMARK(BM_FullForwardTest4);
+
+static void BM_FullInferTest1(benchmark::State& state) {
+  // BM_FullForwardTest1 through the reentrant ExecutionContext engine: the
+  // plan is compiled once, arenas are reused, conv runs the fast path.
+  nn::Network net = nn::make_test1_network();
+  util::Rng rng(7);
+  net.init_weights(rng);
+  nn::ExecutionContext ctx(net);
+  const nn::Tensor x = random_tensor(nn::Shape{1, 16, 16}, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.infer(x, ctx).data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(net.total_macs()));
+}
+BENCHMARK(BM_FullInferTest1);
+
+static void BM_FullInferTest4(benchmark::State& state) {
+  nn::Network net = nn::make_test4_network();
+  util::Rng rng(9);
+  net.init_weights(rng);
+  nn::ExecutionContext ctx(net);
+  const nn::Tensor x = random_tensor(nn::Shape{3, 32, 32}, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.infer(x, ctx).data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(net.total_macs()));
+}
+BENCHMARK(BM_FullInferTest4);
 
 static void BM_HlsEstimate(benchmark::State& state) {
   nn::Network net = nn::make_test4_network();

@@ -3,11 +3,12 @@
 //
 // Serves the JSON API:
 //   GET  /healthz
-//   GET  /api/boards
-//   POST /api/generate     (body: network descriptor JSON)
+//   GET  /api/v1/boards
+//   POST /api/v1/generate  (body: network descriptor JSON)
 // plus the serving runtime (deploy designs, predict against them):
-//   POST /api/deploy       POST /api/predict
-//   GET  /api/designs      GET  /api/metrics
+//   POST /api/v1/deploy    POST /api/v1/predict
+//   GET  /api/v1/designs   GET  /api/v1/metrics
+// Unversioned /api/... aliases still answer, with a Deprecation header.
 //
 // Run:  ./codegen_server [--port P]        serve until interrupted
 //       ./codegen_server --demo            self-demo: start, POST a
@@ -39,8 +40,9 @@ int main(int argc, char** argv) {
   serve::install_serve_api(server, runtime);
   const int port = server.start(static_cast<int>(args.get_int("port", 0)));
   std::printf("cnn2fpga server listening on http://127.0.0.1:%d\n", port);
-  std::puts("routes: GET /healthz, GET /api/boards, POST /api/generate,");
-  std::puts("        POST /api/deploy, POST /api/predict, GET /api/designs, GET /api/metrics");
+  std::puts("routes: GET /healthz, GET /api/v1/boards, POST /api/v1/generate,");
+  std::puts("        POST /api/v1/deploy, POST /api/v1/predict, GET /api/v1/designs,");
+  std::puts("        GET /api/v1/metrics (unversioned /api/... aliases are deprecated)");
 
   if (args.has("demo")) {
     const char* descriptor = R"({
@@ -53,7 +55,7 @@ int main(int argc, char** argv) {
       ]})";
     std::puts("\n--demo: posting a descriptor to ourselves...");
     const auto response =
-        web::http_request("127.0.0.1", port, "POST", "/api/generate", descriptor);
+        web::http_request("127.0.0.1", port, "POST", "/api/v1/generate", descriptor);
     if (!response || response->status != 200) {
       std::printf("demo request failed (status %d)\n", response ? response->status : -1);
       server.stop();

@@ -8,6 +8,7 @@ CnnIpCore::CnnIpCore(nn::Network& net, const hls::DirectiveSet& directives,
                      const hls::FpgaDevice& device, const nn::NumericFormat& format,
                      bool streamed_weights)
     : net_(net),
+      ctx_(net),
       format_(format),
       streamed_weights_(streamed_weights),
       report_(hls::estimate(net, directives, device, format, streamed_weights)),
@@ -49,9 +50,11 @@ IpRunResult CnnIpCore::run(AxiStreamChannel& in, AxiStreamChannel& out) {
 
   nn::Tensor scores;
   if (format_.is_fixed) {
+    // Fresh context per run: streamed-weights designs may reload parameters
+    // between invocations, which would invalidate a cached quantization.
     scores = nn::forward_fixed(net_, image, format_.fixed).scores;
   } else {
-    scores = net_.forward(image, /*train=*/false);
+    scores = net_.infer(image, ctx_);
   }
   result.predicted = scores.argmax();
   result.scores.assign(scores.data(), scores.data() + scores.size());

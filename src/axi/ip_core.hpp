@@ -16,6 +16,7 @@
 
 #include "axi/stream.hpp"
 #include "hls/estimator.hpp"
+#include "nn/execution.hpp"
 #include "nn/network.hpp"
 #include "nn/quantize.hpp"
 
@@ -60,6 +61,7 @@ class CnnIpCore {
 
  private:
   nn::Network& net_;
+  nn::ExecutionContext ctx_;  ///< reused float-path arenas (one run at a time)
   nn::NumericFormat format_;
   bool streamed_weights_ = false;
   bool weights_loaded_ = false;

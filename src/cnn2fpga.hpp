@@ -20,6 +20,8 @@
 #include "data/synth_usps.hpp"
 #include "hls/estimator.hpp"
 #include "json/json.hpp"
+#include "nn/execution.hpp"
+#include "nn/fixed_inference.hpp"
 #include "nn/network.hpp"
 #include "nn/serialize.hpp"
 #include "nn/trainer.hpp"

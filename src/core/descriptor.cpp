@@ -104,6 +104,20 @@ NetworkDescriptor NetworkDescriptor::from_json(const json::Value& doc) {
   if (!doc.is_object()) throw DescriptorError("descriptor: document must be a JSON object");
 
   NetworkDescriptor d;
+  if (const json::Value* version = doc.find("schema_version"); version != nullptr) {
+    long declared;
+    try {
+      declared = version->as_int();
+    } catch (const json::JsonError&) {
+      throw DescriptorError("descriptor: 'schema_version' must be an integer");
+    }
+    if (declared != NetworkDescriptor::kSchemaVersion) {
+      throw DescriptorError(format(
+          "descriptor: schema_version %ld is not supported (this build reads version %d)",
+          declared, NetworkDescriptor::kSchemaVersion));
+    }
+    d.schema_version = static_cast<int>(declared);
+  }
   d.name = doc.get_string("name", "cnn");
   d.board = doc.get_string("board", "zedboard");
   d.optimize = doc.get_bool("optimize", false);
@@ -188,6 +202,7 @@ NetworkDescriptor NetworkDescriptor::from_json_text(const std::string& text) {
 
 json::Value NetworkDescriptor::to_json() const {
   json::Object doc;
+  doc["schema_version"] = kSchemaVersion;
   doc["name"] = name;
   doc["board"] = board;
   doc["optimize"] = optimize;

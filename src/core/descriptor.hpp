@@ -69,6 +69,15 @@ struct LayerSpec {
 };
 
 struct NetworkDescriptor {
+  /// Version of the descriptor JSON schema this library reads and writes.
+  /// Bump when a change would make old readers misinterpret new documents.
+  static constexpr int kSchemaVersion = 1;
+
+  /// Declared schema version of the parsed document. Documents without a
+  /// "schema_version" field are treated as version 1 (every descriptor ever
+  /// produced before the field existed); any other value is rejected by
+  /// from_json. to_json always emits the current kSchemaVersion.
+  int schema_version = kSchemaVersion;
   std::string name = "cnn";
   std::string board = "zedboard";
   std::size_t input_channels = 1;

@@ -64,8 +64,7 @@ std::uint32_t get_u32(const std::vector<std::uint8_t>& bytes, std::size_t& pos) 
 }  // namespace
 
 void save_dataset(const Dataset& ds, const std::string& path) {
-  std::vector<std::uint8_t> out;
-  out.insert(out.end(), kMagic, kMagic + kMagicLen);
+  std::vector<std::uint8_t> out(kMagic, kMagic + kMagicLen);
   put_u32(out, static_cast<std::uint32_t>(ds.num_classes));
   put_u32(out, static_cast<std::uint32_t>(ds.image_shape.rank()));
   for (std::size_t d = 0; d < ds.image_shape.rank(); ++d) {

@@ -1,0 +1,98 @@
+#include "nn/execution.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace cnn2fpga::nn {
+
+using cnn2fpga::util::format;
+
+ExecutionContext::ExecutionContext(const Network& net) : net_(&net) {
+  std::size_t max_col = 0;
+  const std::size_t count = net.layer_count();
+  std::size_t l = 0;
+  while (l < count) {
+    Step step;
+    step.layer = &net.layer(l);
+    step.layer_index = l;
+    step.out_shape = net.shape_after(l);
+    if (const auto* conv = dynamic_cast<const Conv2D*>(step.layer)) {
+      step.kind = Step::Kind::kConv;
+      const Shape& in = l == 0 ? net.input_shape() : net.shape_after(l - 1);
+      max_col = std::max(max_col, conv->col_scratch_size(in));
+    } else if (dynamic_cast<const Linear*>(step.layer) != nullptr) {
+      step.kind = Step::Kind::kLinear;
+    }
+    ++l;
+    // Fuse a directly following Activation into its producer: the activation
+    // is applied elementwise to each finished accumulator, so fusing skips an
+    // arena round trip without touching the arithmetic.
+    if (step.kind != Step::Kind::kGeneric && l < count) {
+      if (const auto* act = dynamic_cast<const Activation*>(&net.layer(l))) {
+        step.fused = act;
+        step.out_shape = net.shape_after(l);
+        ++l;
+      }
+    }
+    steps_.push_back(step);
+  }
+  if (steps_.empty()) {
+    arenas_.emplace_back(net.input_shape());
+  } else {
+    arenas_.reserve(steps_.size());
+    for (const Step& step : steps_) arenas_.emplace_back(step.out_shape);
+  }
+  col_.resize(max_col);
+}
+
+const Tensor& Network::infer(const Tensor& input, ExecutionContext& ctx) const {
+  if (&ctx.network() != this) {
+    throw std::invalid_argument("Network::infer: context was built for a different network");
+  }
+  if (input.shape() != input_shape_) {
+    throw std::invalid_argument(format("Network::infer: expected input %s, got %s",
+                                       input_shape_.to_string().c_str(),
+                                       input.shape().to_string().c_str()));
+  }
+  const std::vector<ExecutionContext::Step>& steps = ctx.steps();
+  if (steps.empty()) {
+    ctx.arena(0) = input;
+    return ctx.arena(0);
+  }
+  const Tensor* current = &input;
+  for (std::size_t s = 0; s < steps.size(); ++s) {
+    const ExecutionContext::Step& step = steps[s];
+    Tensor& out = ctx.arena(s);
+    switch (step.kind) {
+      case ExecutionContext::Step::Kind::kConv:
+        static_cast<const Conv2D*>(step.layer)->infer_into(*current, out, ctx.col_scratch(),
+                                                           step.fused);
+        break;
+      case ExecutionContext::Step::Kind::kLinear:
+        static_cast<const Linear*>(step.layer)->infer_into(*current, out, step.fused);
+        break;
+      case ExecutionContext::Step::Kind::kGeneric:
+        step.layer->infer_into(*current, out);
+        break;
+    }
+    current = &out;
+  }
+  return *current;
+}
+
+std::vector<Tensor> Network::infer_batch(const std::vector<Tensor>& inputs,
+                                         ExecutionContext& ctx) const {
+  std::vector<Tensor> outputs;
+  outputs.reserve(inputs.size());
+  for (const Tensor& input : inputs) outputs.push_back(infer(input, ctx));
+  return outputs;
+}
+
+std::size_t Network::predict(const Tensor& input) const {
+  ExecutionContext ctx(*this);
+  return infer(input, ctx).argmax();
+}
+
+}  // namespace cnn2fpga::nn

@@ -1,0 +1,163 @@
+// Reentrant inference engine.
+//
+// The seed API (`Network::forward(input, train)`) mutates layer-cached
+// activations, so two threads cannot run the same network concurrently — the
+// serving runtime had to serialize every batch behind a per-design mutex.
+// This module redesigns inference around an ExecutionContext: a caller-owned
+// bundle of preallocated per-step activation arenas, im2col scratch and (for
+// fixed-point mode) a quantized-parameter cache. `Network::infer(input, ctx)`
+// is const and touches only the context, so N contexts give N concurrent
+// inference streams over one immutable network with zero steady-state heap
+// traffic.
+//
+// The context also holds the *execution plan*: layers are compiled once into
+// steps, with an Activation directly following a Conv2D/Linear fused into the
+// producing step (elementwise-after-accumulate, so fusion cannot change the
+// arithmetic). Conv2D steps run the im2col + blocked-GEMM fast path, which
+// preserves the seed accumulation order per output element and therefore
+// matches `forward` bit-for-bit (asserted in tests/test_execution.cpp).
+//
+// Training keeps the mutable path: TrainContext wraps forward(train=true) +
+// backward so the train/infer split is explicit at every call site.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "nn/network.hpp"
+#include "nn/quantize.hpp"
+
+namespace cnn2fpga::nn {
+
+class ExecutionContext {
+ public:
+  /// Builds the execution plan and sizes every arena for `net`. The network
+  /// must outlive the context; its architecture must not change afterwards
+  /// (weight *values* may — arenas hold activations, not parameters, and the
+  /// fixed-point cache is invalidated per call via the format key only, so
+  /// callers mutating weights should use a fresh context for fixed mode).
+  explicit ExecutionContext(const Network& net);
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+  ExecutionContext(ExecutionContext&&) = default;
+  ExecutionContext& operator=(ExecutionContext&&) = default;
+
+  const Network& network() const { return *net_; }
+
+  /// Output of the most recent infer() through this context; valid until the
+  /// next infer() call.
+  const Tensor& output() const { return arenas_.back(); }
+
+  /// One compiled step of the plan: a layer, possibly with the directly
+  /// following Activation fused into it.
+  struct Step {
+    enum class Kind { kConv, kLinear, kGeneric };
+    Kind kind = Kind::kGeneric;
+    const Layer* layer = nullptr;
+    std::size_t layer_index = 0;        ///< index into the network's layers
+    const Activation* fused = nullptr;  ///< activation folded into this step
+    Shape out_shape;                    ///< shape the step's arena holds
+  };
+  const std::vector<Step>& steps() const { return steps_; }
+  Tensor& arena(std::size_t step) { return arenas_.at(step); }
+  const Tensor& arena(std::size_t step) const { return arenas_.at(step); }
+  /// im2col scratch, sized for the largest conv in the plan.
+  float* col_scratch() { return col_.data(); }
+
+  /// Fixed-point execution state: quantized parameters (built lazily, keyed
+  /// by format) and int32 activation ping/pong buffers, reused across calls.
+  struct FixedState {
+    bool valid = false;
+    FixedPointFormat format{};
+    std::vector<std::vector<std::int32_t>> weights;  ///< per layer; empty if none
+    std::vector<std::vector<std::int32_t>> biases;
+    std::vector<std::int32_t> ping, pong;  ///< activation buffers
+  };
+  FixedState& fixed_state() { return fixed_; }
+
+ private:
+  const Network* net_;
+  std::vector<Step> steps_;
+  std::vector<Tensor> arenas_;  ///< one per step (one input-shaped if no layers)
+  std::vector<float> col_;
+  FixedState fixed_;
+};
+
+/// Thread-safe free-list of contexts for one network: concurrent inference
+/// streams check a context out, run, and return it, so a design serving N
+/// parallel batches materializes at most N contexts total.
+class ExecutionContextPool {
+ public:
+  explicit ExecutionContextPool(const Network& net) : net_(&net) {}
+
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept = default;
+    Lease& operator=(Lease&&) = delete;
+    ~Lease() {
+      if (pool_ != nullptr && ctx_ != nullptr) pool_->release(std::move(ctx_));
+    }
+    ExecutionContext& operator*() const { return *ctx_; }
+    ExecutionContext* operator->() const { return ctx_.get(); }
+
+   private:
+    friend class ExecutionContextPool;
+    Lease(ExecutionContextPool* pool, std::unique_ptr<ExecutionContext> ctx)
+        : pool_(pool), ctx_(std::move(ctx)) {}
+    ExecutionContextPool* pool_;
+    std::unique_ptr<ExecutionContext> ctx_;
+  };
+
+  /// Check out an idle context, materializing one on first use.
+  Lease acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!idle_.empty()) {
+        std::unique_ptr<ExecutionContext> ctx = std::move(idle_.back());
+        idle_.pop_back();
+        return {this, std::move(ctx)};
+      }
+      ++created_;
+    }
+    return {this, std::make_unique<ExecutionContext>(*net_)};
+  }
+
+  /// Total contexts materialized over the pool's lifetime.
+  std::size_t created() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return created_;
+  }
+
+ private:
+  void release(std::unique_ptr<ExecutionContext> ctx) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    idle_.push_back(std::move(ctx));
+  }
+
+  const Network* net_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ExecutionContext>> idle_;
+  std::size_t created_ = 0;
+};
+
+/// Explicit training-mode execution: forward with activation caching enabled,
+/// then backward. This wraps the seed mutable path unchanged — it exists so
+/// the trainer's mutation of the network is visible at the call site, in
+/// contrast to the const, reentrant infer() path.
+class TrainContext {
+ public:
+  explicit TrainContext(Network& net) : net_(&net) {}
+  Network& network() { return *net_; }
+  /// Forward pass that caches per-layer activations for backward().
+  Tensor forward(const Tensor& input) { return net_->forward(input, /*train=*/true); }
+  /// Backward from the output gradient; requires forward() first.
+  void backward(const Tensor& grad_output) { net_->backward(grad_output); }
+
+ private:
+  Network* net_;
+};
+
+}  // namespace cnn2fpga::nn

@@ -15,15 +15,35 @@ std::vector<Raw> quantize_tensor(const Tensor& t, const FixedPointFormat& format
   return out;
 }
 
-std::vector<Raw> run_conv(const Conv2D& conv, const std::vector<Raw>& x, const Shape& in_shape,
-                          const Shape& out_shape, const FixedPointFormat& format) {
-  const std::vector<Raw> w = quantize_tensor(conv.weights(), format);
-  const std::vector<Raw> b = quantize_tensor(conv.bias(), format);
+/// Quantize every conv/linear parameter tensor into the context's cache.
+/// Rebuilt only when the cache is cold or the format changed.
+void build_fixed_cache(const Network& net, const FixedPointFormat& format,
+                       ExecutionContext::FixedState& fs) {
+  if (fs.valid && fs.format == format) return;
+  fs.weights.assign(net.layer_count(), {});
+  fs.biases.assign(net.layer_count(), {});
+  for (std::size_t l = 0; l < net.layer_count(); ++l) {
+    const Layer& layer = net.layer(l);
+    if (const auto* conv = dynamic_cast<const Conv2D*>(&layer)) {
+      fs.weights[l] = quantize_tensor(conv->weights(), format);
+      fs.biases[l] = quantize_tensor(conv->bias(), format);
+    } else if (const auto* linear = dynamic_cast<const Linear*>(&layer)) {
+      fs.weights[l] = quantize_tensor(linear->weights(), format);
+      fs.biases[l] = quantize_tensor(linear->bias(), format);
+    }
+  }
+  fs.format = format;
+  fs.valid = true;
+}
+
+void run_conv(const Conv2D& conv, const std::vector<Raw>& w, const std::vector<Raw>& b,
+              const std::vector<Raw>& x, const Shape& in_shape, const Shape& out_shape,
+              const FixedPointFormat& format, std::vector<Raw>& out) {
   const std::size_t C = conv.in_channels(), KH = conv.kernel_h(), KW = conv.kernel_w();
   const std::size_t IH = in_shape.height(), IW = in_shape.width();
   const std::size_t OH = out_shape.height(), OW = out_shape.width();
 
-  std::vector<Raw> out(out_shape.elements());
+  out.resize(out_shape.elements());
   for (std::size_t k = 0; k < conv.out_channels(); ++k) {
     for (std::size_t i = 0; i < OH; ++i) {
       for (std::size_t j = 0; j < OW; ++j) {
@@ -42,16 +62,15 @@ std::vector<Raw> run_conv(const Conv2D& conv, const std::vector<Raw>& x, const S
       }
     }
   }
-  return out;
 }
 
-std::vector<Raw> run_pool(const Pool2D& pool, const std::vector<Raw>& x, const Shape& in_shape,
-                          const Shape& out_shape, const FixedPointFormat& format) {
+void run_pool(const Pool2D& pool, const std::vector<Raw>& x, const Shape& in_shape,
+              const Shape& out_shape, const FixedPointFormat& format, std::vector<Raw>& out) {
   const std::size_t C = out_shape.channels(), OH = out_shape.height(), OW = out_shape.width();
   const std::size_t IH = in_shape.height(), IW = in_shape.width();
   const std::size_t KH = pool.kernel_h(), KW = pool.kernel_w(), S = pool.step();
 
-  std::vector<Raw> out(out_shape.elements());
+  out.resize(out_shape.elements());
   for (std::size_t c = 0; c < C; ++c) {
     for (std::size_t i = 0; i < OH; ++i) {
       for (std::size_t j = 0; j < OW; ++j) {
@@ -80,16 +99,14 @@ std::vector<Raw> run_pool(const Pool2D& pool, const std::vector<Raw>& x, const S
       }
     }
   }
-  return out;
 }
 
-std::vector<Raw> run_linear(const Linear& linear, const std::vector<Raw>& x,
-                            const FixedPointFormat& format) {
-  const std::vector<Raw> w = quantize_tensor(linear.weights(), format);
-  const std::vector<Raw> b = quantize_tensor(linear.bias(), format);
+void run_linear(const Linear& linear, const std::vector<Raw>& w, const std::vector<Raw>& b,
+                const std::vector<Raw>& x, const FixedPointFormat& format,
+                std::vector<Raw>& out) {
   const std::size_t I = linear.in_features(), J = linear.out_features();
 
-  std::vector<Raw> out(J);
+  out.resize(J);
   for (std::size_t j = 0; j < J; ++j) {
     std::int64_t acc = static_cast<std::int64_t>(b[j]) << format.frac_bits;
     for (std::size_t i = 0; i < I; ++i) {
@@ -97,12 +114,11 @@ std::vector<Raw> run_linear(const Linear& linear, const std::vector<Raw>& x,
     }
     out[j] = fixed_renormalize(acc, format);
   }
-  return out;
 }
 
-std::vector<Raw> run_activation(const Activation& act, const std::vector<Raw>& x,
-                                const FixedPointFormat& format) {
-  std::vector<Raw> out(x.size());
+void run_activation(const Activation& act, const std::vector<Raw>& x,
+                    const FixedPointFormat& format, std::vector<Raw>& out) {
+  out.resize(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) {
     if (act.act() == ActKind::kReLU) {
       out[i] = x[i] > 0 ? x[i] : 0;  // exact in fixed point
@@ -111,19 +127,46 @@ std::vector<Raw> run_activation(const Activation& act, const std::vector<Raw>& x
       out[i] = fixed_quantize(y, format);
     }
   }
-  return out;
+}
+
+/// Float-path activations feeding network layer `l`, read back out of the
+/// context after a full float infer() (the pre-LogSoftMax logits for the
+/// quantization-error signal). Accounts for fused steps.
+const Tensor& reference_before_layer(const ExecutionContext& ctx, const Tensor& input,
+                                     std::size_t l) {
+  const auto& steps = ctx.steps();
+  for (std::size_t s = 0; s < steps.size(); ++s) {
+    if (steps[s].layer_index == l) return s == 0 ? input : ctx.arena(s - 1);
+  }
+  return ctx.output();
 }
 
 }  // namespace
 
 FixedForwardResult forward_fixed(const Network& net, const Tensor& input,
                                  const FixedPointFormat& format) {
+  ExecutionContext ctx(net);
+  return forward_fixed(net, input, format, ctx);
+}
+
+FixedForwardResult forward_fixed(const Network& net, const Tensor& input,
+                                 const FixedPointFormat& format, ExecutionContext& ctx,
+                                 bool track_output_error) {
   format.validate();
+  if (&ctx.network() != &net) {
+    throw std::invalid_argument("forward_fixed: context was built for a different network");
+  }
   if (input.shape() != net.input_shape()) {
     throw std::invalid_argument("forward_fixed: input shape mismatch");
   }
 
-  std::vector<Raw> acts = quantize_tensor(input, format);
+  ExecutionContext::FixedState& fs = ctx.fixed_state();
+  build_fixed_cache(net, format, fs);
+
+  std::vector<Raw>* acts = &fs.ping;
+  std::vector<Raw>* next = &fs.pong;
+  acts->resize(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) (*acts)[i] = fixed_quantize(input[i], format);
   Shape shape = net.input_shape();
 
   FixedForwardResult result;
@@ -131,40 +174,44 @@ FixedForwardResult forward_fixed(const Network& net, const Tensor& input,
     const Layer& layer = net.layer(l);
     const Shape& out_shape = net.shape_after(l);
     if (const auto* conv = dynamic_cast<const Conv2D*>(&layer)) {
-      acts = run_conv(*conv, acts, shape, out_shape, format);
+      run_conv(*conv, fs.weights[l], fs.biases[l], *acts, shape, out_shape, format, *next);
     } else if (const auto* pool = dynamic_cast<const Pool2D*>(&layer)) {
-      acts = run_pool(*pool, acts, shape, out_shape, format);
+      run_pool(*pool, *acts, shape, out_shape, format, *next);
     } else if (const auto* linear = dynamic_cast<const Linear*>(&layer)) {
-      acts = run_linear(*linear, acts, format);
+      run_linear(*linear, fs.weights[l], fs.biases[l], *acts, format, *next);
     } else if (const auto* act = dynamic_cast<const Activation*>(&layer)) {
-      acts = run_activation(*act, acts, format);
+      run_activation(*act, *acts, format, *next);
     } else if (dynamic_cast<const LogSoftMax*>(&layer) != nullptr) {
       // Dequantize and evaluate the output normalizer in float, exactly as
       // the generated fixed design does.
-      Tensor logits(Shape{acts.size()});
-      for (std::size_t i = 0; i < acts.size(); ++i) {
-        logits[i] = fixed_dequantize(acts[i], format);
+      Tensor logits(Shape{acts->size()});
+      for (std::size_t i = 0; i < acts->size(); ++i) {
+        logits[i] = fixed_dequantize((*acts)[i], format);
       }
       LogSoftMax lsm;
-      result.scores = lsm.forward(logits, false);
+      result.scores = Tensor(logits.shape());
+      lsm.infer_into(logits, result.scores);
       result.predicted = result.scores.argmax();
 
-      // Quantization-quality signal: compare pre-softmax logits to float.
-      Network& mutable_net = const_cast<Network&>(net);
-      Tensor ref = input;
-      for (std::size_t r = 0; r < l; ++r) ref = mutable_net.layer(r).forward(ref, false);
-      for (std::size_t i = 0; i < acts.size(); ++i) {
-        result.output_error = std::max(result.output_error, std::fabs(ref[i] - logits[i]));
+      if (track_output_error) {
+        // Quantization-quality signal: compare pre-softmax logits to the
+        // float reference, computed through the same context's const path.
+        (void)net.infer(input, ctx);
+        const Tensor& ref = reference_before_layer(ctx, input, l);
+        for (std::size_t i = 0; i < acts->size(); ++i) {
+          result.output_error = std::max(result.output_error, std::fabs(ref[i] - logits[i]));
+        }
       }
       return result;
     }
+    std::swap(acts, next);
     shape = out_shape;
   }
 
   // Network without a LogSoftMax tail: return dequantized raw scores.
-  result.scores = Tensor(Shape{acts.size()});
-  for (std::size_t i = 0; i < acts.size(); ++i) {
-    result.scores[i] = fixed_dequantize(acts[i], format);
+  result.scores = Tensor(Shape{acts->size()});
+  for (std::size_t i = 0; i < acts->size(); ++i) {
+    result.scores[i] = fixed_dequantize((*acts)[i], format);
   }
   result.predicted = result.scores.argmax();
   return result;
@@ -173,9 +220,12 @@ FixedForwardResult forward_fixed(const Network& net, const Tensor& input,
 float evaluate_error_fixed(const Network& net, const std::vector<Sample>& samples,
                            const FixedPointFormat& format) {
   if (samples.empty()) return 1.0f;
+  ExecutionContext ctx(net);
   std::size_t wrong = 0;
   for (const Sample& sample : samples) {
-    if (forward_fixed(net, sample.image, format).predicted != sample.label) ++wrong;
+    const FixedForwardResult out =
+        forward_fixed(net, sample.image, format, ctx, /*track_output_error=*/false);
+    if (out.predicted != sample.label) ++wrong;
   }
   return static_cast<float>(wrong) / static_cast<float>(samples.size());
 }

@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "nn/execution.hpp"
 #include "nn/network.hpp"
 #include "nn/quantize.hpp"
 #include "nn/trainer.hpp"  // Sample
@@ -28,9 +29,22 @@ struct FixedForwardResult {
   float output_error = 0.0f;
 };
 
-/// Run one image through the network in fixed-point arithmetic.
+/// Run one image through the network in fixed-point arithmetic. Convenience
+/// wrapper that builds a fresh ExecutionContext per call (re-quantizing the
+/// parameters); hot paths should hold a context and use the overload below.
 FixedForwardResult forward_fixed(const Network& net, const Tensor& input,
                                  const FixedPointFormat& format);
+
+/// Reentrant fixed-point inference through a caller-owned context: quantized
+/// weights/biases are cached in `ctx` (keyed by `format`) and the int32
+/// activation buffers are reused, so repeated calls do no steady-state heap
+/// work. Bit-identical to the wrapper above. `track_output_error` additionally
+/// runs the float reference through `ctx` to fill FixedForwardResult::
+/// output_error; pass false on serving hot paths. The cached parameters
+/// assume frozen weights — use a fresh context after mutating them.
+FixedForwardResult forward_fixed(const Network& net, const Tensor& input,
+                                 const FixedPointFormat& format, ExecutionContext& ctx,
+                                 bool track_output_error = true);
 
 /// Misclassification rate of the fixed-point execution over a sample set.
 float evaluate_error_fixed(const Network& net, const std::vector<Sample>& samples,

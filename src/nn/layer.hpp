@@ -48,6 +48,12 @@ class Layer {
   /// for a subsequent backward() call.
   virtual Tensor forward(const Tensor& input, bool train) = 0;
 
+  /// Reentrant inference: compute the layer's output into `out`, which the
+  /// caller has preallocated to output_shape(input.shape()). Must not mutate
+  /// the layer — safe to call concurrently from any number of threads — and
+  /// must produce bit-identical results to forward(input, false).
+  virtual void infer_into(const Tensor& input, Tensor& out) const = 0;
+
   /// Backward pass: gradient w.r.t. the cached input; accumulates parameter
   /// gradients. Must be preceded by forward(..., true).
   virtual Tensor backward(const Tensor& grad_output) = 0;

@@ -62,8 +62,6 @@ Tensor Network::forward(const Tensor& input, bool train) {
   return current;
 }
 
-std::size_t Network::predict(const Tensor& input) { return forward(input, false).argmax(); }
-
 void Network::backward(const Tensor& grad_output) {
   Tensor grad = grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) grad = (*it)->backward(grad);

@@ -16,6 +16,8 @@
 
 namespace cnn2fpga::nn {
 
+class ExecutionContext;  // nn/execution.hpp
+
 class Network {
  public:
   /// A network for CHW inputs of the given shape.
@@ -42,11 +44,24 @@ class Network {
   /// Final output shape.
   const Shape& output_shape() const { return shapes_.back(); }
 
-  /// Full forward pass.
+  /// Full forward pass (mutable seed path). Training must pass train=true —
+  /// preferably via TrainContext (nn/execution.hpp) so the mutation is
+  /// explicit; inference-only callers should migrate to infer().
   Tensor forward(const Tensor& input, bool train = false);
 
-  /// Forward + argmax: the class index the generated hardware returns.
-  std::size_t predict(const Tensor& input);
+  /// Reentrant inference through a caller-owned ExecutionContext
+  /// (nn/execution.hpp): const, no per-call heap traffic, bit-identical to
+  /// forward(input, false). Returns the context-owned output tensor, valid
+  /// until the next infer() through `ctx`. Distinct contexts may run
+  /// concurrently over the same network.
+  const Tensor& infer(const Tensor& input, ExecutionContext& ctx) const;
+
+  /// Run every image through `ctx` in order, copying out the outputs.
+  std::vector<Tensor> infer_batch(const std::vector<Tensor>& inputs,
+                                  ExecutionContext& ctx) const;
+
+  /// Inference + argmax: the class index the generated hardware returns.
+  std::size_t predict(const Tensor& input) const;
 
   /// Backward from the output gradient; requires forward(..., true) first.
   void backward(const Tensor& grad_output);

@@ -67,8 +67,7 @@ class Reader {
 }  // namespace
 
 std::vector<std::uint8_t> serialize_weights(Network& net) {
-  std::vector<std::uint8_t> out;
-  out.insert(out.end(), kMagic, kMagic + kMagicLen);
+  std::vector<std::uint8_t> out(kMagic, kMagic + kMagicLen);
   const std::vector<Param> params = net.params();
   put_u32(out, static_cast<std::uint32_t>(params.size()));
   for (const Param& p : params) {

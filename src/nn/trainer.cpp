@@ -1,6 +1,8 @@
 #include "nn/trainer.hpp"
 
 #include <cmath>
+
+#include "nn/execution.hpp"
 #include <limits>
 #include <numeric>
 #include <stdexcept>
@@ -31,6 +33,9 @@ TrainResult SgdTrainer::train(Network& net, const std::vector<Sample>& train_set
 
   TrainResult result;
   float lr = config_.learning_rate;
+  // Training runs through the explicit mutable path; inference stays on the
+  // const, reentrant Network::infer.
+  TrainContext train_ctx(net);
 
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     // Fisher-Yates shuffle with the deterministic RNG.
@@ -42,9 +47,9 @@ TrainResult SgdTrainer::train(Network& net, const std::vector<Sample>& train_set
     for (const std::size_t idx : order) {
       const Sample& sample = train_set[idx];
       net.zero_grad();
-      const Tensor log_probs = net.forward(sample.image, /*train=*/true);
+      const Tensor log_probs = train_ctx.forward(sample.image);
       loss_sum += nll_loss(log_probs, sample.label);
-      net.backward(nll_loss_grad(log_probs, sample.label));
+      train_ctx.backward(nll_loss_grad(log_probs, sample.label));
 
       if (config_.clip_grad_norm > 0.0f) {
         double norm_sq = 0.0;
@@ -91,9 +96,10 @@ TrainResult SgdTrainer::train(Network& net, const std::vector<Sample>& train_set
 
 float SgdTrainer::evaluate_error(Network& net, const std::vector<Sample>& samples) {
   if (samples.empty()) return 1.0f;
+  ExecutionContext ctx(net);
   std::size_t wrong = 0;
   for (const Sample& sample : samples) {
-    if (net.predict(sample.image) != sample.label) ++wrong;
+    if (net.infer(sample.image, ctx).argmax() != sample.label) ++wrong;
   }
   return static_cast<float>(wrong) / static_cast<float>(samples.size());
 }

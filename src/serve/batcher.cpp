@@ -1,5 +1,6 @@
 #include "serve/batcher.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "nn/fixed_inference.hpp"
@@ -19,7 +20,11 @@ std::uint64_t elapsed_us(Batcher::Clock::time_point from, Batcher::Clock::time_p
 
 Batcher::Batcher(Executor& executor, BatcherConfig config, ServeMetrics* metrics)
     : executor_(executor),
-      config_{config.max_batch == 0 ? 1 : config.max_batch, config.max_wait_us},
+      config_{config.max_batch == 0 ? 1 : config.max_batch, config.max_wait_us,
+              config.max_inflight_per_design},
+      inflight_limit_(config.max_inflight_per_design != 0
+                          ? config.max_inflight_per_design
+                          : std::max<std::size_t>(1, executor.thread_count())),
       metrics_(metrics),
       deadline_thread_([this] { deadline_loop(); }) {}
 
@@ -48,10 +53,11 @@ std::future<Prediction> Batcher::predict(std::shared_ptr<DeployedDesign> design,
     lane.deadline = request.enqueued + std::chrono::microseconds(config_.max_wait_us);
   }
   lane.requests.push_back(std::move(request));
-  const bool design_idle = busy_.find(design->id) == busy_.end();
-  if (design_idle || lane.requests.size() >= config_.max_batch) {
-    // Idle design or full batch: dispatch from the submitting thread. Only
-    // requests arriving while a batch is in flight wait to coalesce.
+  const auto busy_it = busy_.find(design->id);
+  const std::size_t inflight = busy_it == busy_.end() ? 0 : busy_it->second;
+  if (inflight < inflight_limit_ || lane.requests.size() >= config_.max_batch) {
+    // Free inference slot or full batch: dispatch from the submitting thread.
+    // Only requests arriving while every slot is occupied wait to coalesce.
     Lane ready = std::move(lane);
     lanes_.erase(design->id);
     flush_locked(std::move(ready));
@@ -146,7 +152,9 @@ void Batcher::execute_batch(std::shared_ptr<DeployedDesign> design,
   Clock::time_point start;
   std::uint64_t exec_us = 0;
   {
-    std::lock_guard<std::mutex> exec_lock(design->exec_mutex);
+    // No lock: infer() is const and reentrant, so batches for the same design
+    // run in parallel on other workers, each through its own leased context.
+    auto ctx = design->contexts.acquire();
     start = Clock::now();
     const core::NetworkDescriptor& descriptor = design->descriptor();
     for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -154,11 +162,12 @@ void Batcher::execute_batch(std::shared_ptr<DeployedDesign> design,
         Prediction& out = results[i];
         if (descriptor.precision.is_fixed) {
           const nn::FixedForwardResult fixed =
-              nn::forward_fixed(design->net, batch[i].input, descriptor.precision.fixed);
+              nn::forward_fixed(design->net, batch[i].input, descriptor.precision.fixed, *ctx,
+                                /*track_output_error=*/false);
           out.predicted = fixed.predicted;
           out.logits.assign(fixed.scores.span().begin(), fixed.scores.span().end());
         } else {
-          const tensor::Tensor scores = design->net.forward(batch[i].input, /*train=*/false);
+          const tensor::Tensor& scores = design->net.infer(batch[i].input, *ctx);
           out.predicted = scores.argmax();
           out.logits.assign(scores.span().begin(), scores.span().end());
         }

@@ -1,21 +1,24 @@
 // Dynamic (continuous) micro-batching of predict requests.
 //
 // Requests for the same deployed design coalesce in a per-design lane. A lane
-// flushes — becoming one Executor task that takes the design's exec_mutex
-// once, runs every image, and fulfills the per-request futures — on the first
-// of three triggers:
-//   1. the design is idle (no batch in flight): flush immediately, so an
-//      unloaded server adds zero batching latency;
+// flushes — becoming one Executor task that checks an ExecutionContext out of
+// the design's pool, runs every image through the const Network::infer path,
+// and fulfills the per-request futures — on the first of three triggers:
+//   1. the design has a free inference slot (fewer than
+//      `max_inflight_per_design` batches running): flush immediately, so an
+//      unloaded server adds zero batching latency and a loaded one keeps
+//      every Executor worker busy on the same design in parallel;
 //   2. `max_batch` requests are waiting: flush from the submitting thread;
 //   3. the oldest request has waited `max_wait_us`: deadline flush for
-//      partial batches stuck behind a long-running batch.
-// While a batch executes, concurrent requests accumulate and flush the moment
-// it completes — under load the batch size converges on the number of
-// concurrent clients (capped at max_batch) with no timer on the hot path.
-// Batching amortizes the queue/wake/dispatch overhead of a request across
-// the whole batch, which is where the throughput of small per-image kernels
-// goes. Shutdown drains: pending lanes are flushed and in-flight batches
-// complete before shutdown() returns.
+//      partial batches stuck behind long-running batches.
+// While all slots are busy, concurrent requests accumulate and flush the
+// moment a batch completes — under saturation the batch size converges on
+// the number of concurrent clients (capped at max_batch) with no timer on
+// the hot path. Batching amortizes the queue/wake/dispatch overhead of a
+// request across the whole batch; parallel slots convert the design from
+// lock-bound to compute-bound (the modeled accelerator cost stays serial —
+// see DeployedDesign::invocation_seconds). Shutdown drains: pending lanes
+// are flushed and in-flight batches complete before shutdown() returns.
 #pragma once
 
 #include <chrono>
@@ -50,6 +53,9 @@ struct Prediction {
 struct BatcherConfig {
   std::size_t max_batch = 8;        ///< flush as soon as this many requests wait
   std::uint64_t max_wait_us = 1000; ///< deadline flush for partial batches
+  /// Concurrent batches allowed per design; 0 = the executor's worker count.
+  /// 1 restores the fully serialized pre-ExecutionContext behavior.
+  std::size_t max_inflight_per_design = 0;
 };
 
 class Batcher {
@@ -74,6 +80,8 @@ class Batcher {
   void shutdown();
 
   const BatcherConfig& config() const { return config_; }
+  /// Effective concurrent-batch cap per design (resolved executor width).
+  std::size_t inflight_limit() const { return inflight_limit_; }
 
   /// Requests waiting in lanes (not yet flushed).
   std::size_t pending() const;
@@ -98,6 +106,7 @@ class Batcher {
 
   Executor& executor_;
   const BatcherConfig config_;
+  const std::size_t inflight_limit_;
   ServeMetrics* metrics_;
 
   mutable std::mutex mutex_;

@@ -20,28 +20,32 @@
 #include <vector>
 
 #include "core/framework.hpp"
+#include "nn/execution.hpp"
 #include "serve/metrics.hpp"
 
 namespace cnn2fpga::serve {
 
 /// A design deployed for serving. `net` is the executable reference network
-/// with the deploy weights loaded; Network::forward caches per-layer
-/// activations, so running it requires holding `exec_mutex` (the batcher
-/// takes it once per micro-batch).
+/// with the deploy weights loaded. Weights are frozen after deploy, so any
+/// number of threads may run Network::infer concurrently — each batch checks
+/// an ExecutionContext out of `contexts` and runs without a lock. Only the
+/// *modeled* accelerator (invocation_seconds) remains serial: the deployment
+/// hardware is one physical IP core.
 struct DeployedDesign {
   DeployedDesign(std::string id_in, core::GeneratedDesign design_in, nn::Network net_in,
                  std::vector<std::uint8_t> weights_in)
       : id(std::move(id_in)),
         design(std::move(design_in)),
         net(std::move(net_in)),
-        weights(std::move(weights_in)) {}
+        weights(std::move(weights_in)),
+        contexts(net) {}
 
   const std::string id;                      ///< content hash (cache key)
   const core::GeneratedDesign design;        ///< artifacts + HLS report
-  nn::Network net;                           ///< weights loaded, ready to run
+  const nn::Network net;                     ///< weights loaded, ready to run
   const std::vector<std::uint8_t> weights;   ///< canonical CNN2FPGAW1 blob
 
-  std::mutex exec_mutex;                     ///< guards net during inference
+  nn::ExecutionContextPool contexts;         ///< reusable inference contexts
   std::atomic<std::uint64_t> served{0};      ///< images predicted on this design
 
   const core::NetworkDescriptor& descriptor() const { return design.descriptor; }

@@ -2,54 +2,63 @@
 
 #include <chrono>
 #include <cstring>
+#include <stdexcept>
 
 #include "util/base64.hpp"
 #include "util/strings.hpp"
+#include "web/envelope.hpp"
 
 namespace cnn2fpga::serve {
 
 using cnn2fpga::util::format;
+using web::api_error;
+using web::api_ok;
 
 namespace {
 
-web::HttpResponse json_error(int status, const std::string& message) {
-  json::Object body;
-  body["error"] = message;
-  return {status, "application/json", json::Value(std::move(body)).dump()};
-}
-
-web::HttpResponse json_ok(json::Object body) {
-  return {200, "application/json", json::Value(std::move(body)).dump()};
-}
+/// Payload size disagrees with the design's input shape. Split out from plain
+/// std::invalid_argument so handle_predict can report code "shape_mismatch".
+struct ShapeMismatchError : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
 
 /// Decode the request's image payload into the design's input tensor.
 /// Accepts "image_base64" (raw float32 little-endian CHW) or "image" (a JSON
-/// array of numbers). Throws std::invalid_argument with a client-facing
-/// message on bad payloads.
+/// array of numbers). Throws ShapeMismatchError when the payload length
+/// disagrees with `shape`, std::invalid_argument for every other bad payload
+/// (including type errors inside the JSON, which must not surface as server
+/// faults).
 tensor::Tensor decode_image(const json::Value& doc, const nn::Shape& shape) {
   const std::size_t expected = shape.elements();
   tensor::Tensor image{shape};
-  if (const json::Value* encoded = doc.find("image_base64"); encoded != nullptr) {
-    const auto bytes = util::base64_decode(encoded->as_string());
-    if (!bytes) throw std::invalid_argument("image_base64 is not valid base64");
-    if (bytes->size() != expected * sizeof(float)) {
-      throw std::invalid_argument(format(
-          "image_base64 decodes to %zu bytes; input %s needs %zu (float32 CHW)",
-          bytes->size(), shape.to_string().c_str(), expected * sizeof(float)));
+  try {
+    if (const json::Value* encoded = doc.find("image_base64"); encoded != nullptr) {
+      const auto bytes = util::base64_decode(encoded->as_string());
+      if (!bytes) throw std::invalid_argument("image_base64 is not valid base64");
+      if (bytes->size() != expected * sizeof(float)) {
+        throw ShapeMismatchError(format(
+            "image_base64 decodes to %zu bytes; input %s needs %zu (float32 CHW)",
+            bytes->size(), shape.to_string().c_str(), expected * sizeof(float)));
+      }
+      std::memcpy(image.data(), bytes->data(), bytes->size());
+      return image;
     }
-    std::memcpy(image.data(), bytes->data(), bytes->size());
-    return image;
-  }
-  if (const json::Value* array = doc.find("image"); array != nullptr) {
-    const json::Array& values = array->as_array();
-    if (values.size() != expected) {
-      throw std::invalid_argument(format("image has %zu values; input %s needs %zu",
-                                         values.size(), shape.to_string().c_str(), expected));
+    if (const json::Value* array = doc.find("image"); array != nullptr) {
+      const json::Array& values = array->as_array();
+      if (values.size() != expected) {
+        throw ShapeMismatchError(format("image has %zu values; input %s needs %zu",
+                                        values.size(), shape.to_string().c_str(), expected));
+      }
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        image[i] = static_cast<float>(values[i].as_double());
+      }
+      return image;
     }
-    for (std::size_t i = 0; i < values.size(); ++i) {
-      image[i] = static_cast<float>(values[i].as_double());
-    }
-    return image;
+  } catch (const json::JsonError& e) {
+    // e.g. image_base64 is not a string, image is not an array of numbers.
+    // JsonError derives from std::runtime_error; rethrowing as
+    // invalid_argument keeps these as 400s rather than 5xx.
+    throw std::invalid_argument(format("predict: malformed image payload: %s", e.what()));
   }
   throw std::invalid_argument("predict: provide image_base64 or image");
 }
@@ -88,36 +97,36 @@ void ServingRuntime::shutdown() {
 }
 
 web::HttpResponse ServingRuntime::handle_deploy(const web::HttpRequest& request) {
-  if (stopped_.load()) return json_error(503, "serving runtime is shut down");
+  if (stopped_.load()) return api_error(503, "shutdown", "serving runtime is shut down");
 
   json::Value doc;
   try {
     doc = json::parse(request.body);
   } catch (const json::JsonError& e) {
-    return json_error(400, e.what());
+    return api_error(400, "bad_json", "request body is not valid JSON", e.what());
   }
 
   core::NetworkDescriptor descriptor;
   try {
     descriptor = core::NetworkDescriptor::from_json(doc);
   } catch (const core::DescriptorError& e) {
-    return json_error(400, e.what());
+    return api_error(400, "bad_descriptor", e.what());
   }
 
   DeployOutcome outcome;
   try {
     if (const json::Value* weights = doc.find("weights_base64"); weights != nullptr) {
       const auto bytes = util::base64_decode(weights->as_string());
-      if (!bytes) return json_error(400, "weights_base64 is not valid base64");
+      if (!bytes) return api_error(400, "bad_request", "weights_base64 is not valid base64");
       outcome = registry_.deploy(descriptor, *bytes);
     } else {
       const std::uint64_t seed = static_cast<std::uint64_t>(doc.get_int("seed", 1));
       outcome = registry_.deploy_random(descriptor, seed);
     }
   } catch (const std::runtime_error& e) {
-    return json_error(400, e.what());  // weight/architecture mismatch
+    return api_error(400, "bad_request", e.what());  // weight/architecture mismatch
   } catch (const std::exception& e) {
-    return json_error(500, e.what());
+    return api_error(500, "internal", e.what());
   }
 
   json::Object body = design_summary(*outcome.design);
@@ -133,40 +142,44 @@ web::HttpResponse ServingRuntime::handle_deploy(const web::HttpRequest& request)
   reg["capacity"] = registry_.capacity();
   reg["hit_rate"] = stats.hit_rate();
   body["registry"] = std::move(reg);
-  return json_ok(std::move(body));
+  return api_ok(std::move(body));
 }
 
 web::HttpResponse ServingRuntime::handle_predict(const web::HttpRequest& request) {
-  if (stopped_.load()) return json_error(503, "serving runtime is shut down");
+  if (stopped_.load()) return api_error(503, "shutdown", "serving runtime is shut down");
   const auto arrival = std::chrono::steady_clock::now();
 
   json::Value doc;
   try {
     doc = json::parse(request.body);
   } catch (const json::JsonError& e) {
-    return json_error(400, e.what());
+    return api_error(400, "bad_json", "request body is not valid JSON", e.what());
   }
 
   const json::Value* id = doc.find("design_id");
   if (id == nullptr || !id->is_string()) {
-    return json_error(400, "predict: design_id is required (deploy first)");
+    return api_error(400, "bad_request", "predict: design_id is required (deploy first)");
   }
   std::shared_ptr<DeployedDesign> design = registry_.find(id->as_string());
   if (!design) {
-    return json_error(404, format("design %s is not deployed", id->as_string().c_str()));
+    return api_error(404, "unknown_design",
+                     format("design %s is not deployed", id->as_string().c_str()));
   }
 
   Prediction prediction;
   try {
     tensor::Tensor image = decode_image(doc, design->net.input_shape());
     prediction = batcher_.predict(design, std::move(image)).get();
+  } catch (const ShapeMismatchError& e) {
+    metrics_.predict_errors.add();
+    return api_error(400, "shape_mismatch", e.what());
   } catch (const std::invalid_argument& e) {
     metrics_.predict_errors.add();
-    return json_error(400, e.what());
+    return api_error(400, "bad_request", e.what());
   } catch (const std::runtime_error& e) {
-    return json_error(503, e.what());
+    return api_error(503, "shutdown", e.what());
   } catch (const std::exception& e) {
-    return json_error(500, e.what());
+    return api_error(500, "internal", e.what());
   }
 
   json::Object body;
@@ -183,7 +196,7 @@ web::HttpResponse ServingRuntime::handle_predict(const web::HttpRequest& request
       std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
                                                             arrival)
           .count());
-  return json_ok(std::move(body));
+  return api_ok(std::move(body));
 }
 
 web::HttpResponse ServingRuntime::handle_designs(const web::HttpRequest&) {
@@ -200,7 +213,7 @@ web::HttpResponse ServingRuntime::handle_designs(const web::HttpRequest&) {
   body["misses"] = stats.misses;
   body["evictions"] = stats.evictions;
   body["hit_rate"] = stats.hit_rate();
-  return json_ok(std::move(body));
+  return api_ok(std::move(body));
 }
 
 web::HttpResponse ServingRuntime::handle_metrics(const web::HttpRequest&) {
@@ -217,18 +230,18 @@ web::HttpResponse ServingRuntime::handle_metrics(const web::HttpRequest&) {
   pool["max_wait_us"] = batcher_.config().max_wait_us;
   pool["pending"] = batcher_.pending();
   body["pool"] = std::move(pool);
-  return {200, "application/json", metrics.dump()};
+  return {200, "application/json", metrics.dump(), {}};
 }
 
 void install_serve_api(web::HttpServer& server, ServingRuntime& runtime) {
-  server.route("POST", "/api/deploy",
-               [&runtime](const web::HttpRequest& r) { return runtime.handle_deploy(r); });
-  server.route("POST", "/api/predict",
-               [&runtime](const web::HttpRequest& r) { return runtime.handle_predict(r); });
-  server.route("GET", "/api/designs",
-               [&runtime](const web::HttpRequest& r) { return runtime.handle_designs(r); });
-  server.route("GET", "/api/metrics",
-               [&runtime](const web::HttpRequest& r) { return runtime.handle_metrics(r); });
+  web::route_api(server, "POST", "deploy",
+                 [&runtime](const web::HttpRequest& r) { return runtime.handle_deploy(r); });
+  web::route_api(server, "POST", "predict",
+                 [&runtime](const web::HttpRequest& r) { return runtime.handle_predict(r); });
+  web::route_api(server, "GET", "designs",
+                 [&runtime](const web::HttpRequest& r) { return runtime.handle_designs(r); });
+  web::route_api(server, "GET", "metrics",
+                 [&runtime](const web::HttpRequest& r) { return runtime.handle_metrics(r); });
 }
 
 }  // namespace cnn2fpga::serve

@@ -11,21 +11,14 @@
 #include "nn/trainer.hpp"
 #include "util/base64.hpp"
 #include "util/strings.hpp"
+#include "web/envelope.hpp"
 
 namespace cnn2fpga::web {
 
 using cnn2fpga::util::format;
 
-namespace {
-HttpResponse json_error(int status, const std::string& message) {
-  json::Object body;
-  body["error"] = message;
-  return {status, "application/json", json::Value(std::move(body)).dump()};
-}
-}  // namespace
-
 HttpResponse handle_healthz(const HttpRequest&) {
-  return {200, "application/json", "{\"status\":\"ok\"}"};
+  return {200, "application/json", "{\"status\":\"ok\"}", {}};
 }
 
 HttpResponse handle_index(const HttpRequest&) {
@@ -118,11 +111,11 @@ async function generate() {
   const out = document.getElementById('result');
   out.textContent = 'generating...';
   try {
-    const response = await fetch('/api/generate', {
+    const response = await fetch('/api/v1/generate', {
       method: 'POST', headers: {'Content-Type': 'application/json'},
       body: JSON.stringify(descriptor)});
     const body = await response.json();
-    if (!response.ok) { out.textContent = 'error: ' + body.error; return; }
+    if (!response.ok) { out.textContent = 'error: ' + body.error.message; return; }
     out.textContent =
       'latency: ' + body.hls_report.latency_cycles + ' cycles/image\n' +
       'fits ' + body.hls_report.board + ': ' + body.hls_report.fits + '\n' +
@@ -136,7 +129,7 @@ async function generate() {
 </body>
 </html>
 )HTML";
-  return {200, "text/html; charset=utf-8", kPage};
+  return {200, "text/html; charset=utf-8", kPage, {}};
 }
 
 HttpResponse handle_boards(const HttpRequest&) {
@@ -155,7 +148,7 @@ HttpResponse handle_boards(const HttpRequest&) {
   }
   json::Object body;
   body["boards"] = std::move(boards);
-  return {200, "application/json", json::Value(std::move(body)).dump()};
+  return api_ok(std::move(body));
 }
 
 HttpResponse handle_generate(const HttpRequest& request) {
@@ -163,21 +156,21 @@ HttpResponse handle_generate(const HttpRequest& request) {
   try {
     doc = json::parse(request.body);
   } catch (const json::JsonError& e) {
-    return json_error(400, e.what());
+    return api_error(400, "bad_json", "request body is not valid JSON", e.what());
   }
 
   core::NetworkDescriptor descriptor;
   try {
     descriptor = core::NetworkDescriptor::from_json(doc);
   } catch (const core::DescriptorError& e) {
-    return json_error(400, e.what());
+    return api_error(400, "bad_descriptor", e.what());
   }
 
   core::GeneratedDesign design;
   try {
     if (const json::Value* weights = doc.find("weights_base64"); weights != nullptr) {
       const auto bytes = util::base64_decode(weights->as_string());
-      if (!bytes) return json_error(400, "weights_base64 is not valid base64");
+      if (!bytes) return api_error(400, "bad_request", "weights_base64 is not valid base64");
       design = core::Framework::generate_from_weights(descriptor, *bytes);
     } else {
       const std::uint64_t seed = static_cast<std::uint64_t>(doc.get_int("seed", 1));
@@ -185,9 +178,9 @@ HttpResponse handle_generate(const HttpRequest& request) {
     }
   } catch (const std::runtime_error& e) {
     // Weight-file/architecture mismatches are client errors.
-    return json_error(400, e.what());
+    return api_error(400, "bad_request", e.what());
   } catch (const std::exception& e) {
-    return json_error(500, e.what());
+    return api_error(500, "internal", e.what());
   }
 
   json::Object body;
@@ -217,7 +210,7 @@ HttpResponse handle_generate(const HttpRequest& request) {
   for (const std::string& warning : design.warnings) warnings.push_back(warning);
   body["warnings"] = std::move(warnings);
 
-  return {200, "application/json", json::Value(std::move(body)).dump()};
+  return api_ok(std::move(body));
 }
 
 HttpResponse handle_train(const HttpRequest& request) {
@@ -225,14 +218,14 @@ HttpResponse handle_train(const HttpRequest& request) {
   try {
     doc = json::parse(request.body);
   } catch (const json::JsonError& e) {
-    return json_error(400, e.what());
+    return api_error(400, "bad_json", "request body is not valid JSON", e.what());
   }
 
   core::NetworkDescriptor descriptor;
   try {
     descriptor = core::NetworkDescriptor::from_json(doc);
   } catch (const core::DescriptorError& e) {
-    return json_error(400, e.what());
+    return api_error(400, "bad_descriptor", e.what());
   }
 
   // Training options.
@@ -248,7 +241,7 @@ HttpResponse handle_train(const HttpRequest& request) {
   tc.epochs = static_cast<std::size_t>(train_opts->get_int("epochs", 6));
   tc.learning_rate = static_cast<float>(train_opts->get_double("learning_rate", 0.005));
   if (tc.epochs == 0 || tc.epochs > 200 || per_class == 0 || per_class > 1000) {
-    return json_error(400, "train: epochs must be 1..200, samples_per_class 1..1000");
+    return api_error(400, "bad_request", "train: epochs must be 1..200, samples_per_class 1..1000");
   }
 
   // Synthetic corpus selection (Fig. 6 datasets).
@@ -273,18 +266,20 @@ HttpResponse handle_train(const HttpRequest& request) {
     test_set = data::generate_cifar(config).samples;
     expected_input = nn::Shape{3, 32, 32};
   } else {
-    return json_error(400, format("train: dataset '%s' unknown (usps, cifar10)",
-                                  dataset.c_str()));
+    return api_error(400, "bad_request",
+                     format("train: dataset '%s' unknown (usps, cifar10)", dataset.c_str()));
   }
 
   nn::Network net = descriptor.build_network();
   if (net.input_shape() != expected_input) {
-    return json_error(400, format("train: network input %s does not match dataset '%s' (%s)",
-                                  net.input_shape().to_string().c_str(), dataset.c_str(),
-                                  expected_input.to_string().c_str()));
+    return api_error(
+        400, "shape_mismatch",
+        format("train: network input %s does not match dataset '%s' (%s)",
+               net.input_shape().to_string().c_str(), dataset.c_str(),
+               expected_input.to_string().c_str()));
   }
   if (descriptor.num_classes() != 10) {
-    return json_error(400, "train: the synthetic datasets have 10 classes");
+    return api_error(400, "bad_request", "train: the synthetic datasets have 10 classes");
   }
 
   util::Rng rng(seed);
@@ -293,7 +288,7 @@ HttpResponse handle_train(const HttpRequest& request) {
   try {
     result = nn::SgdTrainer(tc).train(net, train_set, test_set);
   } catch (const std::exception& e) {
-    return json_error(500, e.what());
+    return api_error(500, "internal", e.what());
   }
 
   json::Object body;
@@ -306,7 +301,7 @@ HttpResponse handle_train(const HttpRequest& request) {
   for (float loss : result.epoch_loss) losses.push_back(loss);
   body["epoch_loss"] = std::move(losses);
   body["weights_base64"] = util::base64_encode(nn::serialize_weights(net));
-  return {200, "application/json", json::Value(std::move(body)).dump()};
+  return api_ok(std::move(body));
 }
 
 HttpResponse handle_explore(const HttpRequest& request) {
@@ -314,7 +309,7 @@ HttpResponse handle_explore(const HttpRequest& request) {
   try {
     doc = json::parse(request.body);
   } catch (const json::JsonError& e) {
-    return json_error(400, e.what());
+    return api_error(400, "bad_json", "request body is not valid JSON", e.what());
   }
 
   core::NetworkDescriptor descriptor;
@@ -323,7 +318,7 @@ HttpResponse handle_explore(const HttpRequest& request) {
     descriptor = core::NetworkDescriptor::from_json(doc);
     options.objective = core::parse_objective(doc.get_string("objective", "throughput"));
   } catch (const core::DescriptorError& e) {
-    return json_error(400, e.what());
+    return api_error(400, "bad_descriptor", e.what());
   }
 
   const core::DseResult result = core::explore_design_space(descriptor, options);
@@ -352,16 +347,17 @@ HttpResponse handle_explore(const HttpRequest& request) {
   } else {
     body["recommended"] = nullptr;
   }
-  return {200, "application/json", json::Value(std::move(body)).dump()};
+  return api_ok(std::move(body));
 }
 
 void install_api(HttpServer& server) {
   server.route("GET", "/", handle_index);
   server.route("GET", "/healthz", handle_healthz);
-  server.route("GET", "/api/boards", handle_boards);
-  server.route("POST", "/api/generate", handle_generate);
-  server.route("POST", "/api/train", handle_train);
-  server.route("POST", "/api/explore", handle_explore);
+  server.route("GET", std::string(kApiPrefix) + "/healthz", handle_healthz);
+  route_api(server, "GET", "boards", handle_boards);
+  route_api(server, "POST", "generate", handle_generate);
+  route_api(server, "POST", "train", handle_train);
+  route_api(server, "POST", "explore", handle_explore);
 }
 
 }  // namespace cnn2fpga::web

@@ -1,0 +1,39 @@
+// Versioned REST surface (v1) and the uniform JSON error envelope.
+//
+// Every API endpoint is mounted under /api/v1/... and reports failures as
+//   {"error": {"code": "<machine-readable>", "message": "<human>", "detail": ...}}
+// with Content-Type: application/json, so clients branch on `code` and log
+// `message` without sniffing status-text strings. The pre-versioning /api/...
+// routes remain as deprecated aliases answering identically plus a
+// `Deprecation` header and a `Link: <v1 path>; rel="successor-version"`
+// pointer, giving existing callers a migration window.
+#pragma once
+
+#include <string>
+
+#include "json/json.hpp"
+#include "web/http.hpp"
+
+namespace cnn2fpga::web {
+
+inline constexpr const char* kApiPrefix = "/api/v1";
+
+/// Error codes used across the API (not exhaustive; handlers may add more):
+///   bad_json, bad_descriptor, bad_request, shape_mismatch, unknown_design,
+///   not_found, method_not_allowed, timeout, payload_too_large, shutdown,
+///   internal.
+HttpResponse api_error(int status, const std::string& code, const std::string& message,
+                       const std::string& detail = "");
+
+/// 200 application/json with the given object as body.
+HttpResponse api_ok(json::Object body);
+
+/// Fallback machine-readable code for a bare HTTP status (transport errors).
+const char* status_code_slug(int status);
+
+/// Mount `handler` at /api/v1/<suffix> and at the deprecated pre-versioning
+/// /api/<suffix> alias. `suffix` must not start with '/'.
+void route_api(HttpServer& server, const std::string& method, const std::string& suffix,
+               Handler handler);
+
+}  // namespace cnn2fpga::web

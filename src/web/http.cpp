@@ -11,6 +11,7 @@
 
 #include "util/logging.hpp"
 #include "util/strings.hpp"
+#include "web/envelope.hpp"
 
 namespace cnn2fpga::web {
 
@@ -109,6 +110,9 @@ void write_response(int fd, const HttpResponse& response) {
   std::string out = format("HTTP/1.1 %d %s\r\n", response.status, status_text(response.status));
   out += "Content-Type: " + response.content_type + "\r\n";
   out += format("Content-Length: %zu\r\n", response.body.size());
+  for (const auto& [name, value] : response.headers) {
+    out += name + ": " + value + "\r\n";
+  }
   out += "Connection: close\r\n\r\n";
   out += response.body;
   std::size_t sent = 0;
@@ -232,13 +236,12 @@ void HttpServer::handle_connection(int fd) {
     try {
       response = dispatch(*outcome.request);
     } catch (const std::exception& e) {
-      response.status = 500;
-      response.body = format("{\"error\": \"%s\"}", e.what());
+      response = api_error(500, "internal", "unhandled exception in handler", e.what());
     }
     write_response(fd, response);
   } else if (outcome.error_status != 0) {
-    write_response(fd, {outcome.error_status, "application/json",
-                        format("{\"error\": \"%s\"}", status_text(outcome.error_status))});
+    const int status = outcome.error_status;
+    write_response(fd, api_error(status, status_code_slug(status), status_text(status)));
   }
 }
 
@@ -249,10 +252,13 @@ HttpResponse HttpServer::dispatch(const HttpRequest& request) const {
   // Distinguish 405 from 404 for a known path with the wrong method.
   for (const auto& [key, handler] : routes_) {
     if (key.second == request.path) {
-      return {405, "application/json", "{\"error\": \"method not allowed\"}"};
+      return api_error(405, "method_not_allowed",
+                       format("%s not allowed for %s", request.method.c_str(),
+                              request.path.c_str()));
     }
   }
-  return {404, "application/json", "{\"error\": \"not found\"}"};
+  return api_error(404, "not_found",
+                   format("no route for %s %s", request.method.c_str(), request.path.c_str()));
 }
 
 std::optional<HttpResponse> http_request(const std::string& host, int port,
@@ -315,8 +321,14 @@ std::optional<HttpResponse> http_request(const std::string& host, int port,
   }
   for (std::size_t i = 1; i < lines.size(); ++i) {
     const std::string line(util::trim(lines[i]));
-    if (util::starts_with(util::to_lower(line), "content-type:")) {
-      response.content_type = std::string(util::trim(line.substr(13)));
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    const std::string name = util::to_lower(line.substr(0, colon));
+    const std::string value(util::trim(line.substr(colon + 1)));
+    if (name == "content-type") {
+      response.content_type = value;
+    } else {
+      response.headers[name] = value;
     }
   }
   response.body = data.substr(header_end + 4);

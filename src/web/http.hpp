@@ -38,6 +38,10 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  /// Extra response headers (beyond Content-Type/Length). The server emits
+  /// them verbatim; the client parses all received headers here with
+  /// lower-cased keys.
+  std::map<std::string, std::string> headers;
 };
 
 using Handler = std::function<HttpResponse(const HttpRequest&)>;

@@ -1,0 +1,311 @@
+// Bit-exactness and reentrancy tests for the ExecutionContext inference path.
+//
+// The redesign's contract is strict: `Network::infer(input, ctx)` must equal
+// the seed `Network::forward(input, /*train=*/false)` bit-for-bit — the conv
+// fast path (im2col + pixel-tiled GEMM + fused bias/activation) replays the
+// identical IEEE operation sequence per output element, it only reorders
+// independent elements. These tests assert exact equality (EXPECT_EQ on
+// floats, no tolerance) across every layer kind, in float and fixed-point,
+// single and batched, and from many threads hammering one const network.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "nn/execution.hpp"
+#include "nn/fixed_inference.hpp"
+#include "nn/network.hpp"
+#include "util/rng.hpp"
+
+using namespace cnn2fpga;
+using namespace cnn2fpga::nn;
+
+namespace {
+
+/// Architectures covering every layer kind and fusion shape: conv with and
+/// without a directly following activation, both pool kinds, linear with and
+/// without activation, with and without the trailing LogSoftMax.
+Network make_network(int arch, std::uint64_t seed) {
+  Network net(arch < 2 ? Shape{1, 16, 16} : (arch == 4 ? Shape{1, 2, 2} : Shape{2, 10, 10}),
+              "exec_test");
+  switch (arch) {
+    case 0:  // the paper's CNN shape: conv+tanh+pool twice, then linear head
+      net.add_conv(2, 3, 3);
+      net.add_activation(ActKind::kTanh);
+      net.add_max_pool(2, 2);
+      net.add_conv(3, 3, 3);
+      net.add_activation(ActKind::kReLU);
+      net.add_mean_pool(2, 2);
+      net.add_linear(10);
+      net.add_activation(ActKind::kSigmoid);
+      net.add_linear(6);
+      net.add_logsoftmax();
+      break;
+    case 1:  // conv with no fusable activation (pool directly after)
+      net.add_conv(3, 5, 5);
+      net.add_max_pool(3, 2);
+      net.add_linear(5);
+      net.add_logsoftmax();
+      break;
+    case 2:  // multi-channel input, rectangular kernel, no LogSoftMax
+      net.add_conv(4, 3, 2);
+      net.add_activation(ActKind::kTanh);
+      net.add_linear(8);
+      break;
+    case 3:  // back-to-back convs (fused + unfused), activation-only tail
+      net.add_conv(3, 3, 3);
+      net.add_conv(2, 3, 3);
+      net.add_activation(ActKind::kReLU);
+      net.add_linear(4);
+      net.add_activation(ActKind::kTanh);
+      break;
+    default:  // pure MLP: no conv at all
+      net.add_linear(9);
+      net.add_activation(ActKind::kTanh);
+      net.add_linear(3);
+      net.add_logsoftmax();
+      break;
+  }
+  util::Rng rng(seed);
+  net.init_weights(rng);
+  return net;
+}
+
+constexpr int kArchCount = 5;
+
+tensor::Tensor random_input(const Shape& shape, std::uint64_t seed) {
+  tensor::Tensor input{shape};
+  util::Rng rng(seed);
+  input.fill_uniform(rng, -1.0f, 1.0f);
+  return input;
+}
+
+void expect_bit_identical(const tensor::Tensor& expected, const tensor::Tensor& actual,
+                          const std::string& context) {
+  ASSERT_EQ(expected.shape(), actual.shape()) << context;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    // Exact float equality on purpose: the contract is bit-for-bit.
+    ASSERT_EQ(expected[i], actual[i]) << context << " element " << i;
+  }
+}
+
+}  // namespace
+
+TEST(ExecutionContext, InferMatchesForwardBitExactAcrossArchitectures) {
+  for (int arch = 0; arch < kArchCount; ++arch) {
+    Network net = make_network(arch, 11u + static_cast<std::uint64_t>(arch));
+    ExecutionContext ctx(net);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      const tensor::Tensor input = random_input(net.input_shape(), 100 * i + 7);
+      const tensor::Tensor expected = net.forward(input, /*train=*/false);
+      const tensor::Tensor& actual = net.infer(input, ctx);  // reused context
+      expect_bit_identical(expected, actual,
+                           "arch " + std::to_string(arch) + " input " + std::to_string(i));
+    }
+  }
+}
+
+TEST(ExecutionContext, PlanFusesActivationsAndCoversAllLayers) {
+  const Network net = make_network(0, 3);
+  const ExecutionContext ctx(net);
+  // conv+tanh, pool, conv+relu, pool, linear+sigmoid, linear, logsoftmax:
+  // 10 layers compile into 7 steps, 3 of them with a fused activation.
+  ASSERT_EQ(ctx.steps().size(), 7u);
+  std::size_t fused = 0;
+  for (const auto& step : ctx.steps()) fused += step.fused != nullptr ? 1 : 0;
+  EXPECT_EQ(fused, 3u);
+  EXPECT_EQ(ctx.steps().front().kind, ExecutionContext::Step::Kind::kConv);
+  EXPECT_EQ(ctx.steps().back().kind, ExecutionContext::Step::Kind::kGeneric);
+}
+
+TEST(ExecutionContext, InferBatchMatchesPerImageForward) {
+  Network net = make_network(0, 21);
+  ExecutionContext ctx(net);
+  std::vector<tensor::Tensor> images;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    images.push_back(random_input(net.input_shape(), 500 + i));
+  }
+  const std::vector<tensor::Tensor> batched = net.infer_batch(images, ctx);
+  ASSERT_EQ(batched.size(), images.size());
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    expect_bit_identical(net.forward(images[i], /*train=*/false), batched[i],
+                         "batch element " + std::to_string(i));
+  }
+}
+
+TEST(ExecutionContext, RejectsContextBuiltForAnotherNetwork) {
+  Network a = make_network(0, 1);
+  Network b = make_network(0, 2);
+  ExecutionContext ctx_b(b);
+  EXPECT_THROW((void)a.infer(random_input(a.input_shape(), 3), ctx_b), std::invalid_argument);
+  ExecutionContext ctx_a(a);
+  EXPECT_THROW((void)a.infer(random_input(Shape{1, 4, 4}, 3), ctx_a), std::invalid_argument);
+}
+
+TEST(ExecutionContext, ConstPredictMatchesForwardArgmax) {
+  const Network net = make_network(0, 31);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const tensor::Tensor input = random_input(net.input_shape(), 900 + i);
+    // predict() is const: it must work on a network the caller cannot mutate.
+    EXPECT_EQ(net.predict(input),
+              const_cast<Network&>(net).forward(input, /*train=*/false).argmax());
+  }
+}
+
+TEST(ExecutionContext, EmptyNetworkInferCopiesInput) {
+  Network net(Shape{1, 1, 3}, "identity");
+  ExecutionContext ctx(net);
+  const tensor::Tensor input = random_input(net.input_shape(), 5);
+  expect_bit_identical(input, net.infer(input, ctx), "empty network");
+}
+
+// ----------------------------------------------------------- fixed-point path
+
+TEST(ExecutionContext, FixedInferenceMatchesFreshContextWrapper) {
+  for (int arch = 0; arch < kArchCount; ++arch) {
+    const Network net = make_network(arch, 41u + static_cast<std::uint64_t>(arch));
+    const FixedPointFormat format{16, 8};
+    ExecutionContext ctx(net);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      const tensor::Tensor input = random_input(net.input_shape(), 700 + i);
+      const FixedForwardResult fresh = forward_fixed(net, input, format);
+      // Reused context: quantized parameters cached after the first call.
+      const FixedForwardResult reused = forward_fixed(net, input, format, ctx);
+      EXPECT_EQ(fresh.predicted, reused.predicted);
+      expect_bit_identical(fresh.scores, reused.scores,
+                           "arch " + std::to_string(arch) + " fixed input " +
+                               std::to_string(i));
+      EXPECT_EQ(fresh.output_error, reused.output_error);
+    }
+  }
+}
+
+TEST(ExecutionContext, FixedCacheRebuildsWhenFormatChanges) {
+  const Network net = make_network(0, 51);
+  ExecutionContext ctx(net);
+  const tensor::Tensor input = random_input(net.input_shape(), 1);
+  const FixedForwardResult q88 = forward_fixed(net, input, FixedPointFormat{16, 8}, ctx);
+  const FixedForwardResult q412 = forward_fixed(net, input, FixedPointFormat{16, 12}, ctx);
+  const FixedForwardResult q88_again = forward_fixed(net, input, FixedPointFormat{16, 8}, ctx);
+  expect_bit_identical(q88.scores, q88_again.scores, "format switch round trip");
+  // Differently-scaled arithmetic virtually never lands on identical scores;
+  // equality here would mean the cache failed to re-key on the format.
+  bool any_difference = false;
+  for (std::size_t i = 0; i < q88.scores.size(); ++i) {
+    any_difference = any_difference || q88.scores[i] != q412.scores[i];
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+// ------------------------------------------------------------- context pool
+
+TEST(ExecutionContextPool, ReusesReleasedContexts) {
+  const Network net = make_network(4, 61);
+  ExecutionContextPool pool(net);
+  for (int i = 0; i < 5; ++i) {
+    auto lease = pool.acquire();
+    (void)net.infer(random_input(net.input_shape(), static_cast<std::uint64_t>(i)), *lease);
+  }
+  EXPECT_EQ(pool.created(), 1u);  // sequential use never needs a second context
+  {
+    auto a = pool.acquire();
+    auto b = pool.acquire();  // held concurrently: must materialize a second
+    (void)a;
+    (void)b;
+  }
+  EXPECT_EQ(pool.created(), 2u);
+  auto again = pool.acquire();
+  EXPECT_EQ(pool.created(), 2u);  // both returned to the free list
+}
+
+// ------------------------------------------------------- many-thread hammer
+
+TEST(ExecutionContext, ConcurrentInferenceIsBitExact) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kImages = 16;
+  constexpr std::size_t kRounds = 6;
+
+  const Network net = make_network(0, 71);
+  std::vector<tensor::Tensor> images;
+  std::vector<tensor::Tensor> expected;
+  {
+    // Reference outputs via the seed mutable path, before any concurrency.
+    Network& mutable_net = const_cast<Network&>(net);
+    for (std::uint64_t i = 0; i < kImages; ++i) {
+      images.push_back(random_input(net.input_shape(), 4000 + i));
+      expected.push_back(mutable_net.forward(images.back(), /*train=*/false));
+    }
+  }
+
+  ExecutionContextPool pool(net);
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        const std::size_t index = (t * kRounds + round) % kImages;
+        auto lease = pool.acquire();
+        const tensor::Tensor& scores = net.infer(images[index], *lease);
+        const tensor::Tensor& want = expected[index];
+        if (scores.shape() != want.shape()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (std::size_t k = 0; k < want.size(); ++k) {
+          const float got = scores[k];
+          const float ref = want[k];
+          if (std::memcmp(&got, &ref, sizeof(float)) != 0) mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_LE(pool.created(), kThreads);
+}
+
+TEST(ExecutionContext, ConcurrentFixedInferenceIsDeterministic) {
+  constexpr std::size_t kThreads = 6;
+  const Network net = make_network(1, 81);
+  const FixedPointFormat format{16, 8};
+  const tensor::Tensor input = random_input(net.input_shape(), 9);
+  const FixedForwardResult reference = forward_fixed(net, input, format);
+
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      ExecutionContext ctx(net);
+      for (int round = 0; round < 4; ++round) {
+        const FixedForwardResult result =
+            forward_fixed(net, input, format, ctx, /*track_output_error=*/false);
+        if (result.predicted != reference.predicted) mismatches.fetch_add(1);
+        for (std::size_t k = 0; k < reference.scores.size(); ++k) {
+          if (result.scores[k] != reference.scores[k]) mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+// ---------------------------------------------------------------- training
+
+TEST(TrainContext, ForwardBackwardDelegatesToTheMutablePath) {
+  Network net = make_network(4, 91);
+  TrainContext train(net);
+  const tensor::Tensor input = random_input(net.input_shape(), 2);
+  const tensor::Tensor out = train.forward(input);
+  EXPECT_EQ(out.size(), 3u);
+  tensor::Tensor grad{out.shape()};
+  for (std::size_t i = 0; i < grad.size(); ++i) grad[i] = 0.1f;
+  train.backward(grad);  // must not throw: forward(train=true) cached state
+
+  // After training-path use, const inference still matches the seed forward.
+  ExecutionContext ctx(net);
+  expect_bit_identical(net.forward(input, /*train=*/false), net.infer(input, ctx),
+                       "post-backward inference");
+}

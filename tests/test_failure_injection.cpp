@@ -157,7 +157,9 @@ TEST(FailureInjection, MassivelyOversizedDesignReportsDontLie) {
   options.boards = {"zybo", "zedboard"};
   const core::DseResult result = core::explore_design_space(d, options);
   for (const core::DsePoint& p : result.points) {
-    if (!p.precision.is_fixed) EXPECT_FALSE(p.fits) << p.label();
+    if (!p.precision.is_fixed) {
+      EXPECT_FALSE(p.fits) << p.label();
+    }
   }
 }
 

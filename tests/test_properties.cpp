@@ -87,7 +87,9 @@ TEST_P(DirectiveSweep, IntervalNeverExceedsLatency) {
   const nn::Network net = nn::make_test1_network();
   const hls::HlsReport report = hls::estimate(net, directives, hls::zedboard());
   EXPECT_LE(report.interval_cycles, report.latency_cycles);
-  if (!dataflow) EXPECT_EQ(report.interval_cycles, report.latency_cycles);
+  if (!dataflow) {
+    EXPECT_EQ(report.interval_cycles, report.latency_cycles);
+  }
   EXPECT_GT(report.usage.dsp, 0u);
   EXPECT_TRUE(report.fits());
 }

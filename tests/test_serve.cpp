@@ -6,6 +6,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <future>
 #include <thread>
 #include <vector>
 
@@ -62,6 +63,19 @@ std::string deploy_body(const std::string& name, int seed = 7) {
             {"type": "linear", "neurons": 4}
           ]})",
       name.c_str(), seed);
+}
+
+/// Occupy every worker of `executor` until the returned promise is fulfilled.
+/// With all workers parked, submitted batches queue up instead of executing,
+/// which lets tests control exactly when execution happens (the replacement
+/// for grabbing the old per-design execution lock, which no longer exists).
+std::shared_ptr<std::promise<void>> park_workers(Executor& executor) {
+  auto gate = std::make_shared<std::promise<void>>();
+  std::shared_future<void> open = gate->get_future().share();
+  for (std::size_t i = 0; i < executor.thread_count(); ++i) {
+    executor.submit([open] { open.wait(); });
+  }
+  return gate;
 }
 
 }  // namespace
@@ -158,20 +172,22 @@ TEST(Batcher, FlushesWhenMaxBatchReached) {
   ServeMetrics metrics;
   DesignRegistry registry(4, &metrics);
   Executor executor(2);
-  // Deadline far away: only idle-flush and the max_batch trigger can flush.
-  Batcher batcher(executor, {/*max_batch=*/4, /*max_wait_us=*/60'000'000}, &metrics);
+  // Deadline far away and a single inference slot: only idle-flush and the
+  // max_batch trigger can flush.
+  Batcher batcher(executor,
+                  {/*max_batch=*/4, /*max_wait_us=*/60'000'000, /*max_inflight=*/1}, &metrics);
   const auto design = registry.deploy_random(small_descriptor("net_a"), 1).design;
 
-  // Hold the design's execution lock: the first request flushes immediately
-  // (idle design) and its batch blocks; the next 4 coalesce until max_batch.
-  std::unique_lock<std::mutex> block(design->exec_mutex);
+  // Park the workers: the first request flushes immediately (free slot) and
+  // its batch queues; the next 4 coalesce until max_batch.
+  auto gate = park_workers(executor);
   auto first = batcher.predict(design, test_image(0, design->net.input_shape()));
   std::vector<std::future<Prediction>> coalesced;
   for (int i = 1; i <= 4; ++i) {
     coalesced.push_back(batcher.predict(design, test_image(i, design->net.input_shape())));
   }
   EXPECT_EQ(batcher.pending(), 0u);  // 4th request hit max_batch and flushed
-  block.unlock();
+  gate->set_value();
 
   ASSERT_EQ(first.wait_for(std::chrono::seconds(30)), std::future_status::ready);
   EXPECT_EQ(first.get().batch_size, 1u);
@@ -188,18 +204,19 @@ TEST(Batcher, ModeledAcceleratorTimeAmortizesAcrossBatch) {
   ServeMetrics metrics;
   DesignRegistry registry(4, &metrics);
   Executor executor(2);
-  Batcher batcher(executor, {/*max_batch=*/4, /*max_wait_us=*/60'000'000}, &metrics);
+  Batcher batcher(executor,
+                  {/*max_batch=*/4, /*max_wait_us=*/60'000'000, /*max_inflight=*/1}, &metrics);
   const auto design = registry.deploy_random(small_descriptor("net_a"), 1).design;
 
   // A lone image pays a blocking DMA round trip; a coalesced batch of 4 is one
   // scatter-gather invocation whose cost splits across the batch.
-  std::unique_lock<std::mutex> block(design->exec_mutex);
+  auto gate = park_workers(executor);
   auto first = batcher.predict(design, test_image(0, design->net.input_shape()));
   std::vector<std::future<Prediction>> coalesced;
   for (int i = 1; i <= 4; ++i) {
     coalesced.push_back(batcher.predict(design, test_image(i, design->net.input_shape())));
   }
-  block.unlock();
+  gate->set_value();
 
   const auto single_us = static_cast<std::uint64_t>(design->invocation_seconds(1) * 1e6);
   const auto share_us =
@@ -219,12 +236,14 @@ TEST(Batcher, FlushesPartialBatchOnDeadline) {
   ServeMetrics metrics;
   DesignRegistry registry(4, &metrics);
   Executor executor(2);
-  Batcher batcher(executor, {/*max_batch=*/64, /*max_wait_us=*/2000}, &metrics);
+  Batcher batcher(executor, {/*max_batch=*/64, /*max_wait_us=*/2000, /*max_inflight=*/1},
+                  &metrics);
   const auto design = registry.deploy_random(small_descriptor("net_a"), 1).design;
 
-  // Keep the design busy so the two coalescing requests can only leave the
-  // lane via the 2 ms deadline (they never reach max_batch = 64).
-  std::unique_lock<std::mutex> block(design->exec_mutex);
+  // Park the workers and fill the design's one slot so the two coalescing
+  // requests can only leave the lane via the 2 ms deadline (they never reach
+  // max_batch = 64).
+  auto gate = park_workers(executor);
   auto first = batcher.predict(design, test_image(0, design->net.input_shape()));
   auto second = batcher.predict(design, test_image(1, design->net.input_shape()));
   auto third = batcher.predict(design, test_image(2, design->net.input_shape()));
@@ -233,7 +252,7 @@ TEST(Batcher, FlushesPartialBatchOnDeadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   EXPECT_EQ(batcher.pending(), 0u);  // deadline thread flushed the partial lane
-  block.unlock();
+  gate->set_value();
 
   ASSERT_EQ(first.wait_for(std::chrono::seconds(30)), std::future_status::ready);
   EXPECT_EQ(first.get().batch_size, 1u);
@@ -268,6 +287,49 @@ TEST(Batcher, RejectsWrongInputShape) {
   const auto design = registry.deploy_random(small_descriptor("net_a"), 1).design;
   EXPECT_THROW(batcher.predict(design, tensor::Tensor{nn::Shape{1, 4, 4}}),
                std::invalid_argument);
+}
+
+TEST(Batcher, DispatchesParallelBatchesForOneDesign) {
+  // With the per-design execution lock gone, one design may have as many
+  // batches in flight as the executor has workers. Park both workers: two
+  // back-to-back requests must BOTH dispatch immediately (two in-flight
+  // batches of one), instead of the second coalescing behind the first.
+  ServeMetrics metrics;
+  DesignRegistry registry(4, &metrics);
+  Executor executor(2);
+  Batcher batcher(executor, {/*max_batch=*/64, /*max_wait_us=*/60'000'000}, &metrics);
+  EXPECT_EQ(batcher.inflight_limit(), 2u);
+  const auto design = registry.deploy_random(small_descriptor("net_a"), 1).design;
+
+  auto gate = park_workers(executor);
+  auto first = batcher.predict(design, test_image(0, design->net.input_shape()));
+  auto second = batcher.predict(design, test_image(1, design->net.input_shape()));
+  EXPECT_EQ(batcher.pending(), 0u);  // both flushed despite neither completing
+  // A third request finds both slots occupied and coalesces.
+  auto third = batcher.predict(design, test_image(2, design->net.input_shape()));
+  EXPECT_EQ(batcher.pending(), 1u);
+  gate->set_value();
+
+  for (auto* future : {&first, &second, &third}) {
+    ASSERT_EQ(future->wait_for(std::chrono::seconds(30)), std::future_status::ready);
+    EXPECT_EQ(future->get().batch_size, 1u);
+  }
+  EXPECT_EQ(metrics.batches.value(), 3u);
+  batcher.shutdown();
+}
+
+TEST(Batcher, ContextPoolGrowsOnlyToPeakParallelism) {
+  // Sequential traffic through one design must keep reusing a single leased
+  // context rather than materializing one per request.
+  DesignRegistry registry(4);
+  Executor executor(2);
+  Batcher batcher(executor, {/*max_batch=*/8, /*max_wait_us=*/1000});
+  const auto design = registry.deploy_random(small_descriptor("net_a"), 1).design;
+  for (int i = 0; i < 6; ++i) {
+    batcher.predict(design, test_image(i, design->net.input_shape())).get();
+  }
+  EXPECT_LE(design->contexts.created(), 2u);
+  batcher.shutdown();
 }
 
 // ------------------------------------------- concurrent client determinism
@@ -422,31 +484,77 @@ TEST(ServeApi, DeployPredictRoundTripMatchesDirectInference) {
   EXPECT_EQ(designs.at("designs").as_array()[0].at("served").as_int(), 1);
 }
 
-TEST(ServeApi, PredictErrors) {
+std::string error_code(const web::HttpResponse& response) {
+  return json::parse(response.body).at("error").at("code").as_string();
+}
+
+TEST(ServeApi, PredictErrorsUseTheEnvelope) {
   ServingRuntime runtime;
 
   web::HttpRequest bad_json;
   bad_json.body = "{ nope";
-  EXPECT_EQ(runtime.handle_predict(bad_json).status, 400);
+  const auto bad_json_response = runtime.handle_predict(bad_json);
+  EXPECT_EQ(bad_json_response.status, 400);
+  EXPECT_EQ(error_code(bad_json_response), "bad_json");
 
   web::HttpRequest no_design;
   no_design.body = R"({"design_id": "0123456789abcdef", "image": [0.0]})";
-  EXPECT_EQ(runtime.handle_predict(no_design).status, 404);
+  const auto no_design_response = runtime.handle_predict(no_design);
+  EXPECT_EQ(no_design_response.status, 404);
+  EXPECT_EQ(error_code(no_design_response), "unknown_design");
 
   const auto deployed =
       json::parse(runtime.handle_deploy([]{ web::HttpRequest r; r.body = deploy_body("err_net"); return r; }()).body);
   const std::string design_id = deployed.at("design_id").as_string();
 
+  // An "image" array of the wrong length is a shape mismatch, not a crash.
   web::HttpRequest wrong_size;
   wrong_size.body = util::format(R"({"design_id": "%s", "image": [0.5, 0.5]})",
                                  design_id.c_str());
-  EXPECT_EQ(runtime.handle_predict(wrong_size).status, 400);
+  const auto wrong_size_response = runtime.handle_predict(wrong_size);
+  EXPECT_EQ(wrong_size_response.status, 400);
+  EXPECT_EQ(error_code(wrong_size_response), "shape_mismatch");
+
+  // image_base64 whose decoded byte length disagrees with the input shape:
+  // 400 with a message naming both sizes, never a misread or a 5xx.
+  web::HttpRequest short_b64;
+  short_b64.body = util::format(R"({"design_id": "%s", "image_base64": "%s"})",
+                                design_id.c_str(),
+                                util::base64_encode(std::vector<std::uint8_t>(8, 0)).c_str());
+  const auto short_b64_response = runtime.handle_predict(short_b64);
+  EXPECT_EQ(short_b64_response.status, 400);
+  EXPECT_EQ(error_code(short_b64_response), "shape_mismatch");
+  const auto short_message =
+      json::parse(short_b64_response.body).at("error").at("message").as_string();
+  EXPECT_NE(short_message.find("8 bytes"), std::string::npos) << short_message;
 
   web::HttpRequest bad_b64;
   bad_b64.body = util::format(R"({"design_id": "%s", "image_base64": "!!!"})",
                               design_id.c_str());
-  EXPECT_EQ(runtime.handle_predict(bad_b64).status, 400);
-  EXPECT_GE(runtime.metrics().predict_errors.value(), 2u);
+  const auto bad_b64_response = runtime.handle_predict(bad_b64);
+  EXPECT_EQ(bad_b64_response.status, 400);
+  EXPECT_EQ(error_code(bad_b64_response), "bad_request");
+
+  // Non-numeric values inside "image" are a client error too (this used to
+  // escape as a json::JsonError and answer 503).
+  web::HttpRequest not_numbers;
+  not_numbers.body = util::format(
+      R"({"design_id": "%s", "image": ["a", "b"]})", design_id.c_str());
+  const auto not_numbers_response = runtime.handle_predict(not_numbers);
+  EXPECT_EQ(not_numbers_response.status, 400);
+
+  EXPECT_GE(runtime.metrics().predict_errors.value(), 3u);
+}
+
+TEST(ServeApi, DeployRejectsUnsupportedSchemaVersion) {
+  ServingRuntime runtime;
+  json::Value doc = json::parse(deploy_body("versioned"));
+  doc.as_object()["schema_version"] = 2;
+  web::HttpRequest request;
+  request.body = doc.dump();
+  const auto response = runtime.handle_deploy(request);
+  EXPECT_EQ(response.status, 400);
+  EXPECT_EQ(error_code(response), "bad_descriptor");
 }
 
 TEST(ServeApi, DeployRejectsMismatchedWeights) {
@@ -487,9 +595,17 @@ TEST(ServeHttp, EndToEndConcurrentClients) {
   const int port = server.start(0);
 
   const auto deployed =
-      web::http_request("127.0.0.1", port, "POST", "/api/deploy", deploy_body("e2e"));
+      web::http_request("127.0.0.1", port, "POST", "/api/v1/deploy", deploy_body("e2e"));
   ASSERT_TRUE(deployed.has_value());
   ASSERT_EQ(deployed->status, 200) << deployed->body;
+  EXPECT_EQ(deployed->headers.count("deprecation"), 0u);
+
+  // The pre-versioning route still answers (cache hit), flagged deprecated.
+  const auto legacy =
+      web::http_request("127.0.0.1", port, "POST", "/api/deploy", deploy_body("e2e"));
+  ASSERT_TRUE(legacy.has_value());
+  ASSERT_EQ(legacy->status, 200) << legacy->body;
+  EXPECT_EQ(legacy->headers.count("deprecation"), 1u);
   const std::string design_id = json::parse(deployed->body).at("design_id").as_string();
 
   const auto design = runtime.registry().find(design_id);
@@ -508,7 +624,7 @@ TEST(ServeHttp, EndToEndConcurrentClients) {
         json::Object body;
         body["design_id"] = design_id;
         body["image_base64"] = util::base64_encode(raw);
-        const auto response = web::http_request("127.0.0.1", port, "POST", "/api/predict",
+        const auto response = web::http_request("127.0.0.1", port, "POST", "/api/v1/predict",
                                                 json::Value(std::move(body)).dump());
         if (!response || response->status != 200) failures.fetch_add(1);
       }
@@ -517,8 +633,9 @@ TEST(ServeHttp, EndToEndConcurrentClients) {
   for (std::thread& client : clients) client.join();
   EXPECT_EQ(failures.load(), 0u);
   EXPECT_EQ(runtime.metrics().predictions.value(), 12u);
+  EXPECT_EQ(runtime.metrics().deploys.value(), 2u);
 
-  const auto metrics = web::http_request("127.0.0.1", port, "GET", "/api/metrics");
+  const auto metrics = web::http_request("127.0.0.1", port, "GET", "/api/v1/metrics");
   ASSERT_TRUE(metrics.has_value());
   EXPECT_EQ(metrics->status, 200);
   EXPECT_EQ(json::parse(metrics->body).at("predict").at("total").as_int(), 12);

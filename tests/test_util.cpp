@@ -250,7 +250,9 @@ TEST(Table, RendersAlignedCells) {
   const auto lines = util::split(out, '\n');
   std::size_t width = lines[0].size();
   for (const auto& line : lines) {
-    if (!line.empty()) EXPECT_EQ(line.size(), width);
+    if (!line.empty()) {
+      EXPECT_EQ(line.size(), width);
+    }
   }
 }
 

@@ -73,7 +73,23 @@ TEST(Api, GenerateRejectsMalformedJson) {
   request.body = "{ nope";
   const HttpResponse r = handle_generate(request);
   EXPECT_EQ(r.status, 400);
-  EXPECT_NE(json::parse(r.body).at("error").as_string().size(), 0u);
+  const auto error = json::parse(r.body).at("error");
+  EXPECT_EQ(error.at("code").as_string(), "bad_json");
+  EXPECT_NE(error.at("message").as_string().size(), 0u);
+}
+
+TEST(Api, GenerateRejectsUnsupportedSchemaVersion) {
+  HttpRequest request;
+  request.body = R"({
+    "schema_version": 99,
+    "input": {"channels": 1, "height": 8, "width": 8},
+    "layers": [{"type": "linear", "neurons": 4}]
+  })";
+  const HttpResponse r = handle_generate(request);
+  EXPECT_EQ(r.status, 400);
+  const auto error = json::parse(r.body).at("error");
+  EXPECT_EQ(error.at("code").as_string(), "bad_descriptor");
+  EXPECT_NE(error.at("message").as_string().find("schema_version"), std::string::npos);
 }
 
 TEST(Api, GenerateRejectsInvalidDescriptor) {
@@ -134,11 +150,52 @@ TEST(HttpServer, NotFoundAndMethodNotAllowed) {
   const auto missing = http_request("127.0.0.1", port, "GET", "/nope");
   ASSERT_TRUE(missing.has_value());
   EXPECT_EQ(missing->status, 404);
+  EXPECT_EQ(json::parse(missing->body).at("error").at("code").as_string(), "not_found");
 
-  const auto wrong_method = http_request("127.0.0.1", port, "GET", "/api/generate");
+  const auto wrong_method = http_request("127.0.0.1", port, "GET", "/api/v1/generate");
   ASSERT_TRUE(wrong_method.has_value());
   EXPECT_EQ(wrong_method->status, 405);
+  EXPECT_EQ(json::parse(wrong_method->body).at("error").at("code").as_string(),
+            "method_not_allowed");
 
+  server.stop();
+}
+
+TEST(HttpServer, VersionedRoutesAndDeprecatedAliases) {
+  HttpServer server;
+  install_api(server);
+  const int port = server.start(0);
+
+  // The v1 route answers without migration headers.
+  const auto v1 = http_request("127.0.0.1", port, "POST", "/api/v1/generate", kDescriptorJson);
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_EQ(v1->status, 200);
+  EXPECT_EQ(v1->headers.count("deprecation"), 0u);
+
+  // The pre-versioning path still answers identically, flagged deprecated and
+  // pointing at its successor.
+  const auto legacy = http_request("127.0.0.1", port, "POST", "/api/generate", kDescriptorJson);
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(legacy->status, 200);
+  ASSERT_EQ(legacy->headers.count("deprecation"), 1u);
+  EXPECT_EQ(legacy->headers.at("deprecation"), "true");
+  ASSERT_EQ(legacy->headers.count("link"), 1u);
+  EXPECT_NE(legacy->headers.at("link").find("/api/v1/generate"), std::string::npos);
+  EXPECT_NE(legacy->headers.at("link").find("successor-version"), std::string::npos);
+  EXPECT_EQ(json::parse(legacy->body).at("name").as_string(),
+            json::parse(v1->body).at("name").as_string());
+
+  // Errors carry the Deprecation flag on the alias too.
+  const auto bad = http_request("127.0.0.1", port, "POST", "/api/generate", "{ nope");
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(bad->status, 400);
+  EXPECT_EQ(bad->headers.count("deprecation"), 1u);
+  EXPECT_EQ(json::parse(bad->body).at("error").at("code").as_string(), "bad_json");
+
+  // Health is mounted both at the top level and under the version prefix.
+  const auto health = http_request("127.0.0.1", port, "GET", "/api/v1/healthz");
+  ASSERT_TRUE(health.has_value());
+  EXPECT_EQ(health->status, 200);
   server.stop();
 }
 
@@ -168,7 +225,7 @@ TEST(Api, IndexServesTheGui) {
   EXPECT_NE(r.body.find("feature maps out"), std::string::npos);
   EXPECT_NE(r.body.find("max-pool"), std::string::npos);
   EXPECT_NE(r.body.find("zedboard"), std::string::npos);
-  EXPECT_NE(r.body.find("/api/generate"), std::string::npos);
+  EXPECT_NE(r.body.find("/api/v1/generate"), std::string::npos);
   EXPECT_NE(r.body.find("weights_mode"), std::string::npos);
 }
 
@@ -211,7 +268,7 @@ TEST(HttpServer, HandlerExceptionsBecome500) {
   EXPECT_NE(r->body.find("handler exploded"), std::string::npos);
   // And the server is still alive.
   server.route("GET", "/ok", [](const HttpRequest&) -> HttpResponse {
-    return {200, "text/plain", "fine"};
+    return {200, "text/plain", "fine", {}};
   });
   server.stop();
 }
