@@ -24,19 +24,28 @@
 //   3. Deploy latency, registry miss vs. hit. A miss runs the entire
 //      generator pipeline (validate, codegen, tcl, HLS estimate); a hit
 //      returns the resident instance.
+//   4. (--overload) Overload behavior. 16 flood threads push the HTTP predict
+//      handler against a queue capped at 64: sheds must answer 429 with
+//      Retry-After immediately (max reject latency is gated — the accept path
+//      never blocks), the admission gauge must never exceed the cap (bounded
+//      memory), and post-flood throughput must recover to >= 95% of the
+//      pre-flood baseline on the same runtime.
 //
 // `--quick` shrinks the request streams for CI smoke runs.
 //
 // Emits a human-readable table plus one machine-readable line:
 //   SERVING_JSON {...}
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <future>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "util/base64.hpp"
 
 using namespace cnn2fpga;
 using namespace cnn2fpga::bench;
@@ -150,6 +159,124 @@ Throughput measure_throughput(const core::NetworkDescriptor& descriptor,
   return out;
 }
 
+struct OverloadResult {
+  std::size_t cap = 0;            ///< max_queue_depth the runtime ran with
+  std::size_t served = 0;         ///< 200s during the flood
+  std::size_t shed = 0;           ///< 429s during the flood
+  std::size_t retry_after = 0;    ///< 429s carrying a Retry-After header
+  double max_reject_ms = 0.0;     ///< slowest 429 (shedding must not block)
+  std::uint64_t queue_peak = 0;   ///< admission-gauge high water vs the cap
+  double baseline_ips = 0.0;      ///< host throughput before the flood
+  double recovered_ips = 0.0;     ///< host throughput after the flood
+};
+
+/// Open-loop stream of `clients` x `per_client` predicts through `runtime`'s
+/// batcher; returns host images/s. Used before and after the flood so the
+/// recovery ratio compares like with like on the same runtime.
+double runtime_throughput(serve::ServingRuntime& runtime,
+                          const std::shared_ptr<serve::DeployedDesign>& design,
+                          const tensor::Tensor& image, std::size_t clients,
+                          std::size_t per_client) {
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      std::vector<std::future<serve::Prediction>> stream;
+      stream.reserve(per_client);
+      for (std::size_t i = 0; i < per_client; ++i) {
+        try {
+          stream.push_back(runtime.batcher().predict(design, image));
+        } catch (const serve::OverloadedError&) {
+          // Closed-loop retry after a shed keeps the measurement honest.
+          --i;
+          std::this_thread::yield();
+        }
+      }
+      for (auto& future : stream) future.get();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  return static_cast<double>(clients * per_client) / seconds_since(start);
+}
+
+/// Flood a bounded-admission runtime with more threads than it can drain and
+/// record how it sheds: every rejection must be immediate (never a blocking
+/// enqueue), carry Retry-After, and leave the queue gauge under the cap. The
+/// flood is closed-loop (one blocking HTTP predict per thread), so the cap is
+/// set below the thread count to make the admission bound actually bind.
+OverloadResult measure_overload(const core::NetworkDescriptor& descriptor, bool quick) {
+  constexpr std::size_t kCap = 8;
+  constexpr std::size_t kFloodThreads = 16;
+
+  serve::ServingConfig config;
+  config.worker_threads = 2;
+  config.batcher.max_batch = 8;
+  config.batcher.max_wait_us = 200;
+  config.batcher.max_queue_depth = kCap;
+  serve::ServingRuntime runtime(config);
+  const auto design = runtime.registry().deploy_random(descriptor, 1).design;
+
+  tensor::Tensor image{design->net.input_shape()};
+  util::Rng rng(42);
+  image.fill_uniform(rng, -1.0f, 1.0f);
+  std::vector<std::uint8_t> raw(image.size() * sizeof(float));
+  std::memcpy(raw.data(), image.data(), raw.size());
+  json::Object body;
+  body["design_id"] = design->id;
+  body["image_base64"] = util::base64_encode(raw);
+  web::HttpRequest request;
+  request.body = json::Value(std::move(body)).dump();
+
+  OverloadResult out;
+  out.cap = kCap;
+  const std::size_t measure_clients = 8;
+  const std::size_t measure_stream = quick ? 50 : 300;
+  out.baseline_ips = runtime_throughput(runtime, design, image, measure_clients,
+                                        measure_stream);
+
+  const auto flood_for = std::chrono::milliseconds(quick ? 300 : 1000);
+  std::atomic<std::size_t> served{0}, shed{0}, retry_after{0}, other{0};
+  std::atomic<std::uint64_t> max_reject_us{0};
+  const auto flood_end = Clock::now() + flood_for;
+  std::vector<std::thread> flood;
+  for (std::size_t t = 0; t < kFloodThreads; ++t) {
+    flood.emplace_back([&] {
+      while (Clock::now() < flood_end) {
+        const auto issued = Clock::now();
+        const web::HttpResponse response = runtime.handle_predict(request);
+        if (response.status == 200) {
+          served.fetch_add(1);
+        } else if (response.status == 429) {
+          shed.fetch_add(1);
+          if (response.headers.count("Retry-After") != 0) retry_after.fetch_add(1);
+          const auto reject_us = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - issued)
+                  .count());
+          std::uint64_t seen = max_reject_us.load();
+          while (reject_us > seen && !max_reject_us.compare_exchange_weak(seen, reject_us)) {
+          }
+        } else {
+          other.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : flood) thread.join();
+  if (other.load() != 0) {
+    std::fprintf(stderr, "overload: %zu unexpected non-200/429 responses\n", other.load());
+  }
+  out.served = served.load();
+  out.shed = shed.load();
+  out.retry_after = retry_after.load();
+  out.max_reject_ms = static_cast<double>(max_reject_us.load()) / 1000.0;
+  out.queue_peak = runtime.metrics().queue_depth.peak();
+
+  out.recovered_ips = runtime_throughput(runtime, design, image, measure_clients,
+                                         measure_stream);
+  runtime.shutdown();
+  return out;
+}
+
 struct DeployLatency {
   double miss_us = 0.0;
   double hit_us = 0.0;
@@ -181,8 +308,10 @@ DeployLatency measure_deploy(std::size_t rounds) {
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool overload = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--overload") == 0) overload = true;
   }
   const std::size_t kClients = 8;
   const std::size_t kPerClient = quick ? 60 : 400;
@@ -232,6 +361,28 @@ int main(int argc, char** argv) {
   std::printf("deploy latency      hit:  %9.1f us  (%.0fx faster)\n", deploy.hit_us,
               deploy_speedup);
 
+  OverloadResult flood;
+  double recovery_ratio = 1.0;
+  bool overload_ok = true;
+  if (overload) {
+    flood = measure_overload(tiny, quick);
+    recovery_ratio = flood.recovered_ips / flood.baseline_ips;
+    std::printf("overload (16 flood threads, max_queue_depth=%zu):\n", flood.cap);
+    std::printf("  served %zu, shed %zu (%zu with Retry-After)\n", flood.served, flood.shed,
+                flood.retry_after);
+    std::printf("  max 429 latency: %8.2f ms  (shedding must never block)\n",
+                flood.max_reject_ms);
+    std::printf("  queue depth peak: %7llu    (cap %zu — bounded memory)\n",
+                static_cast<unsigned long long>(flood.queue_peak), flood.cap);
+    std::printf("  throughput: baseline %9.0f -> recovered %9.0f images/s (%.3fx)\n",
+                flood.baseline_ips, flood.recovered_ips, recovery_ratio);
+    overload_ok = flood.shed > 0 && flood.retry_after == flood.shed &&
+                  flood.max_reject_ms < 250.0 && flood.queue_peak <= flood.cap;
+    // Recovery is a wall-clock ratio: only gate it where scheduling noise is
+    // amortized over the full-size streams.
+    if (!quick) overload_ok = overload_ok && recovery_ratio >= 0.95;
+  }
+
   std::printf(
       "SERVING_JSON {\"bench\": \"serving\", \"clients\": %zu, \"workers\": 4, "
       "\"batch\": %zu, \"unbatched_images_per_s\": %.1f, \"batched_images_per_s\": %.1f, "
@@ -239,11 +390,16 @@ int main(int argc, char** argv) {
       "\"host_batched_images_per_s\": %.1f, \"host_speedup\": %.3f, "
       "\"scaling_1_worker_images_per_s\": %.1f, \"scaling_4_workers_images_per_s\": %.1f, "
       "\"worker_scaling\": %.3f, \"hw_threads\": %u, \"bit_exact\": %s, "
-      "\"deploy_miss_us\": %.1f, \"deploy_hit_us\": %.1f, \"registry_speedup\": %.1f}\n",
+      "\"deploy_miss_us\": %.1f, \"deploy_hit_us\": %.1f, \"registry_speedup\": %.1f, "
+      "\"overload\": %s, \"overload_served\": %zu, \"overload_shed\": %zu, "
+      "\"overload_max_reject_ms\": %.2f, \"overload_queue_peak\": %llu, "
+      "\"overload_recovery_ratio\": %.3f}\n",
       kClients, kBatch, unbatched.accel_ips, batched.accel_ips, accel_speedup,
       unbatched.host_ips, batched.host_ips, host_speedup, one_worker.host_ips,
       four_workers.host_ips, worker_scaling, hw_threads, mismatches == 0 ? "true" : "false",
-      deploy.miss_us, deploy.hit_us, deploy_speedup);
+      deploy.miss_us, deploy.hit_us, deploy_speedup, overload ? "true" : "false",
+      flood.served, flood.shed, flood.max_reject_ms,
+      static_cast<unsigned long long>(flood.queue_peak), recovery_ratio);
 
   // Gates. The modeled-accelerator speedup and bit-exactness are
   // deterministic. The host ratios depend on core count and scheduling: the
@@ -251,5 +407,6 @@ int main(int argc, char** argv) {
   // >= 4 hardware threads to scale onto.
   bool ok = accel_speedup >= 2.0 && host_speedup >= 0.5 && mismatches == 0;
   if (hw_threads >= 4 && !quick) ok = ok && worker_scaling >= 2.0;
+  ok = ok && overload_ok;
   return ok ? 0 : 1;
 }

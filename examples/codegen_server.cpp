@@ -14,6 +14,18 @@
 //       ./codegen_server --demo            self-demo: start, POST a
 //                                          descriptor to itself, print the
 //                                          response summary, exit
+//
+// Overload / robustness knobs (see DESIGN.md "Overload and failure behavior"):
+//   --max-queue-depth N    shed predicts with 429 beyond N queued (0 = off)
+//   --max-wait-us N        partial-batch flush deadline
+//   --deadline-ms N        default predict deadline when the client sends no
+//                          X-Deadline-Ms header (0 = none)
+//   --breaker-failures N   consecutive failed batches that open a design's
+//                          circuit breaker
+//   --breaker-cooldown-ms N  open duration before a half-open probe
+//   --faults SPEC          arm deterministic fault injection, e.g.
+//                          "executor.batch=error:1.0:3" (also honors the
+//                          CNN2FPGA_FAULTS / CNN2FPGA_FAULT_SEED env vars)
 #include <csignal>
 #include <cstdio>
 #include <semaphore>
@@ -36,13 +48,32 @@ int main(int argc, char** argv) {
   serve::ServingConfig serving_config;
   serving_config.worker_threads = static_cast<std::size_t>(args.get_int("workers", 4));
   serving_config.batcher.max_batch = static_cast<std::size_t>(args.get_int("max-batch", 8));
+  serving_config.batcher.max_wait_us =
+      static_cast<std::uint64_t>(args.get_int("max-wait-us", 1000));
+  serving_config.batcher.max_queue_depth =
+      static_cast<std::size_t>(args.get_int("max-queue-depth", 0));
+  serving_config.default_deadline_ms =
+      static_cast<std::uint64_t>(args.get_int("deadline-ms", 0));
+  serving_config.breaker.failure_threshold =
+      static_cast<std::size_t>(args.get_int("breaker-failures", 5));
+  serving_config.breaker.cooldown_ms =
+      static_cast<std::uint64_t>(args.get_int("breaker-cooldown-ms", 1000));
   serve::ServingRuntime runtime(serving_config);
+  if (const std::string faults = args.get_string("faults", ""); !faults.empty()) {
+    std::string error;
+    if (!runtime.faults().configure(faults, &error)) {
+      std::fprintf(stderr, "--faults rejected: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("fault injection armed: %s\n", faults.c_str());
+  }
   serve::install_serve_api(server, runtime);
   const int port = server.start(static_cast<int>(args.get_int("port", 0)));
   std::printf("cnn2fpga server listening on http://127.0.0.1:%d\n", port);
   std::puts("routes: GET /healthz, GET /api/v1/boards, POST /api/v1/generate,");
   std::puts("        POST /api/v1/deploy, POST /api/v1/predict, GET /api/v1/designs,");
-  std::puts("        GET /api/v1/metrics (unversioned /api/... aliases are deprecated)");
+  std::puts("        GET /api/v1/metrics, GET /api/v1/readyz");
+  std::puts("        (unversioned /api/... aliases are deprecated)");
 
   if (args.has("demo")) {
     const char* descriptor = R"({

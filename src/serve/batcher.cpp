@@ -18,20 +18,25 @@ std::uint64_t elapsed_us(Batcher::Clock::time_point from, Batcher::Clock::time_p
 }
 }  // namespace
 
-Batcher::Batcher(Executor& executor, BatcherConfig config, ServeMetrics* metrics)
+Batcher::Batcher(Executor& executor, BatcherConfig config, ServeMetrics* metrics,
+                 FaultInjector* faults)
     : executor_(executor),
-      config_{config.max_batch == 0 ? 1 : config.max_batch, config.max_wait_us,
-              config.max_inflight_per_design},
+      config_{config.max_batch == 0 ? 1 : config.max_batch,
+              config.max_wait_us,
+              config.max_inflight_per_design,
+              config.max_queue_depth,
+              config.max_queue_depth_per_design},
       inflight_limit_(config.max_inflight_per_design != 0
                           ? config.max_inflight_per_design
                           : std::max<std::size_t>(1, executor.thread_count())),
       metrics_(metrics),
+      faults_(faults),
       deadline_thread_([this] { deadline_loop(); }) {}
 
 Batcher::~Batcher() { shutdown(); }
 
 std::future<Prediction> Batcher::predict(std::shared_ptr<DeployedDesign> design,
-                                         tensor::Tensor input) {
+                                         tensor::Tensor input, Clock::time_point deadline) {
   if (!design) throw std::invalid_argument("Batcher::predict: null design");
   if (input.shape() != design->net.input_shape()) {
     throw std::invalid_argument(format(
@@ -39,14 +44,62 @@ std::future<Prediction> Batcher::predict(std::shared_ptr<DeployedDesign> design,
         design->descriptor().name.c_str(), design->net.input_shape().to_string().c_str(),
         input.shape().to_string().c_str()));
   }
+  if (faults_ != nullptr) {
+    faults_->inject_latency("batcher.enqueue");
+    if (faults_->should_fail_alloc("batcher.enqueue")) throw std::bad_alloc();
+  }
 
   Request request;
   request.input = std::move(input);
   request.enqueued = Clock::now();
+  request.deadline = deadline;
+  if (deadline <= request.enqueued) {
+    // The client's budget is already spent; do not touch a lane for it.
+    if (metrics_) metrics_->expired.add();
+    throw DeadlineExceededError("predict: deadline expired before enqueue");
+  }
   std::future<Prediction> future = request.promise.get_future();
 
   std::unique_lock<std::mutex> lock(mutex_);
-  if (stopping_) throw std::runtime_error("Batcher: predict after shutdown");
+  if (stopping_) throw ShutdownError("Batcher: predict after shutdown");
+
+  // Bounded admission: shed before taking any queue space. waiting_ counts
+  // every admitted request that has not started executing, so memory and
+  // queueing delay stay bounded no matter how fast clients push.
+  if (config_.max_queue_depth != 0 && waiting_ >= config_.max_queue_depth) {
+    if (metrics_) metrics_->shed.add();
+    throw OverloadedError(
+        format("predict: admission queue full (%zu waiting)", waiting_), waiting_);
+  }
+  if (config_.max_queue_depth_per_design != 0) {
+    const auto it = waiting_by_design_.find(design->id);
+    const std::size_t design_waiting = it == waiting_by_design_.end() ? 0 : it->second;
+    if (design_waiting >= config_.max_queue_depth_per_design) {
+      if (metrics_) metrics_->shed.add();
+      throw OverloadedError(
+          format("predict: design '%s' queue full (%zu waiting)",
+                 design->descriptor().name.c_str(), design_waiting),
+          design_waiting);
+    }
+  }
+
+  // Circuit breaker, checked after the shed paths so a shed request can never
+  // claim (and then strand) the half-open probe slot.
+  if (!design->breaker.allow()) {
+    if (metrics_) metrics_->breaker_rejects.add();
+    throw DesignUnavailableError(
+        format("predict: design '%s' unavailable (circuit breaker %s)",
+               design->descriptor().name.c_str(), design->breaker.state_name()),
+        design->breaker.retry_after_ms());
+  }
+
+  ++waiting_;
+  ++waiting_by_design_[design->id];
+  if (metrics_) {
+    metrics_->admitted.add();
+    metrics_->queue_depth.set(waiting_);
+  }
+
   Lane& lane = lanes_[design->id];
   if (lane.requests.empty()) {
     lane.design = design;
@@ -92,6 +145,29 @@ std::size_t Batcher::pending() const {
   return total;
 }
 
+std::size_t Batcher::waiting() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return waiting_;
+}
+
+void Batcher::settle_waiting_locked(const std::string& design_id, std::size_t count) {
+  waiting_ -= std::min(count, waiting_);
+  if (const auto it = waiting_by_design_.find(design_id); it != waiting_by_design_.end()) {
+    if (it->second <= count) {
+      waiting_by_design_.erase(it);
+    } else {
+      it->second -= count;
+    }
+  }
+  if (metrics_) metrics_->queue_depth.set(waiting_);
+}
+
+void Batcher::expire_request(Request& request) {
+  if (metrics_) metrics_->expired.add();
+  request.promise.set_exception(std::make_exception_ptr(
+      DeadlineExceededError("predict: deadline exceeded before execution")));
+}
+
 void Batcher::deadline_loop() {
   std::unique_lock<std::mutex> lock(mutex_);
   while (!stopping_) {
@@ -123,12 +199,35 @@ void Batcher::deadline_loop() {
 void Batcher::flush_locked(Lane lane) {
   if (lane.requests.empty()) return;
   const std::string design_id = lane.design->id;
+
+  // Deadline propagation, stage 1: a request whose deadline passed while it
+  // coalesced is failed here instead of being dispatched.
+  const auto now = Clock::now();
+  std::vector<Request> live;
+  live.reserve(lane.requests.size());
+  std::size_t dropped = 0;
+  for (Request& request : lane.requests) {
+    if (request.deadline <= now) {
+      expire_request(request);
+      ++dropped;
+    } else {
+      live.push_back(std::move(request));
+    }
+  }
+  if (dropped != 0) settle_waiting_locked(design_id, dropped);
+  if (live.empty()) {
+    // Nothing executed: if this lane carried the half-open probe, free the
+    // probe slot so the next request can retry the design.
+    lane.design->breaker.record_abandoned();
+    return;
+  }
+
   ++in_flight_;
   ++busy_[design_id];
   auto design = std::move(lane.design);
   // The task owns the batch; requests are fulfilled even if the lane's design
   // was evicted from the registry meanwhile (shared_ptr keeps it alive).
-  auto batch = std::make_shared<std::vector<Request>>(std::move(lane.requests));
+  auto batch = std::make_shared<std::vector<Request>>(std::move(live));
   try {
     executor_.submit([this, design = std::move(design), batch] {
       execute_batch(design, std::move(*batch));
@@ -138,8 +237,19 @@ void Batcher::flush_locked(Lane lane) {
     if (const auto it = busy_.find(design_id); it != busy_.end() && --it->second == 0) {
       busy_.erase(it);
     }
+    settle_waiting_locked(design_id, batch->size());
+    // The only expected submit failures are executor shutdown (report the
+    // uniform shutdown code) and allocation pressure (forward as-is).
+    std::exception_ptr error;
+    try {
+      throw;
+    } catch (const std::bad_alloc&) {
+      error = std::current_exception();
+    } catch (...) {
+      error = std::make_exception_ptr(ShutdownError("Batcher: executor is shut down"));
+    }
     for (Request& request : *batch) {
-      request.promise.set_exception(std::current_exception());
+      request.promise.set_exception(error);
       if (metrics_) metrics_->predict_errors.add();
     }
   }
@@ -147,36 +257,85 @@ void Batcher::flush_locked(Lane lane) {
 
 void Batcher::execute_batch(std::shared_ptr<DeployedDesign> design,
                             std::vector<Request> batch) {
-  std::vector<Prediction> results(batch.size());
-  std::vector<std::exception_ptr> errors(batch.size());
-  Clock::time_point start;
-  std::uint64_t exec_us = 0;
   {
-    // No lock: infer() is const and reentrant, so batches for the same design
-    // run in parallel on other workers, each through its own leased context.
-    auto ctx = design->contexts.acquire();
-    start = Clock::now();
-    const core::NetworkDescriptor& descriptor = design->descriptor();
+    // The batch is executing now: it stops occupying admission-queue space.
+    std::lock_guard<std::mutex> lock(mutex_);
+    settle_waiting_locked(design->id, batch.size());
+  }
+  if (faults_ != nullptr) faults_->inject_latency("executor.batch");
+
+  // Deadline propagation, stage 2: re-check at dispatch so a worker never
+  // runs inference for a client that already gave up (the batch may have sat
+  // in the executor queue behind slow work).
+  std::vector<char> skip(batch.size(), 0);
+  std::size_t live = 0;
+  {
+    const auto now = Clock::now();
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      try {
-        Prediction& out = results[i];
-        if (descriptor.precision.is_fixed) {
-          const nn::FixedForwardResult fixed =
-              nn::forward_fixed(design->net, batch[i].input, descriptor.precision.fixed, *ctx,
-                                /*track_output_error=*/false);
-          out.predicted = fixed.predicted;
-          out.logits.assign(fixed.scores.span().begin(), fixed.scores.span().end());
-        } else {
-          const tensor::Tensor& scores = design->net.infer(batch[i].input, *ctx);
-          out.predicted = scores.argmax();
-          out.logits.assign(scores.span().begin(), scores.span().end());
-        }
-        design->served.fetch_add(1, std::memory_order_relaxed);
-      } catch (...) {
-        errors[i] = std::current_exception();
+      if (batch[i].deadline <= now) {
+        expire_request(batch[i]);
+        skip[i] = 1;
+      } else {
+        ++live;
       }
     }
-    exec_us = elapsed_us(start, Clock::now());
+  }
+
+  std::vector<Prediction> results(batch.size());
+  std::vector<std::exception_ptr> errors(batch.size());
+  Clock::time_point start = Clock::now();
+  std::uint64_t exec_us = 0;
+  std::size_t failures = 0;
+  if (live != 0) {
+    if (faults_ != nullptr && faults_->should_fail("executor.batch")) {
+      const auto fault =
+          std::make_exception_ptr(InjectedFault("injected execution failure"));
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (!skip[i]) errors[i] = fault;
+      }
+      failures = live;
+    } else {
+      // No lock: infer() is const and reentrant, so batches for the same
+      // design run in parallel on other workers, each through its own leased
+      // context.
+      auto ctx = design->contexts.acquire();
+      start = Clock::now();
+      const core::NetworkDescriptor& descriptor = design->descriptor();
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (skip[i]) continue;
+        try {
+          Prediction& out = results[i];
+          if (descriptor.precision.is_fixed) {
+            const nn::FixedForwardResult fixed =
+                nn::forward_fixed(design->net, batch[i].input, descriptor.precision.fixed,
+                                  *ctx,
+                                  /*track_output_error=*/false);
+            out.predicted = fixed.predicted;
+            out.logits.assign(fixed.scores.span().begin(), fixed.scores.span().end());
+          } else {
+            const tensor::Tensor& scores = design->net.infer(batch[i].input, *ctx);
+            out.predicted = scores.argmax();
+            out.logits.assign(scores.span().begin(), scores.span().end());
+          }
+          design->served.fetch_add(1, std::memory_order_relaxed);
+        } catch (...) {
+          errors[i] = std::current_exception();
+          ++failures;
+        }
+      }
+      exec_us = elapsed_us(start, Clock::now());
+    }
+  }
+
+  // One health verdict per batch feeds the design's circuit breaker. An
+  // all-expired batch says nothing about the design, so it only releases a
+  // pending half-open probe.
+  if (live == 0) {
+    design->breaker.record_abandoned();
+  } else if (failures != 0) {
+    design->breaker.record_failure();
+  } else {
+    design->breaker.record_success();
   }
 
   {
@@ -195,20 +354,23 @@ void Batcher::execute_batch(std::shared_ptr<DeployedDesign> design,
   }
 
   // Modeled deployment cost of this invocation: one scatter-gather pass
-  // through the accelerator for the whole batch (what batching buys on the
-  // FPGA, independent of host scheduling noise).
-  const double accel_seconds = design->invocation_seconds(batch.size());
+  // through the accelerator for the executed images (expired requests never
+  // reach the FPGA).
+  const double accel_seconds = design->invocation_seconds(live);
   const auto accel_invocation_us = static_cast<std::uint64_t>(accel_seconds * 1e6);
   const auto accel_share_us =
-      static_cast<std::uint64_t>(accel_seconds * 1e6 / static_cast<double>(batch.size()));
+      live == 0 ? 0
+                : static_cast<std::uint64_t>(accel_seconds * 1e6 /
+                                             static_cast<double>(live));
 
-  if (metrics_) {
+  if (metrics_ && live != 0) {
     metrics_->batches.add();
-    metrics_->batch_size.record(batch.size());
+    metrics_->batch_size.record(live);
     metrics_->exec_us.record(exec_us);
     metrics_->accel_us.record(accel_invocation_us);
   }
   for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (skip[i]) continue;  // promise already failed by expire_request()
     if (errors[i]) {
       if (metrics_) metrics_->predict_errors.add();
       batch[i].promise.set_exception(errors[i]);
@@ -217,7 +379,7 @@ void Batcher::execute_batch(std::shared_ptr<DeployedDesign> design,
     results[i].queue_us = elapsed_us(batch[i].enqueued, start);
     results[i].exec_us = exec_us;
     results[i].accel_us = accel_share_us;
-    results[i].batch_size = batch.size();
+    results[i].batch_size = live;
     if (metrics_) {
       metrics_->predictions.add();
       metrics_->queue_us.record(results[i].queue_us);

@@ -19,6 +19,23 @@
 // lock-bound to compute-bound (the modeled accelerator cost stays serial —
 // see DeployedDesign::invocation_seconds). Shutdown drains: pending lanes
 // are flushed and in-flight batches complete before shutdown() returns.
+//
+// Overload behavior (see DESIGN.md "Overload and failure behavior"):
+//   - Bounded admission. `max_queue_depth` caps requests that are admitted
+//     but not yet executing (lanes + submitted-but-unstarted batches). At
+//     the cap, predict() throws OverloadedError immediately — the accept
+//     path never blocks and memory stays bounded. `max_queue_depth_per_design`
+//     bounds one design's share the same way.
+//   - Deadline propagation. Every request may carry a deadline. Expired
+//     requests are dropped when their lane flushes and re-checked when the
+//     batch starts executing, failing the future with DeadlineExceededError
+//     so workers never run inference for a client that already gave up.
+//   - Circuit breaking. predict() consults the design's Breaker; while it is
+//     open the request fails with DesignUnavailableError without touching a
+//     lane or an executor slot. Batch outcomes feed the breaker: any
+//     execution failure in a batch counts as one failed batch.
+//   - Fault sites: `batcher.enqueue` (latency/alloc) in predict(),
+//     `executor.batch` (latency/error) at batch execution.
 #pragma once
 
 #include <chrono>
@@ -31,7 +48,9 @@
 #include <thread>
 #include <vector>
 
+#include "serve/errors.hpp"
 #include "serve/executor.hpp"
+#include "serve/fault.hpp"
 #include "serve/metrics.hpp"
 #include "serve/registry.hpp"
 #include "tensor/tensor.hpp"
@@ -56,24 +75,40 @@ struct BatcherConfig {
   /// Concurrent batches allowed per design; 0 = the executor's worker count.
   /// 1 restores the fully serialized pre-ExecutionContext behavior.
   std::size_t max_inflight_per_design = 0;
+  /// Bounded admission: cap on requests admitted but not yet executing
+  /// (waiting()). 0 = unbounded. At the cap predict() sheds with
+  /// OverloadedError instead of queueing.
+  std::size_t max_queue_depth = 0;
+  /// Per-design share of the admission budget. 0 = unbounded.
+  std::size_t max_queue_depth_per_design = 0;
 };
 
 class Batcher {
  public:
   using Clock = std::chrono::steady_clock;
 
-  /// `executor` must outlive the batcher. `metrics` may be null.
-  Batcher(Executor& executor, BatcherConfig config, ServeMetrics* metrics = nullptr);
+  /// Sentinel deadline: the request never expires.
+  static constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+  /// `executor` must outlive the batcher. `metrics` and `faults` may be null.
+  Batcher(Executor& executor, BatcherConfig config, ServeMetrics* metrics = nullptr,
+          FaultInjector* faults = nullptr);
   ~Batcher();
   Batcher(const Batcher&) = delete;
   Batcher& operator=(const Batcher&) = delete;
 
-  /// Enqueue one image. The future resolves when its batch has executed;
-  /// it carries an exception for per-request failures. Throws
-  /// std::invalid_argument immediately on an input-shape mismatch and
-  /// std::runtime_error after shutdown().
+  /// Enqueue one image. The future resolves when its batch has executed; it
+  /// carries an exception for per-request failures (DeadlineExceededError
+  /// when dropped past `deadline`, InjectedFault / execution errors
+  /// otherwise). Never blocks. Throws immediately:
+  ///   std::invalid_argument      input-shape mismatch
+  ///   OverloadedError            admission queue at max_queue_depth
+  ///   DeadlineExceededError      `deadline` already passed
+  ///   DesignUnavailableError     the design's circuit breaker is open
+  ///   ShutdownError              after shutdown()
   std::future<Prediction> predict(std::shared_ptr<DeployedDesign> design,
-                                  tensor::Tensor input);
+                                  tensor::Tensor input,
+                                  Clock::time_point deadline = kNoDeadline);
 
   /// Flush every pending lane, wait for all in-flight batches, stop the
   /// deadline thread. Idempotent.
@@ -86,11 +121,16 @@ class Batcher {
   /// Requests waiting in lanes (not yet flushed).
   std::size_t pending() const;
 
+  /// Requests admitted but not yet executing (lanes + submitted batches the
+  /// executor has not started). This is what max_queue_depth bounds.
+  std::size_t waiting() const;
+
  private:
   struct Request {
     std::promise<Prediction> promise;
     tensor::Tensor input;
     Clock::time_point enqueued;
+    Clock::time_point deadline = kNoDeadline;
   };
 
   struct Lane {
@@ -100,14 +140,23 @@ class Batcher {
   };
 
   void deadline_loop();
-  /// Submit a full lane to the executor. Caller holds mutex_.
+  /// Submit a full lane to the executor (expired requests are dropped
+  /// first). Caller holds mutex_.
   void flush_locked(Lane lane);
   void execute_batch(std::shared_ptr<DeployedDesign> design, std::vector<Request> batch);
+  /// Account `count` admitted requests of `design_id` leaving the waiting
+  /// set (started executing, expired, or failed to submit). Caller holds
+  /// mutex_.
+  void settle_waiting_locked(const std::string& design_id, std::size_t count);
+  /// Fail one expired request (504 path) without executing it. Safe to call
+  /// with or without mutex_ held (touches only the request and metrics).
+  void expire_request(Request& request);
 
   Executor& executor_;
   const BatcherConfig config_;
   const std::size_t inflight_limit_;
   ServeMetrics* metrics_;
+  FaultInjector* faults_;
 
   mutable std::mutex mutex_;
   std::condition_variable lane_cv_;     ///< wakes the deadline thread
@@ -115,6 +164,8 @@ class Batcher {
   std::map<std::string, Lane> lanes_;   ///< keyed by design id
   std::map<std::string, std::size_t> busy_;  ///< in-flight batches per design
   std::size_t in_flight_ = 0;           ///< batches submitted, not yet finished
+  std::size_t waiting_ = 0;             ///< admitted, not yet executing
+  std::map<std::string, std::size_t> waiting_by_design_;
   bool stopping_ = false;
   std::thread deadline_thread_;
 };

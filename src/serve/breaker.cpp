@@ -1,0 +1,105 @@
+#include "serve/breaker.hpp"
+
+namespace cnn2fpga::serve {
+
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "?";
+}
+
+Breaker::Breaker(BreakerConfig config, Counter* opens)
+    : config_{config.failure_threshold == 0 ? 1 : config.failure_threshold,
+              config.cooldown_ms},
+      opens_counter_(opens) {}
+
+void Breaker::open_locked() {
+  state_ = BreakerState::kOpen;
+  probe_in_flight_ = false;
+  opened_at_ = Clock::now();
+  ++opens_;
+  if (opens_counter_ != nullptr) opens_counter_->add();
+}
+
+bool Breaker::allow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen: {
+      const auto cooldown = std::chrono::milliseconds(config_.cooldown_ms);
+      if (Clock::now() - opened_at_ < cooldown) return false;
+      state_ = BreakerState::kHalfOpen;
+      probe_in_flight_ = true;  // this request is the probe
+      return true;
+    }
+    case BreakerState::kHalfOpen:
+      if (probe_in_flight_) return false;  // one probe at a time
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void Breaker::record_success() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen) {
+    state_ = BreakerState::kClosed;
+    probe_in_flight_ = false;
+  }
+  // A straggler success while open (batch admitted before the trip) does not
+  // close the breaker: recovery must come through a half-open probe.
+}
+
+void Breaker::record_failure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (++consecutive_failures_ >= config_.failure_threshold) open_locked();
+      break;
+    case BreakerState::kHalfOpen:
+      ++consecutive_failures_;
+      open_locked();  // probe failed: quarantine again, cooldown restarts
+      break;
+    case BreakerState::kOpen:
+      ++consecutive_failures_;  // straggler from a pre-trip batch
+      break;
+  }
+}
+
+void Breaker::record_abandoned() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == BreakerState::kHalfOpen) probe_in_flight_ = false;
+}
+
+BreakerState Breaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+std::size_t Breaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return consecutive_failures_;
+}
+
+std::uint64_t Breaker::opens() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return opens_;
+}
+
+std::uint64_t Breaker::retry_after_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != BreakerState::kOpen) return 0;
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - opened_at_);
+  const auto cooldown = std::chrono::milliseconds(config_.cooldown_ms);
+  return elapsed >= cooldown
+             ? 0
+             : static_cast<std::uint64_t>((cooldown - elapsed).count());
+}
+
+}  // namespace cnn2fpga::serve

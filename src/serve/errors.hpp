@@ -1,0 +1,50 @@
+// Typed control-flow errors of the serving runtime.
+//
+// Each type corresponds to exactly one HTTP status + envelope code, so the
+// API layer maps failures without sniffing message strings and internal
+// execution faults can never masquerade as a shutdown (or vice versa):
+//   OverloadedError        -> 429 overloaded          (admission queue full)
+//   DeadlineExceededError  -> 504 deadline_exceeded   (request expired)
+//   DesignUnavailableError -> 503 design_unavailable  (circuit breaker open)
+//   ShutdownError          -> 503 shutdown            (runtime is draining)
+// Anything else escaping the predict path is a genuine internal fault (500).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace cnn2fpga::serve {
+
+/// Base of every predictable serving-control rejection.
+struct ServeError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Admission control shed this request: the batcher queue is at capacity.
+struct OverloadedError final : ServeError {
+  OverloadedError(const std::string& message, std::size_t depth)
+      : ServeError(message), queue_depth(depth) {}
+  std::size_t queue_depth;  ///< waiting requests at the moment of rejection
+};
+
+/// The request's deadline passed before (or while) it could execute.
+struct DeadlineExceededError final : ServeError {
+  using ServeError::ServeError;
+};
+
+/// The design's circuit breaker is open (or its half-open probe slot is
+/// taken); the design is quarantined until a probe succeeds.
+struct DesignUnavailableError final : ServeError {
+  DesignUnavailableError(const std::string& message, std::uint64_t retry_ms)
+      : ServeError(message), retry_after_ms(retry_ms) {}
+  std::uint64_t retry_after_ms;  ///< cooldown remaining (0 = probe pending)
+};
+
+/// The runtime (or batcher/executor) has been shut down.
+struct ShutdownError final : ServeError {
+  using ServeError::ServeError;
+};
+
+}  // namespace cnn2fpga::serve

@@ -1,0 +1,234 @@
+#include "serve/fault.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "util/hash.hpp"
+#include "util/strings.hpp"
+
+namespace cnn2fpga::serve {
+
+using cnn2fpga::util::format;
+
+namespace {
+
+/// splitmix64: a full-period mixer, so firing decisions are i.i.d.-looking
+/// but a pure function of (seed, site, kind, hit index).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+const char* kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kError: return "error";
+    case FaultKind::kLatency: return "latency";
+    case FaultKind::kAlloc: return "alloc";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void FaultInjector::arm(const std::string& site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Armed>& armed = sites_[site];
+  for (Armed& existing : armed) {
+    if (existing.spec.kind == spec.kind) {
+      existing = Armed{spec, 0, 0};  // re-arm: fresh hit/fire accounting
+      return;
+    }
+  }
+  armed.push_back(Armed{spec, 0, 0});
+  armed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return;
+  armed_.fetch_sub(it->second.size(), std::memory_order_relaxed);
+  sites_.erase(it);
+}
+
+void FaultInjector::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.store(0, std::memory_order_relaxed);
+  sites_.clear();
+}
+
+void FaultInjector::seed(std::uint64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  seed_ = value;
+}
+
+bool FaultInjector::fire(std::string_view site, FaultKind kind, std::uint64_t* latency_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  for (Armed& armed : it->second) {
+    if (armed.spec.kind != kind) continue;
+    const std::uint64_t n = armed.hits++;
+    if (armed.spec.count != 0 && armed.fires >= armed.spec.count) return false;  // budget spent
+    bool fires = armed.spec.rate >= 1.0;
+    if (!fires && armed.spec.rate > 0.0) {
+      util::Fnv1a h;
+      h.update(site);
+      const std::uint64_t word =
+          mix(seed_ ^ h.digest() ^ (static_cast<std::uint64_t>(kind) << 56) ^
+              n * 0x9e3779b97f4a7c15ull);
+      fires = static_cast<double>(word >> 11) * 0x1.0p-53 < armed.spec.rate;
+    }
+    if (!fires) return false;
+    ++armed.fires;
+    if (latency_us != nullptr) *latency_us = armed.spec.latency_us;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::should_fail(std::string_view site) {
+  if (!enabled()) return false;
+  return fire(site, FaultKind::kError);
+}
+
+bool FaultInjector::should_fail_alloc(std::string_view site) {
+  if (!enabled()) return false;
+  return fire(site, FaultKind::kAlloc);
+}
+
+void FaultInjector::inject_latency(std::string_view site) {
+  if (!enabled()) return;
+  std::uint64_t latency_us = 0;
+  // Decide under the lock, sleep outside it: a long injected delay must not
+  // serialize every other site through the injector mutex.
+  if (fire(site, FaultKind::kLatency, &latency_us) && latency_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(latency_us));
+  }
+}
+
+std::uint64_t FaultInjector::fired(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return 0;
+  std::uint64_t total = 0;
+  for (const Armed& armed : it->second) total += armed.fires;
+  return total;
+}
+
+bool FaultInjector::configure(const std::string& spec, std::string* error) {
+  // Parse everything before arming anything: a half-applied spec is worse
+  // than a rejected one.
+  struct Parsed {
+    std::string site;
+    FaultSpec spec;
+  };
+  std::vector<Parsed> parsed;
+  for (const std::string& entry : util::split(spec, ',')) {
+    const std::string text(util::trim(entry));
+    if (text.empty()) continue;
+    const std::size_t eq = text.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      if (error) *error = format("fault entry '%s': expected site=kind[:...]", text.c_str());
+      return false;
+    }
+    Parsed out;
+    out.site = text.substr(0, eq);
+    const auto fields = util::split(text.substr(eq + 1), ':');
+    if (fields.empty()) {
+      if (error) *error = format("fault entry '%s': missing kind", text.c_str());
+      return false;
+    }
+    const std::string& kind = fields[0];
+    char* end = nullptr;
+    if (kind == "error" || kind == "alloc") {
+      out.spec.kind = kind == "error" ? FaultKind::kError : FaultKind::kAlloc;
+      if (fields.size() >= 2) {
+        out.spec.rate = std::strtod(fields[1].c_str(), &end);
+        if (end == fields[1].c_str() || out.spec.rate < 0.0 || out.spec.rate > 1.0) {
+          if (error) *error = format("fault entry '%s': rate must be in [0,1]", text.c_str());
+          return false;
+        }
+      }
+      if (fields.size() >= 3) {
+        out.spec.count = std::strtoull(fields[2].c_str(), &end, 10);
+        if (end == fields[2].c_str()) {
+          if (error) *error = format("fault entry '%s': bad count", text.c_str());
+          return false;
+        }
+      }
+      if (fields.size() > 3) {
+        if (error) *error = format("fault entry '%s': too many fields", text.c_str());
+        return false;
+      }
+    } else if (kind == "latency") {
+      out.spec.kind = FaultKind::kLatency;
+      if (fields.size() < 2) {
+        if (error) *error = format("fault entry '%s': latency needs microseconds", text.c_str());
+        return false;
+      }
+      out.spec.latency_us = std::strtoull(fields[1].c_str(), &end, 10);
+      if (end == fields[1].c_str()) {
+        if (error) *error = format("fault entry '%s': bad latency", text.c_str());
+        return false;
+      }
+      if (fields.size() >= 3) {
+        out.spec.count = std::strtoull(fields[2].c_str(), &end, 10);
+        if (end == fields[2].c_str()) {
+          if (error) *error = format("fault entry '%s': bad count", text.c_str());
+          return false;
+        }
+      }
+      if (fields.size() > 3) {
+        if (error) *error = format("fault entry '%s': too many fields", text.c_str());
+        return false;
+      }
+    } else {
+      if (error) {
+        *error = format("fault entry '%s': kind must be error, latency or alloc", text.c_str());
+      }
+      return false;
+    }
+    parsed.push_back(std::move(out));
+  }
+  for (const Parsed& entry : parsed) arm(entry.site, entry.spec);
+  return true;
+}
+
+void FaultInjector::configure_from_env() {
+  if (const char* seed_text = std::getenv("CNN2FPGA_FAULT_SEED"); seed_text != nullptr) {
+    seed(std::strtoull(seed_text, nullptr, 10));
+  }
+  const char* spec = std::getenv("CNN2FPGA_FAULTS");
+  if (spec == nullptr || *spec == '\0') return;
+  std::string error;
+  if (!configure(spec, &error)) {
+    std::fprintf(stderr, "CNN2FPGA_FAULTS ignored: %s\n", error.c_str());
+  }
+}
+
+json::Value FaultInjector::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  json::Object out;
+  for (const auto& [site, armed] : sites_) {
+    json::Array entries;
+    for (const Armed& fault : armed) {
+      json::Object entry;
+      entry["kind"] = kind_name(fault.spec.kind);
+      entry["rate"] = fault.spec.rate;
+      entry["count"] = fault.spec.count;
+      entry["latency_us"] = fault.spec.latency_us;
+      entry["hits"] = fault.hits;
+      entry["fires"] = fault.fires;
+      entries.push_back(std::move(entry));
+    }
+    out[site] = std::move(entries);
+  }
+  return json::Value(std::move(out));
+}
+
+}  // namespace cnn2fpga::serve

@@ -1,0 +1,119 @@
+// Deterministic fault injection for the serving runtime.
+//
+// Robustness behavior (load shedding, deadline drops, circuit breaking) is
+// only trustworthy if it is exercised by actually injecting the fault, not by
+// hand-crafting the state it would leave behind. FaultInjector lets tests,
+// the bench harness and a locally started server arm faults at named sites:
+//
+//   registry.deploy   error / latency / alloc   before design generation
+//   batcher.enqueue   latency / alloc           in Batcher::predict
+//   executor.batch    error / latency           at batch execution
+//
+// Three fault kinds: kError makes the site throw InjectedFault, kLatency adds
+// a fixed delay, kAlloc makes the site throw std::bad_alloc. Decisions are
+// deterministic: every armed fault keeps a hit counter, and firing is a pure
+// function of (seed, site, kind, hit index), so a seeded run replays exactly.
+// An optional fire budget (`count`) arms a fault for its first N firings —
+// "fail the next 3 batches, then heal" is one arm() call.
+//
+// Disabled cost: when nothing is armed every query is a single relaxed atomic
+// load and an immediate return — no lock, no map lookup — so production
+// builds keep the hooks compiled in. Arm via code, `configure("spec")`, or
+// the CNN2FPGA_FAULTS / CNN2FPGA_FAULT_SEED environment variables.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace cnn2fpga::serve {
+
+/// Thrown by a site where an error fault fired. Distinct from every
+/// serving-control error so an injected fault surfaces as what it simulates:
+/// an internal execution failure.
+struct InjectedFault : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+enum class FaultKind { kError, kLatency, kAlloc };
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kError;
+  double rate = 1.0;             ///< firing probability per hit (deterministic)
+  std::uint64_t count = 0;       ///< fire at most this many times; 0 = unlimited
+  std::uint64_t latency_us = 0;  ///< added delay (kLatency only)
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arm `spec` at `site` (replaces a previously armed fault of the same
+  /// kind at that site; other kinds at the site stay armed).
+  void arm(const std::string& site, FaultSpec spec);
+  /// Remove every fault armed at `site`.
+  void disarm(const std::string& site);
+  /// Remove everything.
+  void clear();
+
+  /// Seed of the deterministic firing decisions (default 1).
+  void seed(std::uint64_t value);
+
+  /// Parse and arm a comma-separated spec, e.g.
+  ///   "executor.batch=error:1.0:3,batcher.enqueue=latency:500"
+  /// entry grammar: site=error[:rate[:count]] | site=latency:us[:count]
+  ///              | site=alloc[:rate[:count]]
+  /// Returns false (and fills *error) on a malformed spec; nothing is armed
+  /// from a spec that fails to parse.
+  bool configure(const std::string& spec, std::string* error = nullptr);
+
+  /// Arm from CNN2FPGA_FAULTS / CNN2FPGA_FAULT_SEED if set. Malformed specs
+  /// are reported on stderr and ignored (a typo must not take the server
+  /// down).
+  void configure_from_env();
+
+  /// True if any fault is armed anywhere (single relaxed load).
+  bool enabled() const { return armed_.load(std::memory_order_relaxed) != 0; }
+
+  // --- hot-path queries (immediate false/no-op while nothing is armed) ---
+
+  /// Did an error fault fire at `site`? Callers throw InjectedFault.
+  bool should_fail(std::string_view site);
+  /// Did an alloc fault fire at `site`? Callers throw std::bad_alloc.
+  bool should_fail_alloc(std::string_view site);
+  /// Sleep for the armed latency if a latency fault fires at `site`.
+  void inject_latency(std::string_view site);
+
+  /// Total fires across all kinds at `site` (observability for tests).
+  std::uint64_t fired(std::string_view site) const;
+
+  /// {"site": {"kind": ..., "rate": ..., "hits": n, "fires": n}, ...}
+  json::Value to_json() const;
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    std::uint64_t hits = 0;   ///< times the site was queried for this kind
+    std::uint64_t fires = 0;  ///< times the fault actually fired
+  };
+
+  /// Decide (and account) one query of `kind` at `site`. For kLatency the
+  /// armed delay is returned through *latency_us.
+  bool fire(std::string_view site, FaultKind kind, std::uint64_t* latency_us = nullptr);
+
+  std::atomic<std::size_t> armed_{0};  ///< armed fault count (enabled() gate)
+  mutable std::mutex mutex_;
+  std::map<std::string, std::vector<Armed>, std::less<>> sites_;
+  std::uint64_t seed_ = 1;
+};
+
+}  // namespace cnn2fpga::serve

@@ -86,6 +86,16 @@ json::Value ServeMetrics::to_json() const {
   predict["exec_us"] = exec_us.to_json();
   predict["accel_us"] = accel_us.to_json();
   out["predict"] = std::move(predict);
+
+  json::Object overload;
+  overload["admitted"] = admitted.value();
+  overload["shed"] = shed.value();
+  overload["expired"] = expired.value();
+  overload["breaker_rejects"] = breaker_rejects.value();
+  overload["breaker_opens"] = breaker_opens.value();
+  overload["queue_depth"] = queue_depth.value();
+  overload["queue_depth_peak"] = queue_depth.peak();
+  out["overload"] = std::move(overload);
   return json::Value(std::move(out));
 }
 

@@ -25,6 +25,27 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+/// Level gauge with a high-water mark. Writers publish the current level
+/// with relaxed stores (the batcher updates it under its own lock, so the
+/// value is exact); readers see the instantaneous level and the peak ever
+/// reached — the number the "memory stays bounded" guarantee is judged by.
+class Gauge {
+ public:
+  void set(std::uint64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+    std::uint64_t seen = peak_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !peak_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+    }
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  std::uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+  std::atomic<std::uint64_t> peak_{0};
+};
+
 /// Log2-bucketed histogram of non-negative integer samples (microseconds,
 /// batch sizes). Recording is a pair of relaxed atomic adds; percentiles are
 /// estimated as the upper bound of the containing power-of-two bucket, so
@@ -65,6 +86,14 @@ struct ServeMetrics {
   Counter predictions;        ///< individual images served
   Counter predict_errors;     ///< requests failed (bad input, shutdown, ...)
   Counter batches;            ///< micro-batches executed
+
+  // Overload / failure containment.
+  Counter admitted;           ///< requests accepted into the batcher
+  Counter shed;               ///< requests rejected by bounded admission (429)
+  Counter expired;            ///< requests dropped past their deadline (504)
+  Counter breaker_rejects;    ///< requests rejected by an open breaker (503)
+  Counter breaker_opens;      ///< closed/half-open -> open transitions
+  Gauge queue_depth;          ///< admitted-but-not-executing requests (+ peak)
 
   Histogram batch_size;       ///< images per executed batch
   Histogram queue_us;         ///< request wait in the batcher queue

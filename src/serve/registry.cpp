@@ -28,8 +28,12 @@ double DeployedDesign::invocation_seconds(std::size_t images) const {
          static_cast<double>(images) * axi::kStreamingDriverSeconds;
 }
 
-DesignRegistry::DesignRegistry(std::size_t capacity, ServeMetrics* metrics)
-    : capacity_(capacity == 0 ? 1 : capacity), metrics_(metrics) {}
+DesignRegistry::DesignRegistry(std::size_t capacity, ServeMetrics* metrics,
+                               BreakerConfig breaker_config, FaultInjector* faults)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      metrics_(metrics),
+      breaker_config_(breaker_config),
+      faults_(faults) {}
 
 DeployOutcome DesignRegistry::deploy(const core::NetworkDescriptor& descriptor,
                                      std::vector<std::uint8_t> weights) {
@@ -47,14 +51,25 @@ DeployOutcome DesignRegistry::deploy(const core::NetworkDescriptor& descriptor,
     ++stats_.misses;
   }
 
+  // Fault site: exercised before the expensive generation so an injected
+  // deploy failure costs nothing and leaves no half-built state behind.
+  if (faults_ != nullptr) {
+    faults_->inject_latency("registry.deploy");
+    if (faults_->should_fail_alloc("registry.deploy")) throw std::bad_alloc();
+    if (faults_->should_fail("registry.deploy")) {
+      throw InjectedFault(format("injected deploy failure for '%s'", descriptor.name.c_str()));
+    }
+  }
+
   // Generate outside the lock: the pipeline (codegen + HLS estimate) is the
   // expensive part, and concurrent deploys of *different* designs should not
   // serialize on it. A racing deploy of the same key is resolved below.
   nn::Network net = descriptor.build_network();
   nn::deserialize_weights(net, weights);
   core::GeneratedDesign generated = core::Framework::generate(descriptor, net);
-  auto fresh = std::make_shared<DeployedDesign>(key, std::move(generated), std::move(net),
-                                                std::move(weights));
+  auto fresh = std::make_shared<DeployedDesign>(
+      key, std::move(generated), std::move(net), std::move(weights), breaker_config_,
+      metrics_ != nullptr ? &metrics_->breaker_opens : nullptr);
 
   std::lock_guard<std::mutex> lock(mutex_);
   if (const auto it = entries_.find(key); it != entries_.end()) {

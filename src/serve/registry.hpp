@@ -21,6 +21,8 @@
 
 #include "core/framework.hpp"
 #include "nn/execution.hpp"
+#include "serve/breaker.hpp"
+#include "serve/fault.hpp"
 #include "serve/metrics.hpp"
 
 namespace cnn2fpga::serve {
@@ -33,12 +35,14 @@ namespace cnn2fpga::serve {
 /// hardware is one physical IP core.
 struct DeployedDesign {
   DeployedDesign(std::string id_in, core::GeneratedDesign design_in, nn::Network net_in,
-                 std::vector<std::uint8_t> weights_in)
+                 std::vector<std::uint8_t> weights_in, BreakerConfig breaker_config = {},
+                 Counter* breaker_opens = nullptr)
       : id(std::move(id_in)),
         design(std::move(design_in)),
         net(std::move(net_in)),
         weights(std::move(weights_in)),
-        contexts(net) {}
+        contexts(net),
+        breaker(breaker_config, breaker_opens) {}
 
   const std::string id;                      ///< content hash (cache key)
   const core::GeneratedDesign design;        ///< artifacts + HLS report
@@ -46,6 +50,7 @@ struct DeployedDesign {
   const std::vector<std::uint8_t> weights;   ///< canonical CNN2FPGAW1 blob
 
   nn::ExecutionContextPool contexts;         ///< reusable inference contexts
+  Breaker breaker;                           ///< per-design failure quarantine
   std::atomic<std::uint64_t> served{0};      ///< images predicted on this design
 
   const core::NetworkDescriptor& descriptor() const { return design.descriptor; }
@@ -78,8 +83,12 @@ struct RegistryStats {
 
 class DesignRegistry {
  public:
-  /// `metrics` may be null; when set, deploy/hit/eviction counters are fed.
-  explicit DesignRegistry(std::size_t capacity = 16, ServeMetrics* metrics = nullptr);
+  /// `metrics` and `faults` may be null; when set, deploy/hit/eviction
+  /// counters are fed and the `registry.deploy` fault site is live. Every
+  /// deployed design gets a circuit breaker built from `breaker_config`.
+  explicit DesignRegistry(std::size_t capacity = 16, ServeMetrics* metrics = nullptr,
+                          BreakerConfig breaker_config = {},
+                          FaultInjector* faults = nullptr);
 
   /// Deploy from a descriptor and an explicit CNN2FPGAW1 weight blob.
   /// Throws DescriptorError / std::runtime_error on invalid inputs.
@@ -110,6 +119,8 @@ class DesignRegistry {
 
   const std::size_t capacity_;
   ServeMetrics* metrics_;
+  const BreakerConfig breaker_config_;
+  FaultInjector* faults_;
 
   mutable std::mutex mutex_;
   std::list<std::string> lru_;  ///< front = most recently used

@@ -77,16 +77,36 @@ json::Object design_summary(const DeployedDesign& deployed) {
   out["latency_seconds"] = deployed.hls_latency_seconds();
   out["fits"] = deployed.design.hls_report.fits();
   out["served"] = deployed.served.load(std::memory_order_relaxed);
+  out["breaker"] = std::string(deployed.breaker.state_name());
   return out;
+}
+
+/// Seconds a shed client should back off: the p95 queue latency rounded up,
+/// clamped to [1, 60] so the header is always a sane hint even before the
+/// histogram has data.
+std::uint64_t shed_retry_after_seconds(const ServeMetrics& metrics) {
+  const std::uint64_t p95_us = metrics.queue_us.percentile(0.95);
+  const std::uint64_t seconds = (p95_us + 999999) / 1000000;
+  return seconds < 1 ? 1 : (seconds > 60 ? 60 : seconds);
+}
+
+/// Seconds equivalent of a breaker cooldown remainder, rounded up, >= 1.
+std::uint64_t breaker_retry_after_seconds(std::uint64_t retry_after_ms) {
+  const std::uint64_t seconds = (retry_after_ms + 999) / 1000;
+  return seconds < 1 ? 1 : seconds;
 }
 
 }  // namespace
 
 ServingRuntime::ServingRuntime(ServingConfig config)
     : config_(config),
-      registry_(config.registry_capacity, &metrics_),
+      registry_(config.registry_capacity, &metrics_, config.breaker, &faults_),
       executor_(config.worker_threads),
-      batcher_(executor_, config.batcher, &metrics_) {}
+      batcher_(executor_, config.batcher, &metrics_, &faults_) {
+  // CNN2FPGA_FAULTS / CNN2FPGA_FAULT_SEED arm injection before any request
+  // can arrive (the HTTP server is installed on a constructed runtime).
+  faults_.configure_from_env();
+}
 
 ServingRuntime::~ServingRuntime() { shutdown(); }
 
@@ -123,6 +143,10 @@ web::HttpResponse ServingRuntime::handle_deploy(const web::HttpRequest& request)
       const std::uint64_t seed = static_cast<std::uint64_t>(doc.get_int("seed", 1));
       outcome = registry_.deploy_random(descriptor, seed);
     }
+  } catch (const InjectedFault& e) {
+    return api_error(500, "internal", e.what());
+  } catch (const std::bad_alloc&) {
+    return api_error(500, "internal", "deploy: allocation failure");
   } catch (const std::runtime_error& e) {
     return api_error(400, "bad_request", e.what());  // weight/architecture mismatch
   } catch (const std::exception& e) {
@@ -166,19 +190,58 @@ web::HttpResponse ServingRuntime::handle_predict(const web::HttpRequest& request
                      format("design %s is not deployed", id->as_string().c_str()));
   }
 
+  // Deadline: the client's X-Deadline-Ms budget, else the server default.
+  std::uint64_t deadline_ms = config_.default_deadline_ms;
+  if (const auto header = request.headers.find("x-deadline-ms");
+      header != request.headers.end()) {
+    try {
+      // Digits only: stoull would accept "-5" by wrapping it to a huge value.
+      if (header->second.empty() ||
+          header->second.find_first_not_of("0123456789") != std::string::npos) {
+        throw std::invalid_argument("");
+      }
+      const unsigned long long parsed = std::stoull(header->second);
+      if (parsed == 0) throw std::invalid_argument("");
+      deadline_ms = parsed;
+    } catch (const std::exception&) {
+      return api_error(400, "bad_request",
+                       format("X-Deadline-Ms must be a positive integer, got '%s'",
+                              header->second.c_str()));
+    }
+  }
+  const auto deadline = deadline_ms == 0
+                            ? Batcher::kNoDeadline
+                            : arrival + std::chrono::milliseconds(deadline_ms);
+
   Prediction prediction;
   try {
     tensor::Tensor image = decode_image(doc, design->net.input_shape());
-    prediction = batcher_.predict(design, std::move(image)).get();
+    prediction = batcher_.predict(design, std::move(image), deadline).get();
   } catch (const ShapeMismatchError& e) {
     metrics_.predict_errors.add();
     return api_error(400, "shape_mismatch", e.what());
   } catch (const std::invalid_argument& e) {
     metrics_.predict_errors.add();
     return api_error(400, "bad_request", e.what());
-  } catch (const std::runtime_error& e) {
+  } catch (const OverloadedError& e) {
+    web::HttpResponse response = api_error(429, "overloaded", e.what());
+    response.headers["Retry-After"] = std::to_string(shed_retry_after_seconds(metrics_));
+    return response;
+  } catch (const DeadlineExceededError& e) {
+    return api_error(504, "deadline_exceeded", e.what());
+  } catch (const DesignUnavailableError& e) {
+    web::HttpResponse response = api_error(503, "design_unavailable", e.what());
+    response.headers["Retry-After"] =
+        std::to_string(breaker_retry_after_seconds(e.retry_after_ms));
+    return response;
+  } catch (const ShutdownError& e) {
     return api_error(503, "shutdown", e.what());
+  } catch (const std::bad_alloc&) {
+    metrics_.predict_errors.add();
+    return api_error(500, "internal", "predict: allocation failure");
   } catch (const std::exception& e) {
+    // Execution errors (including injected faults) are server faults, not a
+    // sign the runtime is shutting down.
     return api_error(500, "internal", e.what());
   }
 
@@ -228,9 +291,50 @@ web::HttpResponse ServingRuntime::handle_metrics(const web::HttpRequest&) {
   pool["backlog"] = executor_.backlog();
   pool["max_batch"] = batcher_.config().max_batch;
   pool["max_wait_us"] = batcher_.config().max_wait_us;
+  pool["max_queue_depth"] = batcher_.config().max_queue_depth;
   pool["pending"] = batcher_.pending();
+  pool["waiting"] = batcher_.waiting();
   body["pool"] = std::move(pool);
+  json::Object breakers;
+  for (const auto& deployed : registry_.list()) {
+    json::Object one;
+    one["state"] = std::string(deployed->breaker.state_name());
+    one["consecutive_failures"] = deployed->breaker.consecutive_failures();
+    one["opens"] = deployed->breaker.opens();
+    breakers[deployed->id] = std::move(one);
+  }
+  body["breakers"] = std::move(breakers);
+  if (faults_.enabled()) body["faults"] = faults_.to_json();
   return {200, "application/json", metrics.dump(), {}};
+}
+
+web::HttpResponse ServingRuntime::handle_readyz(const web::HttpRequest&) {
+  const bool draining = stopped_.load();
+  const std::size_t waiting = batcher_.waiting();
+  const std::size_t capacity = config_.batcher.max_queue_depth;
+  const bool saturated = capacity != 0 && waiting >= capacity;
+
+  json::Object body;
+  body["status"] = draining ? std::string("draining")
+                            : (saturated ? std::string("saturated") : std::string("ready"));
+  body["queue_depth"] = waiting;
+  body["queue_capacity"] = capacity;
+  const std::uint64_t admitted = metrics_.admitted.value();
+  const std::uint64_t shed = metrics_.shed.value();
+  body["shed_rate"] = admitted + shed == 0
+                          ? 0.0
+                          : static_cast<double>(shed) / static_cast<double>(admitted + shed);
+  json::Object breakers;
+  for (const auto& deployed : registry_.list()) {
+    json::Object one;
+    one["state"] = std::string(deployed->breaker.state_name());
+    one["consecutive_failures"] = deployed->breaker.consecutive_failures();
+    one["retry_after_ms"] = deployed->breaker.retry_after_ms();
+    breakers[deployed->id] = std::move(one);
+  }
+  body["breakers"] = std::move(breakers);
+  const int status = draining || saturated ? 503 : 200;
+  return {status, "application/json", json::Value(std::move(body)).dump(), {}};
 }
 
 void install_serve_api(web::HttpServer& server, ServingRuntime& runtime) {
@@ -242,6 +346,8 @@ void install_serve_api(web::HttpServer& server, ServingRuntime& runtime) {
                  [&runtime](const web::HttpRequest& r) { return runtime.handle_designs(r); });
   web::route_api(server, "GET", "metrics",
                  [&runtime](const web::HttpRequest& r) { return runtime.handle_metrics(r); });
+  web::route_api(server, "GET", "readyz",
+                 [&runtime](const web::HttpRequest& r) { return runtime.handle_readyz(r); });
 }
 
 }  // namespace cnn2fpga::serve

@@ -18,12 +18,25 @@
 //                          queue/exec timing, batch size.
 //   GET  /api/designs   -> resident designs, most recently used first.
 //   GET  /api/metrics   -> counters + latency histograms as JSON.
+//   GET  /api/readyz    -> load-balancer readiness: queue depth, shed rate,
+//                          per-design breaker states; 503 while draining or
+//                          saturated.
+//
+// Overload semantics (DESIGN.md "Overload and failure behavior"): predict
+// answers 429 overloaded (+ Retry-After) when admission sheds, 504
+// deadline_exceeded when the request's deadline (X-Deadline-Ms header or
+// `default_deadline_ms`) passes before execution, 503 design_unavailable
+// (+ Retry-After) while a design's circuit breaker is open, and 503 shutdown
+// once the runtime is draining.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "serve/batcher.hpp"
+#include "serve/breaker.hpp"
 #include "serve/executor.hpp"
+#include "serve/fault.hpp"
 #include "serve/metrics.hpp"
 #include "serve/registry.hpp"
 #include "web/http.hpp"
@@ -34,6 +47,10 @@ struct ServingConfig {
   std::size_t registry_capacity = 16;  ///< LRU bound on resident designs
   std::size_t worker_threads = 4;      ///< executor pool size
   BatcherConfig batcher;
+  BreakerConfig breaker;               ///< applied to every deployed design
+  /// Server-side deadline for predict requests without an X-Deadline-Ms
+  /// header. 0 = no default (requests wait as long as the client does).
+  std::uint64_t default_deadline_ms = 0;
 };
 
 class ServingRuntime {
@@ -49,7 +66,9 @@ class ServingRuntime {
 
   DesignRegistry& registry() { return registry_; }
   Batcher& batcher() { return batcher_; }
+  Executor& executor() { return executor_; }
   ServeMetrics& metrics() { return metrics_; }
+  FaultInjector& faults() { return faults_; }
   const ServingConfig& config() const { return config_; }
 
   /// Transport-free handler entry points (exercised directly by tests).
@@ -57,10 +76,12 @@ class ServingRuntime {
   web::HttpResponse handle_predict(const web::HttpRequest& request);
   web::HttpResponse handle_designs(const web::HttpRequest& request);
   web::HttpResponse handle_metrics(const web::HttpRequest& request);
+  web::HttpResponse handle_readyz(const web::HttpRequest& request);
 
  private:
   ServingConfig config_;
   ServeMetrics metrics_;
+  FaultInjector faults_;  ///< must precede registry_/batcher_ (they hold it)
   DesignRegistry registry_;
   Executor executor_;
   Batcher batcher_;

@@ -28,8 +28,10 @@ const char* status_code_slug(int status) {
     case 405: return "method_not_allowed";
     case 408: return "timeout";
     case 413: return "payload_too_large";
+    case 429: return "overloaded";
     case 500: return "internal";
     case 503: return "unavailable";
+    case 504: return "deadline_exceeded";
     default: return "error";
   }
 }

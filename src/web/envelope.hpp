@@ -20,8 +20,8 @@ inline constexpr const char* kApiPrefix = "/api/v1";
 
 /// Error codes used across the API (not exhaustive; handlers may add more):
 ///   bad_json, bad_descriptor, bad_request, shape_mismatch, unknown_design,
-///   not_found, method_not_allowed, timeout, payload_too_large, shutdown,
-///   internal.
+///   not_found, method_not_allowed, timeout, payload_too_large, overloaded,
+///   deadline_exceeded, design_unavailable, shutdown, internal.
 HttpResponse api_error(int status, const std::string& code, const std::string& message,
                        const std::string& detail = "");
 

@@ -27,8 +27,10 @@ const char* status_text(int status) {
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
     case 413: return "Content Too Large";
+    case 429: return "Too Many Requests";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
     default: return "Unknown";
   }
 }
@@ -134,30 +136,29 @@ void HttpServer::route(const std::string& method, const std::string& path, Handl
 int HttpServer::start(int port) {
   if (running_.load()) throw std::runtime_error("HttpServer already running");
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw std::runtime_error("HttpServer: socket() failed");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("HttpServer: socket() failed");
 
   const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
     throw std::runtime_error(format("HttpServer: bind to port %d failed", port));
   }
-  if (::listen(listen_fd_, config_.backlog) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::listen(fd, config_.backlog) != 0) {
+    ::close(fd);
     throw std::runtime_error("HttpServer: listen() failed");
   }
 
   socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
+  listen_fd_.store(fd);
 
   {
     std::lock_guard<std::mutex> lock(conn_mutex_);
@@ -177,9 +178,11 @@ int HttpServer::start(int port) {
 void HttpServer::stop() {
   if (!running_.exchange(false)) return;
   // Shutting the listening socket unblocks accept().
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
   if (acceptor_.joinable()) acceptor_.join();
   {
     std::lock_guard<std::mutex> lock(conn_mutex_);
@@ -194,7 +197,7 @@ void HttpServer::stop() {
 
 void HttpServer::accept_loop() {
   while (running_.load()) {
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    const int client = ::accept(listen_fd_.load(), nullptr, nullptr);
     if (client < 0) {
       if (!running_.load()) break;
       continue;
@@ -204,6 +207,11 @@ void HttpServer::accept_loop() {
       tv.tv_sec = config_.read_timeout_ms / 1000;
       tv.tv_usec = (config_.read_timeout_ms % 1000) * 1000;
       ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
+    if (config_.write_timeout_ms > 0) {
+      timeval tv{};
+      tv.tv_sec = config_.write_timeout_ms / 1000;
+      tv.tv_usec = (config_.write_timeout_ms % 1000) * 1000;
       ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
     }
     {

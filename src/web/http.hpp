@@ -10,8 +10,11 @@
 // line, headers, Content-Length bodies.
 //
 // Robustness: malformed request lines answer 400 instead of silently closing
-// the connection, bodies over `max_body_bytes` answer 413, and a client that
-// stalls mid-request is cut off by a per-connection read timeout (408).
+// the connection, bodies over `max_body_bytes` answer 413, a client that
+// stalls mid-request is cut off by a per-connection read timeout (408), and a
+// slow reader that accepts a response slower than the kernel send buffer
+// drains is cut off by a per-connection send timeout — so neither direction
+// of a stalled socket can pin a handler thread.
 #pragma once
 
 #include <atomic>
@@ -50,6 +53,8 @@ struct ServerConfig {
   std::size_t handler_threads = 4;          ///< concurrent request handlers
   std::size_t max_body_bytes = 16u << 20;   ///< larger bodies answer 413
   int read_timeout_ms = 5000;               ///< per-connection recv timeout (408)
+  int write_timeout_ms = 5000;              ///< per-connection send timeout
+                                            ///< (slow readers are dropped)
   int backlog = 64;                         ///< listen(2) backlog
 };
 
@@ -85,7 +90,8 @@ class HttpServer {
 
   ServerConfig config_;
   std::map<std::pair<std::string, std::string>, Handler> routes_;
-  int listen_fd_ = -1;
+  /// Atomic: stop() closes/invalidates the fd while accept_loop() reads it.
+  std::atomic<int> listen_fd_{-1};
   int port_ = 0;
   std::atomic<bool> running_{false};
   std::thread acceptor_;

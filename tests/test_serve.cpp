@@ -332,6 +332,169 @@ TEST(Batcher, ContextPoolGrowsOnlyToPeakParallelism) {
   batcher.shutdown();
 }
 
+// ------------------------------------------------------- bounded admission
+
+TEST(Batcher, ShedsAtQueueDepthCapAndRecovers) {
+  ServeMetrics metrics;
+  DesignRegistry registry(4, &metrics);
+  Executor executor(2);
+  BatcherConfig config;
+  config.max_batch = 64;
+  config.max_wait_us = 60'000'000;
+  config.max_inflight_per_design = 1;
+  config.max_queue_depth = 3;
+  Batcher batcher(executor, config, &metrics);
+  const auto design = registry.deploy_random(small_descriptor("net_shed"), 1).design;
+
+  // Parked workers: nothing executes, so every admitted request stays in the
+  // waiting set and the cap is reached deterministically.
+  auto gate = park_workers(executor);
+  std::vector<std::future<Prediction>> admitted;
+  for (int i = 0; i < 3; ++i) {
+    admitted.push_back(batcher.predict(design, test_image(i, design->net.input_shape())));
+  }
+  EXPECT_EQ(batcher.waiting(), 3u);
+  EXPECT_THROW(batcher.predict(design, test_image(9, design->net.input_shape())),
+               OverloadedError);
+  EXPECT_EQ(metrics.shed.value(), 1u);
+  EXPECT_EQ(metrics.admitted.value(), 3u);
+  EXPECT_LE(metrics.queue_depth.peak(), 3u);
+
+  // Shedding rejects the overflow request only; everything admitted executes
+  // and the queue drains back to accepting traffic.
+  gate->set_value();
+  for (auto& future : admitted) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+    EXPECT_NO_THROW(future.get());
+  }
+  auto after = batcher.predict(design, test_image(10, design->net.input_shape()));
+  ASSERT_EQ(after.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  EXPECT_NO_THROW(after.get());
+  batcher.shutdown();
+}
+
+TEST(Batcher, PerDesignCapShedsOnlyTheHotDesign) {
+  ServeMetrics metrics;
+  DesignRegistry registry(4, &metrics);
+  Executor executor(2);
+  BatcherConfig config;
+  config.max_batch = 64;
+  config.max_wait_us = 60'000'000;
+  config.max_inflight_per_design = 1;
+  config.max_queue_depth_per_design = 1;
+  Batcher batcher(executor, config, &metrics);
+  const auto hot = registry.deploy_random(small_descriptor("net_hot"), 1).design;
+  const auto cold = registry.deploy_random(small_descriptor("net_cold"), 2).design;
+
+  auto gate = park_workers(executor);
+  auto admitted = batcher.predict(hot, test_image(0, hot->net.input_shape()));
+  EXPECT_THROW(batcher.predict(hot, test_image(1, hot->net.input_shape())),
+               OverloadedError);
+  // The cold design has its own budget and is unaffected.
+  auto other = batcher.predict(cold, test_image(2, cold->net.input_shape()));
+  gate->set_value();
+  EXPECT_NO_THROW(admitted.get());
+  EXPECT_NO_THROW(other.get());
+  batcher.shutdown();
+}
+
+// ----------------------------------------------------- deadline propagation
+
+TEST(Batcher, RejectsAlreadyExpiredDeadlineAtEnqueue) {
+  ServeMetrics metrics;
+  DesignRegistry registry(4, &metrics);
+  Executor executor(1);
+  Batcher batcher(executor, {/*max_batch=*/8, /*max_wait_us=*/1000}, &metrics);
+  const auto design = registry.deploy_random(small_descriptor("net_dead"), 1).design;
+  EXPECT_THROW(batcher.predict(design, test_image(0, design->net.input_shape()),
+                               Batcher::Clock::now() - std::chrono::milliseconds(1)),
+               DeadlineExceededError);
+  EXPECT_EQ(metrics.expired.value(), 1u);
+  batcher.shutdown();
+}
+
+TEST(Batcher, DropsRequestsThatExpireBeforeExecution) {
+  ServeMetrics metrics;
+  DesignRegistry registry(4, &metrics);
+  Executor executor(2);
+  Batcher batcher(executor, {/*max_batch=*/64, /*max_wait_us=*/60'000'000}, &metrics);
+  const auto design = registry.deploy_random(small_descriptor("net_exp"), 1).design;
+
+  // The request flushes immediately (idle design) but the workers are parked,
+  // so its 20 ms budget expires in the executor queue; the dispatch-time
+  // re-check must fail it without running inference.
+  auto gate = park_workers(executor);
+  auto doomed = batcher.predict(design, test_image(0, design->net.input_shape()),
+                                Batcher::Clock::now() + std::chrono::milliseconds(20));
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  gate->set_value();
+  ASSERT_EQ(doomed.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  EXPECT_THROW(doomed.get(), DeadlineExceededError);
+  EXPECT_EQ(metrics.expired.value(), 1u);
+  EXPECT_EQ(design->served.load(), 0u);
+  // An all-expired batch is no verdict on design health.
+  EXPECT_EQ(design->breaker.state(), BreakerState::kClosed);
+  batcher.shutdown();
+}
+
+// ---------------------------------------------------------- circuit breaker
+
+TEST(Breaker, OpensAfterConsecutiveFailuresAndProbesClosed) {
+  Breaker breaker({/*failure_threshold=*/2, /*cooldown_ms=*/50});
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allow());
+
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);  // below threshold
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_GT(breaker.retry_after_ms(), 0u);
+  EXPECT_LE(breaker.retry_after_ms(), 50u);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_TRUE(breaker.allow());  // cooldown elapsed: this request is the probe
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.allow());  // one probe at a time
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 0u);
+  EXPECT_TRUE(breaker.allow());
+}
+
+TEST(Breaker, FailedProbeReopensAbandonedProbeFreesSlot) {
+  Breaker breaker({/*failure_threshold=*/1, /*cooldown_ms=*/30});
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_TRUE(breaker.allow());
+  breaker.record_failure();  // probe failed: quarantine again
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 2u);
+  EXPECT_FALSE(breaker.allow());  // cooldown restarted
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_TRUE(breaker.allow());
+  breaker.record_abandoned();  // probe batch fully expired: no verdict
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.allow());  // slot freed for the next probe
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(Breaker, StragglerSuccessWhileOpenDoesNotClose) {
+  Breaker breaker({/*failure_threshold=*/1, /*cooldown_ms=*/10'000});
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  // A batch admitted before the trip completes fine: recovery must still go
+  // through a half-open probe, not a lucky straggler.
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.allow());
+}
+
 // ------------------------------------------- concurrent client determinism
 
 TEST(Serving, ConcurrentPredictionsMatchSequentialInference) {
@@ -583,6 +746,146 @@ TEST(ServeApi, ShutdownAnswers503) {
   EXPECT_EQ(runtime.handle_predict(request).status, 503);
 }
 
+namespace {
+
+/// Deploy `name` on `runtime` and return a ready-to-send predict request.
+std::pair<std::string, web::HttpRequest> deploy_and_predict_request(
+    ServingRuntime& runtime, const std::string& name) {
+  web::HttpRequest deploy;
+  deploy.body = deploy_body(name);
+  const auto deployed = json::parse(runtime.handle_deploy(deploy).body);
+  const std::string design_id = deployed.at("design_id").as_string();
+  const auto design = runtime.registry().find(design_id);
+  const tensor::Tensor image = test_image(1, design->net.input_shape());
+  std::vector<std::uint8_t> raw(image.size() * sizeof(float));
+  std::memcpy(raw.data(), image.data(), raw.size());
+  json::Object body;
+  body["design_id"] = design_id;
+  body["image_base64"] = util::base64_encode(raw);
+  web::HttpRequest predict;
+  predict.body = json::Value(std::move(body)).dump();
+  return {design_id, std::move(predict)};
+}
+
+}  // namespace
+
+TEST(ServeApi, OverloadAnswers429WithRetryAfter) {
+  ServingConfig config;
+  config.batcher.max_queue_depth = 1;
+  config.batcher.max_inflight_per_design = 1;
+  config.batcher.max_batch = 64;
+  config.batcher.max_wait_us = 60'000'000;
+  ServingRuntime runtime(config);
+  auto [design_id, predict] = deploy_and_predict_request(runtime, "api_429");
+  const auto design = runtime.registry().find(design_id);
+
+  auto gate = park_workers(runtime.executor());
+  auto occupant = runtime.batcher().predict(design, test_image(0, design->net.input_shape()));
+  const auto response = runtime.handle_predict(predict);
+  EXPECT_EQ(response.status, 429);
+  EXPECT_EQ(error_code(response), "overloaded");
+  ASSERT_EQ(response.headers.count("Retry-After"), 1u);
+  EXPECT_GE(std::stoi(response.headers.at("Retry-After")), 1);
+  gate->set_value();
+  EXPECT_NO_THROW(occupant.get());
+
+  // Recovered: the same request now answers 200.
+  EXPECT_EQ(runtime.handle_predict(predict).status, 200);
+  runtime.shutdown();
+}
+
+TEST(ServeApi, DeadlineHeaderAnswers504WhenBudgetExpires) {
+  ServingRuntime runtime;
+  auto [design_id, predict] = deploy_and_predict_request(runtime, "api_504");
+
+  // 30 ms of injected executor latency guarantees the 10 ms budget expires
+  // between enqueue and dispatch, deterministically.
+  runtime.faults().arm("executor.batch",
+                       {FaultKind::kLatency, /*rate=*/1.0, /*count=*/1, /*latency_us=*/30'000});
+  predict.headers["x-deadline-ms"] = "10";
+  const auto response = runtime.handle_predict(predict);
+  EXPECT_EQ(response.status, 504);
+  EXPECT_EQ(error_code(response), "deadline_exceeded");
+  EXPECT_EQ(runtime.metrics().expired.value(), 1u);
+
+  // Without the fault the same deadline is generous.
+  EXPECT_EQ(runtime.handle_predict(predict).status, 200);
+  runtime.shutdown();
+}
+
+TEST(ServeApi, MalformedDeadlineHeaderIs400) {
+  ServingRuntime runtime;
+  auto [design_id, predict] = deploy_and_predict_request(runtime, "api_deadline");
+  for (const char* bad : {"nope", "-5", "0", "12x", ""}) {
+    predict.headers["x-deadline-ms"] = bad;
+    const auto response = runtime.handle_predict(predict);
+    EXPECT_EQ(response.status, 400) << "header value: '" << bad << "'";
+  }
+  runtime.shutdown();
+}
+
+TEST(ServeApi, ReadyzReportsReadySaturatedAndDraining) {
+  ServingConfig config;
+  config.batcher.max_queue_depth = 1;
+  config.batcher.max_inflight_per_design = 1;
+  config.batcher.max_batch = 64;
+  config.batcher.max_wait_us = 60'000'000;
+  ServingRuntime runtime(config);
+  auto [design_id, predict] = deploy_and_predict_request(runtime, "api_ready");
+  const auto design = runtime.registry().find(design_id);
+
+  const auto ready = runtime.handle_readyz(web::HttpRequest{});
+  EXPECT_EQ(ready.status, 200);
+  const auto ready_doc = json::parse(ready.body);
+  EXPECT_EQ(ready_doc.at("status").as_string(), "ready");
+  EXPECT_EQ(ready_doc.at("queue_capacity").as_int(), 1);
+  EXPECT_EQ(ready_doc.at("breakers").at(design_id).at("state").as_string(), "closed");
+
+  auto gate = park_workers(runtime.executor());
+  auto occupant = runtime.batcher().predict(design, test_image(0, design->net.input_shape()));
+  const auto saturated = runtime.handle_readyz(web::HttpRequest{});
+  EXPECT_EQ(saturated.status, 503);
+  EXPECT_EQ(json::parse(saturated.body).at("status").as_string(), "saturated");
+  EXPECT_EQ(json::parse(saturated.body).at("queue_depth").as_int(), 1);
+  gate->set_value();
+  occupant.get();
+
+  runtime.shutdown();
+  const auto draining = runtime.handle_readyz(web::HttpRequest{});
+  EXPECT_EQ(draining.status, 503);
+  EXPECT_EQ(json::parse(draining.body).at("status").as_string(), "draining");
+}
+
+TEST(ServeApi, ShutdownVersusPredictHammer) {
+  // Predicts racing shutdown() must each resolve to exactly 200 or the
+  // uniform 503 "shutdown" envelope — never a hang, a 500, or a mislabeled
+  // internal error from the executor tearing down underneath the batcher.
+  ServingConfig config;
+  config.batcher.max_wait_us = 200;
+  ServingRuntime runtime(config);
+  auto [design_id, predict] = deploy_and_predict_request(runtime, "api_race");
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> bad{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 8; ++c) {
+    clients.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto response = runtime.handle_predict(predict);
+        if (response.status == 200) continue;
+        if (response.status == 503 && error_code(response) == "shutdown") continue;
+        bad.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  runtime.shutdown();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true);
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(bad.load(), 0u);
+}
+
 // ------------------------------------------------- full HTTP server serving
 
 TEST(ServeHttp, EndToEndConcurrentClients) {
@@ -714,6 +1017,44 @@ TEST(HttpHardening, StalledClientIsTimedOut) {
   const auto health = web::http_request("127.0.0.1", port, "GET", "/healthz");
   ASSERT_TRUE(health.has_value());
   EXPECT_EQ(health->status, 200);
+  server.stop();
+}
+
+TEST(HttpHardening, SlowReaderCannotPinTheHandlerThread) {
+  // One handler thread and a short send timeout: a client that requests a
+  // response far larger than the socket buffers and then never reads would
+  // block write_response forever without SO_SNDTIMEO. The timeout must free
+  // the (only) handler so the next request still gets served.
+  web::ServerConfig config;
+  config.handler_threads = 1;
+  config.write_timeout_ms = 200;
+  web::HttpServer server(config);
+  web::install_api(server);
+  server.route("GET", "/big", [](const web::HttpRequest&) {
+    return web::HttpResponse{200, "application/octet-stream", std::string(16u << 20, 'x'), {}};
+  });
+  const int port = server.start(0);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  const int tiny = 4096;  // shrink the client's receive window
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const char* request = "GET /big HTTP/1.1\r\nHost: test\r\n\r\n";
+  ASSERT_GT(::send(fd, request, std::strlen(request), MSG_NOSIGNAL), 0);
+  // Never read: the server's send must stall, time out, and abandon us.
+
+  const auto started = std::chrono::steady_clock::now();
+  const auto health = web::http_request("127.0.0.1", port, "GET", "/healthz");
+  const auto waited = std::chrono::steady_clock::now() - started;
+  ASSERT_TRUE(health.has_value());
+  EXPECT_EQ(health->status, 200);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(waited).count(), 5000);
+  ::close(fd);
   server.stop();
 }
 
