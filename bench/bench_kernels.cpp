@@ -1,0 +1,270 @@
+// SIMD kernel-engine benchmark: what the runtime-dispatched AVX2 microkernels
+// (src/nn/kernels) buy over the seed blocked-GEMM inference path, measured on
+// one thread so the numbers isolate the kernels from the serving runtime.
+//
+//   1. Conv GEMM, per case-study conv layer. The seed path is
+//      Conv2D::infer_into(x, out, col, nullptr) — im2col + the pixel-blocked
+//      scalar GEMM every PR before the kernel engine shipped. The SIMD path
+//      is exactly what ExecutionContext runs: weights packed once (the
+//      PackCache amortizes packing across calls), then per-image im2col_pack
+//      straight into packed-B panels and the fused 6x16 AVX2 GEMM epilogue.
+//      Parity (<= 1e-4 relative) is checked on the outputs being timed.
+//   2. Whole-network inference on the paper's Test-4 CIFAR network: seed
+//      forward(), scalar-pinned infer(), avx2 infer(), and fused
+//      infer_batch(8) per-image cost, plus argmax agreement.
+//
+// Gate (AVX2 hosts): geometric-mean conv-GEMM speedup >= 3x over the
+// GEMM-dominated layers (N >= 64 output pixels) and parity holds.
+// On hosts without AVX2+FMA the measurements that need the engine are skipped
+// and the gate passes vacuously (the scalar engine IS the seed path).
+//
+// Emits a human-readable table plus BENCH_kernels.json (see --out). Schema:
+//   {
+//     "bench": "kernels", "avx2_available": bool, "engine": "scalar"|"avx2",
+//     "conv": [{"name": str, "m": int, "k": int, "n": int,
+//               "seed_us": float, "simd_us": float, "speedup": float,
+//               "max_rel_err": float}, ...],
+//     "conv_gemm_speedup_geomean": float,
+//     "net_forward_us": float, "net_infer_scalar_us": float,
+//     "net_infer_simd_us": float, "net_batch8_us_per_image": float,
+//     "net_speedup": float, "batch_fusion_speedup": float,
+//     "argmax_match": bool, "gate_min_speedup": 3.0, "pass": bool
+//   }
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cnn2fpga.hpp"
+#include "nn/kernels/kernels.hpp"
+
+using namespace cnn2fpga;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Best-of-`samples` average microseconds per call of `fn`. Each sample runs
+/// enough iterations (calibrated once) to amortize timer noise; min-of-means
+/// is robust against scheduler preemption without needing a long run.
+template <typename Fn>
+double time_us(Fn&& fn, int samples) {
+  fn();  // warm caches, fault pages
+  auto start = Clock::now();
+  fn();
+  double once = std::chrono::duration<double>(Clock::now() - start).count();
+  const int iters = std::max(1, static_cast<int>(5e-3 / std::max(once, 1e-9)));
+  double best = 1e300;
+  for (int s = 0; s < samples; ++s) {
+    start = Clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    const double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+    best = std::min(best, elapsed / iters);
+  }
+  return best * 1e6;
+}
+
+tensor::Tensor random_tensor(nn::Shape shape, std::uint64_t seed) {
+  tensor::Tensor t(shape);
+  util::Rng rng(seed);
+  t.fill_uniform(rng, -1.0f, 1.0f);
+  return t;
+}
+
+struct ConvCase {
+  const char* name;
+  std::size_t in_c, ih, iw, maps, kernel;
+};
+
+struct ConvResult {
+  std::string name;
+  std::size_t m = 0, k = 0, n = 0;
+  double seed_us = 0.0;
+  double simd_us = 0.0;
+  double speedup = 0.0;
+  double max_rel_err = 0.0;
+};
+
+/// Seed blocked GEMM vs the packed AVX2 kernel pipeline on one conv layer.
+ConvResult measure_conv(const ConvCase& c, int samples) {
+  namespace ker = nn::kernels;
+  nn::Conv2D conv(c.in_c, c.maps, c.kernel, c.kernel);
+  util::Rng rng(1);
+  conv.init_weights(rng);
+  const tensor::Tensor x = random_tensor(nn::Shape{c.in_c, c.ih, c.iw}, 2);
+  const nn::Shape out_shape = conv.output_shape(x.shape());
+  const std::size_t oh = out_shape.height(), ow = out_shape.width();
+
+  ConvResult r;
+  r.name = c.name;
+  r.m = c.maps;
+  r.k = c.in_c * c.kernel * c.kernel;
+  r.n = oh * ow;
+
+  tensor::Tensor seed_out(out_shape);
+  std::vector<float> col(conv.col_scratch_size(x.shape()));
+  r.seed_us = time_us(
+      [&] { conv.infer_into(x, seed_out, col.data(), /*fused=*/nullptr); }, samples);
+
+  if (!ker::avx2_available()) return r;
+
+  // Pack weights once — the engine's PackCache does this once per deploy.
+  ker::PackedA wp;
+  ker::pack_a(conv.weights().data(), r.m, r.k, wp);
+  util::aligned_vector<float> bpack(ker::packed_b_size(r.n, r.k));
+  tensor::Tensor simd_out(out_shape);
+  const auto simd_once = [&] {
+    ker::im2col_pack(x.data(), c.ih * c.iw, c.in_c, c.ih, c.iw, c.kernel, c.kernel, oh,
+                     ow, bpack.data(), /*col0=*/0, r.n);
+    ker::zero_pack_tail(bpack.data(), r.n, r.k);
+    ker::gemm(wp, bpack.data(), r.n, conv.bias().data(), /*act=*/-1, simd_out.data(),
+              r.n);
+  };
+  r.simd_us = time_us(simd_once, samples);
+  r.speedup = r.seed_us / r.simd_us;
+
+  for (std::size_t i = 0; i < seed_out.size(); ++i) {
+    const float scale = std::max(1.0f, std::fabs(seed_out[i]));
+    r.max_rel_err =
+        std::max(r.max_rel_err, static_cast<double>(std::fabs(simd_out[i] - seed_out[i]) / scale));
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace ker = nn::kernels;
+  std::string out_path = "BENCH_kernels.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+  const int samples = quick ? 3 : 7;
+  const bool avx2 = ker::avx2_available();
+
+  std::printf("SIMD kernel engine benchmark (single thread, engine: %s%s)\n",
+              ker::kind_name(ker::active()), quick ? ", --quick" : "");
+  std::puts("---------------------------------------------------------------------");
+
+  // The conv layers of the paper's case studies (Sec. V): Test-1/2 USPS conv,
+  // Test-3 second conv, Test-4 CIFAR convs (post-pool input sizes).
+  const ConvCase cases[] = {
+      {"test1_conv6_5x5_16x16", 1, 16, 16, 6, 5},
+      {"test3_conv16_5x5_6x6x6", 6, 6, 6, 16, 5},
+      {"test4_conv12_5x5_3x32x32", 3, 32, 32, 12, 5},
+      {"test4_conv36_5x5_12x14x14", 12, 14, 14, 36, 5},
+  };
+  std::vector<ConvResult> conv_results;
+  double log_speedup_sum = 0.0;
+  std::size_t gated = 0;
+  double worst_rel_err = 0.0;
+  std::puts("conv GEMM, seed blocked path vs packed AVX2 microkernel:");
+  for (const ConvCase& c : cases) {
+    const ConvResult r = measure_conv(c, samples);
+    conv_results.push_back(r);
+    if (avx2) {
+      // The >= 3x gate averages the GEMM-dominated layers (N >= 64 output
+      // pixels). Degenerate layers like Test-3's 2x2-output conv are reported
+      // but not gated: at N=4 only 4 of 16 panel lanes are live and the call
+      // is timer-overhead-bound, so the ratio measures neither engine.
+      if (r.n >= 64) {
+        log_speedup_sum += std::log(r.speedup);
+        ++gated;
+      }
+      worst_rel_err = std::max(worst_rel_err, r.max_rel_err);
+      std::printf("  %-26s M=%-3zu K=%-4zu N=%-5zu %8.2f us -> %7.2f us  (%.2fx, err %.2e)\n",
+                  r.name.c_str(), r.m, r.k, r.n, r.seed_us, r.simd_us, r.speedup,
+                  r.max_rel_err);
+    } else {
+      std::printf("  %-26s M=%-3zu K=%-4zu N=%-5zu %8.2f us  (no AVX2 engine)\n",
+                  r.name.c_str(), r.m, r.k, r.n, r.seed_us);
+    }
+  }
+  const double geomean =
+      avx2 && gated > 0 ? std::exp(log_speedup_sum / static_cast<double>(gated)) : 0.0;
+  if (avx2) {
+    std::printf("  geometric-mean conv GEMM speedup (N >= 64 layers): %.2fx\n", geomean);
+  }
+
+  // Whole-network cost on the Test-4 CIFAR network.
+  nn::Network net = nn::make_test4_network();
+  util::Rng rng(9);
+  net.init_weights(rng);
+  const tensor::Tensor x = random_tensor(nn::Shape{3, 32, 32}, 10);
+  nn::ExecutionContext scalar_ctx(net, ker::Kind::kScalar, nullptr);
+
+  const double forward_us = time_us([&] { (void)net.forward(x, false); }, samples);
+  const double infer_scalar_us =
+      time_us([&] { (void)net.infer(x, scalar_ctx); }, samples);
+  std::puts("Test-4 CIFAR network, one image:");
+  std::printf("  forward() (seed, allocating): %9.2f us\n", forward_us);
+  std::printf("  infer()   scalar engine:      %9.2f us\n", infer_scalar_us);
+
+  double infer_simd_us = 0.0, batch_us_per_image = 0.0;
+  double net_speedup = 0.0, fusion_speedup = 0.0;
+  bool argmax_match = true;
+  if (avx2) {
+    nn::ExecutionContext simd_ctx(net, ker::Kind::kAvx2, nullptr);
+    infer_simd_us = time_us([&] { (void)net.infer(x, simd_ctx); }, samples);
+    constexpr std::size_t kBatch = 8;
+    std::vector<tensor::Tensor> images;
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      images.push_back(random_tensor(net.input_shape(), 20 + i));
+    }
+    batch_us_per_image = time_us([&] { (void)net.infer_batch(images, simd_ctx); }, samples) /
+                         static_cast<double>(kBatch);
+    net_speedup = infer_scalar_us / infer_simd_us;
+    fusion_speedup = infer_simd_us / batch_us_per_image;
+    std::printf("  infer()   avx2 engine:        %9.2f us  (%.2fx vs scalar)\n",
+                infer_simd_us, net_speedup);
+    std::printf("  infer_batch(8) per image:     %9.2f us  (%.2fx vs per-image avx2)\n",
+                batch_us_per_image, fusion_speedup);
+    for (const tensor::Tensor& image : images) {
+      argmax_match = argmax_match &&
+                     net.infer(image, simd_ctx).argmax() == net.infer(image, scalar_ctx).argmax();
+    }
+    std::printf("  argmax agreement (8 images):  %s\n", argmax_match ? "yes" : "NO");
+  } else {
+    std::puts("  avx2 engine unavailable on this host; SIMD sections skipped.");
+  }
+
+  constexpr double kGate = 3.0;
+  const bool parity_ok = worst_rel_err <= 1e-4;
+  const bool pass = !avx2 || (geomean >= kGate && parity_ok && argmax_match);
+  std::printf("gate: conv GEMM geomean >= %.1fx and parity <= 1e-4 -> %s\n", kGate,
+              pass ? "PASS" : "FAIL");
+
+  std::string json = "{\"bench\": \"kernels\", \"avx2_available\": ";
+  json += avx2 ? "true" : "false";
+  json += util::format(", \"engine\": \"%s\", \"conv\": [", ker::kind_name(ker::active()));
+  for (std::size_t i = 0; i < conv_results.size(); ++i) {
+    const ConvResult& r = conv_results[i];
+    json += util::format(
+        "%s{\"name\": \"%s\", \"m\": %zu, \"k\": %zu, \"n\": %zu, \"seed_us\": %.3f, "
+        "\"simd_us\": %.3f, \"speedup\": %.3f, \"max_rel_err\": %.3e}",
+        i == 0 ? "" : ", ", r.name.c_str(), r.m, r.k, r.n, r.seed_us, r.simd_us,
+        r.speedup, r.max_rel_err);
+  }
+  json += util::format(
+      "], \"conv_gemm_speedup_geomean\": %.3f, \"net_forward_us\": %.3f, "
+      "\"net_infer_scalar_us\": %.3f, \"net_infer_simd_us\": %.3f, "
+      "\"net_batch8_us_per_image\": %.3f, \"net_speedup\": %.3f, "
+      "\"batch_fusion_speedup\": %.3f, \"argmax_match\": %s, "
+      "\"gate_min_speedup\": %.1f, \"pass\": %s}",
+      geomean, forward_us, infer_scalar_us, infer_simd_us, batch_us_per_image,
+      net_speedup, fusion_speedup, argmax_match ? "true" : "false", kGate,
+      pass ? "true" : "false");
+
+  std::ofstream out(out_path);
+  out << json << "\n";
+  out.close();
+  std::printf("KERNELS_JSON %s\n", json.c_str());
+  std::printf("wrote %s\n", out_path.c_str());
+  return pass ? 0 : 1;
+}

@@ -146,6 +146,45 @@ static void BM_FullInferTest4(benchmark::State& state) {
 }
 BENCHMARK(BM_FullInferTest4);
 
+static void BM_FullInferTest4Scalar(benchmark::State& state) {
+  // BM_FullInferTest4 with the context pinned to the scalar kernel engine:
+  // the pre-SIMD baseline. The ratio of the two is the kernel engine's win on
+  // this network; bench_kernels gates it.
+  nn::Network net = nn::make_test4_network();
+  util::Rng rng(9);
+  net.init_weights(rng);
+  nn::ExecutionContext ctx(net, nn::kernels::Kind::kScalar, nullptr);
+  const nn::Tensor x = random_tensor(nn::Shape{3, 32, 32}, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.infer(x, ctx).data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(net.total_macs()));
+}
+BENCHMARK(BM_FullInferTest4Scalar);
+
+static void BM_FullInferBatch8Test4(benchmark::State& state) {
+  // Fused batch inference: one im2col + GEMM per layer for the whole batch.
+  // Items processed counts per-image MACs so images/s compares directly with
+  // the single-image benches above.
+  nn::Network net = nn::make_test4_network();
+  util::Rng rng(9);
+  net.init_weights(rng);
+  nn::ExecutionContext ctx(net);
+  constexpr std::size_t kBatch = 8;
+  std::vector<nn::Tensor> images;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    images.push_back(random_tensor(nn::Shape{3, 32, 32}, 10 + i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.infer_batch(images, ctx));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch) *
+                          static_cast<std::int64_t>(net.total_macs()));
+}
+BENCHMARK(BM_FullInferBatch8Test4);
+
 static void BM_HlsEstimate(benchmark::State& state) {
   nn::Network net = nn::make_test4_network();
   for (auto _ : state) {

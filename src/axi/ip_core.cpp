@@ -7,8 +7,11 @@ namespace cnn2fpga::axi {
 CnnIpCore::CnnIpCore(nn::Network& net, const hls::DirectiveSet& directives,
                      const hls::FpgaDevice& device, const nn::NumericFormat& format,
                      bool streamed_weights)
+      // The functional model must match the generated HLS C++ (and
+      // Network::forward) bit-for-bit, so it pins the scalar kernel engine
+      // regardless of the process-wide SIMD dispatch.
     : net_(net),
-      ctx_(net),
+      ctx_(net, nn::kernels::Kind::kScalar, nullptr),
       format_(format),
       streamed_weights_(streamed_weights),
       report_(hls::estimate(net, directives, device, format, streamed_weights)),

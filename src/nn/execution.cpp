@@ -9,27 +9,43 @@ namespace cnn2fpga::nn {
 
 using cnn2fpga::util::format;
 
-ExecutionContext::ExecutionContext(const Network& net) : net_(&net) {
+ExecutionContext::ExecutionContext(const Network& net)
+    : ExecutionContext(net, kernels::active(), nullptr) {}
+
+ExecutionContext::ExecutionContext(const Network& net, kernels::Kind kind,
+                                   std::shared_ptr<kernels::PackCache> packs)
+    : net_(&net), kernel_(kind), packs_(std::move(packs)) {
+  if (kernel_ == kernels::Kind::kAvx2 && !kernels::avx2_available()) {
+    throw std::runtime_error("ExecutionContext: AVX2 engine requested but unavailable");
+  }
   std::size_t max_col = 0;
+  std::size_t max_pool_row = 0;
   const std::size_t count = net.layer_count();
   std::size_t l = 0;
   while (l < count) {
     Step step;
     step.layer = &net.layer(l);
     step.layer_index = l;
+    step.in_shape = l == 0 ? net.input_shape() : net.shape_after(l - 1);
     step.out_shape = net.shape_after(l);
     if (const auto* conv = dynamic_cast<const Conv2D*>(step.layer)) {
       step.kind = Step::Kind::kConv;
-      const Shape& in = l == 0 ? net.input_shape() : net.shape_after(l - 1);
-      max_col = std::max(max_col, conv->col_scratch_size(in));
+      max_col = std::max(max_col, conv->col_scratch_size(step.in_shape));
     } else if (dynamic_cast<const Linear*>(step.layer) != nullptr) {
       step.kind = Step::Kind::kLinear;
+    } else if (dynamic_cast<const Pool2D*>(step.layer) != nullptr) {
+      step.kind = Step::Kind::kPool;
+      max_pool_row = std::max(max_pool_row, step.in_shape.width());
+    } else if (dynamic_cast<const Activation*>(step.layer) != nullptr) {
+      step.kind = Step::Kind::kActivation;
+    } else if (dynamic_cast<const LogSoftMax*>(step.layer) != nullptr) {
+      step.kind = Step::Kind::kLogSoftMax;
     }
     ++l;
     // Fuse a directly following Activation into its producer: the activation
-    // is applied elementwise to each finished accumulator, so fusing skips an
+    // is applied elementwise to each finished accumulator, so fusion skips an
     // arena round trip without touching the arithmetic.
-    if (step.kind != Step::Kind::kGeneric && l < count) {
+    if ((step.kind == Step::Kind::kConv || step.kind == Step::Kind::kLinear) && l < count) {
       if (const auto* act = dynamic_cast<const Activation*>(&net.layer(l))) {
         step.fused = act;
         step.out_shape = net.shape_after(l);
@@ -45,6 +61,54 @@ ExecutionContext::ExecutionContext(const Network& net) : net_(&net) {
     for (const Step& step : steps_) arenas_.emplace_back(step.out_shape);
   }
   col_.resize(max_col);
+
+  max_image_elems_ = net.input_shape().elements();
+  for (const Step& step : steps_) {
+    max_image_elems_ = std::max(max_image_elems_, step.out_shape.elements());
+  }
+  if (kernel_ == kernels::Kind::kAvx2) {
+    if (packs_ == nullptr) packs_ = std::make_shared<kernels::PackCache>(count);
+    pool_row_.resize(max_pool_row);
+  }
+}
+
+void ExecutionContext::ensure_batch(std::size_t batch) {
+  if (kernel_ != kernels::Kind::kAvx2 || batch <= batch_capacity_) return;
+  std::size_t need_bpack = 0;
+  std::size_t need_tmp = 0;
+  for (const Step& step : steps_) {
+    if (step.kind == Step::Kind::kConv) {
+      const auto* conv = static_cast<const Conv2D*>(step.layer);
+      const std::size_t patch = conv->in_channels() * conv->kernel_h() * conv->kernel_w();
+      const std::size_t pixels = step.out_shape.height() * step.out_shape.width();
+      need_bpack = std::max(need_bpack, kernels::packed_b_size(batch * pixels, patch));
+    } else if (step.kind == Step::Kind::kLinear) {
+      const auto* lin = static_cast<const Linear*>(step.layer);
+      need_bpack = std::max(need_bpack, kernels::packed_b_size(batch, lin->in_features()));
+      need_tmp = std::max(need_tmp, lin->out_features() * batch);
+    }
+  }
+  bpack_.resize(need_bpack);
+  gemm_tmp_.resize(need_tmp);
+  batch_ping_.resize(batch * max_image_elems_);
+  batch_pong_.resize(batch * max_image_elems_);
+  row_ptrs_.resize(batch);
+  batch_capacity_ = batch;
+}
+
+void ExecutionContext::warm_packs() {
+  if (kernel_ != kernels::Kind::kAvx2 || packs_ == nullptr) return;
+  for (const Step& step : steps_) {
+    if (step.kind == Step::Kind::kConv) {
+      const auto* conv = static_cast<const Conv2D*>(step.layer);
+      packs_->get(step.layer_index, conv->weights().data(), conv->out_channels(),
+                  conv->in_channels() * conv->kernel_h() * conv->kernel_w());
+    } else if (step.kind == Step::Kind::kLinear) {
+      const auto* lin = static_cast<const Linear*>(step.layer);
+      packs_->get(step.layer_index, lin->weights().data(), lin->out_features(),
+                  lin->in_features());
+    }
+  }
 }
 
 const Tensor& Network::infer(const Tensor& input, ExecutionContext& ctx) const {
@@ -61,6 +125,18 @@ const Tensor& Network::infer(const Tensor& input, ExecutionContext& ctx) const {
     ctx.arena(0) = input;
     return ctx.arena(0);
   }
+
+  if (ctx.kernel() == kernels::Kind::kAvx2 && !plan_needs_generic(ctx)) {
+    // Single image through the fused engine (a batch of one): identical
+    // arithmetic to infer_batch by construction, so serving's batched path
+    // and the latency path agree bit-for-bit.
+    const Tensor* in_ptr = &input;
+    Tensor& out = ctx.arena(steps.size() - 1);
+    float* out_row = out.data();
+    run_fused_batch(&in_ptr, 1, ctx, &out_row);
+    return out;
+  }
+
   const Tensor* current = &input;
   for (std::size_t s = 0; s < steps.size(); ++s) {
     const ExecutionContext::Step& step = steps[s];
@@ -73,7 +149,7 @@ const Tensor& Network::infer(const Tensor& input, ExecutionContext& ctx) const {
       case ExecutionContext::Step::Kind::kLinear:
         static_cast<const Linear*>(step.layer)->infer_into(*current, out, step.fused);
         break;
-      case ExecutionContext::Step::Kind::kGeneric:
+      default:
         step.layer->infer_into(*current, out);
         break;
     }
@@ -82,11 +158,47 @@ const Tensor& Network::infer(const Tensor& input, ExecutionContext& ctx) const {
   return *current;
 }
 
+bool Network::plan_needs_generic(const ExecutionContext& ctx) {
+  for (const ExecutionContext::Step& step : ctx.steps()) {
+    if (step.kind == ExecutionContext::Step::Kind::kGeneric) return true;
+  }
+  return false;
+}
+
+void Network::infer_batch(std::span<const Tensor* const> inputs, std::span<Tensor> outputs,
+                          ExecutionContext& ctx) const {
+  if (inputs.size() != outputs.size()) {
+    throw std::invalid_argument("Network::infer_batch: inputs/outputs size mismatch");
+  }
+  if (inputs.empty()) return;
+  if (&ctx.network() != this) {
+    throw std::invalid_argument("Network::infer_batch: context was built for a different network");
+  }
+  for (const Tensor* input : inputs) {
+    if (input == nullptr || input->shape() != input_shape_) {
+      throw std::invalid_argument("Network::infer_batch: bad input shape");
+    }
+  }
+  if (ctx.kernel() == kernels::Kind::kAvx2 && !plan_needs_generic(ctx) &&
+      !ctx.steps().empty()) {
+    const Shape& out_shape = output_shape();
+    std::vector<float*> out_rows(inputs.size());
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+      if (outputs[i].shape() != out_shape) outputs[i] = Tensor(out_shape);
+      out_rows[i] = outputs[i].data();
+    }
+    run_fused_batch(inputs.data(), inputs.size(), ctx, out_rows.data());
+    return;
+  }
+  for (std::size_t i = 0; i < inputs.size(); ++i) outputs[i] = infer(*inputs[i], ctx);
+}
+
 std::vector<Tensor> Network::infer_batch(const std::vector<Tensor>& inputs,
                                          ExecutionContext& ctx) const {
-  std::vector<Tensor> outputs;
-  outputs.reserve(inputs.size());
-  for (const Tensor& input : inputs) outputs.push_back(infer(input, ctx));
+  std::vector<Tensor> outputs(inputs.size());
+  std::vector<const Tensor*> ptrs(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) ptrs[i] = &inputs[i];
+  infer_batch(std::span<const Tensor* const>(ptrs), std::span<Tensor>(outputs), ctx);
   return outputs;
 }
 

@@ -13,9 +13,27 @@
 // The context also holds the *execution plan*: layers are compiled once into
 // steps, with an Activation directly following a Conv2D/Linear fused into the
 // producing step (elementwise-after-accumulate, so fusion cannot change the
-// arithmetic). Conv2D steps run the im2col + blocked-GEMM fast path, which
-// preserves the seed accumulation order per output element and therefore
-// matches `forward` bit-for-bit (asserted in tests/test_execution.cpp).
+// arithmetic), and every layer classified so the kernel engine can dispatch
+// without dynamic_cast on the hot path.
+//
+// Each context is pinned to one kernel engine (src/nn/kernels) at
+// construction:
+//   - kernels::Kind::kScalar runs the seed layer fast paths (im2col +
+//     pixel-blocked GEMM, GEMV) which preserve forward()'s accumulation order
+//     per output element and therefore match `forward` bit-for-bit (asserted
+//     in tests/test_execution.cpp). The hardware model (axi::CnnIpCore) and
+//     the trainer's evaluation loop pin this mode.
+//   - kernels::Kind::kAvx2 runs packed-panel SIMD GEMM with a fused
+//     bias+activation epilogue, reusing weight panels from a PackCache shared
+//     across pooled contexts. Outputs are within 1e-4 relative error of
+//     scalar (see kernels.hpp), and `infer` is bit-identical to `infer_batch`
+//     within the mode.
+//
+// `Network::infer_batch` additionally *fuses* a whole micro-batch in avx2
+// mode: one im2col + one GEMM per conv/linear layer for all images at once
+// (weights stream from L2 once per layer instead of once per image), which is
+// what makes serve-side batching amortize weight traffic rather than just
+// queueing.
 //
 // Training keeps the mutable path: TrainContext wraps forward(train=true) +
 // backward so the train/infer split is explicit at every call site.
@@ -26,19 +44,27 @@
 #include <mutex>
 #include <vector>
 
+#include "nn/kernels/kernels.hpp"
 #include "nn/network.hpp"
 #include "nn/quantize.hpp"
+#include "util/aligned.hpp"
 
 namespace cnn2fpga::nn {
 
 class ExecutionContext {
  public:
-  /// Builds the execution plan and sizes every arena for `net`. The network
-  /// must outlive the context; its architecture must not change afterwards
-  /// (weight *values* may — arenas hold activations, not parameters, and the
-  /// fixed-point cache is invalidated per call via the format key only, so
-  /// callers mutating weights should use a fresh context for fixed mode).
+  /// Builds the execution plan and sizes every arena for `net`, pinned to the
+  /// process-default kernel engine (kernels::active()). The network must
+  /// outlive the context; its architecture must not change afterwards. Weight
+  /// *values* may change in scalar mode (arenas hold activations, not
+  /// parameters); avx2 contexts cache packed weight panels, so callers
+  /// mutating weights must build fresh contexts (same as fixed mode).
   explicit ExecutionContext(const Network& net);
+
+  /// Pin a specific kernel engine, optionally sharing a weight-pack cache
+  /// with sibling contexts (nullptr: the context builds its own when needed).
+  ExecutionContext(const Network& net, kernels::Kind kind,
+                   std::shared_ptr<kernels::PackCache> packs);
 
   ExecutionContext(const ExecutionContext&) = delete;
   ExecutionContext& operator=(const ExecutionContext&) = delete;
@@ -47,6 +73,9 @@ class ExecutionContext {
 
   const Network& network() const { return *net_; }
 
+  /// Kernel engine this context dispatches to (fixed at construction).
+  kernels::Kind kernel() const { return kernel_; }
+
   /// Output of the most recent infer() through this context; valid until the
   /// next infer() call.
   const Tensor& output() const { return arenas_.back(); }
@@ -54,18 +83,24 @@ class ExecutionContext {
   /// One compiled step of the plan: a layer, possibly with the directly
   /// following Activation fused into it.
   struct Step {
-    enum class Kind { kConv, kLinear, kGeneric };
+    enum class Kind { kConv, kLinear, kPool, kActivation, kLogSoftMax, kGeneric };
     Kind kind = Kind::kGeneric;
     const Layer* layer = nullptr;
     std::size_t layer_index = 0;        ///< index into the network's layers
     const Activation* fused = nullptr;  ///< activation folded into this step
+    Shape in_shape;                     ///< shape flowing into the step
     Shape out_shape;                    ///< shape the step's arena holds
   };
   const std::vector<Step>& steps() const { return steps_; }
   Tensor& arena(std::size_t step) { return arenas_.at(step); }
   const Tensor& arena(std::size_t step) const { return arenas_.at(step); }
-  /// im2col scratch, sized for the largest conv in the plan.
+  /// im2col scratch for the scalar conv fast path, sized for the largest conv.
   float* col_scratch() { return col_.data(); }
+
+  /// Eagerly builds the packed weight panels for every conv/linear layer
+  /// (no-op in scalar mode). Deploy-time warming: pooled serving contexts
+  /// then never pack on a request path.
+  void warm_packs();
 
   /// Fixed-point execution state: quantized parameters (built lazily, keyed
   /// by format) and int32 activation ping/pong buffers, reused across calls.
@@ -79,19 +114,47 @@ class ExecutionContext {
   FixedState& fixed_state() { return fixed_; }
 
  private:
+  friend class Network;
+
+  /// Grows the avx2 batch scratch (packed-B panels, ping/pong activation
+  /// buffers, GEMM output staging) to hold `batch` fused images.
+  void ensure_batch(std::size_t batch);
+
   const Network* net_;
+  kernels::Kind kernel_;
   std::vector<Step> steps_;
   std::vector<Tensor> arenas_;  ///< one per step (one input-shaped if no layers)
-  std::vector<float> col_;
+  util::aligned_vector<float> col_;
   FixedState fixed_;
+
+  // avx2 engine state (empty in scalar mode).
+  std::shared_ptr<kernels::PackCache> packs_;
+  util::aligned_vector<float> bpack_;       ///< packed-B panels (im2col / inputs)
+  util::aligned_vector<float> batch_ping_;  ///< fused-batch activation buffers
+  util::aligned_vector<float> batch_pong_;
+  util::aligned_vector<float> gemm_tmp_;    ///< linear GEMM output before transpose
+  util::aligned_vector<float> pool_row_;    ///< pool_plane row-collapse scratch
+  std::vector<const float*> row_ptrs_;      ///< pack_b row pointers
+  std::size_t batch_capacity_ = 0;
+  std::size_t max_image_elems_ = 0;  ///< max elements of any per-image buffer
 };
 
 /// Thread-safe free-list of contexts for one network: concurrent inference
 /// streams check a context out, run, and return it, so a design serving N
-/// parallel batches materializes at most N contexts total.
+/// parallel batches materializes at most N contexts total. All contexts from
+/// one pool share a kernel engine and (in avx2 mode) one weight-pack cache,
+/// so the design's weights are packed exactly once.
 class ExecutionContextPool {
  public:
-  explicit ExecutionContextPool(const Network& net) : net_(&net) {}
+  explicit ExecutionContextPool(const Network& net)
+      : ExecutionContextPool(net, kernels::active()) {}
+
+  ExecutionContextPool(const Network& net, kernels::Kind kind)
+      : net_(&net),
+        kind_(kind),
+        packs_(kind == kernels::Kind::kAvx2
+                   ? std::make_shared<kernels::PackCache>(net.layer_count())
+                   : nullptr) {}
 
   class Lease {
    public:
@@ -122,7 +185,17 @@ class ExecutionContextPool {
       }
       ++created_;
     }
-    return {this, std::make_unique<ExecutionContext>(*net_)};
+    return {this, std::make_unique<ExecutionContext>(*net_, kind_, packs_)};
+  }
+
+  /// Kernel engine every context from this pool is pinned to.
+  kernels::Kind kernel() const { return kind_; }
+
+  /// Builds the shared weight-pack cache eagerly (no-op in scalar mode) so no
+  /// request-path context ever packs.
+  void warm() {
+    Lease lease = acquire();
+    lease->warm_packs();
   }
 
   /// Total contexts materialized over the pool's lifetime.
@@ -138,6 +211,8 @@ class ExecutionContextPool {
   }
 
   const Network* net_;
+  kernels::Kind kind_;
+  std::shared_ptr<kernels::PackCache> packs_;
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<ExecutionContext>> idle_;
   std::size_t created_ = 0;

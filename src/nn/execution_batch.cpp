@@ -1,0 +1,197 @@
+// Fused-batch SIMD executor.
+//
+// One invocation runs an entire micro-batch through the plan with a single
+// im2col + packed GEMM per conv/linear step, so each layer's weight panels
+// stream from cache once per *batch* instead of once per image. Intermediate
+// activations live in two context-owned ping/pong buffers whose layout is
+// tracked per step:
+//
+//   kInputs      — the caller's B separate CHW tensors (initial state)
+//   kInterleaved — channel-major: channel c of image b occupies columns
+//                  [b*pixels, (b+1)*pixels) of row c in a (C x B*pixels)
+//                  buffer. This is exactly what a batched conv GEMM produces
+//                  when image b's im2col patches sit at packed columns
+//                  b*pixels..; pooling preserves it via strided plane
+//                  pointers, and a following conv consumes it directly with
+//                  channel stride B*pixels — no reshuffling between
+//                  conv/pool/conv chains.
+//   kImageMajor  — image b's flat activations at [b*elems, (b+1)*elems);
+//                  what linear layers pack from and log-softmax runs over.
+//
+// Numerical contract: every output element is produced by the same
+// lane-independent FMA chain regardless of batch size (see kernels.hpp), so
+// run_fused_batch(count=N) is bit-identical to N calls through the
+// single-image avx2 path — asserted in tests/test_kernels.cpp.
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "nn/execution.hpp"
+
+namespace cnn2fpga::nn {
+
+namespace {
+
+enum class Domain { kInputs, kInterleaved, kImageMajor };
+
+}  // namespace
+
+void Network::run_fused_batch(const Tensor* const* inputs, std::size_t count,
+                              ExecutionContext& ctx, float* const* out_rows) const {
+  namespace ker = kernels;
+  using Step = ExecutionContext::Step;
+  const std::vector<Step>& steps = ctx.steps_;
+  if (steps.empty()) {
+    const std::size_t elems = input_shape().elements();
+    for (std::size_t b = 0; b < count; ++b) {
+      std::memcpy(out_rows[b], inputs[b]->data(), elems * sizeof(float));
+    }
+    return;
+  }
+  ctx.ensure_batch(count);
+  float* ping = ctx.batch_ping_.data();
+  float* pong = ctx.batch_pong_.data();
+  float* cur = nullptr;
+  Domain domain = Domain::kInputs;
+
+  // The buffer the next producing step should write to.
+  const auto free_buf = [&]() { return cur == ping ? pong : ping; };
+
+  // Base pointer and channel stride of image b's activations for plane-wise
+  // consumers (conv im2col, pooling), given the current domain.
+  const auto image_plane = [&](const Shape& in_shape,
+                               std::size_t b) -> std::pair<const float*, std::size_t> {
+    const std::size_t pixels = in_shape.height() * in_shape.width();
+    switch (domain) {
+      case Domain::kInputs: return {inputs[b]->data(), pixels};
+      case Domain::kInterleaved: return {cur + b * pixels, count * pixels};
+      case Domain::kImageMajor: return {cur + b * in_shape.elements(), pixels};
+    }
+    return {nullptr, 0};
+  };
+
+  // Materialize the current activations as kImageMajor (no-op if they are).
+  const auto to_image_major = [&](const Shape& shape) {
+    if (domain == Domain::kImageMajor) return;
+    const std::size_t elems = shape.elements();
+    float* dst = free_buf();
+    if (domain == Domain::kInputs) {
+      for (std::size_t b = 0; b < count; ++b) {
+        std::memcpy(dst + b * elems, inputs[b]->data(), elems * sizeof(float));
+      }
+    } else {
+      const std::size_t channels = shape.channels();
+      const std::size_t pixels = shape.height() * shape.width();
+      for (std::size_t c = 0; c < channels; ++c) {
+        const float* src_row = cur + c * count * pixels;
+        for (std::size_t b = 0; b < count; ++b) {
+          std::memcpy(dst + b * elems + c * pixels, src_row + b * pixels,
+                      pixels * sizeof(float));
+        }
+      }
+    }
+    cur = dst;
+    domain = Domain::kImageMajor;
+  };
+
+  for (const Step& step : steps) {
+    switch (step.kind) {
+      case Step::Kind::kConv: {
+        const auto* conv = static_cast<const Conv2D*>(step.layer);
+        const std::size_t ih = step.in_shape.height(), iw = step.in_shape.width();
+        const std::size_t oh = step.out_shape.height(), ow = step.out_shape.width();
+        const std::size_t pixels = oh * ow;
+        const std::size_t patch =
+            conv->in_channels() * conv->kernel_h() * conv->kernel_w();
+        float* bp = ctx.bpack_.data();
+        for (std::size_t b = 0; b < count; ++b) {
+          const auto [base, cstride] = image_plane(step.in_shape, b);
+          ker::im2col_pack(base, cstride, conv->in_channels(), ih, iw, conv->kernel_h(),
+                           conv->kernel_w(), oh, ow, bp, b * pixels, count * pixels);
+        }
+        ker::zero_pack_tail(bp, count * pixels, patch);
+        const ker::PackedA& wp = ctx.packs_->get(step.layer_index, conv->weights().data(),
+                                                 conv->out_channels(), patch);
+        float* dst = free_buf();
+        const int act = step.fused != nullptr ? static_cast<int>(step.fused->act()) : -1;
+        ker::gemm(wp, bp, count * pixels, conv->bias().data(), act, dst, count * pixels);
+        cur = dst;
+        domain = Domain::kInterleaved;
+        break;
+      }
+      case Step::Kind::kPool: {
+        const auto* pool = static_cast<const Pool2D*>(step.layer);
+        const std::size_t ih = step.in_shape.height(), iw = step.in_shape.width();
+        const std::size_t oh = step.out_shape.height(), ow = step.out_shape.width();
+        const std::size_t opix = oh * ow;
+        const std::size_t channels = step.in_shape.channels();
+        const bool is_max = pool->pool_kind() == PoolKind::kMax;
+        float* dst = free_buf();
+        for (std::size_t b = 0; b < count; ++b) {
+          const auto [base, cstride] = image_plane(step.in_shape, b);
+          for (std::size_t c = 0; c < channels; ++c) {
+            ker::pool_plane(is_max, base + c * cstride, ih, iw, pool->kernel_h(),
+                            pool->kernel_w(), pool->step(), oh, ow,
+                            dst + c * count * opix + b * opix, ctx.pool_row_.data());
+          }
+        }
+        cur = dst;
+        domain = Domain::kInterleaved;
+        break;
+      }
+      case Step::Kind::kLinear: {
+        const auto* lin = static_cast<const Linear*>(step.layer);
+        const std::size_t k = lin->in_features();
+        const std::size_t m = lin->out_features();
+        if (domain == Domain::kInterleaved) to_image_major(step.in_shape);
+        for (std::size_t b = 0; b < count; ++b) {
+          ctx.row_ptrs_[b] =
+              domain == Domain::kInputs ? inputs[b]->data() : cur + b * k;
+        }
+        ker::pack_b(ctx.row_ptrs_.data(), count, k, ctx.bpack_.data());
+        const ker::PackedA& wp =
+            ctx.packs_->get(step.layer_index, lin->weights().data(), m, k);
+        const int act = step.fused != nullptr ? static_cast<int>(step.fused->act()) : -1;
+        // GEMM produces C[m][b] (ldc = count); transpose to image-major. The
+        // input rows were already copied into the packed panels, so writing
+        // over `cur` is safe.
+        ker::gemm(wp, ctx.bpack_.data(), count, lin->bias().data(), act,
+                  ctx.gemm_tmp_.data(), count);
+        float* dst = domain == Domain::kInputs ? ping : cur;
+        for (std::size_t b = 0; b < count; ++b) {
+          float* row = dst + b * m;
+          for (std::size_t j = 0; j < m; ++j) row[j] = ctx.gemm_tmp_[j * count + b];
+        }
+        cur = dst;
+        domain = Domain::kImageMajor;
+        break;
+      }
+      case Step::Kind::kActivation: {
+        const auto* activation = static_cast<const Activation*>(step.layer);
+        if (domain == Domain::kInputs) to_image_major(step.in_shape);
+        ker::activation_apply(activation->act(), cur, cur,
+                              count * step.in_shape.elements());
+        break;  // elementwise: domain preserved
+      }
+      case Step::Kind::kLogSoftMax: {
+        const std::size_t elems = step.in_shape.elements();
+        to_image_major(step.in_shape);
+        for (std::size_t b = 0; b < count; ++b) {
+          ker::logsoftmax(cur + b * elems, cur + b * elems, elems);
+        }
+        break;
+      }
+      case Step::Kind::kGeneric:
+        // Callers pre-check with plan_needs_generic().
+        throw std::logic_error("run_fused_batch: plan contains a generic step");
+    }
+  }
+
+  const std::size_t out_elems = output_shape().elements();
+  to_image_major(output_shape());
+  for (std::size_t b = 0; b < count; ++b) {
+    std::memcpy(out_rows[b], cur + b * out_elems, out_elems * sizeof(float));
+  }
+}
+
+}  // namespace cnn2fpga::nn

@@ -195,11 +195,23 @@ FixedForwardResult forward_fixed(const Network& net, const Tensor& input,
 
       if (track_output_error) {
         // Quantization-quality signal: compare pre-softmax logits to the
-        // float reference, computed through the same context's const path.
-        (void)net.infer(input, ctx);
-        const Tensor& ref = reference_before_layer(ctx, input, l);
-        for (std::size_t i = 0; i < acts->size(); ++i) {
-          result.output_error = std::max(result.output_error, std::fabs(ref[i] - logits[i]));
+        // *scalar* float reference (the HLS-exact path). The read-back needs
+        // the per-step arenas, which the fused SIMD engine does not
+        // materialize — and the quantization error should be measured against
+        // the bit-exact oracle regardless of the caller's kernel engine.
+        const auto accumulate_error = [&](const ExecutionContext& ref_ctx) {
+          const Tensor& ref = reference_before_layer(ref_ctx, input, l);
+          for (std::size_t i = 0; i < acts->size(); ++i) {
+            result.output_error = std::max(result.output_error, std::fabs(ref[i] - logits[i]));
+          }
+        };
+        if (ctx.kernel() == kernels::Kind::kScalar) {
+          (void)net.infer(input, ctx);
+          accumulate_error(ctx);
+        } else {
+          ExecutionContext scalar_ctx(net, kernels::Kind::kScalar, nullptr);
+          (void)net.infer(input, scalar_ctx);
+          accumulate_error(scalar_ctx);
         }
       }
       return result;

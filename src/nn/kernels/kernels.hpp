@@ -1,0 +1,156 @@
+// Runtime-dispatched CPU microkernel engine.
+//
+// The seed inference path (Conv2D::infer_into's im2col + pixel-tiled GEMM,
+// Linear's row dot products) is strictly scalar: without -ffast-math the
+// compiler may not reassociate the dot-product reductions, so every MAC sits
+// on a serial FP-add dependency chain. This module adds a register-blocked
+// AVX2/FMA GEMM microkernel (6 rows x 16 columns of C per inner loop, 12 YMM
+// accumulators) over *packed* operand panels, plus vectorized im2col, pooling,
+// tanh/sigmoid and log-softmax, behind a runtime dispatch:
+//
+//   - Kind::kScalar executes the seed layer code unchanged — it remains the
+//     bit-exact reference oracle against Network::forward and the generated
+//     HLS C++ (the hardware model and fixed-point path always pin it).
+//   - Kind::kAvx2 executes the packed SIMD engine. Outputs stay within 1e-4
+//     relative error of the scalar reference (FMA contraction + polynomial
+//     transcendentals; see tests/test_kernels.cpp), and the engine is
+//     *chunk-invariant*: every element goes through an identical per-lane
+//     instruction sequence regardless of how the surrounding buffer is
+//     traversed, so fused-batch execution is bit-identical to per-image
+//     execution in this mode.
+//
+// The process-wide default is resolved once at startup: CNN2FPGA_KERNEL=
+// scalar|avx2 overrides, otherwise cpuid picks AVX2 when available. Every
+// ExecutionContext captures a Kind at construction, so subsystems that demand
+// seed bit-exactness (axi::CnnIpCore, trainer evaluation) pin kScalar while
+// serving contexts run the fast engine concurrently in the same process.
+//
+// Weight panels (PackedA) are packed once per layer and cached in a PackCache
+// shared across an ExecutionContextPool, so pooled serving contexts never
+// re-pack. Packing assumes frozen weights — mutate weights, rebuild contexts.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "nn/activation.hpp"
+#include "util/aligned.hpp"
+
+namespace cnn2fpga::nn::kernels {
+
+enum class Kind { kScalar, kAvx2 };
+
+/// Process-wide default kernel, resolved once on first call: the
+/// CNN2FPGA_KERNEL environment variable (scalar|avx2) wins, otherwise the
+/// best engine the CPU supports. Requesting avx2 on a CPU without AVX2+FMA
+/// falls back to scalar with a warning on stderr.
+Kind active();
+
+/// True when the AVX2 engine is both compiled in and supported by this CPU.
+bool avx2_available();
+
+const char* kind_name(Kind kind);
+
+/// Test hook: replaces the process-wide default until destruction. Not
+/// thread-safe against concurrent active() callers — construct contexts, not
+/// overrides, inside worker threads.
+class ScopedKernelOverride {
+ public:
+  explicit ScopedKernelOverride(Kind kind);
+  ~ScopedKernelOverride();
+  ScopedKernelOverride(const ScopedKernelOverride&) = delete;
+  ScopedKernelOverride& operator=(const ScopedKernelOverride&) = delete;
+
+ private:
+  Kind previous_;
+};
+
+/// Microkernel register-block geometry: C is produced in 6x16 tiles.
+inline constexpr std::size_t kPanelRows = 6;
+inline constexpr std::size_t kPanelCols = 16;
+
+/// Weight matrix (M x K, row-major) repacked into kPanelRows-row panels,
+/// k-major within a panel: data[p*(K*6) + k*6 + r] = W[p*6+r][k], rows past M
+/// zero-padded. The microkernel streams one panel while broadcasting down the
+/// k axis.
+struct PackedA {
+  std::size_t rows = 0;  ///< M
+  std::size_t cols = 0;  ///< K
+  util::aligned_vector<float> data;
+};
+
+void pack_a(const float* w, std::size_t m, std::size_t k, PackedA& out);
+
+/// Floats of packed-B storage for an N-column, K-deep operand:
+/// ceil(N/16) panels of K*16.
+std::size_t packed_b_size(std::size_t n, std::size_t k);
+
+/// Pack row-major B rows (each `rows[i]` pointing at K contiguous floats)
+/// into kPanelCols-column panels: bpack[q*(K*16) + k*16 + j] = rows[q*16+j][k].
+/// Padding lanes of the last panel are zeroed.
+void pack_b(const float* const* rows, std::size_t n, std::size_t k, float* bpack);
+
+/// im2col straight into packed-B panels: the oh*ow patch columns of one image
+/// land at global columns [col0, col0 + oh*ow) of an n_total-column packed
+/// matrix whose depth is K = c*kh*kw. `c_stride` is the float stride between
+/// input channel planes (ih*iw for a contiguous CHW image; batch*ih*iw for a
+/// channel-interleaved batch buffer).
+void im2col_pack(const float* in, std::size_t c_stride, std::size_t channels,
+                 std::size_t ih, std::size_t iw, std::size_t kh, std::size_t kw,
+                 std::size_t oh, std::size_t ow, float* bpack, std::size_t col0,
+                 std::size_t n_total);
+
+/// Zero the padding lanes of the last panel (columns n..ceil(n/16)*16).
+void zero_pack_tail(float* bpack, std::size_t n, std::size_t k);
+
+/// Fused GEMM + bias + activation epilogue on the AVX2 engine:
+///   C[m][n] = act(bias[m] + sum_k A[m][k] * B[n][k]),  C row stride ldc.
+/// `act` < 0 applies no activation; otherwise it is a nn::ActKind. Requires
+/// avx2_available(); throws std::runtime_error otherwise.
+void gemm(const PackedA& a, const float* bpack, std::size_t n, const float* bias,
+          int act, float* c, std::size_t ldc);
+
+/// Vectorized 2-D pooling over one channel plane (AVX2 engine). Reduces the
+/// kh window rows element-wise into `row_scratch` (>= iw floats), then the kw
+/// window columns per output pixel. Max pooling is value-exact with the seed
+/// loop; mean pooling reorders the window sum (rows first) within float
+/// tolerance. Requires avx2_available().
+void pool_plane(bool is_max, const float* in, std::size_t ih, std::size_t iw,
+                std::size_t kh, std::size_t kw, std::size_t step, std::size_t oh,
+                std::size_t ow, float* out, float* row_scratch);
+
+/// Vectorized elementwise activation (AVX2 engine): polynomial exp-based
+/// tanh/sigmoid, branch-free ReLU. Chunk-invariant (identical per-lane ops on
+/// masked tails), in == out allowed. Requires avx2_available().
+void activation_apply(ActKind act, const float* in, float* out, std::size_t n);
+
+/// Vectorized log-softmax over one row (AVX2 engine); in == out allowed.
+/// Requires avx2_available().
+void logsoftmax(const float* in, float* out, std::size_t n);
+
+/// Per-network cache of packed weight panels, keyed by layer index. Built
+/// lazily on first use and shared (via shared_ptr) across every context an
+/// ExecutionContextPool hands out, so a deployed design packs each layer
+/// exactly once no matter how many serving threads run it. Assumes the
+/// layer's weights are frozen after the first get().
+class PackCache {
+ public:
+  explicit PackCache(std::size_t layer_count);
+
+  const PackedA& get(std::size_t layer, const float* w, std::size_t m, std::size_t k);
+
+  /// Number of layers with a built pack (diagnostics).
+  std::size_t built() const;
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    PackedA pack;
+    bool ready = false;
+  };
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace cnn2fpga::nn::kernels

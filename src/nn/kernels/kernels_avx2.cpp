@@ -1,0 +1,202 @@
+// AVX2/FMA compute engine. Compiled with -mavx2 -mfma (see
+// src/nn/CMakeLists.txt); every entry point assumes avx2_available() — the
+// dispatcher in execution.cpp guarantees it, and kernels.cpp provides
+// throwing stubs for builds without CNN2FPGA_HAVE_AVX2.
+//
+// Numerical contract (see kernels.hpp): each output element is a single FMA
+// accumulation chain over k seeded with the bias, independent of which SIMD
+// lane or panel the element lands in. That makes the engine chunk-invariant —
+// batch-fused and per-image execution produce bit-identical floats — while
+// differing from the scalar reference only through FMA contraction and the
+// polynomial transcendentals (~1e-7 relative in practice, 1e-4 documented).
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "nn/kernels/kernels.hpp"
+#include "nn/kernels/simd_math.hpp"
+
+namespace cnn2fpga::nn::kernels {
+
+namespace {
+
+inline __m256 apply_act(int act, __m256 x) {
+  switch (act) {
+    case static_cast<int>(ActKind::kTanh): return tanh256_ps(x);
+    case static_cast<int>(ActKind::kSigmoid): return sigmoid256_ps(x);
+    case static_cast<int>(ActKind::kReLU): return _mm256_max_ps(x, _mm256_setzero_ps());
+    default: return x;
+  }
+}
+
+/// Store one 16-wide accumulator pair to a C row, honoring the live column
+/// count of the final panel.
+inline void store_row(float* dst, __m256 lo, __m256 hi, std::size_t live_cols) {
+  if (live_cols >= 16) {
+    _mm256_storeu_ps(dst, lo);
+    _mm256_storeu_ps(dst + 8, hi);
+  } else if (live_cols >= 8) {
+    _mm256_storeu_ps(dst, lo);
+    if (live_cols > 8) _mm256_maskstore_ps(dst + 8, tail_mask(live_cols - 8), hi);
+  } else {
+    _mm256_maskstore_ps(dst, tail_mask(live_cols), lo);
+  }
+}
+
+}  // namespace
+
+void gemm(const PackedA& a, const float* bpack, std::size_t n, const float* bias,
+          int act, float* c, std::size_t ldc) {
+  const std::size_t m = a.rows;
+  const std::size_t k = a.cols;
+  const std::size_t row_panels = (m + kPanelRows - 1) / kPanelRows;
+  const std::size_t col_panels = (n + kPanelCols - 1) / kPanelCols;
+
+  for (std::size_t q = 0; q < col_panels; ++q) {
+    const float* bp = bpack + q * k * kPanelCols;
+    const std::size_t col0 = q * kPanelCols;
+    const std::size_t live_cols = std::min(kPanelCols, n - col0);
+
+    for (std::size_t p = 0; p < row_panels; ++p) {
+      const float* ap = a.data.data() + p * k * kPanelRows;
+      const std::size_t row0 = p * kPanelRows;
+      const std::size_t live_rows = std::min(kPanelRows, m - row0);
+
+      // 6x16 register block: 12 accumulators seeded with the row bias so the
+      // epilogue only has to apply the activation.
+      __m256 acc_lo[kPanelRows];
+      __m256 acc_hi[kPanelRows];
+      for (std::size_t r = 0; r < kPanelRows; ++r) {
+        const __m256 seed = (bias != nullptr && r < live_rows)
+                                ? _mm256_set1_ps(bias[row0 + r])
+                                : _mm256_setzero_ps();
+        acc_lo[r] = seed;
+        acc_hi[r] = seed;
+      }
+
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const __m256 b_lo = _mm256_loadu_ps(bp + kk * kPanelCols);
+        const __m256 b_hi = _mm256_loadu_ps(bp + kk * kPanelCols + 8);
+        const float* arow = ap + kk * kPanelRows;
+        for (std::size_t r = 0; r < kPanelRows; ++r) {
+          const __m256 av = _mm256_set1_ps(arow[r]);
+          acc_lo[r] = _mm256_fmadd_ps(av, b_lo, acc_lo[r]);
+          acc_hi[r] = _mm256_fmadd_ps(av, b_hi, acc_hi[r]);
+        }
+      }
+
+      for (std::size_t r = 0; r < live_rows; ++r) {
+        store_row(c + (row0 + r) * ldc + col0, apply_act(act, acc_lo[r]),
+                  apply_act(act, acc_hi[r]), live_cols);
+      }
+    }
+  }
+}
+
+void pool_plane(bool is_max, const float* in, std::size_t ih, std::size_t iw,
+                std::size_t kh, std::size_t kw, std::size_t step, std::size_t oh,
+                std::size_t ow, float* out, float* row_scratch) {
+  (void)ih;
+  const std::size_t used_w = (ow - 1) * step + kw;  // input columns touched
+  const float scale = 1.0f / static_cast<float>(kh * kw);
+
+  for (std::size_t oy = 0; oy < oh; ++oy) {
+    // Pass 1: reduce the kh window rows element-wise into row_scratch. Max is
+    // order-independent; for mean, summing rows first reorders the seed's
+    // window-major accumulation (documented tolerance, avx2 mode only).
+    const float* r0 = in + (oy * step) * iw;
+    std::size_t x = 0;
+    for (; x + 8 <= used_w; x += 8) {
+      __m256 v = _mm256_loadu_ps(r0 + x);
+      for (std::size_t m = 1; m < kh; ++m) {
+        const __m256 rm = _mm256_loadu_ps(r0 + m * iw + x);
+        v = is_max ? _mm256_max_ps(v, rm) : _mm256_add_ps(v, rm);
+      }
+      _mm256_storeu_ps(row_scratch + x, v);
+    }
+    if (x < used_w) {
+      const __m256i mask = tail_mask(used_w - x);
+      __m256 v = _mm256_maskload_ps(r0 + x, mask);
+      for (std::size_t m = 1; m < kh; ++m) {
+        const __m256 rm = _mm256_maskload_ps(r0 + m * iw + x, mask);
+        v = is_max ? _mm256_max_ps(v, rm) : _mm256_add_ps(v, rm);
+      }
+      _mm256_maskstore_ps(row_scratch + x, mask, v);
+    }
+
+    // Pass 2: reduce each kw-wide window of the collapsed row.
+    float* orow = out + oy * ow;
+    for (std::size_t ox = 0; ox < ow; ++ox) {
+      const float* w = row_scratch + ox * step;
+      float v = w[0];
+      if (is_max) {
+        for (std::size_t j = 1; j < kw; ++j) v = std::max(v, w[j]);
+        orow[ox] = v;
+      } else {
+        for (std::size_t j = 1; j < kw; ++j) v += w[j];
+        orow[ox] = v * scale;
+      }
+    }
+  }
+}
+
+void activation_apply(ActKind act, const float* in, float* out, std::size_t n) {
+  const int a = static_cast<int>(act);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, apply_act(a, _mm256_loadu_ps(in + i)));
+  }
+  if (i < n) {
+    // Masked tail runs the identical lane-wise instruction sequence, so the
+    // result of an element never depends on how the buffer was chunked.
+    const __m256i mask = tail_mask(n - i);
+    _mm256_maskstore_ps(out + i, mask, apply_act(a, _mm256_maskload_ps(in + i, mask)));
+  }
+}
+
+void logsoftmax(const float* in, float* out, std::size_t n) {
+  // logp[j] = (x[j] - max) - log(sum_k exp(x[k] - max)); the subtraction of
+  // lane-constant values preserves the argmax ordering of the input exactly.
+  __m256 vmax = _mm256_set1_ps(-std::numeric_limits<float>::infinity());
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) vmax = _mm256_max_ps(vmax, _mm256_loadu_ps(in + i));
+  float max_val = [&] {
+    alignas(32) float lanes[8];
+    _mm256_store_ps(lanes, vmax);
+    float m = lanes[0];
+    for (int j = 1; j < 8; ++j) m = std::max(m, lanes[j]);
+    return m;
+  }();
+  for (; i < n; ++i) max_val = std::max(max_val, in[i]);
+
+  const __m256 vm = _mm256_set1_ps(max_val);
+  __m256 vsum = _mm256_setzero_ps();
+  i = 0;
+  for (; i + 8 <= n; i += 8) {
+    vsum = _mm256_add_ps(vsum, exp256_ps(_mm256_sub_ps(_mm256_loadu_ps(in + i), vm)));
+  }
+  float sum = [&] {
+    alignas(32) float lanes[8];
+    _mm256_store_ps(lanes, vsum);
+    float s = 0.0f;
+    for (int j = 0; j < 8; ++j) s += lanes[j];
+    return s;
+  }();
+  for (; i < n; ++i) sum += std::exp(in[i] - max_val);
+
+  const __m256 shift = _mm256_set1_ps(max_val + std::log(sum));
+  i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_sub_ps(_mm256_loadu_ps(in + i), shift));
+  }
+  if (i < n) {
+    const __m256i mask = tail_mask(n - i);
+    _mm256_maskstore_ps(out + i, mask,
+                        _mm256_sub_ps(_mm256_maskload_ps(in + i, mask), shift));
+  }
+}
+
+}  // namespace cnn2fpga::nn::kernels

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -50,13 +51,24 @@ class Network {
   Tensor forward(const Tensor& input, bool train = false);
 
   /// Reentrant inference through a caller-owned ExecutionContext
-  /// (nn/execution.hpp): const, no per-call heap traffic, bit-identical to
-  /// forward(input, false). Returns the context-owned output tensor, valid
-  /// until the next infer() through `ctx`. Distinct contexts may run
-  /// concurrently over the same network.
+  /// (nn/execution.hpp): const, no per-call heap traffic. Scalar-pinned
+  /// contexts are bit-identical to forward(input, false); avx2-pinned
+  /// contexts run the SIMD kernel engine (within 1e-4 relative of scalar,
+  /// identical argmax — see nn/kernels/kernels.hpp). Returns the
+  /// context-owned output tensor, valid until the next infer() through `ctx`.
+  /// Distinct contexts may run concurrently over the same network.
   const Tensor& infer(const Tensor& input, ExecutionContext& ctx) const;
 
-  /// Run every image through `ctx` in order, copying out the outputs.
+  /// Fused batch inference: avx2-pinned contexts run the whole micro-batch
+  /// through ONE im2col + GEMM per conv/linear layer (weights stream from
+  /// cache once per layer, not once per image), bit-identical to per-image
+  /// infer() through the same context. Scalar contexts fall back to the
+  /// per-image seed path. `outputs[i]` is assigned the result for
+  /// `inputs[i]`; the spans must be the same length.
+  void infer_batch(std::span<const Tensor* const> inputs, std::span<Tensor> outputs,
+                   ExecutionContext& ctx) const;
+
+  /// Convenience wrapper over the span overload.
   std::vector<Tensor> infer_batch(const std::vector<Tensor>& inputs,
                                   ExecutionContext& ctx) const;
 
@@ -86,6 +98,15 @@ class Network {
  private:
   template <typename L>
   L& add_layer(std::unique_ptr<L> layer);
+
+  /// True when the plan contains a step the fused SIMD engine cannot run.
+  static bool plan_needs_generic(const ExecutionContext& ctx);
+
+  /// Fused-batch SIMD executor (nn/execution_batch.cpp): runs `count` images
+  /// through one packed GEMM per conv/linear step and writes each image's
+  /// final activations to `out_rows[i]` (output_shape().elements() floats).
+  void run_fused_batch(const Tensor* const* inputs, std::size_t count,
+                       ExecutionContext& ctx, float* const* out_rows) const;
 
   std::string name_;
   Shape input_shape_;

@@ -96,7 +96,9 @@ TrainResult SgdTrainer::train(Network& net, const std::vector<Sample>& train_set
 
 float SgdTrainer::evaluate_error(Network& net, const std::vector<Sample>& samples) {
   if (samples.empty()) return 1.0f;
-  ExecutionContext ctx(net);
+  // Scalar-pinned so reported error rates are bit-reproducible against the
+  // seed forward() path independent of the host's SIMD support.
+  ExecutionContext ctx(net, kernels::Kind::kScalar, nullptr);
   std::size_t wrong = 0;
   for (const Sample& sample : samples) {
     if (net.infer(sample.image, ctx).argmax() != sample.label) ++wrong;

@@ -42,7 +42,11 @@ struct DeployedDesign {
         net(std::move(net_in)),
         weights(std::move(weights_in)),
         contexts(net),
-        breaker(breaker_config, breaker_opens) {}
+        breaker(breaker_config, breaker_opens) {
+    // Deploy-time warm-up: build the pool's shared weight-pack cache now so
+    // no request-path context ever packs a panel (no-op on scalar hosts).
+    contexts.warm();
+  }
 
   const std::string id;                      ///< content hash (cache key)
   const core::GeneratedDesign design;        ///< artifacts + HLS report

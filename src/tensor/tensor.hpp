@@ -11,8 +11,8 @@
 #include <cstddef>
 #include <span>
 #include <string>
-#include <vector>
 
+#include "util/aligned.hpp"
 #include "util/rng.hpp"
 
 namespace cnn2fpga::tensor {
@@ -95,7 +95,9 @@ class Tensor {
   void check_index(std::size_t flat) const;
 
   Shape shape_;
-  std::vector<float> data_;
+  // 64-byte-aligned backing so SIMD kernels can assume cache-line-aligned
+  // bases for activation and weight buffers (util/aligned.hpp).
+  util::aligned_vector<float> data_;
 };
 
 }  // namespace cnn2fpga::tensor

@@ -1,12 +1,16 @@
 // Bit-exactness and reentrancy tests for the ExecutionContext inference path.
 //
-// The redesign's contract is strict: `Network::infer(input, ctx)` must equal
-// the seed `Network::forward(input, /*train=*/false)` bit-for-bit — the conv
-// fast path (im2col + pixel-tiled GEMM + fused bias/activation) replays the
-// identical IEEE operation sequence per output element, it only reorders
-// independent elements. These tests assert exact equality (EXPECT_EQ on
-// floats, no tolerance) across every layer kind, in float and fixed-point,
-// single and batched, and from many threads hammering one const network.
+// The redesign's contract is strict: `Network::infer(input, ctx)` through a
+// *scalar-pinned* context must equal the seed
+// `Network::forward(input, /*train=*/false)` bit-for-bit — the conv fast path
+// (im2col + pixel-tiled GEMM + fused bias/activation) replays the identical
+// IEEE operation sequence per output element, it only reorders independent
+// elements. These tests assert exact equality (EXPECT_EQ on floats, no
+// tolerance) across every layer kind, in float and fixed-point, single and
+// batched, and from many threads hammering one const network. Contexts that
+// must be exact are pinned to kernels::Kind::kScalar so the assertions hold
+// regardless of the host's SIMD dispatch; the AVX2 engine's tolerance and
+// batch-fusion contracts are covered by tests/test_kernels.cpp.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -75,6 +79,11 @@ Network make_network(int arch, std::uint64_t seed) {
 
 constexpr int kArchCount = 5;
 
+/// Context pinned to the scalar engine: the bit-exact reference mode.
+ExecutionContext scalar_ctx(const Network& net) {
+  return ExecutionContext(net, kernels::Kind::kScalar, nullptr);
+}
+
 tensor::Tensor random_input(const Shape& shape, std::uint64_t seed) {
   tensor::Tensor input{shape};
   util::Rng rng(seed);
@@ -96,7 +105,7 @@ void expect_bit_identical(const tensor::Tensor& expected, const tensor::Tensor& 
 TEST(ExecutionContext, InferMatchesForwardBitExactAcrossArchitectures) {
   for (int arch = 0; arch < kArchCount; ++arch) {
     Network net = make_network(arch, 11u + static_cast<std::uint64_t>(arch));
-    ExecutionContext ctx(net);
+    ExecutionContext ctx = scalar_ctx(net);
     for (std::uint64_t i = 0; i < 8; ++i) {
       const tensor::Tensor input = random_input(net.input_shape(), 100 * i + 7);
       const tensor::Tensor expected = net.forward(input, /*train=*/false);
@@ -117,12 +126,17 @@ TEST(ExecutionContext, PlanFusesActivationsAndCoversAllLayers) {
   for (const auto& step : ctx.steps()) fused += step.fused != nullptr ? 1 : 0;
   EXPECT_EQ(fused, 3u);
   EXPECT_EQ(ctx.steps().front().kind, ExecutionContext::Step::Kind::kConv);
-  EXPECT_EQ(ctx.steps().back().kind, ExecutionContext::Step::Kind::kGeneric);
+  EXPECT_EQ(ctx.steps().back().kind, ExecutionContext::Step::Kind::kLogSoftMax);
+  // Every step carries its layer classification: nothing in the paper's
+  // network vocabulary should fall back to the generic (unfusable) kind.
+  for (const auto& step : ctx.steps()) {
+    EXPECT_NE(step.kind, ExecutionContext::Step::Kind::kGeneric);
+  }
 }
 
 TEST(ExecutionContext, InferBatchMatchesPerImageForward) {
   Network net = make_network(0, 21);
-  ExecutionContext ctx(net);
+  ExecutionContext ctx = scalar_ctx(net);
   std::vector<tensor::Tensor> images;
   for (std::uint64_t i = 0; i < 6; ++i) {
     images.push_back(random_input(net.input_shape(), 500 + i));
@@ -239,7 +253,7 @@ TEST(ExecutionContext, ConcurrentInferenceIsBitExact) {
     }
   }
 
-  ExecutionContextPool pool(net);
+  ExecutionContextPool pool(net, kernels::Kind::kScalar);
   std::atomic<std::size_t> mismatches{0};
   std::vector<std::thread> threads;
   for (std::size_t t = 0; t < kThreads; ++t) {
@@ -305,7 +319,7 @@ TEST(TrainContext, ForwardBackwardDelegatesToTheMutablePath) {
   train.backward(grad);  // must not throw: forward(train=true) cached state
 
   // After training-path use, const inference still matches the seed forward.
-  ExecutionContext ctx(net);
+  ExecutionContext ctx = scalar_ctx(net);
   expect_bit_identical(net.forward(input, /*train=*/false), net.infer(input, ctx),
                        "post-backward inference");
 }

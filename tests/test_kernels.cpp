@@ -1,0 +1,371 @@
+// SIMD-vs-scalar parity suite for the runtime-dispatched kernel engine
+// (src/nn/kernels).
+//
+// Contracts under test (see kernels.hpp):
+//   1. The AVX2 engine stays within 1e-4 relative error of the scalar
+//      reference on every layer kind and produces identical argmax
+//      predictions — exercised over deliberately awkward shapes: channel and
+//      feature counts that are not multiples of the 8-lane vector width or
+//      the 6x16 register block, 1x1 and 7x7 kernels, rectangular kernels,
+//      both pool kinds, batch sizes 1/3/8.
+//   2. Fused batch execution (`infer_batch`) is BIT-identical to per-image
+//      `infer` through an avx2 context: every output element is produced by
+//      the same lane-independent FMA chain regardless of batch size.
+//   3. A scalar-pinned context stays bit-exact with Network::forward whether
+//      invoked per image or batched.
+//
+// The suite runs meaningfully under either CNN2FPGA_KERNEL dispatch mode: it
+// pins contexts explicitly, so only dispatch-default tests depend on the
+// environment. AVX2-engine tests skip on hosts without AVX2+FMA.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "nn/execution.hpp"
+#include "nn/kernels/kernels.hpp"
+#include "nn/network.hpp"
+#include "util/rng.hpp"
+
+using namespace cnn2fpga;
+using namespace cnn2fpga::nn;
+
+namespace {
+
+constexpr float kRelTol = 1e-4f;
+
+/// |a - b| <= tol * max(1, |b|): relative for large magnitudes, absolute near
+/// zero (the engine's documented tolerance policy).
+void expect_close(const tensor::Tensor& simd, const tensor::Tensor& reference,
+                  const std::string& context) {
+  ASSERT_EQ(simd.shape(), reference.shape()) << context;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const float scale = std::max(1.0f, std::fabs(reference[i]));
+    ASSERT_LE(std::fabs(simd[i] - reference[i]), kRelTol * scale)
+        << context << " element " << i << ": simd=" << simd[i]
+        << " scalar=" << reference[i];
+  }
+}
+
+tensor::Tensor random_input(const Shape& shape, std::uint64_t seed) {
+  tensor::Tensor input{shape};
+  util::Rng rng(seed);
+  input.fill_uniform(rng, -1.0f, 1.0f);
+  return input;
+}
+
+/// Awkward-shape architectures: nothing is a multiple of the 8-lane vector
+/// width or the 6x16 microkernel block.
+Network make_awkward_network(int arch, std::uint64_t seed) {
+  Shape input = Shape{3, 6, 6};
+  switch (arch) {
+    case 0: input = Shape{3, 6, 6}; break;    // 1x1 kernels
+    case 1: input = Shape{1, 12, 12}; break;  // 7x7 kernels
+    case 2: input = Shape{2, 11, 9}; break;   // rectangular, mean pool, conv chain
+    case 3: input = Shape{1, 1, 17}; break;   // pure MLP, odd feature counts
+    default: input = Shape{5, 9, 11}; break;  // 5 channels, 5x7 kernel
+  }
+  Network net(input, "kernel_parity");
+  switch (arch) {
+    case 0:
+      net.add_conv(5, 1, 1);
+      net.add_activation(ActKind::kReLU);
+      net.add_max_pool(2, 2);
+      net.add_linear(7);
+      net.add_logsoftmax();
+      break;
+    case 1:
+      net.add_conv(4, 7, 7);
+      net.add_activation(ActKind::kTanh);
+      net.add_max_pool(2, 2);
+      net.add_linear(10);
+      net.add_logsoftmax();
+      break;
+    case 2:
+      net.add_conv(3, 3, 2);
+      net.add_mean_pool(2, 2);
+      net.add_conv(7, 3, 3);
+      net.add_activation(ActKind::kSigmoid);
+      net.add_linear(9);
+      break;
+    case 3:
+      net.add_linear(13);
+      net.add_activation(ActKind::kSigmoid);
+      net.add_linear(4);
+      net.add_logsoftmax();
+      break;
+    default:
+      net.add_conv(6, 5, 7);
+      net.add_activation(ActKind::kReLU);
+      net.add_max_pool(2, 2);
+      net.add_linear(6);
+      net.add_logsoftmax();
+      break;
+  }
+  util::Rng rng(seed);
+  net.init_weights(rng);
+  return net;
+}
+
+constexpr int kArchCount = 5;
+
+#define SKIP_WITHOUT_AVX2()                                        \
+  do {                                                             \
+    if (!kernels::avx2_available()) {                              \
+      GTEST_SKIP() << "AVX2+FMA engine unavailable on this host."; \
+    }                                                              \
+  } while (false)
+
+}  // namespace
+
+// ----------------------------------------------------------------- dispatch
+
+TEST(KernelDispatch, KindNamesAndOverrideRoundTrip) {
+  EXPECT_STREQ(kernels::kind_name(kernels::Kind::kScalar), "scalar");
+  EXPECT_STREQ(kernels::kind_name(kernels::Kind::kAvx2), "avx2");
+  const kernels::Kind before = kernels::active();
+  {
+    kernels::ScopedKernelOverride scalar(kernels::Kind::kScalar);
+    EXPECT_EQ(kernels::active(), kernels::Kind::kScalar);
+  }
+  EXPECT_EQ(kernels::active(), before);
+}
+
+TEST(KernelDispatch, ContextCapturesKindAtConstruction) {
+  const Network net = make_awkward_network(3, 1);
+  ExecutionContext scalar(net, kernels::Kind::kScalar, nullptr);
+  EXPECT_EQ(scalar.kernel(), kernels::Kind::kScalar);
+  if (kernels::avx2_available()) {
+    ExecutionContext simd(net, kernels::Kind::kAvx2, nullptr);
+    EXPECT_EQ(simd.kernel(), kernels::Kind::kAvx2);
+  }
+}
+
+// -------------------------------------------------------------- raw kernels
+
+TEST(KernelGemm, MatchesNaiveReferenceOnAwkwardShapes) {
+  SKIP_WITHOUT_AVX2();
+  struct Case {
+    std::size_t m, k, n;
+  };
+  // Nothing aligned: primes straddling the 6-row / 16-column block, plus the
+  // degenerate single-element and single-column (GEMV) cases.
+  const Case cases[] = {{1, 1, 1},   {5, 7, 3},   {6, 16, 16}, {7, 17, 33},
+                        {13, 50, 29}, {2, 300, 100}, {10, 75, 1}};
+  util::Rng rng(11);
+  for (const Case& c : cases) {
+    std::vector<float> a(c.m * c.k), b(c.n * c.k), bias(c.m);
+    for (float& v : a) v = rng.uniform(-1.0f, 1.0f);
+    for (float& v : b) v = rng.uniform(-1.0f, 1.0f);
+    for (float& v : bias) v = rng.uniform(-0.5f, 0.5f);
+
+    kernels::PackedA pa;
+    kernels::pack_a(a.data(), c.m, c.k, pa);
+    util::aligned_vector<float> bp(kernels::packed_b_size(c.n, c.k));
+    std::vector<const float*> rows(c.n);
+    for (std::size_t i = 0; i < c.n; ++i) rows[i] = b.data() + i * c.k;
+    kernels::pack_b(rows.data(), c.n, c.k, bp.data());
+
+    for (int act = -1; act <= 2; ++act) {
+      std::vector<float> got(c.m * c.n, -777.0f);
+      kernels::gemm(pa, bp.data(), c.n, bias.data(), act, got.data(), c.n);
+      for (std::size_t mi = 0; mi < c.m; ++mi) {
+        for (std::size_t ni = 0; ni < c.n; ++ni) {
+          float want = bias[mi];
+          for (std::size_t ki = 0; ki < c.k; ++ki) {
+            want += a[mi * c.k + ki] * b[ni * c.k + ki];
+          }
+          if (act >= 0) want = Activation::apply(static_cast<ActKind>(act), want);
+          const float scale = std::max(1.0f, std::fabs(want));
+          ASSERT_LE(std::fabs(got[mi * c.n + ni] - want), kRelTol * scale)
+              << c.m << "x" << c.k << "x" << c.n << " act " << act << " at (" << mi
+              << "," << ni << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelElementwise, ActivationMatchesScalarIncludingSaturation) {
+  SKIP_WITHOUT_AVX2();
+  // 13 elements: one full vector plus a 5-lane masked tail. Values span the
+  // saturating range of tanh/sigmoid and both ReLU branches.
+  const std::vector<float> xs = {-30.0f, -5.5f, -2.0f, -0.75f, -0.1f, -1e-6f, 0.0f,
+                                 1e-6f,  0.1f,  0.75f, 2.0f,   5.5f,  30.0f};
+  for (const ActKind act : {ActKind::kTanh, ActKind::kSigmoid, ActKind::kReLU}) {
+    std::vector<float> got(xs.size());
+    kernels::activation_apply(act, xs.data(), got.data(), xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const float want = Activation::apply(act, xs[i]);
+      const float scale = std::max(1.0f, std::fabs(want));
+      ASSERT_LE(std::fabs(got[i] - want), kRelTol * scale)
+          << "act " << static_cast<int>(act) << " x=" << xs[i];
+    }
+  }
+}
+
+TEST(KernelElementwise, ActivationIsChunkInvariant) {
+  SKIP_WITHOUT_AVX2();
+  // The same element must get the same bits whether it sits mid-buffer (full
+  // vector) or in a masked tail — this is what makes fused-batch execution
+  // bit-identical to per-image execution.
+  util::Rng rng(5);
+  std::vector<float> xs(30);
+  for (float& v : xs) v = rng.uniform(-4.0f, 4.0f);
+  std::vector<float> whole(xs.size());
+  kernels::activation_apply(ActKind::kTanh, xs.data(), whole.data(), xs.size());
+  for (const std::size_t chunk : {1u, 3u, 7u, 10u}) {
+    std::vector<float> pieces(xs.size());
+    for (std::size_t off = 0; off < xs.size(); off += chunk) {
+      const std::size_t len = std::min(chunk, xs.size() - off);
+      kernels::activation_apply(ActKind::kTanh, xs.data() + off, pieces.data() + off, len);
+    }
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      ASSERT_EQ(whole[i], pieces[i]) << "chunk " << chunk << " element " << i;
+    }
+  }
+}
+
+TEST(KernelPool, PlaneMatchesSeedPoolForMaxAndMean) {
+  SKIP_WITHOUT_AVX2();
+  struct Case {
+    std::size_t ih, iw, k, step;
+  };
+  const Case cases[] = {{9, 11, 2, 2}, {7, 7, 3, 2}, {12, 5, 2, 1}, {6, 6, 3, 3}};
+  util::Rng rng(17);
+  for (const Case& c : cases) {
+    for (const PoolKind kind : {PoolKind::kMax, PoolKind::kMean}) {
+      Pool2D pool(kind, c.k, c.k, c.step);
+      tensor::Tensor in(Shape{1, c.ih, c.iw});
+      in.fill_uniform(rng, -2.0f, 2.0f);
+      tensor::Tensor want(pool.output_shape(in.shape()));
+      pool.infer_into(in, want);
+
+      tensor::Tensor got(want.shape());
+      util::aligned_vector<float> row_scratch(c.iw);
+      kernels::pool_plane(kind == PoolKind::kMax, in.data(), c.ih, c.iw, c.k, c.k,
+                          c.step, want.shape().height(), want.shape().width(),
+                          got.data(), row_scratch.data());
+      if (kind == PoolKind::kMax) {
+        // Max is order-independent: value-exact.
+        for (std::size_t i = 0; i < want.size(); ++i) ASSERT_EQ(got[i], want[i]);
+      } else {
+        expect_close(got, want, "mean pool");
+      }
+    }
+  }
+}
+
+TEST(KernelLogSoftmax, MatchesSeedAndPreservesArgmax) {
+  SKIP_WITHOUT_AVX2();
+  util::Rng rng(23);
+  for (const std::size_t n : {2u, 8u, 10u, 13u, 40u}) {
+    tensor::Tensor logits(Shape{n});
+    logits.fill_uniform(rng, -6.0f, 6.0f);
+    LogSoftMax lsm;
+    tensor::Tensor want(logits.shape());
+    lsm.infer_into(logits, want);
+    tensor::Tensor got(logits.shape());
+    kernels::logsoftmax(logits.data(), got.data(), n);
+    expect_close(got, want, "logsoftmax n=" + std::to_string(n));
+    EXPECT_EQ(got.argmax(), want.argmax());
+  }
+}
+
+// ----------------------------------------------- network-level SIMD parity
+
+TEST(KernelParity, SimdWithinToleranceOfScalarAcrossAwkwardArchitectures) {
+  SKIP_WITHOUT_AVX2();
+  for (int arch = 0; arch < kArchCount; ++arch) {
+    const Network net = make_awkward_network(arch, 100u + static_cast<std::uint64_t>(arch));
+    ExecutionContext scalar(net, kernels::Kind::kScalar, nullptr);
+    ExecutionContext simd(net, kernels::Kind::kAvx2, nullptr);
+    for (std::uint64_t i = 0; i < 6; ++i) {
+      const tensor::Tensor input = random_input(net.input_shape(), 1000 * i + 13);
+      const tensor::Tensor want = net.infer(input, scalar);  // copy before reuse
+      const tensor::Tensor& got = net.infer(input, simd);
+      expect_close(got, want, "arch " + std::to_string(arch) + " input " + std::to_string(i));
+      EXPECT_EQ(got.argmax(), want.argmax())
+          << "arch " << arch << " input " << i << ": SIMD changed the prediction";
+    }
+  }
+}
+
+TEST(KernelParity, BatchFusionBitIdenticalToPerImageInfer) {
+  SKIP_WITHOUT_AVX2();
+  for (int arch = 0; arch < kArchCount; ++arch) {
+    const Network net = make_awkward_network(arch, 200u + static_cast<std::uint64_t>(arch));
+    ExecutionContext ctx(net, kernels::Kind::kAvx2, nullptr);
+    std::vector<tensor::Tensor> images;
+    std::vector<tensor::Tensor> per_image;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      images.push_back(random_input(net.input_shape(), 3000 + i));
+      per_image.push_back(net.infer(images.back(), ctx));  // copy
+    }
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+      const std::vector<tensor::Tensor> subset(images.begin(),
+                                               images.begin() + static_cast<long>(batch));
+      const std::vector<tensor::Tensor> fused = net.infer_batch(subset, ctx);
+      ASSERT_EQ(fused.size(), batch);
+      for (std::size_t b = 0; b < batch; ++b) {
+        ASSERT_EQ(fused[b].shape(), per_image[b].shape());
+        // Bit-for-bit: batching must not change a single float.
+        ASSERT_EQ(std::memcmp(fused[b].data(), per_image[b].data(),
+                              fused[b].size() * sizeof(float)),
+                  0)
+            << "arch " << arch << " batch " << batch << " image " << b;
+      }
+    }
+  }
+}
+
+TEST(KernelParity, ScalarBatchStaysBitExactWithForward) {
+  for (int arch = 0; arch < kArchCount; ++arch) {
+    Network net = make_awkward_network(arch, 300u + static_cast<std::uint64_t>(arch));
+    ExecutionContext ctx(net, kernels::Kind::kScalar, nullptr);
+    std::vector<tensor::Tensor> images;
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      images.push_back(random_input(net.input_shape(), 4000 + i));
+    }
+    const std::vector<tensor::Tensor> batched = net.infer_batch(images, ctx);
+    for (std::size_t b = 0; b < images.size(); ++b) {
+      const tensor::Tensor want = net.forward(images[b], /*train=*/false);
+      for (std::size_t e = 0; e < want.size(); ++e) {
+        ASSERT_EQ(batched[b][e], want[e]) << "arch " << arch << " image " << b;
+      }
+    }
+  }
+}
+
+TEST(KernelParity, SharedPackCacheGivesIdenticalResults) {
+  SKIP_WITHOUT_AVX2();
+  // Pooled contexts share one PackCache; a private context packs its own.
+  // Identical weights must produce identical bits either way.
+  const Network net = make_awkward_network(2, 55);
+  ExecutionContextPool pool(net, kernels::Kind::kAvx2);
+  pool.warm();
+  ExecutionContext solo(net, kernels::Kind::kAvx2, nullptr);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const tensor::Tensor input = random_input(net.input_shape(), 5000 + i);
+    const tensor::Tensor want = net.infer(input, solo);
+    auto lease = pool.acquire();
+    const tensor::Tensor& got = net.infer(input, *lease);
+    for (std::size_t e = 0; e < want.size(); ++e) ASSERT_EQ(got[e], want[e]);
+  }
+}
+
+TEST(KernelParity, DefaultDispatchPredictsSameClassAsScalar) {
+  // Whatever CNN2FPGA_KERNEL resolves to, end-user predictions must agree
+  // with the scalar oracle on every fixture.
+  for (int arch = 0; arch < kArchCount; ++arch) {
+    const Network net = make_awkward_network(arch, 400u + static_cast<std::uint64_t>(arch));
+    ExecutionContext scalar(net, kernels::Kind::kScalar, nullptr);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      const tensor::Tensor input = random_input(net.input_shape(), 6000 + i);
+      EXPECT_EQ(net.predict(input), net.infer(input, scalar).argmax())
+          << "arch " << arch << " input " << i;
+    }
+  }
+}

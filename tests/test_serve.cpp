@@ -510,15 +510,19 @@ TEST(Serving, ConcurrentPredictionsMatchSequentialInference) {
   const core::NetworkDescriptor descriptor = small_descriptor("net_det");
   const auto design = runtime.registry().deploy_random(descriptor, 3).design;
 
-  // Reference: the same weights run sequentially through a private network.
+  // Reference: the same weights run sequentially through a private network on
+  // the same kernel engine serving dispatches to. Exact equality below then
+  // asserts the engine's contract that batched serving execution is
+  // bit-identical to sequential per-image inference.
   nn::Network reference = descriptor.build_network();
   nn::deserialize_weights(reference, design->weights);
+  nn::ExecutionContext ref_ctx(reference);
   std::vector<tensor::Tensor> images;
   std::vector<std::size_t> expected_class;
   std::vector<tensor::Tensor> expected_scores;
   for (std::size_t i = 0; i < kClients * kPerClient; ++i) {
     images.push_back(test_image(i, reference.input_shape()));
-    tensor::Tensor scores = reference.forward(images.back(), /*train=*/false);
+    tensor::Tensor scores = reference.infer(images.back(), ref_ctx);
     expected_class.push_back(scores.argmax());
     expected_scores.push_back(std::move(scores));
   }
@@ -613,7 +617,8 @@ TEST(ServeApi, DeployPredictRoundTripMatchesDirectInference) {
   nn::Network reference = design->descriptor().build_network();
   nn::deserialize_weights(reference, design->weights);
   const tensor::Tensor image = test_image(42, reference.input_shape());
-  const tensor::Tensor expected = reference.forward(image, /*train=*/false);
+  nn::ExecutionContext ref_ctx(reference);
+  const tensor::Tensor expected = reference.infer(image, ref_ctx);
 
   // Served prediction via the JSON API (base64 float32 CHW payload).
   std::vector<std::uint8_t> raw(image.size() * sizeof(float));
