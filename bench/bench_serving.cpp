@@ -35,6 +35,16 @@
 //      never blocks), the admission gauge must never exceed the cap (bounded
 //      memory), and post-flood throughput must recover to >= 95% of the
 //      pre-flood baseline on the same runtime.
+//   6. (--hetero) Heterogeneous dispatch. The host engine's saturation
+//      throughput is calibrated (scalar-pinned CIFAR network, 1 worker), then
+//      the same paced 2x-capacity arrival stream runs twice: once CPU-only,
+//      once with the accelerator backend and the cost placer. Gated: CPU-only
+//      must actually shed, the heterogeneous shed rate must be strictly lower
+//      (overflow spills to the fabric instead of answering 429), at least one
+//      batch must spill, and the p95 of served requests must stay inside the
+//      request deadline. The strict shed-rate win requires >= 2 hardware
+//      threads — the fabric's functional simulation runs on a host core, so
+//      a single-thread host makes the duel zero-sum by construction.
 //
 // `--quick` shrinks the request streams for CI smoke runs.
 //
@@ -355,6 +365,201 @@ OverloadResult measure_overload(const core::NetworkDescriptor& descriptor, bool 
   return out;
 }
 
+struct HeteroRun {
+  std::size_t served = 0;       ///< 200s during the flood
+  std::size_t shed = 0;         ///< 429s (bounded admission)
+  std::size_t expired = 0;      ///< 504s (deadline propagation)
+  std::size_t other = 0;        ///< anything else (must stay 0)
+  double shed_rate = 0.0;       ///< shed / all responses
+  double p95_ms = 0.0;          ///< p95 latency of the served requests
+  std::uint64_t spilled = 0;    ///< batches placed off the raw-fastest backend
+  double spill_rate = 0.0;
+  std::uint64_t accel_batches = 0;  ///< batches the fabric executed
+  std::uint64_t accel_images = 0;   ///< images the fabric absorbed
+};
+
+/// Paced open-loop flood: each of `threads` clients submits a
+/// deadline-carrying predict every `threads / rate_per_s` seconds on an
+/// absolute (phase-staggered) schedule, so the offered load is fixed by the
+/// flood — not by how fast the runtime answers — and the shed rate directly
+/// reflects drain capacity. Completed futures are settled opportunistically
+/// between arrivals. Returns the response mix and the served-request p95.
+HeteroRun flood_at_rate(serve::ServingRuntime& runtime,
+                        const std::shared_ptr<serve::DeployedDesign>& design,
+                        const tensor::Tensor& image, std::chrono::milliseconds duration,
+                        std::size_t threads, double rate_per_s, std::size_t deadline_ms) {
+  std::atomic<std::size_t> served{0}, shed{0}, expired{0}, other{0};
+  std::vector<std::vector<double>> latencies_ms(threads);
+  const auto start = Clock::now();
+  const auto flood_end = start + duration;
+  const auto interval = std::chrono::nanoseconds(
+      static_cast<long long>(1e9 * static_cast<double>(threads) / rate_per_s));
+  std::vector<std::thread> flood;
+  for (std::size_t t = 0; t < threads; ++t) {
+    flood.emplace_back([&, t] {
+      std::deque<std::pair<Clock::time_point, std::future<serve::Prediction>>> pipeline;
+      const auto settle_oldest = [&] {
+        auto [issued, future] = std::move(pipeline.front());
+        pipeline.pop_front();
+        try {
+          future.get();
+          served.fetch_add(1);
+          latencies_ms[t].push_back(seconds_since(issued) * 1e3);
+        } catch (const serve::DeadlineExceededError&) {
+          expired.fetch_add(1);
+        } catch (...) {
+          other.fetch_add(1);
+        }
+      };
+      auto next = start + (interval * static_cast<long long>(t)) / static_cast<long long>(threads);
+      while (next < flood_end) {
+        std::this_thread::sleep_until(next);
+        next += interval;
+        const auto issued = Clock::now();
+        try {
+          auto future = runtime.batcher().predict(
+              design, image, issued + std::chrono::milliseconds(deadline_ms));
+          pipeline.emplace_back(issued, std::move(future));
+        } catch (const serve::OverloadedError&) {
+          shed.fetch_add(1);
+        }
+        while (!pipeline.empty() && pipeline.front().second.wait_for(
+                                        std::chrono::seconds(0)) == std::future_status::ready) {
+          settle_oldest();
+        }
+      }
+      while (!pipeline.empty()) settle_oldest();
+    });
+  }
+  for (std::thread& thread : flood) thread.join();
+
+  HeteroRun out;
+  out.served = served.load();
+  out.shed = shed.load();
+  out.expired = expired.load();
+  out.other = other.load();
+  const std::size_t total = out.served + out.shed + out.expired + out.other;
+  out.shed_rate = total == 0 ? 0.0
+                             : static_cast<double>(out.shed) / static_cast<double>(total);
+  std::vector<double> all;
+  for (const auto& v : latencies_ms) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  if (!all.empty()) out.p95_ms = all[(all.size() * 95) / 100];
+  out.spilled = runtime.metrics().spilled.value();
+  out.spill_rate = runtime.metrics().spill_rate();
+  const auto& fabric =
+      runtime.metrics().backend[serve::backend_index(serve::BackendId::kAccelerator)];
+  out.accel_batches = fabric.batches.value();
+  out.accel_images = fabric.images.value();
+  return out;
+}
+
+struct HeteroComparison {
+  std::size_t deadline_ms = 0;
+  double cpu_capacity_per_s = 0.0;    ///< calibrated host-engine drain rate
+  double accel_capacity_per_s = 0.0;  ///< fabric drain rate from the timing model
+  double offered_per_s = 0.0;         ///< paced arrival rate (2x cpu capacity)
+  HeteroRun cpu_only;
+  HeteroRun hetero;
+};
+
+/// The paper's two-engine trade-off at serve time: the same 2x overload
+/// answered by the CPU engine alone, then by CPU + simulated fabric under the
+/// cost placer. The host engine's saturation throughput is calibrated first
+/// (closed loop, scalar-pinned CIFAR network so a batch is ~10ms of real
+/// arithmetic), then both runs receive the same paced arrival stream at 2x
+/// that rate. CPU-only must shed roughly half the offer; with the placer the
+/// admission queue backs up until the CPU completion cost (estimate x queue
+/// pressure) crosses the fabric's modeled latency, overflow batches spill,
+/// and the extra drain path shows up directly as a lower 429 rate.
+HeteroComparison measure_hetero(const core::NetworkDescriptor& descriptor, bool quick) {
+  HeteroComparison out;
+  out.deadline_ms = 500;
+  const auto calibrate_for = std::chrono::milliseconds(quick ? 300 : 600);
+  const auto flood_for = std::chrono::milliseconds(quick ? 600 : 1500);
+  constexpr std::size_t kFloodThreads = 8;
+
+  const auto make_runtime = [&](bool with_accelerator, std::size_t queue_depth) {
+    serve::ServingConfig config;
+    config.worker_threads = 1;
+    config.batcher.max_batch = 8;
+    // Long enough for a full batch to coalesce at the offered rate — the
+    // fabric only takes partial lanes on this deadline, so a short window
+    // would drip single-image invocations into its DMA round trip.
+    config.batcher.max_wait_us = 5000;
+    config.batcher.max_queue_depth = queue_depth;
+    config.backends.accelerator = with_accelerator;  // placer default: cost
+    return std::make_unique<serve::ServingRuntime>(config);
+  };
+  const auto deploy_scalar = [&](serve::ServingRuntime& runtime) {
+    // Pin the scalar kernel engine (the context pool bakes it in at deploy):
+    // ~10ms of real arithmetic per batch keeps the host engine's drain rate
+    // in a regime the modeled fabric can meaningfully supplement.
+    nn::kernels::ScopedKernelOverride pin(nn::kernels::Kind::kScalar);
+    return runtime.registry().deploy_random(descriptor, 1).design;
+  };
+
+  // Calibrate: closed-loop saturation throughput of the lone CPU engine, no
+  // admission cap. Also read the fabric's drain rate off the timing model.
+  {
+    auto runtime = make_runtime(/*with_accelerator=*/false, /*queue_depth=*/0);
+    const auto design = deploy_scalar(*runtime);
+    tensor::Tensor image{design->net.input_shape()};
+    util::Rng rng(42);
+    image.fill_uniform(rng, -1.0f, 1.0f);
+    runtime->batcher().predict(design, image).get();  // warm-up
+    std::atomic<std::size_t> drained{0};
+    const auto calibrate_start = Clock::now();
+    const auto calibrate_end = calibrate_start + calibrate_for;
+    std::vector<std::thread> clients;
+    for (std::size_t t = 0; t < kFloodThreads; ++t) {
+      clients.emplace_back([&] {
+        std::deque<std::future<serve::Prediction>> pipeline;
+        while (Clock::now() < calibrate_end) {
+          pipeline.push_back(runtime->batcher().predict(design, image));
+          if (pipeline.size() >= 4) {
+            pipeline.front().get();
+            pipeline.pop_front();
+            drained.fetch_add(1);
+          }
+        }
+        for (auto& future : pipeline) {
+          future.get();
+          drained.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+    out.cpu_capacity_per_s =
+        static_cast<double>(drained.load()) / seconds_since(calibrate_start);
+    out.accel_capacity_per_s = 8.0 / design->invocation_seconds(8);
+    runtime->shutdown();
+  }
+  if (out.cpu_capacity_per_s < 50.0) out.cpu_capacity_per_s = 50.0;
+  out.offered_per_s = 2.0 * out.cpu_capacity_per_s;
+
+  // The cap is sized in host batches: deep enough that the queue-pressure
+  // term crosses over to the fabric well before admission sheds, shallow
+  // enough that a full queue still drains inside the deadline.
+  const std::size_t queue_depth = 160;
+  for (const bool with_accelerator : {false, true}) {
+    auto runtime = make_runtime(with_accelerator, queue_depth);
+    const auto design = deploy_scalar(*runtime);
+    tensor::Tensor image{design->net.input_shape()};
+    util::Rng rng(42);
+    image.fill_uniform(rng, -1.0f, 1.0f);
+    // Settle the CPU engine's measured-latency EWMA before measuring, so
+    // placement during the flood runs on real estimates instead of the
+    // cold-start parity prior.
+    for (int i = 0; i < 8; ++i) runtime->batcher().predict(design, image).get();
+    const HeteroRun run = flood_at_rate(*runtime, design, image, flood_for, kFloodThreads,
+                                        out.offered_per_s, out.deadline_ms);
+    runtime->shutdown();
+    (with_accelerator ? out.hetero : out.cpu_only) = run;
+  }
+  return out;
+}
+
 struct DeployLatency {
   double miss_us = 0.0;
   double hit_us = 0.0;
@@ -387,10 +592,12 @@ DeployLatency measure_deploy(std::size_t rounds) {
 int main(int argc, char** argv) {
   bool quick = false;
   bool overload = false;
+  bool hetero = false;
   std::string out_path = "BENCH_serving.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--overload") == 0) overload = true;
+    if (std::strcmp(argv[i], "--hetero") == 0) hetero = true;
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
   }
   const std::size_t kClients = 8;
@@ -487,6 +694,70 @@ int main(int argc, char** argv) {
     if (!quick) overload_ok = overload_ok && recovery_ratio >= 0.95;
   }
 
+  HeteroComparison duel;
+  bool hetero_ok = true;
+  std::string hetero_json = "false";
+  if (hetero) {
+    duel = measure_hetero(cifar, quick);
+    std::printf("heterogeneous dispatch, Test-4 CIFAR network (scalar engine, 1 worker):\n");
+    std::printf(
+        "  capacity: host %.0f img/s, fabric %.0f img/s; offered %.0f img/s "
+        "(2x host), deadline %zu ms\n",
+        duel.cpu_capacity_per_s, duel.accel_capacity_per_s, duel.offered_per_s,
+        duel.deadline_ms);
+    std::printf("  cpu only:    served %6zu  shed %6zu (%.1f%%)  expired %4zu  p95 %7.1f ms\n",
+                duel.cpu_only.served, duel.cpu_only.shed, duel.cpu_only.shed_rate * 100.0,
+                duel.cpu_only.expired, duel.cpu_only.p95_ms);
+    std::printf(
+        "  cpu + accel: served %6zu  shed %6zu (%.1f%%)  expired %4zu  p95 %7.1f ms\n",
+        duel.hetero.served, duel.hetero.shed, duel.hetero.shed_rate * 100.0,
+        duel.hetero.expired, duel.hetero.p95_ms);
+    std::printf(
+        "  spilled to the fabric: %llu batches (%.1f%% of dispatches), "
+        "%llu images absorbed in %llu invocations\n",
+        static_cast<unsigned long long>(duel.hetero.spilled), duel.hetero.spill_rate * 100.0,
+        static_cast<unsigned long long>(duel.hetero.accel_images),
+        static_cast<unsigned long long>(duel.hetero.accel_batches));
+    // The gates of the section header: overload must bind on the single
+    // engine, the placer must turn sheds into spills, and spilling must not
+    // blow the deadline. The strict shed-rate win binds only where the
+    // fabric's driver thread has a hardware thread to run on: the simulated
+    // accelerator computes its functional results with the same host engine
+    // the CPU backend uses, so on a single-hardware-thread host that compute
+    // steals exactly the capacity the model adds and the duel is zero-sum by
+    // construction (same spirit as the worker-scaling gate above). The 1.15x
+    // bound still catches a placer that makes overload worse.
+    const bool capacity_gate = hw_threads >= 2;
+    if (!capacity_gate) {
+      std::puts(
+          "  (1 hw thread: fabric functional simulation shares the host core; "
+          "strict shed-rate gate waived)");
+    }
+    hetero_ok = duel.cpu_only.shed > 0 && duel.hetero.spilled > 0 &&
+                duel.hetero.accel_images > 0 &&
+                duel.hetero.p95_ms <= static_cast<double>(duel.deadline_ms) &&
+                duel.cpu_only.other == 0 && duel.hetero.other == 0 &&
+                (capacity_gate ? duel.hetero.shed_rate < duel.cpu_only.shed_rate
+                               : duel.hetero.shed_rate <= duel.cpu_only.shed_rate * 1.15);
+    hetero_json = util::format(
+        "{\"deadline_ms\": %zu, \"cpu_capacity_per_s\": %.1f, "
+        "\"accel_capacity_per_s\": %.1f, \"offered_per_s\": %.1f, "
+        "\"cpu_only\": {\"served\": %zu, \"shed\": %zu, \"expired\": %zu, "
+        "\"shed_rate\": %.4f, \"p95_ms\": %.2f}, "
+        "\"placer\": {\"served\": %zu, \"shed\": %zu, \"expired\": %zu, "
+        "\"shed_rate\": %.4f, \"p95_ms\": %.2f, \"spilled\": %llu, "
+        "\"spill_rate\": %.4f, \"fabric_batches\": %llu, \"fabric_images\": %llu}, "
+        "\"capacity_gate\": %s, \"ok\": %s}",
+        duel.deadline_ms, duel.cpu_capacity_per_s, duel.accel_capacity_per_s,
+        duel.offered_per_s, duel.cpu_only.served, duel.cpu_only.shed, duel.cpu_only.expired,
+        duel.cpu_only.shed_rate, duel.cpu_only.p95_ms, duel.hetero.served, duel.hetero.shed,
+        duel.hetero.expired, duel.hetero.shed_rate, duel.hetero.p95_ms,
+        static_cast<unsigned long long>(duel.hetero.spilled), duel.hetero.spill_rate,
+        static_cast<unsigned long long>(duel.hetero.accel_batches),
+        static_cast<unsigned long long>(duel.hetero.accel_images),
+        capacity_gate ? "true" : "false", hetero_ok ? "true" : "false");
+  }
+
   const std::string json = util::format(
       "{\"bench\": \"serving\", \"clients\": %zu, \"workers\": 4, "
       "\"batch\": %zu, \"unbatched_images_per_s\": %.1f, \"batched_images_per_s\": %.1f, "
@@ -501,7 +772,7 @@ int main(int argc, char** argv) {
       "\"deploy_miss_us\": %.1f, \"deploy_hit_us\": %.1f, \"registry_speedup\": %.1f, "
       "\"overload\": %s, \"overload_served\": %zu, \"overload_shed\": %zu, "
       "\"overload_max_reject_ms\": %.2f, \"overload_queue_peak\": %llu, "
-      "\"overload_recovery_ratio\": %.3f}",
+      "\"overload_recovery_ratio\": %.3f, \"hetero\": %s}",
       kClients, kBatch, unbatched.accel_ips, batched.accel_ips, accel_speedup,
       unbatched.host_ips, batched.host_ips, host_speedup, one_worker.host_ips,
       four_workers.host_ips, worker_scaling, hw_threads, mismatches == 0 ? "true" : "false",
@@ -509,7 +780,8 @@ int main(int argc, char** argv) {
       scalar_lat.p50_us, scalar_lat.p95_us, simd_lat.p50_us, simd_lat.p95_us, p50_speedup,
       deploy.miss_us, deploy.hit_us, deploy_speedup, overload ? "true" : "false",
       flood.served, flood.shed, flood.max_reject_ms,
-      static_cast<unsigned long long>(flood.queue_peak), recovery_ratio);
+      static_cast<unsigned long long>(flood.queue_peak), recovery_ratio,
+      hetero_json.c_str());
   std::printf("SERVING_JSON %s\n", json.c_str());
   std::ofstream out_file(out_path);
   out_file << json << "\n";
@@ -525,6 +797,6 @@ int main(int argc, char** argv) {
   bool ok = accel_speedup >= 2.0 && host_speedup >= 0.5 && mismatches == 0;
   if (hw_threads >= 4 && !quick) ok = ok && worker_scaling >= 2.0;
   if (have_avx2) ok = ok && p50_speedup >= 2.0;
-  ok = ok && overload_ok;
+  ok = ok && overload_ok && hetero_ok;
   return ok ? 0 : 1;
 }

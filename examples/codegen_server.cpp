@@ -26,9 +26,19 @@
 //   --faults SPEC          arm deterministic fault injection, e.g.
 //                          "executor.batch=error:1.0:3" (also honors the
 //                          CNN2FPGA_FAULTS / CNN2FPGA_FAULT_SEED env vars)
+//
+// Heterogeneous backends (see DESIGN.md "Heterogeneous backends and the
+// placer"):
+//   --backends LIST        comma-separated engines to enable: "cpu,accel"
+//                          (default), "cpu", or "accel"
+//   --placer POLICY        batch placement: "cost" (default; completion-cost
+//                          model, spills overflow to the idle engine), "cpu",
+//                          or "accel"
 #include <csignal>
 #include <cstdio>
 #include <semaphore>
+#include <stdexcept>
+#include <string>
 
 #include "cnn2fpga.hpp"
 
@@ -58,7 +68,38 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("breaker-failures", 5));
   serving_config.breaker.cooldown_ms =
       static_cast<std::uint64_t>(args.get_int("breaker-cooldown-ms", 1000));
+  if (const std::string backends = args.get_string("backends", "cpu,accel");
+      !backends.empty()) {
+    serving_config.backends.cpu = false;
+    serving_config.backends.accelerator = false;
+    for (std::size_t start = 0; start < backends.size();) {
+      std::size_t comma = backends.find(',', start);
+      if (comma == std::string::npos) comma = backends.size();
+      const std::string name = backends.substr(start, comma - start);
+      if (name == "cpu") {
+        serving_config.backends.cpu = true;
+      } else if (name == "accel" || name == "accelerator") {
+        serving_config.backends.accelerator = true;
+      } else {
+        std::fprintf(stderr, "--backends rejected: unknown engine '%s' (want cpu, accel)\n",
+                     name.c_str());
+        return 1;
+      }
+      start = comma + 1;
+    }
+  }
+  try {
+    serving_config.backends.placer =
+        serve::parse_placer_policy(args.get_string("placer", "cost"));
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "--placer rejected: %s\n", error.what());
+    return 1;
+  }
   serve::ServingRuntime runtime(serving_config);
+  std::printf("backends: cpu=%s accelerator=%s placer=%s\n",
+              serving_config.backends.cpu ? "on" : "off",
+              serving_config.backends.accelerator ? "on" : "off",
+              serve::placer_policy_name(serving_config.backends.placer));
   if (const std::string faults = args.get_string("faults", ""); !faults.empty()) {
     std::string error;
     if (!runtime.faults().configure(faults, &error)) {

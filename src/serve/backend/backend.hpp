@@ -1,0 +1,126 @@
+// InferenceBackend: one execution engine behind the batcher.
+//
+// The paper's evaluation (Tables I/II) is a two-backend comparison — the same
+// generated CNN on the Zynq's ARM core vs. the generated FPGA IP. The serving
+// runtime mirrors that: a batch flushed by the Batcher is *placed* (see
+// placer.hpp) onto one InferenceBackend and dispatched to that backend's
+// execution resources. Two implementations exist:
+//
+//   CpuBackend          the SIMD ExecutionContextPool / infer_batch path on
+//                       the shared worker pool (cpu_backend.hpp)
+//   AcceleratorBackend  the simulated FPGA fabric: functional results from
+//                       the same reentrant engine, timing from the
+//                       axi::BlockDesign invocation model, one in-flight
+//                       invocation (one physical IP core), executed on its
+//                       own driver thread (accel_backend.hpp)
+//
+// The interface carries everything the cost-model placer needs: a per-batch
+// execution-time estimate, the backend's concurrency (slots), and live
+// queue-depth/inflight signals maintained by dispatch(). run_batch() is the
+// compute itself — called from whatever execution resource do_submit chose —
+// and fails as a unit: one exception fails every image in the batch (inputs
+// are shape-validated at predict(), so an execution failure is environmental,
+// not per-request).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <span>
+
+#include "serve/backend/ids.hpp"
+#include "serve/registry.hpp"
+#include "tensor/tensor.hpp"
+
+namespace cnn2fpga::serve {
+
+struct BackendCapabilities {
+  /// Concurrent batches the backend can execute (its slot count).
+  std::size_t concurrency = 1;
+  /// Whole-batch fused execution (one im2col+GEMM per layer) vs. per-image.
+  bool fused_batching = false;
+  /// Executes fixed-point (Q(m,n)) designs.
+  bool fixed_point = true;
+  /// Execution wall time includes a modeled-latency component (the simulated
+  /// fabric sleeps for the axi::BlockDesign invocation time).
+  bool modeled_latency = false;
+  /// A partial lane is still worth an eager flush: per-invocation setup is
+  /// cheap, so a small batch wastes little capacity. False for the fabric —
+  /// its DMA round trip amortizes over a full batch, so an idle accelerator
+  /// pulls full lanes immediately but partial lanes only through the
+  /// max_wait deadline flush.
+  bool eager_partial_flush = true;
+};
+
+class InferenceBackend {
+ public:
+  virtual ~InferenceBackend() = default;
+  InferenceBackend(const InferenceBackend&) = delete;
+  InferenceBackend& operator=(const InferenceBackend&) = delete;
+
+  virtual BackendId id() const = 0;
+  const char* name() const { return backend_name(id()); }
+  virtual BackendCapabilities capabilities() const = 0;
+
+  /// Estimated wall seconds to execute one batch of `images` of `design` on
+  /// this backend, excluding queueing ahead of it. CpuBackend answers from
+  /// the design's measured per-image EWMA (model-derived prior before the
+  /// first measurement); AcceleratorBackend answers from the axi::BlockDesign
+  /// invocation model. Cheap: called under the batcher lock per flush.
+  virtual double estimate_batch_seconds(const DeployedDesign& design,
+                                        std::size_t images) const = 0;
+
+  /// Execute `inputs` through `design`, writing one logits tensor per input.
+  /// Called from this backend's execution resource (see dispatch()). Throws
+  /// on failure; the whole batch shares the verdict. Feeds the design's
+  /// per-backend serving state (served counters, measured-latency EWMA).
+  virtual void run_batch(DeployedDesign& design,
+                         std::span<const tensor::Tensor* const> inputs,
+                         std::span<tensor::Tensor> outputs) = 0;
+
+  /// Per-backend deploy-time warming (weight packs, timing model). Idempotent;
+  /// called by the runtime when a design is deployed.
+  virtual void warm(DeployedDesign& design) const = 0;
+
+  /// Hand `task` to this backend's execution resource, maintaining the
+  /// queued/inflight gauges the placer reads. Throws (std::runtime_error)
+  /// after the backend's resource has shut down.
+  void dispatch(std::function<void()> task);
+
+  /// Batches handed to dispatch() that have not started executing.
+  std::size_t queued() const { return queued_.load(std::memory_order_relaxed); }
+  /// Batches currently executing.
+  std::size_t inflight() const { return inflight_.load(std::memory_order_relaxed); }
+  /// Work competing for this backend's slots (queued + executing). CpuBackend
+  /// widens this to the shared executor's whole backlog: foreign tasks on the
+  /// pool delay our batches just the same.
+  virtual std::size_t pending() const { return queued() + inflight(); }
+
+  /// Stop accepting dispatches and drain what was accepted. Idempotent.
+  virtual void shutdown() {}
+
+ protected:
+  InferenceBackend() = default;
+
+  /// Enqueue on the backend's execution resource (shared pool / driver
+  /// thread).
+  virtual void do_submit(std::function<void()> task) = 0;
+
+ private:
+  std::atomic<std::size_t> queued_{0};
+  std::atomic<std::size_t> inflight_{0};
+};
+
+/// Functional reference execution shared by both backends: the simulated
+/// fabric computes the same function as the host engine (the generated IP is
+/// bit-exact with the reference network — the paper's central claim), so both
+/// backends produce identical logits and differ only in timing, concurrency
+/// and failure domain. Float designs run the fused infer_batch path
+/// (bit-identical to per-image infer by the kernel chunk-invariance
+/// contract); fixed designs run per-image forward_fixed through the same
+/// leased context.
+void run_reference_batch(DeployedDesign& design,
+                         std::span<const tensor::Tensor* const> inputs,
+                         std::span<tensor::Tensor> outputs);
+
+}  // namespace cnn2fpga::serve

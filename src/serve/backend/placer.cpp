@@ -1,0 +1,63 @@
+#include "serve/backend/placer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace cnn2fpga::serve {
+
+const char* placer_policy_name(PlacerPolicy policy) {
+  switch (policy) {
+    case PlacerPolicy::kCpuOnly: return "cpu";
+    case PlacerPolicy::kAcceleratorOnly: return "accelerator";
+    case PlacerPolicy::kCost: return "cost";
+  }
+  return "?";
+}
+
+PlacerPolicy parse_placer_policy(std::string_view name) {
+  if (name == "cost") return PlacerPolicy::kCost;
+  if (name == "cpu") return PlacerPolicy::kCpuOnly;
+  if (name == "accel" || name == "accelerator") return PlacerPolicy::kAcceleratorOnly;
+  throw std::invalid_argument("placer policy must be cost, cpu or accel, got '" +
+                              std::string(name) + "'");
+}
+
+bool Placer::admits(BackendId id) const {
+  switch (policy_) {
+    case PlacerPolicy::kCpuOnly: return id == BackendId::kCpu;
+    case PlacerPolicy::kAcceleratorOnly: return id == BackendId::kAccelerator;
+    case PlacerPolicy::kCost: return true;
+  }
+  return true;
+}
+
+double Placer::completion_cost(double estimate_seconds, std::size_t pending,
+                               std::size_t slots) {
+  const double width = static_cast<double>(slots == 0 ? 1 : slots);
+  return estimate_seconds * (1.0 + static_cast<double>(pending) / width);
+}
+
+Placement Placer::place(std::span<const BackendSnapshot> snapshots) const {
+  Placement placement;
+  double fastest_estimate = 0.0;
+  bool have_fastest = false;
+  for (const BackendSnapshot& snapshot : snapshots) {
+    if (!snapshot.admissible || !admits(snapshot.id)) continue;
+    placement.ranked.push_back(
+        {snapshot.id, completion_cost(snapshot.estimate_seconds, snapshot.pending,
+                                      snapshot.slots)});
+    if (!have_fastest || snapshot.estimate_seconds < fastest_estimate) {
+      fastest_estimate = snapshot.estimate_seconds;
+      placement.fastest = snapshot.id;
+      have_fastest = true;
+    }
+  }
+  // stable_sort: equal costs keep snapshot order, so callers list their
+  // preferred backend first to break ties deterministically.
+  std::stable_sort(placement.ranked.begin(), placement.ranked.end(),
+                   [](const RankedBackend& a, const RankedBackend& b) { return a.cost < b.cost; });
+  return placement;
+}
+
+}  // namespace cnn2fpga::serve

@@ -1,0 +1,88 @@
+// Cost-model placement of flushed micro-batches onto backends.
+//
+// For every batch the batcher flushes, the placer ranks the admissible
+// backends by estimated *completion* cost — not raw execution speed:
+//
+//   completion_cost = estimate_batch_seconds * (1 + pending / slots)
+//
+// `pending / slots` approximates how many backend-service-times of work are
+// already ahead of this batch: a backend with every slot busy and a queue
+// behind it must drain that queue first, so its effective cost scales up. An
+// idle slower backend therefore wins once the faster one's queue grows past
+// the speed ratio — which is exactly when overflow should spill to the fabric
+// instead of queueing toward a 429. This is the serve-time analogue of the
+// paper's CPU-vs-FPGA trade-off (Tables I/II): neither engine dominates; the
+// right one depends on load.
+//
+// The placer is a pure function of BackendSnapshots (unit-testable with
+// synthetic scenario tables); the batcher builds the snapshots from live
+// signals and claims the chosen backend's breaker probe in ranked order.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "serve/backend/ids.hpp"
+
+namespace cnn2fpga::serve {
+
+enum class PlacerPolicy {
+  kCpuOnly,          ///< pre-backend behavior: every batch on the host engine
+  kAcceleratorOnly,  ///< every batch on the simulated fabric
+  kCost,             ///< completion-cost model decides per batch
+};
+
+const char* placer_policy_name(PlacerPolicy policy);
+/// Parses "cost" | "cpu" | "accel" | "accelerator". Throws
+/// std::invalid_argument on anything else.
+PlacerPolicy parse_placer_policy(std::string_view name);
+
+/// Point-in-time view of one backend, as the batcher sees it at flush time.
+struct BackendSnapshot {
+  BackendId id = BackendId::kCpu;
+  double estimate_seconds = 0.0;  ///< raw batch execution estimate
+  std::size_t pending = 0;        ///< batches queued + executing there
+  std::size_t slots = 1;          ///< concurrent batches it can execute
+  bool admissible = true;         ///< policy allows it and its breaker would admit
+};
+
+struct RankedBackend {
+  BackendId id = BackendId::kCpu;
+  double cost = 0.0;  ///< completion cost the ranking was computed from
+};
+
+struct Placement {
+  /// Admissible backends, cheapest completion cost first. Empty = nothing can
+  /// take the batch (every backend excluded by policy or breaker). The
+  /// batcher consumes breaker probes in this order, so a breaker that trips
+  /// between snapshot and claim falls through to the next-best backend.
+  std::vector<RankedBackend> ranked;
+  /// Backend with the smallest *raw* estimate among admissible ones. A batch
+  /// placed elsewhere is a spill: queue pressure overrode raw speed.
+  BackendId fastest = BackendId::kCpu;
+};
+
+class Placer {
+ public:
+  explicit Placer(PlacerPolicy policy) : policy_(policy) {}
+
+  PlacerPolicy policy() const { return policy_; }
+
+  /// Does the policy consider this backend at all (independent of health)?
+  bool admits(BackendId id) const;
+
+  /// Rank `snapshots` for one batch. Snapshots whose backend the policy
+  /// excludes, or that are marked inadmissible, do not appear in the result.
+  Placement place(std::span<const BackendSnapshot> snapshots) const;
+
+  /// estimate * (1 + pending/slots); `slots` is clamped to >= 1.
+  static double completion_cost(double estimate_seconds, std::size_t pending,
+                                std::size_t slots);
+
+ private:
+  PlacerPolicy policy_;
+};
+
+}  // namespace cnn2fpga::serve

@@ -4,7 +4,7 @@
 #include <span>
 #include <stdexcept>
 
-#include "nn/fixed_inference.hpp"
+#include "serve/backend/cpu_backend.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
@@ -17,11 +17,22 @@ std::uint64_t elapsed_us(Batcher::Clock::time_point from, Batcher::Clock::time_p
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(to - from).count());
 }
+
+std::vector<std::shared_ptr<InferenceBackend>> single_cpu_backend(Executor& executor) {
+  return {std::make_shared<CpuBackend>(executor)};
+}
 }  // namespace
 
 Batcher::Batcher(Executor& executor, BatcherConfig config, ServeMetrics* metrics,
                  FaultInjector* faults)
-    : executor_(executor),
+    : Batcher(single_cpu_backend(executor), PlacerPolicy::kCpuOnly,
+              std::max<std::size_t>(1, executor.thread_count()), config, metrics, faults) {}
+
+Batcher::Batcher(std::vector<std::shared_ptr<InferenceBackend>> backends,
+                 PlacerPolicy policy, std::size_t cpu_slots, BatcherConfig config,
+                 ServeMetrics* metrics, FaultInjector* faults)
+    : backends_(std::move(backends)),
+      placer_(policy),
       config_{config.max_batch == 0 ? 1 : config.max_batch,
               config.max_wait_us,
               config.max_inflight_per_design,
@@ -29,10 +40,12 @@ Batcher::Batcher(Executor& executor, BatcherConfig config, ServeMetrics* metrics
               config.max_queue_depth_per_design},
       inflight_limit_(config.max_inflight_per_design != 0
                           ? config.max_inflight_per_design
-                          : std::max<std::size_t>(1, executor.thread_count())),
+                          : std::max<std::size_t>(1, cpu_slots)),
       metrics_(metrics),
       faults_(faults),
-      deadline_thread_([this] { deadline_loop(); }) {}
+      deadline_thread_([this] { deadline_loop(); }) {
+  if (backends_.empty()) throw std::invalid_argument("Batcher: no backends");
+}
 
 Batcher::~Batcher() { shutdown(); }
 
@@ -84,14 +97,35 @@ std::future<Prediction> Batcher::predict(std::shared_ptr<DeployedDesign> design,
     }
   }
 
-  // Circuit breaker, checked after the shed paths so a shed request can never
-  // claim (and then strand) the half-open probe slot.
-  if (!design->breaker.allow()) {
-    if (metrics_) metrics_->breaker_rejects.add();
-    throw DesignUnavailableError(
-        format("predict: design '%s' unavailable (circuit breaker %s)",
-               design->descriptor().name.c_str(), design->breaker.state_name()),
-        design->breaker.retry_after_ms());
+  // Circuit breakers, checked after the shed paths. Admission only needs SOME
+  // backend whose breaker would take the batch; the winning backend's probe
+  // slot is claimed at placement (flush), so a shed request can never claim
+  // (and then strand) it. Only a fully quarantined design — every admissible
+  // backend's breaker closed to us — rejects here.
+  {
+    bool placeable = false;
+    std::uint64_t retry_after_ms = 0;
+    bool have_retry = false;
+    for (const auto& backend : backends_) {
+      if (!placer_.admits(backend->id())) continue;
+      Breaker& breaker = design->backend_state(backend->id()).breaker;
+      if (breaker.would_allow()) {
+        placeable = true;
+        break;
+      }
+      const std::uint64_t retry = breaker.retry_after_ms();
+      if (!have_retry || retry < retry_after_ms) {
+        retry_after_ms = retry;
+        have_retry = true;
+      }
+    }
+    if (!placeable) {
+      if (metrics_) metrics_->breaker_rejects.add();
+      throw DesignUnavailableError(
+          format("predict: design '%s' unavailable (circuit breaker %s on every backend)",
+                 design->descriptor().name.c_str(), design->breaker.state_name()),
+          retry_after_ms);
+    }
   }
 
   ++waiting_;
@@ -107,11 +141,11 @@ std::future<Prediction> Batcher::predict(std::shared_ptr<DeployedDesign> design,
     lane.deadline = request.enqueued + std::chrono::microseconds(config_.max_wait_us);
   }
   lane.requests.push_back(std::move(request));
-  const auto busy_it = busy_.find(design->id);
-  const std::size_t inflight = busy_it == busy_.end() ? 0 : busy_it->second;
-  if (inflight < inflight_limit_ || lane.requests.size() >= config_.max_batch) {
-    // Free inference slot or full batch: dispatch from the submitting thread.
-    // Only requests arriving while every slot is occupied wait to coalesce.
+  if (capacity_available_locked(design->id, lane.requests.size()) ||
+      lane.requests.size() >= config_.max_batch) {
+    // Free engine or full batch: dispatch from the submitting thread. Only
+    // requests arriving while every admissible backend is occupied wait to
+    // coalesce.
     Lane ready = std::move(lane);
     lanes_.erase(design->id);
     flush_locked(std::move(ready));
@@ -135,8 +169,17 @@ void Batcher::shutdown() {
   }
   lane_cv_.notify_all();
   if (deadline_thread_.joinable()) deadline_thread_.join();
-  std::unique_lock<std::mutex> lock(mutex_);
-  drained_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    drained_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    if (backends_shut_) return;
+    backends_shut_ = true;
+  }
+  // Backend shutdown happens after the drain (their resources executed the
+  // in-flight batches) and outside the lock (joining a driver thread must
+  // never hold the batcher mutex). The CpuBackend's shutdown is a no-op —
+  // the shared executor belongs to the runtime.
+  for (const auto& backend : backends_) backend->shutdown();
 }
 
 std::size_t Batcher::pending() const {
@@ -197,6 +240,71 @@ void Batcher::deadline_loop() {
   }
 }
 
+bool Batcher::capacity_available_locked(const std::string& design_id,
+                                        std::size_t lane_size) const {
+  const auto busy_it = busy_.find(design_id);
+  for (const auto& backend : backends_) {
+    if (!placer_.admits(backend->id())) continue;
+    if (!backend->capabilities().eager_partial_flush && lane_size < config_.max_batch) {
+      continue;  // the fabric takes partial lanes only on the deadline flush
+    }
+    if (backend->id() == BackendId::kCpu) {
+      // The shared pool runs many designs; what the flush trigger bounds is
+      // this design's share of it (the pre-backend inflight_limit_ rule).
+      const std::size_t busy =
+          busy_it == busy_.end() ? 0 : (*busy_it).second[backend_index(backend->id())];
+      if (busy < inflight_limit_) return true;
+    } else if (backend->pending() < backend->capabilities().concurrency) {
+      // The accelerator is one global IP core: idle is idle for every design.
+      return true;
+    }
+  }
+  return false;
+}
+
+InferenceBackend* Batcher::choose_backend_locked(DeployedDesign& design, std::size_t images,
+                                                 bool& spill, std::uint64_t& retry_after_ms) {
+  spill = false;
+  retry_after_ms = 0;
+  std::vector<BackendSnapshot> snapshots;
+  snapshots.reserve(backends_.size());
+  bool have_retry = false;
+  for (const auto& backend : backends_) {
+    if (!placer_.admits(backend->id())) continue;
+    Breaker& breaker = design.backend_state(backend->id()).breaker;
+    const bool admissible = breaker.would_allow();
+    if (!admissible) {
+      const std::uint64_t retry = breaker.retry_after_ms();
+      if (!have_retry || retry < retry_after_ms) {
+        retry_after_ms = retry;
+        have_retry = true;
+      }
+    }
+    BackendSnapshot snapshot;
+    snapshot.id = backend->id();
+    snapshot.estimate_seconds = backend->estimate_batch_seconds(design, images);
+    snapshot.pending = backend->pending();
+    snapshot.slots = backend->capabilities().concurrency;
+    snapshot.admissible = admissible;
+    snapshots.push_back(snapshot);
+  }
+
+  const Placement placement = placer_.place(snapshots);
+  for (const RankedBackend& ranked : placement.ranked) {
+    // Claim the probe / admission on the breaker we are about to use. A
+    // breaker that tripped between snapshot and claim (or whose half-open
+    // probe another batch took) falls through to the next-cheapest backend.
+    if (!design.backend_state(ranked.id).breaker.allow()) continue;
+    for (const auto& backend : backends_) {
+      if (backend->id() == ranked.id) {
+        spill = ranked.id != placement.fastest;
+        return backend.get();
+      }
+    }
+  }
+  return nullptr;
+}
+
 void Batcher::flush_locked(Lane lane) {
   if (lane.requests.empty()) return;
   const std::string design_id = lane.design->id;
@@ -216,30 +324,79 @@ void Batcher::flush_locked(Lane lane) {
     }
   }
   if (dropped != 0) settle_waiting_locked(design_id, dropped);
-  if (live.empty()) {
-    // Nothing executed: if this lane carried the half-open probe, free the
-    // probe slot so the next request can retry the design.
-    lane.design->breaker.record_abandoned();
+  if (live.empty()) return;  // nothing placed, no probe held
+
+  // Placement: one cost-model decision per batch. The chosen backend's
+  // breaker admission (half-open probe included) is consumed here.
+  bool spill = false;
+  std::uint64_t retry_after_ms = 0;
+  InferenceBackend* backend =
+      choose_backend_locked(*lane.design, live.size(), spill, retry_after_ms);
+  if (backend == nullptr) {
+    // Every backend quarantined (or its probe taken) since admission: the
+    // design is unavailable for this batch.
+    settle_waiting_locked(design_id, live.size());
+    const auto error = std::make_exception_ptr(DesignUnavailableError(
+        format("predict: design '%s' unavailable (no backend admissible)",
+               lane.design->descriptor().name.c_str()),
+        retry_after_ms));
+    for (Request& request : live) {
+      if (metrics_) metrics_->breaker_rejects.add();
+      request.promise.set_exception(error);
+    }
     return;
+  }
+  const std::size_t backend_idx = backend_index(backend->id());
+
+  // Fault site backend.dispatch (error/alloc): the hand-off to the chosen
+  // backend's execution resource failed. That is a failure OF that backend —
+  // feed its breaker so repeated dispatch faults quarantine it — and the
+  // batch never starts, so the requests fail here.
+  if (faults_ != nullptr) {
+    std::exception_ptr fault;
+    if (faults_->should_fail_alloc("backend.dispatch")) {
+      fault = std::make_exception_ptr(std::bad_alloc());
+    } else if (faults_->should_fail("backend.dispatch")) {
+      fault = std::make_exception_ptr(InjectedFault(
+          format("injected dispatch failure on backend '%s'", backend->name())));
+    }
+    if (fault) {
+      lane.design->backend_state(backend->id()).breaker.record_failure();
+      settle_waiting_locked(design_id, live.size());
+      if (metrics_) metrics_->backend[backend_idx].errors.add();
+      for (Request& request : live) {
+        if (metrics_) metrics_->predict_errors.add();
+        request.promise.set_exception(fault);
+      }
+      return;
+    }
   }
 
   ++in_flight_;
-  ++busy_[design_id];
+  ++busy_[design_id][backend_idx];
+  if (metrics_) {
+    metrics_->backend[backend_idx].dispatched.add();
+    if (spill) metrics_->spilled.add();
+  }
   auto design = std::move(lane.design);
   // The task owns the batch; requests are fulfilled even if the lane's design
   // was evicted from the registry meanwhile (shared_ptr keeps it alive).
   auto batch = std::make_shared<std::vector<Request>>(std::move(live));
   try {
-    executor_.submit([this, design = std::move(design), batch] {
-      execute_batch(design, std::move(*batch));
+    backend->dispatch([this, design = std::move(design), batch, backend] {
+      execute_batch(design, std::move(*batch), *backend);
     });
   } catch (...) {
     --in_flight_;
-    if (const auto it = busy_.find(design_id); it != busy_.end() && --it->second == 0) {
-      busy_.erase(it);
+    if (const auto it = busy_.find(design_id); it != busy_.end()) {
+      if (--it->second[backend_idx] == 0) {
+        bool any = false;
+        for (const std::size_t count : it->second) any = any || count != 0;
+        if (!any) busy_.erase(it);
+      }
     }
     settle_waiting_locked(design_id, batch->size());
-    // The only expected submit failures are executor shutdown (report the
+    // The only expected dispatch failures are resource shutdown (report the
     // uniform shutdown code) and allocation pressure (forward as-is).
     std::exception_ptr error;
     try {
@@ -247,7 +404,7 @@ void Batcher::flush_locked(Lane lane) {
     } catch (const std::bad_alloc&) {
       error = std::current_exception();
     } catch (...) {
-      error = std::make_exception_ptr(ShutdownError("Batcher: executor is shut down"));
+      error = std::make_exception_ptr(ShutdownError("Batcher: backend is shut down"));
     }
     for (Request& request : *batch) {
       request.promise.set_exception(error);
@@ -257,17 +414,20 @@ void Batcher::flush_locked(Lane lane) {
 }
 
 void Batcher::execute_batch(std::shared_ptr<DeployedDesign> design,
-                            std::vector<Request> batch) {
+                            std::vector<Request> batch, InferenceBackend& backend) {
   {
     // The batch is executing now: it stops occupying admission-queue space.
     std::lock_guard<std::mutex> lock(mutex_);
     settle_waiting_locked(design->id, batch.size());
   }
-  if (faults_ != nullptr) faults_->inject_latency("executor.batch");
+  if (faults_ != nullptr) {
+    faults_->inject_latency("backend.dispatch");
+    faults_->inject_latency("executor.batch");
+  }
 
   // Deadline propagation, stage 2: re-check at dispatch so a worker never
   // runs inference for a client that already gave up (the batch may have sat
-  // in the executor queue behind slow work).
+  // in the backend queue behind slow work).
   std::vector<char> skip(batch.size(), 0);
   std::size_t live = 0;
   {
@@ -282,6 +442,8 @@ void Batcher::execute_batch(std::shared_ptr<DeployedDesign> design,
     }
   }
 
+  BackendServeState& backend_state = design->backend_state(backend.id());
+  const std::size_t backend_idx = backend_index(backend.id());
   std::vector<Prediction> results(batch.size());
   std::vector<std::exception_ptr> errors(batch.size());
   Clock::time_point start = Clock::now();
@@ -296,96 +458,85 @@ void Batcher::execute_batch(std::shared_ptr<DeployedDesign> design,
       }
       failures = live;
     } else {
-      // No lock: infer()/infer_batch() are const and reentrant, so batches
-      // for the same design run in parallel on other workers, each through
-      // its own leased context.
-      auto ctx = design->contexts.acquire();
+      // Both backends compute through the same reentrant reference engine
+      // (run_reference_batch), so a batch's logits are identical wherever
+      // the placer sent it; the backends differ in timing and concurrency.
+      std::vector<const tensor::Tensor*> inputs;
+      std::vector<std::size_t> slot;
+      inputs.reserve(live);
+      slot.reserve(live);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (!skip[i]) {
+          inputs.push_back(&batch[i].input);
+          slot.push_back(i);
+        }
+      }
+      std::vector<tensor::Tensor> outputs(inputs.size());
       start = Clock::now();
-      const core::NetworkDescriptor& descriptor = design->descriptor();
-      if (descriptor.precision.is_fixed) {
-        for (std::size_t i = 0; i < batch.size(); ++i) {
-          if (skip[i]) continue;
-          try {
-            Prediction& out = results[i];
-            const nn::FixedForwardResult fixed =
-                nn::forward_fixed(design->net, batch[i].input, descriptor.precision.fixed,
-                                  *ctx,
-                                  /*track_output_error=*/false);
-            out.predicted = fixed.predicted;
-            out.logits.assign(fixed.scores.span().begin(), fixed.scores.span().end());
-            design->served.fetch_add(1, std::memory_order_relaxed);
-          } catch (...) {
-            errors[i] = std::current_exception();
-            ++failures;
-          }
+      try {
+        backend.run_batch(*design, std::span<const tensor::Tensor* const>(inputs),
+                          std::span<tensor::Tensor>(outputs));
+        for (std::size_t j = 0; j < slot.size(); ++j) {
+          Prediction& out = results[slot[j]];
+          out.predicted = outputs[j].argmax();
+          out.logits.assign(outputs[j].span().begin(), outputs[j].span().end());
         }
-      } else {
-        // Float path: one fused inference for the whole live batch — a single
-        // im2col + GEMM per conv/linear layer, so the design's weights stream
-        // from cache once per batch instead of once per image. Bit-identical
-        // to per-image infer() through the same context (kernel contract).
-        std::vector<const tensor::Tensor*> inputs;
-        std::vector<std::size_t> slot;
-        inputs.reserve(live);
-        slot.reserve(live);
-        for (std::size_t i = 0; i < batch.size(); ++i) {
-          if (!skip[i]) {
-            inputs.push_back(&batch[i].input);
-            slot.push_back(i);
-          }
-        }
-        std::vector<tensor::Tensor> outputs(inputs.size());
-        try {
-          design->net.infer_batch(std::span<const tensor::Tensor* const>(inputs),
-                                  std::span<tensor::Tensor>(outputs), *ctx);
-          for (std::size_t j = 0; j < slot.size(); ++j) {
-            Prediction& out = results[slot[j]];
-            out.predicted = outputs[j].argmax();
-            out.logits.assign(outputs[j].span().begin(), outputs[j].span().end());
-            design->served.fetch_add(1, std::memory_order_relaxed);
-          }
-        } catch (...) {
-          // Fused execution fails as a unit; every live request shares the
-          // verdict (inputs are shape-validated at submit, so this is an
-          // environmental failure, not a per-request one).
-          const std::exception_ptr error = std::current_exception();
-          for (const std::size_t i : slot) errors[i] = error;
-          failures = slot.size();
-        }
+      } catch (...) {
+        // A batch fails as a unit; every live request shares the verdict
+        // (inputs are shape-validated at submit, so this is an environmental
+        // failure, not a per-request one).
+        const std::exception_ptr error = std::current_exception();
+        for (const std::size_t i : slot) errors[i] = error;
+        failures = slot.size();
       }
       exec_us = elapsed_us(start, Clock::now());
     }
   }
 
-  // One health verdict per batch feeds the design's circuit breaker. An
-  // all-expired batch says nothing about the design, so it only releases a
-  // pending half-open probe.
+  // One health verdict per batch feeds the breaker of the backend that ran
+  // it — the failure domain is (design, backend), so a wedged accelerator
+  // path never quarantines the CPU engine. An all-expired batch says nothing
+  // about the design, so it only releases a pending half-open probe.
   if (live == 0) {
-    design->breaker.record_abandoned();
+    backend_state.breaker.record_abandoned();
   } else if (failures != 0) {
-    design->breaker.record_failure();
+    backend_state.breaker.record_failure();
   } else {
-    design->breaker.record_success();
+    backend_state.breaker.record_success();
+    backend_state.batches.fetch_add(1, std::memory_order_relaxed);
+    backend_state.images.fetch_add(live, std::memory_order_relaxed);
   }
 
   {
-    // Free the design and launch any coalesced batch BEFORE fulfilling
-    // promises: the next batch executes on another worker while this thread
+    // Free the engine and launch any coalesced batch BEFORE fulfilling
+    // promises: the next batch executes on another slot while this thread
     // does completion work, keeping the per-design pipeline full.
     std::lock_guard<std::mutex> lock(mutex_);
-    if (const auto it = busy_.find(design->id); it != busy_.end() && --it->second == 0) {
-      busy_.erase(it);
+    if (const auto it = busy_.find(design->id); it != busy_.end()) {
+      if (--it->second[backend_idx] == 0) {
+        bool any = false;
+        for (const std::size_t count : it->second) any = any || count != 0;
+        if (!any) busy_.erase(it);
+      }
     }
     if (const auto lane_it = lanes_.find(design->id); lane_it != lanes_.end()) {
-      Lane next = std::move(lane_it->second);
-      lanes_.erase(lane_it);
-      flush_locked(std::move(next));
+      // Same eagerness rule as enqueue: the engine that just freed only pulls
+      // the coalescing lane if it is worth a flush now (a partial lane waits
+      // for its max_wait deadline when only the fabric is idle).
+      const std::size_t lane_size = lane_it->second.requests.size();
+      if (capacity_available_locked(design->id, lane_size) ||
+          lane_size >= config_.max_batch) {
+        Lane next = std::move(lane_it->second);
+        lanes_.erase(lane_it);
+        flush_locked(std::move(next));
+      }
     }
   }
 
   // Modeled deployment cost of this invocation: one scatter-gather pass
   // through the accelerator for the executed images (expired requests never
-  // reach the FPGA).
+  // reach the FPGA). Reported per prediction regardless of where the batch
+  // ran, so clients always see what the deployment hardware would cost.
   const double accel_seconds = design->invocation_seconds(live);
   const auto accel_invocation_us = static_cast<std::uint64_t>(accel_seconds * 1e6);
   const auto accel_share_us =
@@ -398,6 +549,13 @@ void Batcher::execute_batch(std::shared_ptr<DeployedDesign> design,
     metrics_->batch_size.record(live);
     metrics_->exec_us.record(exec_us);
     metrics_->accel_us.record(accel_invocation_us);
+    if (failures != 0) {
+      metrics_->backend[backend_idx].errors.add();
+    } else {
+      metrics_->backend[backend_idx].batches.add();
+      metrics_->backend[backend_idx].images.add(live);
+      metrics_->backend[backend_idx].exec_us.record(exec_us);
+    }
   }
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (skip[i]) continue;  // promise already failed by expire_request()
@@ -410,6 +568,7 @@ void Batcher::execute_batch(std::shared_ptr<DeployedDesign> design,
     results[i].exec_us = exec_us;
     results[i].accel_us = accel_share_us;
     results[i].batch_size = live;
+    results[i].backend = backend.id();
     if (metrics_) {
       metrics_->predictions.add();
       metrics_->queue_us.record(results[i].queue_us);

@@ -1,24 +1,29 @@
-// Dynamic (continuous) micro-batching of predict requests.
+// Dynamic (continuous) micro-batching of predict requests, placed onto
+// heterogeneous backends.
 //
 // Requests for the same deployed design coalesce in a per-design lane. A lane
-// flushes — becoming one Executor task that checks an ExecutionContext out of
-// the design's pool, runs every image through the const Network::infer path,
-// and fulfills the per-request futures — on the first of three triggers:
-//   1. the design has a free inference slot (fewer than
-//      `max_inflight_per_design` batches running): flush immediately, so an
-//      unloaded server adds zero batching latency and a loaded one keeps
-//      every Executor worker busy on the same design in parallel;
+// flushes — becoming one batch the cost-model Placer assigns to an
+// InferenceBackend (src/serve/backend/), whose execution resource runs every
+// image and fulfills the per-request futures — on the first of three
+// triggers:
+//   1. some backend can take a batch right now (the CPU engine has a free
+//      per-design inference slot, or the accelerator is idle): flush
+//      immediately, so an unloaded server adds zero batching latency and a
+//      loaded one keeps every engine busy;
 //   2. `max_batch` requests are waiting: flush from the submitting thread;
 //   3. the oldest request has waited `max_wait_us`: deadline flush for
 //      partial batches stuck behind long-running batches.
-// While all slots are busy, concurrent requests accumulate and flush the
+// While every backend is busy, concurrent requests accumulate and flush the
 // moment a batch completes — under saturation the batch size converges on
 // the number of concurrent clients (capped at max_batch) with no timer on
-// the hot path. Batching amortizes the queue/wake/dispatch overhead of a
-// request across the whole batch; parallel slots convert the design from
-// lock-bound to compute-bound (the modeled accelerator cost stays serial —
-// see DeployedDesign::invocation_seconds). Shutdown drains: pending lanes
-// are flushed and in-flight batches complete before shutdown() returns.
+// the hot path.
+//
+// Placement (see backend/placer.hpp): each flushed batch goes to the
+// admissible backend with the cheapest estimated completion cost — raw
+// execution estimate scaled by the work already queued there. Under CPU
+// saturation, overflow batches *spill* to the slower-but-idle accelerator
+// instead of queueing toward a 429; both backends compute identical results
+// (run_reference_batch), so placement never changes a prediction.
 //
 // Overload behavior (see DESIGN.md "Overload and failure behavior"):
 //   - Bounded admission. `max_queue_depth` caps requests that are admitted
@@ -30,14 +35,19 @@
 //     requests are dropped when their lane flushes and re-checked when the
 //     batch starts executing, failing the future with DeadlineExceededError
 //     so workers never run inference for a client that already gave up.
-//   - Circuit breaking. predict() consults the design's Breaker; while it is
-//     open the request fails with DesignUnavailableError without touching a
-//     lane or an executor slot. Batch outcomes feed the breaker: any
-//     execution failure in a batch counts as one failed batch.
+//   - Circuit breaking, backend-scoped. predict() admits a request while ANY
+//     admissible backend's breaker would allow it; the chosen backend's
+//     breaker is consumed at placement, and batch outcomes feed only that
+//     backend's breaker — a failing accelerator path quarantines accelerator
+//     placements while the CPU keeps serving the design (and vice versa).
+//     Only when every backend is quarantined does predict() fail with
+//     DesignUnavailableError.
 //   - Fault sites: `batcher.enqueue` (latency/alloc) in predict(),
+//     `backend.dispatch` (error/alloc at placement, latency at batch start),
 //     `executor.batch` (latency/error) at batch execution.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -48,6 +58,8 @@
 #include <thread>
 #include <vector>
 
+#include "serve/backend/backend.hpp"
+#include "serve/backend/placer.hpp"
 #include "serve/errors.hpp"
 #include "serve/executor.hpp"
 #include "serve/fault.hpp"
@@ -67,13 +79,16 @@ struct Prediction {
                                    ///< accelerator invocation (see
                                    ///< DeployedDesign::invocation_seconds)
   std::size_t batch_size = 0;      ///< images in the containing batch
+  BackendId backend = BackendId::kCpu;  ///< engine the batch executed on
 };
 
 struct BatcherConfig {
   std::size_t max_batch = 8;        ///< flush as soon as this many requests wait
   std::uint64_t max_wait_us = 1000; ///< deadline flush for partial batches
-  /// Concurrent batches allowed per design; 0 = the executor's worker count.
-  /// 1 restores the fully serialized pre-ExecutionContext behavior.
+  /// Concurrent batches allowed per design on the CPU backend; 0 = the
+  /// executor's worker count. 1 restores the fully serialized
+  /// pre-ExecutionContext behavior. (The accelerator's concurrency is always
+  /// 1: one physical IP core.)
   std::size_t max_inflight_per_design = 0;
   /// Bounded admission: cap on requests admitted but not yet executing
   /// (waiting()). 0 = unbounded. At the cap predict() sheds with
@@ -90,8 +105,18 @@ class Batcher {
   /// Sentinel deadline: the request never expires.
   static constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
 
+  /// Single-engine batcher: wraps `executor` in a CpuBackend with the
+  /// cpu-only placement policy — the pre-backend behavior, byte for byte.
   /// `executor` must outlive the batcher. `metrics` and `faults` may be null.
   Batcher(Executor& executor, BatcherConfig config, ServeMetrics* metrics = nullptr,
+          FaultInjector* faults = nullptr);
+
+  /// Heterogeneous batcher: flushed batches are placed onto `backends` by
+  /// `policy`. `backends` must be non-empty; the batcher shares ownership and
+  /// calls shutdown() on each backend after draining. `cpu_slots` resolves
+  /// BatcherConfig::max_inflight_per_design == 0 (pass the executor width).
+  Batcher(std::vector<std::shared_ptr<InferenceBackend>> backends, PlacerPolicy policy,
+          std::size_t cpu_slots, BatcherConfig config, ServeMetrics* metrics = nullptr,
           FaultInjector* faults = nullptr);
   ~Batcher();
   Batcher(const Batcher&) = delete;
@@ -104,25 +129,29 @@ class Batcher {
   ///   std::invalid_argument      input-shape mismatch
   ///   OverloadedError            admission queue at max_queue_depth
   ///   DeadlineExceededError      `deadline` already passed
-  ///   DesignUnavailableError     the design's circuit breaker is open
+  ///   DesignUnavailableError     every backend's circuit breaker is open
   ///   ShutdownError              after shutdown()
   std::future<Prediction> predict(std::shared_ptr<DeployedDesign> design,
                                   tensor::Tensor input,
                                   Clock::time_point deadline = kNoDeadline);
 
   /// Flush every pending lane, wait for all in-flight batches, stop the
-  /// deadline thread. Idempotent.
+  /// deadline thread, shut the backends down. Idempotent.
   void shutdown();
 
   const BatcherConfig& config() const { return config_; }
-  /// Effective concurrent-batch cap per design (resolved executor width).
+  /// Effective concurrent-batch cap per design on the CPU backend.
   std::size_t inflight_limit() const { return inflight_limit_; }
+  const Placer& placer() const { return placer_; }
+  const std::vector<std::shared_ptr<InferenceBackend>>& backends() const {
+    return backends_;
+  }
 
   /// Requests waiting in lanes (not yet flushed).
   std::size_t pending() const;
 
   /// Requests admitted but not yet executing (lanes + submitted batches the
-  /// executor has not started). This is what max_queue_depth bounds.
+  /// backends have not started). This is what max_queue_depth bounds.
   std::size_t waiting() const;
 
  private:
@@ -140,10 +169,23 @@ class Batcher {
   };
 
   void deadline_loop();
-  /// Submit a full lane to the executor (expired requests are dropped
-  /// first). Caller holds mutex_.
+  /// Some backend can start a batch of `design_id` right now AND is worth
+  /// flushing a lane of `lane_size` requests to: engines that amortize a
+  /// fixed per-invocation cost over the batch (eager_partial_flush == false)
+  /// only count once the lane is full — partial lanes reach them through the
+  /// max_wait deadline flush instead. Caller holds mutex_.
+  bool capacity_available_locked(const std::string& design_id, std::size_t lane_size) const;
+  /// Cost-rank the backends for a batch of `images` and claim the winner's
+  /// breaker probe. nullptr when every backend is excluded or quarantined
+  /// (`retry_after_ms` then carries the soonest cooldown expiry). Caller
+  /// holds mutex_.
+  InferenceBackend* choose_backend_locked(DeployedDesign& design, std::size_t images,
+                                          bool& spill, std::uint64_t& retry_after_ms);
+  /// Place a full lane and dispatch it to the chosen backend (expired
+  /// requests are dropped first). Caller holds mutex_.
   void flush_locked(Lane lane);
-  void execute_batch(std::shared_ptr<DeployedDesign> design, std::vector<Request> batch);
+  void execute_batch(std::shared_ptr<DeployedDesign> design, std::vector<Request> batch,
+                     InferenceBackend& backend);
   /// Account `count` admitted requests of `design_id` leaving the waiting
   /// set (started executing, expired, or failed to submit). Caller holds
   /// mutex_.
@@ -152,7 +194,8 @@ class Batcher {
   /// with or without mutex_ held (touches only the request and metrics).
   void expire_request(Request& request);
 
-  Executor& executor_;
+  const std::vector<std::shared_ptr<InferenceBackend>> backends_;
+  const Placer placer_;
   const BatcherConfig config_;
   const std::size_t inflight_limit_;
   ServeMetrics* metrics_;
@@ -162,11 +205,13 @@ class Batcher {
   std::condition_variable lane_cv_;     ///< wakes the deadline thread
   std::condition_variable drained_cv_;  ///< signals in-flight batches done
   std::map<std::string, Lane> lanes_;   ///< keyed by design id
-  std::map<std::string, std::size_t> busy_;  ///< in-flight batches per design
+  /// In-flight batches per design, per backend (indexed by backend_index()).
+  std::map<std::string, std::array<std::size_t, kBackendCount>> busy_;
   std::size_t in_flight_ = 0;           ///< batches submitted, not yet finished
   std::size_t waiting_ = 0;             ///< admitted, not yet executing
   std::map<std::string, std::size_t> waiting_by_design_;
   bool stopping_ = false;
+  bool backends_shut_ = false;
   std::thread deadline_thread_;
 };
 

@@ -44,6 +44,19 @@ bool Breaker::allow() {
   return true;
 }
 
+bool Breaker::would_allow() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      return Clock::now() - opened_at_ >= std::chrono::milliseconds(config_.cooldown_ms);
+    case BreakerState::kHalfOpen:
+      return !probe_in_flight_;
+  }
+  return true;
+}
+
 void Breaker::record_success() {
   std::lock_guard<std::mutex> lock(mutex_);
   consecutive_failures_ = 0;

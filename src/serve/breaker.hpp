@@ -54,6 +54,12 @@ class Breaker {
   /// cooldown has elapsed (the admitted request is the probe).
   bool allow();
 
+  /// Would allow() succeed right now? Non-mutating: neither transitions the
+  /// state nor claims the half-open probe slot. The batcher admits a request
+  /// when any backend's breaker would allow it, and only consumes allow() on
+  /// the backend the placer actually chooses at flush time.
+  bool would_allow() const;
+
   /// A batch for this design executed successfully.
   void record_success();
   /// A batch for this design failed (execution error / injected fault).

@@ -61,6 +61,14 @@ json::Value Histogram::to_json() const {
   return json::Value(std::move(out));
 }
 
+double ServeMetrics::spill_rate() const {
+  std::uint64_t dispatched = 0;
+  for (std::size_t i = 0; i < kBackendCount; ++i) dispatched += backend[i].dispatched.value();
+  return dispatched == 0 ? 0.0
+                         : static_cast<double>(spilled.value()) /
+                               static_cast<double>(dispatched);
+}
+
 double ServeMetrics::cache_hit_rate() const {
   const std::uint64_t total = deploys.value();
   return total == 0 ? 0.0
@@ -86,6 +94,20 @@ json::Value ServeMetrics::to_json() const {
   predict["exec_us"] = exec_us.to_json();
   predict["accel_us"] = accel_us.to_json();
   out["predict"] = std::move(predict);
+
+  json::Object backends;
+  for (std::size_t i = 0; i < kBackendCount; ++i) {
+    json::Object one;
+    one["dispatched"] = backend[i].dispatched.value();
+    one["batches"] = backend[i].batches.value();
+    one["images"] = backend[i].images.value();
+    one["errors"] = backend[i].errors.value();
+    one["exec_us"] = backend[i].exec_us.to_json();
+    backends[backend_name(static_cast<BackendId>(i))] = std::move(one);
+  }
+  backends["spilled"] = spilled.value();
+  backends["spill_rate"] = spill_rate();
+  out["backends"] = std::move(backends);
 
   json::Object overload;
   overload["admitted"] = admitted.value();

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "json/json.hpp"
+#include "serve/backend/ids.hpp"
 
 namespace cnn2fpga::serve {
 
@@ -99,6 +100,25 @@ struct ServeMetrics {
   Histogram queue_us;         ///< request wait in the batcher queue
   Histogram exec_us;          ///< batch execution time (host functional model)
   Histogram accel_us;         ///< modeled accelerator invocation time per batch
+
+  /// Per-backend placement and execution counters (indexed by
+  /// backend_index()). `dispatched` counts placement decisions; `batches`/
+  /// `images` count completed executions, `errors` failed ones.
+  struct BackendMetrics {
+    Counter dispatched;       ///< batches the placer sent to this backend
+    Counter batches;          ///< batches that executed successfully
+    Counter images;           ///< images served by this backend
+    Counter errors;           ///< batches that failed on this backend
+    Histogram exec_us;        ///< batch execution time on this backend
+  };
+  BackendMetrics backend[kBackendCount];
+  /// Batches placed off the raw-fastest admissible backend because queue
+  /// pressure made the slower-but-idle one finish sooner — the traffic that
+  /// would have queued (or been shed with 429) on a single engine.
+  Counter spilled;
+
+  /// spilled / total dispatched batches (0 when nothing dispatched yet).
+  double spill_rate() const;
 
   double cache_hit_rate() const;
 

@@ -10,6 +10,7 @@
 // stay alive (shared_ptr) until their last in-flight batch completes.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <list>
@@ -21,18 +22,37 @@
 
 #include "core/framework.hpp"
 #include "nn/execution.hpp"
+#include "serve/backend/ids.hpp"
 #include "serve/breaker.hpp"
 #include "serve/fault.hpp"
 #include "serve/metrics.hpp"
 
 namespace cnn2fpga::serve {
 
+/// Per-backend serving state of one deployed design. The failure domain is
+/// scoped to (design, backend): a wedged accelerator dispatch path opens only
+/// the accelerator breaker, so the CPU engine keeps serving the design (and
+/// vice versa) — the placer routes around the quarantined backend instead of
+/// rejecting the whole design.
+struct BackendServeState {
+  BackendServeState(BreakerConfig config, Counter* opens) : breaker(config, opens) {}
+
+  Breaker breaker;                          ///< failure quarantine, this backend only
+  std::atomic<std::uint64_t> batches{0};    ///< batches executed on this backend
+  std::atomic<std::uint64_t> images{0};     ///< images served on this backend
+  std::atomic<bool> warmed{false};          ///< backend deploy-time warm-up done
+  /// Measured per-image execution seconds (CpuBackend feeds this from actual
+  /// batch wall time; the accelerator's timing comes from the model instead).
+  EwmaSeconds measured_seconds_per_image;
+};
+
 /// A design deployed for serving. `net` is the executable reference network
 /// with the deploy weights loaded. Weights are frozen after deploy, so any
 /// number of threads may run Network::infer concurrently — each batch checks
 /// an ExecutionContext out of `contexts` and runs without a lock. Only the
 /// *modeled* accelerator (invocation_seconds) remains serial: the deployment
-/// hardware is one physical IP core.
+/// hardware is one physical IP core, and AcceleratorBackend enforces a single
+/// in-flight invocation (see backend/accel_backend.hpp).
 struct DeployedDesign {
   DeployedDesign(std::string id_in, core::GeneratedDesign design_in, nn::Network net_in,
                  std::vector<std::uint8_t> weights_in, BreakerConfig breaker_config = {},
@@ -42,7 +62,10 @@ struct DeployedDesign {
         net(std::move(net_in)),
         weights(std::move(weights_in)),
         contexts(net),
-        breaker(breaker_config, breaker_opens) {
+        backends{{BackendServeState{breaker_config, breaker_opens},
+                  BackendServeState{breaker_config, breaker_opens}}},
+        breaker(backends[backend_index(BackendId::kCpu)].breaker) {
+    static_assert(kBackendCount == 2, "backends{} initializer expects two backends");
     // Deploy-time warm-up: build the pool's shared weight-pack cache now so
     // no request-path context ever packs a panel (no-op on scalar hosts).
     contexts.warm();
@@ -54,8 +77,21 @@ struct DeployedDesign {
   const std::vector<std::uint8_t> weights;   ///< canonical CNN2FPGAW1 blob
 
   nn::ExecutionContextPool contexts;         ///< reusable inference contexts
-  Breaker breaker;                           ///< per-design failure quarantine
+  /// Per-backend breakers, counters and latency observations, indexed by
+  /// backend_index().
+  std::array<BackendServeState, kBackendCount> backends;
+  /// The CPU backend's breaker, aliased under the pre-backend name: single-
+  /// engine callers keep reading `design->breaker` and observe the engine
+  /// that serves them.
+  Breaker& breaker;
   std::atomic<std::uint64_t> served{0};      ///< images predicted on this design
+
+  BackendServeState& backend_state(BackendId backend) {
+    return backends[backend_index(backend)];
+  }
+  const BackendServeState& backend_state(BackendId backend) const {
+    return backends[backend_index(backend)];
+  }
 
   const core::NetworkDescriptor& descriptor() const { return design.descriptor; }
   /// Estimated per-image latency of the generated hardware (HLS report).
@@ -67,6 +103,12 @@ struct DeployedDesign {
   /// interrupt), a batch is queued scatter-gather and pipelines through the
   /// DATAFLOW core at the steady-state initiation interval. This is what
   /// micro-batching amortizes on the deployment hardware.
+  ///
+  /// Concurrency contract: the model describes ONE physical IP core, so two
+  /// invocations can never overlap — callers must serialize. In the serving
+  /// runtime that serialization is owned by AcceleratorBackend, which runs
+  /// every invocation on a single driver thread and asserts that concurrent
+  /// calls queue rather than interleave.
   double invocation_seconds(std::size_t images) const;
 };
 

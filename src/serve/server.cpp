@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "serve/backend/accel_backend.hpp"
+#include "serve/backend/cpu_backend.hpp"
 #include "util/base64.hpp"
 #include "util/strings.hpp"
 #include "web/envelope.hpp"
@@ -78,7 +80,73 @@ json::Object design_summary(const DeployedDesign& deployed) {
   out["fits"] = deployed.design.hls_report.fits();
   out["served"] = deployed.served.load(std::memory_order_relaxed);
   out["breaker"] = std::string(deployed.breaker.state_name());
+  json::Object backends;
+  for (std::size_t i = 0; i < kBackendCount; ++i) {
+    const BackendId id = static_cast<BackendId>(i);
+    const BackendServeState& state = deployed.backend_state(id);
+    json::Object one;
+    one["breaker"] = std::string(state.breaker.state_name());
+    one["batches"] = state.batches.load(std::memory_order_relaxed);
+    one["images"] = state.images.load(std::memory_order_relaxed);
+    one["warmed"] = state.warmed.load(std::memory_order_relaxed);
+    if (id == BackendId::kCpu) {
+      one["measured_us_per_image"] = state.measured_seconds_per_image.value() * 1e6;
+    } else {
+      one["modeled_us_per_image"] = deployed.invocation_seconds(1) * 1e6;
+    }
+    backends[backend_name(id)] = std::move(one);
+  }
+  out["backends"] = std::move(backends);
   return out;
+}
+
+/// Per-design breaker block keyed by design id, with the CPU breaker in the
+/// pre-backend compat fields and every backend's breaker nested below.
+json::Object breaker_summary(const DeployedDesign& deployed, bool include_retry) {
+  json::Object one;
+  one["state"] = std::string(deployed.breaker.state_name());
+  one["consecutive_failures"] = deployed.breaker.consecutive_failures();
+  if (include_retry) {
+    one["retry_after_ms"] = deployed.breaker.retry_after_ms();
+  } else {
+    one["opens"] = deployed.breaker.opens();
+  }
+  json::Object per_backend;
+  for (std::size_t i = 0; i < kBackendCount; ++i) {
+    const BackendId id = static_cast<BackendId>(i);
+    const Breaker& breaker = deployed.backend_state(id).breaker;
+    json::Object state;
+    state["state"] = std::string(breaker.state_name());
+    state["consecutive_failures"] = breaker.consecutive_failures();
+    state["opens"] = breaker.opens();
+    state["retry_after_ms"] = breaker.retry_after_ms();
+    per_backend[backend_name(id)] = std::move(state);
+  }
+  one["backends"] = std::move(per_backend);
+  return one;
+}
+
+std::vector<std::shared_ptr<InferenceBackend>> make_backends(const BackendsConfig& config,
+                                                             Executor& executor) {
+  std::vector<std::shared_ptr<InferenceBackend>> backends;
+  // CPU first: equal placement costs tie-break toward the host engine.
+  if (config.cpu || !config.accelerator) {  // at least one engine, always
+    backends.push_back(std::make_shared<CpuBackend>(executor));
+  }
+  if (config.accelerator) {
+    AcceleratorBackend::Options options;
+    options.sleep_for_model = config.accel_sleep_for_model;
+    backends.push_back(std::make_shared<AcceleratorBackend>(options));
+  }
+  return backends;
+}
+
+/// A lone engine needs no cost model — pin the policy so the placer's
+/// admission pre-checks agree with what can actually execute.
+PlacerPolicy effective_policy(const BackendsConfig& config) {
+  if (!config.accelerator) return PlacerPolicy::kCpuOnly;
+  if (!config.cpu) return PlacerPolicy::kAcceleratorOnly;
+  return config.placer;
 }
 
 /// Seconds a shed client should back off: the p95 queue latency rounded up,
@@ -102,10 +170,19 @@ ServingRuntime::ServingRuntime(ServingConfig config)
     : config_(config),
       registry_(config.registry_capacity, &metrics_, config.breaker, &faults_),
       executor_(config.worker_threads),
-      batcher_(executor_, config.batcher, &metrics_, &faults_) {
+      backends_(make_backends(config.backends, executor_)),
+      batcher_(backends_, effective_policy(config.backends), executor_.thread_count(),
+               config.batcher, &metrics_, &faults_) {
   // CNN2FPGA_FAULTS / CNN2FPGA_FAULT_SEED arm injection before any request
   // can arrive (the HTTP server is installed on a constructed runtime).
   faults_.configure_from_env();
+}
+
+InferenceBackend* ServingRuntime::backend(BackendId id) const {
+  for (const auto& candidate : backends_) {
+    if (candidate->id() == id) return candidate.get();
+  }
+  return nullptr;
 }
 
 ServingRuntime::~ServingRuntime() { shutdown(); }
@@ -152,6 +229,10 @@ web::HttpResponse ServingRuntime::handle_deploy(const web::HttpRequest& request)
   } catch (const std::exception& e) {
     return api_error(500, "internal", e.what());
   }
+
+  // Per-backend deploy-time warming (idempotent on cache hits): weight packs
+  // and the timing model are primed before the first request arrives.
+  for (const auto& backend : backends_) backend->warm(*outcome.design);
 
   json::Object body = design_summary(*outcome.design);
   body["cache_hit"] = outcome.cache_hit;
@@ -252,6 +333,7 @@ web::HttpResponse ServingRuntime::handle_predict(const web::HttpRequest& request
   for (float logit : prediction.logits) logits.push_back(logit);
   body["logits"] = std::move(logits);
   body["batch_size"] = prediction.batch_size;
+  body["backend"] = std::string(backend_name(prediction.backend));
   body["queue_us"] = prediction.queue_us;
   body["exec_us"] = prediction.exec_us;
   body["accel_us"] = prediction.accel_us;
@@ -295,13 +377,22 @@ web::HttpResponse ServingRuntime::handle_metrics(const web::HttpRequest&) {
   pool["pending"] = batcher_.pending();
   pool["waiting"] = batcher_.waiting();
   body["pool"] = std::move(pool);
+  json::Object placer;
+  placer["policy"] = std::string(placer_policy_name(batcher_.placer().policy()));
+  json::Object live;
+  for (const auto& backend : backends_) {
+    json::Object one;
+    one["slots"] = backend->capabilities().concurrency;
+    one["queued"] = backend->queued();
+    one["inflight"] = backend->inflight();
+    one["pending"] = backend->pending();
+    live[backend->name()] = std::move(one);
+  }
+  placer["live"] = std::move(live);
+  body["placer"] = std::move(placer);
   json::Object breakers;
   for (const auto& deployed : registry_.list()) {
-    json::Object one;
-    one["state"] = std::string(deployed->breaker.state_name());
-    one["consecutive_failures"] = deployed->breaker.consecutive_failures();
-    one["opens"] = deployed->breaker.opens();
-    breakers[deployed->id] = std::move(one);
+    breakers[deployed->id] = breaker_summary(*deployed, /*include_retry=*/false);
   }
   body["breakers"] = std::move(breakers);
   if (faults_.enabled()) body["faults"] = faults_.to_json();
@@ -324,13 +415,24 @@ web::HttpResponse ServingRuntime::handle_readyz(const web::HttpRequest&) {
   body["shed_rate"] = admitted + shed == 0
                           ? 0.0
                           : static_cast<double>(shed) / static_cast<double>(admitted + shed);
+  // Per-backend saturation: which engine is actually full. The top-level
+  // "status" above stays the admission-queue aggregate for compatibility; a
+  // load balancer that wants the split reads this block instead.
+  json::Object backends;
+  for (const auto& backend : backends_) {
+    const std::size_t slots = backend->capabilities().concurrency;
+    const std::size_t pending = backend->pending();
+    json::Object one;
+    one["slots"] = slots;
+    one["pending"] = pending;
+    one["saturated"] = pending > slots;  // work queued beyond its capacity
+    backends[backend->name()] = std::move(one);
+  }
+  body["backends"] = std::move(backends);
+  body["spill_rate"] = metrics_.spill_rate();
   json::Object breakers;
   for (const auto& deployed : registry_.list()) {
-    json::Object one;
-    one["state"] = std::string(deployed->breaker.state_name());
-    one["consecutive_failures"] = deployed->breaker.consecutive_failures();
-    one["retry_after_ms"] = deployed->breaker.retry_after_ms();
-    breakers[deployed->id] = std::move(one);
+    breakers[deployed->id] = breaker_summary(*deployed, /*include_retry=*/true);
   }
   body["breakers"] = std::move(breakers);
   const int status = draining || saturated ? 503 : 200;

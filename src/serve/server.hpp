@@ -32,7 +32,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
+#include "serve/backend/backend.hpp"
+#include "serve/backend/placer.hpp"
 #include "serve/batcher.hpp"
 #include "serve/breaker.hpp"
 #include "serve/executor.hpp"
@@ -43,11 +47,25 @@
 
 namespace cnn2fpga::serve {
 
+/// Which execution engines the runtime serves on, and how batches are placed
+/// between them. The default is heterogeneous: CPU plus the simulated fabric
+/// behind the cost-model placer, so overflow spills instead of shedding.
+struct BackendsConfig {
+  bool cpu = true;            ///< host SIMD engine on the shared worker pool
+  bool accelerator = true;    ///< simulated FPGA fabric on its own driver thread
+  PlacerPolicy placer = PlacerPolicy::kCost;
+  /// Wall-clock the modeled accelerator latency (the fabric really is busy
+  /// for invocation_seconds). Disable in tests that only want the virtual
+  /// clock.
+  bool accel_sleep_for_model = true;
+};
+
 struct ServingConfig {
   std::size_t registry_capacity = 16;  ///< LRU bound on resident designs
   std::size_t worker_threads = 4;      ///< executor pool size
   BatcherConfig batcher;
-  BreakerConfig breaker;               ///< applied to every deployed design
+  BreakerConfig breaker;               ///< applied per (design, backend)
+  BackendsConfig backends;
   /// Server-side deadline for predict requests without an X-Deadline-Ms
   /// header. 0 = no default (requests wait as long as the client does).
   std::uint64_t default_deadline_ms = 0;
@@ -70,6 +88,11 @@ class ServingRuntime {
   ServeMetrics& metrics() { return metrics_; }
   FaultInjector& faults() { return faults_; }
   const ServingConfig& config() const { return config_; }
+  const std::vector<std::shared_ptr<InferenceBackend>>& backends() const {
+    return backends_;
+  }
+  /// nullptr when the backend is not enabled.
+  InferenceBackend* backend(BackendId id) const;
 
   /// Transport-free handler entry points (exercised directly by tests).
   web::HttpResponse handle_deploy(const web::HttpRequest& request);
@@ -84,6 +107,9 @@ class ServingRuntime {
   FaultInjector faults_;  ///< must precede registry_/batcher_ (they hold it)
   DesignRegistry registry_;
   Executor executor_;
+  /// Built from config_.backends; must precede batcher_ (it places onto
+  /// them) and follow executor_ (CpuBackend wraps it).
+  std::vector<std::shared_ptr<InferenceBackend>> backends_;
   Batcher batcher_;
   std::atomic<bool> stopped_{false};
 };

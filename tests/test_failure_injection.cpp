@@ -277,6 +277,10 @@ TEST(FailureInjection, BreakerTripsQuarantinesAndRecoversViaProbe) {
   config.batcher.max_wait_us = 500;
   config.breaker.failure_threshold = 3;
   config.breaker.cooldown_ms = 100;
+  // Single engine: with the accelerator enabled the failing batches would
+  // fail over to the other backend's breaker instead of quarantining the
+  // design outright (covered by BackendDispatchFaultTripsBackendScopedBreaker).
+  config.backends.accelerator = false;
   serve::ServingRuntime runtime(config);
 
   const auto victim =
@@ -320,6 +324,9 @@ TEST(FailureInjection, ShedsUnderInjectedLatencyThenRecovers) {
   config.batcher.max_wait_us = 60'000'000;
   config.batcher.max_inflight_per_design = 1;
   config.batcher.max_queue_depth = 2;
+  // Single engine: the scenario needs the queue to build behind one busy
+  // slot; with the accelerator enabled the placer would drain it by spilling.
+  config.backends.accelerator = false;
   serve::ServingRuntime runtime(config);
   const auto design =
       runtime.registry().deploy_random(serve_descriptor("fi_slow"), 1).design;
@@ -351,6 +358,53 @@ TEST(FailureInjection, ShedsUnderInjectedLatencyThenRecovers) {
   // Recovered: admission is open again and the queue is drained.
   EXPECT_NO_THROW(runtime.batcher().predict(design, serve_image(4, shape)).get());
   EXPECT_EQ(runtime.batcher().waiting(), 0u);
+  runtime.shutdown();
+}
+
+TEST(FailureInjection, BackendDispatchFaultTripsBackendScopedBreaker) {
+  serve::ServingConfig config;
+  config.worker_threads = 2;
+  config.batcher.max_batch = 8;
+  config.batcher.max_wait_us = 500;
+  config.breaker.failure_threshold = 3;
+  config.breaker.cooldown_ms = 100;
+  // Pin placement to the fabric so every dispatch fault lands on — and every
+  // recovery probe exercises — the accelerator's failure domain.
+  config.backends.placer = serve::PlacerPolicy::kAcceleratorOnly;
+  config.backends.accel_sleep_for_model = false;
+  serve::ServingRuntime runtime(config);
+  const auto design =
+      runtime.registry().deploy_random(serve_descriptor("fi_backend"), 1).design;
+  const Shape shape = design->net.input_shape();
+
+  // Fail the next 3 hand-offs to the accelerator's driver thread.
+  runtime.faults().arm("backend.dispatch",
+                       {serve::FaultKind::kError, /*rate=*/1.0, /*count=*/3});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW(runtime.batcher().predict(design, serve_image(i, shape)).get(),
+                 serve::InjectedFault);
+  }
+  // The failure domain is (design, backend): only the accelerator's breaker
+  // opened. The CPU engine's breaker — which is what the design's legacy
+  // `breaker` alias reads — never saw a failure.
+  EXPECT_EQ(design->backend_state(serve::BackendId::kAccelerator).breaker.state(),
+            serve::BreakerState::kOpen);
+  EXPECT_EQ(design->breaker.state(), serve::BreakerState::kClosed);
+  EXPECT_EQ(runtime.metrics()
+                .backend[serve::backend_index(serve::BackendId::kAccelerator)]
+                .errors.value(),
+            3u);
+
+  // Accelerator-only placement with the accelerator quarantined: unavailable.
+  EXPECT_THROW(runtime.batcher().predict(design, serve_image(9, shape)).get(),
+               serve::DesignUnavailableError);
+
+  // After the cooldown the half-open probe dispatches (the fault budget is
+  // spent), succeeds, and closes the accelerator breaker again.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_NO_THROW(runtime.batcher().predict(design, serve_image(4, shape)).get());
+  EXPECT_EQ(design->backend_state(serve::BackendId::kAccelerator).breaker.state(),
+            serve::BreakerState::kClosed);
   runtime.shutdown();
 }
 

@@ -780,6 +780,10 @@ TEST(ServeApi, OverloadAnswers429WithRetryAfter) {
   config.batcher.max_inflight_per_design = 1;
   config.batcher.max_batch = 64;
   config.batcher.max_wait_us = 60'000'000;
+  // Single engine: the scenario parks the CPU workers and expects the queue
+  // to back up into a 429. With the accelerator enabled the placer would
+  // drain the overflow by spilling instead of shedding.
+  config.backends.accelerator = false;
   ServingRuntime runtime(config);
   auto [design_id, predict] = deploy_and_predict_request(runtime, "api_429");
   const auto design = runtime.registry().find(design_id);
@@ -796,6 +800,44 @@ TEST(ServeApi, OverloadAnswers429WithRetryAfter) {
 
   // Recovered: the same request now answers 200.
   EXPECT_EQ(runtime.handle_predict(predict).status, 200);
+  runtime.shutdown();
+}
+
+TEST(ServeApi, CpuSaturationSpillsToAcceleratorInsteadOfShedding) {
+  // The heterogeneous default: with every CPU worker busy, overflow batches
+  // are placed on the simulated fabric (a real second drain path on its own
+  // driver thread) instead of queueing toward a 429.
+  ServingConfig config;
+  config.batcher.max_batch = 1;  // flush every request as its own batch
+  config.batcher.max_wait_us = 60'000'000;
+  config.backends.accel_sleep_for_model = false;  // virtual clock only
+  ServingRuntime runtime(config);
+  auto [design_id, predict] = deploy_and_predict_request(runtime, "api_spill");
+  const auto design = runtime.registry().find(design_id);
+
+  auto gate = park_workers(runtime.executor());
+  std::vector<std::future<Prediction>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(
+        runtime.batcher().predict(design, test_image(i, design->net.input_shape())));
+  }
+  gate->set_value();
+  std::size_t on_accelerator = 0;
+  for (auto& future : futures) {
+    const Prediction prediction = future.get();  // nobody shed, nobody failed
+    if (prediction.backend == BackendId::kAccelerator) ++on_accelerator;
+  }
+  EXPECT_GT(on_accelerator, 0u);
+  EXPECT_EQ(runtime.metrics().shed.value(), 0u);
+  EXPECT_GT(runtime.metrics().spilled.value(), 0u);
+  EXPECT_GT(runtime.metrics().backend[backend_index(BackendId::kAccelerator)]
+                .dispatched.value(),
+            0u);
+
+  // The metrics route exposes the per-backend dispatch counts and spill rate.
+  const auto metrics = json::parse(runtime.handle_metrics(web::HttpRequest{}).body);
+  EXPECT_GT(metrics.at("backends").at("accelerator").at("dispatched").as_int(), 0);
+  EXPECT_GT(metrics.at("backends").at("spill_rate").as_double(), 0.0);
   runtime.shutdown();
 }
 
@@ -835,6 +877,10 @@ TEST(ServeApi, ReadyzReportsReadySaturatedAndDraining) {
   config.batcher.max_inflight_per_design = 1;
   config.batcher.max_batch = 64;
   config.batcher.max_wait_us = 60'000'000;
+  // Single engine: "saturated" requires the parked request to stay queued.
+  // With the accelerator enabled the placer would spill it and readyz would
+  // report ready again before the assertion runs.
+  config.backends.accelerator = false;
   ServingRuntime runtime(config);
   auto [design_id, predict] = deploy_and_predict_request(runtime, "api_ready");
   const auto design = runtime.registry().find(design_id);
