@@ -71,12 +71,12 @@ int main() {
   web::install_api(server);
   const int port = server.start(0);
   const auto t0 = std::chrono::steady_clock::now();
-  const auto response = web::http_request("127.0.0.1", port, "POST", "/api/generate",
+  const auto response = web::http_request("127.0.0.1", port, "POST", "/api/v1/generate",
                                           usps_test1_descriptor(true).to_json().dump());
   const double t_api = ms_since(t0);
   server.stop();
   ok &= response.has_value() && response->status == 200;
-  std::printf("\nweb API round trip (POST /api/generate, usps_test2): %.2f ms -> HTTP %d\n",
+  std::printf("\nweb API round trip (POST /api/v1/generate, usps_test2): %.2f ms -> HTTP %d\n",
               t_api, response ? response->status : -1);
 
   std::printf("\nshape check (all four networks generate end-to-end): %s\n",

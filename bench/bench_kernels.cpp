@@ -14,7 +14,9 @@
 //      infer_batch(8) per-image cost, plus argmax agreement.
 //
 // Gate (AVX2 hosts): geometric-mean conv-GEMM speedup >= 3x over the
-// GEMM-dominated layers (N >= 64 output pixels) and parity holds.
+// GEMM-dominated layers (N >= 64 output pixels) and parity holds; the
+// quantized pipelines must additionally beat the float SIMD path by >= 2x
+// (int8) and >= 1x (int16) on the same layers.
 // On hosts without AVX2+FMA the measurements that need the engine are skipped
 // and the gate passes vacuously (the scalar engine IS the seed path).
 //
@@ -23,7 +25,13 @@
 //     "bench": "kernels", "avx2_available": bool, "engine": "scalar"|"avx2",
 //     "conv": [{"name": str, "m": int, "k": int, "n": int,
 //               "seed_us": float, "simd_us": float, "speedup": float,
-//               "max_rel_err": float}, ...],
+//               "max_rel_err": float, "int8_us": float,
+//               "int8_speedup_vs_float": float, "int16_us": float,
+//               "int16_speedup_vs_float": float}, ...],
+//     "int8":  {"conv_speedup_vs_float_geomean": float,
+//               "gate_min_speedup": 2.0, "pass": bool},
+//     "int16": {"conv_speedup_vs_float_geomean": float,
+//               "gate_min_speedup": 1.0, "pass": bool},
 //     "conv_gemm_speedup_geomean": float,
 //     "net_forward_us": float, "net_infer_scalar_us": float,
 //     "net_infer_simd_us": float, "net_batch8_us_per_image": float,
@@ -41,6 +49,7 @@
 
 #include "cnn2fpga.hpp"
 #include "nn/kernels/kernels.hpp"
+#include "nn/kernels/kernels_int.hpp"
 
 using namespace cnn2fpga;
 
@@ -87,6 +96,10 @@ struct ConvResult {
   double simd_us = 0.0;
   double speedup = 0.0;
   double max_rel_err = 0.0;
+  double int8_us = 0.0;   ///< quantized pipeline per call (pack + gemm)
+  double int16_us = 0.0;
+  double int8_speedup = 0.0;   ///< vs the float SIMD pipeline (simd_us)
+  double int16_speedup = 0.0;
 };
 
 /// Seed blocked GEMM vs the packed AVX2 kernel pipeline on one conv layer.
@@ -127,6 +140,49 @@ ConvResult measure_conv(const ConvCase& c, int samples) {
   r.simd_us = time_us(simd_once, samples);
   r.speedup = r.seed_us / r.simd_us;
 
+  // Quantized pipelines on the same layer: activations arrive as raw fixed
+  // values (as they do between layers of the quantized runner), so the timed
+  // path is the serving path — integer im2col into packed panels + the fused
+  // requantizing GEMM. Weight packing is deploy-time (QuantPackCache) and is
+  // excluded, matching the float measurement above.
+  {
+    const nn::FixedPointFormat f8 = nn::serve_precision_format(nn::ServePrecision::kInt8);
+    util::aligned_vector<std::int8_t> x8(x.size());
+    ker::quantize_input_s8(x.data(), x.size(), f8, x8.data());
+    ker::PackedWeightsS8 w8;
+    ker::pack_weights_s8(conv.weights().data(), conv.bias().data(), r.m, r.k, f8, w8);
+    util::aligned_vector<std::uint8_t> b8(ker::packed_b_size_s8(r.n, r.k));
+    util::aligned_vector<std::int8_t> c8(r.m * r.n);
+    r.int8_us = time_us(
+        [&] {
+          ker::im2col_pack_s8(x8.data(), c.ih * c.iw, c.in_c, c.ih, c.iw, c.kernel,
+                              c.kernel, oh, ow, b8.data(), /*col0=*/0, r.n);
+          ker::finish_pack_s8(b8.data(), r.n, r.k);
+          ker::gemm_s8(ker::Kind::kAvx2, w8, b8.data(), r.n, f8, /*act=*/-1, c8.data(),
+                       r.n);
+        },
+        samples);
+    r.int8_speedup = r.simd_us / r.int8_us;
+
+    const nn::FixedPointFormat f16 = nn::serve_precision_format(nn::ServePrecision::kInt16);
+    util::aligned_vector<std::int16_t> x16(x.size());
+    ker::quantize_input_s16(x.data(), x.size(), f16, x16.data());
+    ker::PackedWeightsS16 w16;
+    ker::pack_weights_s16(conv.weights().data(), conv.bias().data(), r.m, r.k, f16, w16);
+    util::aligned_vector<std::int16_t> b16(ker::packed_b_size_s16(r.n, r.k));
+    util::aligned_vector<std::int16_t> c16(r.m * r.n);
+    r.int16_us = time_us(
+        [&] {
+          ker::im2col_pack_s16(x16.data(), c.ih * c.iw, c.in_c, c.ih, c.iw, c.kernel,
+                               c.kernel, oh, ow, b16.data(), /*col0=*/0, r.n);
+          ker::finish_pack_s16(b16.data(), r.n, r.k);
+          ker::gemm_s16(ker::Kind::kAvx2, w16, b16.data(), r.n, f16, /*act=*/-1,
+                        c16.data(), r.n);
+        },
+        samples);
+    r.int16_speedup = r.simd_us / r.int16_us;
+  }
+
   for (std::size_t i = 0; i < seed_out.size(); ++i) {
     const float scale = std::max(1.0f, std::fabs(seed_out[i]));
     r.max_rel_err =
@@ -162,6 +218,7 @@ int main(int argc, char** argv) {
   };
   std::vector<ConvResult> conv_results;
   double log_speedup_sum = 0.0;
+  double log_int8_sum = 0.0, log_int16_sum = 0.0;
   std::size_t gated = 0;
   double worst_rel_err = 0.0;
   std::puts("conv GEMM, seed blocked path vs packed AVX2 microkernel:");
@@ -175,12 +232,16 @@ int main(int argc, char** argv) {
       // is timer-overhead-bound, so the ratio measures neither engine.
       if (r.n >= 64) {
         log_speedup_sum += std::log(r.speedup);
+        log_int8_sum += std::log(r.int8_speedup);
+        log_int16_sum += std::log(r.int16_speedup);
         ++gated;
       }
       worst_rel_err = std::max(worst_rel_err, r.max_rel_err);
       std::printf("  %-26s M=%-3zu K=%-4zu N=%-5zu %8.2f us -> %7.2f us  (%.2fx, err %.2e)\n",
                   r.name.c_str(), r.m, r.k, r.n, r.seed_us, r.simd_us, r.speedup,
                   r.max_rel_err);
+      std::printf("  %-26s int16 %7.2f us (%.2fx vs float)  int8 %7.2f us (%.2fx vs float)\n",
+                  "", r.int16_us, r.int16_speedup, r.int8_us, r.int8_speedup);
     } else {
       std::printf("  %-26s M=%-3zu K=%-4zu N=%-5zu %8.2f us  (no AVX2 engine)\n",
                   r.name.c_str(), r.m, r.k, r.n, r.seed_us);
@@ -188,8 +249,14 @@ int main(int argc, char** argv) {
   }
   const double geomean =
       avx2 && gated > 0 ? std::exp(log_speedup_sum / static_cast<double>(gated)) : 0.0;
+  const double int8_geomean =
+      avx2 && gated > 0 ? std::exp(log_int8_sum / static_cast<double>(gated)) : 0.0;
+  const double int16_geomean =
+      avx2 && gated > 0 ? std::exp(log_int16_sum / static_cast<double>(gated)) : 0.0;
   if (avx2) {
     std::printf("  geometric-mean conv GEMM speedup (N >= 64 layers): %.2fx\n", geomean);
+    std::printf("  quantized vs float SIMD geomean (N >= 64 layers): int8 %.2fx, int16 %.2fx\n",
+                int8_geomean, int16_geomean);
   }
 
   // Whole-network cost on the Test-4 CIFAR network.
@@ -235,10 +302,17 @@ int main(int argc, char** argv) {
   }
 
   constexpr double kGate = 3.0;
+  constexpr double kInt8Gate = 2.0;   ///< int8 must at least halve float SIMD time
+  constexpr double kInt16Gate = 1.0;  ///< int16 must not lose to float SIMD
   const bool parity_ok = worst_rel_err <= 1e-4;
-  const bool pass = !avx2 || (geomean >= kGate && parity_ok && argmax_match);
+  const bool int8_pass = !avx2 || int8_geomean >= kInt8Gate;
+  const bool int16_pass = !avx2 || int16_geomean >= kInt16Gate;
+  const bool pass =
+      !avx2 || (geomean >= kGate && parity_ok && argmax_match && int8_pass && int16_pass);
   std::printf("gate: conv GEMM geomean >= %.1fx and parity <= 1e-4 -> %s\n", kGate,
-              pass ? "PASS" : "FAIL");
+              !avx2 || (geomean >= kGate && parity_ok && argmax_match) ? "PASS" : "FAIL");
+  std::printf("gate: int8 >= %.1fx and int16 >= %.1fx vs float SIMD -> %s\n", kInt8Gate,
+              kInt16Gate, int8_pass && int16_pass ? "PASS" : "FAIL");
 
   std::string json = "{\"bench\": \"kernels\", \"avx2_available\": ";
   json += avx2 ? "true" : "false";
@@ -247,12 +321,22 @@ int main(int argc, char** argv) {
     const ConvResult& r = conv_results[i];
     json += util::format(
         "%s{\"name\": \"%s\", \"m\": %zu, \"k\": %zu, \"n\": %zu, \"seed_us\": %.3f, "
-        "\"simd_us\": %.3f, \"speedup\": %.3f, \"max_rel_err\": %.3e}",
+        "\"simd_us\": %.3f, \"speedup\": %.3f, \"max_rel_err\": %.3e, "
+        "\"int8_us\": %.3f, \"int8_speedup_vs_float\": %.3f, "
+        "\"int16_us\": %.3f, \"int16_speedup_vs_float\": %.3f}",
         i == 0 ? "" : ", ", r.name.c_str(), r.m, r.k, r.n, r.seed_us, r.simd_us,
-        r.speedup, r.max_rel_err);
+        r.speedup, r.max_rel_err, r.int8_us, r.int8_speedup, r.int16_us,
+        r.int16_speedup);
   }
   json += util::format(
-      "], \"conv_gemm_speedup_geomean\": %.3f, \"net_forward_us\": %.3f, "
+      "], \"int8\": {\"conv_speedup_vs_float_geomean\": %.3f, "
+      "\"gate_min_speedup\": %.1f, \"pass\": %s}, "
+      "\"int16\": {\"conv_speedup_vs_float_geomean\": %.3f, "
+      "\"gate_min_speedup\": %.1f, \"pass\": %s}",
+      int8_geomean, kInt8Gate, int8_pass ? "true" : "false", int16_geomean, kInt16Gate,
+      int16_pass ? "true" : "false");
+  json += util::format(
+      ", \"conv_gemm_speedup_geomean\": %.3f, \"net_forward_us\": %.3f, "
       "\"net_infer_scalar_us\": %.3f, \"net_infer_simd_us\": %.3f, "
       "\"net_batch8_us_per_image\": %.3f, \"net_speedup\": %.3f, "
       "\"batch_fusion_speedup\": %.3f, \"argmax_match\": %s, "

@@ -8,7 +8,7 @@
 // plus the serving runtime (deploy designs, predict against them):
 //   POST /api/v1/deploy    POST /api/v1/predict
 //   GET  /api/v1/designs   GET  /api/v1/metrics
-// Unversioned /api/... aliases still answer, with a Deprecation header.
+// Unversioned /api/... aliases are retired and answer 410 gone.
 //
 // Run:  ./codegen_server [--port P]        serve until interrupted
 //       ./codegen_server --demo            self-demo: start, POST a
@@ -114,7 +114,7 @@ int main(int argc, char** argv) {
   std::puts("routes: GET /healthz, GET /api/v1/boards, POST /api/v1/generate,");
   std::puts("        POST /api/v1/deploy, POST /api/v1/predict, GET /api/v1/designs,");
   std::puts("        GET /api/v1/metrics, GET /api/v1/readyz");
-  std::puts("        (unversioned /api/... aliases are deprecated)");
+  std::puts("        (unversioned /api/... aliases answer 410 gone)");
 
   if (args.has("demo")) {
     const char* descriptor = R"({

@@ -14,9 +14,28 @@ ExecutionContext::ExecutionContext(const Network& net)
 
 ExecutionContext::ExecutionContext(const Network& net, kernels::Kind kind,
                                    std::shared_ptr<kernels::PackCache> packs)
-    : net_(&net), kernel_(kind), packs_(std::move(packs)) {
+    : ExecutionContext(net, kind, std::move(packs), ServePrecision::kFloat32, nullptr) {}
+
+ExecutionContext::ExecutionContext(const Network& net, kernels::Kind kind,
+                                   std::shared_ptr<kernels::PackCache> packs,
+                                   ServePrecision precision,
+                                   std::shared_ptr<kernels::QuantPackCache> qpacks)
+    : net_(&net),
+      kernel_(kind),
+      packs_(std::move(packs)),
+      precision_(precision),
+      qpacks_(std::move(qpacks)) {
   if (kernel_ == kernels::Kind::kAvx2 && !kernels::avx2_available()) {
     throw std::runtime_error("ExecutionContext: AVX2 engine requested but unavailable");
+  }
+  if (precision_ != ServePrecision::kFloat32) {
+    qformat_ = serve_precision_format(precision_);
+    if (qpacks_ == nullptr) {
+      qpacks_ = std::make_shared<kernels::QuantPackCache>(net.layer_count(), precision_);
+    } else if (qpacks_->precision() != precision_) {
+      throw std::invalid_argument(
+          "ExecutionContext: shared QuantPackCache precision mismatch");
+    }
   }
   std::size_t max_col = 0;
   std::size_t max_pool_row = 0;
@@ -66,14 +85,48 @@ ExecutionContext::ExecutionContext(const Network& net, kernels::Kind kind,
   for (const Step& step : steps_) {
     max_image_elems_ = std::max(max_image_elems_, step.out_shape.elements());
   }
-  if (kernel_ == kernels::Kind::kAvx2) {
+  if (kernel_ == kernels::Kind::kAvx2 && precision_ == ServePrecision::kFloat32) {
     if (packs_ == nullptr) packs_ = std::make_shared<kernels::PackCache>(count);
     pool_row_.resize(max_pool_row);
   }
 }
 
 void ExecutionContext::ensure_batch(std::size_t batch) {
-  if (kernel_ != kernels::Kind::kAvx2 || batch <= batch_capacity_) return;
+  if (batch <= batch_capacity_) return;
+  if (precision_ != ServePrecision::kFloat32) {
+    // Quantized buffers are sized in bytes: int8 activations are 1 byte,
+    // int16 are 2, and both engines (scalar reference included) consume the
+    // same packed panels.
+    const bool is8 = precision_ == ServePrecision::kInt8;
+    const std::size_t elem = is8 ? 1 : 2;
+    std::size_t need_bpack = 0;
+    std::size_t need_tmp = 0;
+    for (const Step& step : steps_) {
+      if (step.kind == Step::Kind::kConv) {
+        const auto* conv = static_cast<const Conv2D*>(step.layer);
+        const std::size_t patch =
+            conv->in_channels() * conv->kernel_h() * conv->kernel_w();
+        const std::size_t pixels = step.out_shape.height() * step.out_shape.width();
+        need_bpack = std::max(need_bpack,
+                              is8 ? kernels::packed_b_size_s8(batch * pixels, patch)
+                                  : kernels::packed_b_size_s16(batch * pixels, patch));
+      } else if (step.kind == Step::Kind::kLinear) {
+        const auto* lin = static_cast<const Linear*>(step.layer);
+        need_bpack = std::max(need_bpack,
+                              is8 ? kernels::packed_b_size_s8(batch, lin->in_features())
+                                  : kernels::packed_b_size_s16(batch, lin->in_features()));
+        need_tmp = std::max(need_tmp, lin->out_features() * batch);
+      }
+    }
+    qbpack_.resize(need_bpack * elem);
+    qgemm_tmp_.resize(need_tmp * elem);
+    qping_.resize(batch * max_image_elems_ * elem);
+    qpong_.resize(batch * max_image_elems_ * elem);
+    qrow_ptrs_.resize(batch);
+    batch_capacity_ = batch;
+    return;
+  }
+  if (kernel_ != kernels::Kind::kAvx2) return;
   std::size_t need_bpack = 0;
   std::size_t need_tmp = 0;
   for (const Step& step : steps_) {
@@ -97,6 +150,46 @@ void ExecutionContext::ensure_batch(std::size_t batch) {
 }
 
 void ExecutionContext::warm_packs() {
+  if (precision_ != ServePrecision::kFloat32) {
+    const bool is8 = precision_ == ServePrecision::kInt8;
+    for (const Step& step : steps_) {
+      const float *w = nullptr, *b = nullptr;
+      std::size_t m = 0, k = 0;
+      if (step.kind == Step::Kind::kConv) {
+        const auto* conv = static_cast<const Conv2D*>(step.layer);
+        w = conv->weights().data();
+        b = conv->bias().data();
+        m = conv->out_channels();
+        k = conv->in_channels() * conv->kernel_h() * conv->kernel_w();
+      } else if (step.kind == Step::Kind::kLinear) {
+        const auto* lin = static_cast<const Linear*>(step.layer);
+        w = lin->weights().data();
+        b = lin->bias().data();
+        m = lin->out_features();
+        k = lin->in_features();
+      }
+      if (w != nullptr) {
+        if (is8) {
+          (void)qpacks_->get8(step.layer_index, w, b, m, k);
+        } else {
+          (void)qpacks_->get16(step.layer_index, w, b, m, k);
+        }
+      }
+      // Non-ReLU activations (fused or standalone) need their lookup table.
+      const Activation* act = step.fused;
+      if (step.kind == Step::Kind::kActivation) {
+        act = static_cast<const Activation*>(step.layer);
+      }
+      if (act != nullptr && act->act() != ActKind::kReLU) {
+        if (is8) {
+          (void)qpacks_->lut8(act->act());
+        } else {
+          (void)qpacks_->lut16(act->act());
+        }
+      }
+    }
+    return;
+  }
   if (kernel_ != kernels::Kind::kAvx2 || packs_ == nullptr) return;
   for (const Step& step : steps_) {
     if (step.kind == Step::Kind::kConv) {
@@ -124,6 +217,19 @@ const Tensor& Network::infer(const Tensor& input, ExecutionContext& ctx) const {
   if (steps.empty()) {
     ctx.arena(0) = input;
     return ctx.arena(0);
+  }
+
+  if (ctx.precision() != ServePrecision::kFloat32) {
+    if (plan_needs_generic(ctx)) {
+      throw std::invalid_argument(
+          "Network::infer: quantized serving requires a conv/pool/linear/activation/"
+          "logsoftmax plan");
+    }
+    const Tensor* in_ptr = &input;
+    Tensor& out = ctx.arena(steps.size() - 1);
+    float* out_row = out.data();
+    run_quant_batch(&in_ptr, 1, ctx, &out_row);
+    return out;
   }
 
   if (ctx.kernel() == kernels::Kind::kAvx2 && !plan_needs_generic(ctx)) {
@@ -178,6 +284,21 @@ void Network::infer_batch(std::span<const Tensor* const> inputs, std::span<Tenso
     if (input == nullptr || input->shape() != input_shape_) {
       throw std::invalid_argument("Network::infer_batch: bad input shape");
     }
+  }
+  if (ctx.precision() != ServePrecision::kFloat32 && !ctx.steps().empty()) {
+    if (plan_needs_generic(ctx)) {
+      throw std::invalid_argument(
+          "Network::infer_batch: quantized serving requires a conv/pool/linear/"
+          "activation/logsoftmax plan");
+    }
+    const Shape& out_shape = output_shape();
+    std::vector<float*> out_rows(inputs.size());
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+      if (outputs[i].shape() != out_shape) outputs[i] = Tensor(out_shape);
+      out_rows[i] = outputs[i].data();
+    }
+    run_quant_batch(inputs.data(), inputs.size(), ctx, out_rows.data());
+    return;
   }
   if (ctx.kernel() == kernels::Kind::kAvx2 && !plan_needs_generic(ctx) &&
       !ctx.steps().empty()) {

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "nn/kernels/kernels.hpp"
+#include "nn/kernels/kernels_int.hpp"
 #include "nn/network.hpp"
 #include "nn/quantize.hpp"
 #include "util/aligned.hpp"
@@ -66,6 +67,15 @@ class ExecutionContext {
   ExecutionContext(const Network& net, kernels::Kind kind,
                    std::shared_ptr<kernels::PackCache> packs);
 
+  /// Quantized serving context: infer()/infer_batch() run the whole plan in
+  /// `precision`'s fixed-point arithmetic (see kernels_int.hpp) on either
+  /// engine, returning dequantized float scores. `qpacks` shares quantized
+  /// weight panels across sibling contexts (nullptr: context-local); its
+  /// precision must match. kFloat32 reduces to the float constructor.
+  ExecutionContext(const Network& net, kernels::Kind kind,
+                   std::shared_ptr<kernels::PackCache> packs, ServePrecision precision,
+                   std::shared_ptr<kernels::QuantPackCache> qpacks);
+
   ExecutionContext(const ExecutionContext&) = delete;
   ExecutionContext& operator=(const ExecutionContext&) = delete;
   ExecutionContext(ExecutionContext&&) = default;
@@ -75,6 +85,12 @@ class ExecutionContext {
 
   /// Kernel engine this context dispatches to (fixed at construction).
   kernels::Kind kernel() const { return kernel_; }
+
+  /// Serving precision this context executes in (fixed at construction).
+  ServePrecision precision() const { return precision_; }
+
+  /// Fixed-point format of a quantized context (undefined for kFloat32).
+  const FixedPointFormat& quant_format() const { return qformat_; }
 
   /// Output of the most recent infer() through this context; valid until the
   /// next infer() call.
@@ -137,6 +153,18 @@ class ExecutionContext {
   std::vector<const float*> row_ptrs_;      ///< pack_b row pointers
   std::size_t batch_capacity_ = 0;
   std::size_t max_image_elems_ = 0;  ///< max elements of any per-image buffer
+
+  // Quantized serving state (empty in float32 mode). The byte buffers hold
+  // int8 or int16 raw activations depending on precision_; sizes are tracked
+  // in bytes so one allocation scheme serves both widths.
+  ServePrecision precision_ = ServePrecision::kFloat32;
+  FixedPointFormat qformat_{};
+  std::shared_ptr<kernels::QuantPackCache> qpacks_;
+  util::aligned_vector<std::uint8_t> qbpack_;  ///< packed quantized B panels
+  util::aligned_vector<std::uint8_t> qping_;   ///< quantized activation buffers
+  util::aligned_vector<std::uint8_t> qpong_;
+  util::aligned_vector<std::uint8_t> qgemm_tmp_;  ///< linear GEMM staging
+  std::vector<const void*> qrow_ptrs_;            ///< quant pack_b row pointers
 };
 
 /// Thread-safe free-list of contexts for one network: concurrent inference
@@ -150,11 +178,20 @@ class ExecutionContextPool {
       : ExecutionContextPool(net, kernels::active()) {}
 
   ExecutionContextPool(const Network& net, kernels::Kind kind)
+      : ExecutionContextPool(net, kind, ServePrecision::kFloat32) {}
+
+  /// Quantized pool: every context runs the plan at `precision`, sharing one
+  /// QuantPackCache so the design's weights quantize + pack exactly once.
+  ExecutionContextPool(const Network& net, kernels::Kind kind, ServePrecision precision)
       : net_(&net),
         kind_(kind),
-        packs_(kind == kernels::Kind::kAvx2
+        precision_(precision),
+        packs_(kind == kernels::Kind::kAvx2 && precision == ServePrecision::kFloat32
                    ? std::make_shared<kernels::PackCache>(net.layer_count())
-                   : nullptr) {}
+                   : nullptr),
+        qpacks_(precision != ServePrecision::kFloat32
+                    ? std::make_shared<kernels::QuantPackCache>(net.layer_count(), precision)
+                    : nullptr) {}
 
   class Lease {
    public:
@@ -185,11 +222,15 @@ class ExecutionContextPool {
       }
       ++created_;
     }
-    return {this, std::make_unique<ExecutionContext>(*net_, kind_, packs_)};
+    return {this,
+            std::make_unique<ExecutionContext>(*net_, kind_, packs_, precision_, qpacks_)};
   }
 
   /// Kernel engine every context from this pool is pinned to.
   kernels::Kind kernel() const { return kind_; }
+
+  /// Serving precision every context from this pool executes in.
+  ServePrecision precision() const { return precision_; }
 
   /// Builds the shared weight-pack cache eagerly (no-op in scalar mode) so no
   /// request-path context ever packs.
@@ -212,7 +253,9 @@ class ExecutionContextPool {
 
   const Network* net_;
   kernels::Kind kind_;
+  ServePrecision precision_ = ServePrecision::kFloat32;
   std::shared_ptr<kernels::PackCache> packs_;
+  std::shared_ptr<kernels::QuantPackCache> qpacks_;
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<ExecutionContext>> idle_;
   std::size_t created_ = 0;

@@ -1,0 +1,341 @@
+// Quantized fused-batch executor.
+//
+// Mirrors execution_batch.cpp's structure — one packed GEMM per conv/linear
+// step over the whole micro-batch, interleaved/image-major ping-pong domains —
+// but every activation between layers is a raw fixed-point value (int8 at
+// Q4.4, int16 at Q8.8; see kernels_int.hpp) and the GEMM epilogue is the
+// fixed-point renormalize + saturate of nn::FixedInference. Inputs are
+// quantized once up front (there is no kInputs domain: the float tensors are
+// converted into an image-major raw buffer before the first step) and the
+// final scores are dequantized into the caller's float rows, through the same
+// LogSoftMax math forward_fixed runs, so the quantized serving path scores
+// agree with the fixed-point accuracy model bit-for-bit (int8 modulo the
+// documented weight clamp).
+//
+// Both engines (kScalar and kAvx2) run through this function; only the GEMM
+// inner loop differs, and those are bit-identical by construction, so the
+// quantized path needs no per-engine tolerance.
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "nn/execution.hpp"
+
+namespace cnn2fpga::nn {
+
+namespace {
+
+namespace ker = kernels;
+
+enum class Domain { kInterleaved, kImageMajor };
+
+/// Width-dependent pieces of the runner: Raw is the inter-layer activation
+/// type, Pack the packed-B element type (u8 for int8 — maddubs wants the
+/// unsigned-offset operand — raw s16 for int16).
+template <typename Raw>
+struct QuantTraits;
+
+template <>
+struct QuantTraits<std::int8_t> {
+  using Raw = std::int8_t;
+  using Pack = std::uint8_t;
+  using Packed = ker::PackedWeightsS8;
+  static void quantize(const float* in, std::size_t n, const FixedPointFormat& fmt,
+                       Raw* out) {
+    ker::quantize_input_s8(in, n, fmt, out);
+  }
+  static void im2col(const Raw* in, std::size_t cstride, std::size_t channels,
+                     std::size_t ih, std::size_t iw, std::size_t kh, std::size_t kw,
+                     std::size_t oh, std::size_t ow, Pack* bpack, std::size_t col0,
+                     std::size_t n_total) {
+    ker::im2col_pack_s8(in, cstride, channels, ih, iw, kh, kw, oh, ow, bpack, col0,
+                        n_total);
+  }
+  static void pack_b(const void* const* rows, std::size_t n, std::size_t k, Pack* bpack) {
+    ker::pack_b_s8(rows, n, k, bpack);
+  }
+  static void finish(Pack* bpack, std::size_t n, std::size_t k) {
+    ker::finish_pack_s8(bpack, n, k);
+  }
+  static const Packed& packed(ker::QuantPackCache& cache, std::size_t layer,
+                              const float* w, const float* bias, std::size_t m,
+                              std::size_t k) {
+    return cache.get8(layer, w, bias, m, k);
+  }
+  static void gemm(ker::Kind kind, const Packed& a, const Pack* bpack, std::size_t n,
+                   const FixedPointFormat& fmt, int act, Raw* c, std::size_t ldc) {
+    ker::gemm_s8(kind, a, bpack, n, fmt, act, c, ldc);
+  }
+  static void pool(bool is_max, const Raw* in, std::size_t ih, std::size_t iw,
+                   std::size_t kh, std::size_t kw, std::size_t step, std::size_t oh,
+                   std::size_t ow, Raw* out, const FixedPointFormat& fmt) {
+    ker::pool_plane_s8(is_max, in, ih, iw, kh, kw, step, oh, ow, out, fmt);
+  }
+  static const Raw* lut(ker::QuantPackCache& cache, ActKind act) {
+    return cache.lut8(act);
+  }
+  static void activation(ActKind act, const Raw* lut, const Raw* in, Raw* out,
+                         std::size_t n) {
+    ker::activation_lut_s8(act, lut, in, out, n);
+  }
+};
+
+template <>
+struct QuantTraits<std::int16_t> {
+  using Raw = std::int16_t;
+  using Pack = std::int16_t;
+  using Packed = ker::PackedWeightsS16;
+  static void quantize(const float* in, std::size_t n, const FixedPointFormat& fmt,
+                       Raw* out) {
+    ker::quantize_input_s16(in, n, fmt, out);
+  }
+  static void im2col(const Raw* in, std::size_t cstride, std::size_t channels,
+                     std::size_t ih, std::size_t iw, std::size_t kh, std::size_t kw,
+                     std::size_t oh, std::size_t ow, Pack* bpack, std::size_t col0,
+                     std::size_t n_total) {
+    ker::im2col_pack_s16(in, cstride, channels, ih, iw, kh, kw, oh, ow, bpack, col0,
+                         n_total);
+  }
+  static void pack_b(const void* const* rows, std::size_t n, std::size_t k, Pack* bpack) {
+    ker::pack_b_s16(rows, n, k, bpack);
+  }
+  static void finish(Pack* bpack, std::size_t n, std::size_t k) {
+    ker::finish_pack_s16(bpack, n, k);
+  }
+  static const Packed& packed(ker::QuantPackCache& cache, std::size_t layer,
+                              const float* w, const float* bias, std::size_t m,
+                              std::size_t k) {
+    return cache.get16(layer, w, bias, m, k);
+  }
+  static void gemm(ker::Kind kind, const Packed& a, const Pack* bpack, std::size_t n,
+                   const FixedPointFormat& fmt, int act, Raw* c, std::size_t ldc) {
+    ker::gemm_s16(kind, a, bpack, n, fmt, act, c, ldc);
+  }
+  static void pool(bool is_max, const Raw* in, std::size_t ih, std::size_t iw,
+                   std::size_t kh, std::size_t kw, std::size_t step, std::size_t oh,
+                   std::size_t ow, Raw* out, const FixedPointFormat& fmt) {
+    ker::pool_plane_s16(is_max, in, ih, iw, kh, kw, step, oh, ow, out, fmt);
+  }
+  static const Raw* lut(ker::QuantPackCache& cache, ActKind act) {
+    return cache.lut16(act);
+  }
+  static void activation(ActKind act, const Raw* lut, const Raw* in, Raw* out,
+                         std::size_t n) {
+    ker::activation_lut_s16(act, lut, in, out, n);
+  }
+};
+
+/// Exact replica of LogSoftMax::infer_into's arithmetic on a flat row — the
+/// quantized tail must match forward_fixed (which calls infer_into on the
+/// dequantized logits) bit-for-bit.
+void logsoftmax_row(float* row, std::size_t n) {
+  float max_val = row[0];
+  for (std::size_t i = 1; i < n; ++i) max_val = std::max(max_val, row[i]);
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) sum += std::exp(row[i] - max_val);
+  const float log_sum = std::log(sum);
+  for (std::size_t i = 0; i < n; ++i) row[i] = (row[i] - max_val) - log_sum;
+}
+
+template <typename Raw>
+void run_quant(const Network& net, const std::vector<ExecutionContext::Step>& steps,
+               const Tensor* const* inputs, std::size_t count, ker::Kind kind,
+               ker::QuantPackCache& packs, const FixedPointFormat& fmt,
+               typename QuantTraits<Raw>::Pack* bpack, Raw* ping, Raw* pong,
+               Raw* gemm_tmp, const void** row_ptrs, float* const* out_rows) {
+  using QT = QuantTraits<Raw>;
+  using Step = ExecutionContext::Step;
+
+  // Quantize the batch image-major into ping (forward_fixed's input step).
+  const std::size_t in_elems = net.input_shape().elements();
+  for (std::size_t b = 0; b < count; ++b) {
+    QT::quantize(inputs[b]->data(), in_elems, fmt, ping + b * in_elems);
+  }
+  Raw* cur = ping;
+  Domain domain = Domain::kImageMajor;
+
+  const auto free_buf = [&]() { return cur == ping ? pong : ping; };
+
+  const auto image_plane = [&](const Shape& in_shape,
+                               std::size_t b) -> std::pair<const Raw*, std::size_t> {
+    const std::size_t pixels = in_shape.height() * in_shape.width();
+    if (domain == Domain::kInterleaved) return {cur + b * pixels, count * pixels};
+    return {cur + b * in_shape.elements(), pixels};
+  };
+
+  const auto to_image_major = [&](const Shape& shape) {
+    if (domain == Domain::kImageMajor) return;
+    const std::size_t elems = shape.elements();
+    const std::size_t channels = shape.channels();
+    const std::size_t pixels = shape.height() * shape.width();
+    Raw* dst = free_buf();
+    for (std::size_t c = 0; c < channels; ++c) {
+      const Raw* src_row = cur + c * count * pixels;
+      for (std::size_t b = 0; b < count; ++b) {
+        std::memcpy(dst + b * elems + c * pixels, src_row + b * pixels,
+                    pixels * sizeof(Raw));
+      }
+    }
+    cur = dst;
+    domain = Domain::kImageMajor;
+  };
+
+  for (std::size_t s = 0; s < steps.size(); ++s) {
+    const Step& step = steps[s];
+    switch (step.kind) {
+      case Step::Kind::kConv: {
+        const auto* conv = static_cast<const Conv2D*>(step.layer);
+        const std::size_t ih = step.in_shape.height(), iw = step.in_shape.width();
+        const std::size_t oh = step.out_shape.height(), ow = step.out_shape.width();
+        const std::size_t pixels = oh * ow;
+        const std::size_t patch =
+            conv->in_channels() * conv->kernel_h() * conv->kernel_w();
+        for (std::size_t b = 0; b < count; ++b) {
+          const auto [base, cstride] = image_plane(step.in_shape, b);
+          QT::im2col(base, cstride, conv->in_channels(), ih, iw, conv->kernel_h(),
+                     conv->kernel_w(), oh, ow, bpack, b * pixels, count * pixels);
+        }
+        QT::finish(bpack, count * pixels, patch);
+        const auto& wp = QT::packed(packs, step.layer_index, conv->weights().data(),
+                                    conv->bias().data(), conv->out_channels(), patch);
+        Raw* dst = free_buf();
+        const int act = step.fused != nullptr ? static_cast<int>(step.fused->act()) : -1;
+        const bool relu = act == static_cast<int>(ActKind::kReLU);
+        QT::gemm(kind, wp, bpack, count * pixels, fmt, relu ? act : -1, dst,
+                 count * pixels);
+        if (act >= 0 && !relu) {
+          const ActKind a = static_cast<ActKind>(act);
+          QT::activation(a, QT::lut(packs, a), dst, dst,
+                         conv->out_channels() * count * pixels);
+        }
+        cur = dst;
+        domain = Domain::kInterleaved;
+        break;
+      }
+      case Step::Kind::kPool: {
+        const auto* pool = static_cast<const Pool2D*>(step.layer);
+        const std::size_t ih = step.in_shape.height(), iw = step.in_shape.width();
+        const std::size_t oh = step.out_shape.height(), ow = step.out_shape.width();
+        const std::size_t opix = oh * ow;
+        const std::size_t channels = step.in_shape.channels();
+        const bool is_max = pool->pool_kind() == PoolKind::kMax;
+        Raw* dst = free_buf();
+        for (std::size_t b = 0; b < count; ++b) {
+          const auto [base, cstride] = image_plane(step.in_shape, b);
+          for (std::size_t c = 0; c < channels; ++c) {
+            QT::pool(is_max, base + c * cstride, ih, iw, pool->kernel_h(),
+                     pool->kernel_w(), pool->step(), oh, ow,
+                     dst + c * count * opix + b * opix, fmt);
+          }
+        }
+        cur = dst;
+        domain = Domain::kInterleaved;
+        break;
+      }
+      case Step::Kind::kLinear: {
+        const auto* lin = static_cast<const Linear*>(step.layer);
+        const std::size_t k = lin->in_features();
+        const std::size_t m = lin->out_features();
+        to_image_major(step.in_shape);
+        for (std::size_t b = 0; b < count; ++b) row_ptrs[b] = cur + b * k;
+        QT::pack_b(row_ptrs, count, k, bpack);
+        const auto& wp = QT::packed(packs, step.layer_index, lin->weights().data(),
+                                    lin->bias().data(), m, k);
+        const int act = step.fused != nullptr ? static_cast<int>(step.fused->act()) : -1;
+        const bool relu = act == static_cast<int>(ActKind::kReLU);
+        // GEMM produces C[m][b] (ldc = count); transpose to image-major. The
+        // input rows were already copied into the packed panels, so writing
+        // over `cur` is safe.
+        QT::gemm(kind, wp, bpack, count, fmt, relu ? act : -1, gemm_tmp, count);
+        Raw* dst = cur;
+        for (std::size_t b = 0; b < count; ++b) {
+          Raw* row = dst + b * m;
+          for (std::size_t j = 0; j < m; ++j) row[j] = gemm_tmp[j * count + b];
+        }
+        if (act >= 0 && !relu) {
+          const ActKind a = static_cast<ActKind>(act);
+          QT::activation(a, QT::lut(packs, a), dst, dst, count * m);
+        }
+        cur = dst;
+        domain = Domain::kImageMajor;
+        break;
+      }
+      case Step::Kind::kActivation: {
+        // Elementwise on raw values: both domains store the batch's
+        // activations contiguously at cur, so one pass covers everything and
+        // the domain is preserved.
+        const auto* activation = static_cast<const Activation*>(step.layer);
+        const ActKind a = activation->act();
+        const Raw* lut = a == ActKind::kReLU ? nullptr : QT::lut(packs, a);
+        QT::activation(a, lut, cur, cur, count * step.in_shape.elements());
+        break;
+      }
+      case Step::Kind::kLogSoftMax: {
+        // Terminal, exactly as in forward_fixed: dequantize the logits and
+        // run the float LogSoftMax on them.
+        if (s + 1 != steps.size()) {
+          throw std::logic_error("run_quant_batch: LogSoftMax must be the final step");
+        }
+        const std::size_t elems = step.in_shape.elements();
+        to_image_major(step.in_shape);
+        for (std::size_t b = 0; b < count; ++b) {
+          const Raw* src = cur + b * elems;
+          float* row = out_rows[b];
+          for (std::size_t i = 0; i < elems; ++i) row[i] = fixed_dequantize(src[i], fmt);
+          logsoftmax_row(row, elems);
+        }
+        return;
+      }
+      case Step::Kind::kGeneric:
+        // Callers pre-check with plan_needs_generic().
+        throw std::logic_error("run_quant_batch: plan contains a generic step");
+    }
+  }
+
+  // No LogSoftMax tail: dequantized raw scores, matching forward_fixed.
+  const std::size_t out_elems = net.output_shape().elements();
+  to_image_major(net.output_shape());
+  for (std::size_t b = 0; b < count; ++b) {
+    const Raw* src = cur + b * out_elems;
+    float* row = out_rows[b];
+    for (std::size_t i = 0; i < out_elems; ++i) row[i] = fixed_dequantize(src[i], fmt);
+  }
+}
+
+}  // namespace
+
+void Network::run_quant_batch(const Tensor* const* inputs, std::size_t count,
+                              ExecutionContext& ctx, float* const* out_rows) const {
+  if (ctx.precision_ == ServePrecision::kFloat32 || ctx.qpacks_ == nullptr) {
+    throw std::logic_error("run_quant_batch: context is not quantized");
+  }
+  const std::vector<ExecutionContext::Step>& steps = ctx.steps_;
+  if (steps.empty()) {
+    const std::size_t elems = input_shape().elements();
+    for (std::size_t b = 0; b < count; ++b) {
+      std::memcpy(out_rows[b], inputs[b]->data(), elems * sizeof(float));
+    }
+    return;
+  }
+  ctx.ensure_batch(count);
+  if (ctx.precision_ == ServePrecision::kInt8) {
+    run_quant<std::int8_t>(*this, steps, inputs, count, ctx.kernel_, *ctx.qpacks_,
+                           ctx.qformat_, ctx.qbpack_.data(),
+                           reinterpret_cast<std::int8_t*>(ctx.qping_.data()),
+                           reinterpret_cast<std::int8_t*>(ctx.qpong_.data()),
+                           reinterpret_cast<std::int8_t*>(ctx.qgemm_tmp_.data()),
+                           ctx.qrow_ptrs_.data(), out_rows);
+  } else {
+    run_quant<std::int16_t>(*this, steps, inputs, count, ctx.kernel_, *ctx.qpacks_,
+                            ctx.qformat_,
+                            reinterpret_cast<std::int16_t*>(ctx.qbpack_.data()),
+                            reinterpret_cast<std::int16_t*>(ctx.qping_.data()),
+                            reinterpret_cast<std::int16_t*>(ctx.qpong_.data()),
+                            reinterpret_cast<std::int16_t*>(ctx.qgemm_tmp_.data()),
+                            ctx.qrow_ptrs_.data(), out_rows);
+  }
+}
+
+}  // namespace cnn2fpga::nn

@@ -1,0 +1,209 @@
+// Quantized (int8 / int16) GEMM microkernels and packing.
+//
+// The serving engine's quantized path computes in the exact Q(m,n) arithmetic
+// of nn::FixedInference (frac-scaled two's-complement raw values, int32
+// accumulation at 2*frac scale, round-half-up renormalize, saturate), but on
+// packed panels the AVX2 engine can stream:
+//
+//   int8  (Q4.4)  — VPMADDUBSW over unsigned-offset activation panels.
+//     Activations are stored as raw s8 between layers and offset by +128 into
+//     u8 *at pack time* (maddubs multiplies u8 x s8); the compensation term
+//     -128 * sum_k(w) plus the frac-aligned bias is folded into each row's
+//     int32 accumulator seed. Weights are clamped to +/-kInt8WeightClamp so
+//     one maddubs pair-sum is bounded by 2*255*31 = 15810 and TWO maddubs
+//     results combine with a saturation-free adds_epi16 (<= 31620 < 32767)
+//     before a single pmaddwd widens 8 k-steps to int32 — ~2.5 ALU ops per
+//     32 MACs where the float kernel needs 1 FMA per 8.
+//   int16 (Q8.8)  — VPMADDWD over pair-interleaved s16 panels, int32
+//     accumulation. ALU-neutral vs float FMA but half the operand traffic.
+//
+// Every product and (modular int32) add is exact, so accumulation order
+// cannot change the result: the scalar reference kernels here are
+// bit-identical to the AVX2 kernels on every input, and — whenever the true
+// accumulator fits int32, always in practice for these formats — identical to
+// forward_fixed's int64 math. The int8 path additionally differs from
+// forward_fixed only when a weight exceeds the +/-31-raw clamp (|w| > 1.9375
+// at Q4.4), which deploy-time validation measures rather than assumes.
+//
+// Non-ReLU activations go through shared per-raw-value lookup tables built
+// from the identical dequantize -> Activation::apply -> quantize sequence
+// forward_fixed uses, so both engines and the fixed model agree bit-for-bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "nn/activation.hpp"
+#include "nn/kernels/kernels.hpp"
+#include "nn/quantize.hpp"
+#include "util/aligned.hpp"
+
+namespace cnn2fpga::nn::kernels {
+
+/// Raw-value clamp applied to int8 weights so the maddubs/adds_epi16 pipeline
+/// cannot saturate (see header comment). At Q4.4 this bounds |w| <= 1.9375.
+inline constexpr std::int32_t kInt8WeightClamp = 31;
+
+/// k-depth padding of the packed operands: the int8 microkernel consumes k in
+/// groups of 8 (two 4-k dwords per adds_epi16), the int16 kernel in pairs.
+inline std::size_t padded_k_s8(std::size_t k) { return (k + 7) & ~std::size_t{7}; }
+inline std::size_t padded_k_s16(std::size_t k) { return (k + 1) & ~std::size_t{1}; }
+
+/// Quantized weight matrix (M x K) in kPanelRows-row panels. Within a panel,
+/// k runs in dword groups so the microkernel broadcasts one 32-bit lane per
+/// row: panels[p*kp*6 + (k/4)*24 + r*4 + (k%4)] = wq[p*6+r][k] (int8, groups
+/// of 4) and panels[p*kp*6 + (k/2)*12 + r*2 + (k%2)] (int16, pairs). Padding
+/// rows/k are zero. `seed[m]` is the row's int32 accumulator seed.
+struct PackedWeightsS8 {
+  std::size_t rows = 0;  ///< M
+  std::size_t cols = 0;  ///< K (logical; panels hold kp = padded_k_s8(K))
+  std::size_t kp = 0;
+  util::aligned_vector<std::int8_t> panels;
+  util::aligned_vector<std::int32_t> seed;  ///< (bias<<frac) - 128 * sum_k(wq)
+  bool clamped = false;  ///< any weight hit +/-kInt8WeightClamp
+};
+
+struct PackedWeightsS16 {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t kp = 0;
+  util::aligned_vector<std::int16_t> panels;
+  util::aligned_vector<std::int32_t> seed;  ///< bias<<frac
+};
+
+void pack_weights_s8(const float* w, const float* bias, std::size_t m, std::size_t k,
+                     const FixedPointFormat& format, PackedWeightsS8& out);
+void pack_weights_s16(const float* w, const float* bias, std::size_t m, std::size_t k,
+                      const FixedPointFormat& format, PackedWeightsS16& out);
+
+/// Elements of packed-B storage for an N-column, K-deep quantized operand:
+/// ceil(N/16) panels of padded_k * 16.
+std::size_t packed_b_size_s8(std::size_t n, std::size_t k);
+std::size_t packed_b_size_s16(std::size_t n, std::size_t k);
+
+/// im2col of raw s8 activations straight into offset-u8 packed-B panels
+/// (each byte stores raw + 128): bpack[q*kp*16 + (k/4)*64 + j*4 + (k%4)] for
+/// global column q*16+j. Mirrors kernels::im2col_pack's geometry contract.
+void im2col_pack_s8(const std::int8_t* in, std::size_t c_stride, std::size_t channels,
+                    std::size_t ih, std::size_t iw, std::size_t kh, std::size_t kw,
+                    std::size_t oh, std::size_t ow, std::uint8_t* bpack, std::size_t col0,
+                    std::size_t n_total);
+void im2col_pack_s16(const std::int16_t* in, std::size_t c_stride, std::size_t channels,
+                     std::size_t ih, std::size_t iw, std::size_t kh, std::size_t kw,
+                     std::size_t oh, std::size_t ow, std::int16_t* bpack, std::size_t col0,
+                     std::size_t n_total);
+
+/// Pack row-major B rows (rows[i] -> K contiguous raw values of the matching
+/// width) into panels; int8 rows are offset to u8 while packing. `rows` is
+/// type-erased so one caller-side pointer array serves both widths.
+void pack_b_s8(const void* const* rows, std::size_t n, std::size_t k,
+               std::uint8_t* bpack);
+void pack_b_s16(const void* const* rows, std::size_t n, std::size_t k,
+                std::int16_t* bpack);
+
+/// Zero the padding of a freshly packed B: the dead columns of the last panel
+/// and the k-padding rows of every panel. Must run after the pack calls and
+/// before gemm (the buffers are reused across layers of different sizes).
+void finish_pack_s8(std::uint8_t* bpack, std::size_t n, std::size_t k);
+void finish_pack_s16(std::int16_t* bpack, std::size_t n, std::size_t k);
+
+/// Quantized GEMM with fused renormalize (+ optional ReLU) epilogue:
+///   C[m][n] = sat(renorm(seed[m] + sum_k wq[m][k] * xq[n][k]))
+/// with C row stride ldc; `act` < 0 applies no activation, ActKind::kReLU is
+/// fused after the saturate (exact in fixed point). Other activations must be
+/// applied by the caller via activation_lut_* (table built per format).
+/// `kind` selects the engine: kScalar runs the bit-identical portable
+/// reference, kAvx2 the SIMD microkernel (requires avx2_available()).
+void gemm_s8(Kind kind, const PackedWeightsS8& a, const std::uint8_t* bpack, std::size_t n,
+             const FixedPointFormat& format, int act, std::int8_t* c, std::size_t ldc);
+void gemm_s16(Kind kind, const PackedWeightsS16& a, const std::int16_t* bpack,
+              std::size_t n, const FixedPointFormat& format, int act, std::int16_t* c,
+              std::size_t ldc);
+
+/// Integer pooling over one channel plane, exact forward_fixed semantics
+/// (max: value-exact; mean: symmetric round-half-away integer divide, then
+/// saturate). Portable scalar code shared by both engines.
+void pool_plane_s8(bool is_max, const std::int8_t* in, std::size_t ih, std::size_t iw,
+                   std::size_t kh, std::size_t kw, std::size_t step, std::size_t oh,
+                   std::size_t ow, std::int8_t* out, const FixedPointFormat& format);
+void pool_plane_s16(bool is_max, const std::int16_t* in, std::size_t ih, std::size_t iw,
+                    std::size_t kh, std::size_t kw, std::size_t step, std::size_t oh,
+                    std::size_t ow, std::int16_t* out, const FixedPointFormat& format);
+
+/// Quantize a float input image into raw fixed values (fixed_quantize per
+/// element — identical to forward_fixed's input quantization).
+void quantize_input_s8(const float* in, std::size_t n, const FixedPointFormat& format,
+                       std::int8_t* out);
+void quantize_input_s16(const float* in, std::size_t n, const FixedPointFormat& format,
+                        std::int16_t* out);
+
+/// Elementwise activation on raw values. ReLU is computed directly; tanh /
+/// sigmoid go through `lut` (256 entries indexed by raw+128 for s8, 65536
+/// indexed by uint16(raw) for s16). in == out allowed.
+void activation_lut_s8(ActKind act, const std::int8_t* lut, const std::int8_t* in,
+                       std::int8_t* out, std::size_t n);
+void activation_lut_s16(ActKind act, const std::int16_t* lut, const std::int16_t* in,
+                        std::int16_t* out, std::size_t n);
+
+namespace detail {
+/// Engine implementations behind gemm_s8/gemm_s16. The _avx2 symbols live in
+/// kernels_int_avx2.cpp (throwing stubs without CNN2FPGA_HAVE_AVX2); the _ref
+/// scalar kernels read the same packed bytes and are bit-identical.
+void gemm_s8_ref(const PackedWeightsS8& a, const std::uint8_t* bpack, std::size_t n,
+                 const FixedPointFormat& format, int act, std::int8_t* c, std::size_t ldc);
+void gemm_s16_ref(const PackedWeightsS16& a, const std::int16_t* bpack, std::size_t n,
+                  const FixedPointFormat& format, int act, std::int16_t* c, std::size_t ldc);
+void gemm_s8_avx2(const PackedWeightsS8& a, const std::uint8_t* bpack, std::size_t n,
+                  const FixedPointFormat& format, int act, std::int8_t* c, std::size_t ldc);
+void gemm_s16_avx2(const PackedWeightsS16& a, const std::int16_t* bpack, std::size_t n,
+                   const FixedPointFormat& format, int act, std::int16_t* c,
+                   std::size_t ldc);
+}  // namespace detail
+
+/// Per-network cache of quantized weight panels + activation tables for ONE
+/// serving precision, shared across an ExecutionContextPool exactly like
+/// PackCache: each layer quantizes/packs once per deployed design, lazily
+/// under a once_flag. Assumes frozen weights.
+class QuantPackCache {
+ public:
+  QuantPackCache(std::size_t layer_count, ServePrecision precision);
+
+  ServePrecision precision() const { return precision_; }
+  const FixedPointFormat& format() const { return format_; }
+
+  const PackedWeightsS8& get8(std::size_t layer, const float* w, const float* bias,
+                              std::size_t m, std::size_t k);
+  const PackedWeightsS16& get16(std::size_t layer, const float* w, const float* bias,
+                                std::size_t m, std::size_t k);
+
+  /// Lazily built activation tables (nullptr is never returned; ReLU needs no
+  /// table and must not ask for one).
+  const std::int8_t* lut8(ActKind act);
+  const std::int16_t* lut16(ActKind act);
+
+  /// Number of layers with a built pack (diagnostics).
+  std::size_t built() const;
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    PackedWeightsS8 p8;
+    PackedWeightsS16 p16;
+    bool ready = false;
+  };
+  struct Lut {
+    std::once_flag once;
+    util::aligned_vector<std::int8_t> t8;
+    util::aligned_vector<std::int16_t> t16;
+  };
+
+  ServePrecision precision_;
+  FixedPointFormat format_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::array<Lut, 3> luts_;  ///< indexed by ActKind
+};
+
+}  // namespace cnn2fpga::nn::kernels

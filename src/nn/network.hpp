@@ -108,6 +108,14 @@ class Network {
   void run_fused_batch(const Tensor* const* inputs, std::size_t count,
                        ExecutionContext& ctx, float* const* out_rows) const;
 
+  /// Quantized fused-batch executor (nn/execution_quant.cpp): runs `count`
+  /// images through the plan in the context's int8/int16 fixed-point
+  /// arithmetic (one quantized packed GEMM per conv/linear step on either
+  /// engine) and writes each image's dequantized float scores to
+  /// `out_rows[i]`.
+  void run_quant_batch(const Tensor* const* inputs, std::size_t count,
+                       ExecutionContext& ctx, float* const* out_rows) const;
+
   std::string name_;
   Shape input_shape_;
   std::vector<LayerPtr> layers_;

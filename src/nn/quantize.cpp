@@ -22,6 +22,37 @@ void FixedPointFormat::validate() const {
   }
 }
 
+const char* serve_precision_name(ServePrecision precision) {
+  switch (precision) {
+    case ServePrecision::kFloat32: return "float32";
+    case ServePrecision::kInt16: return "int16";
+    case ServePrecision::kInt8: return "int8";
+  }
+  return "float32";
+}
+
+bool parse_serve_precision(std::string_view name, ServePrecision& out) {
+  if (name == "float32") {
+    out = ServePrecision::kFloat32;
+  } else if (name == "int16") {
+    out = ServePrecision::kInt16;
+  } else if (name == "int8") {
+    out = ServePrecision::kInt8;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+FixedPointFormat serve_precision_format(ServePrecision precision) {
+  switch (precision) {
+    case ServePrecision::kInt16: return {16, 8};
+    case ServePrecision::kInt8: return {8, 4};
+    case ServePrecision::kFloat32: break;
+  }
+  throw std::invalid_argument("serve_precision_format: float32 has no fixed-point format");
+}
+
 std::int32_t fixed_quantize(float value, const FixedPointFormat& format) {
   // lrintf rounds to nearest (ties to even under the default FP environment);
   // the generated C++ emits the same call so both sides agree bit-for-bit.

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace cnn2fpga::nn {
 
@@ -54,6 +55,31 @@ std::int32_t fixed_renormalize(std::int64_t accumulator, const FixedPointFormat&
 
 /// Saturate an already frac_bits-scaled value into the representable range.
 std::int32_t fixed_saturate(std::int64_t raw, const FixedPointFormat& format);
+
+/// Numeric precision a design is *served* at by the CPU engine. Orthogonal to
+/// NumericFormat (the HLS codegen format below): a float32-codegen design can
+/// be deployed for int8 serving and vice versa. The quantized precisions map
+/// onto fixed formats whose raw values fit the native integer width:
+///   kInt16 -> Q8.8  (total 16, frac 8) — bit-identical to forward_fixed
+///   kInt8  -> Q4.4  (total 8,  frac 4) — forward_fixed semantics with the
+///             SIMD engine's +/-kInt8WeightClamp weight clamp (kernels_int.hpp)
+enum class ServePrecision { kFloat32 = 0, kInt16 = 1, kInt8 = 2 };
+
+inline constexpr std::size_t kServePrecisionCount = 3;
+
+inline constexpr std::size_t serve_precision_index(ServePrecision p) {
+  return static_cast<std::size_t>(p);
+}
+
+/// "float32" | "int16" | "int8" — the deploy API's wire names.
+const char* serve_precision_name(ServePrecision precision);
+
+/// Parse a wire name; returns false (out untouched) for unknown strings.
+bool parse_serve_precision(std::string_view name, ServePrecision& out);
+
+/// The fixed-point format a quantized serving precision computes in.
+/// Throws std::invalid_argument for kFloat32 (no fixed format).
+FixedPointFormat serve_precision_format(ServePrecision precision);
 
 /// The numeric format of a generated design: either the paper's float32 or a
 /// fixed-point configuration.

@@ -38,7 +38,13 @@ void run_reference_batch(DeployedDesign& design,
   if (inputs.empty()) return;
   auto ctx = design.contexts.acquire();
   const core::NetworkDescriptor& descriptor = design.descriptor();
-  if (descriptor.precision.is_fixed) {
+  if (design.precision != nn::ServePrecision::kFloat32) {
+    // Quantized serving: the pooled contexts carry the deployed precision, so
+    // infer_batch runs the whole micro-batch through the int8/int16 fused
+    // engine end to end and returns dequantized float scores (bit-identical
+    // across batch sizes and engines — see kernels_int.hpp).
+    design.net.infer_batch(inputs, outputs, *ctx);
+  } else if (descriptor.precision.is_fixed) {
     // Fixed designs quantize per image through the context's cached Q(m,n)
     // parameters; the scores tensor already carries the final (float)
     // log-probabilities, so argmax over it equals FixedForwardResult::

@@ -556,6 +556,16 @@ void Batcher::execute_batch(std::shared_ptr<DeployedDesign> design,
       metrics_->backend[backend_idx].images.add(live);
       metrics_->backend[backend_idx].exec_us.record(exec_us);
     }
+    // Per-precision accounting: the design's deployed arithmetic is what the
+    // batch just executed in, wherever it was placed.
+    auto& precision_metrics =
+        metrics_->precision[nn::serve_precision_index(design->precision)];
+    precision_metrics.dispatched.add();
+    if (failures == 0) {
+      precision_metrics.batches.add();
+      precision_metrics.images.add(live);
+      precision_metrics.exec_us.record(exec_us);
+    }
   }
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (skip[i]) continue;  // promise already failed by expire_request()
@@ -569,6 +579,7 @@ void Batcher::execute_batch(std::shared_ptr<DeployedDesign> design,
     results[i].accel_us = accel_share_us;
     results[i].batch_size = live;
     results[i].backend = backend.id();
+    results[i].precision = design->precision;
     if (metrics_) {
       metrics_->predictions.add();
       metrics_->queue_us.record(results[i].queue_us);

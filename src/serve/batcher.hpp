@@ -80,6 +80,8 @@ struct Prediction {
                                    ///< DeployedDesign::invocation_seconds)
   std::size_t batch_size = 0;      ///< images in the containing batch
   BackendId backend = BackendId::kCpu;  ///< engine the batch executed on
+  /// Serving arithmetic the design is deployed at (what computed the logits).
+  nn::ServePrecision precision = nn::ServePrecision::kFloat32;
 };
 
 struct BatcherConfig {

@@ -109,6 +109,18 @@ json::Value ServeMetrics::to_json() const {
   backends["spill_rate"] = spill_rate();
   out["backends"] = std::move(backends);
 
+  json::Object precisions;
+  for (std::size_t i = 0; i < nn::kServePrecisionCount; ++i) {
+    json::Object one;
+    one["dispatched"] = precision[i].dispatched.value();
+    one["batches"] = precision[i].batches.value();
+    one["images"] = precision[i].images.value();
+    one["exec_us"] = precision[i].exec_us.to_json();
+    precisions[nn::serve_precision_name(static_cast<nn::ServePrecision>(i))] =
+        std::move(one);
+  }
+  out["precisions"] = std::move(precisions);
+
   json::Object overload;
   overload["admitted"] = admitted.value();
   overload["shed"] = shed.value();

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "json/json.hpp"
+#include "nn/quantize.hpp"
 #include "serve/backend/ids.hpp"
 
 namespace cnn2fpga::serve {
@@ -112,6 +113,18 @@ struct ServeMetrics {
     Histogram exec_us;        ///< batch execution time on this backend
   };
   BackendMetrics backend[kBackendCount];
+  /// Per-serving-precision dispatch and latency counters (indexed by
+  /// nn::serve_precision_index()): which arithmetic each batch ran in, and
+  /// what it cost. `dispatched` counts batches that started executing at the
+  /// precision (including ones that then failed); `batches`/`images` count
+  /// successful executions.
+  struct PrecisionMetrics {
+    Counter dispatched;       ///< batches executed at this precision
+    Counter batches;          ///< batches that completed successfully
+    Counter images;           ///< images served at this precision
+    Histogram exec_us;        ///< batch execution time at this precision
+  };
+  PrecisionMetrics precision[nn::kServePrecisionCount];
   /// Batches placed off the raw-fastest admissible backend because queue
   /// pressure made the slower-but-idle one finish sooner — the traffic that
   /// would have queued (or been shed with 429) on a single engine.

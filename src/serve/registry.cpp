@@ -1,15 +1,65 @@
 #include "serve/registry.hpp"
 
+#include <cstring>
 #include <stdexcept>
 
 #include "axi/block_design.hpp"
 #include "hls/schedule.hpp"
+#include "nn/fixed_inference.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
 namespace cnn2fpga::serve {
 
 using cnn2fpga::util::format;
+
+namespace {
+
+/// Seeded probe images run at deploy to anchor a quantized design to the
+/// fixed-point accuracy model. Eight images keep a quantized deploy cheap
+/// (well under one batch of serving work) while still exercising every layer.
+constexpr std::size_t kQuantProbes = 8;
+constexpr std::uint64_t kQuantProbeSeed = 0xC0FFEE51u;
+
+/// Run the deploy-time accuracy validation of a freshly built quantized
+/// design: for each probe, the fixed-point model (forward_fixed) provides the
+/// modeled error vs float and the expected scores, and the serving path is
+/// checked against both. The design is not yet published, so no lock is held.
+QuantReport validate_quantized(DeployedDesign& design) {
+  QuantReport report;
+  const nn::FixedPointFormat format = nn::serve_precision_format(design.precision);
+  // A scalar float context doubles as the fixed model's parameter cache and
+  // (via track_output_error) the float reference whose argmax defines top-1
+  // agreement.
+  nn::ExecutionContext fixed_ctx(design.net, nn::kernels::Kind::kScalar, nullptr);
+  auto lease = design.contexts.acquire();
+  util::Rng rng(kQuantProbeSeed);
+  std::size_t agree = 0;
+  for (std::size_t p = 0; p < kQuantProbes; ++p) {
+    tensor::Tensor input(design.net.input_shape());
+    input.fill_uniform(rng, -1.0f, 1.0f);
+    const nn::FixedForwardResult fixed =
+        nn::forward_fixed(design.net, input, format, fixed_ctx, /*track_output_error=*/true);
+    if (fixed.output_error > report.max_abs_error) {
+      report.max_abs_error = fixed.output_error;
+    }
+    const std::size_t float_predicted = fixed_ctx.output().argmax();
+    const tensor::Tensor& served = design.net.infer(input, *lease);
+    if (served.shape() != fixed.scores.shape() ||
+        std::memcmp(served.data(), fixed.scores.data(), served.size() * sizeof(float)) !=
+            0) {
+      report.matches_fixed_model = false;
+    }
+    if (served.argmax() == float_predicted) ++agree;
+  }
+  report.probes = kQuantProbes;
+  report.top1_agreement =
+      static_cast<double>(agree) / static_cast<double>(kQuantProbes);
+  report.validated = true;
+  return report;
+}
+
+}  // namespace
 
 double DeployedDesign::invocation_seconds(std::size_t images) const {
   if (images == 0) return 0.0;
@@ -36,8 +86,17 @@ DesignRegistry::DesignRegistry(std::size_t capacity, ServeMetrics* metrics,
       faults_(faults) {}
 
 DeployOutcome DesignRegistry::deploy(const core::NetworkDescriptor& descriptor,
-                                     std::vector<std::uint8_t> weights) {
-  const std::string key = core::Framework::cache_key(descriptor, weights);
+                                     std::vector<std::uint8_t> weights,
+                                     nn::ServePrecision precision) {
+  // The registry is content-addressed over (descriptor, weights, precision):
+  // the serving arithmetic changes what a deployed instance computes, so the
+  // same network at two precisions is two cache entries. float32 keeps the
+  // bare hash so pre-precision ids stay stable.
+  std::string key = core::Framework::cache_key(descriptor, weights);
+  if (precision != nn::ServePrecision::kFloat32) {
+    key += "-";
+    key += nn::serve_precision_name(precision);
+  }
   if (metrics_) metrics_->deploys.add();
 
   {
@@ -68,8 +127,19 @@ DeployOutcome DesignRegistry::deploy(const core::NetworkDescriptor& descriptor,
   nn::deserialize_weights(net, weights);
   core::GeneratedDesign generated = core::Framework::generate(descriptor, net);
   auto fresh = std::make_shared<DeployedDesign>(
-      key, std::move(generated), std::move(net), std::move(weights), breaker_config_,
-      metrics_ != nullptr ? &metrics_->breaker_opens : nullptr);
+      key, std::move(generated), std::move(net), std::move(weights), precision,
+      breaker_config_, metrics_ != nullptr ? &metrics_->breaker_opens : nullptr);
+  if (precision != nn::ServePrecision::kFloat32) {
+    // Anchor the quantized instance to the fixed-point accuracy model before
+    // anyone can see it; the report is immutable afterwards.
+    fresh->quant = validate_quantized(*fresh);
+    LOG_INFO("serve") << format(
+        "quantized deploy '%s' (%s): max_abs_error=%.6f top1_agreement=%.2f %s",
+        descriptor.name.c_str(), nn::serve_precision_name(precision),
+        fresh->quant.max_abs_error, fresh->quant.top1_agreement,
+        fresh->quant.matches_fixed_model ? "bit-exact vs fixed model"
+                                         : "DIVERGES from fixed model");
+  }
 
   std::lock_guard<std::mutex> lock(mutex_);
   if (const auto it = entries_.find(key); it != entries_.end()) {
@@ -96,11 +166,12 @@ DeployOutcome DesignRegistry::deploy(const core::NetworkDescriptor& descriptor,
 }
 
 DeployOutcome DesignRegistry::deploy_random(const core::NetworkDescriptor& descriptor,
-                                            std::uint64_t seed) {
+                                            std::uint64_t seed,
+                                            nn::ServePrecision precision) {
   nn::Network net = descriptor.build_network();
   util::Rng rng(seed);
   net.init_weights(rng);
-  return deploy(descriptor, nn::serialize_weights(net));
+  return deploy(descriptor, nn::serialize_weights(net), precision);
 }
 
 std::shared_ptr<DeployedDesign> DesignRegistry::find(const std::string& id) const {

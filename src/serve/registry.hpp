@@ -46,22 +46,43 @@ struct BackendServeState {
   EwmaSeconds measured_seconds_per_image;
 };
 
+/// Deploy-time validation report of a quantized design against the
+/// fixed-point accuracy model (nn::forward_fixed over seeded probe inputs).
+/// Default-initialized (validated == false) for float32 designs.
+struct QuantReport {
+  bool validated = false;           ///< probe validation ran at deploy
+  std::size_t probes = 0;           ///< probe images evaluated
+  /// Largest |float - fixed| pre-softmax activation discrepancy the fixed
+  /// model observed (FixedForwardResult::output_error) across the probes.
+  float max_abs_error = 0.0f;
+  /// Fraction of probes where the quantized serving path predicted the same
+  /// class as the float reference.
+  double top1_agreement = 1.0;
+  /// Quantized serving scores were bit-identical to forward_fixed on every
+  /// probe (the engineered guarantee; int8 may diverge only via the
+  /// documented weight clamp — see kernels_int.hpp).
+  bool matches_fixed_model = true;
+};
+
 /// A design deployed for serving. `net` is the executable reference network
 /// with the deploy weights loaded. Weights are frozen after deploy, so any
 /// number of threads may run Network::infer concurrently — each batch checks
-/// an ExecutionContext out of `contexts` and runs without a lock. Only the
-/// *modeled* accelerator (invocation_seconds) remains serial: the deployment
-/// hardware is one physical IP core, and AcceleratorBackend enforces a single
-/// in-flight invocation (see backend/accel_backend.hpp).
+/// an ExecutionContext out of `contexts` and runs without a lock (at the
+/// design's deployed serving precision). Only the *modeled* accelerator
+/// (invocation_seconds) remains serial: the deployment hardware is one
+/// physical IP core, and AcceleratorBackend enforces a single in-flight
+/// invocation (see backend/accel_backend.hpp).
 struct DeployedDesign {
   DeployedDesign(std::string id_in, core::GeneratedDesign design_in, nn::Network net_in,
-                 std::vector<std::uint8_t> weights_in, BreakerConfig breaker_config = {},
-                 Counter* breaker_opens = nullptr)
+                 std::vector<std::uint8_t> weights_in,
+                 nn::ServePrecision precision_in = nn::ServePrecision::kFloat32,
+                 BreakerConfig breaker_config = {}, Counter* breaker_opens = nullptr)
       : id(std::move(id_in)),
         design(std::move(design_in)),
         net(std::move(net_in)),
         weights(std::move(weights_in)),
-        contexts(net),
+        precision(precision_in),
+        contexts(net, nn::kernels::active(), precision_in),
         backends{{BackendServeState{breaker_config, breaker_opens},
                   BackendServeState{breaker_config, breaker_opens}}},
         breaker(backends[backend_index(BackendId::kCpu)].breaker) {
@@ -75,6 +96,10 @@ struct DeployedDesign {
   const core::GeneratedDesign design;        ///< artifacts + HLS report
   const nn::Network net;                     ///< weights loaded, ready to run
   const std::vector<std::uint8_t> weights;   ///< canonical CNN2FPGAW1 blob
+  const nn::ServePrecision precision;        ///< serving arithmetic of every batch
+  /// Quantization-quality report; filled by the registry right after a fresh
+  /// quantized deploy (before the design is published), then immutable.
+  QuantReport quant;
 
   nn::ExecutionContextPool contexts;         ///< reusable inference contexts
   /// Per-backend breakers, counters and latency observations, indexed by
@@ -138,14 +163,21 @@ class DesignRegistry {
 
   /// Deploy from a descriptor and an explicit CNN2FPGAW1 weight blob.
   /// Throws DescriptorError / std::runtime_error on invalid inputs.
+  /// `precision` selects the serving arithmetic (float32 / int16 / int8) and
+  /// is part of the registry key: the same network deployed at two precisions
+  /// is two distinct cache entries. Quantized deploys are probe-validated
+  /// against the fixed-point accuracy model before being published (see
+  /// DeployedDesign::quant).
   DeployOutcome deploy(const core::NetworkDescriptor& descriptor,
-                       std::vector<std::uint8_t> weights);
+                       std::vector<std::uint8_t> weights,
+                       nn::ServePrecision precision = nn::ServePrecision::kFloat32);
 
   /// Deploy with seed-derived random weights (paper Test 4 style). The seed
   /// is expanded to a concrete weight blob first, so the same seed is
   /// content-identical to — and cache-hits against — an explicit-weights
   /// deploy of those values.
-  DeployOutcome deploy_random(const core::NetworkDescriptor& descriptor, std::uint64_t seed);
+  DeployOutcome deploy_random(const core::NetworkDescriptor& descriptor, std::uint64_t seed,
+                              nn::ServePrecision precision = nn::ServePrecision::kFloat32);
 
   /// nullptr if the id is not (or no longer) deployed.
   std::shared_ptr<DeployedDesign> find(const std::string& id) const;

@@ -73,6 +73,19 @@ json::Object design_summary(const DeployedDesign& deployed) {
   out["board"] = descriptor.board;
   out["precision"] = descriptor.precision.is_fixed ? descriptor.precision.fixed.name()
                                                    : std::string("float32");
+  // The arithmetic serving actually runs in (the descriptor "precision" above
+  // describes the generated HLS design, not the serving path).
+  out["serve_precision"] = std::string(nn::serve_precision_name(deployed.precision));
+  if (deployed.precision != nn::ServePrecision::kFloat32) {
+    const QuantReport& quant = deployed.quant;
+    json::Object quantization;
+    quantization["validated"] = quant.validated;
+    quantization["probes"] = quant.probes;
+    quantization["max_abs_error"] = quant.max_abs_error;
+    quantization["top1_agreement"] = quant.top1_agreement;
+    quantization["matches_fixed_model"] = quant.matches_fixed_model;
+    out["quantization"] = std::move(quantization);
+  }
   out["input"] = deployed.net.input_shape().to_string();
   out["classes"] = descriptor.num_classes();
   out["latency_cycles"] = deployed.design.hls_report.latency_cycles;
@@ -203,6 +216,20 @@ web::HttpResponse ServingRuntime::handle_deploy(const web::HttpRequest& request)
     return api_error(400, "bad_json", "request body is not valid JSON", e.what());
   }
 
+  // A string "precision" selects the serving arithmetic; the descriptor
+  // parser keeps its own "precision" key for codegen ("float32" or a fixed
+  // object), so the serve-level string is consumed here and the descriptor
+  // sees the spelling it understands. Fixed objects pass through untouched.
+  nn::ServePrecision precision = nn::ServePrecision::kFloat32;
+  if (const json::Value* requested = doc.find("precision");
+      requested != nullptr && requested->is_string()) {
+    if (!nn::parse_serve_precision(requested->as_string(), precision)) {
+      return api_error(400, "bad_request",
+                       "deploy: precision must be one of float32, int16, int8");
+    }
+    doc.as_object()["precision"] = "float32";
+  }
+
   core::NetworkDescriptor descriptor;
   try {
     descriptor = core::NetworkDescriptor::from_json(doc);
@@ -215,10 +242,10 @@ web::HttpResponse ServingRuntime::handle_deploy(const web::HttpRequest& request)
     if (const json::Value* weights = doc.find("weights_base64"); weights != nullptr) {
       const auto bytes = util::base64_decode(weights->as_string());
       if (!bytes) return api_error(400, "bad_request", "weights_base64 is not valid base64");
-      outcome = registry_.deploy(descriptor, *bytes);
+      outcome = registry_.deploy(descriptor, *bytes, precision);
     } else {
       const std::uint64_t seed = static_cast<std::uint64_t>(doc.get_int("seed", 1));
-      outcome = registry_.deploy_random(descriptor, seed);
+      outcome = registry_.deploy_random(descriptor, seed, precision);
     }
   } catch (const InjectedFault& e) {
     return api_error(500, "internal", e.what());
@@ -334,6 +361,7 @@ web::HttpResponse ServingRuntime::handle_predict(const web::HttpRequest& request
   body["logits"] = std::move(logits);
   body["batch_size"] = prediction.batch_size;
   body["backend"] = std::string(backend_name(prediction.backend));
+  body["precision"] = std::string(nn::serve_precision_name(prediction.precision));
   body["queue_us"] = prediction.queue_us;
   body["exec_us"] = prediction.exec_us;
   body["accel_us"] = prediction.accel_us;

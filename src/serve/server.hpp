@@ -2,23 +2,23 @@
 // web API.
 //
 // The paper's framework stops when the artifacts are generated; this layer is
-// the deployment half: POST /api/deploy runs the generator (or hits the
+// the deployment half: POST /api/v1/deploy runs the generator (or hits the
 // content-addressed cache) and keeps a ready-to-run instance resident, and
-// POST /api/predict pushes images through the micro-batching pipeline against
+// POST /api/v1/predict pushes images through the micro-batching pipeline against
 // a deployed design. Handlers follow the same transport-free convention as
 // web::handle_* so the test suite can exercise them without sockets.
 //
 // Routes:
-//   POST /api/deploy    -> body: descriptor JSON (+ "weights_base64" or
+//   POST /api/v1/deploy  -> body: descriptor JSON (+ "weights_base64" or
 //                          "seed"); response: design_id, cache_hit, HLS
 //                          summary, registry occupancy.
-//   POST /api/predict   -> body: {"design_id": ..., "image_base64": raw
+//   POST /api/v1/predict -> body: {"design_id": ..., "image_base64": raw
 //                          float32 little-endian CHW pixels} (or "image":
 //                          [numbers]); response: predicted class, logits,
 //                          queue/exec timing, batch size.
-//   GET  /api/designs   -> resident designs, most recently used first.
-//   GET  /api/metrics   -> counters + latency histograms as JSON.
-//   GET  /api/readyz    -> load-balancer readiness: queue depth, shed rate,
+//   GET  /api/v1/designs -> resident designs, most recently used first.
+//   GET  /api/v1/metrics -> counters + latency histograms as JSON.
+//   GET  /api/v1/readyz  -> load-balancer readiness: queue depth, shed rate,
 //                          per-design breaker states; 503 while draining or
 //                          saturated.
 //

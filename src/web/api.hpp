@@ -5,23 +5,23 @@
 //   GET  /               -> the HTML5/JS GUI (paper Sec. IV-A: "client-side
 //                           was implemented in HTML5 and Javascript"); a
 //                           single embedded page with the Fig. 4 layer
-//                           options that posts to /api/generate
+//                           options that posts to /api/v1/generate
 //   GET  /healthz        -> {"status": "ok"}
-//   GET  /api/boards     -> supported platforms with resource budgets
-//   POST /api/generate   -> body: network descriptor JSON; weights come from
+//   GET  /api/v1/boards     -> supported platforms with resource budgets
+//   POST /api/v1/generate ->  body: network descriptor JSON; weights come from
 //                           "weights_base64" (a CNN2FPGAW1 weight file, e.g.
-//                           from /api/train) or, absent that, from a "seed"
+//                           from /api/v1/train) or, absent that, from a "seed"
 //                           for random-weight generation (paper Test 4);
 //                           response: generated artifacts, HLS summary,
 //                           warnings.
-//   POST /api/train      -> the paper's future-work "train the designed CNN
+//   POST /api/v1/train    ->  the paper's future-work "train the designed CNN
 //                           online ... provided the dataset": body is a
 //                           descriptor plus {"train": {"dataset":
 //                           "usps"|"cifar10", "samples_per_class", "epochs",
 //                           "learning_rate", "seed"}}; trains on the
 //                           synthetic corpus and returns train/test error and
 //                           the weight file as base64, ready to feed back to
-//                           /api/generate.
+//                           /api/v1/generate.
 #pragma once
 
 #include "web/http.hpp"
@@ -37,7 +37,7 @@ HttpResponse handle_healthz(const HttpRequest& request);
 HttpResponse handle_boards(const HttpRequest& request);
 HttpResponse handle_generate(const HttpRequest& request);
 HttpResponse handle_train(const HttpRequest& request);
-/// POST /api/explore: automated design-space exploration over boards x
+/// POST /api/v1/explore: automated design-space exploration over boards x
 /// directives x precision; body is a descriptor plus an optional
 /// "objective": "throughput"|"energy"|"latency".
 HttpResponse handle_explore(const HttpRequest& request);

@@ -27,6 +27,7 @@ const char* status_code_slug(int status) {
     case 404: return "not_found";
     case 405: return "method_not_allowed";
     case 408: return "timeout";
+    case 410: return "gone";
     case 413: return "payload_too_large";
     case 429: return "overloaded";
     case 500: return "internal";
@@ -39,15 +40,17 @@ const char* status_code_slug(int status) {
 void route_api(HttpServer& server, const std::string& method, const std::string& suffix,
                Handler handler) {
   const std::string v1_path = std::string(kApiPrefix) + "/" + suffix;
-  server.route(method, v1_path, handler);
-  // Deprecated alias: same behavior, plus migration headers.
-  server.route(method, "/api/" + suffix,
-               [handler = std::move(handler), v1_path](const HttpRequest& request) {
-                 HttpResponse response = handler(request);
-                 response.headers["Deprecation"] = "true";
-                 response.headers["Link"] = "<" + v1_path + ">; rel=\"successor-version\"";
-                 return response;
-               });
+  server.route(method, v1_path, std::move(handler));
+  // Retired pre-versioning alias: 410 with the successor pointer. Handlers
+  // never run here — the tombstone exists so a stale client gets a precise
+  // migration error instead of a generic 404.
+  server.route(method, "/api/" + suffix, [v1_path](const HttpRequest&) {
+    HttpResponse response =
+        api_error(410, "gone",
+                  "the unversioned /api/... routes were retired; use " + v1_path);
+    response.headers["Link"] = "<" + v1_path + ">; rel=\"successor-version\"";
+    return response;
+  });
 }
 
 }  // namespace cnn2fpga::web

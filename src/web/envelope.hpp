@@ -4,9 +4,9 @@
 //   {"error": {"code": "<machine-readable>", "message": "<human>", "detail": ...}}
 // with Content-Type: application/json, so clients branch on `code` and log
 // `message` without sniffing status-text strings. The pre-versioning /api/...
-// routes remain as deprecated aliases answering identically plus a
-// `Deprecation` header and a `Link: <v1 path>; rel="successor-version"`
-// pointer, giving existing callers a migration window.
+// aliases are retired: they answer 410 `gone` (uniform envelope) with a
+// `Link: <v1 path>; rel="successor-version"` header naming the replacement,
+// so a stale client gets a precise migration error instead of a 404.
 #pragma once
 
 #include <string>
@@ -20,8 +20,8 @@ inline constexpr const char* kApiPrefix = "/api/v1";
 
 /// Error codes used across the API (not exhaustive; handlers may add more):
 ///   bad_json, bad_descriptor, bad_request, shape_mismatch, unknown_design,
-///   not_found, method_not_allowed, timeout, payload_too_large, overloaded,
-///   deadline_exceeded, design_unavailable, shutdown, internal.
+///   not_found, method_not_allowed, timeout, gone, payload_too_large,
+///   overloaded, deadline_exceeded, design_unavailable, shutdown, internal.
 HttpResponse api_error(int status, const std::string& code, const std::string& message,
                        const std::string& detail = "");
 
@@ -31,8 +31,9 @@ HttpResponse api_ok(json::Object body);
 /// Fallback machine-readable code for a bare HTTP status (transport errors).
 const char* status_code_slug(int status);
 
-/// Mount `handler` at /api/v1/<suffix> and at the deprecated pre-versioning
-/// /api/<suffix> alias. `suffix` must not start with '/'.
+/// Mount `handler` at /api/v1/<suffix>; the retired pre-versioning
+/// /api/<suffix> alias answers 410 `gone` with a successor-version Link
+/// header. `suffix` must not start with '/'.
 void route_api(HttpServer& server, const std::string& method, const std::string& suffix,
                Handler handler);
 

@@ -32,7 +32,7 @@ namespace cnn2fpga::web {
 
 struct HttpRequest {
   std::string method;   ///< "GET", "POST", ...
-  std::string path;     ///< "/api/generate"
+  std::string path;     ///< "/api/v1/generate"
   std::map<std::string, std::string> headers;  ///< lower-cased keys
   std::string body;
 };

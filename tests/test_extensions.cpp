@@ -134,7 +134,7 @@ TEST(TrainApi, TrainedWeightsFeedBackIntoGenerate) {
   train_request.body = kTrainRequest;
   const auto train_body = json::parse(web::handle_train(train_request).body);
 
-  // Build the /api/generate request: descriptor + weights_base64.
+  // Build the /api/v1/generate request: descriptor + weights_base64.
   auto generate_doc = json::parse(kTrainRequest);
   generate_doc.as_object().erase("train");
   generate_doc["weights_base64"] = train_body.at("weights_base64");
@@ -196,7 +196,7 @@ TEST(TrainApi, ServedOverHttp) {
   web::install_api(server);
   const int port = server.start(0);
   const auto response =
-      web::http_request("127.0.0.1", port, "POST", "/api/train", kTrainRequest);
+      web::http_request("127.0.0.1", port, "POST", "/api/v1/train", kTrainRequest);
   ASSERT_TRUE(response.has_value());
   EXPECT_EQ(response->status, 200);
   server.stop();

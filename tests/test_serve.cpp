@@ -15,6 +15,7 @@
 #include <unistd.h>
 
 #include "json/json.hpp"
+#include "nn/fixed_inference.hpp"
 #include "serve/server.hpp"
 #include "util/base64.hpp"
 #include "util/strings.hpp"
@@ -714,6 +715,117 @@ TEST(ServeApi, PredictErrorsUseTheEnvelope) {
   EXPECT_GE(runtime.metrics().predict_errors.value(), 3u);
 }
 
+TEST(ServeApi, DeployRejectsUnknownPrecision) {
+  ServingRuntime runtime;
+  json::Value doc = json::parse(deploy_body("bad_precision"));
+  doc.as_object()["precision"] = "int4";
+  web::HttpRequest request;
+  request.body = doc.dump();
+  const auto response = runtime.handle_deploy(request);
+  EXPECT_EQ(response.status, 400);
+  EXPECT_EQ(error_code(response), "bad_request");
+  const std::string message =
+      json::parse(response.body).at("error").at("message").as_string();
+  EXPECT_NE(message.find("float32"), std::string::npos) << message;
+  EXPECT_NE(message.find("int16"), std::string::npos) << message;
+  EXPECT_NE(message.find("int8"), std::string::npos) << message;
+
+  // Non-string precision is rejected the same way.
+  doc.as_object()["precision"] = 8;
+  request.body = doc.dump();
+  EXPECT_EQ(runtime.handle_deploy(request).status, 400);
+}
+
+TEST(ServeApi, QuantizedDeployServesInt8MatchingTheFixedModel) {
+  ServingRuntime runtime;
+
+  json::Value doc = json::parse(deploy_body("quant_api"));
+  doc.as_object()["precision"] = "int8";
+  web::HttpRequest deploy;
+  deploy.body = doc.dump();
+  const web::HttpResponse deployed = runtime.handle_deploy(deploy);
+  ASSERT_EQ(deployed.status, 200) << deployed.body;
+  const auto deploy_doc = json::parse(deployed.body);
+  const std::string design_id = deploy_doc.at("design_id").as_string();
+  EXPECT_EQ(deploy_doc.at("serve_precision").as_string(), "int8");
+
+  // Deploy-time validation against the fixed-point model is surfaced.
+  const auto& quant = deploy_doc.at("quantization");
+  EXPECT_TRUE(quant.at("validated").as_bool());
+  EXPECT_GE(quant.at("probes").as_int(), 1);
+  EXPECT_GE(quant.at("max_abs_error").as_double(), 0.0);
+  EXPECT_GE(quant.at("top1_agreement").as_double(), 0.0);
+  EXPECT_LE(quant.at("top1_agreement").as_double(), 1.0);
+  EXPECT_TRUE(quant.at("matches_fixed_model").as_bool());
+
+  // Served predictions equal nn::forward_fixed bit-for-bit.
+  const auto design = runtime.registry().find(design_id);
+  ASSERT_NE(design, nullptr);
+  nn::Network reference = design->descriptor().build_network();
+  nn::deserialize_weights(reference, design->weights);
+  const tensor::Tensor image = test_image(11, reference.input_shape());
+  const nn::FixedPointFormat format =
+      nn::serve_precision_format(nn::ServePrecision::kInt8);
+  const auto fixed = nn::forward_fixed(reference, image, format);
+
+  std::vector<std::uint8_t> raw(image.size() * sizeof(float));
+  std::memcpy(raw.data(), image.data(), raw.size());
+  json::Object predict_body;
+  predict_body["design_id"] = design_id;
+  predict_body["image_base64"] = util::base64_encode(raw);
+  web::HttpRequest predict;
+  predict.body = json::Value(std::move(predict_body)).dump();
+  const web::HttpResponse served = runtime.handle_predict(predict);
+  ASSERT_EQ(served.status, 200) << served.body;
+  const auto result = json::parse(served.body);
+  EXPECT_EQ(result.at("precision").as_string(), "int8");
+  EXPECT_EQ(static_cast<std::size_t>(result.at("predicted").as_int()), fixed.predicted);
+  const auto& logits = result.at("logits").as_array();
+  ASSERT_EQ(logits.size(), fixed.scores.size());
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    EXPECT_FLOAT_EQ(static_cast<float>(logits[i].as_double()), fixed.scores[i]);
+  }
+
+  // Per-precision dispatch counters show the int8 traffic.
+  const auto metrics = json::parse(runtime.handle_metrics(web::HttpRequest{}).body);
+  const auto& int8_metrics = metrics.at("precisions").at("int8");
+  EXPECT_GE(int8_metrics.at("dispatched").as_int(), 1);
+  EXPECT_GE(int8_metrics.at("images").as_int(), 1);
+  EXPECT_EQ(metrics.at("precisions").at("float32").at("images").as_int(), 0);
+
+  // The designs listing carries the precision and the validation report.
+  const auto designs = json::parse(runtime.handle_designs(web::HttpRequest{}).body);
+  ASSERT_EQ(designs.at("designs").as_array().size(), 1u);
+  const auto& listed = designs.at("designs").as_array()[0];
+  EXPECT_EQ(listed.at("serve_precision").as_string(), "int8");
+  EXPECT_TRUE(listed.at("quantization").at("validated").as_bool());
+}
+
+TEST(Registry, PrecisionIsPartOfTheContentAddress) {
+  DesignRegistry registry(8);
+  const core::NetworkDescriptor descriptor = small_descriptor("quant_key");
+
+  const auto as_float = registry.deploy_random(descriptor, 1);
+  const auto as_int8 =
+      registry.deploy_random(descriptor, 1, nn::ServePrecision::kInt8);
+  const auto as_int16 =
+      registry.deploy_random(descriptor, 1, nn::ServePrecision::kInt16);
+  // Same descriptor + weights at different precisions are distinct designs.
+  EXPECT_FALSE(as_int8.cache_hit);
+  EXPECT_FALSE(as_int16.cache_hit);
+  EXPECT_NE(as_int8.design->id, as_float.design->id);
+  EXPECT_NE(as_int16.design->id, as_float.design->id);
+  EXPECT_NE(as_int16.design->id, as_int8.design->id);
+  EXPECT_EQ(as_float.design->precision, nn::ServePrecision::kFloat32);
+  EXPECT_EQ(as_int8.design->precision, nn::ServePrecision::kInt8);
+
+  // Redeploying at the same precision is a cache hit on the same instance.
+  const auto again =
+      registry.deploy_random(descriptor, 1, nn::ServePrecision::kInt8);
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(again.design.get(), as_int8.design.get());
+}
+
 TEST(ServeApi, DeployRejectsUnsupportedSchemaVersion) {
   ServingRuntime runtime;
   json::Value doc = json::parse(deploy_body("versioned"));
@@ -954,12 +1066,15 @@ TEST(ServeHttp, EndToEndConcurrentClients) {
   ASSERT_EQ(deployed->status, 200) << deployed->body;
   EXPECT_EQ(deployed->headers.count("deprecation"), 0u);
 
-  // The pre-versioning route still answers (cache hit), flagged deprecated.
+  // The pre-versioning route is retired: 410 tombstone pointing at v1, no
+  // deploy executed.
   const auto legacy =
       web::http_request("127.0.0.1", port, "POST", "/api/deploy", deploy_body("e2e"));
   ASSERT_TRUE(legacy.has_value());
-  ASSERT_EQ(legacy->status, 200) << legacy->body;
-  EXPECT_EQ(legacy->headers.count("deprecation"), 1u);
+  ASSERT_EQ(legacy->status, 410) << legacy->body;
+  EXPECT_EQ(json::parse(legacy->body).at("error").at("code").as_string(), "gone");
+  ASSERT_EQ(legacy->headers.count("link"), 1u);
+  EXPECT_NE(legacy->headers.at("link").find("/api/v1/deploy"), std::string::npos);
   const std::string design_id = json::parse(deployed->body).at("design_id").as_string();
 
   const auto design = runtime.registry().find(design_id);
@@ -987,7 +1102,8 @@ TEST(ServeHttp, EndToEndConcurrentClients) {
   for (std::thread& client : clients) client.join();
   EXPECT_EQ(failures.load(), 0u);
   EXPECT_EQ(runtime.metrics().predictions.value(), 12u);
-  EXPECT_EQ(runtime.metrics().deploys.value(), 2u);
+  // Only the v1 deploy reached the registry; the 410 alias never ran it.
+  EXPECT_EQ(runtime.metrics().deploys.value(), 1u);
 
   const auto metrics = web::http_request("127.0.0.1", port, "GET", "/api/v1/metrics");
   ASSERT_TRUE(metrics.has_value());
@@ -1007,7 +1123,7 @@ TEST(HttpHardening, OversizedBodyAnswers413) {
   const int port = server.start(0);
 
   const std::string big(4096, 'x');
-  const auto response = web::http_request("127.0.0.1", port, "POST", "/api/generate", big);
+  const auto response = web::http_request("127.0.0.1", port, "POST", "/api/v1/generate", big);
   ASSERT_TRUE(response.has_value());
   EXPECT_EQ(response->status, 413);
 
@@ -1118,7 +1234,7 @@ TEST(HttpHardening, ParallelHandlersServeConcurrently) {
   for (int c = 0; c < 8; ++c) {
     clients.emplace_back([&] {
       for (int i = 0; i < 4; ++i) {
-        const auto response = web::http_request("127.0.0.1", port, "GET", "/api/boards");
+        const auto response = web::http_request("127.0.0.1", port, "GET", "/api/v1/boards");
         if (!response || response->status != 200) failures.fetch_add(1);
       }
     });

@@ -44,7 +44,7 @@ TEST(Api, BoardsListsAllPlatforms) {
 TEST(Api, GenerateReturnsArtifactsAndReport) {
   HttpRequest request;
   request.method = "POST";
-  request.path = "/api/generate";
+  request.path = "/api/v1/generate";
   request.body = kDescriptorJson;
   const HttpResponse r = handle_generate(request);
   ASSERT_EQ(r.status, 200) << r.body;
@@ -134,7 +134,7 @@ TEST(HttpServer, EndToEndRoundTrip) {
   EXPECT_EQ(health->status, 200);
 
   const auto generate =
-      http_request("127.0.0.1", port, "POST", "/api/generate", kDescriptorJson);
+      http_request("127.0.0.1", port, "POST", "/api/v1/generate", kDescriptorJson);
   ASSERT_TRUE(generate.has_value());
   EXPECT_EQ(generate->status, 200);
   EXPECT_EQ(json::parse(generate->body).at("name").as_string(), "api_net");
@@ -161,7 +161,7 @@ TEST(HttpServer, NotFoundAndMethodNotAllowed) {
   server.stop();
 }
 
-TEST(HttpServer, VersionedRoutesAndDeprecatedAliases) {
+TEST(HttpServer, VersionedRoutesAndRetiredAliases) {
   HttpServer server;
   install_api(server);
   const int port = server.start(0);
@@ -172,25 +172,25 @@ TEST(HttpServer, VersionedRoutesAndDeprecatedAliases) {
   EXPECT_EQ(v1->status, 200);
   EXPECT_EQ(v1->headers.count("deprecation"), 0u);
 
-  // The pre-versioning path still answers identically, flagged deprecated and
-  // pointing at its successor.
+  // The pre-versioning alias is retired: 410 in the uniform envelope, with a
+  // successor-version Link naming the replacement. The handler never runs.
   const auto legacy = http_request("127.0.0.1", port, "POST", "/api/generate", kDescriptorJson);
   ASSERT_TRUE(legacy.has_value());
-  EXPECT_EQ(legacy->status, 200);
-  ASSERT_EQ(legacy->headers.count("deprecation"), 1u);
-  EXPECT_EQ(legacy->headers.at("deprecation"), "true");
+  EXPECT_EQ(legacy->status, 410);
   ASSERT_EQ(legacy->headers.count("link"), 1u);
   EXPECT_NE(legacy->headers.at("link").find("/api/v1/generate"), std::string::npos);
   EXPECT_NE(legacy->headers.at("link").find("successor-version"), std::string::npos);
-  EXPECT_EQ(json::parse(legacy->body).at("name").as_string(),
-            json::parse(v1->body).at("name").as_string());
+  const auto envelope = json::parse(legacy->body);
+  EXPECT_EQ(envelope.at("error").at("code").as_string(), "gone");
+  EXPECT_NE(envelope.at("error").at("message").as_string().find("/api/v1/generate"),
+            std::string::npos);
 
-  // Errors carry the Deprecation flag on the alias too.
+  // The tombstone answers 410 regardless of payload validity — it is a pure
+  // router response, not the handler behind it.
   const auto bad = http_request("127.0.0.1", port, "POST", "/api/generate", "{ nope");
   ASSERT_TRUE(bad.has_value());
-  EXPECT_EQ(bad->status, 400);
-  EXPECT_EQ(bad->headers.count("deprecation"), 1u);
-  EXPECT_EQ(json::parse(bad->body).at("error").at("code").as_string(), "bad_json");
+  EXPECT_EQ(bad->status, 410);
+  EXPECT_EQ(json::parse(bad->body).at("error").at("code").as_string(), "gone");
 
   // Health is mounted both at the top level and under the version prefix.
   const auto health = http_request("127.0.0.1", port, "GET", "/api/v1/healthz");
@@ -277,7 +277,7 @@ TEST(HttpServer, EmptyBodyPostIsBadRequestNotCrash) {
   HttpServer server;
   install_api(server);
   const int port = server.start(0);
-  const auto r = http_request("127.0.0.1", port, "POST", "/api/generate", "");
+  const auto r = http_request("127.0.0.1", port, "POST", "/api/v1/generate", "");
   ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->status, 400);
   server.stop();
@@ -288,7 +288,7 @@ TEST(HttpServer, ServesSequentialClients) {
   install_api(server);
   const int port = server.start(0);
   for (int i = 0; i < 5; ++i) {
-    const auto r = http_request("127.0.0.1", port, "GET", "/api/boards");
+    const auto r = http_request("127.0.0.1", port, "GET", "/api/v1/boards");
     ASSERT_TRUE(r.has_value()) << "request " << i;
     EXPECT_EQ(r->status, 200);
   }
