@@ -15,6 +15,17 @@
 //                                          descriptor to itself, print the
 //                                          response summary, exit
 //
+// Sharded mode (see DESIGN.md "Sharded serving"): one router process
+// consistent-hashes designs across N forked worker processes and fans
+// /api/v1/deploy|predict out to them over persistent local connections;
+// /api/v1/metrics and /api/v1/readyz aggregate the whole fleet.
+//   --router               run as the fleet front door
+//   --workers N            worker processes to fork (router mode; default 2).
+//                          Without --router, N is the executor thread count
+//                          of the single-process runtime (default 4).
+//   --replication R        distinct workers holding each design (default 2)
+//   --worker-threads N     executor threads per forked worker (default 2)
+//
 // Overload / robustness knobs (see DESIGN.md "Overload and failure behavior"):
 //   --max-queue-depth N    shed predicts with 429 beyond N queued (0 = off)
 //   --max-wait-us N        partial-batch flush deadline
@@ -25,7 +36,10 @@
 //   --breaker-cooldown-ms N  open duration before a half-open probe
 //   --faults SPEC          arm deterministic fault injection, e.g.
 //                          "executor.batch=error:1.0:3" (also honors the
-//                          CNN2FPGA_FAULTS / CNN2FPGA_FAULT_SEED env vars)
+//                          CNN2FPGA_FAULTS / CNN2FPGA_FAULT_SEED env vars).
+//                          In router mode the spec arms the ROUTER's
+//                          injector (site shard.worker simulates a worker
+//                          transport failure); workers still read the env.
 //
 // Heterogeneous backends (see DESIGN.md "Heterogeneous backends and the
 // placer"):
@@ -34,11 +48,15 @@
 //   --placer POLICY        batch placement: "cost" (default; completion-cost
 //                          model, spills overflow to the idle engine), "cpu",
 //                          or "accel"
+#include <unistd.h>
+
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <semaphore>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "cnn2fpga.hpp"
 
@@ -47,52 +65,180 @@ using namespace cnn2fpga;
 namespace {
 std::binary_semaphore g_shutdown{0};
 void handle_signal(int) { g_shutdown.release(); }
+
+bool parse_backends(const std::string& backends, serve::BackendsConfig* config) {
+  if (backends.empty()) return true;
+  config->cpu = false;
+  config->accelerator = false;
+  for (std::size_t start = 0; start < backends.size();) {
+    std::size_t comma = backends.find(',', start);
+    if (comma == std::string::npos) comma = backends.size();
+    const std::string name = backends.substr(start, comma - start);
+    if (name == "cpu") {
+      config->cpu = true;
+    } else if (name == "accel" || name == "accelerator") {
+      config->accelerator = true;
+    } else {
+      std::fprintf(stderr, "--backends rejected: unknown engine '%s' (want cpu, accel)\n",
+                   name.c_str());
+      return false;
+    }
+    start = comma + 1;
+  }
+  return true;
+}
+
+/// Shared flag parsing for the single-process runtime and each forked
+/// worker; only the executor thread count differs between the modes.
+bool build_serving_config(const util::CliArgs& args, std::size_t default_threads,
+                          serve::ServingConfig* config) {
+  config->worker_threads = default_threads;
+  config->batcher.max_batch = static_cast<std::size_t>(args.get_int("max-batch", 8));
+  config->batcher.max_wait_us =
+      static_cast<std::uint64_t>(args.get_int("max-wait-us", 1000));
+  config->batcher.max_queue_depth =
+      static_cast<std::size_t>(args.get_int("max-queue-depth", 0));
+  config->default_deadline_ms =
+      static_cast<std::uint64_t>(args.get_int("deadline-ms", 0));
+  config->breaker.failure_threshold =
+      static_cast<std::size_t>(args.get_int("breaker-failures", 5));
+  config->breaker.cooldown_ms =
+      static_cast<std::uint64_t>(args.get_int("breaker-cooldown-ms", 1000));
+  if (!parse_backends(args.get_string("backends", "cpu,accel"), &config->backends)) {
+    return false;
+  }
+  try {
+    config->backends.placer = serve::parse_placer_policy(args.get_string("placer", "cost"));
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "--placer rejected: %s\n", error.what());
+    return false;
+  }
+  return true;
+}
+
+/// Forked worker body: one full serving runtime on a fixed port, alive until
+/// the router's control pipe reads EOF.
+int run_worker_child(const util::CliArgs& args, int port, int shutdown_fd) {
+  serve::ServingConfig config;
+  if (!build_serving_config(
+          args, static_cast<std::size_t>(args.get_int("worker-threads", 2)), &config)) {
+    return 1;
+  }
+  serve::ServingRuntime runtime(config);
+  web::HttpServer server;
+  serve::install_serve_api(server, runtime);
+  try {
+    server.start(port);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "worker on port %d failed to start: %s\n", port, e.what());
+    return 1;
+  }
+  char byte = 0;
+  while (true) {
+    const ssize_t n = ::read(shutdown_fd, &byte, 1);
+    if (n == 0) break;                        // EOF: parent asked us to stop (or died)
+    if (n < 0 && errno != EINTR) break;
+  }
+  server.stop();
+  return 0;
+}
+
+int run_router(const util::CliArgs& args) {
+  const int worker_count = static_cast<int>(args.get_int("workers", 2));
+  if (worker_count < 1) {
+    std::fprintf(stderr, "--router needs --workers >= 1\n");
+    return 1;
+  }
+
+  // Fork every worker BEFORE any thread exists in this process (a forked
+  // copy of a multithreaded process is unusable — see shard/process.hpp).
+  std::vector<serve::shard::WorkerProcess> workers(static_cast<std::size_t>(worker_count));
+  std::vector<int> ports;
+  for (int i = 0; i < worker_count; ++i) {
+    const int port = serve::shard::reserve_local_port();
+    if (port == 0) {
+      std::fprintf(stderr, "could not reserve a local port for worker %d\n", i);
+      return 1;
+    }
+    ports.push_back(port);
+  }
+  for (int i = 0; i < worker_count; ++i) {
+    const bool spawned = workers[static_cast<std::size_t>(i)].spawn(
+        ports[static_cast<std::size_t>(i)], [&args](int port, int shutdown_fd) {
+          return run_worker_child(args, port, shutdown_fd);
+        });
+    if (!spawned) {
+      std::fprintf(stderr, "fork of worker %d failed\n", i);
+      return 1;
+    }
+  }
+  for (int i = 0; i < worker_count; ++i) {
+    if (!serve::shard::wait_until_ready(ports[static_cast<std::size_t>(i)], 15000)) {
+      std::fprintf(stderr, "worker %d on port %d did not become ready\n", i,
+                   ports[static_cast<std::size_t>(i)]);
+      return 1;
+    }
+  }
+
+  serve::shard::RouterConfig config;
+  config.replication = static_cast<std::size_t>(args.get_int("replication", 2));
+  // Deploys regenerate the design on a cache miss; give them more room than
+  // the predict path's defaults.
+  config.worker.client.read_timeout_ms = 30000;
+  serve::shard::Router router(config);
+  if (const std::string faults = args.get_string("faults", ""); !faults.empty()) {
+    std::string error;
+    if (!router.faults().configure(faults, &error)) {
+      std::fprintf(stderr, "--faults rejected: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("router fault injection armed: %s\n", faults.c_str());
+  }
+  for (int i = 0; i < worker_count; ++i) {
+    router.add_worker(util::format("worker-%d", i), "127.0.0.1",
+                      ports[static_cast<std::size_t>(i)]);
+  }
+
+  web::HttpServer server;
+  web::install_api(server);  // generate/train/boards stay on the front door
+  serve::shard::install_router_api(server, router);
+  const int port = server.start(static_cast<int>(args.get_int("port", 0)));
+  router.start_probing();
+
+  std::printf("cnn2fpga shard router listening on http://127.0.0.1:%d\n", port);
+  std::printf("fleet: %d workers (replication %zu):", worker_count, config.replication);
+  for (int i = 0; i < worker_count; ++i) {
+    std::printf(" worker-%d=127.0.0.1:%d", i, ports[static_cast<std::size_t>(i)]);
+  }
+  std::printf("\n");
+  std::puts("routes: POST /api/v1/deploy, POST /api/v1/predict (consistent-hash fan-out),");
+  std::puts("        GET /api/v1/designs, GET /api/v1/metrics, GET /api/v1/readyz (fleet),");
+  std::puts("        GET /healthz, GET /api/v1/boards, POST /api/v1/generate (local)");
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  std::puts("press Ctrl-C to stop");
+  g_shutdown.acquire();
+  router.stop_probing();
+  server.stop();
+  for (auto& worker : workers) worker.stop();
+  std::puts("\nrouter stopped");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::CliArgs args(argc, argv);
   util::set_log_level(util::LogLevel::kInfo);
 
+  if (args.has("router")) return run_router(args);
+
   web::HttpServer server;
   web::install_api(server);
   serve::ServingConfig serving_config;
-  serving_config.worker_threads = static_cast<std::size_t>(args.get_int("workers", 4));
-  serving_config.batcher.max_batch = static_cast<std::size_t>(args.get_int("max-batch", 8));
-  serving_config.batcher.max_wait_us =
-      static_cast<std::uint64_t>(args.get_int("max-wait-us", 1000));
-  serving_config.batcher.max_queue_depth =
-      static_cast<std::size_t>(args.get_int("max-queue-depth", 0));
-  serving_config.default_deadline_ms =
-      static_cast<std::uint64_t>(args.get_int("deadline-ms", 0));
-  serving_config.breaker.failure_threshold =
-      static_cast<std::size_t>(args.get_int("breaker-failures", 5));
-  serving_config.breaker.cooldown_ms =
-      static_cast<std::uint64_t>(args.get_int("breaker-cooldown-ms", 1000));
-  if (const std::string backends = args.get_string("backends", "cpu,accel");
-      !backends.empty()) {
-    serving_config.backends.cpu = false;
-    serving_config.backends.accelerator = false;
-    for (std::size_t start = 0; start < backends.size();) {
-      std::size_t comma = backends.find(',', start);
-      if (comma == std::string::npos) comma = backends.size();
-      const std::string name = backends.substr(start, comma - start);
-      if (name == "cpu") {
-        serving_config.backends.cpu = true;
-      } else if (name == "accel" || name == "accelerator") {
-        serving_config.backends.accelerator = true;
-      } else {
-        std::fprintf(stderr, "--backends rejected: unknown engine '%s' (want cpu, accel)\n",
-                     name.c_str());
-        return 1;
-      }
-      start = comma + 1;
-    }
-  }
-  try {
-    serving_config.backends.placer =
-        serve::parse_placer_policy(args.get_string("placer", "cost"));
-  } catch (const std::invalid_argument& error) {
-    std::fprintf(stderr, "--placer rejected: %s\n", error.what());
+  if (!build_serving_config(
+          args, static_cast<std::size_t>(args.get_int("workers", 4)), &serving_config)) {
     return 1;
   }
   serve::ServingRuntime runtime(serving_config);

@@ -8,6 +8,11 @@
 //   registry.deploy   error / latency / alloc   before design generation
 //   batcher.enqueue   latency / alloc           in Batcher::predict
 //   executor.batch    error / latency           at batch execution
+//   shard.worker      error                     in the shard router, before a
+//                                               predict is sent to a worker —
+//                                               simulates that worker's
+//                                               transport failing, forcing a
+//                                               failover to its replica
 //
 // Three fault kinds: kError makes the site throw InjectedFault, kLatency adds
 // a fixed delay, kAlloc makes the site throw std::bad_alloc. Decisions are

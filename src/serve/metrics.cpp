@@ -9,11 +9,6 @@ std::size_t bucket_index(std::uint64_t value) {
   const std::size_t width = static_cast<std::size_t>(std::bit_width(value));
   return width < Histogram::kBuckets ? width : Histogram::kBuckets - 1;
 }
-
-/// Largest value the bucket can hold: 2^index - 1 (bucket 0 holds only 0).
-std::uint64_t bucket_upper_bound(std::size_t index) {
-  return index == 0 ? 0 : (std::uint64_t{1} << index) - 1;
-}
 }  // namespace
 
 void Histogram::record(std::uint64_t value) {
@@ -53,11 +48,22 @@ std::uint64_t Histogram::percentile(double p) const {
 json::Value Histogram::to_json() const {
   json::Object out;
   out["count"] = count();
+  out["sum"] = sum();
   out["mean"] = mean();
   out["max"] = max();
   out["p50"] = percentile(0.50);
   out["p95"] = percentile(0.95);
   out["p99"] = percentile(0.99);
+  json::Array buckets;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    json::Array pair;
+    pair.push_back(json::Value(static_cast<std::int64_t>(i)));
+    pair.push_back(json::Value(n));
+    buckets.push_back(json::Value(std::move(pair)));
+  }
+  out["buckets"] = std::move(buckets);
   return json::Value(std::move(out));
 }
 

@@ -57,6 +57,13 @@ class Histogram {
  public:
   static constexpr std::size_t kBuckets = 40;  ///< covers values up to ~2^39
 
+  /// Largest value bucket `index` can hold: 2^index - 1 (bucket 0 holds only
+  /// 0). Public so a fleet aggregator merging scraped bucket arrays computes
+  /// percentiles with exactly the same rounding as a live histogram.
+  static std::uint64_t bucket_upper_bound(std::size_t index) {
+    return index == 0 ? 0 : (std::uint64_t{1} << index) - 1;
+  }
+
   void record(std::uint64_t value);
 
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
@@ -67,7 +74,10 @@ class Histogram {
   /// Value below which fraction `p` (0..1) of the samples fall. 0 if empty.
   std::uint64_t percentile(double p) const;
 
-  /// {"count": n, "mean": m, "max": x, "p50": ..., "p95": ..., "p99": ...}
+  /// {"count", "sum", "mean", "max", "p50", "p95", "p99",
+  ///  "buckets": [[index, count], ...]} — `buckets` is sparse (non-empty
+  /// buckets only) so a router can merge histograms across workers exactly
+  /// instead of approximating from pre-computed percentiles.
   json::Value to_json() const;
 
  private:

@@ -1,0 +1,166 @@
+#include "serve/shard/process.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "web/http_client.hpp"
+
+namespace cnn2fpga::serve::shard {
+
+namespace {
+// Every live control-pipe write end in this process. A fork inherits ALL of
+// them, not just the new child's — and a sibling holding another worker's
+// write end keeps that worker's pipe open forever, so closing the parent's
+// copy would never deliver the EOF shutdown signal. Each fresh child
+// therefore closes every previously registered write end first thing.
+std::mutex g_control_mutex;
+std::vector<int> g_control_fds;
+
+void register_control_fd(int fd) {
+  std::lock_guard<std::mutex> lock(g_control_mutex);
+  g_control_fds.push_back(fd);
+}
+
+void unregister_control_fd(int fd) {
+  std::lock_guard<std::mutex> lock(g_control_mutex);
+  g_control_fds.erase(std::remove(g_control_fds.begin(), g_control_fds.end(), fd),
+                      g_control_fds.end());
+}
+
+void close_inherited_control_fds() {
+  // Post-fork, pre-threads: the registry is a plain copy from the parent.
+  for (const int fd : g_control_fds) ::close(fd);
+  g_control_fds.clear();
+}
+}  // namespace
+
+int reserve_local_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return 0;
+  }
+  socklen_t len = sizeof(addr);
+  int port = 0;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port = static_cast<int>(ntohs(addr.sin_port));
+  }
+  ::close(fd);
+  return port;
+}
+
+WorkerProcess::~WorkerProcess() { stop(); }
+
+WorkerProcess::WorkerProcess(WorkerProcess&& other) noexcept
+    : pid_(other.pid_), control_fd_(other.control_fd_), port_(other.port_) {
+  other.pid_ = -1;
+  other.control_fd_ = -1;
+  other.port_ = 0;
+}
+
+WorkerProcess& WorkerProcess::operator=(WorkerProcess&& other) noexcept {
+  if (this != &other) {
+    stop();
+    pid_ = other.pid_;
+    control_fd_ = other.control_fd_;
+    port_ = other.port_;
+    other.pid_ = -1;
+    other.control_fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+bool WorkerProcess::spawn(int port, const ChildMain& child_main) {
+  if (running()) return false;
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) return false;
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    // Child: keep only the read end; EOF on it (parent closed its write end,
+    // or died) is the shutdown signal. Drop the write ends inherited from
+    // every sibling worker — holding them would block THEIR shutdown EOFs.
+    ::close(pipe_fds[1]);
+    close_inherited_control_fds();
+    int code = 1;
+    try {
+      code = child_main(port, pipe_fds[0]);
+    } catch (...) {
+      code = 1;
+    }
+    ::_exit(code);
+  }
+  ::close(pipe_fds[0]);
+  register_control_fd(pipe_fds[1]);
+  pid_ = pid;
+  control_fd_ = pipe_fds[1];
+  port_ = port;
+  return true;
+}
+
+void WorkerProcess::reap() {
+  if (pid_ <= 0) return;
+  int status = 0;
+  ::waitpid(pid_, &status, 0);
+  pid_ = -1;
+}
+
+void WorkerProcess::stop() {
+  if (control_fd_ >= 0) {
+    unregister_control_fd(control_fd_);
+    ::close(control_fd_);
+    control_fd_ = -1;
+  }
+  reap();
+}
+
+void WorkerProcess::kill_now() {
+  if (pid_ <= 0) return;
+  ::kill(pid_, SIGKILL);
+  if (control_fd_ >= 0) {
+    unregister_control_fd(control_fd_);
+    ::close(control_fd_);
+    control_fd_ = -1;
+  }
+  reap();
+}
+
+bool wait_until_ready(int port, int timeout_ms) {
+  web::ClientConfig config;
+  config.connect_timeout_ms = 250;
+  config.read_timeout_ms = 1000;
+  config.write_timeout_ms = 1000;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    web::HttpClient client("127.0.0.1", port, config);
+    if (client.request("GET", "/api/v1/readyz")) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+}  // namespace cnn2fpga::serve::shard

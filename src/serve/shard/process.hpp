@@ -1,0 +1,76 @@
+// Worker process lifecycle for the shard router (fork + control pipe).
+//
+// A sharded fleet is real processes, not threads: each worker owns its own
+// registry, batcher and executor, so a crash (or a SIGKILL in a failover
+// drill) takes down exactly one shard. The helpers here keep the lifecycle
+// minimal and dependency-free:
+//
+//   * reserve_local_port() picks a free ephemeral port up front so the router
+//     knows every worker's address before any of them is up,
+//   * WorkerProcess forks a child that runs the caller's `child_main` (it
+//     starts the serving runtime, then blocks on the inherited control pipe;
+//     EOF on that pipe is the shutdown signal — robust even when the parent
+//     dies, since the kernel closes the pipe for it),
+//   * wait_until_ready() polls the worker's /api/v1/readyz until it answers.
+//
+// fork(2) must happen before the parent creates threads (a forked copy of a
+// multithreaded process only keeps the calling thread — any mutex another
+// thread held stays locked forever in the child). codegen_server and the
+// bench harness therefore spawn every worker first and only then build their
+// own router/runtime state. Tests that run under ThreadSanitizer use
+// in-process workers instead (TSan does not support fork+threads).
+#pragma once
+
+#include <sys/types.h>
+
+#include <functional>
+#include <string>
+
+namespace cnn2fpga::serve::shard {
+
+/// Reserve a free 127.0.0.1 port: bind ephemeral, read it back, close. The
+/// tiny window before the worker rebinds it is acceptable for local fleets.
+int reserve_local_port();
+
+class WorkerProcess {
+ public:
+  /// Runs in the forked child. Must start serving on `port`, block until
+  /// `shutdown_fd` reads EOF, shut down cleanly and return. The child
+  /// _exit()s with the returned code (destructors of the parent's globals are
+  /// deliberately not run twice).
+  using ChildMain = std::function<int(int port, int shutdown_fd)>;
+
+  WorkerProcess() = default;
+  ~WorkerProcess();
+  WorkerProcess(const WorkerProcess&) = delete;
+  WorkerProcess& operator=(const WorkerProcess&) = delete;
+  WorkerProcess(WorkerProcess&& other) noexcept;
+  WorkerProcess& operator=(WorkerProcess&& other) noexcept;
+
+  /// Fork and run `child_main` in the child. Returns false if fork failed.
+  bool spawn(int port, const ChildMain& child_main);
+
+  /// Graceful stop: close the control pipe (child sees EOF), wait for exit.
+  void stop();
+
+  /// SIGKILL the child (failover drills: death without any goodbye).
+  void kill_now();
+
+  bool running() const { return pid_ > 0; }
+  pid_t pid() const { return pid_; }
+  int port() const { return port_; }
+
+ private:
+  void reap();
+
+  pid_t pid_ = -1;
+  int control_fd_ = -1;  ///< write end; closing it is the shutdown signal
+  int port_ = 0;
+};
+
+/// Poll GET /api/v1/readyz on 127.0.0.1:`port` until any HTTP response
+/// arrives (readyz may legitimately answer 503 while empty — answering at all
+/// proves the server is up) or `timeout_ms` elapses.
+bool wait_until_ready(int port, int timeout_ms);
+
+}  // namespace cnn2fpga::serve::shard

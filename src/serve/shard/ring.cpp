@@ -1,0 +1,87 @@
+#include "serve/shard/ring.hpp"
+
+#include "util/hash.hpp"
+#include "util/strings.hpp"
+
+namespace cnn2fpga::serve::shard {
+
+namespace {
+/// splitmix64 finalizer. Raw FNV-1a digests of near-identical strings
+/// ("worker-0#17" vs "worker-0#18") land too close together on the ring,
+/// which skews per-worker shares badly at practical vnode counts; the mix
+/// spreads them over the full 64-bit circle.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t hash_key(const std::string& key) {
+  util::Fnv1a hash;
+  hash.update(key);
+  return mix(hash.digest());
+}
+}  // namespace
+
+std::uint64_t HashRing::point(const std::string& worker, std::size_t vnode) const {
+  // "worker-id#vnode" — the separator keeps ("a", 11) and ("a1", 1) apart.
+  util::Fnv1a hash;
+  hash.update(worker);
+  hash.update(util::format("#%zu", vnode));
+  return mix(hash.digest());
+}
+
+void HashRing::add(const std::string& worker) {
+  if (workers_.count(worker) != 0) return;
+  workers_.insert(worker);
+  for (std::size_t v = 0; v < vnodes_; ++v) {
+    // On the astronomically unlikely vnode hash collision the earlier owner
+    // keeps the point; the ring stays consistent, just one vnode lighter.
+    points_.emplace(point(worker, v), worker);
+  }
+}
+
+void HashRing::remove(const std::string& worker) {
+  if (workers_.erase(worker) == 0) return;
+  for (auto it = points_.begin(); it != points_.end();) {
+    if (it->second == worker) {
+      it = points_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::string HashRing::primary(const std::string& key) const {
+  if (points_.empty()) return {};
+  auto it = points_.lower_bound(hash_key(key));
+  if (it == points_.end()) it = points_.begin();  // wrap around
+  return it->second;
+}
+
+std::vector<std::string> HashRing::replicas(const std::string& key, std::size_t n) const {
+  std::vector<std::string> out;
+  if (points_.empty() || n == 0) return out;
+  if (n > workers_.size()) n = workers_.size();
+  auto it = points_.lower_bound(hash_key(key));
+  // Walk clockwise collecting distinct workers; at most one full lap.
+  for (std::size_t steps = 0; steps < points_.size() && out.size() < n; ++steps) {
+    if (it == points_.end()) it = points_.begin();
+    const std::string& worker = it->second;
+    bool seen = false;
+    for (const auto& w : out) {
+      if (w == worker) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(worker);
+    ++it;
+  }
+  return out;
+}
+
+}  // namespace cnn2fpga::serve::shard

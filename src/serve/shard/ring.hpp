@@ -1,0 +1,59 @@
+// Consistent-hash ring over worker ids.
+//
+// The router shards deployed designs across worker processes by hashing the
+// registry's content-addressed design key (framework cache key + precision
+// suffix) onto a ring of virtual nodes. Consistent hashing is what makes the
+// fleet elastic: when a worker dies or joins, only the keys whose nearest
+// vnode belonged to (or now belongs to) that worker move — on average K/N of
+// K keys for an N-worker ring — instead of the full reshuffle a modulo hash
+// would force. Virtual nodes (default 64 per worker) smooth the per-worker
+// share of the key space; FNV-1a is the same hash the rest of the codebase
+// uses (util/hash.hpp), so placement is deterministic across processes and
+// runs.
+//
+// The ring is a passive data structure: not internally thread-safe. The
+// router guards it with its own mutex alongside the catalog it must stay
+// consistent with.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cnn2fpga::serve::shard {
+
+class HashRing {
+ public:
+  explicit HashRing(std::size_t vnodes = 64) : vnodes_(vnodes) {}
+
+  /// Add a worker's vnodes. No-op if already present.
+  void add(const std::string& worker);
+
+  /// Remove a worker's vnodes. No-op if absent.
+  void remove(const std::string& worker);
+
+  bool contains(const std::string& worker) const { return workers_.count(worker) != 0; }
+  std::size_t size() const { return workers_.size(); }
+  bool empty() const { return workers_.empty(); }
+  const std::set<std::string>& workers() const { return workers_; }
+
+  /// Worker owning `key`: the first vnode at or clockwise after hash(key).
+  /// Empty string when the ring is empty.
+  std::string primary(const std::string& key) const;
+
+  /// Up to `n` distinct workers for `key`, starting at the primary and
+  /// walking clockwise (the primary is replicas(key, n)[0]). Fewer than `n`
+  /// when the ring has fewer workers.
+  std::vector<std::string> replicas(const std::string& key, std::size_t n) const;
+
+ private:
+  std::uint64_t point(const std::string& worker, std::size_t vnode) const;
+
+  std::size_t vnodes_;
+  std::map<std::uint64_t, std::string> points_;  ///< vnode hash -> worker id
+  std::set<std::string> workers_;
+};
+
+}  // namespace cnn2fpga::serve::shard

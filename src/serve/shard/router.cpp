@@ -1,0 +1,775 @@
+#include "serve/shard/router.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/descriptor.hpp"
+#include "core/framework.hpp"
+#include "nn/quantize.hpp"
+#include "nn/serialize.hpp"
+#include "serve/metrics.hpp"
+#include "util/base64.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "web/envelope.hpp"
+
+namespace cnn2fpga::serve::shard {
+
+using cnn2fpga::util::format;
+using web::api_error;
+
+namespace {
+constexpr const char* kDeployPath = "/api/v1/deploy";
+constexpr const char* kPredictPath = "/api/v1/predict";
+constexpr const char* kDesignsPath = "/api/v1/designs";
+constexpr const char* kMetricsPath = "/api/v1/metrics";
+constexpr const char* kReadyzPath = "/api/v1/readyz";
+
+std::uint64_t u64_field(const json::Value& doc, const std::string& key) {
+  try {
+    return static_cast<std::uint64_t>(doc.get_int(key, 0));
+  } catch (const json::JsonError&) {
+    return 0;
+  }
+}
+
+double num_field(const json::Object& object, const std::string& key) {
+  const auto it = object.find(key);
+  if (it == object.end() || !it->second.is_number()) return 0.0;
+  return it->second.as_double();
+}
+
+/// A node produced by Histogram::to_json: mergeable by raw bucket counts.
+bool is_histogram_node(const json::Value& value) {
+  return value.is_object() && value.find("buckets") != nullptr &&
+         value.find("count") != nullptr && value.find("sum") != nullptr;
+}
+
+/// Accumulates Histogram::to_json nodes from several workers and re-emits the
+/// same shape. Because workers export raw log2 buckets, the merged count,
+/// sum, max and percentiles are exactly what one fleet-wide histogram would
+/// have recorded — not an approximation from per-worker percentiles.
+struct HistogramAccumulator {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  std::map<long, std::uint64_t> buckets;
+
+  void absorb(const json::Value& node) {
+    count += u64_field(node, "count");
+    sum += u64_field(node, "sum");
+    max = std::max(max, u64_field(node, "max"));
+    const json::Value* array = node.find("buckets");
+    if (array == nullptr || !array->is_array()) return;
+    for (const json::Value& pair : array->as_array()) {
+      if (!pair.is_array() || pair.as_array().size() != 2) continue;
+      try {
+        buckets[pair.as_array()[0].as_int()] +=
+            static_cast<std::uint64_t>(pair.as_array()[1].as_int());
+      } catch (const json::JsonError&) {
+      }
+    }
+  }
+
+  std::uint64_t percentile(double p) const {
+    if (count == 0) return 0;
+    const double target = p * static_cast<double>(count);
+    std::uint64_t cumulative = 0;
+    for (const auto& [index, n] : buckets) {
+      cumulative += n;
+      if (static_cast<double>(cumulative) >= target) {
+        const std::uint64_t bound =
+            Histogram::bucket_upper_bound(static_cast<std::size_t>(index));
+        return bound < max ? bound : max;
+      }
+    }
+    return max;
+  }
+
+  json::Value to_json() const {
+    json::Object out;
+    out["count"] = count;
+    out["sum"] = sum;
+    out["mean"] = count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+    out["max"] = max;
+    out["p50"] = percentile(0.50);
+    out["p95"] = percentile(0.95);
+    out["p99"] = percentile(0.99);
+    json::Array array;
+    for (const auto& [index, n] : buckets) {
+      json::Array pair;
+      pair.push_back(json::Value(static_cast<long>(index)));
+      pair.push_back(json::Value(n));
+      array.push_back(json::Value(std::move(pair)));
+    }
+    out["buckets"] = std::move(array);
+    return json::Value(std::move(out));
+  }
+};
+
+void merge_object(json::Object& into, const json::Object& from);
+
+/// Generic fleet merge: histograms merge by buckets, numbers sum, objects
+/// recurse, everything else (strings, bools, arrays, type mismatches) keeps
+/// the first worker's value. Ratio fields summed here are recomputed from the
+/// merged totals afterwards (fix_fleet_rates).
+void merge_value(json::Value& into, const json::Value& from) {
+  if (is_histogram_node(into) && is_histogram_node(from)) {
+    HistogramAccumulator acc;
+    acc.absorb(into);
+    acc.absorb(from);
+    into = acc.to_json();
+    return;
+  }
+  if (into.is_object() && from.is_object()) {
+    merge_object(into.as_object(), from.as_object());
+    return;
+  }
+  if (into.is_number() && from.is_number()) {
+    into = json::Value(into.as_double() + from.as_double());
+    return;
+  }
+}
+
+void merge_object(json::Object& into, const json::Object& from) {
+  for (const auto& [key, value] : from) {
+    const auto it = into.find(key);
+    if (it == into.end()) {
+      into[key] = value;
+    } else {
+      merge_value(it->second, value);
+    }
+  }
+}
+
+/// Summing rates across workers is meaningless; recompute the fleet ratios
+/// from the merged counters they derive from.
+void fix_fleet_rates(json::Object& fleet) {
+  if (const auto it = fleet.find("deploy"); it != fleet.end() && it->second.is_object()) {
+    json::Object& deploy = it->second.as_object();
+    const double total = num_field(deploy, "total");
+    deploy["cache_hit_rate"] = total > 0 ? num_field(deploy, "cache_hits") / total : 0.0;
+  }
+  if (const auto it = fleet.find("backends"); it != fleet.end() && it->second.is_object()) {
+    json::Object& backends = it->second.as_object();
+    double dispatched = 0;
+    for (const auto& [name, value] : backends) {
+      if (value.is_object()) dispatched += num_field(value.as_object(), "dispatched");
+    }
+    backends["spill_rate"] =
+        dispatched > 0 ? num_field(backends, "spilled") / dispatched : 0.0;
+  }
+}
+
+}  // namespace
+
+std::optional<std::string> compute_design_key(const std::string& body,
+                                              web::HttpResponse* error) {
+  json::Value doc;
+  try {
+    doc = json::parse(body);
+  } catch (const json::JsonError& e) {
+    if (error) *error = api_error(400, "bad_json", "request body is not valid JSON", e.what());
+    return std::nullopt;
+  }
+
+  // Mirror ServingRuntime::handle_deploy exactly: consume a serve-level
+  // string "precision", feed the descriptor parser the spelling it knows.
+  nn::ServePrecision precision = nn::ServePrecision::kFloat32;
+  if (const json::Value* requested = doc.find("precision");
+      requested != nullptr && requested->is_string()) {
+    if (!nn::parse_serve_precision(requested->as_string(), precision)) {
+      if (error) {
+        *error = api_error(400, "bad_request",
+                           "deploy: precision must be one of float32, int16, int8");
+      }
+      return std::nullopt;
+    }
+    doc.as_object()["precision"] = "float32";
+  }
+
+  core::NetworkDescriptor descriptor;
+  try {
+    descriptor = core::NetworkDescriptor::from_json(doc);
+  } catch (const core::DescriptorError& e) {
+    if (error) *error = api_error(400, "bad_descriptor", e.what());
+    return std::nullopt;
+  }
+
+  try {
+    std::vector<std::uint8_t> weights;
+    if (const json::Value* encoded = doc.find("weights_base64"); encoded != nullptr) {
+      const auto bytes = util::base64_decode(encoded->as_string());
+      if (!bytes) {
+        if (error) *error = api_error(400, "bad_request", "weights_base64 is not valid base64");
+        return std::nullopt;
+      }
+      weights = *bytes;
+    } else {
+      // deploy_random's expansion: the key must match what the worker's
+      // registry computes from the same (descriptor, seed).
+      const std::uint64_t seed = static_cast<std::uint64_t>(doc.get_int("seed", 1));
+      nn::Network net = descriptor.build_network();
+      util::Rng rng(seed);
+      net.init_weights(rng);
+      weights = nn::serialize_weights(net);
+    }
+    std::string key = core::Framework::cache_key(descriptor, weights);
+    if (precision != nn::ServePrecision::kFloat32) {
+      key += "-";
+      key += nn::serve_precision_name(precision);
+    }
+    return key;
+  } catch (const json::JsonError& e) {
+    if (error) *error = api_error(400, "bad_request", e.what());
+    return std::nullopt;
+  } catch (const std::exception& e) {
+    if (error) *error = api_error(400, "bad_request", e.what());
+    return std::nullopt;
+  }
+}
+
+Router::Router(RouterConfig config)
+    : config_([&config] {
+        if (config.replication == 0) config.replication = 1;
+        return config;
+      }()),
+      ring_(config_.vnodes) {
+  faults_.configure_from_env();
+}
+
+Router::~Router() { stop_probing(); }
+
+void Router::add_worker(const std::string& id, const std::string& host, int port) {
+  std::vector<Repair> repairs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (workers_.find(id) == workers_.end()) {
+      workers_.emplace(id, std::make_unique<WorkerClient>(id, host, port, config_.worker));
+    }
+    repairs = restore_worker_locked(id);
+  }
+  execute_repairs(std::move(repairs));
+}
+
+std::vector<std::string> Router::worker_ids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(workers_.size());
+  for (const auto& [id, client] : workers_) out.push_back(id);
+  return out;
+}
+
+WorkerClient* Router::worker(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = workers_.find(id);
+  return it == workers_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Router::ring_workers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.workers().begin(), ring_.workers().end()};
+}
+
+std::vector<std::string> Router::holders(const std::string& design_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = catalog_.find(design_id);
+  if (it == catalog_.end()) return {};
+  return {it->second.holders.begin(), it->second.holders.end()};
+}
+
+std::vector<Router::Repair> Router::drop_worker_locked(const std::string& id) {
+  std::vector<Repair> repairs;
+  if (!ring_.contains(id)) return repairs;
+  ring_.remove(id);
+  if (const auto it = workers_.find(id); it != workers_.end()) {
+    it->second->drop_connections();
+  }
+  LOG_INFO("shard") << format("worker %s left the ring (%zu remain)", id.c_str(),
+                              ring_.size());
+  for (auto& [key, entry] : catalog_) {
+    if (entry.holders.erase(id) == 0) continue;
+    // This design lost a replica; bring it back to full replication on the
+    // workers the shrunken ring now names, minus those already holding it.
+    Repair repair{key, entry.deploy_body, {}};
+    for (const std::string& target : ring_.replicas(key, config_.replication)) {
+      if (entry.holders.count(target) == 0) repair.targets.push_back(target);
+    }
+    if (!repair.targets.empty()) repairs.push_back(std::move(repair));
+  }
+  return repairs;
+}
+
+std::vector<Router::Repair> Router::restore_worker_locked(const std::string& id) {
+  std::vector<Repair> repairs;
+  if (ring_.contains(id)) return repairs;
+  ring_.add(id);
+  LOG_INFO("shard") << format("worker %s joined the ring (%zu total)", id.c_str(),
+                              ring_.size());
+  // The newcomer receives exactly the designs it is now a replica for — the
+  // minimal-churn property: everything else stays where it is.
+  for (auto& [key, entry] : catalog_) {
+    const auto replicas = ring_.replicas(key, config_.replication);
+    if (std::find(replicas.begin(), replicas.end(), id) == replicas.end()) continue;
+    if (entry.holders.count(id) != 0) continue;
+    repairs.push_back(Repair{key, entry.deploy_body, {id}});
+  }
+  return repairs;
+}
+
+void Router::execute_repairs(std::vector<Repair> repairs) {
+  for (const Repair& repair : repairs) {
+    for (const std::string& target : repair.targets) {
+      WorkerClient* client = worker(target);
+      if (client == nullptr) continue;
+      const auto response = client->request("POST", kDeployPath, repair.deploy_body);
+      if (response && response->status == 200) {
+        repairs_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (const auto it = catalog_.find(repair.design_id); it != catalog_.end()) {
+          it->second.holders.insert(target);
+        }
+      } else {
+        LOG_WARN("shard") << format("replication repair of %s to %s failed",
+                                    repair.design_id.c_str(), target.c_str());
+      }
+    }
+  }
+}
+
+void Router::probe_now() {
+  std::vector<std::pair<std::string, WorkerClient*>> fleet;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, client] : workers_) fleet.emplace_back(id, client.get());
+  }
+  std::vector<Repair> repairs;
+  for (const auto& [id, client] : fleet) {
+    const WorkerState state = client->probe();
+    const bool usable = state == WorkerState::kUp || state == WorkerState::kSaturated;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (ring_.contains(id) && !usable) {
+      auto planned = drop_worker_locked(id);
+      repairs.insert(repairs.end(), std::make_move_iterator(planned.begin()),
+                     std::make_move_iterator(planned.end()));
+    } else if (!ring_.contains(id) && usable) {
+      auto planned = restore_worker_locked(id);
+      repairs.insert(repairs.end(), std::make_move_iterator(planned.begin()),
+                     std::make_move_iterator(planned.end()));
+    }
+  }
+  execute_repairs(std::move(repairs));
+}
+
+void Router::probe_loop() {
+  while (probing_.load()) {
+    probe_now();
+    std::unique_lock<std::mutex> lock(probe_mutex_);
+    probe_cv_.wait_for(lock, std::chrono::milliseconds(config_.probe_interval_ms),
+                       [this] { return !probing_.load(); });
+  }
+}
+
+void Router::start_probing() {
+  if (config_.probe_interval_ms <= 0) return;
+  if (probing_.exchange(true)) return;
+  prober_ = std::thread([this] { probe_loop(); });
+}
+
+void Router::stop_probing() {
+  if (!probing_.exchange(false)) return;
+  {
+    std::lock_guard<std::mutex> lock(probe_mutex_);
+  }
+  probe_cv_.notify_all();
+  if (prober_.joinable()) prober_.join();
+}
+
+std::vector<std::string> Router::candidates_locked(const std::string& key) const {
+  const auto replicas = ring_.replicas(key, config_.replication);
+  std::vector<std::string> usable, draining, down;
+  for (const std::string& id : replicas) {
+    const auto it = workers_.find(id);
+    const WorkerState state =
+        it == workers_.end() ? WorkerState::kDown : it->second->state();
+    switch (state) {
+      case WorkerState::kUp:
+      case WorkerState::kSaturated: usable.push_back(id); break;
+      case WorkerState::kDraining: draining.push_back(id); break;
+      case WorkerState::kDown: down.push_back(id); break;
+    }
+  }
+  std::vector<std::string> out = std::move(usable);
+  out.insert(out.end(), draining.begin(), draining.end());
+  // A holder the ring no longer names (e.g. its worker just rejoined, or the
+  // ring shrank) can still answer — better than failing the request.
+  if (const auto it = catalog_.find(key); it != catalog_.end()) {
+    for (const std::string& id : it->second.holders) {
+      if (std::find(out.begin(), out.end(), id) == out.end() &&
+          std::find(down.begin(), down.end(), id) == down.end()) {
+        out.push_back(id);
+      }
+    }
+  }
+  // Workers believed down go last: the request may be what proves recovery.
+  out.insert(out.end(), down.begin(), down.end());
+  return out;
+}
+
+web::HttpResponse Router::handle_deploy(const web::HttpRequest& request) {
+  web::HttpResponse key_error;
+  const auto key = compute_design_key(request.body, &key_error);
+  if (!key) return key_error;
+
+  std::vector<std::string> targets;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    targets = ring_.replicas(*key, config_.replication);
+  }
+  if (targets.empty()) {
+    return api_error(503, "no_workers", "shard router has no workers on the ring");
+  }
+
+  std::optional<web::HttpResponse> success;
+  std::optional<web::HttpResponse> failure;
+  std::vector<std::string> holders;
+  for (const std::string& id : targets) {
+    WorkerClient* client = worker(id);
+    if (client == nullptr) continue;
+    const auto response = client->request("POST", kDeployPath, request.body);
+    if (!response) continue;
+    if (response->status == 200) {
+      holders.push_back(id);
+      if (!success) {
+        // Sanity-check the router's local key computation against the
+        // worker's registry; a mismatch means routing and placement diverge.
+        try {
+          const json::Value doc = json::parse(response->body);
+          if (const json::Value* id_field = doc.find("design_id");
+              id_field != nullptr && id_field->is_string() &&
+              id_field->as_string() != *key) {
+            key_mismatches_.fetch_add(1, std::memory_order_relaxed);
+            LOG_WARN("shard") << format("design key mismatch: router=%s worker=%s",
+                                        key->c_str(), id_field->as_string().c_str());
+          }
+        } catch (const json::JsonError&) {
+        }
+        success = response;
+      }
+    } else if (!failure) {
+      failure = response;
+    }
+  }
+
+  if (holders.empty()) {
+    if (failure) return *failure;  // the worker's own 4xx/5xx, verbatim
+    return api_error(503, "no_workers", "no worker accepted the deploy");
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CatalogEntry& entry = catalog_[*key];
+    entry.deploy_body = request.body;
+    for (const std::string& id : holders) entry.holders.insert(id);
+  }
+
+  web::HttpResponse response = *success;
+  response.headers["X-Shard-Workers"] = util::join(holders, ",");
+  response.headers["X-Shard-Replication"] = std::to_string(holders.size());
+  return response;
+}
+
+web::HttpResponse Router::handle_predict(const web::HttpRequest& request) {
+  std::string design_id;
+  try {
+    const json::Value doc = json::parse(request.body);
+    const json::Value* id = doc.find("design_id");
+    if (id == nullptr || !id->is_string()) {
+      return api_error(400, "bad_request", "predict: design_id is required (deploy first)");
+    }
+    design_id = id->as_string();
+  } catch (const json::JsonError& e) {
+    return api_error(400, "bad_json", "request body is not valid JSON", e.what());
+  }
+
+  std::vector<std::string> candidates;
+  std::string catalog_body;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    candidates = candidates_locked(design_id);
+    if (const auto it = catalog_.find(design_id); it != catalog_.end()) {
+      catalog_body = it->second.deploy_body;
+    }
+  }
+  if (candidates.empty()) {
+    return api_error(503, "no_workers", "shard router has no workers on the ring");
+  }
+
+  std::map<std::string, std::string> forward;
+  if (const auto deadline = request.headers.find("x-deadline-ms");
+      deadline != request.headers.end()) {
+    forward["X-Deadline-Ms"] = deadline->second;
+  }
+
+  std::optional<web::HttpResponse> last_error;
+  std::vector<Repair> pending_repairs;
+  int attempts = 0;
+  std::optional<web::HttpResponse> final;
+  std::string served_by;
+
+  for (const std::string& id : candidates) {
+    WorkerClient* client = worker(id);
+    if (client == nullptr) continue;
+    ++attempts;
+    if (attempts > 1) failovers_.fetch_add(1, std::memory_order_relaxed);
+
+    if (faults_.enabled() && faults_.should_fail("shard.worker")) {
+      // Simulated transport failure on this worker: fail over like a real one
+      // (without poisoning the worker's actual health state).
+      injected_failures_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+
+    auto response = client->request("POST", kPredictPath, request.body, forward);
+    if (!response) {
+      // Real transport failure. If this pushed the worker over its failure
+      // threshold, take it off the ring now and plan re-replication — the
+      // remap happens on the request that discovered the death, not a probe
+      // cycle later.
+      if (!client->usable()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto planned = drop_worker_locked(id);
+        pending_repairs.insert(pending_repairs.end(),
+                               std::make_move_iterator(planned.begin()),
+                               std::make_move_iterator(planned.end()));
+      }
+      continue;
+    }
+
+    if (response->status == 404 && !catalog_body.empty()) {
+      // The ring says this worker owns the design but its registry lost it
+      // (restart, LRU eviction). Replay the catalogued deploy and retry once.
+      const auto deployed = client->request("POST", kDeployPath, catalog_body);
+      if (deployed && deployed->status == 200) {
+        repairs_.fetch_add(1, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          if (const auto it = catalog_.find(design_id); it != catalog_.end()) {
+            it->second.holders.insert(id);
+          }
+        }
+        response = client->request("POST", kPredictPath, request.body, forward);
+        if (!response) continue;
+      }
+    }
+
+    const int status = response->status;
+    if (status == 429 || status == 500 || status == 503) {
+      // This worker cannot take the request right now; a replica might.
+      last_error = std::move(response);
+      continue;
+    }
+    final = std::move(response);
+    served_by = id;
+    break;
+  }
+
+  execute_repairs(std::move(pending_repairs));
+
+  if (!final) {
+    if (last_error) {
+      last_error->headers["X-Shard-Attempts"] = std::to_string(attempts);
+      return *last_error;
+    }
+    return api_error(503, "no_workers",
+                     format("no worker could serve design %s", design_id.c_str()));
+  }
+  // Body passes through byte-for-byte: routing must never change a
+  // prediction. Attribution rides in headers only.
+  final->headers["X-Shard-Worker"] = served_by;
+  final->headers["X-Shard-Attempts"] = std::to_string(attempts);
+  return *final;
+}
+
+web::HttpResponse Router::handle_designs(const web::HttpRequest&) {
+  std::vector<std::pair<std::string, WorkerClient*>> fleet;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, client] : workers_) fleet.emplace_back(id, client.get());
+  }
+
+  // Dedup by design_id across workers; each summary gains the holder list.
+  std::vector<std::string> order;
+  std::map<std::string, json::Value> designs;
+  std::map<std::string, json::Array> held_by;
+  json::Object per_worker;
+  for (const auto& [id, client] : fleet) {
+    const auto response = client->request("GET", kDesignsPath);
+    if (!response || response->status != 200) continue;
+    try {
+      const json::Value doc = json::parse(response->body);
+      per_worker[id] = json::Value(static_cast<std::size_t>(doc.get_int("resident", 0)));
+      const json::Value* array = doc.find("designs");
+      if (array == nullptr || !array->is_array()) continue;
+      for (const json::Value& design : array->as_array()) {
+        const json::Value* design_id = design.find("design_id");
+        if (design_id == nullptr || !design_id->is_string()) continue;
+        const std::string& key = design_id->as_string();
+        if (designs.find(key) == designs.end()) {
+          designs[key] = design;
+          order.push_back(key);
+        }
+        held_by[key].push_back(id);
+      }
+    } catch (const json::JsonError&) {
+    }
+  }
+
+  json::Array merged;
+  for (const std::string& key : order) {
+    json::Value design = designs[key];
+    design.as_object()["workers"] = std::move(held_by[key]);
+    merged.push_back(std::move(design));
+  }
+  json::Object body;
+  body["designs"] = std::move(merged);
+  body["resident"] = order.size();
+  body["workers"] = std::move(per_worker);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    body["catalog"] = catalog_.size();
+    body["replication"] = config_.replication;
+  }
+  return web::api_ok(std::move(body));
+}
+
+web::HttpResponse Router::handle_metrics(const web::HttpRequest&) {
+  std::vector<std::pair<std::string, WorkerClient*>> fleet;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, client] : workers_) fleet.emplace_back(id, client.get());
+  }
+
+  json::Object workers_block;
+  std::optional<json::Value> merged;
+  for (const auto& [id, client] : fleet) {
+    const auto response = client->request("GET", kMetricsPath);
+    if (!response || response->status != 200) continue;
+    try {
+      json::Value doc = json::parse(response->body);
+      if (!merged) {
+        merged = doc;
+      } else {
+        merge_value(*merged, doc);
+      }
+      workers_block[id] = std::move(doc);
+    } catch (const json::JsonError&) {
+    }
+  }
+
+  json::Object body;
+  if (merged && merged->is_object()) {
+    fix_fleet_rates(merged->as_object());
+    body["fleet"] = std::move(*merged);
+  } else {
+    body["fleet"] = json::Object{};
+  }
+  body["workers"] = std::move(workers_block);
+
+  json::Object router;
+  router["failovers"] = failovers();
+  router["repairs"] = repairs();
+  router["key_mismatches"] = key_mismatches();
+  router["injected_failures"] = injected_failures();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    router["catalog"] = catalog_.size();
+    router["replication"] = config_.replication;
+    json::Array on_ring;
+    for (const std::string& id : ring_.workers()) on_ring.push_back(id);
+    router["ring"] = std::move(on_ring);
+  }
+  if (faults_.enabled()) router["faults"] = faults_.to_json();
+  body["router"] = std::move(router);
+  return {200, "application/json", json::Value(std::move(body)).dump(), {}};
+}
+
+web::HttpResponse Router::handle_readyz(const web::HttpRequest&) {
+  std::vector<std::pair<std::string, WorkerClient*>> fleet;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, client] : workers_) fleet.emplace_back(id, client.get());
+  }
+
+  json::Object workers_block;
+  std::size_t answering = 0;
+  std::size_t degraded = 0;
+  for (const auto& [id, client] : fleet) {
+    json::Object one;
+    const auto response = client->request("GET", kReadyzPath);
+    if (response) {
+      ++answering;
+      try {
+        one["readyz"] = json::parse(response->body);
+      } catch (const json::JsonError&) {
+        one["readyz"] = json::Value(nullptr);
+      }
+    } else {
+      one["readyz"] = json::Value(nullptr);
+    }
+    const WorkerState state = client->state();
+    if (state != WorkerState::kUp) ++degraded;
+    one["state"] = std::string(worker_state_name(state));
+    one["consecutive_failures"] = client->consecutive_failures();
+    one["requests"] = client->requests();
+    one["transport_failures"] = client->transport_failures();
+    workers_block[id] = std::move(one);
+  }
+
+  json::Object body;
+  body["workers"] = std::move(workers_block);
+  std::size_t under_replicated = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    json::Object ring;
+    json::Array on_ring;
+    for (const std::string& id : ring_.workers()) on_ring.push_back(id);
+    ring["workers"] = std::move(on_ring);
+    ring["replication"] = config_.replication;
+    ring["vnodes"] = config_.vnodes;
+    body["ring"] = std::move(ring);
+
+    const std::size_t expected = std::min(config_.replication, std::max<std::size_t>(
+                                                                   ring_.size(), 1));
+    for (const auto& [key, entry] : catalog_) {
+      if (entry.holders.size() < expected) ++under_replicated;
+    }
+    json::Object designs;
+    designs["total"] = catalog_.size();
+    designs["under_replicated"] = under_replicated;
+    body["designs"] = std::move(designs);
+  }
+
+  const char* status = answering == 0 ? "unavailable"
+                       : (degraded != 0 || under_replicated != 0) ? "degraded"
+                                                                  : "ready";
+  body["status"] = std::string(status);
+  const int http_status = answering == 0 ? 503 : 200;
+  return {http_status, "application/json", json::Value(std::move(body)).dump(), {}};
+}
+
+void install_router_api(web::HttpServer& server, Router& router) {
+  web::route_api(server, "POST", "deploy",
+                 [&router](const web::HttpRequest& r) { return router.handle_deploy(r); });
+  web::route_api(server, "POST", "predict",
+                 [&router](const web::HttpRequest& r) { return router.handle_predict(r); });
+  web::route_api(server, "GET", "designs",
+                 [&router](const web::HttpRequest& r) { return router.handle_designs(r); });
+  web::route_api(server, "GET", "metrics",
+                 [&router](const web::HttpRequest& r) { return router.handle_metrics(r); });
+  web::route_api(server, "GET", "readyz",
+                 [&router](const web::HttpRequest& r) { return router.handle_readyz(r); });
+}
+
+}  // namespace cnn2fpga::serve::shard

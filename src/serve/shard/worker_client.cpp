@@ -1,0 +1,125 @@
+#include "serve/shard/worker_client.hpp"
+
+#include "json/json.hpp"
+
+namespace cnn2fpga::serve::shard {
+
+const char* worker_state_name(WorkerState state) {
+  switch (state) {
+    case WorkerState::kUp: return "up";
+    case WorkerState::kSaturated: return "saturated";
+    case WorkerState::kDraining: return "draining";
+    case WorkerState::kDown: return "down";
+  }
+  return "unknown";
+}
+
+WorkerClient::WorkerClient(std::string id, std::string host, int port,
+                           WorkerClientConfig config)
+    : id_(std::move(id)), host_(std::move(host)), port_(port), config_([&config] {
+        config.client.keep_alive = true;  // the pool exists to persist connections
+        return config;
+      }()) {}
+
+std::unique_ptr<web::HttpClient> WorkerClient::acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!pool_.empty()) {
+      auto client = std::move(pool_.back());
+      pool_.pop_back();
+      return client;
+    }
+  }
+  return std::make_unique<web::HttpClient>(host_, port_, config_.client);
+}
+
+void WorkerClient::release(std::unique_ptr<web::HttpClient> client) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pool_.size() < config_.max_pool) pool_.push_back(std::move(client));
+}
+
+void WorkerClient::record_success(WorkerState observed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  failures_ = 0;
+  state_ = observed;
+}
+
+void WorkerClient::record_failure() {
+  transport_failures_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++failures_;
+  if (failures_ >= config_.down_after_failures) state_ = WorkerState::kDown;
+}
+
+std::optional<web::HttpResponse> WorkerClient::request(
+    const std::string& method, const std::string& path, const std::string& body,
+    const std::map<std::string, std::string>& headers) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  auto client = acquire();
+  auto response = client->request(method, path, body, headers);
+  if (!response) {
+    // Transport failure (HttpClient already burned its one stale-socket
+    // retry). Drop the connection rather than pooling a dead socket.
+    record_failure();
+    return std::nullopt;
+  }
+  // Any parsed response proves the worker process is alive. Preserve a
+  // probe-observed draining/saturated state — a 200 on the predict path does
+  // not contradict "draining"; only the next probe should clear it.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    failures_ = 0;
+    if (state_ == WorkerState::kDown) state_ = WorkerState::kUp;
+  }
+  release(std::move(client));
+  return response;
+}
+
+WorkerState WorkerClient::probe() {
+  probes_.fetch_add(1, std::memory_order_relaxed);
+  auto client = acquire();
+  auto response = client->request("GET", "/api/v1/readyz");
+  if (!response) {
+    record_failure();
+    return state();
+  }
+  WorkerState observed = WorkerState::kUp;
+  try {
+    const json::Value doc = json::parse(response->body);
+    if (const json::Value* status = doc.find("status")) {
+      const std::string text = status->is_string() ? status->as_string() : "";
+      if (text == "draining") {
+        observed = WorkerState::kDraining;
+      } else if (text == "saturated") {
+        observed = WorkerState::kSaturated;
+      }
+    }
+  } catch (const json::JsonError&) {
+    // An unparsable readyz body still proves liveness; treat as plain up.
+  }
+  record_success(observed);
+  release(std::move(client));
+  return observed;
+}
+
+WorkerState WorkerClient::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+bool WorkerClient::usable() const {
+  const WorkerState s = state();
+  return s == WorkerState::kUp || s == WorkerState::kSaturated;
+}
+
+int WorkerClient::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failures_;
+}
+
+void WorkerClient::drop_connections() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pool_.clear();
+}
+
+}  // namespace cnn2fpga::serve::shard

@@ -12,6 +12,7 @@
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 #include "web/envelope.hpp"
+#include "web/http_client.hpp"
 
 namespace cnn2fpga::web {
 
@@ -48,14 +49,19 @@ ReadOutcome error_outcome(int status) { return {std::nullopt, status}; }
 /// Read until the full header block (and Content-Length body) has arrived.
 /// The socket carries SO_RCVTIMEO, so a stalled client surfaces as
 /// EAGAIN/EWOULDBLOCK and is answered with 408 instead of pinning a handler.
-ReadOutcome read_request(int fd, const ServerConfig& config) {
+/// On a kept-alive connection (`first == false`) a timeout before the first
+/// byte of the next request is ordinary idle expiry, not a protocol error —
+/// the connection is closed without a response.
+ReadOutcome read_request(int fd, const ServerConfig& config, bool first) {
   std::string data;
   char buf[4096];
   std::size_t header_end = std::string::npos;
   while (header_end == std::string::npos) {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n < 0) {
-      return error_outcome(errno == EAGAIN || errno == EWOULDBLOCK ? 408 : 0);
+      const bool timed_out = errno == EAGAIN || errno == EWOULDBLOCK;
+      if (timed_out && !first && data.empty()) return error_outcome(0);  // idle expiry
+      return error_outcome(timed_out ? 408 : 0);
     }
     if (n == 0) return error_outcome(data.empty() ? 0 : 400);  // truncated request
     data.append(buf, static_cast<std::size_t>(n));
@@ -108,14 +114,14 @@ ReadOutcome read_request(int fd, const ServerConfig& config) {
   return {std::move(request), 0};
 }
 
-void write_response(int fd, const HttpResponse& response) {
+void write_response(int fd, const HttpResponse& response, bool keep_alive = false) {
   std::string out = format("HTTP/1.1 %d %s\r\n", response.status, status_text(response.status));
   out += "Content-Type: " + response.content_type + "\r\n";
   out += format("Content-Length: %zu\r\n", response.body.size());
   for (const auto& [name, value] : response.headers) {
     out += name + ": " + value + "\r\n";
   }
-  out += "Connection: close\r\n\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n\r\n" : "Connection: close\r\n\r\n";
   out += response.body;
   std::size_t sent = 0;
   while (sent < out.size()) {
@@ -187,6 +193,10 @@ void HttpServer::stop() {
   {
     std::lock_guard<std::mutex> lock(conn_mutex_);
     draining_ = true;  // handlers finish the queued connections, then exit
+    // Unblock handlers parked in an idle keep-alive wait: shutting the read
+    // side makes their recv return 0 (a quiet close). In-flight requests are
+    // untouched — only connections between requests are cut.
+    for (const int fd : idle_fds_) ::shutdown(fd, SHUT_RD);
   }
   conn_cv_.notify_all();
   for (std::thread& handler : handlers_) {
@@ -238,18 +248,50 @@ void HttpServer::handler_loop() {
 }
 
 void HttpServer::handle_connection(int fd) {
-  const ReadOutcome outcome = read_request(fd, config_);
-  if (outcome.request) {
+  bool first = true;
+  while (true) {
+    if (!first) {
+      // Arm the idle wait: the shorter keep-alive timeout replaces the
+      // request read timeout between requests, and the fd is registered so
+      // stop() can unblock the recv instead of waiting the timeout out.
+      {
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        if (draining_ || !running_.load()) break;
+        idle_fds_.insert(fd);
+      }
+      if (config_.keep_alive_timeout_ms > 0) {
+        timeval tv{};
+        tv.tv_sec = config_.keep_alive_timeout_ms / 1000;
+        tv.tv_usec = (config_.keep_alive_timeout_ms % 1000) * 1000;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      }
+    }
+    const ReadOutcome outcome = read_request(fd, config_, first);
+    if (!first) {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      idle_fds_.erase(fd);
+    }
+    if (!outcome.request) {
+      if (outcome.error_status != 0) {
+        const int status = outcome.error_status;
+        write_response(fd, api_error(status, status_code_slug(status), status_text(status)));
+      }
+      return;
+    }
+    // Keep-alive is opt-in per request; a stopping server always closes.
+    const auto connection = outcome.request->headers.find("connection");
+    const bool keep_alive = connection != outcome.request->headers.end() &&
+                            util::to_lower(connection->second) == "keep-alive" &&
+                            running_.load();
     HttpResponse response;
     try {
       response = dispatch(*outcome.request);
     } catch (const std::exception& e) {
       response = api_error(500, "internal", "unhandled exception in handler", e.what());
     }
-    write_response(fd, response);
-  } else if (outcome.error_status != 0) {
-    const int status = outcome.error_status;
-    write_response(fd, api_error(status, status_code_slug(status), status_text(status)));
+    write_response(fd, response, keep_alive);
+    if (!keep_alive) return;
+    first = false;
   }
 }
 
@@ -273,74 +315,19 @@ std::optional<HttpResponse> http_request(const std::string& host, int port,
                                          const std::string& method, const std::string& path,
                                          const std::string& body,
                                          const std::string& content_type) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return std::nullopt;
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return std::nullopt;
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return std::nullopt;
-  }
-
-  std::string out = format("%s %s HTTP/1.1\r\n", method.c_str(), path.c_str());
-  out += format("Host: %s\r\n", host.c_str());
-  out += "Connection: close\r\n";
-  if (!body.empty()) {
-    out += "Content-Type: " + content_type + "\r\n";
-    out += format("Content-Length: %zu\r\n", body.size());
-  }
-  out += "\r\n" + body;
-
-  std::size_t sent = 0;
-  while (sent < out.size()) {
-    const ssize_t n = ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      ::close(fd);
-      return std::nullopt;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-
-  std::string data;
-  char buf[4096];
-  while (true) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
-    data.append(buf, static_cast<std::size_t>(n));
-  }
-  ::close(fd);
-
-  const std::size_t header_end = data.find("\r\n\r\n");
-  if (header_end == std::string::npos) return std::nullopt;
-
-  HttpResponse response;
-  const auto lines = util::split(data.substr(0, header_end), '\n');
-  if (lines.empty()) return std::nullopt;
-  {
-    const auto parts = util::split(std::string(util::trim(lines[0])), ' ');
-    if (parts.size() < 2) return std::nullopt;
-    response.status = static_cast<int>(std::strtol(parts[1].c_str(), nullptr, 10));
-  }
-  for (std::size_t i = 1; i < lines.size(); ++i) {
-    const std::string line(util::trim(lines[i]));
-    const std::size_t colon = line.find(':');
-    if (colon == std::string::npos) continue;
-    const std::string name = util::to_lower(line.substr(0, colon));
-    const std::string value(util::trim(line.substr(colon + 1)));
-    if (name == "content-type") {
-      response.content_type = value;
-    } else {
-      response.headers[name] = value;
-    }
-  }
-  response.body = data.substr(header_end + 4);
-  return response;
+  // One-shot convenience over the reusable client (web/http_client.hpp).
+  // Timeouts are generous — this is the test/demo helper, not the router's
+  // latency-sensitive path — but no longer absent: a dead server costs
+  // seconds, not forever.
+  ClientConfig config;
+  config.connect_timeout_ms = 5000;
+  config.read_timeout_ms = 30000;
+  config.write_timeout_ms = 30000;
+  config.keep_alive = false;
+  HttpClient client(host, port, config);
+  std::map<std::string, std::string> headers;
+  if (!body.empty()) headers["Content-Type"] = content_type;
+  return client.request(method, path, body, headers);
 }
 
 }  // namespace cnn2fpga::web

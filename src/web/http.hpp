@@ -15,6 +15,12 @@
 // slow reader that accepts a response slower than the kernel send buffer
 // drains is cut off by a per-connection send timeout — so neither direction
 // of a stalled socket can pin a handler thread.
+//
+// Keep-alive: a request carrying `Connection: keep-alive` keeps the socket
+// open for further requests (bounded by `keep_alive_timeout_ms` between
+// them) — the transport the shard router's per-worker connection pool rides
+// on (src/serve/shard). Clients that say nothing, or say `close`, get the
+// historical one-request-per-connection behavior.
 #pragma once
 
 #include <atomic>
@@ -24,6 +30,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -55,6 +62,10 @@ struct ServerConfig {
   int read_timeout_ms = 5000;               ///< per-connection recv timeout (408)
   int write_timeout_ms = 5000;              ///< per-connection send timeout
                                             ///< (slow readers are dropped)
+  /// Idle wait for the next request on a kept-alive connection before the
+  /// server closes it (a quiet close, not a 408 — keep-alive expiry is
+  /// normal). Clients opt in per request with `Connection: keep-alive`.
+  int keep_alive_timeout_ms = 5000;
   int backlog = 64;                         ///< listen(2) backlog
 };
 
@@ -101,6 +112,10 @@ class HttpServer {
   std::condition_variable conn_cv_;
   std::deque<int> conn_queue_;  ///< accepted fds awaiting a handler
   bool draining_ = false;       ///< stop requested; finish queued connections
+  /// Kept-alive connections blocked waiting for their *next* request. stop()
+  /// shuts their read side down so an idle peer cannot delay shutdown by the
+  /// keep-alive timeout; in-flight requests still complete normally.
+  std::set<int> idle_fds_;
 };
 
 /// Blocking single-request client (test utility).

@@ -1,0 +1,81 @@
+// Reusable HTTP/1.1 client with connect/read/write timeouts and keep-alive.
+//
+// The server half of web/http has always been hardened (read/write timeouts,
+// bounded bodies); the client half used to be a one-shot test utility that
+// hand-rolled a socket per request and blocked without any timeout. The shard
+// router (src/serve/shard) needs the opposite: a persistent, timeout-bounded
+// connection per worker that survives many requests — a dead worker must
+// surface as a prompt transport error, never as a wedged router thread. This
+// class is that client; the legacy `http_request` helper is now a thin
+// wrapper over a non-persistent instance.
+//
+// Keep-alive: when `ClientConfig.keep_alive` is set, requests carry
+// `Connection: keep-alive` and the socket is reused for the next request as
+// long as the server agrees (the HttpServer side honors the header). A stale
+// pooled connection (the server closed between requests) is detected on the
+// next use and retried once on a fresh socket, so callers see at most one
+// reconnect — not an error — for ordinary keep-alive churn.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "web/http.hpp"
+
+namespace cnn2fpga::web {
+
+struct ClientConfig {
+  int connect_timeout_ms = 2000;  ///< non-blocking connect bound
+  int read_timeout_ms = 5000;     ///< SO_RCVTIMEO on the connected socket
+  int write_timeout_ms = 5000;    ///< SO_SNDTIMEO on the connected socket
+  bool keep_alive = false;        ///< persist the connection across requests
+  std::size_t max_response_bytes = 64u << 20;  ///< reject larger responses
+};
+
+class HttpClient {
+ public:
+  HttpClient(std::string host, int port, ClientConfig config = {});
+  ~HttpClient();
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// One request-response round trip. Returns std::nullopt on any transport
+  /// failure (connect/send/recv timeout, refused connection, malformed
+  /// response); HTTP-level errors come back as a parsed HttpResponse with
+  /// their status. `headers` are emitted verbatim (Content-Type and
+  /// Content-Length are always set when a body is present).
+  std::optional<HttpResponse> request(const std::string& method, const std::string& path,
+                                      const std::string& body = "",
+                                      const std::map<std::string, std::string>& headers = {});
+
+  /// Drop the persistent connection (no-op when not connected). The next
+  /// request reconnects.
+  void close();
+
+  bool connected() const { return fd_ >= 0; }
+  const std::string& host() const { return host_; }
+  int port() const { return port_; }
+  const ClientConfig& config() const { return config_; }
+  /// Sockets opened over the client's lifetime — 1 for an arbitrarily long
+  /// keep-alive session; the observable that keep-alive actually works.
+  std::uint64_t connections_opened() const { return connections_opened_; }
+
+ private:
+  bool connect_with_timeout();
+  /// Single attempt on the current socket. `*io_error` reports a transport
+  /// failure (as opposed to a clean parse of an HTTP error response).
+  std::optional<HttpResponse> try_request(const std::string& method, const std::string& path,
+                                          const std::string& body,
+                                          const std::map<std::string, std::string>& headers);
+
+  const std::string host_;
+  const int port_;
+  const ClientConfig config_;
+  int fd_ = -1;
+  bool reused_ = false;  ///< current socket already served >= 1 request
+  std::uint64_t connections_opened_ = 0;
+};
+
+}  // namespace cnn2fpga::web

@@ -1,0 +1,558 @@
+// Tests for the sharded serving subsystem: consistent-hash ring properties
+// (uniformity, minimal remap, replica distinctness), the keep-alive
+// HttpClient, and the router end to end — replication, routed predicts that
+// stay bit-exact, failover on worker death, catalog-driven repair, and fleet
+// metrics/readyz aggregation.
+//
+// Router tests use in-process workers: several (ServingRuntime, HttpServer)
+// pairs in this one process, reached over real TCP. That exercises the same
+// transport the production fleet uses while staying fork-free, so the whole
+// file runs under ThreadSanitizer (TSan does not support fork+threads; the
+// fork-based fleet is exercised by codegen_server --router and the bench
+// harness instead).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "serve/server.hpp"
+#include "serve/shard/process.hpp"
+#include "serve/shard/ring.hpp"
+#include "serve/shard/router.hpp"
+#include "util/strings.hpp"
+#include "web/http_client.hpp"
+
+using namespace cnn2fpga;
+using namespace cnn2fpga::serve;
+namespace json = cnn2fpga::json;
+
+namespace {
+
+std::string deploy_body(const std::string& name, int seed = 7) {
+  return util::format(
+      R"({"name": "%s", "board": "zedboard", "optimize": true, "seed": %d,
+          "input": {"channels": 1, "height": 8, "width": 8},
+          "layers": [
+            {"type": "conv", "feature_maps_out": 2, "kernel": 3,
+             "pool": {"type": "max", "kernel": 2, "step": 2}},
+            {"type": "linear", "neurons": 4}
+          ]})",
+      name.c_str(), seed);
+}
+
+std::string predict_body(const std::string& design_id, float fill = 0.25f) {
+  std::string image = "[";
+  for (int i = 0; i < 64; ++i) {
+    image += util::format("%s%.6f", i == 0 ? "" : ",", fill + 0.001f * static_cast<float>(i));
+  }
+  image += "]";
+  return util::format(R"({"design_id": "%s", "image": %s})", design_id.c_str(),
+                      image.c_str());
+}
+
+web::HttpRequest post(const std::string& body) {
+  web::HttpRequest request;
+  request.method = "POST";
+  request.body = body;
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// Hash ring properties
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> synthetic_keys(std::size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) keys.push_back(util::format("design-%zx", i * 2654435761u));
+  return keys;
+}
+
+TEST(Ring, SpreadsKeysRoughlyUniformly) {
+  shard::HashRing ring;
+  for (int w = 0; w < 4; ++w) ring.add(util::format("worker-%d", w));
+  const auto keys = synthetic_keys(1000);
+  std::map<std::string, int> share;
+  for (const auto& key : keys) share[ring.primary(key)]++;
+  ASSERT_EQ(share.size(), 4u);
+  for (const auto& [worker, count] : share) {
+    // Perfect balance is 250; 64 vnodes keeps every share well inside 2x.
+    EXPECT_GT(count, 100) << worker;
+    EXPECT_LT(count, 450) << worker;
+  }
+}
+
+TEST(Ring, JoinMovesOnlyKeysTheNewWorkerOwns) {
+  shard::HashRing ring;
+  for (int w = 0; w < 4; ++w) ring.add(util::format("worker-%d", w));
+  const auto keys = synthetic_keys(1000);
+  std::map<std::string, std::string> before;
+  for (const auto& key : keys) before[key] = ring.primary(key);
+
+  ring.add("worker-4");
+  int moved = 0;
+  for (const auto& key : keys) {
+    const std::string after = ring.primary(key);
+    if (after != before[key]) {
+      ++moved;
+      // The defining consistent-hashing property: a key only moves TO the
+      // newcomer; ownership never shuffles between incumbents.
+      EXPECT_EQ(after, "worker-4") << key;
+    }
+  }
+  // Expected share is K/N = 200 of 1000; modulo hashing would move ~800.
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, 400);
+}
+
+TEST(Ring, LeaveMovesOnlyTheDepartedWorkersKeys) {
+  shard::HashRing ring;
+  for (int w = 0; w < 4; ++w) ring.add(util::format("worker-%d", w));
+  const auto keys = synthetic_keys(1000);
+  std::map<std::string, std::string> before;
+  for (const auto& key : keys) before[key] = ring.primary(key);
+
+  ring.remove("worker-2");
+  for (const auto& key : keys) {
+    if (before[key] != "worker-2") {
+      EXPECT_EQ(ring.primary(key), before[key]) << key;
+    } else {
+      EXPECT_NE(ring.primary(key), "worker-2") << key;
+    }
+  }
+}
+
+TEST(Ring, ReplicasAreDistinctWorkers) {
+  shard::HashRing ring;
+  for (int w = 0; w < 3; ++w) ring.add(util::format("worker-%d", w));
+  for (const auto& key : synthetic_keys(200)) {
+    const auto two = ring.replicas(key, 2);
+    ASSERT_EQ(two.size(), 2u) << key;
+    EXPECT_NE(two[0], two[1]) << key;
+    EXPECT_EQ(two[0], ring.primary(key)) << key;
+    // Asking for more replicas than workers returns every distinct worker.
+    const auto all = ring.replicas(key, 5);
+    EXPECT_EQ(all.size(), 3u) << key;
+    EXPECT_EQ(std::set<std::string>(all.begin(), all.end()).size(), 3u) << key;
+  }
+}
+
+TEST(Ring, EmptyRingAnswersEmpty) {
+  shard::HashRing ring;
+  EXPECT_EQ(ring.primary("anything"), "");
+  EXPECT_TRUE(ring.replicas("anything", 2).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Keep-alive HttpClient
+// ---------------------------------------------------------------------------
+
+TEST(HttpClient, KeepAliveReusesOneConnection) {
+  web::HttpServer server;
+  server.route("GET", "/ping", [](const web::HttpRequest&) {
+    web::HttpResponse response;
+    response.body = "{\"pong\":true}";
+    return response;
+  });
+  const int port = server.start();
+
+  web::ClientConfig config;
+  config.keep_alive = true;
+  web::HttpClient client("127.0.0.1", port, config);
+  for (int i = 0; i < 5; ++i) {
+    const auto response = client.request("GET", "/ping");
+    ASSERT_TRUE(response.has_value()) << i;
+    EXPECT_EQ(response->status, 200) << i;
+  }
+  EXPECT_EQ(client.connections_opened(), 1u);
+  server.stop();
+}
+
+TEST(HttpClient, WithoutKeepAliveOpensPerRequest) {
+  web::HttpServer server;
+  server.route("GET", "/ping", [](const web::HttpRequest&) { return web::HttpResponse{}; });
+  const int port = server.start();
+  web::HttpClient client("127.0.0.1", port);  // keep_alive off by default
+  ASSERT_TRUE(client.request("GET", "/ping").has_value());
+  ASSERT_TRUE(client.request("GET", "/ping").has_value());
+  EXPECT_EQ(client.connections_opened(), 2u);
+  server.stop();
+}
+
+TEST(HttpClient, RefusedConnectionFailsPromptly) {
+  const int port = shard::reserve_local_port();
+  ASSERT_GT(port, 0);
+  web::ClientConfig config;
+  config.connect_timeout_ms = 500;
+  web::HttpClient client("127.0.0.1", port, config);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client.request("GET", "/ping").has_value());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 2000);
+}
+
+TEST(HttpClient, StaleKeepAliveConnectionRetriesOnFreshSocket) {
+  web::HttpServer server;
+  server.route("GET", "/ping", [](const web::HttpRequest&) { return web::HttpResponse{}; });
+  const int port = server.start();
+
+  web::ClientConfig config;
+  config.keep_alive = true;
+  web::HttpClient client("127.0.0.1", port, config);
+  ASSERT_TRUE(client.request("GET", "/ping").has_value());
+  EXPECT_TRUE(client.connected());
+
+  // Server restart severs the pooled connection; the next request must
+  // silently reconnect instead of failing.
+  server.stop();
+  ASSERT_EQ(server.start(port), port);
+  const auto response = client.request("GET", "/ping");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(client.connections_opened(), 2u);
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Histogram JSON: the raw buckets the fleet merge relies on
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, HistogramJsonExportsSumAndRawBuckets) {
+  Histogram histogram;
+  histogram.record(0);
+  histogram.record(3);
+  histogram.record(3);
+  histogram.record(1000);
+  const json::Value doc = histogram.to_json();
+  EXPECT_EQ(doc.get_int("count", -1), 4);
+  EXPECT_EQ(doc.get_int("sum", -1), 1006);
+  const json::Value* buckets = doc.find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  std::uint64_t total = 0;
+  for (const json::Value& pair : buckets->as_array()) {
+    ASSERT_EQ(pair.as_array().size(), 2u);
+    total += static_cast<std::uint64_t>(pair.as_array()[1].as_int());
+  }
+  EXPECT_EQ(total, 4u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(3), 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Router integration over real TCP (in-process workers)
+// ---------------------------------------------------------------------------
+
+/// One worker of the in-process fleet: a full serving runtime behind a real
+/// HTTP listener, restartable on its reserved port to model crash + rejoin.
+struct InProcWorker {
+  InProcWorker() { start(); }
+
+  void start() {
+    runtime = std::make_unique<ServingRuntime>(make_config());
+    server = std::make_unique<web::HttpServer>();
+    install_serve_api(*server, *runtime);
+    port = server->start(port);  // port 0 first time, then the same port again
+  }
+
+  /// Death: close the listener and drop all state (a fresh start() models a
+  /// restarted, empty worker).
+  void kill() {
+    server->stop();
+    server.reset();
+    runtime.reset();
+  }
+
+  static ServingConfig make_config() {
+    ServingConfig config;
+    config.worker_threads = 2;
+    config.backends.accelerator = false;  // deterministic CPU-only execution
+    return config;
+  }
+
+  std::unique_ptr<ServingRuntime> runtime;
+  std::unique_ptr<web::HttpServer> server;
+  int port = 0;
+};
+
+struct Fleet {
+  explicit Fleet(std::size_t n, std::size_t replication = 2) {
+    shard::RouterConfig config;
+    config.replication = replication;
+    config.probe_interval_ms = 0;  // probes only via probe_now(): deterministic
+    config.worker.client.connect_timeout_ms = 500;
+    config.worker.client.read_timeout_ms = 10000;
+    config.worker.down_after_failures = 2;
+    router = std::make_unique<shard::Router>(config);
+    for (std::size_t i = 0; i < n; ++i) {
+      workers.push_back(std::make_unique<InProcWorker>());
+      router->add_worker(util::format("worker-%zu", i), "127.0.0.1", workers[i]->port);
+    }
+  }
+
+  InProcWorker& by_id(const std::string& id) {
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      if (util::format("worker-%zu", i) == id) return *workers[i];
+    }
+    ADD_FAILURE() << "unknown worker id " << id;
+    return *workers[0];
+  }
+
+  std::unique_ptr<shard::Router> router;
+  std::vector<std::unique_ptr<InProcWorker>> workers;
+};
+
+TEST(Router, DeployReplicatesToDistinctWorkersAndPredictIsBitExact) {
+  Fleet fleet(2);
+  const std::string body = deploy_body("shard_net");
+
+  const auto deployed = fleet.router->handle_deploy(post(body));
+  ASSERT_EQ(deployed.status, 200) << deployed.body;
+  EXPECT_EQ(deployed.headers.at("X-Shard-Replication"), "2");
+  const std::string design_id = json::parse(deployed.body).at("design_id").as_string();
+  EXPECT_EQ(fleet.router->holders(design_id).size(), 2u);
+  // Both workers' registries really hold the design (replication is deploys,
+  // not bookkeeping).
+  EXPECT_NE(fleet.workers[0]->runtime->registry().find(design_id), nullptr);
+  EXPECT_NE(fleet.workers[1]->runtime->registry().find(design_id), nullptr);
+  EXPECT_EQ(fleet.router->key_mismatches(), 0u);
+
+  // Reference: the same deploy on a standalone runtime. The routed logits
+  // must match bit for bit (%.17g round-trips doubles exactly).
+  ServingRuntime reference(InProcWorker::make_config());
+  const auto ref_deploy = reference.handle_deploy(post(body));
+  ASSERT_EQ(ref_deploy.status, 200);
+  const auto ref_predict = reference.handle_predict(post(predict_body(design_id)));
+  ASSERT_EQ(ref_predict.status, 200);
+  const json::Value expected = json::parse(ref_predict.body);
+
+  const auto routed = fleet.router->handle_predict(post(predict_body(design_id)));
+  ASSERT_EQ(routed.status, 200) << routed.body;
+  EXPECT_EQ(routed.headers.at("X-Shard-Attempts"), "1");
+  EXPECT_FALSE(routed.headers.at("X-Shard-Worker").empty());
+  const json::Value actual = json::parse(routed.body);
+  EXPECT_EQ(actual.at("predicted").as_int(), expected.at("predicted").as_int());
+  const json::Array& expected_logits = expected.at("logits").as_array();
+  const json::Array& actual_logits = actual.at("logits").as_array();
+  ASSERT_EQ(actual_logits.size(), expected_logits.size());
+  for (std::size_t i = 0; i < expected_logits.size(); ++i) {
+    EXPECT_EQ(actual_logits[i].as_double(), expected_logits[i].as_double()) << i;
+  }
+}
+
+TEST(Router, CacheHitOnSecondDeployThroughRouter) {
+  Fleet fleet(2);
+  const std::string body = deploy_body("cache_net");
+  const auto first = fleet.router->handle_deploy(post(body));
+  ASSERT_EQ(first.status, 200);
+  EXPECT_FALSE(json::parse(first.body).at("cache_hit").as_bool());
+  const auto second = fleet.router->handle_deploy(post(body));
+  ASSERT_EQ(second.status, 200);
+  EXPECT_TRUE(json::parse(second.body).at("cache_hit").as_bool());
+}
+
+TEST(Router, UnknownDesignPassesThroughWorker404) {
+  Fleet fleet(2);
+  const auto response =
+      fleet.router->handle_predict(post(predict_body("0123456789abcdef")));
+  EXPECT_EQ(response.status, 404);
+  EXPECT_EQ(json::parse(response.body).at("error").at("code").as_string(),
+            "unknown_design");
+}
+
+TEST(Router, FailoverOnWorkerDeathShedsNoRequests) {
+  Fleet fleet(2);
+  const auto deployed = fleet.router->handle_deploy(post(deploy_body("failover_net")));
+  ASSERT_EQ(deployed.status, 200);
+  const std::string design_id = json::parse(deployed.body).at("design_id").as_string();
+
+  const auto first = fleet.router->handle_predict(post(predict_body(design_id)));
+  ASSERT_EQ(first.status, 200);
+  const std::string primary = first.headers.at("X-Shard-Worker");
+
+  fleet.by_id(primary).kill();
+
+  // Every predict after the death must still answer 200 from the replica —
+  // the dead worker sheds only its in-flight work, nothing afterwards.
+  int failovers_seen = 0;
+  for (int i = 0; i < 8; ++i) {
+    const auto response = fleet.router->handle_predict(post(predict_body(design_id)));
+    ASSERT_EQ(response.status, 200) << "request " << i << ": " << response.body;
+    EXPECT_NE(response.headers.at("X-Shard-Worker"), primary);
+    if (response.headers.at("X-Shard-Attempts") != "1") ++failovers_seen;
+  }
+  EXPECT_GT(failovers_seen, 0);
+  EXPECT_GT(fleet.router->failovers(), 0u);
+  // The transport failures took the worker off the ring inline (no probe
+  // cycle ran yet).
+  EXPECT_EQ(fleet.router->ring_workers().size(), 1u);
+
+  // Fleet readyz reports the dead worker and the shrunken ring.
+  const auto readyz = fleet.router->handle_readyz({});
+  EXPECT_EQ(readyz.status, 200);  // the surviving worker still serves
+  const json::Value doc = json::parse(readyz.body);
+  EXPECT_EQ(doc.at("status").as_string(), "degraded");
+  EXPECT_EQ(doc.at("workers").at(primary).at("state").as_string(), "down");
+  EXPECT_EQ(doc.at("ring").at("workers").as_array().size(), 1u);
+}
+
+TEST(Router, RecoveredWorkerRejoinsAndIsRepairedWithoutFullRebalance) {
+  Fleet fleet(2);
+  const auto deployed = fleet.router->handle_deploy(post(deploy_body("rejoin_net")));
+  ASSERT_EQ(deployed.status, 200);
+  const std::string design_id = json::parse(deployed.body).at("design_id").as_string();
+  const auto first = fleet.router->handle_predict(post(predict_body(design_id)));
+  ASSERT_EQ(first.status, 200);
+  const std::string primary = first.headers.at("X-Shard-Worker");
+
+  InProcWorker& victim = fleet.by_id(primary);
+  victim.kill();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(fleet.router->handle_predict(post(predict_body(design_id))).status, 200);
+  }
+  ASSERT_EQ(fleet.router->ring_workers().size(), 1u);
+
+  // Restart on the same port with an EMPTY registry: rejoin must re-replicate
+  // from the router's catalog, not assume state survived.
+  victim.start();
+  ASSERT_EQ(victim.runtime->registry().find(design_id), nullptr);
+  const std::uint64_t repairs_before = fleet.router->repairs();
+  fleet.router->probe_now();
+  EXPECT_EQ(fleet.router->ring_workers().size(), 2u);
+  EXPECT_GT(fleet.router->repairs(), repairs_before);
+  EXPECT_NE(victim.runtime->registry().find(design_id), nullptr);
+
+  const auto holders = fleet.router->holders(design_id);
+  EXPECT_EQ(holders.size(), 2u);
+  const auto after = fleet.router->handle_predict(post(predict_body(design_id)));
+  EXPECT_EQ(after.status, 200);
+}
+
+TEST(Router, LostRegistryEntryIsRedeployedFromCatalogOn404) {
+  Fleet fleet(1, /*replication=*/1);
+  const auto deployed = fleet.router->handle_deploy(post(deploy_body("replay_net")));
+  ASSERT_EQ(deployed.status, 200);
+  const std::string design_id = json::parse(deployed.body).at("design_id").as_string();
+
+  // Restart the only worker with a fresh (empty) runtime on the same port:
+  // the ring still routes to it, its registry answers 404.
+  fleet.workers[0]->kill();
+  fleet.workers[0]->start();
+  ASSERT_EQ(fleet.workers[0]->runtime->registry().find(design_id), nullptr);
+
+  const auto response = fleet.router->handle_predict(post(predict_body(design_id)));
+  ASSERT_EQ(response.status, 200) << response.body;
+  EXPECT_GT(fleet.router->repairs(), 0u);
+  EXPECT_NE(fleet.workers[0]->runtime->registry().find(design_id), nullptr);
+}
+
+TEST(Router, ShardWorkerFaultSiteForcesFailover) {
+  Fleet fleet(2);
+  const auto deployed = fleet.router->handle_deploy(post(deploy_body("drill_net")));
+  ASSERT_EQ(deployed.status, 200);
+  const std::string design_id = json::parse(deployed.body).at("design_id").as_string();
+
+  // Fire exactly once: the first candidate "fails", the replica answers.
+  fleet.router->faults().arm("shard.worker", {FaultKind::kError, 1.0, 1, 0});
+  const auto response = fleet.router->handle_predict(post(predict_body(design_id)));
+  ASSERT_EQ(response.status, 200) << response.body;
+  EXPECT_EQ(response.headers.at("X-Shard-Attempts"), "2");
+  EXPECT_EQ(fleet.router->injected_failures(), 1u);
+  // The drill must not poison real health state: both workers stay up.
+  fleet.router->probe_now();
+  EXPECT_EQ(fleet.router->ring_workers().size(), 2u);
+}
+
+TEST(Router, FleetMetricsSumCountersAndMergeHistograms) {
+  Fleet fleet(2);
+  // Two designs so that (very likely) both workers see some traffic; with
+  // replication 2 on a 2-worker ring each design lands on both anyway.
+  const auto d1 = fleet.router->handle_deploy(post(deploy_body("metrics_a")));
+  const auto d2 = fleet.router->handle_deploy(post(deploy_body("metrics_b", 9)));
+  ASSERT_EQ(d1.status, 200);
+  ASSERT_EQ(d2.status, 200);
+  const std::string id1 = json::parse(d1.body).at("design_id").as_string();
+  const std::string id2 = json::parse(d2.body).at("design_id").as_string();
+
+  const int per_design = 6;
+  for (int i = 0; i < per_design; ++i) {
+    ASSERT_EQ(fleet.router->handle_predict(post(predict_body(id1))).status, 200);
+    ASSERT_EQ(fleet.router->handle_predict(post(predict_body(id2))).status, 200);
+  }
+
+  const auto metrics = fleet.router->handle_metrics({});
+  ASSERT_EQ(metrics.status, 200);
+  const json::Value doc = json::parse(metrics.body);
+
+  // The fleet block is the exact sum of the per-worker blocks.
+  std::uint64_t worker_sum = 0;
+  std::uint64_t worker_exec_count = 0;
+  std::uint64_t worker_exec_sum = 0;
+  for (const auto& [id, worker_doc] : doc.at("workers").as_object()) {
+    worker_sum += static_cast<std::uint64_t>(
+        worker_doc.at("predict").get_int("total", 0));
+    worker_exec_count += static_cast<std::uint64_t>(
+        worker_doc.at("predict").at("exec_us").get_int("count", 0));
+    worker_exec_sum += static_cast<std::uint64_t>(
+        worker_doc.at("predict").at("exec_us").get_int("sum", 0));
+  }
+  EXPECT_EQ(worker_sum, static_cast<std::uint64_t>(2 * per_design));
+  const json::Value& fleet_predict = doc.at("fleet").at("predict");
+  EXPECT_EQ(static_cast<std::uint64_t>(fleet_predict.get_int("total", 0)), worker_sum);
+
+  // Histogram merge is exact in count and sum, and percentiles are
+  // recomputed from the merged buckets (present and bounded by max).
+  const json::Value& exec = fleet_predict.at("exec_us");
+  EXPECT_EQ(static_cast<std::uint64_t>(exec.get_int("count", 0)), worker_exec_count);
+  EXPECT_EQ(static_cast<std::uint64_t>(exec.get_int("sum", 0)), worker_exec_sum);
+  EXPECT_LE(exec.get_int("p99", -1), exec.get_int("max", -1));
+  ASSERT_NE(exec.find("buckets"), nullptr);
+  std::uint64_t bucket_total = 0;
+  for (const json::Value& pair : exec.at("buckets").as_array()) {
+    bucket_total += static_cast<std::uint64_t>(pair.as_array()[1].as_int());
+  }
+  EXPECT_EQ(bucket_total, worker_exec_count);
+
+  // Recomputed fleet ratios stay in range instead of being summed.
+  const double hit_rate = doc.at("fleet").at("deploy").at("cache_hit_rate").as_double();
+  EXPECT_GE(hit_rate, 0.0);
+  EXPECT_LE(hit_rate, 1.0);
+  EXPECT_EQ(static_cast<std::uint64_t>(doc.at("router").get_int("key_mismatches", -1)),
+            0u);
+}
+
+TEST(Router, DeployWithNoWorkersAnswers503) {
+  shard::RouterConfig config;
+  config.probe_interval_ms = 0;
+  shard::Router router(config);
+  const auto response = router.handle_deploy(post(deploy_body("nobody")));
+  EXPECT_EQ(response.status, 503);
+  EXPECT_EQ(json::parse(response.body).at("error").at("code").as_string(), "no_workers");
+}
+
+TEST(Router, ComputeDesignKeyMatchesRegistry) {
+  const std::string body = deploy_body("key_net", 13);
+  web::HttpResponse error;
+  const auto key = shard::compute_design_key(body, &error);
+  ASSERT_TRUE(key.has_value()) << error.body;
+
+  ServingRuntime runtime(InProcWorker::make_config());
+  const auto deployed = runtime.handle_deploy(post(body));
+  ASSERT_EQ(deployed.status, 200);
+  EXPECT_EQ(*key, json::parse(deployed.body).at("design_id").as_string());
+
+  // Precision is part of the key, exactly as in the registry.
+  json::Value doc = json::parse(body);
+  doc.as_object()["precision"] = "int8";
+  const auto quant_key = shard::compute_design_key(doc.dump(), &error);
+  ASSERT_TRUE(quant_key.has_value());
+  EXPECT_EQ(*quant_key, *key + "-int8");
+
+  EXPECT_FALSE(shard::compute_design_key("{not json", &error).has_value());
+  EXPECT_EQ(error.status, 400);
+}
+
+}  // namespace
