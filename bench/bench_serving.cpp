@@ -59,6 +59,17 @@
 //      on hosts with >= 4 hardware threads (two 2-thread workers need the
 //      cores to actually run concurrently); reported with a printed waiver
 //      below that.
+//   8. (--chaos) Crash-safety drill. Three SUPERVISED worker processes behind
+//      a journaled router absorb rotating SIGKILLs under closed-loop load
+//      (the supervisor restarts each victim on its reserved port; catalog
+//      repair refills it), then the router itself is destroyed and rebuilt
+//      twice from nothing but the deploy journal — once clean, once with a
+//      deliberately torn tail appended to the log. Gated: every kill produces
+//      a restart, the soak error rate stays <= 10% with ZERO logit
+//      mismatches, the clean replay recovers all designs with zero truncation
+//      events, the torn replay recovers all fully-written records and
+//      REPORTS >= 1 truncation event, and every drill ends with every design
+//      answering bit-exact.
 //
 // `--quick` shrinks the request streams for CI smoke runs.
 //
@@ -622,7 +633,7 @@ struct ShardedResult {
 /// are CPU-bound on the same engine and the scaling ratio measures process
 /// parallelism (and so routed logits stay bit-exact with the scalar
 /// reference). Alive until the parent's control pipe reads EOF.
-int shard_worker_main(int port, int shutdown_fd) {
+int shard_worker_main(int port, int shutdown_fd, bool reuse_port = false) {
   nn::kernels::ScopedKernelOverride pin(nn::kernels::Kind::kScalar);
   serve::ServingConfig config;
   config.worker_threads = 2;
@@ -630,7 +641,9 @@ int shard_worker_main(int port, int shutdown_fd) {
   config.batcher.max_wait_us = 200;
   config.backends.accelerator = false;
   serve::ServingRuntime runtime(config);
-  web::HttpServer server;
+  web::ServerConfig server_config;
+  server_config.reuse_port = reuse_port;  // supervised restart: parent holds the port
+  web::HttpServer server(server_config);
   serve::install_serve_api(server, runtime);
   try {
     server.start(port);
@@ -848,6 +861,294 @@ ShardedResult measure_sharded(bool quick) {
   return out;
 }
 
+struct ChaosResult {
+  std::size_t workers = 3;        ///< supervised worker processes
+  std::size_t designs = 0;        ///< designs deployed through the journaled router
+  std::size_t kills = 0;          ///< SIGKILLs delivered during the soak
+  std::uint64_t restarts = 0;     ///< supervisor restarts observed
+  std::size_t soak_requests = 0;  ///< predicts issued while workers were dying
+  std::size_t soak_errors = 0;    ///< non-200 answers during the soak
+  std::size_t mismatches = 0;     ///< 200s whose logits differ from the reference
+  std::size_t recovered = 0;      ///< designs a fresh router replayed from the journal
+  std::uint64_t clean_truncated = 0;  ///< journal truncation events on the clean replay
+  std::size_t torn_recovered = 0;     ///< designs recovered after a torn tail
+  std::uint64_t torn_truncated = 0;   ///< truncation events reported for the torn tail
+  bool deploy_ok = true;
+  bool soak_healed = false;  ///< every design answered bit-exact after the soak
+  bool ok = false;
+};
+
+/// Predicts every design once through `router`, retrying each design until it
+/// answers 200 (crash repair may still be in flight) up to `deadline_ms`.
+/// Returns the number of designs that never answered a bit-exact 200.
+std::size_t chaos_settle(serve::shard::Router& router,
+                         const std::vector<std::string>& predict_bodies,
+                         const std::vector<tensor::Tensor>& expected, int deadline_ms,
+                         std::size_t* mismatches) {
+  std::size_t failed = 0;
+  for (std::size_t d = 0; d < predict_bodies.size(); ++d) {
+    const auto give_up = Clock::now() + std::chrono::milliseconds(deadline_ms);
+    web::HttpRequest request;
+    request.method = "POST";
+    request.body = predict_bodies[d];
+    bool answered = false;
+    while (Clock::now() < give_up) {
+      const web::HttpResponse response = router.handle_predict(request);
+      if (response.status != 200) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      answered = true;
+      try {
+        const auto doc = json::parse(response.body);
+        const auto& logits = doc.at("logits").as_array();
+        const tensor::Tensor& want = expected[d];
+        bool exact = logits.size() == want.size();
+        for (std::size_t k = 0; exact && k < want.size(); ++k) {
+          const float got = static_cast<float>(logits[k].as_double());
+          const float ref = want[k];
+          exact = std::memcmp(&got, &ref, sizeof(float)) == 0;
+        }
+        if (!exact) ++*mismatches;
+      } catch (const std::exception&) {
+        ++*mismatches;
+      }
+      break;
+    }
+    if (!answered) ++failed;
+  }
+  return failed;
+}
+
+/// The --chaos drill (see DESIGN.md "Crash recovery and durability"): a
+/// journaled router over three SUPERVISED workers absorbs SIGKILLs under
+/// closed-loop load, then the router itself is torn down and rebuilt from the
+/// journal — twice, the second time with a deliberately torn journal tail.
+/// Forks its initial workers before any thread exists; supervised RESTARTS
+/// fork from a threaded process, which is exactly the production scenario the
+/// supervisor is built for (worker children silence logging first so they
+/// never touch a lock the fork may have captured — shard/supervisor.hpp).
+ChaosResult measure_chaos(bool quick) {
+  ChaosResult out;
+  constexpr std::size_t kFleet = 3;
+  constexpr std::size_t kDesigns = 4;
+  constexpr std::size_t kClients = 4;
+  const std::size_t kills_target = quick ? 2 : 4;
+  const std::string journal_path = "bench_chaos_journal.log";
+  std::remove(journal_path.c_str());
+
+  // Reserve each worker's port for the whole drill, then fork the initial
+  // fleet while this process is still single-threaded.
+  serve::shard::SupervisorConfig supervisor_config;
+  supervisor_config.backoff_initial_ms = 100;
+  supervisor_config.backoff_max_ms = 500;
+  supervisor_config.restart_budget = 0;  // the soak kills on purpose; no budget
+  serve::shard::Supervisor supervisor(supervisor_config);
+  std::vector<serve::shard::ProcessLauncher*> launchers;
+  for (std::size_t i = 0; i < kFleet; ++i) {
+    auto reserved = serve::shard::ReservedPort::reserve();
+    if (!reserved.valid()) {
+      std::fprintf(stderr, "chaos: could not reserve a local port\n");
+      out.deploy_ok = false;
+      return out;
+    }
+    auto launcher = std::make_unique<serve::shard::ProcessLauncher>(
+        std::move(reserved),
+        [](int port, int fd) {
+          util::set_log_level(util::LogLevel::kOff);  // fork-safety: first statement
+          return shard_worker_main(port, fd, /*reuse_port=*/true);
+        },
+        30000);
+    if (!launcher->start()) {
+      std::fprintf(stderr, "chaos: worker %zu did not become ready\n", i);
+      out.deploy_ok = false;
+      supervisor.stop_all();
+      return out;
+    }
+    launchers.push_back(launcher.get());
+    supervisor.add_slot(util::format("worker-%zu", i), std::move(launcher));
+  }
+
+  const auto make_router = [&](bool expect_journal_ok) {
+    serve::shard::RouterConfig config;
+    config.replication = 2;
+    config.worker.client.read_timeout_ms = 60000;
+    config.probe_interval_ms = 50;  // restarts and ring repair inside the soak window
+    config.journal_path = journal_path;
+    auto router = std::make_unique<serve::shard::Router>(config);
+    (void)expect_journal_ok;
+    for (std::size_t w = 0; w < kFleet; ++w) {
+      router->add_worker(util::format("worker-%zu", w), "127.0.0.1", launchers[w]->port());
+    }
+    return router;
+  };
+
+  auto router = make_router(true);
+  router->attach_supervisor(&supervisor);
+  router->start_probing();
+
+  // Deploy kDesigns tiny designs (journal-before-ack) and build the local
+  // scalar reference for bit-exact checks, same recipe as the sharded duel.
+  std::vector<std::string> predict_bodies;
+  std::vector<tensor::Tensor> expected;
+  nn::kernels::ScopedKernelOverride pin(nn::kernels::Kind::kScalar);
+  for (std::size_t d = 0; d < kDesigns; ++d) {
+    core::NetworkDescriptor descriptor =
+        serving_descriptor(util::format("chaos_design_%zu", d));
+    json::Value doc = descriptor.to_json();
+    doc.as_object()["seed"] = 1;
+    web::HttpRequest request;
+    request.method = "POST";
+    request.body = doc.dump();
+    const web::HttpResponse response = router->handle_deploy(request);
+    if (response.status != 200) {
+      std::fprintf(stderr, "chaos: deploy %zu failed (%d)\n", d, response.status);
+      out.deploy_ok = false;
+      continue;
+    }
+    const std::string design_id = json::parse(response.body).at("design_id").as_string();
+
+    nn::Network net = descriptor.build_network();
+    util::Rng weight_rng(1);
+    net.init_weights(weight_rng);
+    nn::ExecutionContext ctx(net);
+    tensor::Tensor image{net.input_shape()};
+    util::Rng image_rng(7000 + d);
+    image.fill_uniform(image_rng, -1.0f, 1.0f);
+    expected.push_back(net.infer(image, ctx));
+
+    std::vector<std::uint8_t> raw(image.size() * sizeof(float));
+    std::memcpy(raw.data(), image.data(), raw.size());
+    json::Object predict;
+    predict["design_id"] = design_id;
+    predict["image_base64"] = util::base64_encode(raw);
+    predict_bodies.push_back(json::Value(std::move(predict)).dump());
+  }
+  out.designs = predict_bodies.size();
+  if (out.designs != kDesigns) out.deploy_ok = false;
+
+  // Soak: closed-loop clients keep predicting while the main thread SIGKILLs
+  // a rotating worker and lets the supervisor resurrect it. Replication 2 of
+  // 3 means one dead worker always leaves a live replica, so failover should
+  // keep the error rate low (bounded by the gate below, not zero: a predict
+  // already in flight INTO the dying socket is allowed to fail).
+  if (out.deploy_ok) {
+    std::atomic<bool> stop{false};
+    std::vector<std::size_t> errs(kClients, 0);
+    std::vector<std::size_t> bad(kClients, 0);
+    std::vector<std::size_t> sent(kClients, 0);
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        web::HttpRequest request;
+        request.method = "POST";
+        for (std::size_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+          const std::size_t d = (c + i) % predict_bodies.size();
+          request.body = predict_bodies[d];
+          const web::HttpResponse response = router->handle_predict(request);
+          ++sent[c];
+          if (response.status != 200) {
+            ++errs[c];
+            continue;
+          }
+          try {
+            const auto doc = json::parse(response.body);
+            const auto& logits = doc.at("logits").as_array();
+            const tensor::Tensor& want = expected[d];
+            bool exact = logits.size() == want.size();
+            for (std::size_t k = 0; exact && k < want.size(); ++k) {
+              const float got = static_cast<float>(logits[k].as_double());
+              const float ref = want[k];
+              exact = std::memcmp(&got, &ref, sizeof(float)) == 0;
+            }
+            if (!exact) ++bad[c];
+          } catch (const std::exception&) {
+            ++bad[c];
+          }
+        }
+      });
+    }
+    for (std::size_t kill = 0; kill < kills_target; ++kill) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(quick ? 300 : 600));
+      launchers[kill % kFleet]->kill_now();
+      ++out.kills;
+      // Give the supervisor room to notice, back off, and restart before the
+      // next murder; the load keeps running the whole time.
+      std::this_thread::sleep_for(std::chrono::milliseconds(quick ? 700 : 1200));
+    }
+    stop.store(true);
+    for (std::thread& client : clients) client.join();
+    for (std::size_t c = 0; c < kClients; ++c) {
+      out.soak_requests += sent[c];
+      out.soak_errors += errs[c];
+      out.mismatches += bad[c];
+    }
+    // After the dust settles every design must answer bit-exact again, and
+    // every kill must have produced a restart (the last one may still be in
+    // backoff; the router's prober keeps ticking the supervisor while we wait).
+    out.soak_healed =
+        chaos_settle(*router, predict_bodies, expected, 20000, &out.mismatches) == 0;
+    const auto restart_deadline = Clock::now() + std::chrono::seconds(15);
+    while (supervisor.restarts() < out.kills && Clock::now() < restart_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    out.restarts = supervisor.restarts();
+  }
+
+  // Router crash drill: tear the router down, SIGKILL the whole fleet, then
+  // rebuild a router from nothing but the journal. recover() replays the
+  // catalog; the supervisor resurrects workers; predict-driven repair refills
+  // them. Every design must come back bit-exact with zero truncation.
+  if (out.deploy_ok) {
+    router->stop_probing();
+    router.reset();  // releases the journal before the successor replays it
+    for (auto* launcher : launchers) launcher->kill_now();
+    router = make_router(true);
+    out.recovered = router->recover();
+    out.clean_truncated = router->journal()->truncated_records();
+    router->attach_supervisor(&supervisor);
+    router->start_probing();
+    out.soak_healed =
+        out.soak_healed &&
+        chaos_settle(*router, predict_bodies, expected, 30000, &out.mismatches) == 0;
+  }
+
+  // Torn-tail drill: append garbage past the last valid record and replay
+  // again. Every fully-written record must survive; the cut must be REPORTED.
+  if (out.deploy_ok) {
+    router->stop_probing();
+    router.reset();
+    {
+      std::ofstream tail(journal_path, std::ios::binary | std::ios::app);
+      tail << "\x13\x37GARBAGE-TORN-TAIL";  // bogus length prefix + partial payload
+    }
+    router = make_router(false);
+    out.torn_recovered = router->recover();
+    out.torn_truncated = router->journal()->truncated_records();
+    router->attach_supervisor(&supervisor);
+    router->start_probing();
+    out.soak_healed =
+        out.soak_healed &&
+        chaos_settle(*router, predict_bodies, expected, 30000, &out.mismatches) == 0;
+  }
+
+  if (router != nullptr) router->stop_probing();
+  router.reset();
+  supervisor.stop_all();
+  std::remove(journal_path.c_str());
+
+  const double error_rate =
+      out.soak_requests > 0
+          ? static_cast<double>(out.soak_errors) / static_cast<double>(out.soak_requests)
+          : 1.0;
+  out.ok = out.deploy_ok && out.designs == kDesigns && out.kills == kills_target &&
+           out.restarts >= out.kills && out.mismatches == 0 && out.soak_healed &&
+           out.recovered == kDesigns && out.clean_truncated == 0 &&
+           out.torn_recovered == kDesigns && out.torn_truncated >= 1 &&
+           error_rate <= 0.10;
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -855,12 +1156,14 @@ int main(int argc, char** argv) {
   bool overload = false;
   bool hetero = false;
   bool sharded = false;
+  bool chaos = false;
   std::string out_path = "BENCH_serving.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--overload") == 0) overload = true;
     if (std::strcmp(argv[i], "--hetero") == 0) hetero = true;
     if (std::strcmp(argv[i], "--sharded") == 0) sharded = true;
+    if (std::strcmp(argv[i], "--chaos") == 0) chaos = true;
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
   }
   const std::size_t kClients = 8;
@@ -873,8 +1176,49 @@ int main(int argc, char** argv) {
               kClients, quick ? ", --quick" : "", hw_threads);
   std::puts("------------------------------------------------------------------");
 
-  // The sharded duel forks its worker processes, so it must run before ANY
-  // other section creates a thread in this process (shard/process.hpp).
+  // The fork-dependent sections run before ANY other section creates a thread
+  // in this process (shard/process.hpp). Each one joins every thread it
+  // started before returning, so they can run back to back.
+  ChaosResult havoc;
+  bool chaos_ok = true;
+  std::string chaos_json = "false";
+  if (chaos) {
+    havoc = measure_chaos(quick);
+    chaos_ok = havoc.ok;
+    const double error_rate =
+        havoc.soak_requests > 0
+            ? static_cast<double>(havoc.soak_errors) / static_cast<double>(havoc.soak_requests)
+            : 1.0;
+    std::printf("chaos drill (%zu supervised workers, %zu journaled designs):\n",
+                havoc.workers, havoc.designs);
+    std::printf("  soak: %zu kills -> %llu restarts; %zu predicts, %zu errors (%.2f%%), "
+                "%zu logit mismatches\n",
+                havoc.kills, static_cast<unsigned long long>(havoc.restarts),
+                havoc.soak_requests, havoc.soak_errors, error_rate * 100.0,
+                havoc.mismatches);
+    std::printf("  router rebuild from journal: %zu/%zu designs, %llu truncation events\n",
+                havoc.recovered, havoc.designs,
+                static_cast<unsigned long long>(havoc.clean_truncated));
+    std::printf("  torn-tail rebuild: %zu/%zu designs, %llu truncation events (must "
+                "be >= 1)\n",
+                havoc.torn_recovered, havoc.designs,
+                static_cast<unsigned long long>(havoc.torn_truncated));
+    std::printf("  healed bit-exact after every drill: %s\n",
+                havoc.soak_healed ? "yes" : "NO");
+    chaos_json = util::format(
+        "{\"workers\": %zu, \"designs\": %zu, \"kills\": %zu, \"restarts\": %llu, "
+        "\"soak_requests\": %zu, \"soak_errors\": %zu, \"error_rate\": %.4f, "
+        "\"mismatches\": %zu, \"recovered\": %zu, \"journal_truncated_records\": %llu, "
+        "\"torn_recovered\": %zu, \"torn_truncated_records\": %llu, "
+        "\"healed\": %s, \"ok\": %s}",
+        havoc.workers, havoc.designs, havoc.kills,
+        static_cast<unsigned long long>(havoc.restarts), havoc.soak_requests,
+        havoc.soak_errors, error_rate, havoc.mismatches, havoc.recovered,
+        static_cast<unsigned long long>(havoc.clean_truncated), havoc.torn_recovered,
+        static_cast<unsigned long long>(havoc.torn_truncated),
+        havoc.soak_healed ? "true" : "false", chaos_ok ? "true" : "false");
+  }
+
   ShardedResult shard;
   bool sharded_ok = true;
   std::string sharded_json = "false";
@@ -1090,7 +1434,8 @@ int main(int argc, char** argv) {
       "\"deploy_miss_us\": %.1f, \"deploy_hit_us\": %.1f, \"registry_speedup\": %.1f, "
       "\"overload\": %s, \"overload_served\": %zu, \"overload_shed\": %zu, "
       "\"overload_max_reject_ms\": %.2f, \"overload_queue_peak\": %llu, "
-      "\"overload_recovery_ratio\": %.3f, \"hetero\": %s, \"sharded\": %s}",
+      "\"overload_recovery_ratio\": %.3f, \"hetero\": %s, \"sharded\": %s, "
+      "\"chaos\": %s}",
       kClients, kBatch, unbatched.accel_ips, batched.accel_ips, accel_speedup,
       unbatched.host_ips, batched.host_ips, host_speedup, one_worker.host_ips,
       four_workers.host_ips, worker_scaling, scaling_gate ? "true" : "false", hw_threads,
@@ -1101,7 +1446,7 @@ int main(int argc, char** argv) {
       deploy.miss_us, deploy.hit_us, deploy_speedup, overload ? "true" : "false",
       flood.served, flood.shed, flood.max_reject_ms,
       static_cast<unsigned long long>(flood.queue_peak), recovery_ratio,
-      hetero_json.c_str(), sharded_json.c_str());
+      hetero_json.c_str(), sharded_json.c_str(), chaos_json.c_str());
   std::printf("SERVING_JSON %s\n", json.c_str());
   std::ofstream out_file(out_path);
   out_file << json << "\n";
@@ -1121,6 +1466,6 @@ int main(int argc, char** argv) {
   // (the kernel-level gate in bench_kernels demands >= 2x; at the request
   // level dispatch overhead dilutes it, so >= 1x is the floor).
   if (have_avx2) ok = ok && int8_p50_speedup >= 1.0;
-  ok = ok && overload_ok && hetero_ok && sharded_ok;
+  ok = ok && overload_ok && hetero_ok && sharded_ok && chaos_ok;
   return ok ? 0 : 1;
 }

@@ -26,6 +26,16 @@
 //   --replication R        distinct workers holding each design (default 2)
 //   --worker-threads N     executor threads per forked worker (default 2)
 //
+// Crash safety (see DESIGN.md "Crash recovery and durability"):
+//   --journal PATH         durable deploy journal: every accepted deploy is
+//                          fsynced to PATH before the 200, and a restarted
+//                          router replays it to recover its full design set
+//   --supervise            hold each worker's port reserved and restart
+//                          crashed workers (exponential backoff); a restarted
+//                          worker is re-filled through catalog repair
+//   --restart-budget N     crashes tolerated per worker per minute before the
+//                          slot is marked permanently down (default 5)
+//
 // Overload / robustness knobs (see DESIGN.md "Overload and failure behavior"):
 //   --max-queue-depth N    shed predicts with 429 beyond N queued (0 = off)
 //   --max-wait-us N        partial-batch flush deadline
@@ -53,6 +63,7 @@
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
+#include <memory>
 #include <semaphore>
 #include <stdexcept>
 #include <string>
@@ -117,15 +128,20 @@ bool build_serving_config(const util::CliArgs& args, std::size_t default_threads
 }
 
 /// Forked worker body: one full serving runtime on a fixed port, alive until
-/// the router's control pipe reads EOF.
-int run_worker_child(const util::CliArgs& args, int port, int shutdown_fd) {
+/// the router's control pipe reads EOF. Supervised workers bind with
+/// SO_REUSEPORT: the router keeps a reservation socket on the same port so a
+/// restarted worker can never lose the port to another process.
+int run_worker_child(const util::CliArgs& args, int port, int shutdown_fd,
+                     bool reuse_port = false) {
   serve::ServingConfig config;
   if (!build_serving_config(
           args, static_cast<std::size_t>(args.get_int("worker-threads", 2)), &config)) {
     return 1;
   }
   serve::ServingRuntime runtime(config);
-  web::HttpServer server;
+  web::ServerConfig server_config;
+  server_config.reuse_port = reuse_port;
+  web::HttpServer server(server_config);
   serve::install_serve_api(server, runtime);
   try {
     server.start(port);
@@ -150,42 +166,88 @@ int run_router(const util::CliArgs& args) {
     return 1;
   }
 
+  const bool supervise = args.has("supervise");
+  const std::string journal_path = args.get_string("journal", "");
+
   // Fork every worker BEFORE any thread exists in this process (a forked
   // copy of a multithreaded process is unusable — see shard/process.hpp).
-  std::vector<serve::shard::WorkerProcess> workers(static_cast<std::size_t>(worker_count));
+  // Supervised restarts later fork from a threaded router, which is safe only
+  // because run_worker_child silences logging before any worker thread could
+  // contend a lock the child inherited (see shard/supervisor.hpp).
+  std::vector<serve::shard::WorkerProcess> workers;
+  serve::shard::SupervisorConfig supervisor_config;
+  supervisor_config.restart_budget =
+      static_cast<std::uint64_t>(args.get_int("restart-budget", 5));
+  serve::shard::Supervisor supervisor(supervisor_config);
   std::vector<int> ports;
-  for (int i = 0; i < worker_count; ++i) {
-    const int port = serve::shard::reserve_local_port();
-    if (port == 0) {
-      std::fprintf(stderr, "could not reserve a local port for worker %d\n", i);
-      return 1;
+  if (supervise) {
+    for (int i = 0; i < worker_count; ++i) {
+      auto reserved = serve::shard::ReservedPort::reserve();
+      if (!reserved.valid()) {
+        std::fprintf(stderr, "could not reserve a local port for worker %d\n", i);
+        return 1;
+      }
+      ports.push_back(reserved.port());
+      auto launcher = std::make_unique<serve::shard::ProcessLauncher>(
+          std::move(reserved),
+          [&args](int worker_port, int shutdown_fd) {
+            // First statement post-fork: the child may have been forked from a
+            // threaded router during a restart, so it must not touch stdio
+            // locks (LOG gates on an atomic level check).
+            util::set_log_level(util::LogLevel::kOff);
+            return run_worker_child(args, worker_port, shutdown_fd, /*reuse_port=*/true);
+          },
+          15000);
+      if (!launcher->start()) {
+        std::fprintf(stderr, "worker %d on port %d did not become ready\n", i,
+                     launcher->port());
+        return 1;
+      }
+      supervisor.add_slot(util::format("worker-%d", i), std::move(launcher));
     }
-    ports.push_back(port);
-  }
-  for (int i = 0; i < worker_count; ++i) {
-    const bool spawned = workers[static_cast<std::size_t>(i)].spawn(
-        ports[static_cast<std::size_t>(i)], [&args](int port, int shutdown_fd) {
-          return run_worker_child(args, port, shutdown_fd);
-        });
-    if (!spawned) {
-      std::fprintf(stderr, "fork of worker %d failed\n", i);
-      return 1;
+  } else {
+    workers.resize(static_cast<std::size_t>(worker_count));
+    for (int i = 0; i < worker_count; ++i) {
+      const int port = serve::shard::reserve_local_port();
+      if (port == 0) {
+        std::fprintf(stderr, "could not reserve a local port for worker %d\n", i);
+        return 1;
+      }
+      ports.push_back(port);
     }
-  }
-  for (int i = 0; i < worker_count; ++i) {
-    if (!serve::shard::wait_until_ready(ports[static_cast<std::size_t>(i)], 15000)) {
-      std::fprintf(stderr, "worker %d on port %d did not become ready\n", i,
-                   ports[static_cast<std::size_t>(i)]);
-      return 1;
+    for (int i = 0; i < worker_count; ++i) {
+      const bool spawned = workers[static_cast<std::size_t>(i)].spawn(
+          ports[static_cast<std::size_t>(i)], [&args](int port, int shutdown_fd) {
+            return run_worker_child(args, port, shutdown_fd);
+          });
+      if (!spawned) {
+        std::fprintf(stderr, "fork of worker %d failed\n", i);
+        return 1;
+      }
+    }
+    for (int i = 0; i < worker_count; ++i) {
+      if (!serve::shard::wait_until_ready(ports[static_cast<std::size_t>(i)], 15000)) {
+        std::fprintf(stderr, "worker %d on port %d did not become ready\n", i,
+                     ports[static_cast<std::size_t>(i)]);
+        return 1;
+      }
     }
   }
 
   serve::shard::RouterConfig config;
   config.replication = static_cast<std::size_t>(args.get_int("replication", 2));
+  config.journal_path = journal_path;
   // Deploys regenerate the design on a cache miss; give them more room than
   // the predict path's defaults.
   config.worker.client.read_timeout_ms = 30000;
-  serve::shard::Router router(config);
+  std::unique_ptr<serve::shard::Router> router_ptr;
+  try {
+    router_ptr = std::make_unique<serve::shard::Router>(config);  // replays --journal
+  } catch (const serve::shard::JournalError& e) {
+    std::fprintf(stderr, "--journal rejected: %s\n", e.what());
+    return 1;
+  }
+  serve::shard::Router& router = *router_ptr;
   if (const std::string faults = args.get_string("faults", ""); !faults.empty()) {
     std::string error;
     if (!router.faults().configure(faults, &error)) {
@@ -198,11 +260,19 @@ int run_router(const util::CliArgs& args) {
     router.add_worker(util::format("worker-%d", i), "127.0.0.1",
                       ports[static_cast<std::size_t>(i)]);
   }
+  if (!journal_path.empty()) {
+    const std::size_t recovered = router.recover();
+    if (recovered > 0) {
+      std::printf("recovered %zu design(s) from journal %s\n", recovered,
+                  journal_path.c_str());
+    }
+  }
 
   web::HttpServer server;
   web::install_api(server);  // generate/train/boards stay on the front door
   serve::shard::install_router_api(server, router);
   const int port = server.start(static_cast<int>(args.get_int("port", 0)));
+  if (supervise) router.attach_supervisor(&supervisor);
   router.start_probing();
 
   std::printf("cnn2fpga shard router listening on http://127.0.0.1:%d\n", port);
@@ -211,6 +281,14 @@ int run_router(const util::CliArgs& args) {
     std::printf(" worker-%d=127.0.0.1:%d", i, ports[static_cast<std::size_t>(i)]);
   }
   std::printf("\n");
+  if (supervise) {
+    std::printf("supervisor: restart budget %llu crashes / %d ms per worker\n",
+                static_cast<unsigned long long>(supervisor_config.restart_budget),
+                supervisor_config.budget_window_ms);
+  }
+  if (!journal_path.empty()) {
+    std::printf("deploy journal: %s (fsync per record)\n", journal_path.c_str());
+  }
   std::puts("routes: POST /api/v1/deploy, POST /api/v1/predict (consistent-hash fan-out),");
   std::puts("        GET /api/v1/designs, GET /api/v1/metrics, GET /api/v1/readyz (fleet),");
   std::puts("        GET /healthz, GET /api/v1/boards, POST /api/v1/generate (local)");
@@ -221,7 +299,11 @@ int run_router(const util::CliArgs& args) {
   g_shutdown.acquire();
   router.stop_probing();
   server.stop();
-  for (auto& worker : workers) worker.stop();
+  if (supervise) {
+    supervisor.stop_all();
+  } else {
+    for (auto& worker : workers) worker.stop();
+  }
   std::puts("\nrouter stopped");
   return 0;
 }

@@ -28,8 +28,10 @@
 #include "power/energy_logger.hpp"
 #include "power/power_model.hpp"
 #include "serve/server.hpp"
+#include "serve/shard/journal.hpp"
 #include "serve/shard/process.hpp"
 #include "serve/shard/router.hpp"
+#include "serve/shard/supervisor.hpp"
 #include "tensor/tensor.hpp"
 #include "util/cli.hpp"
 #include "util/fileio.hpp"

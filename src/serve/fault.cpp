@@ -66,7 +66,7 @@ void FaultInjector::seed(std::uint64_t value) {
   seed_ = value;
 }
 
-bool FaultInjector::fire(std::string_view site, FaultKind kind, std::uint64_t* latency_us) {
+bool FaultInjector::fire(std::string_view site, FaultKind kind, FaultSpec* spec) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = sites_.find(site);
   if (it == sites_.end()) return false;
@@ -85,15 +85,15 @@ bool FaultInjector::fire(std::string_view site, FaultKind kind, std::uint64_t* l
     }
     if (!fires) return false;
     ++armed.fires;
-    if (latency_us != nullptr) *latency_us = armed.spec.latency_us;
+    if (spec != nullptr) *spec = armed.spec;
     return true;
   }
   return false;
 }
 
-bool FaultInjector::should_fail(std::string_view site) {
+bool FaultInjector::should_fail(std::string_view site, FaultSpec* spec) {
   if (!enabled()) return false;
-  return fire(site, FaultKind::kError);
+  return fire(site, FaultKind::kError, spec);
 }
 
 bool FaultInjector::should_fail_alloc(std::string_view site) {
@@ -103,12 +103,20 @@ bool FaultInjector::should_fail_alloc(std::string_view site) {
 
 void FaultInjector::inject_latency(std::string_view site) {
   if (!enabled()) return;
-  std::uint64_t latency_us = 0;
+  FaultSpec spec;
   // Decide under the lock, sleep outside it: a long injected delay must not
   // serialize every other site through the injector mutex.
-  if (fire(site, FaultKind::kLatency, &latency_us) && latency_us > 0) {
-    std::this_thread::sleep_for(std::chrono::microseconds(latency_us));
+  if (fire(site, FaultKind::kLatency, &spec) && spec.latency_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(spec.latency_us));
   }
+}
+
+bool FaultInjector::should_stall(std::string_view site, std::uint64_t* latency_us) {
+  if (!enabled()) return false;
+  FaultSpec spec;
+  if (!fire(site, FaultKind::kLatency, &spec)) return false;
+  if (latency_us != nullptr) *latency_us = spec.latency_us;
+  return true;
 }
 
 std::uint64_t FaultInjector::fired(std::string_view site) const {
@@ -161,7 +169,15 @@ bool FaultInjector::configure(const std::string& spec, std::string* error) {
           return false;
         }
       }
-      if (fields.size() > 3) {
+      if (fields.size() >= 4 && kind == "error") {
+        out.spec.bytes = std::strtoull(fields[3].c_str(), &end, 10);
+        if (end == fields[3].c_str()) {
+          if (error) *error = format("fault entry '%s': bad bytes", text.c_str());
+          return false;
+        }
+      }
+      const std::size_t max_fields = kind == "error" ? 4u : 3u;
+      if (fields.size() > max_fields) {
         if (error) *error = format("fault entry '%s': too many fields", text.c_str());
         return false;
       }
@@ -222,6 +238,7 @@ json::Value FaultInjector::to_json() const {
       entry["rate"] = fault.spec.rate;
       entry["count"] = fault.spec.count;
       entry["latency_us"] = fault.spec.latency_us;
+      entry["bytes"] = fault.spec.bytes;
       entry["hits"] = fault.hits;
       entry["fires"] = fault.fires;
       entries.push_back(std::move(entry));

@@ -13,6 +13,20 @@
 //                                               simulates that worker's
 //                                               transport failing, forcing a
 //                                               failover to its replica
+//   client.connect    error / latency           in web::HttpClient — error
+//                                               refuses the connection,
+//                                               latency stalls then fails it
+//                                               (a connect timeout)
+//   client.send       error                     in web::HttpClient — tears the
+//                                               write after `bytes` real bytes
+//                                               and closes the socket, so the
+//                                               server sees a truncated
+//                                               request
+//   client.recv       error / latency           in web::HttpClient — error
+//                                               resets the connection before
+//                                               the response is read, latency
+//                                               stalls then resets (a read
+//                                               timeout)
 //
 // Three fault kinds: kError makes the site throw InjectedFault, kLatency adds
 // a fixed delay, kAlloc makes the site throw std::bad_alloc. Decisions are
@@ -54,6 +68,7 @@ struct FaultSpec {
   double rate = 1.0;             ///< firing probability per hit (deterministic)
   std::uint64_t count = 0;       ///< fire at most this many times; 0 = unlimited
   std::uint64_t latency_us = 0;  ///< added delay (kLatency only)
+  std::uint64_t bytes = 0;       ///< torn-write length for client.send (kError)
 };
 
 class FaultInjector {
@@ -75,8 +90,9 @@ class FaultInjector {
 
   /// Parse and arm a comma-separated spec, e.g.
   ///   "executor.batch=error:1.0:3,batcher.enqueue=latency:500"
-  /// entry grammar: site=error[:rate[:count]] | site=latency:us[:count]
+  /// entry grammar: site=error[:rate[:count[:bytes]]] | site=latency:us[:count]
   ///              | site=alloc[:rate[:count]]
+  /// (`bytes` is the torn-write length consumed by the client.send site).
   /// Returns false (and fills *error) on a malformed spec; nothing is armed
   /// from a spec that fails to parse.
   bool configure(const std::string& spec, std::string* error = nullptr);
@@ -91,17 +107,25 @@ class FaultInjector {
 
   // --- hot-path queries (immediate false/no-op while nothing is armed) ---
 
-  /// Did an error fault fire at `site`? Callers throw InjectedFault.
-  bool should_fail(std::string_view site);
+  /// Did an error fault fire at `site`? Callers throw InjectedFault. When
+  /// `spec` is non-null it receives the armed spec on fire, so transport
+  /// sites can read auxiliary fields (the torn-write `bytes` length).
+  bool should_fail(std::string_view site, FaultSpec* spec = nullptr);
   /// Did an alloc fault fire at `site`? Callers throw std::bad_alloc.
   bool should_fail_alloc(std::string_view site);
   /// Sleep for the armed latency if a latency fault fires at `site`.
   void inject_latency(std::string_view site);
+  /// Like inject_latency but does NOT sleep: reports the armed stall through
+  /// *latency_us and lets the caller decide what the stall means (the
+  /// transport sites sleep and then fail the operation, simulating a timeout).
+  bool should_stall(std::string_view site, std::uint64_t* latency_us);
 
   /// Total fires across all kinds at `site` (observability for tests).
   std::uint64_t fired(std::string_view site) const;
 
-  /// {"site": {"kind": ..., "rate": ..., "hits": n, "fires": n}, ...}
+  /// {"site": [{"kind", "rate", "count", "latency_us", "bytes", "hits",
+  /// "fires"}, ...], ...} — the full armed spec plus firing accounting, so an
+  /// armed chaos configuration is observable end to end in /api/v1/metrics.
   json::Value to_json() const;
 
  private:
@@ -111,9 +135,9 @@ class FaultInjector {
     std::uint64_t fires = 0;  ///< times the fault actually fired
   };
 
-  /// Decide (and account) one query of `kind` at `site`. For kLatency the
-  /// armed delay is returned through *latency_us.
-  bool fire(std::string_view site, FaultKind kind, std::uint64_t* latency_us = nullptr);
+  /// Decide (and account) one query of `kind` at `site`. On fire the armed
+  /// spec is copied through *spec when non-null.
+  bool fire(std::string_view site, FaultKind kind, FaultSpec* spec = nullptr);
 
   std::atomic<std::size_t> armed_{0};  ///< armed fault count (enabled() gate)
   mutable std::mutex mutex_;

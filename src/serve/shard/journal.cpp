@@ -1,0 +1,320 @@
+#include "serve/shard/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/hash.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace cnn2fpga::serve::shard {
+
+using cnn2fpga::util::format;
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'J', 'N', 'L', '0', '0', '0', '1'};
+constexpr std::size_t kMagicSize = sizeof(kMagic);
+constexpr std::size_t kHeaderSize = 8;  // u32 length + u32 crc32, little-endian
+
+std::uint32_t read_u32_le(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void write_u32_le(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xffu));
+  out.push_back(static_cast<char>((value >> 8) & 0xffu));
+  out.push_back(static_cast<char>((value >> 16) & 0xffu));
+  out.push_back(static_cast<char>((value >> 24) & 0xffu));
+}
+
+std::string encode_record(const std::string& record) {
+  std::string out;
+  out.reserve(kHeaderSize + record.size());
+  write_u32_le(out, static_cast<std::uint32_t>(record.size()));
+  write_u32_le(out, util::crc32(record));
+  out += record;
+  return out;
+}
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Best-effort directory fsync so a rename/create survives power loss. Not
+/// all filesystems allow fsync on a directory fd; failure is non-fatal.
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+const char* fsync_policy_name(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kNever: return "never";
+    case FsyncPolicy::kEveryRecord: return "every_record";
+    case FsyncPolicy::kInterval: return "interval";
+  }
+  return "?";
+}
+
+}  // namespace
+
+DeployJournal::DeployJournal(std::string path, JournalConfig config)
+    : path_(std::move(path)), config_(config) {}
+
+DeployJournal::~DeployJournal() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  close_locked();
+}
+
+void DeployJournal::close_locked() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::vector<std::string> DeployJournal::open_and_replay() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  close_locked();
+
+  int fd = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    throw JournalError(format("journal %s: open failed: %s", path_.c_str(),
+                              std::strerror(errno)));
+  }
+
+  // Slurp the whole file: a journal is the live design set plus bounded
+  // churn (compaction keeps it that way), not an unbounded history.
+  std::string data;
+  {
+    char buf[1 << 16];
+    ssize_t n;
+    while ((n = ::read(fd, buf, sizeof(buf))) > 0) data.append(buf, static_cast<std::size_t>(n));
+    if (n < 0) {
+      ::close(fd);
+      throw JournalError(format("journal %s: read failed: %s", path_.c_str(),
+                                std::strerror(errno)));
+    }
+  }
+
+  std::vector<std::string> replayed;
+  std::size_t good = 0;  // byte offset of the end of the valid prefix
+  bool corrupt_tail = false;
+
+  if (data.empty()) {
+    // Fresh journal: stamp the magic so every non-empty journal is
+    // self-identifying.
+    if (!write_all(fd, kMagic, kMagicSize)) {
+      ::close(fd);
+      throw JournalError(format("journal %s: failed to write header", path_.c_str()));
+    }
+    ::fsync(fd);
+    ++fsyncs_;
+    good = kMagicSize;
+  } else if (data.size() < kMagicSize ||
+             std::memcmp(data.data(), kMagic, kMagicSize) != 0) {
+    // Not our file (or a torn first write). Refuse to guess at the contents:
+    // everything is a truncated tail over an empty valid prefix.
+    corrupt_tail = true;
+    good = 0;
+  } else {
+    std::size_t offset = kMagicSize;
+    good = offset;
+    while (offset < data.size()) {
+      if (data.size() - offset < kHeaderSize) {
+        corrupt_tail = true;  // torn mid-header
+        break;
+      }
+      const auto* p = reinterpret_cast<const unsigned char*>(data.data() + offset);
+      const std::uint32_t length = read_u32_le(p);
+      const std::uint32_t crc = read_u32_le(p + 4);
+      if (length > config_.max_record_bytes ||
+          data.size() - offset - kHeaderSize < length) {
+        corrupt_tail = true;  // absurd length or torn mid-payload
+        break;
+      }
+      const std::string_view payload(data.data() + offset + kHeaderSize, length);
+      if (util::crc32(payload.data(), payload.size()) != crc) {
+        corrupt_tail = true;  // bit rot / torn payload overwritten by header
+        break;
+      }
+      replayed.emplace_back(payload);
+      offset += kHeaderSize + length;
+      good = offset;
+    }
+  }
+
+  if (corrupt_tail) {
+    const std::uint64_t cut = data.size() - good;
+    // One truncation event; the garbage tail has no record boundaries to
+    // count, so the record counter reports events, the byte counter extent.
+    truncated_records_ += 1;
+    truncated_bytes_ += cut;
+    LOG_WARN("journal") << format("%s: cut %llu corrupt tail byte(s) at offset %zu, %zu record(s) recovered",
+                                  path_.c_str(), static_cast<unsigned long long>(cut), good,
+                                  replayed.size());
+    if (good < kMagicSize) {
+      // The header itself was unreadable: start the file over.
+      if (::ftruncate(fd, 0) != 0 || ::lseek(fd, 0, SEEK_SET) < 0 ||
+          !write_all(fd, kMagic, kMagicSize)) {
+        ::close(fd);
+        throw JournalError(format("journal %s: failed to reset corrupt file", path_.c_str()));
+      }
+      good = kMagicSize;
+    } else if (::ftruncate(fd, static_cast<off_t>(good)) != 0) {
+      ::close(fd);
+      throw JournalError(format("journal %s: failed to truncate torn tail", path_.c_str()));
+    }
+    ::fsync(fd);
+    ++fsyncs_;
+  }
+
+  if (::lseek(fd, static_cast<off_t>(good), SEEK_SET) < 0) {
+    ::close(fd);
+    throw JournalError(format("journal %s: seek failed", path_.c_str()));
+  }
+  fd_ = fd;
+  records_ = replayed.size();
+  bytes_ = good;
+  appends_since_fsync_ = 0;
+  return replayed;
+}
+
+void DeployJournal::maybe_fsync_locked() {
+  bool sync = false;
+  switch (config_.fsync) {
+    case FsyncPolicy::kNever: break;
+    case FsyncPolicy::kEveryRecord: sync = true; break;
+    case FsyncPolicy::kInterval:
+      sync = ++appends_since_fsync_ >= (config_.fsync_interval == 0 ? 1 : config_.fsync_interval);
+      break;
+  }
+  if (sync) {
+    ::fsync(fd_);
+    ++fsyncs_;
+    appends_since_fsync_ = 0;
+  }
+}
+
+void DeployJournal::append(const std::string& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) throw JournalError(format("journal %s: append before open", path_.c_str()));
+  const std::string encoded = encode_record(record);
+  if (!write_all(fd_, encoded.data(), encoded.size())) {
+    throw JournalError(format("journal %s: append failed: %s", path_.c_str(),
+                              std::strerror(errno)));
+  }
+  ++records_;
+  ++appends_;
+  bytes_ += encoded.size();
+  maybe_fsync_locked();
+}
+
+void DeployJournal::compact(const std::vector<std::string>& records) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) throw JournalError(format("journal %s: compact before open", path_.c_str()));
+  const std::string tmp_path = path_ + ".compact.tmp";
+  const int tmp = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (tmp < 0) {
+    throw JournalError(format("journal %s: compact temp open failed: %s", path_.c_str(),
+                              std::strerror(errno)));
+  }
+  std::string snapshot(kMagic, kMagicSize);
+  for (const std::string& record : records) snapshot += encode_record(record);
+  if (!write_all(tmp, snapshot.data(), snapshot.size()) || ::fsync(tmp) != 0) {
+    ::close(tmp);
+    ::unlink(tmp_path.c_str());
+    throw JournalError(format("journal %s: compact write failed", path_.c_str()));
+  }
+  ++fsyncs_;
+  ::close(tmp);
+  // rename(2) is the atomicity point: readers see the old journal or the new
+  // snapshot, never a partial rewrite.
+  if (::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    ::unlink(tmp_path.c_str());
+    throw JournalError(format("journal %s: compact rename failed: %s", path_.c_str(),
+                              std::strerror(errno)));
+  }
+  fsync_parent_dir(path_);
+  close_locked();
+  const int fd = ::open(path_.c_str(), O_RDWR, 0644);
+  if (fd < 0 || ::lseek(fd, 0, SEEK_END) < 0) {
+    if (fd >= 0) ::close(fd);
+    throw JournalError(format("journal %s: reopen after compact failed", path_.c_str()));
+  }
+  fd_ = fd;
+  records_ = records.size();
+  bytes_ = snapshot.size();
+  ++compactions_;
+  appends_since_fsync_ = 0;
+}
+
+bool DeployJournal::wants_compaction(std::uint64_t live_records) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_ > 2 * live_records + config_.compact_slack;
+}
+
+std::uint64_t DeployJournal::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+std::uint64_t DeployJournal::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+std::uint64_t DeployJournal::appends() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return appends_;
+}
+std::uint64_t DeployJournal::fsyncs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fsyncs_;
+}
+std::uint64_t DeployJournal::compactions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return compactions_;
+}
+std::uint64_t DeployJournal::truncated_records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return truncated_records_;
+}
+std::uint64_t DeployJournal::truncated_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return truncated_bytes_;
+}
+
+json::Value DeployJournal::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  json::Object out;
+  out["path"] = path_;
+  out["fsync_policy"] = fsync_policy_name(config_.fsync);
+  out["records"] = records_;
+  out["bytes"] = bytes_;
+  out["appends"] = appends_;
+  out["fsyncs"] = fsyncs_;
+  out["compactions"] = compactions_;
+  out["truncated_records"] = truncated_records_;
+  out["truncated_bytes"] = truncated_bytes_;
+  return json::Value(std::move(out));
+}
+
+}  // namespace cnn2fpga::serve::shard

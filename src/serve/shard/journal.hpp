@@ -1,0 +1,126 @@
+// Durable deploy journal for the shard router.
+//
+// The router's deploy catalog is the fleet's source of truth: it is what
+// repair replays to heal an under-replicated design. Before this journal it
+// lived only in memory, so a router crash silently forgot every deployed
+// design. DeployJournal makes the catalog crash-safe with the smallest
+// possible durability mechanism — an append-only record log:
+//
+//   file   := magic record*          magic  := "CJNL0001" (8 bytes)
+//   record := length crc32 payload   length := u32 LE payload byte count
+//                                    crc32  := u32 LE IEEE CRC of payload
+//
+// Each record is one verbatim deploy body (the same bytes the router
+// replicates to workers). Append order is deploy order; replay rebuilds the
+// catalog exactly, and the existing catalog-repair path re-replicates to the
+// fleet — the journal never needs to know what a worker is.
+//
+// Torn tails: a crash mid-append leaves a half-written record. Replay accepts
+// the longest valid prefix, truncates the file back to it, and reports the
+// cut through truncated_records()/truncated_bytes() — a recovered router can
+// see (and export to /api/v1/metrics) that the tail of history was lost
+// rather than silently serving a shorter past. Anything after the first bad
+// record is unreachable (length-prefixed framing has no resync point), so one
+// flipped byte costs the suffix; the fsync policy bounds how much.
+//
+// Fsync policy: kEveryRecord (default) makes an acked deploy survive power
+// loss at one fsync per deploy; kInterval amortizes over N appends (bounded
+// loss window); kNever leaves flushing to the kernel (test speed). Compaction
+// rewrites the log as a snapshot of the live catalog via temp file + fsync +
+// rename, so a crash mid-compaction leaves either the old or the new journal,
+// never a hybrid.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+
+namespace cnn2fpga::serve::shard {
+
+/// Thrown when the journal cannot uphold its durability contract (open or
+/// write failure). A deploy whose journal append throws must NOT be acked.
+struct JournalError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+enum class FsyncPolicy {
+  kNever,        ///< kernel decides; fastest, loses the page cache on power cut
+  kEveryRecord,  ///< fsync per append; an acked deploy survives anything
+  kInterval,     ///< fsync every `fsync_interval` appends (bounded loss window)
+};
+
+struct JournalConfig {
+  FsyncPolicy fsync = FsyncPolicy::kEveryRecord;
+  std::uint64_t fsync_interval = 16;  ///< appends per fsync (kInterval only)
+  /// wants_compaction(): recommend compacting once the log holds more than
+  /// 2 * live + slack records — enough history churn that a snapshot halves
+  /// replay work, rare enough that compaction cost stays negligible.
+  std::uint64_t compact_slack = 8;
+  /// Replay rejects a record claiming a payload larger than this as corrupt
+  /// (a torn length field can claim anything up to 4 GiB).
+  std::uint64_t max_record_bytes = 64u << 20;
+};
+
+class DeployJournal {
+ public:
+  explicit DeployJournal(std::string path, JournalConfig config = {});
+  ~DeployJournal();
+  DeployJournal(const DeployJournal&) = delete;
+  DeployJournal& operator=(const DeployJournal&) = delete;
+
+  /// Open (creating if absent), validate, and replay the journal. Returns
+  /// every intact record in append order. A torn or corrupt tail is cut off
+  /// the file and reported via truncated_records()/truncated_bytes(); replay
+  /// itself never throws on corruption — only on I/O failure (unopenable
+  /// path, failed truncate). Leaves the journal open for append().
+  std::vector<std::string> open_and_replay();
+
+  /// Durably append one record (deploy body). Honors the fsync policy.
+  /// Throws JournalError if the bytes cannot be written — the caller must
+  /// fail the deploy rather than ack something the journal did not keep.
+  void append(const std::string& record);
+
+  /// Atomically replace the log with a snapshot holding exactly `records`
+  /// (temp file + fsync + rename). Superseded history disappears; replay
+  /// cost becomes proportional to the live set.
+  void compact(const std::vector<std::string>& records);
+
+  /// True when the log has accumulated enough dead history over `live`
+  /// records that compact() is worth it (see JournalConfig::compact_slack).
+  bool wants_compaction(std::uint64_t live_records) const;
+
+  const std::string& path() const { return path_; }
+  std::uint64_t records() const;           ///< records currently in the file
+  std::uint64_t bytes() const;             ///< file size in bytes
+  std::uint64_t appends() const;           ///< append() calls this process
+  std::uint64_t fsyncs() const;            ///< fsync(2) calls issued
+  std::uint64_t compactions() const;       ///< compact() calls completed
+  std::uint64_t truncated_records() const; ///< bad records cut at replay
+  std::uint64_t truncated_bytes() const;   ///< bytes cut at replay
+
+  /// All counters + path + fsync policy, for /api/v1/metrics.
+  json::Value to_json() const;
+
+ private:
+  void maybe_fsync_locked();
+  void close_locked();
+
+  const std::string path_;
+  const JournalConfig config_;
+  mutable std::mutex mutex_;
+  int fd_ = -1;
+  std::uint64_t records_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t appends_ = 0;
+  std::uint64_t fsyncs_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::uint64_t truncated_records_ = 0;
+  std::uint64_t truncated_bytes_ = 0;
+  std::uint64_t appends_since_fsync_ = 0;
+};
+
+}  // namespace cnn2fpga::serve::shard

@@ -66,6 +66,53 @@ int reserve_local_port() {
   return port;
 }
 
+ReservedPort::~ReservedPort() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ReservedPort::ReservedPort(ReservedPort&& other) noexcept : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+ReservedPort& ReservedPort::operator=(ReservedPort&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+ReservedPort ReservedPort::reserve() {
+  ReservedPort reserved;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return reserved;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  // Both members of a reuseport group must opt in; the worker's listening
+  // socket sets it too (web::ServerConfig.reuse_port).
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return reserved;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return reserved;
+  }
+  reserved.fd_ = fd;
+  reserved.port_ = static_cast<int>(ntohs(addr.sin_port));
+  return reserved;
+}
+
 WorkerProcess::~WorkerProcess() { stop(); }
 
 WorkerProcess::WorkerProcess(WorkerProcess&& other) noexcept
@@ -126,6 +173,22 @@ void WorkerProcess::reap() {
   int status = 0;
   ::waitpid(pid_, &status, 0);
   pid_ = -1;
+}
+
+bool WorkerProcess::poll_alive() {
+  if (pid_ <= 0) return false;
+  int status = 0;
+  const pid_t done = ::waitpid(pid_, &status, WNOHANG);
+  if (done == 0) return true;  // still running
+  // Exited (or ECHILD — someone else reaped it): either way the process is
+  // gone. Drop the control fd so the registry doesn't accumulate dead ends.
+  pid_ = -1;
+  if (control_fd_ >= 0) {
+    unregister_control_fd(control_fd_);
+    ::close(control_fd_);
+    control_fd_ = -1;
+  }
+  return false;
 }
 
 void WorkerProcess::stop() {

@@ -5,8 +5,11 @@
 // drill) takes down exactly one shard. The helpers here keep the lifecycle
 // minimal and dependency-free:
 //
-//   * reserve_local_port() picks a free ephemeral port up front so the router
-//     knows every worker's address before any of them is up,
+//   * ReservedPort picks a free ephemeral port up front AND keeps holding it
+//     (a bound, never-listening SO_REUSEPORT socket) so the router knows
+//     every worker's address before any of them is up and a supervisor can
+//     restart a crashed worker on the same port with zero race window — the
+//     kernel never hands a reserved port to an unrelated bind,
 //   * WorkerProcess forks a child that runs the caller's `child_main` (it
 //     starts the serving runtime, then blocks on the inherited control pipe;
 //     EOF on that pipe is the shutdown signal — robust even when the parent
@@ -29,8 +32,38 @@
 namespace cnn2fpga::serve::shard {
 
 /// Reserve a free 127.0.0.1 port: bind ephemeral, read it back, close. The
-/// tiny window before the worker rebinds it is acceptable for local fleets.
+/// tiny window before the worker rebinds it is acceptable for one-shot local
+/// fleets; supervised fleets use ReservedPort, which has no window at all.
 int reserve_local_port();
+
+/// A 127.0.0.1 port held reserved for a worker's whole lifetime, across any
+/// number of crash/restart cycles. The reservation is a bound socket with
+/// SO_REUSEADDR | SO_REUSEPORT that never listens; the worker (same uid) joins
+/// the reuseport group when it binds, and because the reservation never
+/// accepts, every connection goes to the worker's listening socket. While the
+/// worker is dead its connections are refused promptly (no listener in the
+/// group) — exactly the signal the router's health tracking wants.
+class ReservedPort {
+ public:
+  ReservedPort() = default;
+  ~ReservedPort();
+  ReservedPort(const ReservedPort&) = delete;
+  ReservedPort& operator=(const ReservedPort&) = delete;
+  ReservedPort(ReservedPort&& other) noexcept;
+  ReservedPort& operator=(ReservedPort&& other) noexcept;
+
+  /// Bind and hold a free ephemeral port. Returns an invalid reservation
+  /// (port() == 0) on failure.
+  static ReservedPort reserve();
+
+  bool valid() const { return fd_ >= 0; }
+  int port() const { return port_; }
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
 
 class WorkerProcess {
  public:
@@ -55,6 +88,11 @@ class WorkerProcess {
 
   /// SIGKILL the child (failover drills: death without any goodbye).
   void kill_now();
+
+  /// Non-blocking liveness poll (waitpid WNOHANG). Returns true while the
+  /// child is alive; an exited/crashed child is reaped — no zombie — and
+  /// running() turns false. This is the supervisor's crash detector.
+  bool poll_alive();
 
   bool running() const { return pid_ > 0; }
   pid_t pid() const { return pid_; }

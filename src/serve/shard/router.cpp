@@ -237,6 +237,13 @@ Router::Router(RouterConfig config)
       }()),
       ring_(config_.vnodes) {
   faults_.configure_from_env();
+  if (!config_.journal_path.empty()) {
+    // Open + replay up front so a construction-time config error (unwritable
+    // path) fails loudly, not on the first deploy. The replayed bodies wait
+    // for recover(): rebuilding the catalog is the caller's explicit step.
+    journal_ = std::make_unique<DeployJournal>(config_.journal_path, config_.journal);
+    replayed_bodies_ = journal_->open_and_replay();
+  }
 }
 
 Router::~Router() { stop_probing(); }
@@ -246,11 +253,65 @@ void Router::add_worker(const std::string& id, const std::string& host, int port
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (workers_.find(id) == workers_.end()) {
-      workers_.emplace(id, std::make_unique<WorkerClient>(id, host, port, config_.worker));
+      // Route the router's injector into every worker connection so armed
+      // client.* chaos (see web/http_client) breaks the real sockets the
+      // failover and health paths depend on.
+      WorkerClientConfig worker_config = config_.worker;
+      worker_config.client.faults = &faults_;
+      workers_.emplace(id, std::make_unique<WorkerClient>(id, host, port, worker_config));
     }
     repairs = restore_worker_locked(id);
   }
   execute_repairs(std::move(repairs));
+}
+
+std::size_t Router::recover() {
+  if (journal_ == nullptr) return 0;
+  std::vector<std::string> bodies;
+  std::swap(bodies, replayed_bodies_);
+  std::vector<Repair> repairs;
+  std::set<std::string> recovered_keys;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::string& body : bodies) {
+      const auto key = compute_design_key(body, nullptr);
+      if (!key) {
+        // A record that journaled as a valid deploy but no longer parses
+        // means the deploy contract changed under the journal; keep serving,
+        // loudly.
+        LOG_WARN("shard") << "journal record no longer computes a design key; skipped";
+        continue;
+      }
+      CatalogEntry& entry = catalog_[*key];
+      entry.deploy_body = body;  // append order: the newest body wins
+      recovered_keys.insert(*key);
+    }
+    // Re-replicate everything the catalog now knows onto the current ring.
+    // With no workers yet this plans nothing — add_worker joins repair the
+    // newcomers from this same catalog.
+    for (auto& [key, entry] : catalog_) {
+      Repair repair{key, entry.deploy_body, {}};
+      for (const std::string& target : ring_.replicas(key, config_.replication)) {
+        if (entry.holders.count(target) == 0) repair.targets.push_back(target);
+      }
+      if (!repair.targets.empty()) repairs.push_back(std::move(repair));
+    }
+    journal_recovered_.store(recovered_keys.size(), std::memory_order_relaxed);
+  }
+  execute_repairs(std::move(repairs));
+  LOG_INFO("shard") << format("recovered %zu design(s) from journal %s",
+                              recovered_keys.size(), journal_->path().c_str());
+  return recovered_keys.size();
+}
+
+void Router::attach_supervisor(Supervisor* supervisor) {
+  supervisor_ = supervisor;
+  if (supervisor_ != nullptr) {
+    supervisor_->on_restart([this](const std::string& id) {
+      LOG_INFO("shard") << format("worker %s restarted; probing for rejoin", id.c_str());
+      probe_now();
+    });
+  }
 }
 
 std::vector<std::string> Router::worker_ids() const {
@@ -338,6 +399,44 @@ void Router::execute_repairs(std::vector<Repair> repairs) {
   }
 }
 
+bool Router::journal_deploy(const std::string& body, web::HttpResponse* error) {
+  if (journal_ == nullptr) return true;
+  try {
+    journal_->append(body);
+  } catch (const JournalError& e) {
+    LOG_ERROR("shard") << e.what();
+    if (error != nullptr) {
+      *error = api_error(500, "journal_failed",
+                         "deploy reached the workers but could not be made durable; retry",
+                         e.what());
+    }
+    return false;
+  }
+  // Opportunistic compaction: once dead history dominates, rewrite the log
+  // as a snapshot of the live catalog. Failure is benign — the uncompacted
+  // log is still a correct (just longer) journal.
+  std::size_t live = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    live = catalog_.size();
+  }
+  if (journal_->wants_compaction(live)) {
+    std::vector<std::string> bodies;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      bodies.reserve(catalog_.size());
+      for (const auto& [key, entry] : catalog_) bodies.push_back(entry.deploy_body);
+    }
+    try {
+      journal_->compact(bodies);
+      LOG_INFO("shard") << format("journal compacted to %zu live design(s)", bodies.size());
+    } catch (const JournalError& e) {
+      LOG_WARN("shard") << format("journal compaction failed (log still valid): %s", e.what());
+    }
+  }
+  return true;
+}
+
 void Router::probe_now() {
   std::vector<std::pair<std::string, WorkerClient*>> fleet;
   {
@@ -364,6 +463,9 @@ void Router::probe_now() {
 
 void Router::probe_loop() {
   while (probing_.load()) {
+    // Supervision rides the probe cadence: reap/restart decisions happen
+    // right before the probe that would re-admit a healthy worker.
+    if (supervisor_ != nullptr) supervisor_->tick();
     probe_now();
     std::unique_lock<std::mutex> lock(probe_mutex_);
     probe_cv_.wait_for(lock, std::chrono::milliseconds(config_.probe_interval_ms),
@@ -467,11 +569,23 @@ web::HttpResponse Router::handle_deploy(const web::HttpRequest& request) {
     return api_error(503, "no_workers", "no worker accepted the deploy");
   }
 
+  bool new_history = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     CatalogEntry& entry = catalog_[*key];
+    // Only bodies that change the catalog are history; an idempotent
+    // redeploy must not grow the journal.
+    new_history = entry.deploy_body != request.body;
     entry.deploy_body = request.body;
     for (const std::string& id : holders) entry.holders.insert(id);
+  }
+  if (new_history) {
+    // Durability before the ack: a 200 means a router restart will still
+    // know this design. If the journal cannot take the record the deploy
+    // fails, even though workers accepted it — the client's retry is cheap
+    // (worker deploy caches hit), a silently volatile ack is not.
+    web::HttpResponse journal_error;
+    if (!journal_deploy(request.body, &journal_error)) return journal_error;
   }
 
   web::HttpResponse response = *success;
@@ -506,10 +620,23 @@ web::HttpResponse Router::handle_predict(const web::HttpRequest& request) {
     return api_error(503, "no_workers", "shard router has no workers on the ring");
   }
 
+  // Deadline budget is fleet-wide, not per-attempt: each failover forwards
+  // only what remains, and once the budget is spent the router answers 504
+  // itself instead of letting a third replica burn the full window again.
   std::map<std::string, std::string> forward;
+  std::optional<long long> deadline_budget_ms;
+  const auto arrival = std::chrono::steady_clock::now();
   if (const auto deadline = request.headers.find("x-deadline-ms");
       deadline != request.headers.end()) {
-    forward["X-Deadline-Ms"] = deadline->second;
+    char* end = nullptr;
+    const long long parsed = std::strtoll(deadline->second.c_str(), &end, 10);
+    if (end != deadline->second.c_str() && parsed > 0) {
+      deadline_budget_ms = parsed;
+    } else {
+      // Unparseable (or explicit 0 = unlimited): forward verbatim, the
+      // worker owns the interpretation exactly as before.
+      forward["X-Deadline-Ms"] = deadline->second;
+    }
   }
 
   std::optional<web::HttpResponse> last_error;
@@ -521,6 +648,21 @@ web::HttpResponse Router::handle_predict(const web::HttpRequest& request) {
   for (const std::string& id : candidates) {
     WorkerClient* client = worker(id);
     if (client == nullptr) continue;
+    if (deadline_budget_ms) {
+      const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                               std::chrono::steady_clock::now() - arrival)
+                               .count();
+      const long long remaining = *deadline_budget_ms - static_cast<long long>(elapsed);
+      if (remaining <= 0) {
+        deadline_rejects_.fetch_add(1, std::memory_order_relaxed);
+        auto expired = api_error(504, "deadline_exceeded",
+                                 format("deadline of %lld ms spent after %d attempt(s)",
+                                        *deadline_budget_ms, attempts));
+        expired.headers["X-Shard-Attempts"] = std::to_string(attempts);
+        return expired;
+      }
+      forward["X-Deadline-Ms"] = std::to_string(remaining);
+    }
     ++attempts;
     if (attempts > 1) failovers_.fetch_add(1, std::memory_order_relaxed);
 
@@ -682,6 +824,7 @@ web::HttpResponse Router::handle_metrics(const web::HttpRequest&) {
   router["repairs"] = repairs();
   router["key_mismatches"] = key_mismatches();
   router["injected_failures"] = injected_failures();
+  router["deadline_rejects"] = deadline_rejects();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     router["catalog"] = catalog_.size();
@@ -690,6 +833,13 @@ web::HttpResponse Router::handle_metrics(const web::HttpRequest&) {
     for (const std::string& id : ring_.workers()) on_ring.push_back(id);
     router["ring"] = std::move(on_ring);
   }
+  if (journal_ != nullptr) {
+    router["journal"] = journal_->to_json();
+    // The drill gate reads this flat field: 0 == nothing was lost at replay.
+    router["journal_truncated_records"] = journal_->truncated_records();
+    router["journal_recovered"] = journal_recovered_.load(std::memory_order_relaxed);
+  }
+  if (supervisor_ != nullptr) router["supervisor"] = supervisor_->to_json();
   if (faults_.enabled()) router["faults"] = faults_.to_json();
   body["router"] = std::move(router);
   return {200, "application/json", json::Value(std::move(body)).dump(), {}};
@@ -750,10 +900,18 @@ web::HttpResponse Router::handle_readyz(const web::HttpRequest&) {
     designs["under_replicated"] = under_replicated;
     body["designs"] = std::move(designs);
   }
+  std::uint64_t permanently_down = 0;
+  if (supervisor_ != nullptr) {
+    // Slot states (running / backoff / dead) — a permanently-down worker is
+    // visible here, not just as one more kDown in the probe view.
+    body["supervisor"] = supervisor_->to_json();
+    permanently_down = supervisor_->permanently_down();
+  }
 
   const char* status = answering == 0 ? "unavailable"
-                       : (degraded != 0 || under_replicated != 0) ? "degraded"
-                                                                  : "ready";
+                       : (degraded != 0 || under_replicated != 0 || permanently_down != 0)
+                           ? "degraded"
+                           : "ready";
   body["status"] = std::string(status);
   const int http_status = answering == 0 ? 503 : 200;
   return {http_status, "application/json", json::Value(std::move(body)).dump(), {}};

@@ -24,6 +24,14 @@
 // recovered worker re-enters the ring and receives only the designs it is now
 // a replica for — no full rebalance.
 //
+// Crash safety (PR 9): with RouterConfig.journal_path set, the deploy catalog
+// is durable — every accepted deploy is journaled before it is acked
+// (shard/journal.hpp) and a restarted router recover()s its exact pre-crash
+// design set, re-replicating through the same repair path used for worker
+// joins. attach_supervisor() lets the prober thread also restart crashed
+// worker processes (shard/supervisor.hpp) so the fleet heals in both
+// directions: routers forget nothing, workers come back.
+//
 // The router never interprets worker responses on the hot path: a predict
 // response body is passed through byte-for-byte (routing must never change a
 // prediction), with attribution added in `X-Shard-Worker` / `X-Shard-Attempts`
@@ -46,7 +54,9 @@
 #include <vector>
 
 #include "serve/fault.hpp"
+#include "serve/shard/journal.hpp"
 #include "serve/shard/ring.hpp"
+#include "serve/shard/supervisor.hpp"
 #include "serve/shard/worker_client.hpp"
 #include "web/http.hpp"
 
@@ -57,6 +67,12 @@ struct RouterConfig {
   std::size_t vnodes = 64;       ///< ring virtual nodes per worker
   WorkerClientConfig worker;     ///< per-worker connection pool + health thresholds
   int probe_interval_ms = 200;   ///< background health-probe cadence (<= 0: manual only)
+  /// Durable deploy journal path ("" = no journal). With a journal, every
+  /// accepted deploy is appended (and fsynced per `journal` policy) before
+  /// the client sees 200, and a restarted router calls recover() to rebuild
+  /// its catalog from the log — see shard/journal.hpp.
+  std::string journal_path;
+  JournalConfig journal;
 };
 
 /// Registry-identical content key for a deploy request body, or std::nullopt
@@ -90,6 +106,19 @@ class Router {
   /// membership changes and replication repair. Deterministic for tests.
   void probe_now();
 
+  /// Rebuild the catalog from the journal replayed at construction, then
+  /// re-replicate every catalogued design through the ordinary repair path.
+  /// Call once after add_worker()s (calling with an empty ring only fills
+  /// the catalog; joins repair later). Returns the number of designs
+  /// recovered into the catalog. No-op without a journal.
+  std::size_t recover();
+
+  /// Let the prober thread drive `supervisor` (tick per probe cycle) and
+  /// hook its on_restart to probe_now(), so a restarted-empty worker rejoins
+  /// the ring and is repaired immediately. Supervisor state is exported in
+  /// readyz/metrics. Call before start_probing(); not owned.
+  void attach_supervisor(Supervisor* supervisor);
+
   // Transport-free handlers mirroring ServingRuntime's /api/v1 contract.
   web::HttpResponse handle_deploy(const web::HttpRequest& request);
   web::HttpResponse handle_predict(const web::HttpRequest& request);
@@ -110,6 +139,11 @@ class Router {
   std::uint64_t injected_failures() const {
     return injected_failures_.load(std::memory_order_relaxed);
   }
+  std::uint64_t deadline_rejects() const {
+    return deadline_rejects_.load(std::memory_order_relaxed);
+  }
+  /// nullptr when RouterConfig.journal_path is empty.
+  const DeployJournal* journal() const { return journal_.get(); }
   /// Workers currently holding `design_id` according to the catalog.
   std::vector<std::string> holders(const std::string& design_id) const;
 
@@ -135,6 +169,10 @@ class Router {
   std::vector<Repair> restore_worker_locked(const std::string& id);
   void execute_repairs(std::vector<Repair> repairs);
   void probe_loop();
+  /// Append `body` to the journal if it is new history; compact when the log
+  /// has outgrown the live catalog. Returns false (with *error filled) when
+  /// the journal cannot take the record — the deploy must NOT be acked.
+  bool journal_deploy(const std::string& body, web::HttpResponse* error);
 
   const RouterConfig config_;
   FaultInjector faults_;
@@ -144,10 +182,16 @@ class Router {
   std::map<std::string, std::unique_ptr<WorkerClient>> workers_;
   std::map<std::string, CatalogEntry> catalog_;
 
+  std::unique_ptr<DeployJournal> journal_;    ///< nullptr without journal_path
+  std::vector<std::string> replayed_bodies_;  ///< journal records awaiting recover()
+  std::atomic<std::uint64_t> journal_recovered_{0};  ///< designs rebuilt by recover()
+  Supervisor* supervisor_ = nullptr;          ///< not owned; see attach_supervisor
+
   std::atomic<std::uint64_t> failovers_{0};         ///< predicts retried on a replica
   std::atomic<std::uint64_t> key_mismatches_{0};    ///< router key != worker design_id
   std::atomic<std::uint64_t> repairs_{0};           ///< re-replication deploys executed
   std::atomic<std::uint64_t> injected_failures_{0};  ///< shard.worker fires
+  std::atomic<std::uint64_t> deadline_rejects_{0};   ///< 504s answered locally
 
   std::thread prober_;
   std::atomic<bool> probing_{false};

@@ -1,12 +1,18 @@
-// Incremental FNV-1a (64-bit) content hashing.
+// Incremental FNV-1a (64-bit) content hashing and CRC-32 checksumming.
 //
 // The serving registry addresses deployed designs by the hash of their inputs
 // (descriptor JSON + weight blob), so identical deploy requests collapse onto
 // one cached artifact set. FNV-1a is not cryptographic; it is a fast,
 // dependency-free fingerprint with a stable value across platforms, which is
 // all a same-process dedup key needs.
+//
+// CRC-32 (IEEE 802.3, the zlib/zip polynomial) backs the deploy journal's
+// per-record checksums: unlike FNV it is designed to detect the corruption a
+// torn or bit-rotted on-disk record actually exhibits (burst errors, short
+// writes), and its value is verifiable with any external crc32 tool.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cstdio>
 #include <span>
@@ -43,5 +49,48 @@ class Fnv1a {
   static constexpr std::uint64_t kPrime = 1099511628211ull;
   std::uint64_t state_ = 14695981039346656037ull;
 };
+
+class Crc32 {
+ public:
+  Crc32& update(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    std::uint32_t crc = state_;
+    for (std::size_t i = 0; i < size; ++i) {
+      crc = table()[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
+    }
+    state_ = crc;
+    return *this;
+  }
+  Crc32& update(std::string_view text) { return update(text.data(), text.size()); }
+  Crc32& update(std::span<const std::uint8_t> bytes) {
+    return update(bytes.data(), bytes.size());
+  }
+
+  std::uint32_t digest() const { return state_ ^ 0xffffffffu; }
+
+ private:
+  static const std::uint32_t* table() {
+    // Reflected table for polynomial 0xEDB88320 (IEEE), built once.
+    static const auto kTable = [] {
+      std::array<std::uint32_t, 256> t{};
+      for (std::uint32_t n = 0; n < 256; ++n) {
+        std::uint32_t c = n;
+        for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        t[n] = c;
+      }
+      return t;
+    }();
+    return kTable.data();
+  }
+
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+inline std::uint32_t crc32(const void* data, std::size_t size) {
+  return Crc32().update(data, size).digest();
+}
+inline std::uint32_t crc32(std::string_view text) {
+  return Crc32().update(text).digest();
+}
 
 }  // namespace cnn2fpga::util

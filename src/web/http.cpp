@@ -147,6 +147,10 @@ int HttpServer::start(int port) {
 
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  // Joining a SO_REUSEPORT group lets this server bind a port that a
+  // supervisor parent holds reserved with its own (never-listening)
+  // SO_REUSEPORT socket — see serve/shard/process.hpp ReservedPort.
+  if (config_.reuse_port) ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -196,7 +200,7 @@ void HttpServer::stop() {
     // Unblock handlers parked in an idle keep-alive wait: shutting the read
     // side makes their recv return 0 (a quiet close). In-flight requests are
     // untouched — only connections between requests are cut.
-    for (const int fd : idle_fds_) ::shutdown(fd, SHUT_RD);
+    for (const int idle_fd : idle_fds_) ::shutdown(idle_fd, SHUT_RD);
   }
   conn_cv_.notify_all();
   for (std::thread& handler : handlers_) {

@@ -8,9 +8,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "util/strings.hpp"
 
@@ -55,6 +58,16 @@ void HttpClient::close() {
 
 bool HttpClient::connect_with_timeout() {
   close();
+  if (config_.faults != nullptr && config_.faults->enabled()) {
+    // Refused connection: fail before a socket even exists.
+    if (config_.faults->should_fail("client.connect")) return false;
+    // Connect timeout: stall for the armed delay, then fail.
+    std::uint64_t stall_us = 0;
+    if (config_.faults->should_stall("client.connect", &stall_us)) {
+      if (stall_us > 0) std::this_thread::sleep_for(std::chrono::microseconds(stall_us));
+      return false;
+    }
+  }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return false;
 
@@ -118,7 +131,34 @@ std::optional<HttpResponse> HttpClient::try_request(
     out += format("Content-Length: %zu\r\n", body.size());
   }
   out += "\r\n" + body;
+  if (config_.faults != nullptr && config_.faults->enabled()) {
+    serve::FaultSpec spec;
+    if (config_.faults->should_fail("client.send", &spec)) {
+      // Torn write: the server really receives the first `bytes` bytes of the
+      // request, then the socket slams shut mid-message.
+      const std::size_t torn = std::min<std::size_t>(spec.bytes, out.size());
+      if (torn > 0) send_all(fd_, out.substr(0, torn));
+      close();
+      return std::nullopt;
+    }
+  }
   if (!send_all(fd_, out)) return std::nullopt;
+  if (config_.faults != nullptr && config_.faults->enabled()) {
+    // The request went out whole, so the server processes it; resetting here
+    // means its response hits a closed socket (EPIPE on the server side) and
+    // the caller sees a transport failure after doing real work — the
+    // nastiest spot for a connection to die.
+    std::uint64_t stall_us = 0;
+    if (config_.faults->should_stall("client.recv", &stall_us)) {
+      if (stall_us > 0) std::this_thread::sleep_for(std::chrono::microseconds(stall_us));
+      close();
+      return std::nullopt;
+    }
+    if (config_.faults->should_fail("client.recv")) {
+      close();
+      return std::nullopt;
+    }
+  }
 
   // Read the status line + headers, then exactly Content-Length body bytes
   // (keep-alive requires length framing; the server always emits it). A

@@ -15,6 +15,13 @@
 // pooled connection (the server closed between requests) is detected on the
 // next use and retried once on a fresh socket, so callers see at most one
 // reconnect — not an error — for ordinary keep-alive churn.
+//
+// Transport chaos: when `ClientConfig.faults` points at a FaultInjector, the
+// client consults the `client.connect` / `client.send` / `client.recv` sites
+// (see serve/fault.hpp) and breaks its own real socket accordingly — a torn
+// write sends a genuine partial request before closing, a recv reset closes
+// after the server started answering — so failover, keep-alive retry and
+// health demotion upstream are exercised by actual broken connections.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +29,7 @@
 #include <optional>
 #include <string>
 
+#include "serve/fault.hpp"
 #include "web/http.hpp"
 
 namespace cnn2fpga::web {
@@ -32,6 +40,9 @@ struct ClientConfig {
   int write_timeout_ms = 5000;    ///< SO_SNDTIMEO on the connected socket
   bool keep_alive = false;        ///< persist the connection across requests
   std::size_t max_response_bytes = 64u << 20;  ///< reject larger responses
+  /// Optional chaos hook (not owned; must outlive the client). The client.*
+  /// sites fire only through this pointer — a null injector costs nothing.
+  serve::FaultInjector* faults = nullptr;
 };
 
 class HttpClient {

@@ -1,0 +1,326 @@
+// Durable deploy journal tests (shard/journal.hpp): append/replay roundtrip,
+// fsync policies, compaction, and — the point of a journal — recovery from
+// every way a crash can mangle the file. The fuzz sections truncate the log
+// at EVERY byte offset and flip bytes inside random records; recovery must
+// never crash, never replay a corrupt record, and always report that history
+// was cut (truncated_records/truncated_bytes) rather than silently serving a
+// shorter past.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "serve/shard/journal.hpp"
+#include "util/fileio.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+using namespace cnn2fpga;
+using serve::shard::DeployJournal;
+using serve::shard::FsyncPolicy;
+using serve::shard::JournalConfig;
+using serve::shard::JournalError;
+
+namespace {
+
+constexpr std::size_t kMagicBytes = 8;    // "CJNL0001"
+constexpr std::size_t kRecordHeader = 8;  // u32 length + u32 crc32
+
+std::string temp_journal(const std::string& dir) { return dir + "/deploys.jnl"; }
+
+/// A deterministic record stream with varied sizes (including empty-ish and
+/// multi-KB payloads) so record boundaries land on interesting offsets.
+std::vector<std::string> sample_records(std::size_t count) {
+  std::vector<std::string> out;
+  util::Rng rng(7);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string body = util::format("{\"design\": %zu, \"blob\": \"", i);
+    const std::size_t blob = (i * 97) % 600;
+    for (std::size_t b = 0; b < blob; ++b) {
+      body.push_back(static_cast<char>('a' + rng.next_u64() % 26));
+    }
+    body += "\"}";
+    out.push_back(std::move(body));
+  }
+  return out;
+}
+
+std::string write_journal(const std::string& dir, const std::vector<std::string>& records,
+                          JournalConfig config = {}) {
+  const std::string path = temp_journal(dir);
+  DeployJournal journal(path, config);
+  EXPECT_TRUE(journal.open_and_replay().empty());
+  for (const std::string& record : records) journal.append(record);
+  return path;
+}
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  return util::read_file_bytes(path);
+}
+
+}  // namespace
+
+TEST(Journal, RoundtripPreservesOrderAndBytes) {
+  const std::string dir = util::make_temp_dir("cnn2fpga-journal");
+  const auto records = sample_records(9);
+  const std::string path = write_journal(dir, records);
+
+  DeployJournal replay(path);
+  EXPECT_EQ(replay.open_and_replay(), records);
+  EXPECT_EQ(replay.records(), records.size());
+  EXPECT_EQ(replay.truncated_records(), 0u);
+  EXPECT_EQ(replay.truncated_bytes(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Journal, EmptyAndReopenedEmptyAreClean) {
+  const std::string dir = util::make_temp_dir("cnn2fpga-journal");
+  const std::string path = temp_journal(dir);
+  {
+    DeployJournal journal(path);
+    EXPECT_TRUE(journal.open_and_replay().empty());
+    EXPECT_EQ(journal.records(), 0u);
+  }
+  DeployJournal again(path);
+  EXPECT_TRUE(again.open_and_replay().empty());
+  EXPECT_EQ(again.truncated_records(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Journal, UnopenablePathThrows) {
+  DeployJournal journal("/nonexistent/definitely/missing/deploys.jnl");
+  EXPECT_THROW(journal.open_and_replay(), JournalError);
+}
+
+TEST(Journal, AppendAfterReplayExtendsTheLog) {
+  const std::string dir = util::make_temp_dir("cnn2fpga-journal");
+  auto records = sample_records(4);
+  const std::string path = write_journal(dir, records);
+
+  {
+    DeployJournal journal(path);
+    EXPECT_EQ(journal.open_and_replay().size(), 4u);
+    journal.append("{\"design\": \"late\"}");
+  }
+  records.push_back("{\"design\": \"late\"}");
+  DeployJournal replay(path);
+  EXPECT_EQ(replay.open_and_replay(), records);
+  std::filesystem::remove_all(dir);
+}
+
+// Truncate the file at EVERY byte offset from 0 to its full size. Recovery
+// must never crash; it must replay exactly the records whose bytes fully
+// survived; it must report a cut whenever one happened (and only then); and
+// the truncated file it leaves behind must itself replay cleanly.
+TEST(Journal, TruncationFuzzAtEveryByteOffset) {
+  const std::string dir = util::make_temp_dir("cnn2fpga-journal");
+  const auto records = sample_records(6);
+  const std::string path = write_journal(dir, records);
+  const std::vector<std::uint8_t> bytes = slurp(path);
+
+  // Reconstruct each record's end offset from the known framing.
+  std::vector<std::size_t> boundaries = {kMagicBytes};
+  for (const std::string& record : records) {
+    boundaries.push_back(boundaries.back() + kRecordHeader + record.size());
+  }
+  ASSERT_EQ(boundaries.back(), bytes.size());
+
+  const std::string cut_path = dir + "/cut.jnl";
+  for (std::size_t len = 0; len <= bytes.size(); ++len) {
+    util::write_file_bytes(cut_path,
+                           std::vector<std::uint8_t>(bytes.begin(), bytes.begin() + len));
+
+    DeployJournal journal(cut_path);
+    std::vector<std::string> replayed;
+    ASSERT_NO_THROW(replayed = journal.open_and_replay()) << "offset " << len;
+
+    // Complete records strictly before the cut survive; nothing else does.
+    std::size_t intact = 0;
+    while (intact + 1 < boundaries.size() && boundaries[intact + 1] <= len) ++intact;
+    if (len < kMagicBytes) intact = 0;  // even the magic was torn
+    ASSERT_EQ(replayed.size(), intact) << "offset " << len;
+    for (std::size_t i = 0; i < intact; ++i) ASSERT_EQ(replayed[i], records[i]);
+
+    // A cut landing exactly on a record boundary loses nothing (len == 0 is a
+    // fresh file, not a cut); anything else must be reported.
+    const bool clean = len == 0 || (len >= kMagicBytes && boundaries[intact] == len);
+    if (clean) {
+      ASSERT_EQ(journal.truncated_records(), 0u) << "offset " << len;
+    } else {
+      ASSERT_GE(journal.truncated_records(), 1u) << "offset " << len;
+    }
+
+    // The recovered file must be a valid journal: replay is idempotent.
+    DeployJournal again(cut_path);
+    std::vector<std::string> stable;
+    ASSERT_NO_THROW(stable = again.open_and_replay()) << "offset " << len;
+    ASSERT_EQ(stable.size(), intact) << "offset " << len;
+    ASSERT_EQ(again.truncated_records(), 0u) << "offset " << len;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// Flip one byte inside random records (headers and payloads both). Everything
+// before the corrupt record replays; the corrupt record and its suffix do
+// not (length-prefixed framing has no resync point); the cut is reported.
+TEST(Journal, BitFlipFuzzInRandomRecords) {
+  const std::string dir = util::make_temp_dir("cnn2fpga-journal");
+  const auto records = sample_records(8);
+  const std::string path = write_journal(dir, records);
+  const std::vector<std::uint8_t> bytes = slurp(path);
+
+  std::vector<std::size_t> starts = {kMagicBytes};
+  for (const std::string& record : records) {
+    starts.push_back(starts.back() + kRecordHeader + record.size());
+  }
+
+  util::Rng rng(23);
+  const std::string flip_path = dir + "/flip.jnl";
+  for (int trial = 0; trial < 64; ++trial) {
+    const std::size_t victim = rng.next_u64() % records.size();
+    const std::size_t span = kRecordHeader + records[victim].size();
+    const std::size_t offset = starts[victim] + rng.next_u64() % span;
+
+    std::vector<std::uint8_t> mangled = bytes;
+    mangled[offset] ^= static_cast<std::uint8_t>(1u << (rng.next_u64() % 8));
+    util::write_file_bytes(flip_path, mangled);
+
+    DeployJournal journal(flip_path);
+    std::vector<std::string> replayed;
+    ASSERT_NO_THROW(replayed = journal.open_and_replay())
+        << "record " << victim << " offset " << offset;
+    ASSERT_EQ(replayed.size(), victim) << "record " << victim << " offset " << offset;
+    for (std::size_t i = 0; i < victim; ++i) ASSERT_EQ(replayed[i], records[i]);
+    ASSERT_GE(journal.truncated_records(), 1u);
+    ASSERT_GT(journal.truncated_bytes(), 0u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Journal, CorruptMagicResetsTheFile) {
+  const std::string dir = util::make_temp_dir("cnn2fpga-journal");
+  const std::string path = write_journal(dir, sample_records(3));
+  std::vector<std::uint8_t> bytes = slurp(path);
+  bytes[0] ^= 0xff;
+  util::write_file_bytes(path, bytes);
+
+  DeployJournal journal(path);
+  EXPECT_TRUE(journal.open_and_replay().empty());
+  EXPECT_GE(journal.truncated_records(), 1u);
+  journal.append("{\"fresh\": true}");
+
+  DeployJournal again(path);
+  EXPECT_EQ(again.open_and_replay(), std::vector<std::string>{"{\"fresh\": true}"});
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Journal, OversizedLengthFieldIsCorruption) {
+  const std::string dir = util::make_temp_dir("cnn2fpga-journal");
+  JournalConfig config;
+  config.max_record_bytes = 1024;
+  const auto records = sample_records(2);
+  const std::string path = write_journal(dir, records, config);
+
+  // Append a record header claiming a payload far beyond max_record_bytes.
+  std::vector<std::uint8_t> bytes = slurp(path);
+  const std::uint32_t absurd = 1u << 30;
+  for (int b = 0; b < 4; ++b) bytes.push_back(static_cast<std::uint8_t>(absurd >> (8 * b)));
+  for (int b = 0; b < 4; ++b) bytes.push_back(0);
+  util::write_file_bytes(path, bytes);
+
+  DeployJournal journal(path, config);
+  EXPECT_EQ(journal.open_and_replay(), records);
+  EXPECT_GE(journal.truncated_records(), 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Journal, CompactionSnapshotsTheLiveSet) {
+  const std::string dir = util::make_temp_dir("cnn2fpga-journal");
+  const std::string path = temp_journal(dir);
+  JournalConfig config;
+  config.compact_slack = 2;
+  DeployJournal journal(path, config);
+  EXPECT_TRUE(journal.open_and_replay().empty());
+  const auto records = sample_records(10);
+  for (const std::string& record : records) journal.append(record);
+
+  // 10 journal records over 3 live designs: past 2 * live + slack (2*3+2).
+  EXPECT_TRUE(journal.wants_compaction(3));
+  EXPECT_FALSE(journal.wants_compaction(10));
+  const std::vector<std::string> live = {records[1], records[5], records[9]};
+  journal.compact(live);
+  EXPECT_EQ(journal.records(), live.size());
+  EXPECT_EQ(journal.compactions(), 1u);
+  EXPECT_FALSE(journal.wants_compaction(3));
+
+  // The snapshot replays exactly, and the log is still appendable after it.
+  journal.append("{\"post\": \"compact\"}");
+  DeployJournal replay(path);
+  std::vector<std::string> expected = live;
+  expected.push_back("{\"post\": \"compact\"}");
+  EXPECT_EQ(replay.open_and_replay(), expected);
+  EXPECT_EQ(replay.truncated_records(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Journal, FsyncPolicies) {
+  const std::string dir = util::make_temp_dir("cnn2fpga-journal");
+  const auto records = sample_records(8);
+
+  JournalConfig every;
+  every.fsync = FsyncPolicy::kEveryRecord;
+  {
+    DeployJournal journal(dir + "/every.jnl", every);
+    journal.open_and_replay();
+    for (const std::string& record : records) journal.append(record);
+    EXPECT_GE(journal.fsyncs(), records.size());  // one per acked append
+    EXPECT_EQ(journal.appends(), records.size());
+  }
+  JournalConfig interval;
+  interval.fsync = FsyncPolicy::kInterval;
+  interval.fsync_interval = 4;
+  {
+    DeployJournal journal(dir + "/interval.jnl", interval);
+    journal.open_and_replay();
+    std::uint64_t baseline = journal.fsyncs();
+    for (const std::string& record : records) journal.append(record);
+    EXPECT_EQ(journal.fsyncs() - baseline, records.size() / 4);
+  }
+  JournalConfig never;
+  never.fsync = FsyncPolicy::kNever;
+  {
+    DeployJournal journal(dir + "/never.jnl", never);
+    journal.open_and_replay();  // stamping the fresh magic may fsync once
+    const std::uint64_t baseline = journal.fsyncs();
+    for (const std::string& record : records) journal.append(record);
+    EXPECT_EQ(journal.fsyncs(), baseline);  // appends never fsync
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Journal, ToJsonExportsTheCounters) {
+  const std::string dir = util::make_temp_dir("cnn2fpga-journal");
+  const std::string path = write_journal(dir, sample_records(3));
+  DeployJournal journal(path);
+  journal.open_and_replay();
+  const auto doc = journal.to_json();
+  EXPECT_EQ(doc.at("path").as_string(), path);
+  EXPECT_EQ(doc.at("records").as_int(), 3);
+  EXPECT_EQ(doc.at("truncated_records").as_int(), 0);
+  EXPECT_GE(doc.at("bytes").as_int(), 8);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Crc32, KnownVectorsAndIncrementalEquivalence) {
+  // IEEE 802.3 reference vector: crc32("123456789") == 0xcbf43926.
+  EXPECT_EQ(util::crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(util::crc32(""), 0u);
+
+  util::Crc32 incremental;
+  incremental.update("1234");
+  incremental.update("56789");
+  EXPECT_EQ(incremental.digest(), 0xcbf43926u);
+}

@@ -12,17 +12,22 @@
 // harness instead).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "json/json.hpp"
+#include "serve/fault.hpp"
 #include "serve/server.hpp"
 #include "serve/shard/process.hpp"
 #include "serve/shard/ring.hpp"
 #include "serve/shard/router.hpp"
+#include "serve/shard/supervisor.hpp"
+#include "util/fileio.hpp"
 #include "util/strings.hpp"
 #include "web/http_client.hpp"
 
@@ -553,6 +558,427 @@ TEST(Router, ComputeDesignKeyMatchesRegistry) {
 
   EXPECT_FALSE(shard::compute_design_key("{not json", &error).has_value());
   EXPECT_EQ(error.status, 400);
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor state machine (in-process launcher: fork-free, TSan-friendly)
+// ---------------------------------------------------------------------------
+
+/// Controllable stand-in for a worker process: `up` is the liveness the
+/// supervisor polls, `start_ok` decides whether a restart attempt succeeds.
+struct FakeLauncher : shard::WorkerLauncher {
+  bool start() override {
+    ++starts;
+    if (!start_ok) return false;
+    up = true;
+    return true;
+  }
+  bool alive() override { return up; }
+  void stop() override {
+    up = false;
+    ++stops;
+  }
+  int port() const override { return 45678; }
+
+  bool up = true;
+  bool start_ok = true;
+  int starts = 0;
+  int stops = 0;
+};
+
+shard::SupervisorConfig fast_supervisor_config() {
+  shard::SupervisorConfig config;
+  config.backoff_initial_ms = 1;
+  config.backoff_factor = 2.0;
+  config.backoff_max_ms = 5000;
+  config.restart_budget = 0;  // unlimited unless a test overrides it
+  return config;
+}
+
+/// Drive tick() until the slot leaves kBackoff (sleeping through the tiny
+/// deterministic delays) or `max_ticks` is exhausted.
+void tick_until_settled(shard::Supervisor& supervisor, int max_ticks = 50) {
+  for (int i = 0; i < max_ticks; ++i) {
+    supervisor.tick();
+    if (supervisor.status()[0].state != shard::SlotState::kBackoff) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+TEST(Supervisor, CrashEntersBackoffThenRestartFiresCallback) {
+  shard::Supervisor supervisor(fast_supervisor_config());
+  auto owned = std::make_unique<FakeLauncher>();
+  FakeLauncher* launcher = owned.get();
+  supervisor.add_slot("w0", std::move(owned));
+  std::vector<std::string> restarted;
+  supervisor.on_restart([&restarted](const std::string& id) { restarted.push_back(id); });
+
+  // Healthy worker: ticks are no-ops.
+  supervisor.tick();
+  EXPECT_EQ(supervisor.crashes(), 0u);
+  EXPECT_EQ(launcher->starts, 0);
+
+  launcher->up = false;  // SIGKILL equivalent
+  supervisor.tick();
+  EXPECT_EQ(supervisor.crashes(), 1u);
+  auto status = supervisor.status();
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_EQ(status[0].state, shard::SlotState::kBackoff);
+  EXPECT_EQ(status[0].backoff_ms, 1);  // deterministic: initial × factor^0
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  supervisor.tick();  // backoff elapsed → restart succeeds
+  EXPECT_EQ(supervisor.restarts(), 1u);
+  EXPECT_TRUE(launcher->up);
+  EXPECT_EQ(supervisor.status()[0].state, shard::SlotState::kRunning);
+  ASSERT_EQ(restarted.size(), 1u);
+  EXPECT_EQ(restarted[0], "w0");
+}
+
+TEST(Supervisor, FailedRestartEscalatesBackoffDeterministically) {
+  shard::Supervisor supervisor(fast_supervisor_config());
+  auto owned = std::make_unique<FakeLauncher>();
+  FakeLauncher* launcher = owned.get();
+  supervisor.add_slot("flappy", std::move(owned));
+
+  launcher->up = false;
+  launcher->start_ok = false;
+  supervisor.tick();  // crash #1 → backoff 1 ms
+  EXPECT_EQ(supervisor.status()[0].backoff_ms, 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(4));
+  supervisor.tick();  // restart fails → crash #2 → backoff 1×2^1
+  EXPECT_EQ(supervisor.crashes(), 2u);
+  EXPECT_EQ(supervisor.status()[0].backoff_ms, 2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(6));
+  supervisor.tick();  // restart fails → crash #3 → backoff 1×2^2
+  EXPECT_EQ(supervisor.crashes(), 3u);
+  EXPECT_EQ(supervisor.status()[0].backoff_ms, 4);
+  EXPECT_EQ(supervisor.restarts(), 0u);
+
+  // The worker becomes startable again: the next due restart heals the slot.
+  launcher->start_ok = true;
+  tick_until_settled(supervisor);
+  EXPECT_EQ(supervisor.status()[0].state, shard::SlotState::kRunning);
+  EXPECT_EQ(supervisor.restarts(), 1u);
+}
+
+TEST(Supervisor, RestartBudgetMarksSlotPermanentlyDead) {
+  shard::SupervisorConfig config = fast_supervisor_config();
+  config.restart_budget = 2;  // third crash inside the window retires the slot
+  shard::Supervisor supervisor(config);
+  auto owned = std::make_unique<FakeLauncher>();
+  FakeLauncher* launcher = owned.get();
+  supervisor.add_slot("doomed", std::move(owned));
+
+  launcher->up = false;
+  launcher->start_ok = false;  // e.g. its model file is gone: can never come up
+  tick_until_settled(supervisor);
+
+  EXPECT_EQ(supervisor.status()[0].state, shard::SlotState::kDead);
+  EXPECT_EQ(supervisor.crashes(), 3u);  // budget 2 + the crash that broke it
+  EXPECT_EQ(supervisor.permanently_down(), 1u);
+
+  // A dead slot is never restarted again, even after its worker "recovers".
+  launcher->start_ok = true;
+  const int starts_before = launcher->starts;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  supervisor.tick();
+  EXPECT_EQ(launcher->starts, starts_before);
+  EXPECT_EQ(supervisor.status()[0].state, shard::SlotState::kDead);
+
+  const json::Value doc = supervisor.to_json();
+  EXPECT_EQ(doc.get_int("permanently_down", -1), 1);
+  const json::Value& slot = doc.at("slots").as_array()[0];
+  EXPECT_EQ(slot.at("state").as_string(), "dead");
+  EXPECT_EQ(slot.at("id").as_string(), "doomed");
+
+  supervisor.stop_all();  // must tolerate dead slots at teardown
+}
+
+TEST(Router, ReadyzReportsSupervisorAndDegradesOnDeadSlot) {
+  Fleet fleet(1);
+  ASSERT_EQ(fleet.router->handle_deploy(post(deploy_body("supervised_net"))).status, 200);
+
+  shard::SupervisorConfig config = fast_supervisor_config();
+  config.restart_budget = 1;
+  shard::Supervisor supervisor(config);
+  auto owned = std::make_unique<FakeLauncher>();
+  FakeLauncher* launcher = owned.get();
+  supervisor.add_slot("worker-9", std::move(owned));
+  fleet.router->attach_supervisor(&supervisor);
+
+  // Healthy supervisor: readyz carries the block, fleet stays ready.
+  const auto healthy = fleet.router->handle_readyz({});
+  EXPECT_EQ(healthy.status, 200);
+  {
+    const json::Value doc = json::parse(healthy.body);
+    EXPECT_EQ(doc.at("status").as_string(), "ready");
+    EXPECT_EQ(doc.at("supervisor").get_int("permanently_down", -1), 0);
+  }
+
+  // Burn the budget: the slot goes permanently down and readyz degrades even
+  // though the (in-process) serving worker itself still answers.
+  launcher->up = false;
+  launcher->start_ok = false;
+  tick_until_settled(supervisor);
+  ASSERT_EQ(supervisor.permanently_down(), 1u);
+
+  const auto degraded = fleet.router->handle_readyz({});
+  EXPECT_EQ(degraded.status, 200);
+  const json::Value doc = json::parse(degraded.body);
+  EXPECT_EQ(doc.at("status").as_string(), "degraded");
+  EXPECT_EQ(doc.at("supervisor").get_int("permanently_down", -1), 1);
+  EXPECT_EQ(doc.at("supervisor").at("slots").as_array()[0].at("state").as_string(),
+            "dead");
+}
+
+// ---------------------------------------------------------------------------
+// Durable deploy journal wired into the router
+// ---------------------------------------------------------------------------
+
+TEST(Router, JournalRecoveryRestoresCatalogAfterRouterCrash) {
+  const std::string dir = util::make_temp_dir("cnn2fpga_shard_journal");
+  const std::string path = dir + "/deploys.journal";
+
+  std::vector<std::unique_ptr<InProcWorker>> workers;
+  for (int i = 0; i < 2; ++i) workers.push_back(std::make_unique<InProcWorker>());
+  const auto make_router = [&]() {
+    shard::RouterConfig config;
+    config.replication = 2;
+    config.probe_interval_ms = 0;
+    config.worker.client.connect_timeout_ms = 500;
+    config.worker.client.read_timeout_ms = 10000;
+    config.worker.down_after_failures = 2;
+    config.journal_path = path;
+    auto router = std::make_unique<shard::Router>(config);
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      router->add_worker(util::format("worker-%zu", i), "127.0.0.1", workers[i]->port);
+    }
+    return router;
+  };
+
+  auto router = make_router();
+  std::vector<std::string> ids;
+  for (int d = 0; d < 3; ++d) {
+    const auto deployed = router->handle_deploy(
+        post(deploy_body(util::format("journal_net_%d", d), 7 + d)));
+    ASSERT_EQ(deployed.status, 200) << deployed.body;
+    ids.push_back(json::parse(deployed.body).at("design_id").as_string());
+  }
+  ASSERT_NE(router->journal(), nullptr);
+  EXPECT_EQ(router->journal()->records(), 3u);
+
+  // An identical redeploy is known history: acked (cache hit) but NOT
+  // journaled again, so a hot design cannot grow the log unboundedly.
+  const auto again = router->handle_deploy(post(deploy_body("journal_net_0", 7)));
+  ASSERT_EQ(again.status, 200);
+  EXPECT_TRUE(json::parse(again.body).at("cache_hit").as_bool());
+  EXPECT_EQ(router->journal()->records(), 3u);
+
+  const auto before = router->handle_predict(post(predict_body(ids[0])));
+  ASSERT_EQ(before.status, 200);
+  const json::Value expected = json::parse(before.body);
+
+  // Total fleet loss: the router dies (releasing the journal) and every
+  // worker restarts empty. The journal is the only surviving state.
+  router.reset();
+  for (auto& worker : workers) {
+    worker->kill();
+    worker->start();
+  }
+
+  router = make_router();
+  EXPECT_EQ(router->recover(), 3u);
+  EXPECT_EQ(router->journal()->truncated_records(), 0u);
+
+  // Every pre-crash design answers again (recover seeds the catalog; the
+  // predict path's redeploy-on-404 repair refills the empty workers).
+  for (const std::string& id : ids) {
+    const auto response = router->handle_predict(post(predict_body(id)));
+    EXPECT_EQ(response.status, 200) << id << ": " << response.body;
+  }
+
+  // Bit-exact across the crash: same design, same image, same logits.
+  const auto after = router->handle_predict(post(predict_body(ids[0])));
+  ASSERT_EQ(after.status, 200);
+  const json::Value actual = json::parse(after.body);
+  const json::Array& expected_logits = expected.at("logits").as_array();
+  const json::Array& actual_logits = actual.at("logits").as_array();
+  ASSERT_EQ(actual_logits.size(), expected_logits.size());
+  for (std::size_t i = 0; i < expected_logits.size(); ++i) {
+    EXPECT_EQ(actual_logits[i].as_double(), expected_logits[i].as_double()) << i;
+  }
+
+  // The journal is observable in /api/v1/metrics, including the flat
+  // truncation gate the chaos drill reads.
+  const auto metrics = router->handle_metrics({});
+  ASSERT_EQ(metrics.status, 200);
+  const json::Value doc = json::parse(metrics.body);
+  EXPECT_EQ(doc.at("router").at("journal").get_int("records", -1), 3);
+  EXPECT_EQ(doc.at("router").get_int("journal_truncated_records", -1), 0);
+  EXPECT_EQ(doc.at("router").get_int("journal_recovered", -1), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Transport-level chaos: client.connect / client.send / client.recv
+// ---------------------------------------------------------------------------
+
+TEST(HttpClient, TransportFaultSitesTearConnectSendAndRecv) {
+  web::HttpServer server;
+  server.route("GET", "/ping", [](const web::HttpRequest&) {
+    web::HttpResponse response;
+    response.body = "{\"pong\":true}";
+    return response;
+  });
+  const int port = server.start();
+
+  FaultInjector faults;
+  web::ClientConfig config;
+  config.keep_alive = true;
+  config.connect_timeout_ms = 500;
+  config.faults = &faults;
+  web::HttpClient client("127.0.0.1", port, config);
+
+  // Refused connect: fails before a socket exists, and there is no pooled
+  // connection to fall back to.
+  faults.arm("client.connect", {FaultKind::kError, 1.0, 1, 0, 0});
+  EXPECT_FALSE(client.request("GET", "/ping").has_value());
+  EXPECT_EQ(faults.fired("client.connect"), 1u);
+  ASSERT_TRUE(client.request("GET", "/ping").has_value());  // budget spent
+
+  // Connect stall: sleeps the armed delay, then fails (a SYN black hole).
+  client.close();
+  faults.arm("client.connect", {FaultKind::kLatency, 1.0, 1, 20000, 0});
+  const auto stall_start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client.request("GET", "/ping").has_value());
+  const auto stalled = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - stall_start);
+  EXPECT_GE(stalled.count(), 20);
+  ASSERT_TRUE(client.request("GET", "/ping").has_value());
+
+  // Torn write: budget 2 so BOTH the pooled attempt and the silent fresh-
+  // socket retry tear after 5 bytes — the request must fail outright.
+  faults.arm("client.send", {FaultKind::kError, 1.0, 2, 0, 5});
+  EXPECT_FALSE(client.request("GET", "/ping").has_value());
+  EXPECT_EQ(faults.fired("client.send"), 2u);
+  ASSERT_TRUE(client.request("GET", "/ping").has_value());
+
+  // Mid-response reset with budget 1: the pooled attempt dies after the
+  // request went out whole, the keep-alive retry answers. One fire, 200.
+  faults.arm("client.recv", {FaultKind::kError, 1.0, 1, 0, 0});
+  const auto retried = client.request("GET", "/ping");
+  ASSERT_TRUE(retried.has_value());
+  EXPECT_EQ(retried->status, 200);
+  EXPECT_EQ(faults.fired("client.recv"), 1u);
+  server.stop();
+}
+
+TEST(Router, TransportFaultsDemoteWorkersAndHealAfterClear) {
+  Fleet fleet(2);
+  const auto deployed = fleet.router->handle_deploy(post(deploy_body("chaos_net")));
+  ASSERT_EQ(deployed.status, 200);
+  const std::string design_id = json::parse(deployed.body).at("design_id").as_string();
+  ASSERT_EQ(fleet.router->handle_predict(post(predict_body(design_id))).status, 200);
+
+  // Unlimited recv resets: every transport attempt (including keep-alive
+  // retries) dies, so each predict marks one failure per worker. With
+  // down_after_failures=2, two predicts empty the ring.
+  fleet.router->faults().arm("client.recv", {FaultKind::kError, 1.0, 0, 0, 0});
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_GE(fleet.router->handle_predict(post(predict_body(design_id))).status, 500) << i;
+  }
+  EXPECT_TRUE(fleet.router->ring_workers().empty());
+  EXPECT_GT(fleet.router->faults().fired("client.recv"), 0u);
+
+  // Clearing the chaos and probing restores the fleet: the workers were
+  // healthy all along, only the transport was poisoned.
+  fleet.router->faults().clear();
+  fleet.router->probe_now();
+  EXPECT_EQ(fleet.router->ring_workers().size(), 2u);
+  EXPECT_EQ(fleet.router->handle_predict(post(predict_body(design_id))).status, 200);
+}
+
+TEST(FaultInjector, ConfigureParsesBytesAndToJsonExportsTheSpec) {
+  FaultInjector faults;
+  std::string error;
+  ASSERT_TRUE(faults.configure("client.send=error:1.0:2:5,client.recv=latency:750:1",
+                               &error))
+      << error;
+
+  const json::Value doc = faults.to_json();
+  const json::Value& send = doc.at("client.send").as_array()[0];
+  EXPECT_EQ(send.at("kind").as_string(), "error");
+  EXPECT_EQ(send.get_int("count", -1), 2);
+  EXPECT_EQ(send.get_int("bytes", -1), 5);
+  EXPECT_EQ(send.get_int("hits", -1), 0);
+  EXPECT_EQ(send.get_int("fires", -1), 0);
+  const json::Value& recv = doc.at("client.recv").as_array()[0];
+  EXPECT_EQ(recv.at("kind").as_string(), "latency");
+  EXPECT_EQ(recv.get_int("latency_us", -1), 750);
+  EXPECT_EQ(recv.get_int("count", -1), 1);
+
+  // `bytes` only belongs to error faults, and nothing may follow it.
+  EXPECT_FALSE(faults.configure("client.send=error:1.0:2:5:9", &error));
+  EXPECT_FALSE(faults.configure("client.recv=latency:750:1:5", &error));
+}
+
+// ---------------------------------------------------------------------------
+// Deadline-aware failover
+// ---------------------------------------------------------------------------
+
+TEST(Router, DeadlineExhaustedMidFailoverAnswers504Locally) {
+  Fleet fleet(2);
+  const auto deployed = fleet.router->handle_deploy(post(deploy_body("deadline_net")));
+  ASSERT_EQ(deployed.status, 200);
+  const std::string design_id = json::parse(deployed.body).at("design_id").as_string();
+
+  // A generous budget passes straight through.
+  web::HttpRequest relaxed = post(predict_body(design_id));
+  relaxed.headers["x-deadline-ms"] = "10000";
+  EXPECT_EQ(fleet.router->handle_predict(relaxed).status, 200);
+  EXPECT_EQ(fleet.router->deadline_rejects(), 0u);
+
+  // Burn the whole budget inside attempt #1: both transport tries against the
+  // first candidate stall 30 ms each against a 10 ms deadline. The router
+  // must reject the second candidate LOCALLY — 504, no wasted attempt.
+  fleet.router->faults().arm("client.recv", {FaultKind::kLatency, 1.0, 2, 30000, 0});
+  web::HttpRequest rushed = post(predict_body(design_id));
+  rushed.headers["x-deadline-ms"] = "10";
+  const auto response = fleet.router->handle_predict(rushed);
+  EXPECT_EQ(response.status, 504) << response.body;
+  EXPECT_EQ(json::parse(response.body).at("error").at("code").as_string(),
+            "deadline_exceeded");
+  EXPECT_EQ(response.headers.at("X-Shard-Attempts"), "1");
+  EXPECT_EQ(fleet.router->deadline_rejects(), 1u);
+
+  // Chaos off: the same rushed request is fast enough again.
+  fleet.router->faults().clear();
+  fleet.router->probe_now();
+  EXPECT_EQ(fleet.router->handle_predict(rushed).status, 200);
+}
+
+// ---------------------------------------------------------------------------
+// Port reservation across restarts
+// ---------------------------------------------------------------------------
+
+TEST(ReservedPort, HoldsThePortAcrossServerRestarts) {
+  auto reserved = shard::ReservedPort::reserve();
+  ASSERT_TRUE(reserved.valid());
+  ASSERT_GT(reserved.port(), 0);
+
+  // A reuse_port listener binds the reserved port while the reservation is
+  // still held — this is exactly how a supervised worker starts.
+  web::ServerConfig config;
+  config.reuse_port = true;
+  web::HttpServer server(config);
+  ASSERT_EQ(server.start(reserved.port()), reserved.port());
+  server.stop();
+
+  // The crash/restart window: the listener is gone but the reservation keeps
+  // the port, so the restarted worker binds the SAME port again.
+  web::HttpServer second(config);
+  ASSERT_EQ(second.start(reserved.port()), reserved.port());
+  second.stop();
 }
 
 }  // namespace
